@@ -1,0 +1,295 @@
+// Benchmarks regenerating the paper's evaluation, one per table/figure.
+//
+// Each benchmark runs the figure's workload at a representative sweep point
+// and reports the *virtual-time* metric the paper plots as a custom unit
+// (vus/op = virtual microseconds per operation, vMB/s = virtual bandwidth).
+// The wall-clock ns/op merely measures the simulator. The full sweeps behind
+// every figure are produced by cmd/dtbench.
+package repro
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/datatype"
+	"repro/internal/exper"
+	"repro/internal/ib"
+	"repro/internal/mem"
+	"repro/internal/mpi"
+	"repro/internal/pack"
+	"repro/internal/pario"
+	"repro/internal/simtime"
+)
+
+const benchMem = 192 << 20
+
+func benchCfg(ranks int, scheme core.Scheme, mut func(*mpi.Config)) mpi.Config {
+	cfg := mpi.DefaultConfig()
+	cfg.Ranks = ranks
+	cfg.MemBytes = benchMem
+	cfg.Core.Scheme = scheme
+	if mut != nil {
+		mut(&cfg)
+	}
+	return cfg
+}
+
+func reportLatency(b *testing.B, run func() (float64, error)) {
+	b.Helper()
+	var last float64
+	for i := 0; i < b.N; i++ {
+		v, err := run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = v
+	}
+	b.ReportMetric(last, "vus/op")
+}
+
+func reportBandwidth(b *testing.B, run func() (float64, error)) {
+	b.Helper()
+	var last float64
+	for i := 0; i < b.N; i++ {
+		v, err := run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = v
+	}
+	b.ReportMetric(last, "vMB/s")
+}
+
+// BenchmarkFig2Motivating: the Section 3.2 comparison at 512 columns.
+func BenchmarkFig2Motivating(b *testing.B) {
+	dt := exper.VectorType(512)
+	gen := benchCfg(2, core.SchemeGeneric, nil)
+	b.Run("Contig", func(b *testing.B) {
+		ct := exper.ContigType(exper.VectorBytes(512))
+		reportLatency(b, func() (float64, error) { return exper.PingPongLatency(gen, ct, 1, 2, 4) })
+	})
+	b.Run("Datatype", func(b *testing.B) {
+		reportLatency(b, func() (float64, error) { return exper.PingPongLatency(gen, dt, 1, 2, 4) })
+	})
+	b.Run("Manual", func(b *testing.B) {
+		reportLatency(b, func() (float64, error) { return exper.ManualLatency(gen, dt, 1, 2, 4) })
+	})
+	b.Run("Multiple", func(b *testing.B) {
+		reportLatency(b, func() (float64, error) { return exper.MultipleLatency(gen, dt, 1, 2, 4) })
+	})
+	b.Run("DT+reg", func(b *testing.B) {
+		cfg := benchCfg(2, core.SchemeGeneric, func(c *mpi.Config) { c.Core.RegCache = false })
+		reportLatency(b, func() (float64, error) { return exper.PingPongLatency(cfg, dt, 1, 2, 4) })
+	})
+}
+
+var benchSchemes = []struct {
+	name   string
+	scheme core.Scheme
+}{
+	{"Generic", core.SchemeGeneric},
+	{"BC-SPUP", core.SchemeBCSPUP},
+	{"RWG-UP", core.SchemeRWGUP},
+	{"Multi-W", core.SchemeMultiW},
+	{"P-RRS", core.SchemePRRS},
+}
+
+// BenchmarkFig8Latency: scheme latency at 512 columns (256 KB vector).
+func BenchmarkFig8Latency(b *testing.B) {
+	dt := exper.VectorType(512)
+	for _, s := range benchSchemes {
+		cfg := benchCfg(2, s.scheme, nil)
+		b.Run(s.name, func(b *testing.B) {
+			reportLatency(b, func() (float64, error) { return exper.PingPongLatency(cfg, dt, 1, 2, 4) })
+		})
+	}
+}
+
+// BenchmarkFig9Bandwidth: scheme bandwidth at 512 columns.
+func BenchmarkFig9Bandwidth(b *testing.B) {
+	dt := exper.VectorType(512)
+	for _, s := range benchSchemes {
+		cfg := benchCfg(2, s.scheme, nil)
+		b.Run(s.name, func(b *testing.B) {
+			reportBandwidth(b, func() (float64, error) { return exper.Bandwidth(cfg, dt, 1, 100) })
+		})
+	}
+}
+
+// BenchmarkFig11Alltoall: the 8-rank struct Alltoall, last block 16 Ki ints.
+func BenchmarkFig11Alltoall(b *testing.B) {
+	dt := exper.StructType(16384)
+	for _, s := range benchSchemes {
+		if s.scheme == core.SchemePRRS {
+			continue
+		}
+		cfg := benchCfg(8, s.scheme, func(c *mpi.Config) { c.MemBytes = 96 << 20 })
+		b.Run(s.name, func(b *testing.B) {
+			reportLatency(b, func() (float64, error) { return exper.AlltoallTime(cfg, dt, 1, 1, 2) })
+		})
+	}
+}
+
+// BenchmarkFig12SegmentUnpack: RWG-UP bandwidth with/without segment unpack.
+func BenchmarkFig12SegmentUnpack(b *testing.B) {
+	dt := exper.VectorType(1024)
+	b.Run("segment-unpack", func(b *testing.B) {
+		cfg := benchCfg(2, core.SchemeRWGUP, nil)
+		reportBandwidth(b, func() (float64, error) { return exper.Bandwidth(cfg, dt, 1, 100) })
+	})
+	b.Run("unpack-at-end", func(b *testing.B) {
+		cfg := benchCfg(2, core.SchemeRWGUP, func(c *mpi.Config) { c.Core.SegmentUnpack = false })
+		reportBandwidth(b, func() (float64, error) { return exper.Bandwidth(cfg, dt, 1, 100) })
+	})
+}
+
+// BenchmarkFig13ListPost: Multi-W bandwidth with list vs single posts.
+func BenchmarkFig13ListPost(b *testing.B) {
+	dt := exper.VectorType(64) // small blocks: posting dominates
+	b.Run("list-post", func(b *testing.B) {
+		cfg := benchCfg(2, core.SchemeMultiW, nil)
+		reportBandwidth(b, func() (float64, error) { return exper.Bandwidth(cfg, dt, 1, 100) })
+	})
+	b.Run("single-post", func(b *testing.B) {
+		cfg := benchCfg(2, core.SchemeMultiW, func(c *mpi.Config) { c.Core.ListPost = false })
+		reportBandwidth(b, func() (float64, error) { return exper.Bandwidth(cfg, dt, 1, 100) })
+	})
+}
+
+// BenchmarkFig14WorstCase: latency with no pools and no pin-down cache.
+func BenchmarkFig14WorstCase(b *testing.B) {
+	dt := exper.VectorType(512)
+	for _, s := range benchSchemes {
+		if s.scheme == core.SchemePRRS {
+			continue
+		}
+		cfg := benchCfg(2, s.scheme, func(c *mpi.Config) {
+			c.Core.RegCache = false
+			c.Core.UsePools = false
+		})
+		b.Run(s.name, func(b *testing.B) {
+			reportLatency(b, func() (float64, error) { return exper.PingPongLatency(cfg, dt, 1, 2, 4) })
+		})
+	}
+}
+
+// BenchmarkAblationSegmentSize: BC-SPUP sensitivity to segment size.
+func BenchmarkAblationSegmentSize(b *testing.B) {
+	dt := exper.VectorType(2048)
+	for _, segKB := range []int64{32, 128, 512} {
+		cfg := benchCfg(2, core.SchemeBCSPUP, func(c *mpi.Config) { c.Core.SegmentSize = segKB << 10 })
+		b.Run(formatKB(segKB), func(b *testing.B) {
+			reportLatency(b, func() (float64, error) { return exper.PingPongLatency(cfg, dt, 1, 2, 4) })
+		})
+	}
+}
+
+func formatKB(kb int64) string {
+	return fmt.Sprintf("%dKB", kb)
+}
+
+// BenchmarkAblationEagerPath: the Section 7.1 small-message improvement.
+func BenchmarkAblationEagerPath(b *testing.B) {
+	dt := exper.VectorType(8) // 4 KB: eager
+	b.Run("generic-4copy", func(b *testing.B) {
+		cfg := benchCfg(2, core.SchemeGeneric, nil)
+		reportLatency(b, func() (float64, error) { return exper.PingPongLatency(cfg, dt, 1, 2, 4) })
+	})
+	b.Run("direct-2copy", func(b *testing.B) {
+		cfg := benchCfg(2, core.SchemeBCSPUP, nil)
+		reportLatency(b, func() (float64, error) { return exper.PingPongLatency(cfg, dt, 1, 2, 4) })
+	})
+}
+
+// BenchmarkDatatypeEngine: raw (real-time) speed of the datatype machinery —
+// cursor traversal and pack — independent of the simulation.
+func BenchmarkDatatypeEngine(b *testing.B) {
+	dt := exper.VectorType(512)
+	m := mem.NewMemory("bench", 64<<20)
+	base := m.MustAlloc(dt.TrueExtent())
+	dst := make([]byte, dt.Size())
+	b.Run("pack256KB", func(b *testing.B) {
+		b.SetBytes(dt.Size())
+		for i := 0; i < b.N; i++ {
+			p := pack.NewPacker(m, base, dt, 1)
+			if n, _ := p.PackTo(dst); n != dt.Size() {
+				b.Fatal("short pack")
+			}
+		}
+	})
+	b.Run("flatten", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if blocks, _ := datatype.Flatten(dt, 1, 0); len(blocks) != 128 {
+				b.Fatal("bad flatten")
+			}
+		}
+	})
+	b.Run("codec", func(b *testing.B) {
+		enc := datatype.Encode(dt)
+		for i := 0; i < b.N; i++ {
+			if _, err := datatype.Decode(enc); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkFabricRaw: verb-level simulated RDMA write latency (the "Contig"
+// reference the figures are normalized against).
+func BenchmarkFabricRaw(b *testing.B) {
+	for _, kb := range []int64{4, 64, 1024} {
+		size := kb << 10
+		b.Run(formatKB(kb)+"write", func(b *testing.B) {
+			var last float64
+			for i := 0; i < b.N; i++ {
+				eng := simEngine()
+				fab := ib.NewFabric(eng, ib.DefaultModel())
+				ma := mem.NewMemory("a", 8<<20+2*size)
+				mb := mem.NewMemory("b", 8<<20+2*size)
+				ha := fab.AddHCA("a", ma, nil)
+				hb := fab.AddHCA("b", mb, nil)
+				sendCQ, recvCQ := ib.NewCQ(ha), ib.NewCQ(ha)
+				bs, br := ib.NewCQ(hb), ib.NewCQ(hb)
+				qa, _ := ib.Connect(ha, hb, sendCQ, recvCQ, bs, br)
+				src := ma.MustAlloc(size)
+				dstA := mb.MustAlloc(size)
+				rs, _ := ma.Reg().Register(src, size)
+				rd, _ := mb.Reg().Register(dstA, size)
+				var done float64
+				sendCQ.SetHandler(func(e ib.CQE) { done = float64(eng.Now()) / 1e3 })
+				if err := qa.PostSend(ib.SendWR{Op: ib.OpRDMAWrite,
+					SGL:        []ib.SGE{{Addr: src, Len: size, Key: rs.LKey}},
+					RemoteAddr: dstA, RKey: rd.RKey}); err != nil {
+					b.Fatal(err)
+				}
+				if err := eng.Run(); err != nil {
+					b.Fatal(err)
+				}
+				last = done
+			}
+			b.ReportMetric(last, "vus/op")
+		})
+	}
+}
+
+func simEngine() *simtime.Engine { return simtime.NewEngine() }
+
+// BenchmarkOneSidedPut: the RMA extension — Put vs the equivalent Multi-W
+// send (BenchmarkFig8Latency/Multi-W) isolates the rendezvous handshake.
+func BenchmarkOneSidedPut(b *testing.B) {
+	dt := exper.VectorType(512)
+	cfg := benchCfg(2, core.SchemeMultiW, nil)
+	reportLatency(b, func() (float64, error) { return exper.PutLatency(cfg, dt, 2, 4) })
+}
+
+// BenchmarkParIO: noncontiguous file I/O, pack-based vs RDMA gather/scatter.
+func BenchmarkParIO(b *testing.B) {
+	dt := exper.VectorType(512)
+	for _, mode := range []pario.Mode{pario.ModePack, pario.ModeRDMA} {
+		cfg := benchCfg(2, core.SchemeBCSPUP, nil)
+		b.Run(mode.String(), func(b *testing.B) {
+			reportLatency(b, func() (float64, error) { return exper.ParIOTime(cfg, dt, mode, 2, 4) })
+		})
+	}
+}

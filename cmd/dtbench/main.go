@@ -1,0 +1,72 @@
+// dtbench regenerates the paper's evaluation tables and figures on the
+// simulated InfiniBand fabric.
+//
+// Usage:
+//
+//	dtbench                  # run everything
+//	dtbench -fig 8           # one figure (2, 8, 9, 11, 12, 13, 14)
+//	dtbench -headline        # abstract's improvement factors (runs 8, 9, 11)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/exper"
+)
+
+func main() {
+	fig := flag.Int("fig", 0, "figure number to reproduce (0 = all)")
+	headline := flag.Bool("headline", false, "print the headline improvement factors")
+	ablations := flag.Bool("ablations", false, "run this reproduction's extra ablation studies")
+	counters := flag.Bool("counters", false, "print per-scheme operation counters for one transfer")
+	flag.Parse()
+
+	figs := map[int]func() *exper.Result{
+		2: exper.Fig2, 8: exper.Fig8, 9: exper.Fig9, 11: exper.Fig11,
+		12: exper.Fig12, 13: exper.Fig13, 14: exper.Fig14,
+	}
+
+	if *counters {
+		rep, err := exper.CountersReport()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dtbench:", err)
+			os.Exit(1)
+		}
+		fmt.Print(rep)
+		return
+	}
+	if *ablations {
+		for _, f := range []func() *exper.Result{
+			exper.AblationSegmentSize, exper.AblationOGR,
+			exper.AblationPindown, exper.AblationEagerPath, exper.AblationAuto,
+			exper.AblationSensitivity, exper.AblationOneSided, exper.AblationParIO,
+		} {
+			fmt.Print(f().Table())
+			fmt.Println()
+		}
+		return
+	}
+	if *headline {
+		f8, f9, f11 := exper.Fig8(), exper.Fig9(), exper.Fig11()
+		fmt.Print(f8.Table(), "\n", f9.Table(), "\n", f11.Table(), "\n")
+		fmt.Print(exper.HeadlineSummary(f8, f9, f11))
+		return
+	}
+	if *fig != 0 {
+		f, ok := figs[*fig]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "dtbench: no figure %d (have 2, 8, 9, 11, 12, 13, 14)\n", *fig)
+			os.Exit(2)
+		}
+		fmt.Print(f().Table())
+		return
+	}
+	for _, n := range []int{2, 8, 9, 11, 12, 13, 14} {
+		fmt.Print(figs[n]().Table())
+		fmt.Println()
+	}
+	f8, f9, f11 := exper.Fig8(), exper.Fig9(), exper.Fig11()
+	fmt.Print(exper.HeadlineSummary(f8, f9, f11))
+}

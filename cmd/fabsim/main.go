@@ -1,0 +1,90 @@
+// fabsim exercises the simulated InfiniBand fabric at the Verbs level,
+// independent of MPI: it prints the cost-model parameters and sweeps raw
+// RDMA write/read latency, bandwidth, and gather-descriptor costs — the
+// "Contig" reference numbers the paper's figures are judged against.
+//
+//	go run ./cmd/fabsim
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/ib"
+	"repro/internal/mem"
+	"repro/internal/simtime"
+)
+
+func main() {
+	model := ib.DefaultModel()
+	fmt.Println("# cost model (DESIGN.md section 5)")
+	fmt.Printf("wire latency        %v\n", model.WireLatency)
+	fmt.Printf("link bandwidth      %.2f GB/s\n", model.LinkGBps)
+	fmt.Printf("copy bandwidth      %.2f GB/s (+%v per contiguous run)\n", model.CopyGBps, model.CopyBlockStartup)
+	fmt.Printf("descriptor post     %v (list entries %v, per SGE %v)\n", model.PostCost, model.ListPostEntry, model.SGEPost)
+	fmt.Printf("NIC per descriptor  %v (per SGE %v)\n", model.NICDescCost, model.NICSGECost)
+	fmt.Printf("registration        %v + %v/page; dereg %v + %v/page\n",
+		model.RegBase, model.RegPerPage, model.DeregBase, model.DeregPerPage)
+	fmt.Printf("malloc              %v + %v/page\n", model.MallocBase, model.MallocPerPage)
+	fmt.Printf("RDMA read turnaround %v; max SGE %d\n\n", model.ReadTurnaround, model.MaxSGE)
+
+	fmt.Println("# raw RDMA write/read completion latency and effective bandwidth")
+	fmt.Printf("%10s %14s %14s %14s\n", "bytes", "write (us)", "read (us)", "write MB/s")
+	for _, size := range []int64{256, 4 << 10, 64 << 10, 512 << 10, 4 << 20} {
+		w := oneOp(model, ib.OpRDMAWrite, size, 1)
+		r := oneOp(model, ib.OpRDMARead, size, 1)
+		mbps := float64(size) / (1 << 20) / w.Seconds()
+		fmt.Printf("%10d %14.2f %14.2f %14.1f\n", size, w.Micros(), r.Micros(), mbps)
+	}
+
+	fmt.Println("\n# gather write: one descriptor, varying SGE count (64 KB total)")
+	fmt.Printf("%6s %14s\n", "SGEs", "latency (us)")
+	for _, n := range []int{1, 4, 16, 64} {
+		d := oneOp(model, ib.OpRDMAWrite, 64<<10, n)
+		fmt.Printf("%6d %14.2f\n", n, d.Micros())
+	}
+}
+
+// oneOp measures the virtual completion time of a single RDMA operation of
+// the given total size split across n scatter/gather entries.
+func oneOp(model ib.Model, op ib.Opcode, size int64, n int) simtime.Duration {
+	eng := simtime.NewEngine()
+	fab := ib.NewFabric(eng, model)
+	ma := mem.NewMemory("a", size*2+8<<20)
+	mb := mem.NewMemory("b", size*2+8<<20)
+	ha := fab.AddHCA("a", ma, nil)
+	hb := fab.AddHCA("b", mb, nil)
+	aSend, aRecv := ib.NewCQ(ha), ib.NewCQ(ha)
+	bSend, bRecv := ib.NewCQ(hb), ib.NewCQ(hb)
+	qa, _ := ib.Connect(ha, hb, aSend, aRecv, bSend, bRecv)
+
+	per := size / int64(n)
+	sgl := make([]ib.SGE, n)
+	for i := range sgl {
+		a := ma.MustAlloc(per)
+		reg, err := ma.Reg().Register(a, per)
+		if err != nil {
+			panic(err)
+		}
+		sgl[i] = ib.SGE{Addr: a, Len: per, Key: reg.LKey}
+	}
+	remote := mb.MustAlloc(size)
+	rreg, err := mb.Reg().Register(remote, size)
+	if err != nil {
+		panic(err)
+	}
+
+	var done simtime.Time
+	aSend.SetHandler(func(e ib.CQE) {
+		if e.Err != nil {
+			panic(e.Err)
+		}
+		done = eng.Now()
+	})
+	if err := qa.PostSend(ib.SendWR{Op: op, SGL: sgl, RemoteAddr: remote, RKey: rreg.RKey}); err != nil {
+		panic(err)
+	}
+	if err := eng.Run(); err != nil {
+		panic(err)
+	}
+	return done.Sub(0)
+}

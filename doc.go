@@ -1,0 +1,24 @@
+// Package repro is a from-scratch Go reproduction of "High Performance
+// Implementation of MPI Derived Datatype Communication over InfiniBand"
+// (Wu, Wyckoff, Panda — OSU-CISRC-10/03-TR58 / IPDPS 2004).
+//
+// The paper's InfiniBand hardware is replaced by a deterministic
+// discrete-event fabric simulation (see DESIGN.md for the substitution
+// argument); everything above it — registered memory, Verbs, MPI derived
+// datatypes, the Eager/Rendezvous protocols, and the paper's five datatype
+// transfer schemes — is implemented in the internal packages:
+//
+//	simtime   event engine and coroutine processes
+//	mem       simulated memory, registration, pin-down cache, OGR
+//	ib        software Verbs over the cost-modeled fabric
+//	datatype  MPI derived datatypes, dataloops, partial processing
+//	pack      segment pack/unpack engines
+//	core      the paper's transfer schemes and protocols
+//	mpi       mini-MPI: communicators, collectives, one-sided windows
+//	pario     noncontiguous parallel I/O over the same substrate
+//	trace     activity recording and timeline rendering
+//	exper     the evaluation harness, one driver per paper figure
+//
+// This root package holds only the benchmark suite (bench_test.go), one
+// testing.B benchmark per table and figure of the paper's evaluation.
+package repro

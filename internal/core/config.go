@@ -1,0 +1,157 @@
+// Package core implements the paper's contribution: MPI derived-datatype
+// communication over (simulated) InfiniBand, with the five transfer schemes
+// the paper studies —
+//
+//   - Generic: the MPICH-derived pack/unpack baseline (Figure 1),
+//   - BC-SPUP: buffer-centric segment pack/unpack with pre-registered pools
+//     and a pack/transfer/unpack pipeline (Section 4),
+//   - RWG-UP: RDMA write gather from the sender's registered user blocks
+//     into the receiver's unpack segments (Section 5.1),
+//   - P-RRS: sender-side pack with receiver-initiated RDMA read scatter
+//     (Section 5.2; designed but not implemented in the paper — built here),
+//   - Multi-W: zero-copy multiple RDMA writes driven by the receiver's
+//     shipped datatype layout (Section 5.3),
+//
+// plus the dynamic scheme selection of Section 6 (SchemeAuto), the
+// version-numbered datatype cache of Section 5.4.2, Optimistic Group
+// Registration for user buffers, pre-registered segment pools with dynamic
+// fallback, and the improved small-message Eager path of Section 7.1.
+//
+// Endpoint is one rank's communication engine; the mpi package layers
+// communicators and collectives on top.
+package core
+
+import (
+	"repro/internal/ib"
+	"repro/internal/simtime"
+)
+
+// Scheme selects how rendezvous-size datatype messages are transferred.
+type Scheme int
+
+// The transfer schemes.
+const (
+	SchemeGeneric Scheme = iota // MPICH-derived pack/unpack baseline
+	SchemeBCSPUP                // buffer-centric segment pack/unpack
+	SchemeRWGUP                 // RDMA write gather with unpack
+	SchemePRRS                  // pack with RDMA read scatter
+	SchemeMultiW                // multiple RDMA writes (zero copy)
+	SchemeAuto                  // per-message dynamic selection (Section 6)
+)
+
+func (s Scheme) String() string {
+	switch s {
+	case SchemeGeneric:
+		return "Generic"
+	case SchemeBCSPUP:
+		return "BC-SPUP"
+	case SchemeRWGUP:
+		return "RWG-UP"
+	case SchemePRRS:
+		return "P-RRS"
+	case SchemeMultiW:
+		return "Multi-W"
+	case SchemeAuto:
+		return "Auto"
+	}
+	return "unknown"
+}
+
+// Config holds the protocol-level knobs of one endpoint. DefaultConfig
+// matches the paper's implementation choices (Section 7).
+type Config struct {
+	Scheme Scheme
+
+	// EagerThreshold is the largest message (in bytes) sent eagerly.
+	EagerThreshold int64
+
+	// SegmentSize is the pool slot size for BC-SPUP/RWG-UP/P-RRS segments.
+	SegmentSize int64
+
+	// MinSegmented is the smallest rendezvous message split into at least
+	// two segments (the paper's 16 KB rule).
+	MinSegmented int64
+
+	// PoolSize is the per-endpoint size of each pre-registered staging pool
+	// (one pack pool, one unpack pool; the paper uses 20 MB each).
+	PoolSize int64
+
+	// UsePools enables the pre-registered pools. Off, every segment is
+	// allocated and registered on the fly (the Figure 14 worst case).
+	UsePools bool
+
+	// SegmentUnpack drives the receiver to unpack each segment as it
+	// arrives (Figure 12). Off, unpacking happens after the whole message.
+	SegmentUnpack bool
+
+	// ListPost posts Multi-W descriptor batches with one list operation
+	// (Figure 13). Off, each descriptor is posted individually.
+	ListPost bool
+
+	// RegCache enables the pin-down caches for user and staging buffers.
+	// Off, every registration is paid on every operation (Figure 14).
+	RegCache bool
+
+	// RegCacheCapacity is each pin-down cache's idle-pinned-bytes limit.
+	RegCacheCapacity int64
+
+	// TypeProcBase and TypeProcPerRun model datatype-processing overhead on
+	// top of raw copy cost — the reason Manual packing slightly beats the
+	// Datatype scheme in the paper's Figure 2.
+	TypeProcBase   simtime.Duration
+	TypeProcPerRun simtime.Duration
+
+	// AutoBlockThreshold: with SchemeAuto, if both sides' average contiguous
+	// run reaches this many bytes, Multi-W is chosen (the "several KBytes"
+	// rule of Section 6).
+	AutoBlockThreshold int64
+
+	// AutoGatherThreshold: with SchemeAuto, the smallest sender-side average
+	// run for which RDMA gather (RWG-UP) still beats packing.
+	AutoGatherThreshold int64
+
+	// BuffersReused hints that applications reuse communication buffers, so
+	// user-buffer registration amortizes (the MPI_Info hint of Section 6).
+	// When false, SchemeAuto avoids the copy-reduced schemes.
+	BuffersReused bool
+}
+
+// DefaultConfig returns the paper's implementation parameters.
+func DefaultConfig() Config {
+	return Config{
+		Scheme:              SchemeBCSPUP,
+		EagerThreshold:      8 << 10,
+		SegmentSize:         128 << 10,
+		MinSegmented:        16 << 10,
+		PoolSize:            20 << 20,
+		UsePools:            true,
+		SegmentUnpack:       true,
+		ListPost:            true,
+		RegCache:            true,
+		RegCacheCapacity:    64 << 20,
+		TypeProcBase:        300 * simtime.Nanosecond,
+		TypeProcPerRun:      25 * simtime.Nanosecond,
+		AutoBlockThreshold:  4 << 10,
+		AutoGatherThreshold: 256,
+		BuffersReused:       true,
+	}
+}
+
+// segSizeFor picks the segment size for a message: at least two segments
+// once the message reaches MinSegmented, capped at SegmentSize (Section 7.2).
+func (c *Config) segSizeFor(size int64) int64 {
+	if size < c.MinSegmented {
+		return size
+	}
+	seg := c.SegmentSize
+	for seg > 8<<10 && size < 2*seg {
+		seg /= 2
+	}
+	return seg
+}
+
+// packCost prices a pack or unpack of the given bytes spread over runs,
+// including datatype-processing overhead.
+func (c *Config) packCost(m *ib.Model, bytes int64, runs int) simtime.Duration {
+	return m.CopyTime(bytes, runs) + c.TypeProcBase + simtime.Duration(runs)*c.TypeProcPerRun
+}

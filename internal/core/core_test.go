@@ -1,0 +1,580 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/datatype"
+	"repro/internal/ib"
+	"repro/internal/mem"
+	"repro/internal/pack"
+	"repro/internal/simtime"
+)
+
+type testWorld struct {
+	eng *simtime.Engine
+	eps []*Endpoint
+}
+
+func newTestWorld(t *testing.T, n int, cfg Config, memSize int64) *testWorld {
+	t.Helper()
+	eng := simtime.NewEngine()
+	fab := ib.NewFabric(eng, ib.DefaultModel())
+	eps := make([]*Endpoint, n)
+	for i := range eps {
+		m := mem.NewMemory(fmt.Sprintf("n%d", i), memSize)
+		hca := fab.AddHCA(fmt.Sprintf("n%d", i), m, nil)
+		ep, err := NewEndpoint(i, hca, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eps[i] = ep
+	}
+	ConnectPeers(eps)
+	return &testWorld{eng: eng, eps: eps}
+}
+
+// run spawns one process per rank and runs the simulation to completion.
+func (w *testWorld) run(t *testing.T, body func(p *simtime.Process, ep *Endpoint)) {
+	t.Helper()
+	for _, ep := range w.eps {
+		ep := ep
+		w.eng.Spawn(fmt.Sprintf("rank%d", ep.Rank()), func(p *simtime.Process) {
+			body(p, ep)
+		})
+	}
+	if err := w.eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// pattern returns n deterministic bytes.
+func pattern(n int64, seed byte) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = seed ^ byte(i*31+7)
+	}
+	return b
+}
+
+// fillMsg writes a pattern into the datatype-covered bytes of a buffer.
+func fillMsg(ep *Endpoint, base mem.Addr, dt *datatype.Type, count int, seed byte) []byte {
+	data := pattern(dt.Size()*int64(count), seed)
+	u := pack.NewUnpacker(ep.Mem(), base, dt, count)
+	if n, _ := u.UnpackFrom(data); n != int64(len(data)) {
+		panic("fillMsg short")
+	}
+	return data
+}
+
+// readMsg extracts the datatype-covered bytes of a buffer.
+func readMsg(ep *Endpoint, base mem.Addr, dt *datatype.Type, count int) []byte {
+	out := make([]byte, dt.Size()*int64(count))
+	p := pack.NewPacker(ep.Mem(), base, dt, count)
+	if n, _ := p.PackTo(out); n != int64(len(out)) {
+		panic("readMsg short")
+	}
+	return out
+}
+
+// allocFor allocates a buffer able to hold a (dt, count) message and returns
+// the buffer pointer (adjusted so that offset trueLB maps into the
+// allocation).
+func allocFor(ep *Endpoint, dt *datatype.Type, count int) mem.Addr {
+	span := dt.TrueExtent() + int64(count-1)*dt.Extent()
+	a := ep.Mem().MustAlloc(span)
+	return mem.Addr(int64(a) - dt.TrueLB())
+}
+
+var allSchemes = []Scheme{SchemeGeneric, SchemeBCSPUP, SchemeRWGUP, SchemePRRS, SchemeMultiW, SchemeAuto}
+
+// shapes used across the correctness matrix. Sizes are scaled by a count so
+// that every shape is exercised in the eager, single-segment rendezvous and
+// multi-segment rendezvous regimes.
+type shape struct {
+	name string
+	dt   *datatype.Type
+}
+
+func testShapes() []shape {
+	vec := datatype.Must(datatype.TypeVector(128, 16, 64, datatype.Int32)) // 8 KB per count
+	str := datatype.Must(datatype.TypeStruct(
+		[]int{1, 2, 4, 8, 16},
+		[]int64{0, 8, 24, 56, 120},
+		[]*datatype.Type{datatype.Int32, datatype.Int32, datatype.Int32, datatype.Int32, datatype.Int32},
+	)) // 124 B per count with gaps
+	idx := datatype.Must(datatype.TypeIndexed(
+		[]int{3, 1, 5, 2}, []int{0, 7, 11, 20}, datatype.Float64)) // 88 B per count
+	ctg := datatype.Must(datatype.TypeContiguous(256, datatype.Int32)) // 1 KB per count
+	return []shape{{"vector", vec}, {"struct", str}, {"indexed", idx}, {"contig", ctg}}
+}
+
+func TestSchemesDeliverCorrectData(t *testing.T) {
+	counts := []int{1, 40, 160} // spans eager, 1-segment rndv, multi-segment rndv
+	for _, scheme := range allSchemes {
+		for _, sh := range testShapes() {
+			for _, count := range counts {
+				name := fmt.Sprintf("%v/%s/count=%d", scheme, sh.name, count)
+				t.Run(name, func(t *testing.T) {
+					cfg := DefaultConfig()
+					cfg.Scheme = scheme
+					cfg.PoolSize = 4 << 20
+					w := newTestWorld(t, 2, cfg, 48<<20)
+					var sent, got []byte
+					w.run(t, func(p *simtime.Process, ep *Endpoint) {
+						if ep.Rank() == 0 {
+							buf := allocFor(ep, sh.dt, count)
+							sent = fillMsg(ep, buf, sh.dt, count, 0x5A)
+							if err := ep.Send(p, buf, count, sh.dt, 1, 7); err != nil {
+								t.Errorf("send: %v", err)
+							}
+						} else {
+							buf := allocFor(ep, sh.dt, count)
+							req, err := ep.Recv(p, buf, count, sh.dt, 0, 7)
+							if err != nil {
+								t.Errorf("recv: %v", err)
+							}
+							if req.Bytes != sh.dt.Size()*int64(count) {
+								t.Errorf("bytes = %d, want %d", req.Bytes, sh.dt.Size()*int64(count))
+							}
+							got = readMsg(ep, buf, sh.dt, count)
+						}
+					})
+					if !bytes.Equal(sent, got) {
+						t.Fatalf("data mismatch: sent %d bytes, got %d bytes equal=%v",
+							len(sent), len(got), bytes.Equal(sent, got))
+					}
+				})
+			}
+		}
+	}
+}
+
+// Different layouts on the two sides: sender vector, receiver contiguous and
+// vice versa, plus vector-to-struct. Data (in datatype order) must match.
+func TestSchemesMixedLayouts(t *testing.T) {
+	vec := datatype.Must(datatype.TypeVector(64, 8, 32, datatype.Int32)) // 2 KB
+	ctg := datatype.Must(datatype.TypeContiguous(512, datatype.Int32))   // 2 KB
+	str := datatype.Must(datatype.TypeStruct(
+		[]int{64, 192, 256}, []int64{0, 512, 2048},
+		[]*datatype.Type{datatype.Int32, datatype.Int32, datatype.Int32})) // 2 KB
+	pairs := []struct {
+		name   string
+		s, r   *datatype.Type
+		sc, rc int
+	}{
+		{"vec->contig", vec, ctg, 32, 32},
+		{"contig->vec", ctg, vec, 32, 32},
+		{"vec->struct", vec, str, 32, 32},
+		{"struct->vec", str, vec, 32, 32},
+	}
+	for _, scheme := range allSchemes {
+		for _, pr := range pairs {
+			t.Run(fmt.Sprintf("%v/%s", scheme, pr.name), func(t *testing.T) {
+				cfg := DefaultConfig()
+				cfg.Scheme = scheme
+				cfg.PoolSize = 4 << 20
+				w := newTestWorld(t, 2, cfg, 48<<20)
+				var sent, got []byte
+				w.run(t, func(p *simtime.Process, ep *Endpoint) {
+					if ep.Rank() == 0 {
+						buf := allocFor(ep, pr.s, pr.sc)
+						sent = fillMsg(ep, buf, pr.s, pr.sc, 0xC3)
+						if err := ep.Send(p, buf, pr.sc, pr.s, 1, 0); err != nil {
+							t.Errorf("send: %v", err)
+						}
+					} else {
+						buf := allocFor(ep, pr.r, pr.rc)
+						if _, err := ep.Recv(p, buf, pr.rc, pr.r, 0, 0); err != nil {
+							t.Errorf("recv: %v", err)
+						}
+						got = readMsg(ep, buf, pr.r, pr.rc)
+					}
+				})
+				if !bytes.Equal(sent, got) {
+					t.Fatal("mixed-layout data mismatch")
+				}
+			})
+		}
+	}
+}
+
+// Scheme contracts, verified through the copy counters:
+// Multi-W moves rendezvous payloads with zero copies; RWG-UP copies only on
+// the receiver; Generic and BC-SPUP copy on both sides.
+func TestSchemeCopyContracts(t *testing.T) {
+	vec := datatype.Must(datatype.TypeVector(128, 512, 1024, datatype.Int32)) // 256 KB, 2 KB blocks
+	size := vec.Size()
+	type expect struct {
+		scheme     Scheme
+		sendPacked bool
+		recvUnpack bool
+	}
+	for _, e := range []expect{
+		{SchemeGeneric, true, true},
+		{SchemeBCSPUP, true, true},
+		{SchemeRWGUP, false, true},
+		{SchemePRRS, true, false},
+		{SchemeMultiW, false, false},
+	} {
+		t.Run(e.scheme.String(), func(t *testing.T) {
+			cfg := DefaultConfig()
+			cfg.Scheme = e.scheme
+			cfg.PoolSize = 4 << 20
+			w := newTestWorld(t, 2, cfg, 48<<20)
+			w.run(t, func(p *simtime.Process, ep *Endpoint) {
+				if ep.Rank() == 0 {
+					buf := allocFor(ep, vec, 1)
+					fillMsg(ep, buf, vec, 1, 1)
+					ep.Send(p, buf, 1, vec, 1, 0)
+				} else {
+					buf := allocFor(ep, vec, 1)
+					ep.Recv(p, buf, 1, vec, 0, 0)
+				}
+			})
+			s, r := w.eps[0].Counters(), w.eps[1].Counters()
+			if e.sendPacked && s.BytesPacked != size {
+				t.Errorf("sender BytesPacked = %d, want %d", s.BytesPacked, size)
+			}
+			if !e.sendPacked && s.BytesPacked != 0 {
+				t.Errorf("sender BytesPacked = %d, want 0", s.BytesPacked)
+			}
+			if e.recvUnpack && r.BytesUnpacked != size {
+				t.Errorf("receiver BytesUnpacked = %d, want %d", r.BytesUnpacked, size)
+			}
+			if !e.recvUnpack && r.BytesUnpacked != 0 {
+				t.Errorf("receiver BytesUnpacked = %d, want 0", r.BytesUnpacked)
+			}
+			if e.scheme == SchemeMultiW {
+				if s.BytesCopied()+r.BytesCopied() != 0 {
+					t.Errorf("Multi-W copied bytes: s=%d r=%d", s.BytesCopied(), r.BytesCopied())
+				}
+				if s.RDMAWritesPosted == 0 {
+					t.Error("Multi-W posted no RDMA writes")
+				}
+			}
+			if e.scheme == SchemePRRS && r.RDMAReadsPosted == 0 {
+				t.Error("P-RRS posted no RDMA reads")
+			}
+		})
+	}
+}
+
+func TestUnexpectedMessages(t *testing.T) {
+	for _, scheme := range []Scheme{SchemeGeneric, SchemeBCSPUP, SchemeMultiW} {
+		t.Run(scheme.String(), func(t *testing.T) {
+			cfg := DefaultConfig()
+			cfg.Scheme = scheme
+			cfg.PoolSize = 4 << 20
+			vec := datatype.Must(datatype.TypeVector(64, 64, 128, datatype.Int32)) // 16 KB
+			w := newTestWorld(t, 2, cfg, 48<<20)
+			var sent, gotRndv, gotEager []byte
+			w.run(t, func(p *simtime.Process, ep *Endpoint) {
+				if ep.Rank() == 0 {
+					buf := allocFor(ep, vec, 1)
+					sent = fillMsg(ep, buf, vec, 1, 0x11)
+					// Send both an eager and a rendezvous message before any
+					// receive is posted.
+					e := ep.Isend(buf, 1, vec, 1, 1) // 16 KB -> rendezvous
+					small := ep.Mem().MustAlloc(256)
+					copy(ep.Mem().Bytes(small, 256), pattern(256, 9))
+					f := ep.Isend(small, 256, datatype.Byte, 1, 2) // eager
+					WaitAll(p, e, f)
+				} else {
+					// Delay posting receives until the messages are certainly
+					// unexpected.
+					p.Sleep(5 * simtime.Millisecond)
+					bufE := ep.Mem().MustAlloc(256)
+					reqE := ep.Irecv(bufE, 256, datatype.Byte, 0, 2)
+					bufR := allocFor(ep, vec, 1)
+					reqR := ep.Irecv(bufR, 1, vec, 0, 1)
+					WaitAll(p, reqE, reqR)
+					gotRndv = readMsg(ep, bufR, vec, 1)
+					gotEager = append([]byte(nil), ep.Mem().Bytes(bufE, 256)...)
+				}
+			})
+			if !bytes.Equal(sent, gotRndv) {
+				t.Fatal("unexpected rendezvous data mismatch")
+			}
+			if !bytes.Equal(gotEager, pattern(256, 9)) {
+				t.Fatal("unexpected eager data mismatch")
+			}
+		})
+	}
+}
+
+func TestAnySourceAnyTag(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.PoolSize = 4 << 20
+	w := newTestWorld(t, 3, cfg, 32<<20)
+	got := make([]int, 0, 2)
+	w.run(t, func(p *simtime.Process, ep *Endpoint) {
+		switch ep.Rank() {
+		case 0:
+			buf := ep.Mem().MustAlloc(64)
+			copy(ep.Mem().Bytes(buf, 64), pattern(64, 1))
+			ep.Send(p, buf, 64, datatype.Byte, 2, 5)
+		case 1:
+			p.Sleep(simtime.Millisecond)
+			buf := ep.Mem().MustAlloc(64)
+			copy(ep.Mem().Bytes(buf, 64), pattern(64, 2))
+			ep.Send(p, buf, 64, datatype.Byte, 2, 6)
+		case 2:
+			buf := ep.Mem().MustAlloc(64)
+			for i := 0; i < 2; i++ {
+				req, err := ep.Recv(p, buf, 64, datatype.Byte, AnySource, AnyTag)
+				if err != nil {
+					t.Errorf("recv: %v", err)
+				}
+				got = append(got, req.Source)
+			}
+		}
+	})
+	if len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Fatalf("sources = %v, want [0 1]", got)
+	}
+}
+
+func TestTruncationError(t *testing.T) {
+	for _, scheme := range []Scheme{SchemeGeneric, SchemeBCSPUP, SchemeMultiW} {
+		t.Run(scheme.String(), func(t *testing.T) {
+			cfg := DefaultConfig()
+			cfg.Scheme = scheme
+			cfg.PoolSize = 4 << 20
+			w := newTestWorld(t, 2, cfg, 48<<20)
+			big := datatype.Must(datatype.TypeContiguous(64<<10, datatype.Int32))   // 256 KB
+			small := datatype.Must(datatype.TypeContiguous(16<<10, datatype.Int32)) // 64 KB
+			w.run(t, func(p *simtime.Process, ep *Endpoint) {
+				if ep.Rank() == 0 {
+					buf := allocFor(ep, big, 1)
+					fillMsg(ep, buf, big, 1, 3)
+					ep.Send(p, buf, 1, big, 1, 0)
+				} else {
+					buf := allocFor(ep, small, 1)
+					req, err := ep.Recv(p, buf, 1, small, 0, 0)
+					if err != ErrTruncate {
+						t.Errorf("err = %v, want ErrTruncate", err)
+					}
+					if req.Bytes != small.Size() {
+						t.Errorf("bytes = %d, want %d", req.Bytes, small.Size())
+					}
+				}
+			})
+		})
+	}
+}
+
+func TestPoolExhaustionFallback(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Scheme = SchemeBCSPUP
+	cfg.PoolSize = 256 << 10                                                  // only two 128 KB slots
+	vec := datatype.Must(datatype.TypeVector(512, 512, 1024, datatype.Int32)) // 1 MB
+	w := newTestWorld(t, 2, cfg, 48<<20)
+	var sent, got []byte
+	w.run(t, func(p *simtime.Process, ep *Endpoint) {
+		if ep.Rank() == 0 {
+			buf := allocFor(ep, vec, 1)
+			sent = fillMsg(ep, buf, vec, 1, 0x77)
+			ep.Send(p, buf, 1, vec, 1, 0)
+		} else {
+			buf := allocFor(ep, vec, 1)
+			ep.Recv(p, buf, 1, vec, 0, 0)
+			got = readMsg(ep, buf, vec, 1)
+		}
+	})
+	if !bytes.Equal(sent, got) {
+		t.Fatal("data mismatch under pool exhaustion")
+	}
+	if w.eps[0].Counters().PoolExhausted == 0 && w.eps[1].Counters().PoolExhausted == 0 {
+		t.Fatal("expected pool exhaustion fallback to trigger")
+	}
+}
+
+func TestNoPoolsWorstCase(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Scheme = SchemeBCSPUP
+	cfg.UsePools = false
+	cfg.RegCache = false
+	vec := datatype.Must(datatype.TypeVector(256, 256, 512, datatype.Int32)) // 256 KB
+	w := newTestWorld(t, 2, cfg, 48<<20)
+	var sent, got []byte
+	w.run(t, func(p *simtime.Process, ep *Endpoint) {
+		if ep.Rank() == 0 {
+			buf := allocFor(ep, vec, 1)
+			sent = fillMsg(ep, buf, vec, 1, 0x2F)
+			ep.Send(p, buf, 1, vec, 1, 0)
+		} else {
+			buf := allocFor(ep, vec, 1)
+			ep.Recv(p, buf, 1, vec, 0, 0)
+			got = readMsg(ep, buf, vec, 1)
+		}
+	})
+	if !bytes.Equal(sent, got) {
+		t.Fatal("data mismatch in worst case")
+	}
+	// Every dynamic registration must be paid for and then given back.
+	for _, ep := range w.eps {
+		c := ep.Counters()
+		if c.Registrations == 0 || c.Registrations != c.Deregistrations {
+			t.Fatalf("rank %d: reg=%d dereg=%d", ep.Rank(), c.Registrations, c.Deregistrations)
+		}
+	}
+}
+
+// Multi-W's datatype cache: the layout travels once per (peer, type index),
+// is reused afterwards, and is resent after index reuse bumps the version.
+func TestMultiWTypeCache(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Scheme = SchemeMultiW
+	cfg.PoolSize = 4 << 20
+	vec := datatype.Must(datatype.TypeVector(64, 512, 1024, datatype.Int32)) // 128 KB
+	w := newTestWorld(t, 2, cfg, 48<<20)
+	w.run(t, func(p *simtime.Process, ep *Endpoint) {
+		if ep.Rank() == 0 {
+			buf := allocFor(ep, vec, 1)
+			fillMsg(ep, buf, vec, 1, 1)
+			for i := 0; i < 3; i++ {
+				ep.Send(p, buf, 1, vec, 1, i)
+			}
+		} else {
+			buf := allocFor(ep, vec, 1)
+			for i := 0; i < 3; i++ {
+				ep.Recv(p, buf, 1, vec, 0, i)
+			}
+		}
+	})
+	r := w.eps[1].Counters() // receiver ships layouts
+	s := w.eps[0].Counters() // sender caches them
+	if r.TypeLayoutsSent != 1 {
+		t.Fatalf("TypeLayoutsSent = %d, want 1", r.TypeLayoutsSent)
+	}
+	if s.TypeCacheHits != 2 {
+		t.Fatalf("TypeCacheHits = %d, want 2", s.TypeCacheHits)
+	}
+}
+
+func TestMultiWTypeIndexReuse(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Scheme = SchemeMultiW
+	cfg.PoolSize = 4 << 20
+	t1 := datatype.Must(datatype.TypeVector(64, 512, 1024, datatype.Int32))
+	t2 := datatype.Must(datatype.TypeVector(32, 1024, 2048, datatype.Int32)) // same size, new layout
+	w := newTestWorld(t, 2, cfg, 48<<20)
+	var sent2, got2 []byte
+	w.run(t, func(p *simtime.Process, ep *Endpoint) {
+		if ep.Rank() == 0 {
+			buf := allocFor(ep, t1, 1)
+			fillMsg(ep, buf, t1, 1, 1)
+			ep.Send(p, buf, 1, t1, 1, 0)
+			buf2 := allocFor(ep, t2, 1)
+			sent2 = fillMsg(ep, buf2, t2, 1, 2)
+			ep.Send(p, buf2, 1, t2, 1, 1)
+		} else {
+			buf := allocFor(ep, t1, 1)
+			ep.Recv(p, buf, 1, t1, 0, 0)
+			// Free t1's index and commit t2, which reuses it with a bumped
+			// version; the sender's cache must be refreshed.
+			ep.FreeType(t1)
+			buf2 := allocFor(ep, t2, 1)
+			ep.Recv(p, buf2, 1, t2, 0, 1)
+			got2 = readMsg(ep, buf2, t2, 1)
+		}
+	})
+	if !bytes.Equal(sent2, got2) {
+		t.Fatal("data mismatch after type index reuse")
+	}
+	r := w.eps[1].Counters()
+	if r.TypeLayoutsSent != 2 {
+		t.Fatalf("TypeLayoutsSent = %d, want 2 (resend after version bump)", r.TypeLayoutsSent)
+	}
+	if w.eps[0].Counters().TypeCacheReplaced != 1 {
+		t.Fatalf("TypeCacheReplaced = %d, want 1", w.eps[0].Counters().TypeCacheReplaced)
+	}
+}
+
+// Auto must pick a zero-copy path for large-block layouts and a pack-based
+// path for byte-grain layouts.
+func TestAutoSelection(t *testing.T) {
+	bigBlocks := datatype.Must(datatype.TypeVector(32, 2048, 4096, datatype.Int32)) // 8 KB blocks
+	tinyBlocks := datatype.Must(datatype.TypeVector(16384, 1, 4, datatype.Int32))   // 4 B blocks
+	run := func(dt *datatype.Type) (*Endpoint, *Endpoint) {
+		cfg := DefaultConfig()
+		cfg.Scheme = SchemeAuto
+		cfg.PoolSize = 4 << 20
+		w := newTestWorld(t, 2, cfg, 48<<20)
+		w.run(t, func(p *simtime.Process, ep *Endpoint) {
+			if ep.Rank() == 0 {
+				buf := allocFor(ep, dt, 1)
+				fillMsg(ep, buf, dt, 1, 1)
+				ep.Send(p, buf, 1, dt, 1, 0)
+			} else {
+				buf := allocFor(ep, dt, 1)
+				ep.Recv(p, buf, 1, dt, 0, 0)
+			}
+		})
+		return w.eps[0], w.eps[1]
+	}
+	s, r := run(bigBlocks)
+	if s.Counters().BytesPacked != 0 || r.Counters().BytesUnpacked != 0 {
+		t.Fatalf("Auto on big blocks copied data (packed=%d unpacked=%d); want Multi-W",
+			s.Counters().BytesPacked, r.Counters().BytesUnpacked)
+	}
+	s, r = run(tinyBlocks)
+	if s.Counters().BytesPacked == 0 || r.Counters().BytesUnpacked == 0 {
+		t.Fatal("Auto on tiny blocks went copy-reduced; want BC-SPUP")
+	}
+}
+
+// Self sends must work for every scheme config (collectives need them).
+func TestSelfSend(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.PoolSize = 4 << 20
+	vec := datatype.Must(datatype.TypeVector(16, 4, 8, datatype.Int32))
+	w := newTestWorld(t, 2, cfg, 32<<20)
+	var sent, got []byte
+	w.run(t, func(p *simtime.Process, ep *Endpoint) {
+		if ep.Rank() != 0 {
+			return
+		}
+		src := allocFor(ep, vec, 4)
+		dst := allocFor(ep, vec, 4)
+		sent = fillMsg(ep, src, vec, 4, 0x42)
+		r1 := ep.Isend(src, 4, vec, 0, 3)
+		r2 := ep.Irecv(dst, 4, vec, 0, 3)
+		WaitAll(p, r1, r2)
+		got = readMsg(ep, dst, vec, 4)
+	})
+	if !bytes.Equal(sent, got) {
+		t.Fatal("self-send data mismatch")
+	}
+}
+
+// Messages between the same pair with the same tag must match in send order.
+func TestOrderingBetweenPairs(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.PoolSize = 4 << 20
+	w := newTestWorld(t, 2, cfg, 32<<20)
+	const n = 10
+	var got [n]byte
+	w.run(t, func(p *simtime.Process, ep *Endpoint) {
+		if ep.Rank() == 0 {
+			for i := 0; i < n; i++ {
+				buf := ep.Mem().MustAlloc(16)
+				ep.Mem().Bytes(buf, 16)[0] = byte(i)
+				ep.Send(p, buf, 16, datatype.Byte, 1, 0)
+			}
+		} else {
+			buf := ep.Mem().MustAlloc(16)
+			for i := 0; i < n; i++ {
+				ep.Recv(p, buf, 16, datatype.Byte, 0, 0)
+				got[i] = ep.Mem().Bytes(buf, 16)[0]
+			}
+		}
+	})
+	for i := 0; i < n; i++ {
+		if got[i] != byte(i) {
+			t.Fatalf("message %d carried payload %d; order broken", i, got[i])
+		}
+	}
+}

@@ -1,0 +1,641 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/datatype"
+	"repro/internal/ib"
+	"repro/internal/mem"
+	"repro/internal/pack"
+	"repro/internal/simtime"
+	"repro/internal/stats"
+)
+
+// Wildcards for receive matching.
+const (
+	AnySource = -1
+	AnyTag    = -1
+)
+
+// ErrTruncate reports that an incoming message was larger than the posted
+// receive buffer; the receive completes with the truncated byte count.
+var ErrTruncate = errors.New("core: message truncated")
+
+// initialCredits is the number of receive credits pre-posted per QP;
+// each consumed credit is immediately replenished.
+const initialCredits = 1024
+
+// Request is a communication request (the MPI_Request analogue). It
+// completes through the simulation's event machinery; processes block on it
+// with Wait.
+type Request struct {
+	ep     *Endpoint
+	isRecv bool
+	done   bool
+	sig    simtime.Signal
+
+	// Err is nil on success; ErrTruncate on a truncated receive.
+	Err error
+	// Source and Tag identify the matched message on a completed receive.
+	Source int
+	Tag    int
+	// Bytes is the payload size transferred.
+	Bytes int64
+
+	// Receive-side posting information.
+	buf     mem.Addr
+	count   int
+	dt      *datatype.Type
+	ctxWant int
+	srcWant int
+	tagWant int
+}
+
+// Done reports whether the request has completed.
+func (r *Request) Done() bool { return r.done }
+
+// Wait blocks the process until the request completes.
+func (r *Request) Wait(p *simtime.Process) {
+	for !r.done {
+		p.Wait(&r.sig)
+	}
+}
+
+func (r *Request) complete(err error) {
+	if r.done {
+		panic("core: double completion of request")
+	}
+	r.done = true
+	if err != nil && r.Err == nil {
+		r.Err = err
+	}
+	r.sig.Broadcast()
+	if r.ep != nil {
+		r.ep.reqSig.Broadcast()
+	}
+}
+
+// WaitAll blocks until every request completes.
+func WaitAll(p *simtime.Process, reqs ...*Request) {
+	for _, r := range reqs {
+		r.Wait(p)
+	}
+}
+
+// WaitAny blocks until at least one request completes and returns its index
+// (the lowest, if several completed together). All requests must belong to
+// the same endpoint.
+func WaitAny(p *simtime.Process, reqs ...*Request) int {
+	if len(reqs) == 0 {
+		panic("core: WaitAny with no requests")
+	}
+	ep := reqs[0].ep
+	for {
+		for i, r := range reqs {
+			if r.ep != ep {
+				panic("core: WaitAny across endpoints")
+			}
+			if r.done {
+				return i
+			}
+		}
+		p.Wait(&ep.reqSig)
+	}
+}
+
+// inbound is a message that arrived before a matching receive was posted:
+// an eager payload or a rendezvous start.
+type inbound struct {
+	kind    uint8 // kindEager or kindRTS
+	ctx     int   // communicator context
+	src     int
+	tag     int
+	opID    uint32
+	size    int64
+	data    []byte // packed eager payload
+	sAvg    int64  // sender's average run length (RTS, for Auto)
+	sContig bool   // sender layout contiguous (RTS)
+}
+
+// Endpoint is one rank's datatype communication engine. All methods must be
+// called from simulation context (a Process body or an event handler).
+type Endpoint struct {
+	rank   int
+	eng    *simtime.Engine
+	hca    *ib.HCA
+	model  *ib.Model
+	memory *mem.Memory
+	cfg    Config
+	ctr    *stats.Counters
+
+	qps    []*ib.QP // indexed by peer rank; nil for self
+	sendCQ *ib.CQ
+	recvCQ *ib.CQ
+
+	packPool   *segPool
+	unpackPool *segPool
+	userReg    *mem.RegCache
+	stagingReg *mem.RegCache
+
+	postedRecvs []*Request
+	unexpected  []*inbound
+	arrivalSig  simtime.Signal // broadcast when an unexpected message queues
+	reqSig      simtime.Signal // broadcast whenever any request completes
+
+	nextOp  uint32
+	sendOps map[uint32]*sendOp
+	recvOps map[opKey]*recvOp
+
+	onSendCQE map[uint64]func(ib.CQE)
+
+	types   *typeRegistry
+	layouts *layoutCache
+}
+
+type opKey struct {
+	src int
+	op  uint32
+}
+
+// NewEndpoint creates the engine for one rank on the given HCA. Peers are
+// wired afterwards with ConnectPeers.
+func NewEndpoint(rank int, hca *ib.HCA, cfg Config) (*Endpoint, error) {
+	ep := &Endpoint{
+		rank:      rank,
+		eng:       hca.Engine(),
+		hca:       hca,
+		model:     hca.Model(),
+		memory:    hca.Mem(),
+		cfg:       cfg,
+		ctr:       hca.Counters(),
+		sendOps:   make(map[uint32]*sendOp),
+		recvOps:   make(map[opKey]*recvOp),
+		onSendCQE: make(map[uint64]func(ib.CQE)),
+		types:     newTypeRegistry(),
+		layouts:   newLayoutCache(),
+	}
+	ep.sendCQ = ib.NewCQ(hca)
+	ep.recvCQ = ib.NewCQ(hca)
+	ep.sendCQ.SetHandler(ep.handleSendCQE)
+	ep.recvCQ.SetHandler(ep.handleRecvCQE)
+
+	var err error
+	ep.packPool, err = newSegPool(ep.memory, cfg.PoolSize, cfg.SegmentSize, cfg.UsePools)
+	if err != nil {
+		return nil, err
+	}
+	ep.unpackPool, err = newSegPool(ep.memory, cfg.PoolSize, cfg.SegmentSize, cfg.UsePools)
+	if err != nil {
+		return nil, err
+	}
+	ep.userReg = mem.NewRegCache(ep.memory.Reg(), cfg.RegCacheCapacity, cfg.RegCache)
+	ep.stagingReg = mem.NewRegCache(ep.memory.Reg(), cfg.RegCacheCapacity, cfg.RegCache)
+	return ep, nil
+}
+
+// ConnectPeers wires RC queue pairs between every pair of endpoints and
+// pre-posts receive credits.
+func ConnectPeers(eps []*Endpoint) {
+	n := len(eps)
+	for _, ep := range eps {
+		if ep.qps == nil {
+			ep.qps = make([]*ib.QP, n)
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			a, b := eps[i], eps[j]
+			qa, qb := ib.Connect(a.hca, b.hca, a.sendCQ, a.recvCQ, b.sendCQ, b.recvCQ)
+			qa.UserData = j
+			qb.UserData = i
+			a.qps[j] = qa
+			b.qps[i] = qb
+			for k := 0; k < initialCredits; k++ {
+				qa.PostRecv(ib.RecvWR{})
+				qb.PostRecv(ib.RecvWR{})
+			}
+		}
+	}
+}
+
+// Rank returns this endpoint's rank.
+func (ep *Endpoint) Rank() int { return ep.rank }
+
+// Size returns the number of connected ranks (including self).
+func (ep *Endpoint) Size() int { return len(ep.qps) }
+
+// Mem returns the rank's simulated memory.
+func (ep *Endpoint) Mem() *mem.Memory { return ep.memory }
+
+// Counters returns the rank's statistics counters.
+func (ep *Endpoint) Counters() *stats.Counters { return ep.ctr }
+
+// Config returns the endpoint configuration.
+func (ep *Endpoint) Config() Config { return ep.cfg }
+
+// Engine returns the simulation engine.
+func (ep *Endpoint) Engine() *simtime.Engine { return ep.eng }
+
+// CommitType assigns (or returns) the rank-local index of a datatype, the
+// identity shipped in Multi-W layout exchanges.
+func (ep *Endpoint) CommitType(t *datatype.Type) int { return ep.types.commit(t) }
+
+// FreeType releases a datatype's index for reuse; the next type committed to
+// the same index gets a bumped version so peers' caches detect staleness.
+func (ep *Endpoint) FreeType(t *datatype.Type) { ep.types.free(t) }
+
+func (ep *Endpoint) accountReg(ops mem.RegOps) {
+	ep.ctr.Registrations += ops.Registrations
+	ep.ctr.RegisteredBytes += ops.RegisteredBytes
+	ep.ctr.RegisteredPages += ops.RegisteredPages
+	ep.ctr.Deregistrations += ops.Dereg
+	ep.ctr.DeregisteredPages += ops.DeregPages
+	ep.ctr.RegCacheHits += ops.Hits
+	ep.ctr.RegCacheMisses += ops.Misses
+	ep.ctr.RegCacheEvictions += ops.Evictions
+}
+
+// after charges the endpoint CPU for d and runs fn when the work finishes.
+func (ep *Endpoint) after(d simtime.Duration, fn func()) {
+	ep.afterNamed(d, "host", fn)
+}
+
+// afterNamed is after with an activity label for the tracer.
+func (ep *Endpoint) afterNamed(d simtime.Duration, name string, fn func()) {
+	end := ep.hca.ChargeCPUNamed(d, name)
+	ep.eng.At(end, fn)
+}
+
+// sendCtrl posts a control message to a peer.
+func (ep *Endpoint) sendCtrl(dst int, payload []byte, onCQE func(ib.CQE)) {
+	ep.ctr.CtrlMessages++
+	wrid := ep.hca.WRID()
+	if onCQE != nil {
+		ep.onSendCQE[wrid] = onCQE
+	}
+	if err := ep.qps[dst].PostSend(ib.SendWR{WRID: wrid, Op: ib.OpSend, Inline: payload}); err != nil {
+		panic(fmt.Sprintf("core: ctrl send failed: %v", err))
+	}
+}
+
+func (ep *Endpoint) handleSendCQE(e ib.CQE) {
+	if cb, ok := ep.onSendCQE[e.WRID]; ok {
+		delete(ep.onSendCQE, e.WRID)
+		cb(e)
+		return
+	}
+	if e.Err != nil {
+		panic(fmt.Sprintf("core rank %d: unhandled send error: %v", ep.rank, e.Err))
+	}
+}
+
+func (ep *Endpoint) handleRecvCQE(e ib.CQE) {
+	// Replenish the consumed credit.
+	e.QP.PostRecv(ib.RecvWR{})
+	src := e.QP.UserData
+	if e.Data != nil {
+		ep.handleCtrl(src, e.Data)
+		return
+	}
+	if !e.HasImm {
+		panic("core: receive completion with neither data nor immediate")
+	}
+	ep.handleImm(src, e.Imm, e.Bytes)
+}
+
+// --- Send / receive entry points ------------------------------------------
+
+// Isend starts a nonblocking send of (buf, count, dt) to rank dst with tag
+// in the default (world) communicator context.
+func (ep *Endpoint) Isend(buf mem.Addr, count int, dt *datatype.Type, dst, tag int) *Request {
+	return ep.IsendCtx(0, buf, count, dt, dst, tag)
+}
+
+// IsendCtx is Isend within an explicit communicator context: messages match
+// receives only within the same context.
+func (ep *Endpoint) IsendCtx(ctx int, buf mem.Addr, count int, dt *datatype.Type, dst, tag int) *Request {
+	req := &Request{ep: ep, Source: ep.rank, Tag: tag}
+	size := dt.Size() * int64(count)
+	req.Bytes = size
+	switch {
+	case dst == ep.rank:
+		ep.selfSend(req, ctx, buf, count, dt, tag)
+	case size < ep.cfg.EagerThreshold:
+		ep.eagerSend(req, ctx, buf, count, dt, dst, tag)
+	default:
+		ep.rndvSend(req, ctx, buf, count, dt, dst, tag)
+	}
+	return req
+}
+
+// IssendCtx starts a synchronous-mode send: it always uses the rendezvous
+// protocol, so completion implies the receive has been matched
+// (MPI_Issend). Self sends fall back to standard semantics.
+func (ep *Endpoint) IssendCtx(ctx int, buf mem.Addr, count int, dt *datatype.Type, dst, tag int) *Request {
+	req := &Request{ep: ep, Source: ep.rank, Tag: tag}
+	req.Bytes = dt.Size() * int64(count)
+	if dst == ep.rank {
+		ep.selfSend(req, ctx, buf, count, dt, tag)
+		return req
+	}
+	ep.rndvSend(req, ctx, buf, count, dt, dst, tag)
+	return req
+}
+
+// Ssend is the blocking synchronous-mode send in the world context.
+func (ep *Endpoint) Ssend(p *simtime.Process, buf mem.Addr, count int, dt *datatype.Type, dst, tag int) error {
+	r := ep.IssendCtx(0, buf, count, dt, dst, tag)
+	r.Wait(p)
+	return r.Err
+}
+
+// Irecv posts a nonblocking receive into (buf, count, dt) from rank src
+// (or AnySource) with tag (or AnyTag) in the default (world) context.
+func (ep *Endpoint) Irecv(buf mem.Addr, count int, dt *datatype.Type, src, tag int) *Request {
+	return ep.IrecvCtx(0, buf, count, dt, src, tag)
+}
+
+// IrecvCtx is Irecv within an explicit communicator context.
+func (ep *Endpoint) IrecvCtx(ctx int, buf mem.Addr, count int, dt *datatype.Type, src, tag int) *Request {
+	req := &Request{
+		ep: ep, isRecv: true,
+		buf: buf, count: count, dt: dt, ctxWant: ctx, srcWant: src, tagWant: tag,
+	}
+	for i, inb := range ep.unexpected {
+		if matchWanted(ctx, src, tag, inb.ctx, inb.src, inb.tag) {
+			ep.unexpected = append(ep.unexpected[:i], ep.unexpected[i+1:]...)
+			ep.deliver(inb, req)
+			return req
+		}
+	}
+	ep.postedRecvs = append(ep.postedRecvs, req)
+	return req
+}
+
+// Send is the blocking form of Isend.
+func (ep *Endpoint) Send(p *simtime.Process, buf mem.Addr, count int, dt *datatype.Type, dst, tag int) error {
+	r := ep.Isend(buf, count, dt, dst, tag)
+	r.Wait(p)
+	return r.Err
+}
+
+// Recv is the blocking form of Irecv; it returns the completed request for
+// its status fields.
+func (ep *Endpoint) Recv(p *simtime.Process, buf mem.Addr, count int, dt *datatype.Type, src, tag int) (*Request, error) {
+	r := ep.Irecv(buf, count, dt, src, tag)
+	r.Wait(p)
+	return r, r.Err
+}
+
+func matchWanted(wantCtx, wantSrc, wantTag, ctx, src, tag int) bool {
+	return wantCtx == ctx &&
+		(wantSrc == AnySource || wantSrc == src) &&
+		(wantTag == AnyTag || wantTag == tag)
+}
+
+// matchPosted finds and removes the first posted receive matching
+// (ctx, src, tag).
+func (ep *Endpoint) matchPosted(ctx, src, tag int) *Request {
+	for i, r := range ep.postedRecvs {
+		if matchWanted(r.ctxWant, r.srcWant, r.tagWant, ctx, src, tag) {
+			ep.postedRecvs = append(ep.postedRecvs[:i], ep.postedRecvs[i+1:]...)
+			return r
+		}
+	}
+	return nil
+}
+
+// deliver routes a matched inbound message to its receive request.
+func (ep *Endpoint) deliver(inb *inbound, req *Request) {
+	switch inb.kind {
+	case kindEager:
+		ep.eagerDeliver(inb, req)
+	case kindRTS:
+		ep.rndvMatched(inb, req)
+	default:
+		panic("core: bad inbound kind")
+	}
+}
+
+// --- Eager protocol ---------------------------------------------------------
+
+// eagerSend transfers small messages through the Eager protocol. With the
+// Generic scheme, data is packed into a temporary buffer and then copied to
+// the protocol's internal buffer (Figure 1); every other scheme packs
+// directly into the internal buffer (the improved path of Figure 7).
+func (ep *Endpoint) eagerSend(req *Request, ctx int, buf mem.Addr, count int, dt *datatype.Type, dst, tag int) {
+	size := dt.Size() * int64(count)
+	payload := make([]byte, size)
+	p := pack.NewPacker(ep.memory, buf, dt, count)
+	n, runs := p.PackTo(payload)
+	if n != size {
+		panic("core: short pack")
+	}
+	var cost simtime.Duration
+	if dt.Contig() {
+		// Contiguous data: one copy into the internal buffer either way.
+		cost = ep.model.CopyTime(size, 1)
+		ep.ctr.BytesStaged += size
+	} else if ep.cfg.Scheme == SchemeGeneric {
+		// Pack to temp buffer, then copy temp into the internal buffer.
+		cost = ep.model.MallocTime(size) +
+			ep.cfg.packCost(ep.model, size, runs) +
+			ep.model.CopyTime(size, 1)
+		ep.ctr.BytesPacked += size
+		ep.ctr.BytesStaged += size
+	} else {
+		cost = ep.cfg.packCost(ep.model, size, runs)
+		ep.ctr.BytesPacked += size
+	}
+	ep.ctr.EagerSends++
+
+	var w ctrlWriter
+	w.u8(kindEager)
+	w.u32(uint32(ctx))
+	w.u32(uint32(tag))
+	w.i64(size)
+	w.bytes(payload)
+
+	// Charge the pack, then post immediately: the CPU resource already
+	// orders the wire message after the pack work, and posting here (rather
+	// than in a deferred event) keeps wire order equal to Isend call order —
+	// MPI's non-overtaking guarantee — even when a later rendezvous send's
+	// RTS would otherwise race ahead of this eager message.
+	end := ep.hca.ChargeCPUNamed(cost, "pack")
+	ep.sendCtrl(dst, w.buf, nil)
+	// The eager send completes once the data has left the user buffer.
+	ep.eng.At(end, func() { req.complete(nil) })
+}
+
+// handleCtrl dispatches an arrived control message.
+func (ep *Endpoint) handleCtrl(src int, data []byte) {
+	r := &ctrlReader{buf: data}
+	kind := r.u8()
+	switch kind {
+	case kindEager:
+		ctx := int(int32(r.u32()))
+		tag := int(int32(r.u32()))
+		size := r.i64()
+		payload := r.bytes()
+		if r.err != nil {
+			panic(r.err)
+		}
+		inb := &inbound{kind: kindEager, ctx: ctx, src: src, tag: tag, size: size, data: payload}
+		if req := ep.matchPosted(ctx, src, tag); req != nil {
+			ep.eagerDeliver(inb, req)
+			return
+		}
+		// Unexpected: MPICH copies the payload aside into an unexpected-
+		// message buffer; charge that staging copy.
+		ep.ctr.BytesStaged += size
+		ep.hca.ChargeCPU(ep.model.CopyTime(size, 1))
+		ep.unexpected = append(ep.unexpected, inb)
+		ep.arrivalSig.Broadcast()
+	case kindRTS:
+		inb := &inbound{kind: kindRTS, src: src}
+		inb.opID = r.u32()
+		inb.ctx = int(int32(r.u32()))
+		inb.tag = int(int32(r.u32()))
+		inb.size = r.i64()
+		inb.sAvg = r.i64()
+		inb.sContig = r.u8() != 0
+		if r.err != nil {
+			panic(r.err)
+		}
+		if req := ep.matchPosted(inb.ctx, src, inb.tag); req != nil {
+			ep.rndvMatched(inb, req)
+			return
+		}
+		ep.unexpected = append(ep.unexpected, inb)
+		ep.arrivalSig.Broadcast()
+	case kindCTS:
+		ep.handleCTS(src, r)
+	case kindSegReady:
+		ep.handleSegReady(src, r)
+	case kindDone:
+		ep.handleDone(src, r)
+	default:
+		panic(fmt.Sprintf("core: bad control kind %d", kind))
+	}
+}
+
+// eagerDeliver unpacks a matched eager payload into the receive buffer.
+func (ep *Endpoint) eagerDeliver(inb *inbound, req *Request) {
+	capacity := req.dt.Size() * int64(req.count)
+	n := inb.size
+	var err error
+	if n > capacity {
+		n = capacity
+		err = ErrTruncate
+	}
+	u := pack.NewUnpacker(ep.memory, req.buf, req.dt, req.count)
+	got, runs := u.UnpackFrom(inb.data[:n])
+	if got != n {
+		panic("core: short unpack")
+	}
+	var cost simtime.Duration
+	if req.dt.Contig() {
+		cost = ep.model.CopyTime(n, 1)
+		ep.ctr.BytesStaged += n
+	} else if ep.cfg.Scheme == SchemeGeneric {
+		cost = ep.model.CopyTime(n, 1) +
+			ep.model.MallocTime(n) +
+			ep.cfg.packCost(ep.model, n, runs)
+		ep.ctr.BytesStaged += n
+		ep.ctr.BytesUnpacked += n
+	} else {
+		cost = ep.cfg.packCost(ep.model, n, runs)
+		ep.ctr.BytesUnpacked += n
+	}
+	req.Source = inb.src
+	req.Tag = inb.tag
+	req.Bytes = n
+	ep.afterNamed(cost, "unpack", func() { req.complete(err) })
+}
+
+// --- Self sends -------------------------------------------------------------
+
+// selfSend handles rank-to-rank-self transfers with a local pack/unpack.
+func (ep *Endpoint) selfSend(req *Request, ctx int, buf mem.Addr, count int, dt *datatype.Type, tag int) {
+	size := dt.Size() * int64(count)
+	payload := make([]byte, size)
+	p := pack.NewPacker(ep.memory, buf, dt, count)
+	_, runs := p.PackTo(payload)
+	ep.ctr.BytesPacked += size
+	cost := ep.cfg.packCost(ep.model, size, runs)
+	inb := &inbound{kind: kindEager, ctx: ctx, src: ep.rank, tag: tag, size: size, data: payload}
+	ep.afterNamed(cost, "pack", func() {
+		req.complete(nil)
+		if r := ep.matchPosted(ctx, ep.rank, tag); r != nil {
+			ep.eagerDeliver(inb, r)
+			return
+		}
+		ep.unexpected = append(ep.unexpected, inb)
+		ep.arrivalSig.Broadcast()
+	})
+}
+
+// DebugState summarizes in-flight protocol state for diagnosing stalls.
+func (ep *Endpoint) DebugState() string {
+	return fmt.Sprintf(
+		"rank %d: sendOps=%d recvOps=%d posted=%d unexpected=%d packPool(free=%d/%d waiters=%d) unpackPool(free=%d/%d waiters=%d) cqCallbacks=%d",
+		ep.rank, len(ep.sendOps), len(ep.recvOps), len(ep.postedRecvs), len(ep.unexpected),
+		ep.packPool.available(), ep.packPool.slots, len(ep.packPool.waiters),
+		ep.unpackPool.available(), ep.unpackPool.slots, len(ep.unpackPool.waiters),
+		len(ep.onSendCQE))
+}
+
+// DebugOps lists in-flight operation details (diagnostics only).
+func (ep *Endpoint) DebugOps() string {
+	s := ""
+	for id, op := range ep.sendOps {
+		s += fmt.Sprintf("send op %d: dst=%d eff=%d wrsLeft=%d segsHeld=%d\n",
+			id, op.dst, op.eff, op.wrsLeft, len(op.segs))
+	}
+	for k, op := range ep.recvOps {
+		s += fmt.Sprintf("recv op %d from %d: scheme=%v eff=%d arrived=%d/%d finished=%d bytesRead=%d\n",
+			k.op, k.src, op.scheme, op.eff, op.arrived, op.nSegs, op.finished, op.bytesRead)
+	}
+	return s
+}
+
+// Status describes a matched (or probed) message.
+type Status struct {
+	Source int
+	Tag    int
+	Bytes  int64
+}
+
+// Iprobe checks, without receiving, whether a message matching (src, tag) —
+// wildcards allowed — has arrived in the world context. It reports the
+// message's envelope.
+func (ep *Endpoint) Iprobe(src, tag int) (Status, bool) {
+	return ep.IprobeCtx(0, src, tag)
+}
+
+// IprobeCtx is Iprobe within an explicit communicator context.
+func (ep *Endpoint) IprobeCtx(ctx, src, tag int) (Status, bool) {
+	for _, inb := range ep.unexpected {
+		if matchWanted(ctx, src, tag, inb.ctx, inb.src, inb.tag) {
+			return Status{Source: inb.src, Tag: inb.tag, Bytes: inb.size}, true
+		}
+	}
+	return Status{}, false
+}
+
+// Probe blocks until a message matching (src, tag) arrives in the world
+// context and returns its envelope without receiving it.
+func (ep *Endpoint) Probe(p *simtime.Process, src, tag int) Status {
+	return ep.ProbeCtx(p, 0, src, tag)
+}
+
+// ProbeCtx is Probe within an explicit communicator context.
+func (ep *Endpoint) ProbeCtx(p *simtime.Process, ctx, src, tag int) Status {
+	for {
+		if st, ok := ep.IprobeCtx(ctx, src, tag); ok {
+			return st
+		}
+		p.Wait(&ep.arrivalSig)
+	}
+}

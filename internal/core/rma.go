@@ -1,0 +1,205 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/datatype"
+	"repro/internal/ib"
+	"repro/internal/mem"
+	"repro/internal/pack"
+)
+
+// One-sided (RMA) operations. The paper's datatype-layout machinery came out
+// of MPI-2 one-sided communication (Träff et al.'s cache, Section 5.4.2);
+// this is the natural extension: Put and Get move derived-datatype data
+// directly between an origin buffer and a remote window with the same
+// zero-copy dual-cursor walk the Multi-W scheme uses — no rendezvous, since
+// in MPI RMA the *origin* holds both layouts.
+
+// ErrWindowBounds reports an RMA access outside the target window.
+var ErrWindowBounds = fmt.Errorf("core: RMA access outside window")
+
+// ExposeWindow registers a contiguous window of local memory for remote
+// access and returns the key peers need to address it. The registration
+// goes through the user pin-down cache and its cost is charged.
+func (ep *Endpoint) ExposeWindow(base mem.Addr, size int64) (uint32, *mem.Region, error) {
+	region, ops, err := ep.userReg.Acquire(base, size)
+	if err != nil {
+		return 0, nil, err
+	}
+	ep.accountReg(ops)
+	ep.hca.ChargeCPUNamed(ep.model.RegOpsTime(ops), "reg")
+	return region.RKey, region, nil
+}
+
+// CloseWindow releases a window registration.
+func (ep *Endpoint) CloseWindow(region *mem.Region) {
+	ep.releaseUserRegions([]*mem.Region{region})
+}
+
+// rmaArgs bundles one Put/Get request.
+type rmaArgs struct {
+	dst    int
+	oBuf   mem.Addr
+	oCount int
+	oType  *datatype.Type
+	tBase  mem.Addr // absolute address of the target layout's origin
+	tKey   uint32
+	tWinLo mem.Addr // window bounds for validation
+	tWinHi mem.Addr
+	tCount int
+	tType  *datatype.Type
+}
+
+func (a *rmaArgs) validate() error {
+	oBytes := a.oType.Size() * int64(a.oCount)
+	tBytes := a.tType.Size() * int64(a.tCount)
+	if oBytes != tBytes {
+		return fmt.Errorf("core: RMA size mismatch: origin %d bytes, target %d", oBytes, tBytes)
+	}
+	lo := int64(a.tBase) + a.tType.TrueLB()
+	hi := int64(a.tBase) + a.tType.TrueLB() + a.tType.TrueExtent() + int64(a.tCount-1)*a.tType.Extent()
+	if lo < int64(a.tWinLo) || hi > int64(a.tWinHi) {
+		return ErrWindowBounds
+	}
+	return nil
+}
+
+// Put writes (oBuf, oCount, oType) into the target window at dst, laid out
+// as (tCount, tType) at tBase. done runs when every write has completed
+// remotely. Zero-copy: data moves by RDMA writes straight from the origin's
+// registered user blocks into the target layout's runs.
+func (ep *Endpoint) Put(dst int, oBuf mem.Addr, oCount int, oType *datatype.Type,
+	tBase mem.Addr, tKey uint32, tWinLo, tWinHi mem.Addr, tCount int, tType *datatype.Type,
+	done func(error)) {
+	a := &rmaArgs{dst: dst, oBuf: oBuf, oCount: oCount, oType: oType,
+		tBase: tBase, tKey: tKey, tWinLo: tWinLo, tWinHi: tWinHi, tCount: tCount, tType: tType}
+	if err := a.validate(); err != nil {
+		done(err)
+		return
+	}
+	if dst == ep.rank {
+		ep.rmaLocal(a, true, done)
+		return
+	}
+	regions, refs, err := ep.registerUserMessage(oBuf, oType, oCount)
+	if err != nil {
+		done(err)
+		return
+	}
+	oc := datatype.NewCursor(oType, oCount)
+	tc := datatype.NewCursor(tType, tCount)
+	remaining := oType.Size() * int64(oCount)
+	var wrs []ib.SendWR
+	for remaining > 0 {
+		tOff, tLen, ok := tc.Next(remaining)
+		if !ok {
+			panic("core: RMA target cursor exhausted early")
+		}
+		wrs = append(wrs, ep.chunkWRs(ib.OpRDMAWrite, oc, oBuf, refs, tLen,
+			mem.Addr(int64(tBase)+tOff), tKey)...)
+		remaining -= tLen
+	}
+	ep.chargeTypeProc(len(wrs))
+	ep.postRMAWRs(dst, wrs, regions, done)
+}
+
+// Get reads the target layout (tCount, tType at tBase) in dst's window into
+// (oBuf, oCount, oType). done runs when every read has landed locally.
+func (ep *Endpoint) Get(dst int, oBuf mem.Addr, oCount int, oType *datatype.Type,
+	tBase mem.Addr, tKey uint32, tWinLo, tWinHi mem.Addr, tCount int, tType *datatype.Type,
+	done func(error)) {
+	a := &rmaArgs{dst: dst, oBuf: oBuf, oCount: oCount, oType: oType,
+		tBase: tBase, tKey: tKey, tWinLo: tWinLo, tWinHi: tWinHi, tCount: tCount, tType: tType}
+	if err := a.validate(); err != nil {
+		done(err)
+		return
+	}
+	if dst == ep.rank {
+		ep.rmaLocal(a, false, done)
+		return
+	}
+	regions, refs, err := ep.registerUserMessage(oBuf, oType, oCount)
+	if err != nil {
+		done(err)
+		return
+	}
+	oc := datatype.NewCursor(oType, oCount)
+	tc := datatype.NewCursor(tType, tCount)
+	remaining := oType.Size() * int64(oCount)
+	var wrs []ib.SendWR
+	for remaining > 0 {
+		// Each remote contiguous run becomes one (or more) scatter reads.
+		tOff, tLen, ok := tc.Next(remaining)
+		if !ok {
+			panic("core: RMA target cursor exhausted early")
+		}
+		wrs = append(wrs, ep.chunkWRs(ib.OpRDMARead, oc, oBuf, refs, tLen,
+			mem.Addr(int64(tBase)+tOff), tKey)...)
+		remaining -= tLen
+	}
+	ep.chargeTypeProc(len(wrs))
+	ep.postRMAWRs(dst, wrs, regions, done)
+}
+
+// postRMAWRs posts the descriptor batch and runs done when all complete,
+// releasing the origin registrations.
+func (ep *Endpoint) postRMAWRs(dst int, wrs []ib.SendWR, regions []*mem.Region, done func(error)) {
+	left := len(wrs)
+	if left == 0 {
+		ep.releaseUserRegions(regions)
+		done(nil)
+		return
+	}
+	var failed error
+	for i := range wrs {
+		wrs[i].WRID = ep.hca.WRID()
+		ep.onSendCQE[wrs[i].WRID] = func(e ib.CQE) {
+			if e.Err != nil && failed == nil {
+				failed = e.Err
+			}
+			left--
+			if left == 0 {
+				ep.releaseUserRegions(regions)
+				done(failed)
+			}
+		}
+	}
+	var err error
+	if ep.cfg.ListPost && len(wrs) > 1 {
+		err = ep.qps[dst].PostSendList(wrs)
+	} else {
+		for i := range wrs {
+			if err = ep.qps[dst].PostSend(wrs[i]); err != nil {
+				break
+			}
+		}
+	}
+	if err != nil {
+		panic(fmt.Sprintf("core rank %d: RMA post failed: %v", ep.rank, err))
+	}
+}
+
+// rmaLocal implements Put/Get where origin and target are the same rank:
+// a straight local repack between the two layouts.
+func (ep *Endpoint) rmaLocal(a *rmaArgs, put bool, done func(error)) {
+	bytes := a.oType.Size() * int64(a.oCount)
+	tmp := make([]byte, bytes)
+	var runs int
+	if put {
+		pk := pack.NewPacker(ep.memory, a.oBuf, a.oType, a.oCount)
+		_, r1 := pk.PackTo(tmp)
+		up := pack.NewUnpacker(ep.memory, a.tBase, a.tType, a.tCount)
+		_, r2 := up.UnpackFrom(tmp)
+		runs = r1 + r2
+	} else {
+		pk := pack.NewPacker(ep.memory, a.tBase, a.tType, a.tCount)
+		_, r1 := pk.PackTo(tmp)
+		up := pack.NewUnpacker(ep.memory, a.oBuf, a.oType, a.oCount)
+		_, r2 := up.UnpackFrom(tmp)
+		runs = r1 + r2
+	}
+	ep.ctr.BytesPacked += bytes
+	ep.ctr.BytesUnpacked += bytes
+	ep.afterNamed(ep.cfg.packCost(ep.model, 2*bytes, runs), "pack", func() { done(nil) })
+}

@@ -1,0 +1,591 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/datatype"
+	"repro/internal/mem"
+	"repro/internal/pack"
+	"repro/internal/simtime"
+)
+
+// sendOp is the sender-side state of one rendezvous transfer.
+type sendOp struct {
+	id    uint32
+	req   *Request
+	dst   int
+	tag   int
+	buf   mem.Addr
+	count int
+	dt    *datatype.Type
+	size  int64 // full message size
+	eff   int64 // effective (possibly truncated) size, set by the CTS
+
+	sContig    bool
+	registered bool
+	regions    []*mem.Region
+	refs       []regRef // local regions with lkeys, sorted by address
+
+	staging segRes   // Generic whole-message pack buffer
+	segs    []segRes // P-RRS pack segments, held until Done
+	wrsLeft int      // outstanding RDMA write completions
+}
+
+// segRes couples a staging segment with the byte count it carries.
+type segRes struct {
+	seg   seg
+	bytes int64
+}
+
+// recvOp is the receiver-side state of one rendezvous transfer.
+type recvOp struct {
+	key       opKey
+	req       *Request
+	eff       int64
+	truncated bool
+	scheme    Scheme
+
+	// Staged path (Generic / BC-SPUP / RWG-UP).
+	direct   bool // receiver side contiguous: data lands in the user buffer
+	segSize  int64
+	nSegs    int
+	segs     []segRes
+	unpacker *pack.Unpacker
+	arrived  int
+	finished int
+
+	// User-buffer registrations (direct, Multi-W, P-RRS).
+	regions []*mem.Region
+	refs    []regRef
+
+	// wholeSeg backs all segments when staging was allocated as one
+	// on-the-fly buffer (pool disabled or message larger than the pool);
+	// it is released once, at completion.
+	wholeSeg *seg
+
+	// P-RRS read state.
+	readCur   *datatype.Cursor
+	bytesRead int64
+}
+
+func (ep *Endpoint) newOpID() uint32 {
+	ep.nextOp++
+	return ep.nextOp
+}
+
+// chargeTypeProc charges datatype-processing CPU for handling runs runs.
+func (ep *Endpoint) chargeTypeProc(runs int) {
+	ep.hca.ChargeCPUNamed(ep.cfg.TypeProcBase+simtime.Duration(runs)*ep.cfg.TypeProcPerRun, "typeproc")
+}
+
+// registerUserMessage registers the contiguous blocks of a message buffer
+// using Optimistic Group Registration through the user pin-down cache,
+// charging the real registration work.
+func (ep *Endpoint) registerUserMessage(buf mem.Addr, dt *datatype.Type, count int) ([]*mem.Region, []regRef, error) {
+	blocks, _ := pack.MessageBlocks(buf, dt, count, 0)
+	ep.chargeTypeProc(len(blocks))
+	cost := mem.RegCost{Base: int64(ep.model.RegBase), PerPage: int64(ep.model.RegPerPage)}
+	groups := mem.GroupRegions(blocks, cost)
+	regions := make([]*mem.Region, 0, len(groups))
+	refs := make([]regRef, 0, len(groups))
+	var total mem.RegOps
+	for _, g := range groups {
+		r, ops, err := ep.userReg.Acquire(g.Addr, g.Len)
+		total.Add(ops)
+		if err != nil {
+			return nil, nil, err
+		}
+		regions = append(regions, r)
+		refs = append(refs, regRef{addr: g.Addr, len: g.Len, key: r.LKey})
+	}
+	ep.accountReg(total)
+	ep.hca.ChargeCPUNamed(ep.model.RegOpsTime(total), "reg")
+	return regions, refs, nil
+}
+
+// releaseUserRegions drops user-buffer registrations, charging any real
+// deregistration work (cache off or eviction).
+func (ep *Endpoint) releaseUserRegions(regions []*mem.Region) {
+	var total mem.RegOps
+	for _, r := range regions {
+		ops, err := ep.userReg.Release(r)
+		if err != nil {
+			panic(err)
+		}
+		total.Add(ops)
+	}
+	ep.accountReg(total)
+	if d := ep.model.RegOpsTime(total); d > 0 {
+		ep.hca.ChargeCPUNamed(d, "reg")
+	}
+}
+
+// acquireStaging allocates and registers a dynamic staging buffer of exactly
+// n bytes (the Generic scheme's pack/unpack buffers), charging malloc and
+// registration work.
+func (ep *Endpoint) acquireStaging(n int64) (seg, error) {
+	ep.ctr.DynamicAllocs++
+	addr, err := ep.memory.AllocPage(n)
+	if err != nil {
+		return seg{}, err
+	}
+	region, ops, err := ep.stagingReg.Acquire(addr, n)
+	if err != nil {
+		return seg{}, err
+	}
+	ep.accountReg(ops)
+	ep.hca.ChargeCPUNamed(ep.model.MallocTime(n)+ep.model.RegOpsTime(ops), "malloc+reg")
+	return seg{addr: addr, key: region.LKey, region: region}, nil
+}
+
+// --- Sender: initiation ------------------------------------------------------
+
+// rndvSend starts the rendezvous protocol for a large message.
+func (ep *Endpoint) rndvSend(req *Request, ctx int, buf mem.Addr, count int, dt *datatype.Type, dst, tag int) {
+	op := &sendOp{
+		id: ep.newOpID(), req: req, dst: dst, tag: tag,
+		buf: buf, count: count, dt: dt,
+		size:    dt.Size() * int64(count),
+		sContig: dt.Contig(),
+	}
+	ep.sendOps[op.id] = op
+	ep.ctr.RendezvousSends++
+
+	// Copy-reduced fixed schemes register the user buffer now, overlapping
+	// registration with the handshake (Section 7.4). Under Auto the choice
+	// is the receiver's, so registration waits for the CTS.
+	if ep.cfg.Scheme == SchemeRWGUP || ep.cfg.Scheme == SchemeMultiW ||
+		(ep.cfg.Scheme == SchemePRRS && op.sContig) || op.sContig {
+		var err error
+		op.regions, op.refs, err = ep.registerUserMessage(buf, dt, count)
+		if err != nil {
+			req.complete(err)
+			delete(ep.sendOps, op.id)
+			return
+		}
+		op.registered = true
+	}
+
+	stats := datatype.LayoutStats(dt, count, 4096)
+	sAvg := int64(stats.AvgRun)
+
+	var w ctrlWriter
+	w.u8(kindRTS)
+	w.u32(op.id)
+	w.u32(uint32(ctx))
+	w.u32(uint32(tag))
+	w.i64(op.size)
+	w.i64(sAvg)
+	if op.sContig {
+		w.u8(1)
+	} else {
+		w.u8(0)
+	}
+	ep.sendCtrl(dst, w.buf, nil)
+}
+
+// --- Receiver: match and scheme choice ---------------------------------------
+
+// chooseScheme implements Section 6's dynamic selection on the receiver.
+func (ep *Endpoint) chooseScheme(inb *inbound, req *Request) Scheme {
+	if ep.cfg.Scheme != SchemeAuto {
+		return ep.cfg.Scheme
+	}
+	rContig := req.dt.Contig()
+	if inb.sContig && rContig {
+		return SchemeGeneric // collapses to one zero-copy write
+	}
+	if !ep.cfg.BuffersReused {
+		// User buffers are not reused: registration will not amortize, so
+		// stay with the pack-based pipeline.
+		return SchemeBCSPUP
+	}
+	rStats := datatype.LayoutStats(req.dt, req.count, 4096)
+	rAvg := int64(rStats.AvgRun)
+	sAvg := inb.sAvg
+	if inb.sContig {
+		sAvg = inb.size
+	}
+	if rContig {
+		rAvg = req.dt.Size() * int64(req.count)
+	}
+	switch {
+	case sAvg >= ep.cfg.AutoBlockThreshold && rAvg >= ep.cfg.AutoBlockThreshold:
+		return SchemeMultiW
+	case inb.sContig && rAvg >= ep.cfg.AutoGatherThreshold:
+		// Contiguous sender, scatterable receiver: read straight out of the
+		// sender's user buffer.
+		return SchemePRRS
+	case sAvg >= ep.cfg.AutoGatherThreshold:
+		return SchemeRWGUP
+	default:
+		return SchemeBCSPUP
+	}
+}
+
+// rndvMatched runs when an RTS meets its posted receive; it allocates
+// receiver resources for the chosen scheme and sends the CTS.
+func (ep *Endpoint) rndvMatched(inb *inbound, req *Request) {
+	capacity := req.dt.Size() * int64(req.count)
+	eff := inb.size
+	if eff > capacity {
+		eff = capacity
+	}
+	op := &recvOp{
+		key: opKey{src: inb.src, op: inb.opID},
+		req: req, eff: eff,
+		truncated: inb.size > capacity,
+		scheme:    ep.chooseScheme(inb, req),
+		direct:    req.dt.Contig(),
+	}
+	req.Source = inb.src
+	req.Tag = inb.tag
+	req.Bytes = eff
+	ep.recvOps[op.key] = op
+
+	switch op.scheme {
+	case SchemeGeneric:
+		ep.recvStagedSetup(op, eff) // one whole-message segment
+	case SchemeBCSPUP, SchemeRWGUP:
+		ep.recvStagedSetup(op, ep.cfg.segSizeFor(eff))
+	case SchemeMultiW:
+		ep.recvMultiWSetup(op)
+	case SchemePRRS:
+		ep.recvPRRSSetup(op)
+	default:
+		panic("core: bad scheme at match")
+	}
+}
+
+// recvStagedSetup assigns unpack destinations — the receiver's user buffer
+// directly when it is contiguous, staging segments otherwise — and replies
+// with the CTS carrying their addresses and keys. When the unpack pool is
+// dry, the reply is delayed until segments free up, stalling the sender
+// exactly as Section 4.3.3 prescribes; only a message too large for the
+// whole pool falls back to dynamic allocation.
+func (ep *Endpoint) recvStagedSetup(op *recvOp, segSize int64) {
+	if segSize <= 0 || segSize > op.eff {
+		segSize = op.eff
+	}
+	op.segSize = segSize
+	op.nSegs = int((op.eff + segSize - 1) / segSize)
+
+	sendCTS := func(refs []segRef) {
+		var w ctrlWriter
+		w.u8(kindCTS)
+		w.u32(op.key.op)
+		w.u8(uint8(op.scheme))
+		w.i64(op.eff)
+		w.i64(segSize)
+		w.segRefs(refs)
+		ep.sendCtrl(op.key.src, w.buf, nil)
+	}
+
+	if op.direct {
+		// Contiguous receiver: segments map straight onto the user buffer.
+		regions, rrefs, err := ep.registerUserMessage(op.req.buf, op.req.dt, op.req.count)
+		if err != nil {
+			ep.failRecv(op, err)
+			return
+		}
+		op.regions = regions
+		base := mem.Addr(int64(op.req.buf) + op.req.dt.TrueLB())
+		refs := make([]segRef, 0, op.nSegs)
+		for k := 0; k < op.nSegs; k++ {
+			refs = append(refs, segRef{addr: base + mem.Addr(int64(k)*segSize), key: rrefs[0].key})
+		}
+		sendCTS(refs)
+		return
+	}
+
+	op.unpacker = pack.NewUnpacker(ep.memory, op.req.buf, op.req.dt, op.req.count)
+
+	if op.scheme == SchemeGeneric {
+		// The basic scheme's dynamically allocated whole-message unpack
+		// buffer (Figure 1).
+		s, err := ep.acquireStaging(op.eff)
+		if err != nil {
+			ep.failRecv(op, err)
+			return
+		}
+		op.segs = []segRes{{seg: s, bytes: op.eff}}
+		sendCTS([]segRef{{addr: s.addr, key: s.key}})
+		return
+	}
+
+	segBytes := func(k int) int64 {
+		n := segSize
+		if rest := op.eff - int64(k)*segSize; n > rest {
+			n = rest
+		}
+		return n
+	}
+	pool := ep.unpackPool
+	if !pool.enabled || op.nSegs > pool.slots {
+		// No pool (the worst case of Figure 14) or message larger than the
+		// whole pool: allocate one on-the-fly unpack buffer of the real data
+		// size — the same registration cost the Generic scheme pays — and
+		// carve the segments out of it.
+		ep.ctr.PoolExhausted++
+		s, err := ep.acquireStaging(op.eff)
+		if err != nil {
+			ep.failRecv(op, err)
+			return
+		}
+		op.wholeSeg = &s
+		refs := make([]segRef, 0, op.nSegs)
+		for k := 0; k < op.nSegs; k++ {
+			addr := s.addr + mem.Addr(int64(k)*segSize)
+			op.segs = append(op.segs, segRes{
+				seg:   seg{addr: addr, key: s.key},
+				bytes: segBytes(k),
+			})
+			refs = append(refs, segRef{addr: addr, key: s.key})
+		}
+		sendCTS(refs)
+		return
+	}
+	pool.whenAvailable(op.nSegs, func() {
+		refs := make([]segRef, 0, op.nSegs)
+		for k := 0; k < op.nSegs; k++ {
+			s, ok := pool.tryAcquire()
+			if !ok {
+				panic("core: unpack pool promised slots it does not have")
+			}
+			op.segs = append(op.segs, segRes{seg: s, bytes: segBytes(k)})
+			refs = append(refs, segRef{addr: s.addr, key: s.key})
+		}
+		sendCTS(refs)
+	})
+}
+
+// recvMultiWSetup registers the receiver's user blocks and ships its layout
+// (or its cached identity) plus region keys in the CTS.
+func (ep *Endpoint) recvMultiWSetup(op *recvOp) {
+	regions, refs, err := ep.registerUserMessage(op.req.buf, op.req.dt, op.req.count)
+	if err != nil {
+		ep.failRecv(op, err)
+		return
+	}
+	op.regions = regions
+	op.refs = refs
+
+	idx := ep.types.commit(op.req.dt)
+	version := ep.types.version(idx)
+	var layout []byte
+	if ep.layouts.needSend(op.key.src, idx, version) {
+		layout = datatype.Encode(op.req.dt)
+		ep.ctr.TypeLayoutsSent++
+	}
+
+	var w ctrlWriter
+	w.u8(kindCTS)
+	w.u32(op.key.op)
+	w.u8(uint8(SchemeMultiW))
+	w.i64(op.eff)
+	w.u64(uint64(op.req.buf))
+	w.u64(uint64(op.req.count))
+	w.u32(uint32(idx))
+	w.u32(version)
+	if layout != nil {
+		w.u8(1)
+		w.bytes(layout)
+	} else {
+		w.u8(0)
+	}
+	rrefs := make([]regRef, len(refs))
+	copy(rrefs, refs)
+	w.regRefs(rrefs)
+	ep.sendCtrl(op.key.src, w.buf, nil)
+}
+
+// recvPRRSSetup registers the receiver's user blocks for scatter reads and
+// tells the sender to start producing segments.
+func (ep *Endpoint) recvPRRSSetup(op *recvOp) {
+	regions, refs, err := ep.registerUserMessage(op.req.buf, op.req.dt, op.req.count)
+	if err != nil {
+		ep.failRecv(op, err)
+		return
+	}
+	op.regions = regions
+	op.refs = refs
+	op.segSize = ep.cfg.segSizeFor(op.eff)
+	op.nSegs = int((op.eff + op.segSize - 1) / op.segSize)
+	op.readCur = datatype.NewCursor(op.req.dt, op.req.count)
+
+	var w ctrlWriter
+	w.u8(kindCTS)
+	w.u32(op.key.op)
+	w.u8(uint8(SchemePRRS))
+	w.i64(op.eff)
+	w.i64(op.segSize)
+	ep.sendCtrl(op.key.src, w.buf, nil)
+}
+
+func (ep *Endpoint) failRecv(op *recvOp, err error) {
+	delete(ep.recvOps, op.key)
+	op.req.complete(err)
+}
+
+// finishRecv completes the receive request and releases receiver resources.
+func (ep *Endpoint) finishRecv(op *recvOp) {
+	delete(ep.recvOps, op.key)
+	if op.wholeSeg != nil {
+		ep.releaseSeg(ep.unpackPool, *op.wholeSeg)
+		op.wholeSeg = nil
+	}
+	if op.regions != nil {
+		ep.releaseUserRegions(op.regions)
+	}
+	var err error
+	if op.truncated {
+		err = ErrTruncate
+	}
+	op.req.complete(err)
+}
+
+// --- Sender: CTS dispatch ----------------------------------------------------
+
+func (ep *Endpoint) handleCTS(src int, r *ctrlReader) {
+	id := r.u32()
+	scheme := Scheme(r.u8())
+	eff := r.i64()
+	op, ok := ep.sendOps[id]
+	if !ok {
+		panic(fmt.Sprintf("core rank %d: CTS for unknown op %d", ep.rank, id))
+	}
+	op.eff = eff
+	switch scheme {
+	case SchemeGeneric, SchemeBCSPUP, SchemeRWGUP:
+		segSize := r.i64()
+		refs := r.segRefs()
+		if r.err != nil {
+			panic(r.err)
+		}
+		ep.sendStagedData(op, scheme, segSize, refs)
+	case SchemeMultiW:
+		rBase := mem.Addr(r.u64())
+		rCount := int(r.u64())
+		idx := int(r.u32())
+		version := r.u32()
+		hasLayout := r.u8() != 0
+		var rType *datatype.Type
+		if hasLayout {
+			enc := r.bytes()
+			if r.err != nil {
+				panic(r.err)
+			}
+			t, err := datatype.Decode(enc)
+			if err != nil {
+				panic(err)
+			}
+			if _, had := ep.layouts.got[layoutKey{src, idx}]; had {
+				ep.ctr.TypeCacheReplaced++
+			}
+			ep.layouts.store(src, idx, version, t)
+			rType = t
+		} else {
+			t, ok := ep.layouts.lookup(src, idx, version)
+			if !ok {
+				panic(fmt.Sprintf("core rank %d: missing cached layout (%d,%d,v%d)",
+					ep.rank, src, idx, version))
+			}
+			ep.ctr.TypeCacheHits++
+			rType = t
+		}
+		rRefs := r.regRefs()
+		if r.err != nil {
+			panic(r.err)
+		}
+		ep.sendMultiWData(op, rBase, rType, rCount, rRefs)
+	case SchemePRRS:
+		segSize := r.i64()
+		if r.err != nil {
+			panic(r.err)
+		}
+		ep.sendPRRSData(op, segSize)
+	default:
+		panic(fmt.Sprintf("core: CTS with bad scheme %d", scheme))
+	}
+}
+
+// finishSend completes the send request and releases sender resources.
+func (ep *Endpoint) finishSend(op *sendOp) {
+	delete(ep.sendOps, op.id)
+	if op.regions != nil {
+		ep.releaseUserRegions(op.regions)
+		op.regions = nil
+	}
+	op.req.complete(nil)
+}
+
+// --- Receiver: segment arrival (RDMA write with immediate) -------------------
+
+func (ep *Endpoint) handleImm(src int, imm uint32, bytes int64) {
+	key := opKey{src: src, op: imm}
+	op, ok := ep.recvOps[key]
+	if !ok {
+		panic(fmt.Sprintf("core rank %d: immediate for unknown op %d from %d", ep.rank, imm, src))
+	}
+	op.arrived++
+	switch op.scheme {
+	case SchemeMultiW:
+		// Single immediate marks the whole zero-copy message landed.
+		ep.finishRecv(op)
+	case SchemeGeneric, SchemeBCSPUP, SchemeRWGUP:
+		ep.stagedArrival(op)
+	default:
+		panic("core: immediate on unexpected scheme")
+	}
+}
+
+// stagedArrival advances the staged receive path by one segment.
+func (ep *Endpoint) stagedArrival(op *recvOp) {
+	if op.direct {
+		// Data landed straight in the user buffer; just count.
+		if op.arrived == op.nSegs {
+			ep.finishRecv(op)
+		}
+		return
+	}
+	segmentUnpack := ep.cfg.SegmentUnpack || op.nSegs == 1
+	if segmentUnpack {
+		k := op.arrived - 1
+		ep.unpackSegment(op, k)
+		return
+	}
+	// Segment unpack disabled (Figure 12's comparison case): wait for the
+	// whole message, then unpack everything.
+	if op.arrived == op.nSegs {
+		for k := 0; k < op.nSegs; k++ {
+			ep.unpackSegment(op, k)
+		}
+	}
+}
+
+// unpackSegment copies staging segment k into the user buffer, charging copy
+// cost, then releases the segment; the last segment completes the receive.
+func (ep *Endpoint) unpackSegment(op *recvOp, k int) {
+	sr := op.segs[k]
+	src := ep.memory.Bytes(sr.seg.addr, sr.bytes)
+	n, runs := op.unpacker.UnpackFrom(src)
+	if n != sr.bytes {
+		panic("core: segment unpack shortfall")
+	}
+	ep.ctr.BytesUnpacked += n
+	ep.ctr.SegmentsPipelined++
+	cost := ep.cfg.packCost(ep.model, n, runs)
+	ep.afterNamed(cost, "unpack", func() {
+		// Pool slots return to the pool; Generic's dynamic staging buffer is
+		// deregistered and freed (releaseSeg dispatches on the segment
+		// kind). Segments carved from a whole on-the-fly buffer are views:
+		// the backing buffer is released once, at completion.
+		if op.wholeSeg == nil {
+			ep.releaseSeg(ep.unpackPool, sr.seg)
+		}
+		op.finished++
+		if op.finished == op.nSegs {
+			ep.finishRecv(op)
+		}
+	})
+}

@@ -1,0 +1,457 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/datatype"
+	"repro/internal/ib"
+	"repro/internal/mem"
+	"repro/internal/pack"
+)
+
+// chunkWRs consumes want bytes from a message cursor and builds RDMA
+// descriptors (writes or reads) against consecutive remote memory starting
+// at rAddr. The local side is the scatter/gather list (keys resolved from
+// localRefs); descriptors split at the adapter's SGE limit.
+func (ep *Endpoint) chunkWRs(op ib.Opcode, cur *datatype.Cursor, base mem.Addr,
+	localRefs []regRef, want int64, rAddr mem.Addr, rKey uint32) []ib.SendWR {
+
+	maxSGE := ep.model.MaxSGE
+	var wrs []ib.SendWR
+	var sgl []ib.SGE
+	var sglBytes int64
+	flush := func() {
+		if len(sgl) == 0 {
+			return
+		}
+		wrs = append(wrs, ib.SendWR{Op: op, SGL: sgl, RemoteAddr: rAddr, RKey: rKey})
+		rAddr += mem.Addr(sglBytes)
+		sgl = nil
+		sglBytes = 0
+	}
+	for want > 0 {
+		off, n, ok := cur.Next(want)
+		if !ok {
+			break
+		}
+		addr := mem.Addr(int64(base) + off)
+		i := findRegion(localRefs, addr, n)
+		if i < 0 {
+			panic(fmt.Sprintf("core rank %d: no region covers [%#x,+%d)", ep.rank, addr, n))
+		}
+		sgl = append(sgl, ib.SGE{Addr: addr, Len: n, Key: localRefs[i].key})
+		sglBytes += n
+		want -= n
+		if len(sgl) == maxSGE {
+			flush()
+		}
+	}
+	flush()
+	return wrs
+}
+
+// postWRs assigns WRIDs, installs a completion callback counting down
+// op.wrsLeft (finishing the send on zero), and posts the descriptors —
+// as one list post or individually.
+func (ep *Endpoint) postWRs(op *sendOp, dst int, wrs []ib.SendWR, list bool, onAll func()) {
+	op.wrsLeft += len(wrs)
+	for i := range wrs {
+		wrs[i].WRID = ep.hca.WRID()
+		ep.onSendCQE[wrs[i].WRID] = func(e ib.CQE) {
+			if e.Err != nil {
+				panic(fmt.Sprintf("core rank %d: RDMA error: %v", ep.rank, e.Err))
+			}
+			op.wrsLeft--
+			if op.wrsLeft == 0 && onAll != nil {
+				onAll()
+			}
+		}
+	}
+	var err error
+	if list && len(wrs) > 1 {
+		err = ep.qps[dst].PostSendList(wrs)
+	} else {
+		for i := range wrs {
+			if err = ep.qps[dst].PostSend(wrs[i]); err != nil {
+				break
+			}
+		}
+	}
+	if err != nil {
+		panic(fmt.Sprintf("core rank %d: post failed: %v", ep.rank, err))
+	}
+}
+
+// sendStagedData moves the message into the receiver's staged destinations
+// (whole-message staging for Generic, pipelined segments for BC-SPUP, gather
+// descriptors for RWG-UP — and gather for any scheme when the send side is
+// contiguous, since MVAPICH never stages contiguous data).
+func (ep *Endpoint) sendStagedData(op *sendOp, scheme Scheme, segSize int64, refs []segRef) {
+	if segSize <= 0 || segSize > op.eff {
+		segSize = op.eff
+	}
+	nSegs := int((op.eff + segSize - 1) / segSize)
+	if nSegs != len(refs) {
+		panic("core: CTS segment count mismatch")
+	}
+
+	gather := scheme == SchemeRWGUP || op.sContig
+	if gather && !op.registered {
+		var err error
+		op.regions, op.refs, err = ep.registerUserMessage(op.buf, op.dt, op.count)
+		if err != nil {
+			op.req.complete(err)
+			delete(ep.sendOps, op.id)
+			return
+		}
+		op.registered = true
+	}
+
+	switch {
+	case gather:
+		// RWG-UP: RDMA-write-with-gather straight from the user blocks into
+		// each unpack segment; the last descriptor of each segment carries
+		// the immediate that drives the receiver's segment unpack.
+		cur := datatype.NewCursor(op.dt, op.count)
+		left := op.eff
+		for k := 0; k < nSegs; k++ {
+			n := segSize
+			if n > left {
+				n = left
+			}
+			left -= n
+			wrs := ep.chunkWRs(ib.OpRDMAWrite, cur, op.buf, op.refs, n, refs[k].addr, refs[k].key)
+			last := len(wrs) - 1
+			wrs[last].Op = ib.OpRDMAWriteImm
+			wrs[last].Imm = op.id
+			ep.ctr.SegmentsPipelined++
+			ep.postWRs(op, op.dst, wrs, false, func() { ep.finishSend(op) })
+		}
+
+	case scheme == SchemeGeneric:
+		// Basic pack/unpack: allocate the pack buffer, pack the whole
+		// message, one RDMA write, unpack on the far side — fully serialized.
+		s, err := ep.acquireStaging(op.eff)
+		if err != nil {
+			op.req.complete(err)
+			delete(ep.sendOps, op.id)
+			return
+		}
+		op.staging = segRes{seg: s, bytes: op.eff}
+		packer := pack.NewPacker(ep.memory, op.buf, op.dt, op.count)
+		dst := ep.memory.Bytes(s.addr, op.eff)
+		n, runs := packer.PackTo(dst)
+		if n != op.eff {
+			panic("core: generic pack shortfall")
+		}
+		ep.ctr.BytesPacked += n
+		ep.hca.ChargeCPUNamed(ep.cfg.packCost(ep.model, n, runs), "pack")
+		wr := ib.SendWR{
+			Op:         ib.OpRDMAWriteImm,
+			SGL:        []ib.SGE{{Addr: s.addr, Len: op.eff, Key: s.key}},
+			RemoteAddr: refs[0].addr, RKey: refs[0].key, Imm: op.id,
+		}
+		ep.postWRs(op, op.dst, []ib.SendWR{wr}, false, func() {
+			ep.releaseSeg(ep.packPool, op.staging.seg)
+			ep.finishSend(op)
+		})
+
+	default: // SchemeBCSPUP
+		// Buffer-centric segment pack: pack each segment into a
+		// pre-registered pool slot and write it out; the NIC drains segment
+		// k while the CPU packs segment k+1. When the pack pool runs dry the
+		// sender stalls until a slot's send completes (Section 4.3.3).
+		packer := pack.NewPacker(ep.memory, op.buf, op.dt, op.count)
+		op.wrsLeft = nSegs
+		if !ep.packPool.enabled {
+			// Worst case (Figure 14): one on-the-fly pack buffer of the real
+			// data size — the same registration cost Generic pays — carved
+			// into segments so the pipeline still runs.
+			ep.ctr.PoolExhausted++
+			s, err := ep.acquireStaging(op.eff)
+			if err != nil {
+				op.req.complete(err)
+				delete(ep.sendOps, op.id)
+				return
+			}
+			op.staging = segRes{seg: s, bytes: op.eff}
+			left := op.eff
+			for k := 0; k < nSegs; k++ {
+				n := segSize
+				if n > left {
+					n = left
+				}
+				left -= n
+				addr := s.addr + mem.Addr(int64(k)*segSize)
+				got, runs := packer.PackTo(ep.memory.Bytes(addr, n))
+				if got != n {
+					panic("core: segment pack shortfall")
+				}
+				ep.ctr.BytesPacked += n
+				ep.ctr.SegmentsPipelined++
+				ep.hca.ChargeCPUNamed(ep.cfg.packCost(ep.model, n, runs), "pack")
+				wr := ib.SendWR{
+					Op:         ib.OpRDMAWriteImm,
+					SGL:        []ib.SGE{{Addr: addr, Len: n, Key: s.key}},
+					RemoteAddr: refs[k].addr, RKey: refs[k].key, Imm: op.id,
+				}
+				wr.WRID = ep.hca.WRID()
+				ep.onSendCQE[wr.WRID] = func(e ib.CQE) {
+					if e.Err != nil {
+						panic(e.Err)
+					}
+					op.wrsLeft--
+					if op.wrsLeft == 0 {
+						ep.releaseSeg(ep.packPool, op.staging.seg)
+						ep.finishSend(op)
+					}
+				}
+				if err := ep.qps[op.dst].PostSend(wr); err != nil {
+					panic(err)
+				}
+			}
+			return
+		}
+		left := op.eff
+		k := 0
+		var step func()
+		step = func() {
+			if k == nSegs {
+				return
+			}
+			idx := k
+			k++
+			n := segSize
+			if n > left {
+				n = left
+			}
+			left -= n
+			ep.withSeg(ep.packPool, func(s seg) {
+				dst := ep.memory.Bytes(s.addr, n)
+				got, runs := packer.PackTo(dst)
+				if got != n {
+					panic("core: segment pack shortfall")
+				}
+				ep.ctr.BytesPacked += n
+				ep.ctr.SegmentsPipelined++
+				ep.hca.ChargeCPUNamed(ep.cfg.packCost(ep.model, n, runs), "pack")
+				wr := ib.SendWR{
+					Op:         ib.OpRDMAWriteImm,
+					SGL:        []ib.SGE{{Addr: s.addr, Len: n, Key: s.key}},
+					RemoteAddr: refs[idx].addr, RKey: refs[idx].key, Imm: op.id,
+				}
+				wr.WRID = ep.hca.WRID()
+				ep.onSendCQE[wr.WRID] = func(e ib.CQE) {
+					if e.Err != nil {
+						panic(e.Err)
+					}
+					ep.releaseSeg(ep.packPool, s)
+					op.wrsLeft--
+					if op.wrsLeft == 0 {
+						ep.finishSend(op)
+					}
+				}
+				if err := ep.qps[op.dst].PostSend(wr); err != nil {
+					panic(err)
+				}
+				step()
+			})
+		}
+		step()
+	}
+}
+
+// sendMultiWData implements the Multi-W zero-copy transfer: walk the local
+// and remote layouts together, emitting one RDMA write per remote contiguous
+// run (gathering across local runs), immediate data on the final descriptor.
+func (ep *Endpoint) sendMultiWData(op *sendOp, rBase mem.Addr, rType *datatype.Type, rCount int, rRefs []regRef) {
+	if !op.registered {
+		var err error
+		op.regions, op.refs, err = ep.registerUserMessage(op.buf, op.dt, op.count)
+		if err != nil {
+			op.req.complete(err)
+			delete(ep.sendOps, op.id)
+			return
+		}
+		op.registered = true
+	}
+	sc := datatype.NewCursor(op.dt, op.count)
+	rc := datatype.NewCursor(rType, rCount)
+	remaining := op.eff
+	var wrs []ib.SendWR
+	for remaining > 0 {
+		rOff, rLen, ok := rc.Next(remaining)
+		if !ok {
+			panic("core: receiver layout smaller than effective size")
+		}
+		rAddr := mem.Addr(int64(rBase) + rOff)
+		i := findRegion(rRefs, rAddr, rLen)
+		if i < 0 {
+			panic(fmt.Sprintf("core rank %d: no remote region covers [%#x,+%d)", ep.rank, rAddr, rLen))
+		}
+		wrs = append(wrs, ep.chunkWRs(ib.OpRDMAWrite, sc, op.buf, op.refs, rLen, rAddr, rRefs[i].key)...)
+		remaining -= rLen
+	}
+	last := len(wrs) - 1
+	wrs[last].Op = ib.OpRDMAWriteImm
+	wrs[last].Imm = op.id
+	ep.chargeTypeProc(len(wrs))
+	ep.postWRs(op, op.dst, wrs, ep.cfg.ListPost, func() { ep.finishSend(op) })
+}
+
+// sendPRRSData implements the sender half of Pack with RDMA Read Scatter:
+// pack each segment into a pool slot (or, for a contiguous sender, expose
+// user-buffer ranges directly) and announce it; the receiver pulls the data
+// with scatter reads and finally acknowledges with Done.
+func (ep *Endpoint) sendPRRSData(op *sendOp, segSize int64) {
+	if segSize <= 0 || segSize > op.eff {
+		segSize = op.eff
+	}
+	nSegs := int((op.eff + segSize - 1) / segSize)
+
+	announce := func(k int, addr mem.Addr, key uint32, n int64) {
+		var w ctrlWriter
+		w.u8(kindSegReady)
+		w.u32(op.id)
+		w.u64(uint64(addr))
+		w.u32(key)
+		w.i64(n)
+		ep.sendCtrl(op.dst, w.buf, nil)
+	}
+
+	if op.sContig {
+		// Zero-copy P-RRS: the receiver reads straight from the user buffer.
+		if !op.registered {
+			var err error
+			op.regions, op.refs, err = ep.registerUserMessage(op.buf, op.dt, op.count)
+			if err != nil {
+				op.req.complete(err)
+				delete(ep.sendOps, op.id)
+				return
+			}
+			op.registered = true
+		}
+		base := mem.Addr(int64(op.buf) + op.dt.TrueLB())
+		left := op.eff
+		for k := 0; k < nSegs; k++ {
+			n := segSize
+			if n > left {
+				n = left
+			}
+			left -= n
+			announce(k, base+mem.Addr(int64(k)*segSize), op.refs[0].key, n)
+		}
+		return
+	}
+
+	// P-RRS pack segments stay occupied until the receiver's Done.
+	packer := pack.NewPacker(ep.memory, op.buf, op.dt, op.count)
+	packSeg := func(k int, s seg) {
+		n := segSize
+		if rest := op.eff - int64(k)*segSize; n > rest {
+			n = rest
+		}
+		dst := ep.memory.Bytes(s.addr, n)
+		got, runs := packer.PackTo(dst)
+		if got != n {
+			panic("core: P-RRS pack shortfall")
+		}
+		ep.ctr.BytesPacked += n
+		ep.ctr.SegmentsPipelined++
+		ep.hca.ChargeCPUNamed(ep.cfg.packCost(ep.model, n, runs), "pack")
+		announce(k, s.addr, s.key, n)
+	}
+	if !ep.packPool.enabled || nSegs > ep.packPool.slots {
+		// Worst case or message larger than the pool: one on-the-fly pack
+		// buffer of the real data size, carved into segment views.
+		ep.ctr.PoolExhausted++
+		s, err := ep.acquireStaging(op.eff)
+		if err != nil {
+			op.req.complete(err)
+			delete(ep.sendOps, op.id)
+			return
+		}
+		op.staging = segRes{seg: s, bytes: op.eff}
+		for k := 0; k < nSegs; k++ {
+			packSeg(k, seg{addr: s.addr + mem.Addr(int64(k)*segSize), key: s.key})
+		}
+		return
+	}
+	// The slots stay held until the receiver's Done, so take the whole
+	// message's worth atomically: partial grants across concurrent ops
+	// would deadlock with every op stuck one slot short.
+	ep.packPool.whenAvailable(nSegs, func() {
+		for k := 0; k < nSegs; k++ {
+			s, ok := ep.packPool.tryAcquire()
+			if !ok {
+				panic("core: pack pool promised slots it does not have")
+			}
+			op.segs = append(op.segs, segRes{seg: s, bytes: 0})
+			packSeg(k, s)
+		}
+	})
+}
+
+// handleSegReady is the receiver half of P-RRS: scatter-read the announced
+// segment into the user blocks.
+func (ep *Endpoint) handleSegReady(src int, r *ctrlReader) {
+	id := r.u32()
+	addr := mem.Addr(r.u64())
+	key := r.u32()
+	n := r.i64()
+	if r.err != nil {
+		panic(r.err)
+	}
+	op, ok := ep.recvOps[opKey{src: src, op: id}]
+	if !ok {
+		panic(fmt.Sprintf("core rank %d: SegReady for unknown op %d", ep.rank, id))
+	}
+	wrs := ep.chunkWRs(ib.OpRDMARead, op.readCur, op.req.buf, op.refs, n, addr, key)
+	ep.ctr.SegmentsPipelined++
+	for i := range wrs {
+		wrs[i].WRID = ep.hca.WRID()
+		bytes := int64(0)
+		for _, s := range wrs[i].SGL {
+			bytes += s.Len
+		}
+		b := bytes
+		ep.onSendCQE[wrs[i].WRID] = func(e ib.CQE) {
+			if e.Err != nil {
+				panic(e.Err)
+			}
+			op.bytesRead += b
+			if op.bytesRead == op.eff {
+				var w ctrlWriter
+				w.u8(kindDone)
+				w.u32(id)
+				ep.sendCtrl(src, w.buf, nil)
+				ep.finishRecv(op)
+			}
+		}
+		if err := ep.qps[src].PostSend(wrs[i]); err != nil {
+			panic(err)
+		}
+	}
+}
+
+// handleDone is the sender half of P-RRS teardown: the receiver has read
+// everything, so staging slots (or user registrations) can be released.
+func (ep *Endpoint) handleDone(src int, r *ctrlReader) {
+	id := r.u32()
+	if r.err != nil {
+		panic(r.err)
+	}
+	op, ok := ep.sendOps[id]
+	if !ok {
+		panic(fmt.Sprintf("core rank %d: Done for unknown op %d", ep.rank, id))
+	}
+	for _, sr := range op.segs {
+		ep.releaseSeg(ep.packPool, sr.seg)
+	}
+	op.segs = nil
+	if op.staging.seg.addr != 0 {
+		ep.releaseSeg(ep.packPool, op.staging.seg)
+		op.staging = segRes{}
+	}
+	ep.finishSend(op)
+}

@@ -1,0 +1,167 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+	"repro/internal/simtime"
+)
+
+// seg is one staging segment: either a slot of a pre-registered pool or a
+// dynamically allocated, on-the-fly registered buffer (the fallback of
+// Section 4.3.3).
+type seg struct {
+	addr   mem.Addr
+	key    uint32
+	pooled bool
+	region *mem.Region // dynamic segments only
+}
+
+// segPool is a pre-registered, page-aligned staging pool carved into
+// fixed-size slots, allocated once at endpoint construction (the paper's
+// 20 MB pack and unpack buffers of Section 7.2).
+type segPool struct {
+	memory  *mem.Memory
+	base    mem.Addr
+	region  *mem.Region
+	slot    int64
+	slots   int // total slots carved at construction
+	free    []mem.Addr
+	enabled bool
+
+	// waiters are continuations parked until slots free up (the paper's
+	// "stall the communication until buffers are available" policy,
+	// Section 4.3.3). Each waiter names the slot count it needs; waiters
+	// are served FIFO so no transfer starves.
+	waiters []poolWaiter
+}
+
+type poolWaiter struct {
+	need int
+	fn   func()
+}
+
+// newSegPool carves a pool of total bytes into slot-sized pieces. With
+// enabled false the pool allocates nothing and every acquire falls back.
+func newSegPool(m *mem.Memory, total, slot int64, enabled bool) (*segPool, error) {
+	p := &segPool{memory: m, slot: slot, enabled: enabled}
+	if !enabled {
+		return p, nil
+	}
+	base, err := m.AllocPage(total)
+	if err != nil {
+		return nil, fmt.Errorf("segpool: %w", err)
+	}
+	region, err := m.Reg().Register(base, total)
+	if err != nil {
+		return nil, fmt.Errorf("segpool: %w", err)
+	}
+	p.base = base
+	p.region = region
+	for off := int64(0); off+slot <= total; off += slot {
+		p.free = append(p.free, base+mem.Addr(off))
+	}
+	p.slots = len(p.free)
+	return p, nil
+}
+
+// tryAcquire returns a pooled segment, or ok=false when the pool is dry
+// (or disabled).
+func (p *segPool) tryAcquire() (seg, bool) {
+	if !p.enabled || len(p.free) == 0 {
+		return seg{}, false
+	}
+	a := p.free[len(p.free)-1]
+	p.free = p.free[:len(p.free)-1]
+	return seg{addr: a, key: p.region.LKey, pooled: true}, true
+}
+
+// release returns a pooled segment to the pool and resumes waiters whose
+// demands can now be met, in FIFO order.
+func (p *segPool) release(s seg) {
+	if !s.pooled {
+		panic("segpool: release of non-pooled segment")
+	}
+	p.free = append(p.free, s.addr)
+	for len(p.waiters) > 0 && len(p.free) >= p.waiters[0].need {
+		w := p.waiters[0]
+		p.waiters = p.waiters[1:]
+		w.fn()
+	}
+}
+
+// whenAvailable runs fn as soon as need slots are free (immediately if they
+// already are). fn must take its slots synchronously via tryAcquire.
+func (p *segPool) whenAvailable(need int, fn func()) {
+	if len(p.waiters) == 0 && len(p.free) >= need {
+		fn()
+		return
+	}
+	p.waiters = append(p.waiters, poolWaiter{need: need, fn: fn})
+}
+
+// available reports free slots.
+func (p *segPool) available() int { return len(p.free) }
+
+// acquireSeg returns a staging segment of up to the pool slot size,
+// preferring the pool and falling back to dynamic allocation plus
+// registration, charging the fallback's time. It returns the segment and
+// the virtual time at which it is usable.
+func (ep *Endpoint) acquireSeg(pool *segPool) (seg, simtime.Time, error) {
+	if s, ok := pool.tryAcquire(); ok {
+		return s, ep.eng.Now(), nil
+	}
+	ep.ctr.PoolExhausted++
+	ep.ctr.DynamicAllocs++
+	addr, err := ep.memory.AllocPage(pool.slot)
+	if err != nil {
+		return seg{}, 0, err
+	}
+	region, ops, err := ep.stagingReg.Acquire(addr, pool.slot)
+	if err != nil {
+		return seg{}, 0, err
+	}
+	ep.accountReg(ops)
+	t := ep.hca.ChargeCPUNamed(ep.model.MallocTime(pool.slot)+ep.model.RegOpsTime(ops), "malloc+reg")
+	return seg{addr: addr, key: region.LKey, region: region}, t, nil
+}
+
+// withSeg runs fn with one staging segment, as soon as one is available.
+// With the pool disabled (the worst-case configuration) the segment is
+// allocated and registered dynamically instead of waiting.
+func (ep *Endpoint) withSeg(pool *segPool, fn func(seg)) {
+	if !pool.enabled {
+		s, _, err := ep.acquireSeg(pool)
+		if err != nil {
+			panic(err)
+		}
+		fn(s)
+		return
+	}
+	pool.whenAvailable(1, func() {
+		s, ok := pool.tryAcquire()
+		if !ok {
+			panic("core: pool promised a slot it does not have")
+		}
+		fn(s)
+	})
+}
+
+// releaseSeg returns a segment to its pool or releases its dynamic
+// resources, charging deregistration/free time when real work happens.
+func (ep *Endpoint) releaseSeg(pool *segPool, s seg) {
+	if s.pooled {
+		pool.release(s)
+		return
+	}
+	ops, err := ep.stagingReg.Release(s.region)
+	if err != nil {
+		panic(err)
+	}
+	ep.accountReg(ops)
+	ep.ctr.DynamicFrees++
+	if err := ep.memory.Free(s.addr); err != nil {
+		panic(err)
+	}
+	ep.hca.ChargeCPUNamed(ep.model.RegOpsTime(ops)+ep.model.FreeCost, "reg")
+}

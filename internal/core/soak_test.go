@@ -1,0 +1,151 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/datatype"
+	"repro/internal/mem"
+	"repro/internal/simtime"
+)
+
+// The soak test: random traffic — mixed schemes per world, random datatypes,
+// random sizes spanning eager and rendezvous, random posting order (receives
+// before or after sends), multiple concurrent messages per pair — must
+// always deliver exactly the sent bytes, in order per (source, tag), with
+// balanced resources afterwards.
+func TestRandomTrafficSoak(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		schemes := []Scheme{SchemeGeneric, SchemeBCSPUP, SchemeRWGUP,
+			SchemePRRS, SchemeMultiW, SchemeAuto}
+		cfg := DefaultConfig()
+		cfg.Scheme = schemes[rng.Intn(len(schemes))]
+		cfg.PoolSize = int64(rng.Intn(3)+1) << 20
+		if rng.Intn(4) == 0 {
+			cfg.RegCache = false
+		}
+		nRanks := rng.Intn(2) + 2 // 2..3
+		w := newTestWorld(t, nRanks, cfg, 64<<20)
+
+		// Plan: a set of messages (src, dst, tag, type, count) known to all.
+		type msg struct {
+			src, dst, tag int
+			dt            *datatype.Type
+			count         int
+			payload       []byte
+		}
+		types := []*datatype.Type{
+			datatype.Must(datatype.TypeVector(32, 4, 16, datatype.Int32)),
+			datatype.Must(datatype.TypeContiguous(512, datatype.Int32)),
+			datatype.Must(datatype.TypeStruct(
+				[]int{1, 5, 9}, []int64{0, 8, 40},
+				[]*datatype.Type{datatype.Int32, datatype.Int32, datatype.Int32})),
+		}
+		nMsgs := rng.Intn(8) + 3
+		var plan []msg
+		for i := 0; i < nMsgs; i++ {
+			src := rng.Intn(nRanks)
+			dst := rng.Intn(nRanks)
+			if dst == src {
+				dst = (dst + 1) % nRanks
+			}
+			plan = append(plan, msg{
+				src: src, dst: dst, tag: rng.Intn(3),
+				dt:    types[rng.Intn(len(types))],
+				count: rng.Intn(40) + 1,
+			})
+		}
+		received := make([][]byte, len(plan))
+		recvBufs := make([]mem.Addr, len(plan))
+		jitter := make([]simtime.Duration, nRanks)
+		for i := range jitter {
+			jitter[i] = simtime.Duration(rng.Int63n(1000))
+		}
+		ok := true
+
+		w.run(t, func(p *simtime.Process, ep *Endpoint) {
+			p.Sleep(jitter[ep.Rank()])
+			var reqs []*Request
+			var recvIdx []int
+			for i, m := range plan {
+				if m.dst == ep.Rank() {
+					buf := allocFor(ep, m.dt, m.count)
+					recvBufs[i] = buf
+					reqs = append(reqs, ep.Irecv(buf, m.count, m.dt, m.src, m.tag))
+					recvIdx = append(recvIdx, i)
+				}
+			}
+			for i, m := range plan {
+				if m.src == ep.Rank() {
+					buf := allocFor(ep, m.dt, m.count)
+					plan[i].payload = fillMsg(ep, buf, m.dt, m.count, byte(i+1))
+					reqs = append(reqs, ep.Isend(buf, m.count, m.dt, m.dst, m.tag))
+				}
+			}
+			WaitAll(p, reqs...)
+			for _, i := range recvIdx {
+				received[i] = readMsg(ep, recvBufs[i], plan[i].dt, plan[i].count)
+			}
+		})
+
+		for i, m := range plan {
+			if m.payload == nil || received[i] == nil {
+				return false
+			}
+			if !bytes.Equal(m.payload, received[i]) {
+				ok = false
+			}
+		}
+		// Resource balance.
+		for _, ep := range w.eps {
+			if len(ep.sendOps) != 0 || len(ep.recvOps) != 0 || len(ep.onSendCQE) != 0 {
+				return false
+			}
+			if ep.packPool.enabled && ep.packPool.available() != ep.packPool.slots {
+				return false
+			}
+			if ep.unpackPool.enabled && ep.unpackPool.available() != ep.unpackPool.slots {
+				return false
+			}
+		}
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Determinism: the same plan run twice produces identical virtual end times.
+func TestEndToEndDeterminism(t *testing.T) {
+	run := func() simtime.Time {
+		cfg := DefaultConfig()
+		cfg.Scheme = SchemeBCSPUP
+		cfg.PoolSize = 2 << 20
+		w := newTestWorld(t, 2, cfg, 48<<20)
+		vec := datatype.Must(datatype.TypeVector(128, 32, 64, datatype.Int32))
+		w.run(t, func(p *simtime.Process, ep *Endpoint) {
+			buf := allocFor(ep, vec, 4)
+			if ep.Rank() == 0 {
+				fillMsg(ep, buf, vec, 4, 1)
+				for i := 0; i < 5; i++ {
+					ep.Send(p, buf, 4, vec, 1, i)
+				}
+			} else {
+				for i := 0; i < 5; i++ {
+					ep.Recv(p, buf, 4, vec, 0, i)
+				}
+			}
+		})
+		return w.eng.Now()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("nondeterministic end times: %v vs %v", a, b)
+	}
+	if a == 0 {
+		t.Fatal("no time elapsed")
+	}
+}

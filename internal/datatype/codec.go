@@ -1,0 +1,197 @@
+package datatype
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// The wire codec ships a datatype's layout between ranks, as the Multi-W
+// scheme requires (the receiver's datatype has only local semantics, so its
+// flattened form travels with the rendezvous reply). The dataloop form is
+// shipped rather than a fully flattened <offset,length> list: a vector of a
+// million blocks encodes in a handful of bytes, which is the "light-weight
+// representation" the paper cites from Träff and Ross et al.
+
+const (
+	wireContig  = 0
+	wireVector  = 1
+	wireIndexed = 2
+
+	// maxWireDepth bounds decoder recursion against corrupt input.
+	maxWireDepth = 64
+	// maxWireParts bounds indexed fan-out against corrupt input.
+	maxWireParts = 1 << 22
+)
+
+// Encode serializes the type's layout. Decode reconstructs an equivalent
+// Type (same size, extent, bounds and traversal; kind becomes KindHindexed
+// as the constructor identity does not survive the wire).
+func Encode(t *Type) []byte {
+	buf := make([]byte, 0, 64)
+	buf = binary.AppendVarint(buf, t.size)
+	buf = binary.AppendVarint(buf, t.lb)
+	buf = binary.AppendVarint(buf, t.ub)
+	buf = binary.AppendVarint(buf, t.trueLB)
+	buf = binary.AppendVarint(buf, t.trueUB)
+	return appendLoop(buf, t.loop)
+}
+
+func appendLoop(buf []byte, lp *loop) []byte {
+	switch lp.kind {
+	case loopContig:
+		buf = append(buf, wireContig)
+		buf = binary.AppendVarint(buf, lp.bytes)
+	case loopVector:
+		buf = append(buf, wireVector)
+		buf = binary.AppendUvarint(buf, uint64(lp.count))
+		buf = binary.AppendVarint(buf, lp.stride)
+		buf = appendLoop(buf, lp.child)
+	case loopIndexed:
+		buf = append(buf, wireIndexed)
+		buf = binary.AppendUvarint(buf, uint64(len(lp.parts)))
+		for _, p := range lp.parts {
+			buf = binary.AppendVarint(buf, p.off)
+			buf = appendLoop(buf, p.child)
+		}
+	}
+	return buf
+}
+
+type decoder struct {
+	buf []byte
+	pos int
+}
+
+func (d *decoder) varint() (int64, error) {
+	v, n := binary.Varint(d.buf[d.pos:])
+	if n <= 0 {
+		return 0, fmt.Errorf("datatype: truncated varint at %d", d.pos)
+	}
+	d.pos += n
+	return v, nil
+}
+
+func (d *decoder) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(d.buf[d.pos:])
+	if n <= 0 {
+		return 0, fmt.Errorf("datatype: truncated uvarint at %d", d.pos)
+	}
+	d.pos += n
+	return v, nil
+}
+
+func (d *decoder) byte() (byte, error) {
+	if d.pos >= len(d.buf) {
+		return 0, fmt.Errorf("datatype: truncated tag at %d", d.pos)
+	}
+	b := d.buf[d.pos]
+	d.pos++
+	return b, nil
+}
+
+// Decode reconstructs a Type from Encode's output.
+func Decode(data []byte) (*Type, error) {
+	d := &decoder{buf: data}
+	size, err := d.varint()
+	if err != nil {
+		return nil, err
+	}
+	lb, err := d.varint()
+	if err != nil {
+		return nil, err
+	}
+	ub, err := d.varint()
+	if err != nil {
+		return nil, err
+	}
+	tlb, err := d.varint()
+	if err != nil {
+		return nil, err
+	}
+	tub, err := d.varint()
+	if err != nil {
+		return nil, err
+	}
+	lp, err := d.loop(0)
+	if err != nil {
+		return nil, err
+	}
+	if d.pos != len(data) {
+		return nil, fmt.Errorf("datatype: %d trailing bytes", len(data)-d.pos)
+	}
+	if lp.dataBytes != size {
+		return nil, fmt.Errorf("datatype: loop bytes %d != declared size %d", lp.dataBytes, size)
+	}
+	return &Type{
+		kind: KindHindexed, name: "decoded",
+		size: size, lb: lb, ub: ub, trueLB: tlb, trueUB: tub,
+		loop: lp, nblocks: lp.blocks,
+	}, nil
+}
+
+func (d *decoder) loop(depth int) (*loop, error) {
+	if depth > maxWireDepth {
+		return nil, fmt.Errorf("datatype: loop nesting exceeds %d", maxWireDepth)
+	}
+	tag, err := d.byte()
+	if err != nil {
+		return nil, err
+	}
+	switch tag {
+	case wireContig:
+		bytes, err := d.varint()
+		if err != nil {
+			return nil, err
+		}
+		if bytes < 0 {
+			return nil, fmt.Errorf("datatype: negative contig length %d", bytes)
+		}
+		return contigLoop(bytes), nil
+	case wireVector:
+		count, err := d.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if count == 0 || count > maxWireParts {
+			return nil, fmt.Errorf("datatype: bad vector count %d", count)
+		}
+		stride, err := d.varint()
+		if err != nil {
+			return nil, err
+		}
+		child, err := d.loop(depth + 1)
+		if err != nil {
+			return nil, err
+		}
+		return &loop{
+			kind: loopVector, count: int(count), stride: stride, child: child,
+			dataBytes: int64(count) * child.dataBytes,
+			blocks:    int64(count) * child.blocks,
+		}, nil
+	case wireIndexed:
+		n, err := d.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if n == 0 || n > maxWireParts {
+			return nil, fmt.Errorf("datatype: bad indexed part count %d", n)
+		}
+		lp := &loop{kind: loopIndexed, parts: make([]loopBlock, 0, n)}
+		for i := uint64(0); i < n; i++ {
+			off, err := d.varint()
+			if err != nil {
+				return nil, err
+			}
+			child, err := d.loop(depth + 1)
+			if err != nil {
+				return nil, err
+			}
+			lp.parts = append(lp.parts, loopBlock{off: off, child: child})
+			lp.dataBytes += child.dataBytes
+			lp.blocks += child.blocks
+		}
+		return lp, nil
+	default:
+		return nil, fmt.Errorf("datatype: unknown loop tag %d", tag)
+	}
+}

@@ -1,0 +1,114 @@
+package datatype
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCodecRoundTripVector(t *testing.T) {
+	v := Must(TypeVector(128, 2, 4096, Int32))
+	enc := Encode(v)
+	// A vector of 128 blocks must encode compactly, not as a block list.
+	if len(enc) > 64 {
+		t.Fatalf("vector encoding is %d bytes; want compact dataloop form", len(enc))
+	}
+	dec, err := Decode(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Size() != v.Size() || dec.Extent() != v.Extent() ||
+		dec.LB() != v.LB() || dec.TrueLB() != v.TrueLB() {
+		t.Fatalf("decoded %+v != original %+v", dec, v)
+	}
+	a, _ := Flatten(v, 3, 0)
+	b, _ := Flatten(dec, 3, 0)
+	if len(a) != len(b) {
+		t.Fatalf("flatten mismatch: %d vs %d runs", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("run %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestCodecErrors(t *testing.T) {
+	v := Must(TypeVector(4, 1, 2, Int32))
+	enc := Encode(v)
+	if _, err := Decode(enc[:len(enc)-1]); err == nil {
+		t.Error("truncated encoding accepted")
+	}
+	if _, err := Decode(append(append([]byte{}, enc...), 0xFF)); err == nil {
+		t.Error("trailing garbage accepted")
+	}
+	if _, err := Decode([]byte{}); err == nil {
+		t.Error("empty encoding accepted")
+	}
+	// Corrupt the loop tag.
+	bad := append([]byte{}, enc...)
+	bad[len(bad)-1] = 0xEE
+	if _, err := Decode(bad); err == nil {
+		// The tag may not be the last byte; only complain if decode also
+		// reproduces the original, which would mean corruption went unseen
+		// AND changed nothing — impossible for a tail byte.
+		t.Error("corrupted encoding accepted")
+	}
+}
+
+// Property: Encode/Decode round-trips layout and bounds for random trees.
+func TestCodecRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		dt := randomType(rng, 3)
+		dec, err := Decode(Encode(dt))
+		if err != nil {
+			return false
+		}
+		if dec.Size() != dt.Size() || dec.Extent() != dt.Extent() ||
+			dec.LB() != dt.LB() || dec.UB() != dt.UB() ||
+			dec.TrueLB() != dt.TrueLB() || dec.TrueExtent() != dt.TrueExtent() {
+			return false
+		}
+		count := rng.Intn(3) + 1
+		a, _ := Flatten(dt, count, 0)
+		b, _ := Flatten(dec, count, 0)
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: decoding random bytes never panics; it either fails or yields a
+// consistent type.
+func TestCodecFuzzNoPanic(t *testing.T) {
+	f := func(data []byte) bool {
+		dec, err := Decode(data)
+		if err != nil {
+			return true
+		}
+		// If it decoded, flattening a small count must not panic and must
+		// match the declared size.
+		blocks, trunc := Flatten(dec, 1, 1<<16)
+		if trunc {
+			return true
+		}
+		var total int64
+		for _, b := range blocks {
+			total += b.Len
+		}
+		return total == dec.Size()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,295 @@
+package datatype
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCursorWholeMessage(t *testing.T) {
+	v := Must(TypeVector(3, 2, 5, Int32))
+	c := NewCursor(v, 1)
+	if c.Remaining() != 24 {
+		t.Fatalf("remaining = %d", c.Remaining())
+	}
+	var got []Block
+	for {
+		off, n, ok := c.Next(1 << 30)
+		if !ok {
+			break
+		}
+		got = append(got, Block{off, n})
+	}
+	want := []Block{{0, 8}, {20, 8}, {40, 8}}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+	if !c.Done() {
+		t.Fatal("cursor not done")
+	}
+}
+
+func TestCursorPartialWithinRun(t *testing.T) {
+	ct := Must(TypeContiguous(100, Int32)) // one 400-byte run
+	c := NewCursor(ct, 1)
+	var total int64
+	var prevEnd int64
+	for i := 0; ; i++ {
+		off, n, ok := c.Next(64)
+		if !ok {
+			break
+		}
+		if i > 0 && off != prevEnd {
+			t.Fatalf("partial pieces not consecutive: off=%d prevEnd=%d", off, prevEnd)
+		}
+		if n > 64 {
+			t.Fatalf("piece longer than max: %d", n)
+		}
+		prevEnd = off + n
+		total += n
+	}
+	if total != 400 {
+		t.Fatalf("total = %d", total)
+	}
+}
+
+func TestCursorCountInstances(t *testing.T) {
+	v := Must(TypeVector(2, 1, 3, Int32)) // extent 16, two 4-byte runs at 0, 12
+	// The run at 12 abuts the next instance's run at 16 (and 28 abuts 32),
+	// so the cursor emits maximal coalesced runs.
+	blocks, _ := Flatten(v, 3, 0)
+	want := []Block{{0, 4}, {12, 8}, {28, 8}, {44, 4}}
+	if len(blocks) != len(want) {
+		t.Fatalf("blocks = %v", blocks)
+	}
+	for i := range want {
+		if blocks[i] != want[i] {
+			t.Fatalf("blocks = %v, want %v", blocks, want)
+		}
+	}
+}
+
+func TestCursorCrossInstanceCoalesce(t *testing.T) {
+	// A type whose data fills its whole extent: consecutive message
+	// instances must coalesce into a single run at the cursor level.
+	ct := Must(TypeContiguous(4, Int32))
+	blocks, _ := Flatten(ct, 5, 0)
+	if len(blocks) != 1 || blocks[0] != (Block{0, 80}) {
+		t.Fatalf("blocks = %v, want one 80-byte run", blocks)
+	}
+}
+
+func TestCursorCrossIterationCoalesce(t *testing.T) {
+	// Vector whose last block of instance i abuts the first block of
+	// instance i+1 via the resized extent.
+	v := Must(TypeVector(2, 2, 4, Int32)) // runs at [0,8) [16,24), extent 24... data ends at 24
+	// second instance starts at extent 24: runs [24,32) [40,48): run [16,24)+[24,32) coalesce
+	blocks, _ := Flatten(v, 2, 0)
+	want := []Block{{0, 8}, {16, 16}, {40, 8}}
+	if len(blocks) != len(want) {
+		t.Fatalf("blocks = %v, want %v", blocks, want)
+	}
+	for i := range want {
+		if blocks[i] != want[i] {
+			t.Fatalf("blocks = %v, want %v", blocks, want)
+		}
+	}
+}
+
+func TestCursorEmpty(t *testing.T) {
+	v := Must(TypeVector(0, 2, 5, Int32))
+	c := NewCursor(v, 1)
+	if !c.Done() {
+		t.Fatal("empty type cursor not done")
+	}
+	if _, _, ok := c.Next(100); ok {
+		t.Fatal("empty cursor produced a run")
+	}
+	c2 := NewCursor(Int32, 0)
+	if !c2.Done() {
+		t.Fatal("count=0 cursor not done")
+	}
+}
+
+func TestCursorNextPanicsOnBadMax(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Next(0) did not panic")
+		}
+	}()
+	NewCursor(Int32, 1).Next(0)
+}
+
+func TestLayoutStats(t *testing.T) {
+	v := Must(TypeVector(128, 2, 4096, Int32))
+	s := LayoutStats(v, 1, 0)
+	if s.Runs != 128 || s.Bytes != 1024 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if s.MinRun != 8 || s.MaxRun != 8 || s.MedianRun != 8 || s.AvgRun != 8 {
+		t.Fatalf("stats = %+v", s)
+	}
+	// Struct with mixed sizes.
+	st := Must(TypeStruct([]int{1, 4}, []int64{0, 8}, []*Type{Int32, Int32}))
+	s2 := LayoutStats(st, 1, 0)
+	if s2.Runs != 2 || s2.MinRun != 4 || s2.MaxRun != 16 || s2.MedianRun != 16 {
+		t.Fatalf("stats = %+v", s2)
+	}
+}
+
+func TestFlattenLimit(t *testing.T) {
+	v := Must(TypeVector(1000, 1, 2, Int32))
+	blocks, trunc := Flatten(v, 1, 10)
+	if len(blocks) != 10 || !trunc {
+		t.Fatalf("len=%d trunc=%v", len(blocks), trunc)
+	}
+}
+
+// randomType builds a random type tree for property testing.
+func randomType(rng *rand.Rand, depth int) *Type {
+	bases := []*Type{Byte, Int32, Float64}
+	if depth <= 0 || rng.Intn(3) == 0 {
+		return bases[rng.Intn(len(bases))]
+	}
+	child := randomType(rng, depth-1)
+	switch rng.Intn(4) {
+	case 0:
+		return Must(TypeContiguous(rng.Intn(4)+1, child))
+	case 1:
+		bl := rng.Intn(3) + 1
+		stride := bl + rng.Intn(4) // stride >= blocklen: no self-overlap
+		return Must(TypeVector(rng.Intn(4)+1, bl, stride, child))
+	case 2:
+		n := rng.Intn(3) + 1
+		lens := make([]int, n)
+		displs := make([]int, n)
+		pos := 0
+		for i := 0; i < n; i++ {
+			lens[i] = rng.Intn(3) + 1
+			displs[i] = pos
+			pos += lens[i] + rng.Intn(4)
+		}
+		return Must(TypeIndexed(lens, displs, child))
+	default:
+		n := rng.Intn(3) + 1
+		lens := make([]int, n)
+		displs := make([]int64, n)
+		types := make([]*Type, n)
+		var pos int64
+		for i := 0; i < n; i++ {
+			lens[i] = rng.Intn(2) + 1
+			types[i] = bases[rng.Intn(len(bases))]
+			displs[i] = pos
+			pos += int64(lens[i])*types[i].Extent() + int64(rng.Intn(16))
+		}
+		return Must(TypeStruct(lens, displs, types))
+	}
+}
+
+// Property: flattened runs carry exactly Size()*count bytes, lie within the
+// true bounds, and are non-overlapping when sorted by offset (for the
+// non-self-overlapping constructors used here).
+func TestFlattenCoversSizeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		dt := randomType(rng, 3)
+		count := rng.Intn(3) + 1
+		blocks, trunc := Flatten(dt, count, 0)
+		if trunc {
+			return false
+		}
+		var total int64
+		for _, b := range blocks {
+			if b.Len <= 0 {
+				return false
+			}
+			total += b.Len
+		}
+		if total != dt.Size()*int64(count) {
+			return false
+		}
+		lo := dt.TrueLB()
+		hi := dt.TrueLB() + dt.TrueExtent() + int64(count-1)*dt.Extent()
+		for _, b := range blocks {
+			if b.Off < lo || b.End() > hi {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: consuming the cursor in random-size bites produces exactly the
+// same byte coverage as one whole-message flatten.
+func TestCursorSplitInvariantProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		dt := randomType(rng, 3)
+		count := rng.Intn(3) + 1
+		whole, _ := Flatten(dt, count, 0)
+
+		c := NewCursor(dt, count)
+		var pieces []Block
+		for {
+			max := int64(rng.Intn(37) + 1)
+			off, n, ok := c.Next(max)
+			if !ok {
+				break
+			}
+			pieces = append(pieces, Block{off, n})
+		}
+		// Coalesce consecutive pieces and compare to whole.
+		var merged []Block
+		for _, p := range pieces {
+			if len(merged) > 0 && merged[len(merged)-1].End() == p.Off {
+				merged[len(merged)-1].Len += p.Len
+			} else {
+				merged = append(merged, p)
+			}
+		}
+		if len(merged) != len(whole) {
+			return false
+		}
+		for i := range whole {
+			if merged[i] != whole[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: LayoutStats totals agree with Flatten.
+func TestLayoutStatsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		dt := randomType(rng, 2)
+		count := rng.Intn(4) + 1
+		s := LayoutStats(dt, count, 0)
+		blocks, _ := Flatten(dt, count, 0)
+		if s.Runs != int64(len(blocks)) {
+			return false
+		}
+		if s.Bytes != dt.Size()*int64(count) {
+			return false
+		}
+		if s.Runs > 0 && (s.MinRun > s.MedianRun || s.MedianRun > s.MaxRun) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

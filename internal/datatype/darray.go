@@ -1,0 +1,187 @@
+package datatype
+
+import "fmt"
+
+// Distribution kinds for TypeDarray, mirroring MPI_DISTRIBUTE_*.
+const (
+	DistributeNone = iota
+	DistributeBlock
+	DistributeCyclic
+)
+
+// DfltDarg selects the default distribution argument
+// (MPI_DISTRIBUTE_DFLT_DARG).
+const DfltDarg = -1
+
+// TypeDarray mirrors MPI_Type_create_darray: the local piece of an
+// ndims-dimensional global array of gsizes[...] elements distributed over a
+// process grid of psizes[...] (HPF-style), as seen by process rank of size.
+// distribs selects DistributeNone, DistributeBlock or DistributeCyclic per
+// dimension; dargs gives the block/cyclic size (DfltDarg for the default).
+// The type's extent equals the whole global array, so reading a file written
+// with counts of this type round-robins correctly — its principal MPI-IO use.
+func TypeDarray(size, rank int, gsizes, distribs, dargs, psizes []int, order int, old *Type) (*Type, error) {
+	if old == nil {
+		return nil, errNilType
+	}
+	n := len(gsizes)
+	if n == 0 || len(distribs) != n || len(dargs) != n || len(psizes) != n {
+		return nil, fmt.Errorf("datatype: darray dims disagree: %d/%d/%d/%d",
+			len(gsizes), len(distribs), len(dargs), len(psizes))
+	}
+	if order != OrderC && order != OrderFortran {
+		return nil, fmt.Errorf("datatype: bad darray order %d", order)
+	}
+	grid := 1
+	for i := 0; i < n; i++ {
+		if gsizes[i] <= 0 || psizes[i] <= 0 {
+			return nil, fmt.Errorf("datatype: darray gsize[%d]=%d psize[%d]=%d",
+				i, gsizes[i], i, psizes[i])
+		}
+		if distribs[i] == DistributeNone && psizes[i] != 1 {
+			return nil, fmt.Errorf("datatype: darray dim %d: DistributeNone needs psize 1", i)
+		}
+		grid *= psizes[i]
+	}
+	if grid != size {
+		return nil, fmt.Errorf("datatype: darray process grid %d != size %d", grid, size)
+	}
+	if rank < 0 || rank >= size {
+		return nil, fmt.Errorf("datatype: darray rank %d of %d", rank, size)
+	}
+
+	// Process coordinates, C-ordered over psizes (dimension 0 slowest).
+	coords := make([]int, n)
+	r := rank
+	for i := 0; i < n; i++ {
+		procs := 1
+		for j := i + 1; j < n; j++ {
+			procs *= psizes[j]
+		}
+		coords[i] = r / procs
+		r %= procs
+	}
+
+	// Storage order: build from the fastest-varying dimension outward.
+	dims := make([]int, n)
+	for i := range dims {
+		dims[i] = i
+	}
+	if order == OrderC {
+		for i, j := 0, n-1; i < j; i, j = i+1, j-1 {
+			dims[i], dims[j] = dims[j], dims[i]
+		}
+	}
+
+	t := old
+	ext := old.Extent()
+	for _, d := range dims {
+		gsize, psize, coord := gsizes[d], psizes[d], coords[d]
+		var err error
+		switch distribs[d] {
+		case DistributeNone:
+			t, err = dimBlock(t, ext, gsize, 0, gsize)
+		case DistributeBlock:
+			blk := dargs[d]
+			if blk == DfltDarg {
+				blk = (gsize + psize - 1) / psize
+			}
+			if blk <= 0 || blk*psize < gsize {
+				return nil, fmt.Errorf("datatype: darray dim %d: block size %d too small for %d/%d",
+					d, blk, gsize, psize)
+			}
+			start := coord * blk
+			mysize := gsize - start
+			if mysize > blk {
+				mysize = blk
+			}
+			if mysize < 0 {
+				mysize = 0
+			}
+			t, err = dimBlock(t, ext, gsize, start, mysize)
+		case DistributeCyclic:
+			k := dargs[d]
+			if k == DfltDarg {
+				k = 1
+			}
+			if k <= 0 {
+				return nil, fmt.Errorf("datatype: darray dim %d: cyclic size %d", d, k)
+			}
+			t, err = dimCyclic(t, ext, gsize, psize, coord, k)
+		default:
+			return nil, fmt.Errorf("datatype: darray dim %d: bad distribution %d", d, distribs[d])
+		}
+		if err != nil {
+			return nil, err
+		}
+		ext *= int64(gsize)
+	}
+	return t, nil
+}
+
+// dimBlock builds one dimension's layout: mysize consecutive elements (each
+// an instance of child with extent ext) starting at index start, resized to
+// span the full gsize elements.
+func dimBlock(child *Type, ext int64, gsize, start, mysize int) (*Type, error) {
+	var t *Type
+	var err error
+	if mysize <= 0 {
+		// Empty contribution in this dimension.
+		t, err = TypeHvector(0, 1, ext, child)
+	} else {
+		t, err = TypeHvector(mysize, 1, ext, child)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if start > 0 && mysize > 0 {
+		t, err = TypeHindexed([]int{1}, []int64{int64(start) * ext}, t)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return TypeResized(t, 0, int64(gsize)*ext)
+}
+
+// dimCyclic builds one dimension's cyclic(k) layout for process coord of
+// psize, resized to the full gsize elements.
+func dimCyclic(child *Type, ext int64, gsize, psize, coord, k int) (*Type, error) {
+	stride := int64(psize) * int64(k) * ext
+	first := coord * k
+	if first >= gsize {
+		t, err := TypeHvector(0, 1, ext, child)
+		if err != nil {
+			return nil, err
+		}
+		return TypeResized(t, 0, int64(gsize)*ext)
+	}
+	nb := (gsize - first + psize*k - 1) / (psize * k) // blocks (last may be short)
+	lastLen := gsize - (first + (nb-1)*psize*k)
+	if lastLen > k {
+		lastLen = k
+	}
+	var t *Type
+	var err error
+	if lastLen == k {
+		t, err = TypeHvector(nb, k, stride, child)
+	} else {
+		lens := make([]int, nb)
+		displs := make([]int64, nb)
+		for i := 0; i < nb; i++ {
+			lens[i] = k
+			displs[i] = int64(i) * stride
+		}
+		lens[nb-1] = lastLen
+		t, err = TypeHindexed(lens, displs, child)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if first > 0 {
+		t, err = TypeHindexed([]int{1}, []int64{int64(first) * ext}, t)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return TypeResized(t, 0, int64(gsize)*ext)
+}

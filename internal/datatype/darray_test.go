@@ -1,0 +1,249 @@
+package datatype
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// bruteDarrayOwned computes, straight from the HPF distribution definitions,
+// the byte offsets process rank owns in the global array.
+func bruteDarrayOwned(size, rank int, gsizes, distribs, dargs, psizes []int, order int, elem int64) map[int64]bool {
+	n := len(gsizes)
+	coords := make([]int, n)
+	r := rank
+	for i := 0; i < n; i++ {
+		procs := 1
+		for j := i + 1; j < n; j++ {
+			procs *= psizes[j]
+		}
+		coords[i] = r / procs
+		r %= procs
+	}
+	owns := func(d, j int) bool {
+		switch distribs[d] {
+		case DistributeNone:
+			return true
+		case DistributeBlock:
+			blk := dargs[d]
+			if blk == DfltDarg {
+				blk = (gsizes[d] + psizes[d] - 1) / psizes[d]
+			}
+			return j/blk == coords[d]
+		case DistributeCyclic:
+			k := dargs[d]
+			if k == DfltDarg {
+				k = 1
+			}
+			return (j/k)%psizes[d] == coords[d]
+		}
+		return false
+	}
+	// Strides per dimension in elements (storage order).
+	dims := make([]int, n)
+	for i := range dims {
+		dims[i] = i
+	}
+	if order == OrderFortran {
+		for i, j := 0, n-1; i < j; i, j = i+1, j-1 {
+			dims[i], dims[j] = dims[j], dims[i]
+		}
+	}
+	strides := make([]int64, n)
+	s := int64(1)
+	for k := n - 1; k >= 0; k-- {
+		strides[dims[k]] = s
+		s *= int64(gsizes[dims[k]])
+	}
+	out := map[int64]bool{}
+	var walk func(d int, off int64)
+	walk = func(d int, off int64) {
+		if d == n {
+			out[off*elem] = true
+			return
+		}
+		for j := 0; j < gsizes[d]; j++ {
+			if owns(d, j) {
+				walk(d+1, off+int64(j)*strides[d])
+			}
+		}
+	}
+	walk(0, 0)
+	return out
+}
+
+func TestDarrayBlock2D(t *testing.T) {
+	// 8x8 ints over a 2x2 grid, block x block.
+	gs := []int{8, 8}
+	ds := []int{DistributeBlock, DistributeBlock}
+	da := []int{DfltDarg, DfltDarg}
+	ps := []int{2, 2}
+	var total int64
+	for rank := 0; rank < 4; rank++ {
+		dt := Must(TypeDarray(4, rank, gs, ds, da, ps, OrderC, Int32))
+		if dt.Extent() != 8*8*4 {
+			t.Fatalf("rank %d extent = %d", rank, dt.Extent())
+		}
+		want := bruteDarrayOwned(4, rank, gs, ds, da, ps, OrderC, 4)
+		if !sameSet(coveredOffsets(dt, 4), want) {
+			t.Fatalf("rank %d coverage mismatch", rank)
+		}
+		total += dt.Size()
+	}
+	if total != 8*8*4 {
+		t.Fatalf("ranks' pieces total %d, want full array", total)
+	}
+}
+
+func TestDarrayCyclic(t *testing.T) {
+	// 1-D cyclic(1): round robin of 10 elements over 3 processes.
+	gs := []int{10}
+	ds := []int{DistributeCyclic}
+	da := []int{DfltDarg}
+	ps := []int{3}
+	var total int64
+	for rank := 0; rank < 3; rank++ {
+		dt := Must(TypeDarray(3, rank, gs, ds, da, ps, OrderC, Int32))
+		want := bruteDarrayOwned(3, rank, gs, ds, da, ps, OrderC, 4)
+		if !sameSet(coveredOffsets(dt, 4), want) {
+			t.Fatalf("rank %d cyclic coverage mismatch: got %v", rank, coveredOffsets(dt, 4))
+		}
+		total += dt.Size()
+	}
+	if total != 40 {
+		t.Fatalf("total = %d", total)
+	}
+}
+
+func TestDarrayCyclicBlockK(t *testing.T) {
+	// cyclic(3) of 17 elements over 2 processes: partial final block.
+	gs := []int{17}
+	ds := []int{DistributeCyclic}
+	da := []int{3}
+	ps := []int{2}
+	var total int64
+	for rank := 0; rank < 2; rank++ {
+		dt := Must(TypeDarray(2, rank, gs, ds, da, ps, OrderC, Int32))
+		want := bruteDarrayOwned(2, rank, gs, ds, da, ps, OrderC, 4)
+		if !sameSet(coveredOffsets(dt, 4), want) {
+			t.Fatalf("rank %d cyclic(3) coverage mismatch", rank)
+		}
+		total += dt.Size()
+	}
+	if total != 17*4 {
+		t.Fatalf("total = %d", total)
+	}
+}
+
+func TestDarrayMixedDistribs(t *testing.T) {
+	// 2-D: block rows, cyclic(2) columns, 2x2 grid, Fortran order.
+	gs := []int{6, 8}
+	ds := []int{DistributeBlock, DistributeCyclic}
+	da := []int{DfltDarg, 2}
+	ps := []int{2, 2}
+	for rank := 0; rank < 4; rank++ {
+		dt := Must(TypeDarray(4, rank, gs, ds, da, ps, OrderFortran, Float64))
+		want := bruteDarrayOwned(4, rank, gs, ds, da, ps, OrderFortran, 8)
+		if !sameSet(coveredOffsets(dt, 8), want) {
+			t.Fatalf("rank %d mixed coverage mismatch", rank)
+		}
+	}
+}
+
+func TestDarrayUnevenBlock(t *testing.T) {
+	// 10 elements, block over 3 processes: 4/4/2.
+	gs := []int{10}
+	ds := []int{DistributeBlock}
+	da := []int{DfltDarg}
+	ps := []int{3}
+	sizes := []int64{16, 16, 8}
+	for rank := 0; rank < 3; rank++ {
+		dt := Must(TypeDarray(3, rank, gs, ds, da, ps, OrderC, Int32))
+		if dt.Size() != sizes[rank] {
+			t.Fatalf("rank %d size = %d, want %d", rank, dt.Size(), sizes[rank])
+		}
+	}
+}
+
+func TestDarrayErrors(t *testing.T) {
+	if _, err := TypeDarray(4, 0, []int{8}, []int{DistributeBlock}, []int{DfltDarg}, []int{2}, OrderC, Int32); err == nil {
+		t.Error("grid/size mismatch accepted")
+	}
+	if _, err := TypeDarray(2, 5, []int{8}, []int{DistributeBlock}, []int{DfltDarg}, []int{2}, OrderC, Int32); err == nil {
+		t.Error("rank out of range accepted")
+	}
+	if _, err := TypeDarray(2, 0, []int{8}, []int{DistributeNone}, []int{DfltDarg}, []int{2}, OrderC, Int32); err == nil {
+		t.Error("DistributeNone with psize>1 accepted")
+	}
+	if _, err := TypeDarray(2, 0, []int{8}, []int{DistributeBlock}, []int{2}, []int{2}, OrderC, Int32); err == nil {
+		t.Error("undersized block accepted")
+	}
+}
+
+// Property: over random shapes, the per-rank pieces are disjoint, cover the
+// whole array, and each matches the brute-force ownership set.
+func TestDarrayPartitionProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(2) + 1
+		gs := make([]int, n)
+		ds := make([]int, n)
+		da := make([]int, n)
+		ps := make([]int, n)
+		size := 1
+		for i := 0; i < n; i++ {
+			gs[i] = rng.Intn(9) + 1
+			switch rng.Intn(3) {
+			case 0:
+				ds[i] = DistributeNone
+				da[i] = DfltDarg
+				ps[i] = 1
+			case 1:
+				ds[i] = DistributeBlock
+				da[i] = DfltDarg
+				ps[i] = rng.Intn(3) + 1
+			default:
+				ds[i] = DistributeCyclic
+				if rng.Intn(2) == 0 {
+					da[i] = DfltDarg
+				} else {
+					da[i] = rng.Intn(3) + 1
+				}
+				ps[i] = rng.Intn(3) + 1
+			}
+			size *= ps[i]
+		}
+		order := OrderC
+		if rng.Intn(2) == 1 {
+			order = OrderFortran
+		}
+		union := map[int64]bool{}
+		var total int64
+		for rank := 0; rank < size; rank++ {
+			dt, err := TypeDarray(size, rank, gs, ds, da, ps, order, Int32)
+			if err != nil {
+				return false
+			}
+			got := coveredOffsets(dt, 4)
+			want := bruteDarrayOwned(size, rank, gs, ds, da, ps, order, 4)
+			if !sameSet(got, want) {
+				return false
+			}
+			for o := range got {
+				if union[o] {
+					return false // overlap between ranks
+				}
+				union[o] = true
+			}
+			total += dt.Size()
+		}
+		var full int64 = 4
+		for _, g := range gs {
+			full *= int64(g)
+		}
+		return total == full && int64(len(union))*4 == full
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

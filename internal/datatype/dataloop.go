@@ -1,0 +1,193 @@
+package datatype
+
+import "fmt"
+
+// The dataloop is the normalized traversal form of a datatype, after Ross,
+// Miller & Gropp's reusable datatype-processing component for MPICH2. It has
+// three node kinds — a contiguous run, a counted strided loop, and an
+// offset-indexed list — and is built once at type construction, with
+// contiguity folded away: a vector whose stride equals its block span
+// becomes a single contiguous run, a block of contiguous children becomes
+// one run, and adjacent indexed parts merge.
+
+type loopKind int
+
+const (
+	loopContig loopKind = iota
+	loopVector
+	loopIndexed
+)
+
+// loopBlock is one displaced child of an indexed loop.
+type loopBlock struct {
+	off   int64
+	child *loop
+}
+
+type loop struct {
+	kind loopKind
+
+	// loopContig
+	bytes int64
+
+	// loopVector
+	count  int
+	stride int64
+	child  *loop
+
+	// loopIndexed
+	parts []loopBlock
+
+	// Derived totals for one traversal.
+	dataBytes int64
+	blocks    int64 // contiguous runs emitted per traversal (upper bound:
+	// cross-iteration adjacency is coalesced by the cursor, not here)
+}
+
+func emptyLoop() *loop {
+	return &loop{kind: loopContig, bytes: 0, dataBytes: 0, blocks: 0}
+}
+
+func contigLoop(bytes int64) *loop {
+	if bytes <= 0 {
+		return emptyLoop()
+	}
+	return &loop{kind: loopContig, bytes: bytes, dataBytes: bytes, blocks: 1}
+}
+
+// typeContigFull reports whether one instance of old is a single run whose
+// size equals its extent starting at its origin, so consecutive instances
+// at extent stride form one larger run.
+func typeContigFull(old *Type) bool {
+	return old.loop.kind == loopContig && old.loop.bytes == old.Extent() && old.lb == 0
+}
+
+// blockLoop returns the loop for blocklen consecutive instances of old
+// (each at old.Extent() stride from the previous).
+func blockLoop(blocklen int, old *Type) *loop {
+	if blocklen <= 0 || old.size == 0 {
+		return emptyLoop()
+	}
+	if typeContigFull(old) {
+		return contigLoop(int64(blocklen) * old.size)
+	}
+	if blocklen == 1 {
+		return old.loop
+	}
+	child := old.loop
+	lp := &loop{
+		kind: loopVector, count: blocklen, stride: old.Extent(), child: child,
+		dataBytes: int64(blocklen) * child.dataBytes,
+		blocks:    int64(blocklen) * child.blocks,
+	}
+	return lp
+}
+
+// vectorLoop returns the loop for count blocks of blocklen olds with the
+// given byte stride between block starts.
+func vectorLoop(count int, strideBytes int64, blocklen int, old *Type) *loop {
+	inner := blockLoop(blocklen, old)
+	if count <= 0 || inner.dataBytes == 0 {
+		return emptyLoop()
+	}
+	if count == 1 {
+		return inner
+	}
+	// Consecutive blocks that touch coalesce into one contiguous run.
+	if inner.kind == loopContig && strideBytes == inner.bytes {
+		return contigLoop(int64(count) * inner.bytes)
+	}
+	return &loop{
+		kind: loopVector, count: count, stride: strideBytes, child: inner,
+		dataBytes: int64(count) * inner.dataBytes,
+		blocks:    int64(count) * inner.blocks,
+	}
+}
+
+// indexedLoop builds an indexed loop from displaced children, merging
+// adjacent contiguous parts and unwrapping the trivial single-part case.
+func indexedLoop(parts []loopBlock) *loop {
+	merged := make([]loopBlock, 0, len(parts))
+	for _, p := range parts {
+		if p.child.dataBytes == 0 {
+			continue
+		}
+		if n := len(merged); n > 0 {
+			last := &merged[n-1]
+			if last.child.kind == loopContig && p.child.kind == loopContig &&
+				last.off+last.child.bytes == p.off {
+				last.child = contigLoop(last.child.bytes + p.child.bytes)
+				continue
+			}
+		}
+		merged = append(merged, p)
+	}
+	if len(merged) == 0 {
+		return emptyLoop()
+	}
+	if len(merged) == 1 && merged[0].off == 0 {
+		return merged[0].child
+	}
+	lp := &loop{kind: loopIndexed, parts: merged}
+	for _, p := range merged {
+		lp.dataBytes += p.child.dataBytes
+		lp.blocks += p.child.blocks
+	}
+	return lp
+}
+
+// messageLoop returns the loop for count instances of t, consecutive
+// instances separated by t's extent — the layout of an MPI (buf, count,
+// datatype) triple.
+func messageLoop(t *Type, count int) *loop {
+	if count <= 0 || t.size == 0 {
+		return emptyLoop()
+	}
+	if count == 1 {
+		return t.loop
+	}
+	if typeContigFull(t) {
+		return contigLoop(int64(count) * t.size)
+	}
+	return &loop{
+		kind: loopVector, count: count, stride: t.Extent(), child: t.loop,
+		dataBytes: int64(count) * t.loop.dataBytes,
+		blocks:    int64(count) * t.loop.blocks,
+	}
+}
+
+// loopDepth reports the nesting depth (for codec sanity limits).
+func loopDepth(lp *loop) int {
+	switch lp.kind {
+	case loopContig:
+		return 1
+	case loopVector:
+		return 1 + loopDepth(lp.child)
+	case loopIndexed:
+		d := 0
+		for _, p := range lp.parts {
+			if c := loopDepth(p.child); c > d {
+				d = c
+			}
+		}
+		return 1 + d
+	}
+	return 1
+}
+
+// treeString renders the dataloop as an indented tree (dtinspect's view).
+func (lp *loop) treeString(indent string, b *[]byte) {
+	switch lp.kind {
+	case loopContig:
+		*b = append(*b, fmt.Sprintf("%scontig %d bytes\n", indent, lp.bytes)...)
+	case loopVector:
+		*b = append(*b, fmt.Sprintf("%svector count=%d stride=%d\n", indent, lp.count, lp.stride)...)
+		lp.child.treeString(indent+"  ", b)
+	case loopIndexed:
+		*b = append(*b, fmt.Sprintf("%sindexed parts=%d\n", indent, len(lp.parts))...)
+		for _, p := range lp.parts {
+			*b = append(*b, fmt.Sprintf("%s  @%d:\n", indent, p.off)...)
+			p.child.treeString(indent+"    ", b)
+		}
+	}
+}

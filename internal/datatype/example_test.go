@@ -1,0 +1,87 @@
+package datatype_test
+
+import (
+	"fmt"
+
+	"repro/internal/datatype"
+)
+
+// Building the paper's motivating type: two columns of a 128x4096 integer
+// matrix, and inspecting its layout.
+func ExampleTypeVector() {
+	cols := datatype.Must(datatype.TypeVector(128, 2, 4096, datatype.Int32))
+	fmt.Println("data bytes:", cols.Size())
+	fmt.Println("extent:    ", cols.Extent())
+	fmt.Println("blocks:    ", cols.Blocks())
+	fmt.Println("contiguous:", cols.Contig())
+	// Output:
+	// data bytes: 1024
+	// extent:     2080776
+	// blocks:     128
+	// contiguous: false
+}
+
+// Flattening produces the maximal contiguous runs of a message; abutting
+// pieces coalesce.
+func ExampleFlatten() {
+	ix := datatype.Must(datatype.TypeIndexed(
+		[]int{2, 3, 1}, []int{0, 2, 10}, datatype.Int32))
+	runs, _ := datatype.Flatten(ix, 1, 0)
+	for _, r := range runs {
+		fmt.Printf("[%d,+%d)\n", r.Off, r.Len)
+	}
+	// The first two blocks are adjacent (elements 0-1 and 2-4) and merge.
+	// Output:
+	// [0,+20)
+	// [40,+4)
+}
+
+// The cursor supports partial processing: stop after any number of bytes and
+// resume exactly there — what segment pipelines need.
+func ExampleCursor() {
+	v := datatype.Must(datatype.TypeVector(3, 2, 4, datatype.Int32))
+	c := datatype.NewCursor(v, 1)
+	for {
+		off, n, ok := c.Next(6) // at most 6 bytes per bite
+		if !ok {
+			break
+		}
+		fmt.Printf("copy %d bytes at offset %d\n", n, off)
+	}
+	// Output:
+	// copy 6 bytes at offset 0
+	// copy 2 bytes at offset 6
+	// copy 6 bytes at offset 16
+	// copy 2 bytes at offset 22
+	// copy 6 bytes at offset 32
+	// copy 2 bytes at offset 38
+}
+
+// Layouts travel between ranks in compact dataloop form (the Multi-W
+// datatype exchange); a million-block vector costs a handful of bytes.
+func ExampleEncode() {
+	v := datatype.Must(datatype.TypeVector(1_000_000, 1, 2, datatype.Float64))
+	wire := datatype.Encode(v)
+	fmt.Println("blocks:", v.Blocks())
+	fmt.Println("encoded bytes:", len(wire))
+	dec, _ := datatype.Decode(wire)
+	fmt.Println("round trip size match:", dec.Size() == v.Size())
+	// Output:
+	// blocks: 1000000
+	// encoded bytes: 21
+	// round trip size match: true
+}
+
+// A 2-D subarray: the interior tile of a matrix with a halo ring.
+func ExampleTypeSubarray() {
+	interior := datatype.Must(datatype.TypeSubarray(
+		[]int{6, 6}, // full local array
+		[]int{4, 4}, // interior
+		[]int{1, 1}, // halo offset
+		datatype.OrderC, datatype.Float64))
+	fmt.Println("data bytes:", interior.Size())
+	fmt.Println("runs:", interior.Blocks())
+	// Output:
+	// data bytes: 128
+	// runs: 4
+}

@@ -1,0 +1,186 @@
+package datatype
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// bruteSubarrayOffsets enumerates the expected element byte offsets of a
+// subarray directly from its definition.
+func bruteSubarrayOffsets(sizes, subsizes, starts []int, order int, elem int64) map[int64]bool {
+	n := len(sizes)
+	dims := make([]int, n)
+	for i := range dims {
+		dims[i] = i
+	}
+	if order == OrderFortran {
+		for i, j := 0, n-1; i < j; i, j = i+1, j-1 {
+			dims[i], dims[j] = dims[j], dims[i]
+		}
+	}
+	// strides[d] in elements, with dims[n-1] fastest.
+	strides := make([]int64, n)
+	s := int64(1)
+	for k := n - 1; k >= 0; k-- {
+		strides[dims[k]] = s
+		s *= int64(sizes[dims[k]])
+	}
+	offsets := map[int64]bool{}
+	idx := make([]int, n)
+	var walk func(d int)
+	walk = func(d int) {
+		if d == n {
+			var off int64
+			for i := 0; i < n; i++ {
+				off += int64(starts[i]+idx[i]) * strides[i]
+			}
+			offsets[off*elem] = true
+			return
+		}
+		for idx[d] = 0; idx[d] < subsizes[d]; idx[d]++ {
+			walk(d + 1)
+		}
+	}
+	walk(0)
+	return offsets
+}
+
+func coveredOffsets(t *Type, elem int64) map[int64]bool {
+	blocks, _ := Flatten(t, 1, 0)
+	out := map[int64]bool{}
+	for _, b := range blocks {
+		for o := b.Off; o < b.End(); o += elem {
+			out[o] = true
+		}
+	}
+	return out
+}
+
+func sameSet(a, b map[int64]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestSubarray2DC(t *testing.T) {
+	// 4x6 array, 2x3 sub-block at (1,2), C order.
+	sub := Must(TypeSubarray([]int{4, 6}, []int{2, 3}, []int{1, 2}, OrderC, Int32))
+	if sub.Size() != 2*3*4 {
+		t.Fatalf("size = %d", sub.Size())
+	}
+	if sub.Extent() != 4*6*4 {
+		t.Fatalf("extent = %d, want whole array", sub.Extent())
+	}
+	if sub.LB() != 0 {
+		t.Fatalf("lb = %d", sub.LB())
+	}
+	want := bruteSubarrayOffsets([]int{4, 6}, []int{2, 3}, []int{1, 2}, OrderC, 4)
+	if !sameSet(coveredOffsets(sub, 4), want) {
+		t.Fatalf("coverage mismatch: %v", coveredOffsets(sub, 4))
+	}
+	// Rows of 3 ints: 2 contiguous runs.
+	if blocks, _ := Flatten(sub, 1, 0); len(blocks) != 2 {
+		t.Fatalf("runs = %d, want 2", len(blocks))
+	}
+}
+
+func TestSubarrayFortranOrder(t *testing.T) {
+	sizes, subsizes, starts := []int{4, 6}, []int{2, 3}, []int{1, 2}
+	sub := Must(TypeSubarray(sizes, subsizes, starts, OrderFortran, Float64))
+	want := bruteSubarrayOffsets(sizes, subsizes, starts, OrderFortran, 8)
+	if !sameSet(coveredOffsets(sub, 8), want) {
+		t.Fatal("fortran-order coverage mismatch")
+	}
+	// Column-major: dimension 0 is fastest, so runs are 2 elements long.
+	blocks, _ := Flatten(sub, 1, 0)
+	if blocks[0].Len != 16 {
+		t.Fatalf("first run = %d bytes, want 16", blocks[0].Len)
+	}
+}
+
+func TestSubarray3D(t *testing.T) {
+	sizes, subsizes, starts := []int{3, 4, 5}, []int{2, 2, 3}, []int{1, 0, 1}
+	sub := Must(TypeSubarray(sizes, subsizes, starts, OrderC, Int32))
+	if sub.Size() != 2*2*3*4 {
+		t.Fatalf("size = %d", sub.Size())
+	}
+	want := bruteSubarrayOffsets(sizes, subsizes, starts, OrderC, 4)
+	if !sameSet(coveredOffsets(sub, 4), want) {
+		t.Fatal("3-D coverage mismatch")
+	}
+}
+
+func TestSubarrayFullIsContig(t *testing.T) {
+	sub := Must(TypeSubarray([]int{4, 8}, []int{4, 8}, []int{0, 0}, OrderC, Int32))
+	if !sub.Contig() {
+		t.Fatalf("full subarray should be contiguous: %v blocks=%d", sub, sub.Blocks())
+	}
+}
+
+func TestSubarrayTilesWithCount(t *testing.T) {
+	// count=2 must place the second sub-block exactly one array later.
+	sizes, subsizes, starts := []int{2, 4}, []int{1, 2}, []int{1, 1}
+	sub := Must(TypeSubarray(sizes, subsizes, starts, OrderC, Int32))
+	blocks, _ := Flatten(sub, 2, 0)
+	if len(blocks) != 2 {
+		t.Fatalf("blocks = %v", blocks)
+	}
+	if blocks[1].Off != blocks[0].Off+int64(2*4)*4 {
+		t.Fatalf("second instance misplaced: %v", blocks)
+	}
+}
+
+func TestSubarrayErrors(t *testing.T) {
+	if _, err := TypeSubarray([]int{4}, []int{5}, []int{0}, OrderC, Int32); err == nil {
+		t.Error("oversized subsize accepted")
+	}
+	if _, err := TypeSubarray([]int{4}, []int{2}, []int{3}, OrderC, Int32); err == nil {
+		t.Error("overflowing start accepted")
+	}
+	if _, err := TypeSubarray([]int{4}, []int{2}, []int{0}, 99, Int32); err == nil {
+		t.Error("bad order accepted")
+	}
+	if _, err := TypeSubarray([]int{4, 4}, []int{2}, []int{0}, OrderC, Int32); err == nil {
+		t.Error("dim mismatch accepted")
+	}
+	if _, err := TypeSubarray(nil, nil, nil, OrderC, Int32); err == nil {
+		t.Error("zero dims accepted")
+	}
+}
+
+// Property: for random shapes and both orders, the subarray covers exactly
+// the brute-force offset set.
+func TestSubarrayCoverageProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(3) + 1
+		sizes := make([]int, n)
+		subsizes := make([]int, n)
+		starts := make([]int, n)
+		for i := 0; i < n; i++ {
+			sizes[i] = rng.Intn(6) + 1
+			subsizes[i] = rng.Intn(sizes[i]) + 1
+			starts[i] = rng.Intn(sizes[i] - subsizes[i] + 1)
+		}
+		order := OrderC
+		if rng.Intn(2) == 1 {
+			order = OrderFortran
+		}
+		sub, err := TypeSubarray(sizes, subsizes, starts, order, Int32)
+		if err != nil {
+			return false
+		}
+		want := bruteSubarrayOffsets(sizes, subsizes, starts, order, 4)
+		return sameSet(coveredOffsets(sub, 4), want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,396 @@
+// Package datatype implements MPI derived datatypes: constructors mirroring
+// the MPI type-creation calls, size/extent semantics, a normalized dataloop
+// representation (after Ross, Miller & Gropp), a stack-based cursor for
+// partial pack/unpack processing (after Träff's flattening-on-the-fly), full
+// flattening with adjacent-block coalescing, layout statistics used by the
+// scheme-selection heuristics, and a compact wire codec for shipping a
+// receiver's layout to a sender (the Multi-W scheme's datatype exchange).
+package datatype
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Kind discriminates the datatype constructors.
+type Kind int
+
+// Datatype kinds.
+const (
+	KindBase Kind = iota
+	KindContiguous
+	KindVector   // element-stride vector (MPI_Type_vector)
+	KindHvector  // byte-stride vector (MPI_Type_create_hvector)
+	KindIndexed  // element displacements (MPI_Type_indexed)
+	KindHindexed // byte displacements (MPI_Type_create_hindexed)
+	KindStruct   // byte displacements + per-block types (MPI_Type_create_struct)
+	KindResized  // MPI_Type_create_resized
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindBase:
+		return "base"
+	case KindContiguous:
+		return "contiguous"
+	case KindVector:
+		return "vector"
+	case KindHvector:
+		return "hvector"
+	case KindIndexed:
+		return "indexed"
+	case KindHindexed:
+		return "hindexed"
+	case KindStruct:
+		return "struct"
+	case KindResized:
+		return "resized"
+	}
+	return "unknown"
+}
+
+// Type is an immutable MPI datatype. Construct one with the Type* functions;
+// the zero value is not valid.
+type Type struct {
+	kind   Kind
+	name   string
+	size   int64 // bytes of actual data per instance
+	lb, ub int64 // lower bound and upper bound; extent = ub - lb
+	trueLB int64 // first byte of actual data
+	trueUB int64 // one past the last byte of actual data
+
+	loop    *loop // normalized dataloop (traversal form)
+	nblocks int64 // contiguous blocks per instance
+}
+
+// Predefined base types, mirroring the MPI named types used in the paper's
+// benchmarks.
+var (
+	Byte    = base("MPI_BYTE", 1)
+	Char    = base("MPI_CHAR", 1)
+	Int32   = base("MPI_INT", 4)
+	Int64   = base("MPI_LONG_LONG", 8)
+	Float32 = base("MPI_FLOAT", 4)
+	Float64 = base("MPI_DOUBLE", 8)
+)
+
+func base(name string, size int64) *Type {
+	lp := &loop{kind: loopContig, bytes: size, dataBytes: size, blocks: 1}
+	return &Type{
+		kind: KindBase, name: name,
+		size: size, lb: 0, ub: size, trueLB: 0, trueUB: size,
+		loop: lp, nblocks: 1,
+	}
+}
+
+// Kind returns the constructor kind.
+func (t *Type) Kind() Kind { return t.kind }
+
+// Size returns the number of bytes of actual data in one instance.
+func (t *Type) Size() int64 { return t.size }
+
+// Extent returns ub - lb, the stride between consecutive instances.
+func (t *Type) Extent() int64 { return t.ub - t.lb }
+
+// LB returns the lower bound.
+func (t *Type) LB() int64 { return t.lb }
+
+// UB returns the upper bound.
+func (t *Type) UB() int64 { return t.ub }
+
+// TrueLB returns the offset of the first actual data byte.
+func (t *Type) TrueLB() int64 { return t.trueLB }
+
+// TrueExtent returns the span of actual data bytes.
+func (t *Type) TrueExtent() int64 { return t.trueUB - t.trueLB }
+
+// Blocks returns the number of contiguous blocks in one instance after
+// dataloop normalization (adjacent pieces coalesce).
+func (t *Type) Blocks() int64 { return t.nblocks }
+
+// Contig reports whether one instance is a single contiguous block whose
+// size equals its extent (so count>1 instances are also contiguous).
+func (t *Type) Contig() bool {
+	return t.loop.kind == loopContig && t.size == t.Extent() && t.lb == 0
+}
+
+// Density returns size/trueExtent: the fraction of touched address space
+// that is actual data. 1.0 means fully dense.
+func (t *Type) Density() float64 {
+	te := t.TrueExtent()
+	if te <= 0 {
+		return 1
+	}
+	return float64(t.size) / float64(te)
+}
+
+func (t *Type) String() string {
+	if t.kind == KindBase {
+		return t.name
+	}
+	return fmt.Sprintf("%s(size=%d extent=%d blocks=%d)", t.kind, t.size, t.Extent(), t.nblocks)
+}
+
+var errNilType = errors.New("datatype: nil element type")
+
+// TypeContiguous mirrors MPI_Type_contiguous: count consecutive olds.
+func TypeContiguous(count int, old *Type) (*Type, error) {
+	if old == nil {
+		return nil, errNilType
+	}
+	if count < 0 {
+		return nil, fmt.Errorf("datatype: contiguous count %d < 0", count)
+	}
+	return TypeVector(count, 1, 1, old)
+}
+
+// TypeVector mirrors MPI_Type_vector: count blocks of blocklen olds, the
+// start of each block separated by stride old-extents.
+func TypeVector(count, blocklen, stride int, old *Type) (*Type, error) {
+	if old == nil {
+		return nil, errNilType
+	}
+	return TypeHvector(count, blocklen, int64(stride)*old.Extent(), old)
+}
+
+// TypeHvector mirrors MPI_Type_create_hvector: stride is in bytes.
+func TypeHvector(count, blocklen int, strideBytes int64, old *Type) (*Type, error) {
+	if old == nil {
+		return nil, errNilType
+	}
+	if count < 0 || blocklen < 0 {
+		return nil, fmt.Errorf("datatype: hvector count=%d blocklen=%d", count, blocklen)
+	}
+	displs := make([]int64, count)
+	blocklens := make([]int, count)
+	for i := range displs {
+		displs[i] = int64(i) * strideBytes
+		blocklens[i] = blocklen
+	}
+	t, err := buildIndexed(KindHvector, blocklens, displs, old)
+	if err != nil {
+		return nil, err
+	}
+	// Replace the generic indexed loop with a vector loop for compactness.
+	t.loop = vectorLoop(count, strideBytes, blocklen, old)
+	t.nblocks = t.loop.blocks
+	return t, nil
+}
+
+// TypeIndexed mirrors MPI_Type_indexed: displacements in old extents.
+func TypeIndexed(blocklens []int, displs []int, old *Type) (*Type, error) {
+	if old == nil {
+		return nil, errNilType
+	}
+	if len(blocklens) != len(displs) {
+		return nil, fmt.Errorf("datatype: indexed lens %d != displs %d", len(blocklens), len(displs))
+	}
+	bd := make([]int64, len(displs))
+	for i, d := range displs {
+		bd[i] = int64(d) * old.Extent()
+	}
+	return buildIndexed(KindIndexed, blocklens, bd, old)
+}
+
+// TypeHindexed mirrors MPI_Type_create_hindexed: displacements in bytes.
+func TypeHindexed(blocklens []int, displs []int64, old *Type) (*Type, error) {
+	if old == nil {
+		return nil, errNilType
+	}
+	if len(blocklens) != len(displs) {
+		return nil, fmt.Errorf("datatype: hindexed lens %d != displs %d", len(blocklens), len(displs))
+	}
+	return buildIndexed(KindHindexed, blocklens, append([]int64(nil), displs...), old)
+}
+
+// TypeIndexedBlock mirrors MPI_Type_create_indexed_block: constant blocklen.
+func TypeIndexedBlock(blocklen int, displs []int, old *Type) (*Type, error) {
+	lens := make([]int, len(displs))
+	for i := range lens {
+		lens[i] = blocklen
+	}
+	return TypeIndexed(lens, displs, old)
+}
+
+// TypeStruct mirrors MPI_Type_create_struct: per-block types and byte
+// displacements.
+func TypeStruct(blocklens []int, displs []int64, types []*Type) (*Type, error) {
+	n := len(blocklens)
+	if len(displs) != n || len(types) != n {
+		return nil, fmt.Errorf("datatype: struct arrays disagree: %d/%d/%d",
+			len(blocklens), len(displs), len(types))
+	}
+	if n == 0 {
+		return nil, errors.New("datatype: empty struct")
+	}
+	var size int64
+	first := true
+	var lb, ub, tlb, tub int64
+	blocks := make([]loopBlock, 0, n)
+	for i := 0; i < n; i++ {
+		old := types[i]
+		if old == nil {
+			return nil, errNilType
+		}
+		if blocklens[i] < 0 {
+			return nil, fmt.Errorf("datatype: struct blocklen %d < 0", blocklens[i])
+		}
+		if blocklens[i] == 0 {
+			continue
+		}
+		bl := int64(blocklens[i])
+		size += bl * old.size
+		lo := displs[i] + old.lb
+		hi := displs[i] + (bl-1)*old.Extent() + old.ub
+		tlo := displs[i] + old.trueLB
+		thi := displs[i] + (bl-1)*old.Extent() + old.trueUB
+		if first {
+			lb, ub, tlb, tub = lo, hi, tlo, thi
+			first = false
+		} else {
+			lb = min64(lb, lo)
+			ub = max64(ub, hi)
+			tlb = min64(tlb, tlo)
+			tub = max64(tub, thi)
+		}
+		child := vectorLoop(1, 0, blocklens[i], old)
+		blocks = append(blocks, loopBlock{off: displs[i], child: child})
+	}
+	if first {
+		// All blocks empty.
+		return &Type{kind: KindStruct, size: 0, loop: emptyLoop(), nblocks: 0}, nil
+	}
+	lp := indexedLoop(blocks)
+	return &Type{
+		kind: KindStruct, size: size,
+		lb: lb, ub: ub, trueLB: tlb, trueUB: tub,
+		loop: lp, nblocks: lp.blocks,
+	}, nil
+}
+
+// TypeResized mirrors MPI_Type_create_resized: overrides lb and extent
+// without changing the data layout.
+func TypeResized(old *Type, lb, extent int64) (*Type, error) {
+	if old == nil {
+		return nil, errNilType
+	}
+	t := *old
+	t.kind = KindResized
+	t.lb = lb
+	t.ub = lb + extent
+	return &t, nil
+}
+
+// buildIndexed constructs hindexed-style types (shared by indexed/hindexed).
+func buildIndexed(kind Kind, blocklens []int, displs []int64, old *Type) (*Type, error) {
+	var size int64
+	first := true
+	var lb, ub, tlb, tub int64
+	blocks := make([]loopBlock, 0, len(blocklens))
+	for i := range blocklens {
+		if blocklens[i] < 0 {
+			return nil, fmt.Errorf("datatype: blocklen %d < 0", blocklens[i])
+		}
+		if blocklens[i] == 0 {
+			continue
+		}
+		bl := int64(blocklens[i])
+		size += bl * old.size
+		lo := displs[i] + old.lb
+		hi := displs[i] + (bl-1)*old.Extent() + old.ub
+		tlo := displs[i] + old.trueLB
+		thi := displs[i] + (bl-1)*old.Extent() + old.trueUB
+		if first {
+			lb, ub, tlb, tub = lo, hi, tlo, thi
+			first = false
+		} else {
+			lb = min64(lb, lo)
+			ub = max64(ub, hi)
+			tlb = min64(tlb, tlo)
+			tub = max64(tub, thi)
+		}
+		blocks = append(blocks, loopBlock{off: displs[i], child: vectorLoop(1, 0, blocklens[i], old)})
+	}
+	if first {
+		return &Type{kind: kind, size: 0, loop: emptyLoop(), nblocks: 0}, nil
+	}
+	lp := indexedLoop(blocks)
+	return &Type{
+		kind: kind, size: size,
+		lb: lb, ub: ub, trueLB: tlb, trueUB: tub,
+		loop: lp, nblocks: lp.blocks,
+	}, nil
+}
+
+// Must panics if err is non-nil; intended for static type construction in
+// tests and examples.
+func Must(t *Type, err error) *Type {
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Tree renders the type's normalized dataloop as an indented tree, the form
+// the traversal machinery actually walks. Intended for inspection tools.
+func (t *Type) Tree() string {
+	var b []byte
+	b = append(b, fmt.Sprintf("%s size=%d extent=%d lb=%d\n", t.kind, t.size, t.Extent(), t.lb)...)
+	t.loop.treeString("  ", &b)
+	return string(b)
+}
+
+// Equal reports whether two types have identical layout semantics: the same
+// size, bounds and normalized dataloop. Types that Equal pack, unpack and
+// flatten identically (the constructor path taken to build them does not
+// matter).
+func Equal(a, b *Type) bool {
+	if a == b {
+		return true
+	}
+	if a == nil || b == nil {
+		return false
+	}
+	if a.size != b.size || a.lb != b.lb || a.ub != b.ub ||
+		a.trueLB != b.trueLB || a.trueUB != b.trueUB {
+		return false
+	}
+	return loopEqual(a.loop, b.loop)
+}
+
+func loopEqual(x, y *loop) bool {
+	if x.kind != y.kind {
+		return false
+	}
+	switch x.kind {
+	case loopContig:
+		return x.bytes == y.bytes
+	case loopVector:
+		return x.count == y.count && x.stride == y.stride && loopEqual(x.child, y.child)
+	case loopIndexed:
+		if len(x.parts) != len(y.parts) {
+			return false
+		}
+		for i := range x.parts {
+			if x.parts[i].off != y.parts[i].off || !loopEqual(x.parts[i].child, y.parts[i].child) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}

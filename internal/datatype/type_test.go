@@ -1,0 +1,294 @@
+package datatype
+
+import (
+	"testing"
+)
+
+func TestBaseTypes(t *testing.T) {
+	cases := []struct {
+		dt   *Type
+		size int64
+	}{
+		{Byte, 1}, {Char, 1}, {Int32, 4}, {Int64, 8}, {Float32, 4}, {Float64, 8},
+	}
+	for _, c := range cases {
+		if c.dt.Size() != c.size || c.dt.Extent() != c.size {
+			t.Errorf("%v: size=%d extent=%d, want %d", c.dt, c.dt.Size(), c.dt.Extent(), c.size)
+		}
+		if !c.dt.Contig() {
+			t.Errorf("%v: base type not contiguous", c.dt)
+		}
+		if c.dt.Blocks() != 1 {
+			t.Errorf("%v: blocks=%d", c.dt, c.dt.Blocks())
+		}
+	}
+}
+
+func TestContiguous(t *testing.T) {
+	ct := Must(TypeContiguous(10, Int32))
+	if ct.Size() != 40 || ct.Extent() != 40 {
+		t.Fatalf("size=%d extent=%d", ct.Size(), ct.Extent())
+	}
+	if !ct.Contig() || ct.Blocks() != 1 {
+		t.Fatalf("contiguous-of-base should fold into one block, got %d", ct.Blocks())
+	}
+	// Contiguous of contiguous also folds.
+	cc := Must(TypeContiguous(3, ct))
+	if !cc.Contig() || cc.Size() != 120 {
+		t.Fatalf("nested contiguous: contig=%v size=%d", cc.Contig(), cc.Size())
+	}
+}
+
+func TestVectorSemantics(t *testing.T) {
+	// The paper's motivating type: x columns of a 128x4096 int array is
+	// MPI_Type_vector(128, x, 4096, MPI_INT).
+	v := Must(TypeVector(128, 2, 4096, Int32))
+	if v.Size() != 128*2*4 {
+		t.Fatalf("size = %d, want %d", v.Size(), 128*2*4)
+	}
+	wantExtent := int64((127*4096 + 2) * 4)
+	if v.Extent() != wantExtent {
+		t.Fatalf("extent = %d, want %d", v.Extent(), wantExtent)
+	}
+	if v.LB() != 0 {
+		t.Fatalf("lb = %d, want 0", v.LB())
+	}
+	if v.Blocks() != 128 {
+		t.Fatalf("blocks = %d, want 128", v.Blocks())
+	}
+	if v.Contig() {
+		t.Fatal("strided vector reported contiguous")
+	}
+}
+
+func TestVectorUnitStrideFolds(t *testing.T) {
+	v := Must(TypeVector(16, 3, 3, Int32))
+	if !v.Contig() || v.Blocks() != 1 {
+		t.Fatalf("stride==blocklen vector should fold: contig=%v blocks=%d", v.Contig(), v.Blocks())
+	}
+	if v.Size() != 16*3*4 {
+		t.Fatalf("size = %d", v.Size())
+	}
+}
+
+func TestHvector(t *testing.T) {
+	hv := Must(TypeHvector(4, 1, 100, Float64))
+	if hv.Size() != 32 {
+		t.Fatalf("size = %d", hv.Size())
+	}
+	if hv.Extent() != 3*100+8 {
+		t.Fatalf("extent = %d, want %d", hv.Extent(), 3*100+8)
+	}
+	if hv.Blocks() != 4 {
+		t.Fatalf("blocks = %d", hv.Blocks())
+	}
+}
+
+func TestIndexed(t *testing.T) {
+	// Blocks of 2,1 ints at element displacements 0, 10.
+	ix := Must(TypeIndexed([]int{2, 1}, []int{0, 10}, Int32))
+	if ix.Size() != 12 {
+		t.Fatalf("size = %d", ix.Size())
+	}
+	if ix.Extent() != 44 { // displacement 10*4 + 1*4
+		t.Fatalf("extent = %d, want 44", ix.Extent())
+	}
+	blocks, _ := Flatten(ix, 1, 0)
+	want := []Block{{Off: 0, Len: 8}, {Off: 40, Len: 4}}
+	if len(blocks) != len(want) {
+		t.Fatalf("blocks = %v", blocks)
+	}
+	for i := range want {
+		if blocks[i] != want[i] {
+			t.Fatalf("blocks = %v, want %v", blocks, want)
+		}
+	}
+}
+
+func TestIndexedAdjacentCoalesce(t *testing.T) {
+	// Two blocks that abut must merge at construction.
+	ix := Must(TypeIndexed([]int{2, 3}, []int{0, 2}, Int32))
+	if ix.Blocks() != 1 || !ix.Contig() {
+		t.Fatalf("adjacent indexed blocks: blocks=%d contig=%v", ix.Blocks(), ix.Contig())
+	}
+}
+
+func TestHindexedNegativeDisplacement(t *testing.T) {
+	hx := Must(TypeHindexed([]int{1, 1}, []int64{0, -16}, Float64))
+	if hx.LB() != -16 {
+		t.Fatalf("lb = %d, want -16", hx.LB())
+	}
+	if hx.Extent() != 24 { // from -16 to +8
+		t.Fatalf("extent = %d, want 24", hx.Extent())
+	}
+	blocks, _ := Flatten(hx, 1, 0)
+	if blocks[0].Off != 0 || blocks[1].Off != -16 {
+		t.Fatalf("blocks = %v (datatype order, not address order)", blocks)
+	}
+}
+
+func TestStruct(t *testing.T) {
+	// The paper's Figure 10 struct: blocks of growing size with gaps.
+	st := Must(TypeStruct(
+		[]int{1, 2, 4},
+		[]int64{0, 8, 24},
+		[]*Type{Int32, Int32, Int32},
+	))
+	if st.Size() != (1+2+4)*4 {
+		t.Fatalf("size = %d", st.Size())
+	}
+	if st.Extent() != 40 {
+		t.Fatalf("extent = %d, want 40", st.Extent())
+	}
+	if st.Blocks() != 3 {
+		t.Fatalf("blocks = %d", st.Blocks())
+	}
+}
+
+func TestStructMixedTypes(t *testing.T) {
+	inner := Must(TypeVector(2, 1, 3, Int32))
+	st := Must(TypeStruct(
+		[]int{1, 1},
+		[]int64{0, 100},
+		[]*Type{Float64, inner},
+	))
+	if st.Size() != 8+8 {
+		t.Fatalf("size = %d", st.Size())
+	}
+	blocks, _ := Flatten(st, 1, 0)
+	want := []Block{{0, 8}, {100, 4}, {112, 4}}
+	if len(blocks) != 3 {
+		t.Fatalf("blocks = %v", blocks)
+	}
+	for i := range want {
+		if blocks[i] != want[i] {
+			t.Fatalf("blocks = %v, want %v", blocks, want)
+		}
+	}
+}
+
+func TestStructZeroBlocksSkipped(t *testing.T) {
+	st := Must(TypeStruct(
+		[]int{0, 3},
+		[]int64{0, 16},
+		[]*Type{Float64, Int32},
+	))
+	if st.Size() != 12 {
+		t.Fatalf("size = %d", st.Size())
+	}
+	if st.LB() != 16 {
+		t.Fatalf("lb = %d, want 16 (zero block must not contribute)", st.LB())
+	}
+}
+
+func TestResized(t *testing.T) {
+	v := Must(TypeVector(2, 1, 4, Int32))
+	r := Must(TypeResized(v, 0, 64))
+	if r.Extent() != 64 {
+		t.Fatalf("extent = %d", r.Extent())
+	}
+	if r.Size() != v.Size() {
+		t.Fatalf("size changed: %d", r.Size())
+	}
+	// count=2 of the resized type must place the second instance at 64.
+	blocks, _ := Flatten(r, 2, 0)
+	want := []Block{{0, 4}, {16, 4}, {64, 4}, {80, 4}}
+	for i := range want {
+		if blocks[i] != want[i] {
+			t.Fatalf("blocks = %v, want %v", blocks, want)
+		}
+	}
+}
+
+func TestConstructorErrors(t *testing.T) {
+	if _, err := TypeVector(-1, 1, 1, Int32); err == nil {
+		t.Error("negative count accepted")
+	}
+	if _, err := TypeVector(1, -1, 1, Int32); err == nil {
+		t.Error("negative blocklen accepted")
+	}
+	if _, err := TypeContiguous(4, nil); err == nil {
+		t.Error("nil base accepted")
+	}
+	if _, err := TypeIndexed([]int{1}, []int{0, 1}, Int32); err == nil {
+		t.Error("mismatched arrays accepted")
+	}
+	if _, err := TypeStruct([]int{1}, []int64{0}, []*Type{nil}); err == nil {
+		t.Error("nil struct member accepted")
+	}
+	if _, err := TypeStruct(nil, nil, nil); err == nil {
+		t.Error("empty struct accepted")
+	}
+}
+
+func TestDensity(t *testing.T) {
+	v := Must(TypeVector(4, 1, 2, Int32)) // 16 data bytes over 28-byte true extent
+	d := v.Density()
+	if d < 0.5 || d > 0.65 {
+		t.Fatalf("density = %f", d)
+	}
+	if c := Must(TypeContiguous(8, Int32)); c.Density() != 1.0 {
+		t.Fatalf("contiguous density = %f", c.Density())
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a := Must(TypeVector(4, 2, 8, Int32))
+	b := Must(TypeHvector(4, 2, 32, Int32)) // same layout, different constructor
+	if !Equal(a, b) {
+		t.Fatal("equivalent vector/hvector not Equal")
+	}
+	c := Must(TypeVector(4, 2, 9, Int32))
+	if Equal(a, c) {
+		t.Fatal("different strides Equal")
+	}
+	// Contiguous built two ways.
+	d := Must(TypeContiguous(8, Int32))
+	e := Must(TypeVector(8, 1, 1, Int32))
+	if !Equal(d, e) {
+		t.Fatal("contiguous equivalents not Equal")
+	}
+	if Equal(d, nil) || Equal(nil, d) {
+		t.Fatal("nil comparison")
+	}
+	if !Equal(nil, nil) {
+		t.Fatal("nil/nil should be Equal")
+	}
+	// Codec round trip preserves equality.
+	dec, err := Decode(Encode(a))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(a, dec) {
+		t.Fatal("decode not Equal to original")
+	}
+	// Resized differs.
+	r := Must(TypeResized(a, 0, a.Extent()*2))
+	if Equal(a, r) {
+		t.Fatal("resized type Equal to original")
+	}
+}
+
+func TestTree(t *testing.T) {
+	v := Must(TypeVector(4, 2, 8, Int32))
+	tree := v.Tree()
+	for _, want := range []string{"vector count=4", "stride=32", "contig 8 bytes"} {
+		if !containsStr(tree, want) {
+			t.Fatalf("tree missing %q:\n%s", want, tree)
+		}
+	}
+	st := Must(TypeStruct([]int{1, 1}, []int64{0, 16}, []*Type{Int32, Float64}))
+	tree2 := st.Tree()
+	if !containsStr(tree2, "indexed parts=2") || !containsStr(tree2, "@16") {
+		t.Fatalf("struct tree wrong:\n%s", tree2)
+	}
+}
+
+func containsStr(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,152 @@
+// Package exper reproduces the paper's evaluation (Section 8): one driver
+// per figure, each returning a Result table whose series mirror the curves
+// the paper plots. The cmd/dtbench binary prints them; bench_test.go wraps
+// them as testing.B benchmarks; EXPERIMENTS.md records paper-vs-measured.
+package exper
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Point is one x-position of a figure with the measured value of each series.
+type Point struct {
+	X      int64
+	Series map[string]float64
+}
+
+// Result is one reproduced table or figure.
+type Result struct {
+	Name        string // e.g. "fig8"
+	Title       string
+	XLabel      string
+	YLabel      string
+	SeriesOrder []string
+	Points      []Point
+	Notes       []string
+}
+
+// Add appends a point.
+func (r *Result) Add(x int64, series map[string]float64) {
+	r.Points = append(r.Points, Point{X: x, Series: series})
+}
+
+// Table renders the result as an aligned text table.
+func (r *Result) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s: %s\n", r.Name, r.Title)
+	fmt.Fprintf(&b, "# y: %s\n", r.YLabel)
+	cols := append([]string{r.XLabel}, r.SeriesOrder...)
+	widths := make([]int, len(cols))
+	rows := make([][]string, 0, len(r.Points)+1)
+	rows = append(rows, cols)
+	for _, p := range r.Points {
+		row := make([]string, len(cols))
+		row[0] = fmt.Sprintf("%d", p.X)
+		for i, s := range r.SeriesOrder {
+			v, ok := p.Series[s]
+			if !ok {
+				row[i+1] = "-"
+				continue
+			}
+			row[i+1] = formatValue(v)
+		}
+		rows = append(rows, row)
+	}
+	for _, row := range rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	for _, row := range rows {
+		for i, c := range row {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "# %s\n", n)
+	}
+	return b.String()
+}
+
+func formatValue(v float64) string {
+	switch {
+	case v == 0:
+		return "0"
+	case math.Abs(v) >= 1000:
+		return fmt.Sprintf("%.0f", v)
+	case math.Abs(v) >= 10:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.2f", v)
+	}
+}
+
+// Improvement summarizes series/base across all points where both exist.
+// For latency-like results (lower is better) pass invert=true so the factor
+// is base/series; for bandwidth-like results pass invert=false... the
+// convention here: factor>1 always means "series is better than base".
+type Improvement struct {
+	Min, Max, Avg float64
+	N             int
+}
+
+// ImprovementOf computes the per-point improvement factor of series over
+// base. lowerIsBetter selects base/series (latency) versus series/base
+// (bandwidth).
+func (r *Result) ImprovementOf(series, base string, lowerIsBetter bool) Improvement {
+	var imp Improvement
+	imp.Min = math.Inf(1)
+	var sum float64
+	for _, p := range r.Points {
+		s, ok1 := p.Series[series]
+		b, ok2 := p.Series[base]
+		if !ok1 || !ok2 || s <= 0 || b <= 0 {
+			continue
+		}
+		f := s / b
+		if lowerIsBetter {
+			f = b / s
+		}
+		if f < imp.Min {
+			imp.Min = f
+		}
+		if f > imp.Max {
+			imp.Max = f
+		}
+		sum += f
+		imp.N++
+	}
+	if imp.N > 0 {
+		imp.Avg = sum / float64(imp.N)
+	} else {
+		imp.Min = 0
+	}
+	return imp
+}
+
+// Crossover returns the smallest X at which series beats base (given the
+// direction), or -1 if it never does.
+func (r *Result) Crossover(series, base string, lowerIsBetter bool) int64 {
+	pts := append([]Point(nil), r.Points...)
+	sort.Slice(pts, func(i, j int) bool { return pts[i].X < pts[j].X })
+	for _, p := range pts {
+		s, ok1 := p.Series[series]
+		b, ok2 := p.Series[base]
+		if !ok1 || !ok2 {
+			continue
+		}
+		if (lowerIsBetter && s < b) || (!lowerIsBetter && s > b) {
+			return p.X
+		}
+	}
+	return -1
+}

@@ -1,0 +1,290 @@
+package exper
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/mpi"
+)
+
+func TestResultTable(t *testing.T) {
+	r := &Result{
+		Name: "t", Title: "demo", XLabel: "x", YLabel: "y",
+		SeriesOrder: []string{"a", "b"},
+	}
+	r.Add(1, map[string]float64{"a": 1.5, "b": 1000})
+	r.Add(2, map[string]float64{"a": 12.34})
+	out := r.Table()
+	if !strings.Contains(out, "demo") || !strings.Contains(out, "1.50") {
+		t.Fatalf("table output:\n%s", out)
+	}
+	if !strings.Contains(out, "-") {
+		t.Fatal("missing value not rendered as -")
+	}
+}
+
+func TestImprovementOf(t *testing.T) {
+	r := &Result{SeriesOrder: []string{"base", "fast"}}
+	r.Add(1, map[string]float64{"base": 100, "fast": 50})
+	r.Add(2, map[string]float64{"base": 90, "fast": 30})
+	imp := r.ImprovementOf("fast", "base", true) // latency: lower better
+	if imp.Min != 2.0 || imp.Max != 3.0 || imp.N != 2 {
+		t.Fatalf("imp = %+v", imp)
+	}
+	// Bandwidth direction.
+	r2 := &Result{}
+	r2.Add(1, map[string]float64{"base": 100, "fast": 150})
+	imp2 := r2.ImprovementOf("fast", "base", false)
+	if imp2.Avg != 1.5 {
+		t.Fatalf("imp2 = %+v", imp2)
+	}
+}
+
+func TestCrossover(t *testing.T) {
+	r := &Result{}
+	r.Add(1, map[string]float64{"a": 10, "b": 5})
+	r.Add(4, map[string]float64{"a": 10, "b": 20})
+	r.Add(2, map[string]float64{"a": 10, "b": 8})
+	if x := r.Crossover("b", "a", false); x != 4 { // b beats a (higher) first at 4
+		t.Fatalf("crossover = %d", x)
+	}
+	if x := r.Crossover("b", "a", true); x != 1 { // lower-better: at 1
+		t.Fatalf("crossover = %d", x)
+	}
+	never := &Result{}
+	never.Add(1, map[string]float64{"a": 1, "b": 5})
+	never.Add(2, map[string]float64{"a": 2, "b": 5})
+	if x := never.Crossover("a", "b", false); x != -1 {
+		t.Fatalf("never-crossover = %d", x)
+	}
+}
+
+func TestStructTypeShape(t *testing.T) {
+	st := StructType(8)
+	// Blocks 1,2,4,8 ints with one-int gaps.
+	if st.Blocks() != 4 {
+		t.Fatalf("blocks = %d", st.Blocks())
+	}
+	if st.Size() != (1+2+4+8)*4 {
+		t.Fatalf("size = %d", st.Size())
+	}
+}
+
+func TestVectorTypeShape(t *testing.T) {
+	v := VectorType(3)
+	if v.Blocks() != 128 || v.Size() != 128*3*4 {
+		t.Fatalf("blocks=%d size=%d", v.Blocks(), v.Size())
+	}
+	if VectorBytes(3) != v.Size() {
+		t.Fatal("VectorBytes disagrees with type size")
+	}
+}
+
+func testCfg(scheme core.Scheme, mut func(*mpi.Config)) mpi.Config {
+	return worldConfig(2, scheme, 64<<20, func(c *mpi.Config) {
+		c.Core.PoolSize = 4 << 20
+		if mut != nil {
+			mut(c)
+		}
+	})
+}
+
+// The shape-regression assertions: the qualitative results the paper reports
+// must hold in this reproduction. These guard the cost model and protocol
+// implementations against regressions that keep tests green but break the
+// evaluation story.
+func TestPaperShapeLatency(t *testing.T) {
+	x := 512
+	dt := VectorType(x)
+	lat := func(s core.Scheme) float64 {
+		v, err := PingPongLatency(testCfg(s, nil), dt, 1, 1, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+	generic := lat(core.SchemeGeneric)
+	bcspup := lat(core.SchemeBCSPUP)
+	rwgup := lat(core.SchemeRWGUP)
+	multiw := lat(core.SchemeMultiW)
+	// Ordering at large messages: Generic slowest, Multi-W fastest.
+	if !(generic > bcspup && bcspup > rwgup && rwgup > multiw) {
+		t.Fatalf("large-message ordering broken: G=%.0f B=%.0f R=%.0f M=%.0f",
+			generic, bcspup, rwgup, multiw)
+	}
+	if generic/bcspup < 1.2 {
+		t.Fatalf("BC-SPUP improvement too small: %.2f", generic/bcspup)
+	}
+	if generic/multiw < 2.0 {
+		t.Fatalf("Multi-W improvement too small: %.2f", generic/multiw)
+	}
+}
+
+func TestPaperShapeMultiWDegradesAtSmallBlocks(t *testing.T) {
+	dt := VectorType(16) // 64-byte blocks
+	lat := func(s core.Scheme) float64 {
+		v, err := PingPongLatency(testCfg(s, nil), dt, 1, 1, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+	if m, g := lat(core.SchemeMultiW), lat(core.SchemeGeneric); m <= g {
+		t.Fatalf("Multi-W (%0.f) should degrade below Generic (%0.f) at tiny blocks", m, g)
+	}
+}
+
+func TestPaperShapeManualVsDatatype(t *testing.T) {
+	dt := VectorType(256)
+	cfg := testCfg(core.SchemeGeneric, nil)
+	man, err := ManualLatency(cfg, dt, 1, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := PingPongLatency(cfg, dt, 1, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(man < gen) {
+		t.Fatalf("Manual (%.0f) should slightly beat Datatype (%.0f)", man, gen)
+	}
+	if gen/man > 1.5 {
+		t.Fatalf("Manual advantage too large: %.2f (datatype processing overhead only)", gen/man)
+	}
+}
+
+func TestPaperShapeDTRegSlower(t *testing.T) {
+	dt := VectorType(128)
+	base, err := PingPongLatency(testCfg(core.SchemeGeneric, nil), dt, 1, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg, err := PingPongLatency(testCfg(core.SchemeGeneric, func(c *mpi.Config) {
+		c.Core.RegCache = false
+	}), dt, 1, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reg <= base*1.1 {
+		t.Fatalf("DT+reg (%.0f) should be much slower than Datatype (%.0f)", reg, base)
+	}
+}
+
+func TestPaperShapeSegmentUnpack(t *testing.T) {
+	dt := VectorType(1024)
+	on, err := Bandwidth(testCfg(core.SchemeRWGUP, nil), dt, 1, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off, err := Bandwidth(testCfg(core.SchemeRWGUP, func(c *mpi.Config) {
+		c.Core.SegmentUnpack = false
+	}), dt, 1, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if on/off < 1.1 {
+		t.Fatalf("segment unpack should help: on=%.0f off=%.0f", on, off)
+	}
+}
+
+func TestPaperShapeListPost(t *testing.T) {
+	dt := VectorType(64)
+	list, err := Bandwidth(testCfg(core.SchemeMultiW, nil), dt, 1, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, err := Bandwidth(testCfg(core.SchemeMultiW, func(c *mpi.Config) {
+		c.Core.ListPost = false
+	}), dt, 1, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if list/single < 1.2 {
+		t.Fatalf("list post should help at small blocks: list=%.0f single=%.0f", list, single)
+	}
+}
+
+func TestPaperShapeWorstCase(t *testing.T) {
+	worst := func(c *mpi.Config) {
+		c.Core.RegCache = false
+		c.Core.UsePools = false
+	}
+	latency := func(s core.Scheme, x int) float64 {
+		v, err := PingPongLatency(testCfg(s, worst), VectorType(x), 1, 1, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+	// Small blocks: whole-array registration makes Multi-W much worse than
+	// Generic; large blocks: reduced copies win despite registration.
+	if m, g := latency(core.SchemeMultiW, 64), latency(core.SchemeGeneric, 64); m <= g {
+		t.Fatalf("worst case small: Multi-W (%.0f) should lose to Generic (%.0f)", m, g)
+	}
+	if m, g := latency(core.SchemeMultiW, 2048), latency(core.SchemeGeneric, 2048); m >= g {
+		t.Fatalf("worst case large: Multi-W (%.0f) should beat Generic (%.0f)", m, g)
+	}
+	// BC-SPUP must never lose to Generic (same registration costs, overlap).
+	if b, g := latency(core.SchemeBCSPUP, 256), latency(core.SchemeGeneric, 256); b > g {
+		t.Fatalf("worst case: BC-SPUP (%.0f) should not lose to Generic (%.0f)", b, g)
+	}
+}
+
+func TestAblationOGRDominance(t *testing.T) {
+	r := AblationOGR()
+	for _, p := range r.Points {
+		ogr := p.Series["OGR"]
+		if ogr > p.Series["per-block"]+1e-9 || ogr > p.Series["cover-all"]+1e-9 {
+			t.Fatalf("OGR cost %v exceeds a fixed strategy at x=%d: %+v", ogr, p.X, p.Series)
+		}
+	}
+}
+
+// The scheme ordering must be robust to the copy/link bandwidth ratio.
+func TestSensitivityOrderingRobust(t *testing.T) {
+	dt := VectorType(2048)
+	for _, copyGBps := range []float64{0.5, 1.5} {
+		mk := func(s core.Scheme) float64 {
+			cfg := testCfg(s, func(c *mpi.Config) { c.Model.CopyGBps = copyGBps })
+			v, err := PingPongLatency(cfg, dt, 1, 1, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return v
+		}
+		g, b, m := mk(core.SchemeGeneric), mk(core.SchemeBCSPUP), mk(core.SchemeMultiW)
+		if !(g > b && b > m) {
+			t.Fatalf("copy=%.1f GB/s: ordering broken G=%.0f B=%.0f M=%.0f", copyGBps, g, b, m)
+		}
+	}
+}
+
+// With the buffers-not-reused hint, Auto must avoid the copy-reduced schemes
+// (registration would not amortize) and fall back to the pack pipeline.
+func TestAutoHonorsBufferReuseHint(t *testing.T) {
+	dt := VectorType(512) // big blocks: Auto would normally pick Multi-W
+	cfg := testCfg(core.SchemeAuto, func(c *mpi.Config) {
+		c.Core.BuffersReused = false
+	})
+	w, err := mpi.NewWorld(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = w.Run(func(p *mpi.Proc) error {
+		buf := allocFor(p, dt, 1)
+		if p.Rank() == 0 {
+			fillBuf(p, buf, dt, 1, 1)
+			return p.Send(buf, 1, dt, 1, 0)
+		}
+		_, err := p.Recv(buf, 1, dt, 0, 0)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pack-based => payload was copied on both sides.
+	if w.Endpoint(0).Counters().BytesPacked == 0 || w.Endpoint(1).Counters().BytesUnpacked == 0 {
+		t.Fatal("Auto ignored BuffersReused=false and went copy-reduced")
+	}
+}

@@ -1,0 +1,250 @@
+package exper
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/datatype"
+	"repro/internal/mpi"
+)
+
+// Sweep parameters shared across the vector experiments.
+var (
+	// vectorColumns are the x-axis points of Figures 2, 8, 9, 12, 13, 14.
+	vectorColumns = []int{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048}
+	// structLastInts are the x-axis points of Figure 11.
+	structLastInts = []int{2048, 4096, 8192, 16384, 32768, 65536, 131072}
+)
+
+const (
+	latWarmup = 2
+	latIters  = 4
+	bwWindow  = 100
+	expMem2   = 192 << 20 // per-rank memory for 2-rank experiments
+	expMem8   = 96 << 20  // per-rank memory for the 8-rank Alltoall
+	a2aWarmup = 1
+	a2aIters  = 2
+)
+
+// Fig2 reproduces the motivating comparison (Figure 2): vector ping-pong
+// latency of Contig, Datatype (Generic), Manual, Multiple and DT+reg.
+func Fig2() *Result {
+	r := &Result{
+		Name:        "fig2",
+		Title:       "Vector datatype transfer latency, schemes of Section 3.2",
+		XLabel:      "columns",
+		YLabel:      "one-way latency (us)",
+		SeriesOrder: []string{"Contig", "Datatype", "Manual", "Multiple", "DT+reg"},
+	}
+	for _, x := range vectorColumns {
+		dt := VectorType(x)
+		bytes := VectorBytes(x)
+		point := map[string]float64{}
+
+		// Contig: same byte count, contiguous layout, Generic config.
+		genCfg := worldConfig(2, core.SchemeGeneric, expMem2, nil)
+		point["Contig"] = mustSim(PingPongLatency(genCfg, ContigType(bytes), 1, latWarmup, latIters))
+
+		// Datatype: the MPICH-derived generic datatype path.
+		point["Datatype"] = mustSim(PingPongLatency(genCfg, dt, 1, latWarmup, latIters))
+
+		// Manual: user pack/unpack around a contiguous transfer.
+		point["Manual"] = mustSim(ManualLatency(genCfg, dt, 1, latWarmup, latIters))
+
+		// Multiple: one MPI call per contiguous block.
+		point["Multiple"] = mustSim(MultipleLatency(genCfg, dt, 1, latWarmup, latIters))
+
+		// DT+reg: generic path with staging registration uncached.
+		regCfg := worldConfig(2, core.SchemeGeneric, expMem2, func(c *mpi.Config) {
+			c.Core.RegCache = false
+		})
+		point["DT+reg"] = mustSim(PingPongLatency(regCfg, dt, 1, latWarmup, latIters))
+
+		r.Add(int64(x), point)
+	}
+	return r
+}
+
+var newSchemeSeries = []struct {
+	name   string
+	scheme core.Scheme
+}{
+	{"Generic", core.SchemeGeneric},
+	{"BC-SPUP", core.SchemeBCSPUP},
+	{"RWG-UP", core.SchemeRWGUP},
+	{"Multi-W", core.SchemeMultiW},
+	{"P-RRS", core.SchemePRRS}, // extension: designed but unimplemented in the paper
+}
+
+// Fig8 reproduces the latency comparison of the new schemes (Figure 8).
+func Fig8() *Result {
+	r := &Result{
+		Name:        "fig8",
+		Title:       "Vector ping-pong latency, datatype communication schemes",
+		XLabel:      "columns",
+		YLabel:      "one-way latency (us)",
+		SeriesOrder: []string{"Generic", "BC-SPUP", "RWG-UP", "Multi-W", "P-RRS"},
+		Notes:       []string{"P-RRS is this reproduction's extension (the paper designed but did not implement it)"},
+	}
+	for _, x := range vectorColumns {
+		dt := VectorType(x)
+		point := map[string]float64{}
+		for _, s := range newSchemeSeries {
+			cfg := worldConfig(2, s.scheme, expMem2, nil)
+			point[s.name] = mustSim(PingPongLatency(cfg, dt, 1, latWarmup, latIters))
+		}
+		r.Add(int64(x), point)
+	}
+	return r
+}
+
+// Fig9 reproduces the bandwidth comparison (Figure 9).
+func Fig9() *Result {
+	r := &Result{
+		Name:        "fig9",
+		Title:       "Vector bandwidth (100-message window), datatype communication schemes",
+		XLabel:      "columns",
+		YLabel:      "bandwidth (MB/s)",
+		SeriesOrder: []string{"Generic", "BC-SPUP", "RWG-UP", "Multi-W", "P-RRS"},
+		Notes:       []string{"P-RRS is this reproduction's extension (the paper designed but did not implement it)"},
+	}
+	for _, x := range vectorColumns {
+		dt := VectorType(x)
+		point := map[string]float64{}
+		for _, s := range newSchemeSeries {
+			cfg := worldConfig(2, s.scheme, expMem2, nil)
+			point[s.name] = mustSim(Bandwidth(cfg, dt, 1, bwWindow))
+		}
+		r.Add(int64(x), point)
+	}
+	return r
+}
+
+// Fig11 reproduces the MPI_Alltoall struct-datatype comparison (Figure 11)
+// on 8 ranks.
+func Fig11() *Result {
+	r := &Result{
+		Name:        "fig11",
+		Title:       "MPI_Alltoall with the Figure 10 struct datatype, 8 processes",
+		XLabel:      "last-block ints",
+		YLabel:      "alltoall time (us)",
+		SeriesOrder: []string{"Generic", "BC-SPUP", "RWG-UP", "Multi-W"},
+	}
+	for _, last := range structLastInts {
+		dt := StructType(last)
+		point := map[string]float64{}
+		for _, s := range newSchemeSeries {
+			if s.scheme == core.SchemePRRS {
+				continue
+			}
+			cfg := worldConfig(8, s.scheme, expMem8, nil)
+			point[s.name] = mustSim(AlltoallTime(cfg, dt, 1, a2aWarmup, a2aIters))
+		}
+		r.Add(int64(last), point)
+	}
+	return r
+}
+
+// Fig12 reproduces the segment-unpack ablation (Figure 12): RWG-UP
+// bandwidth with and without the per-segment unpack trigger.
+func Fig12() *Result {
+	r := &Result{
+		Name:        "fig12",
+		Title:       "Effect of segment unpack on RWG-UP bandwidth",
+		XLabel:      "columns",
+		YLabel:      "bandwidth (MB/s)",
+		SeriesOrder: []string{"segment unpack", "unpack at end"},
+	}
+	for _, x := range vectorColumns {
+		if VectorBytes(x) < 16<<10 {
+			continue // segmentation only engages above the 16 KB rule
+		}
+		dt := VectorType(x)
+		on := worldConfig(2, core.SchemeRWGUP, expMem2, nil)
+		off := worldConfig(2, core.SchemeRWGUP, expMem2, func(c *mpi.Config) {
+			c.Core.SegmentUnpack = false
+		})
+		r.Add(int64(x), map[string]float64{
+			"segment unpack": mustSim(Bandwidth(on, dt, 1, bwWindow)),
+			"unpack at end":  mustSim(Bandwidth(off, dt, 1, bwWindow)),
+		})
+	}
+	return r
+}
+
+// Fig13 reproduces the list-descriptor-post ablation (Figure 13): Multi-W
+// bandwidth with list post versus one post per descriptor.
+func Fig13() *Result {
+	r := &Result{
+		Name:        "fig13",
+		Title:       "Effect of list descriptor post on Multi-W bandwidth",
+		XLabel:      "columns",
+		YLabel:      "bandwidth (MB/s)",
+		SeriesOrder: []string{"list post", "single post"},
+	}
+	for _, x := range vectorColumns {
+		if VectorBytes(x) < 8<<10 {
+			continue // eager range: no descriptors to batch
+		}
+		dt := VectorType(x)
+		list := worldConfig(2, core.SchemeMultiW, expMem2, nil)
+		single := worldConfig(2, core.SchemeMultiW, expMem2, func(c *mpi.Config) {
+			c.Core.ListPost = false
+		})
+		r.Add(int64(x), map[string]float64{
+			"list post":   mustSim(Bandwidth(list, dt, 1, bwWindow)),
+			"single post": mustSim(Bandwidth(single, dt, 1, bwWindow)),
+		})
+	}
+	return r
+}
+
+// Fig14 reproduces the worst-case buffer usage comparison (Figure 14):
+// every internal buffer is allocated, registered and deregistered on the
+// fly, and user-buffer registrations never hit the pin-down cache.
+func Fig14() *Result {
+	r := &Result{
+		Name:        "fig14",
+		Title:       "Vector latency, worst case of buffer usage",
+		XLabel:      "columns",
+		YLabel:      "one-way latency (us)",
+		SeriesOrder: []string{"Generic", "BC-SPUP", "RWG-UP", "Multi-W"},
+	}
+	worst := func(c *mpi.Config) {
+		c.Core.RegCache = false
+		c.Core.UsePools = false
+	}
+	for _, x := range vectorColumns {
+		dt := VectorType(x)
+		point := map[string]float64{}
+		for _, s := range newSchemeSeries {
+			if s.scheme == core.SchemePRRS {
+				continue
+			}
+			cfg := worldConfig(2, s.scheme, expMem2, worst)
+			point[s.name] = mustSim(PingPongLatency(cfg, dt, 1, latWarmup, latIters))
+		}
+		r.Add(int64(x), point)
+	}
+	return r
+}
+
+// HeadlineSummary derives the abstract's improvement factors from the
+// latency, bandwidth and Alltoall results.
+func HeadlineSummary(fig8, fig9, fig11 *Result) string {
+	out := "Headline improvement factors over the Generic (MPICH-derived) implementation\n"
+	for _, s := range []string{"BC-SPUP", "RWG-UP", "Multi-W"} {
+		lat := fig8.ImprovementOf(s, "Generic", true)
+		bw := fig9.ImprovementOf(s, "Generic", false)
+		a2a := fig11.ImprovementOf(s, "Generic", true)
+		out += fmt.Sprintf("  %-8s latency x%.2f..x%.2f (avg %.2f) | bandwidth x%.2f..x%.2f (avg %.2f) | alltoall x%.2f..x%.2f (avg %.2f)\n",
+			s, lat.Min, lat.Max, lat.Avg, bw.Min, bw.Max, bw.Avg, a2a.Min, a2a.Max, a2a.Avg)
+	}
+	return out
+}
+
+// ContigType returns a contiguous byte type of the given size, the reference
+// layout for the "Contig" comparison curves.
+func ContigType(n int64) *datatype.Type {
+	return datatype.Must(datatype.TypeContiguous(int(n), datatype.Byte))
+}

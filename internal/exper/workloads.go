@@ -1,0 +1,510 @@
+package exper
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/datatype"
+	"repro/internal/mem"
+	"repro/internal/mpi"
+	"repro/internal/pack"
+	"repro/internal/pario"
+)
+
+// The paper's vector workload (Sections 3.2 and 8.2): x columns of a
+// 128 x 4096 32-bit integer array.
+const (
+	vecRows = 128
+	vecCols = 4096
+)
+
+// VectorType returns MPI_Type_vector(128, x, 4096, MPI_INT).
+func VectorType(x int) *datatype.Type {
+	return datatype.Must(datatype.TypeVector(vecRows, x, vecCols, datatype.Int32))
+}
+
+// VectorBytes is the payload size of the x-column vector message.
+func VectorBytes(x int) int64 { return int64(vecRows) * int64(x) * 4 }
+
+// StructType returns the paper's Figure 10 struct: blocks of 1, 2, 4, ...,
+// lastInts integers, each followed by a one-integer gap.
+func StructType(lastInts int) *datatype.Type {
+	var lens []int
+	var displs []int64
+	var types []*datatype.Type
+	pos := int64(0)
+	for b := 1; b <= lastInts; b *= 2 {
+		lens = append(lens, b)
+		displs = append(displs, pos)
+		types = append(types, datatype.Int32)
+		pos += int64(b)*4 + 4 // the gap equals the first block's size (one int)
+	}
+	return datatype.Must(datatype.TypeStruct(lens, displs, types))
+}
+
+// worldConfig builds an experiment cluster configuration.
+func worldConfig(ranks int, scheme core.Scheme, memBytes int64, mut func(*mpi.Config)) mpi.Config {
+	cfg := mpi.DefaultConfig()
+	cfg.Ranks = ranks
+	cfg.MemBytes = memBytes
+	cfg.Core.Scheme = scheme
+	if mut != nil {
+		mut(&cfg)
+	}
+	return cfg
+}
+
+func allocFor(p *mpi.Proc, dt *datatype.Type, count int) mem.Addr {
+	span := dt.TrueExtent() + int64(count-1)*dt.Extent()
+	a := p.Mem().MustAlloc(span)
+	return mem.Addr(int64(a) - dt.TrueLB())
+}
+
+func fillBuf(p *mpi.Proc, base mem.Addr, dt *datatype.Type, count int, seed byte) {
+	data := make([]byte, dt.Size()*int64(count))
+	for i := range data {
+		data[i] = seed ^ byte(i*17+5)
+	}
+	u := pack.NewUnpacker(p.Mem(), base, dt, count)
+	if n, _ := u.UnpackFrom(data); n != int64(len(data)) {
+		panic("fillBuf short")
+	}
+}
+
+// PingPongLatency measures the average one-way latency (microseconds) of a
+// (dt, count) ping-pong between two ranks.
+func PingPongLatency(cfg mpi.Config, dt *datatype.Type, count, warmup, iters int) (float64, error) {
+	cfg.Ranks = 2
+	w, err := mpi.NewWorld(cfg)
+	if err != nil {
+		return 0, err
+	}
+	var oneWay float64
+	err = w.Run(func(p *mpi.Proc) error {
+		buf := allocFor(p, dt, count)
+		if p.Rank() == 0 {
+			fillBuf(p, buf, dt, count, 1)
+			for i := 0; i < warmup; i++ {
+				if err := p.Send(buf, count, dt, 1, 0); err != nil {
+					return err
+				}
+				if _, err := p.Recv(buf, count, dt, 1, 0); err != nil {
+					return err
+				}
+			}
+			start := p.Now()
+			for i := 0; i < iters; i++ {
+				if err := p.Send(buf, count, dt, 1, 0); err != nil {
+					return err
+				}
+				if _, err := p.Recv(buf, count, dt, 1, 0); err != nil {
+					return err
+				}
+			}
+			total := p.Now().Sub(start)
+			oneWay = total.Micros() / float64(2*iters)
+		} else {
+			for i := 0; i < warmup+iters; i++ {
+				if _, err := p.Recv(buf, count, dt, 0, 0); err != nil {
+					return err
+				}
+				if err := p.Send(buf, count, dt, 0, 0); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	})
+	return oneWay, err
+}
+
+// Bandwidth measures the achieved bandwidth (MB/s, MB = 2^20 bytes, as the
+// paper defines it) of a window of back-to-back (dt, count) messages
+// followed by one reply — the paper's bandwidth test (Section 8.2).
+func Bandwidth(cfg mpi.Config, dt *datatype.Type, count, window int) (float64, error) {
+	cfg.Ranks = 2
+	w, err := mpi.NewWorld(cfg)
+	if err != nil {
+		return 0, err
+	}
+	size := dt.Size() * int64(count)
+	var mbps float64
+	err = w.Run(func(p *mpi.Proc) error {
+		buf := allocFor(p, dt, count)
+		ack := p.Mem().MustAlloc(8)
+		if p.Rank() == 0 {
+			fillBuf(p, buf, dt, count, 2)
+			// Warmup round trip.
+			if err := p.Send(buf, count, dt, 1, 1); err != nil {
+				return err
+			}
+			if _, err := p.Recv(ack, 1, datatype.Byte, 1, 2); err != nil {
+				return err
+			}
+			start := p.Now()
+			// Blocking sends, as the paper's streaming test pushes them:
+			// message k+1 starts once k's send completes locally.
+			for i := 0; i < window; i++ {
+				if err := p.Send(buf, count, dt, 1, 1); err != nil {
+					return err
+				}
+			}
+			if _, err := p.Recv(ack, 1, datatype.Byte, 1, 2); err != nil {
+				return err
+			}
+			elapsed := p.Now().Sub(start)
+			mbps = float64(size) * float64(window) / (1 << 20) / elapsed.Seconds()
+		} else {
+			if _, err := p.Recv(buf, count, dt, 0, 1); err != nil {
+				return err
+			}
+			if err := p.Send(ack, 1, datatype.Byte, 0, 2); err != nil {
+				return err
+			}
+			reqs := make([]*core.Request, 0, window)
+			for i := 0; i < window; i++ {
+				reqs = append(reqs, p.Irecv(buf, count, dt, 0, 1))
+			}
+			if err := p.Wait(reqs...); err != nil {
+				return err
+			}
+			if err := p.Send(ack, 1, datatype.Byte, 0, 2); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	return mbps, err
+}
+
+// ManualLatency measures the paper's "Manual" scheme: the user packs into a
+// contiguous staging buffer, sends contiguously, and the receiver unpacks by
+// hand. User pack cost is pure copy cost (no datatype-processing overhead).
+func ManualLatency(cfg mpi.Config, dt *datatype.Type, count, warmup, iters int) (float64, error) {
+	cfg.Ranks = 2
+	w, err := mpi.NewWorld(cfg)
+	if err != nil {
+		return 0, err
+	}
+	size := dt.Size() * int64(count)
+	var oneWay float64
+	err = w.Run(func(p *mpi.Proc) error {
+		user := allocFor(p, dt, count)
+		stage := p.Mem().MustAlloc(size)
+		model := cfg.Model
+		manualCopy := func(packIt bool) {
+			var n int64
+			var runs int
+			if packIt {
+				pk := pack.NewPacker(p.Mem(), user, dt, count)
+				n, runs = pk.PackTo(p.Mem().Bytes(stage, size))
+			} else {
+				u := pack.NewUnpacker(p.Mem(), user, dt, count)
+				n, runs = u.UnpackFrom(p.Mem().Bytes(stage, size))
+			}
+			if n != size {
+				panic("manual copy short")
+			}
+			p.Compute(model.CopyTime(n, runs))
+		}
+		round := func(send bool) error {
+			if send {
+				manualCopy(true)
+				if err := p.Send(stage, int(size), datatype.Byte, 1-p.Rank(), 0); err != nil {
+					return err
+				}
+				return nil
+			}
+			if _, err := p.Recv(stage, int(size), datatype.Byte, 1-p.Rank(), 0); err != nil {
+				return err
+			}
+			manualCopy(false)
+			return nil
+		}
+		if p.Rank() == 0 {
+			fillBuf(p, user, dt, count, 3)
+			for i := 0; i < warmup; i++ {
+				if err := round(true); err != nil {
+					return err
+				}
+				if err := round(false); err != nil {
+					return err
+				}
+			}
+			start := p.Now()
+			for i := 0; i < iters; i++ {
+				if err := round(true); err != nil {
+					return err
+				}
+				if err := round(false); err != nil {
+					return err
+				}
+			}
+			oneWay = p.Now().Sub(start).Micros() / float64(2*iters)
+		} else {
+			for i := 0; i < warmup+iters; i++ {
+				if err := round(false); err != nil {
+					return err
+				}
+				if err := round(true); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	})
+	return oneWay, err
+}
+
+// MultipleLatency measures the paper's "Multiple" scheme: one MPI call per
+// contiguous block of the datatype.
+func MultipleLatency(cfg mpi.Config, dt *datatype.Type, count, warmup, iters int) (float64, error) {
+	cfg.Ranks = 2
+	w, err := mpi.NewWorld(cfg)
+	if err != nil {
+		return 0, err
+	}
+	blocks, trunc := datatype.Flatten(dt, count, 0)
+	if trunc {
+		return 0, fmt.Errorf("exper: too many blocks for Multiple scheme")
+	}
+	var oneWay float64
+	err = w.Run(func(p *mpi.Proc) error {
+		user := allocFor(p, dt, count)
+		peer := 1 - p.Rank()
+		sendAll := func() error {
+			reqs := make([]*core.Request, 0, len(blocks))
+			for _, b := range blocks {
+				addr := mem.Addr(int64(user) + b.Off)
+				reqs = append(reqs, p.Isend(addr, int(b.Len), datatype.Byte, peer, 0))
+			}
+			return p.Wait(reqs...)
+		}
+		recvAll := func() error {
+			reqs := make([]*core.Request, 0, len(blocks))
+			for _, b := range blocks {
+				addr := mem.Addr(int64(user) + b.Off)
+				reqs = append(reqs, p.Irecv(addr, int(b.Len), datatype.Byte, peer, 0))
+			}
+			return p.Wait(reqs...)
+		}
+		if p.Rank() == 0 {
+			fillBuf(p, user, dt, count, 4)
+			for i := 0; i < warmup; i++ {
+				if err := sendAll(); err != nil {
+					return err
+				}
+				if err := recvAll(); err != nil {
+					return err
+				}
+			}
+			start := p.Now()
+			for i := 0; i < iters; i++ {
+				if err := sendAll(); err != nil {
+					return err
+				}
+				if err := recvAll(); err != nil {
+					return err
+				}
+			}
+			oneWay = p.Now().Sub(start).Micros() / float64(2*iters)
+		} else {
+			for i := 0; i < warmup+iters; i++ {
+				if err := recvAll(); err != nil {
+					return err
+				}
+				if err := sendAll(); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	})
+	return oneWay, err
+}
+
+// AlltoallTime measures the average completion time (microseconds) of an
+// MPI_Alltoall with (dt, count) blocks across the world's ranks.
+func AlltoallTime(cfg mpi.Config, dt *datatype.Type, count, warmup, iters int) (float64, error) {
+	w, err := mpi.NewWorld(cfg)
+	if err != nil {
+		return 0, err
+	}
+	var avg float64
+	err = w.Run(func(p *mpi.Proc) error {
+		n := p.Size()
+		sbuf := allocFor(p, dt, count*n)
+		rbuf := allocFor(p, dt, count*n)
+		fillBuf(p, sbuf, dt, count*n, byte(p.Rank()+1))
+		for i := 0; i < warmup; i++ {
+			if err := p.Alltoall(sbuf, count, dt, rbuf, count, dt); err != nil {
+				return err
+			}
+		}
+		if err := p.Barrier(); err != nil {
+			return err
+		}
+		start := p.Now()
+		for i := 0; i < iters; i++ {
+			if err := p.Alltoall(sbuf, count, dt, rbuf, count, dt); err != nil {
+				return err
+			}
+		}
+		if err := p.Barrier(); err != nil {
+			return err
+		}
+		if p.Rank() == 0 {
+			avg = p.Now().Sub(start).Micros() / float64(iters)
+		}
+		return nil
+	})
+	return avg, err
+}
+
+// mustSim converts (value, error) to value, panicking on error; experiment
+// drivers use it because a failure is a bug in the simulation, not a
+// recoverable condition.
+func mustSim(v float64, err error) float64 {
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// PutLatency measures the average completion time of a one-sided Put of one
+// (dt) message into a window laid out with the same datatype, fenced each
+// iteration (both fences' synchronization included, halved like ping-pong).
+func PutLatency(cfg mpi.Config, dt *datatype.Type, warmup, iters int) (float64, error) {
+	cfg.Ranks = 2
+	w, err := mpi.NewWorld(cfg)
+	if err != nil {
+		return 0, err
+	}
+	var us float64
+	err = w.Run(func(p *mpi.Proc) error {
+		span := dt.TrueExtent()
+		winBuf := p.Mem().MustAlloc(span)
+		win, err := p.World().WinCreate(winBuf, span)
+		if err != nil {
+			return err
+		}
+		src := allocFor(p, dt, 1)
+		if p.Rank() == 0 {
+			fillBuf(p, src, dt, 1, 5)
+		}
+		doPut := func() error {
+			if p.Rank() == 0 {
+				if err := win.Put(src, 1, dt, 1, -dt.TrueLB(), 1, dt); err != nil {
+					return err
+				}
+			}
+			return win.Fence()
+		}
+		for i := 0; i < warmup; i++ {
+			if err := doPut(); err != nil {
+				return err
+			}
+		}
+		start := p.Now()
+		for i := 0; i < iters; i++ {
+			if err := doPut(); err != nil {
+				return err
+			}
+		}
+		if p.Rank() == 0 {
+			us = p.Now().Sub(start).Micros() / float64(iters)
+		}
+		return win.Free()
+	})
+	return us, err
+}
+
+// ParIOTime measures the average time for a client to write and read back
+// one (dt) view of a server-hosted file in the given pario mode.
+func ParIOTime(cfg mpi.Config, dt *datatype.Type, mode pario.Mode, warmup, iters int) (float64, error) {
+	cfg.Ranks = 2
+	w, err := mpi.NewWorld(cfg)
+	if err != nil {
+		return 0, err
+	}
+	var us float64
+	err = w.Run(func(p *mpi.Proc) error {
+		f, err := pario.Open(p.World(), 0, dt.Size()+4096, mode)
+		if err != nil {
+			return err
+		}
+		if p.Rank() == 0 {
+			return f.Serve()
+		}
+		buf := allocFor(p, dt, 1)
+		fillBuf(p, buf, dt, 1, 9)
+		round := func() error {
+			if err := f.WriteAt(0, buf, 1, dt); err != nil {
+				return err
+			}
+			return f.ReadAt(0, buf, 1, dt)
+		}
+		for i := 0; i < warmup; i++ {
+			if err := round(); err != nil {
+				return err
+			}
+		}
+		start := p.Now()
+		for i := 0; i < iters; i++ {
+			if err := round(); err != nil {
+				return err
+			}
+		}
+		us = p.Now().Sub(start).Micros() / float64(iters)
+		return f.Close()
+	})
+	return us, err
+}
+
+// CountersReport runs one 256 KB vector transfer under each scheme and
+// formats the per-rank operation counters — the observable anatomy of each
+// scheme (copies, registrations, descriptors, control traffic).
+func CountersReport() (string, error) {
+	var out strings.Builder
+	dt := VectorType(512)
+	for _, s := range []struct {
+		name   string
+		scheme core.Scheme
+	}{
+		{"Generic", core.SchemeGeneric},
+		{"BC-SPUP", core.SchemeBCSPUP},
+		{"RWG-UP", core.SchemeRWGUP},
+		{"P-RRS", core.SchemePRRS},
+		{"Multi-W", core.SchemeMultiW},
+	} {
+		cfg := worldConfig(2, s.scheme, expMem2, nil)
+		w, err := mpi.NewWorld(cfg)
+		if err != nil {
+			return "", err
+		}
+		err = w.Run(func(p *mpi.Proc) error {
+			buf := allocFor(p, dt, 1)
+			if p.Rank() == 0 {
+				fillBuf(p, buf, dt, 1, 1)
+				return p.Send(buf, 1, dt, 1, 0)
+			}
+			_, err := p.Recv(buf, 1, dt, 0, 0)
+			return err
+		})
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(&out, "=== %s (one 256 KB vector message, 128 blocks of 2 KB) ===\n", s.name)
+		for r := 0; r < 2; r++ {
+			role := "sender"
+			if r == 1 {
+				role = "receiver"
+			}
+			fmt.Fprintf(&out, "-- rank %d (%s)\n", r, role)
+			out.WriteString(w.Endpoint(r).Counters().String())
+		}
+		out.WriteString("\n")
+	}
+	return out.String(), nil
+}

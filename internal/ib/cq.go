@@ -1,0 +1,110 @@
+package ib
+
+import "repro/internal/simtime"
+
+// Opcode identifies the operation a work request or completion refers to.
+type Opcode int
+
+// Work-request opcodes.
+const (
+	OpSend Opcode = iota
+	OpRDMAWrite
+	OpRDMAWriteImm
+	OpRDMARead
+	OpRecv // completion-side only
+)
+
+func (o Opcode) String() string {
+	switch o {
+	case OpSend:
+		return "SEND"
+	case OpRDMAWrite:
+		return "RDMA_WRITE"
+	case OpRDMAWriteImm:
+		return "RDMA_WRITE_IMM"
+	case OpRDMARead:
+		return "RDMA_READ"
+	case OpRecv:
+		return "RECV"
+	}
+	return "UNKNOWN"
+}
+
+// CQE is a completion queue entry.
+type CQE struct {
+	QP     *QP    // the queue pair the completion belongss to
+	WRID   uint64 // the work request's ID
+	Op     Opcode
+	Bytes  int64 // payload length
+	Imm    uint32
+	HasImm bool
+	Err    error // nil on success
+
+	// Data carries the payload of a channel-semantics (OpSend) message on
+	// the receive side, modeling the pre-registered internal receive buffer
+	// it would land in on hardware. Nil for RDMA completions.
+	Data []byte
+}
+
+// CQ is a completion queue. A CQ either queues entries for polling
+// (Poll/WaitPoll) or dispatches them to a handler; protocol engines use the
+// handler form so completion processing charges the host CPU and serializes
+// with other host work.
+type CQ struct {
+	hca     *HCA
+	queue   []CQE
+	handler func(CQE)
+	sig     simtime.Signal
+}
+
+// NewCQ creates a completion queue on an HCA.
+func NewCQ(h *HCA) *CQ { return &CQ{hca: h} }
+
+// SetHandler switches the CQ to handler dispatch. Each entry is delivered in
+// its own event after reserving CompletionCost on the node's CPU. Must be set
+// before any completion arrives.
+func (cq *CQ) SetHandler(fn func(CQE)) {
+	if len(cq.queue) > 0 {
+		panic("ib: SetHandler on non-empty CQ")
+	}
+	cq.handler = fn
+}
+
+// push delivers a completion at the current virtual time.
+func (cq *CQ) push(e CQE) {
+	cq.hca.counters.Completions++
+	if cq.handler != nil {
+		eng := cq.hca.Engine()
+		end := cq.hca.ChargeCPUNamed(cq.hca.Model().CompletionCost, "cqe")
+		eng.At(end, func() { cq.handler(e) })
+		return
+	}
+	cq.queue = append(cq.queue, e)
+	cq.sig.Broadcast()
+}
+
+// Poll removes and returns the oldest completion, if any.
+func (cq *CQ) Poll() (CQE, bool) {
+	if len(cq.queue) == 0 {
+		return CQE{}, false
+	}
+	e := cq.queue[0]
+	cq.queue = cq.queue[1:]
+	return e, true
+}
+
+// WaitPoll blocks the process until a completion is available, then returns
+// it, charging the completion-handling CPU cost.
+func (cq *CQ) WaitPoll(p *simtime.Process) CQE {
+	for len(cq.queue) == 0 {
+		p.Wait(&cq.sig)
+	}
+	e := cq.queue[0]
+	cq.queue = cq.queue[1:]
+	end := cq.hca.ChargeCPU(cq.hca.Model().CompletionCost)
+	p.WaitUntil(end)
+	return e
+}
+
+// Len reports the number of queued completions (always 0 in handler mode).
+func (cq *CQ) Len() int { return len(cq.queue) }

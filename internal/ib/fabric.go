@@ -1,0 +1,155 @@
+package ib
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+	"repro/internal/simtime"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// Fabric is the switched interconnect: a full crossbar (like the paper's
+// InfiniScale switch) where the only contention points are each HCA's send
+// and receive ports.
+type Fabric struct {
+	eng    *simtime.Engine
+	model  Model
+	hcas   []*HCA
+	tracer *trace.Recorder
+}
+
+// SetTracer attaches an activity recorder; all nodes' CPU and port intervals
+// are recorded into it. Pass nil to disable (the default).
+func (f *Fabric) SetTracer(r *trace.Recorder) { f.tracer = r }
+
+// NewFabric creates a fabric on the given engine with the given cost model.
+func NewFabric(eng *simtime.Engine, model Model) *Fabric {
+	if model.MaxSGE <= 0 {
+		model.MaxSGE = 1
+	}
+	return &Fabric{eng: eng, model: model}
+}
+
+// Engine returns the simulation engine.
+func (f *Fabric) Engine() *simtime.Engine { return f.eng }
+
+// Model returns the fabric's cost model.
+func (f *Fabric) Model() *Model { return &f.model }
+
+// HCA is one node's host channel adapter together with the node-side
+// resources the simulation accounts for: the host CPU that runs the MPI
+// library, and the adapter's send and receive ports.
+type HCA struct {
+	fab      *Fabric
+	idx      int
+	name     string
+	mem      *mem.Memory
+	cpu      *simtime.Resource
+	sendPort *simtime.Resource
+	recvPort *simtime.Resource
+	counters *stats.Counters
+	nextQP   int
+	nextWRID uint64
+}
+
+// AddHCA attaches a node to the fabric. counters may be nil.
+func (f *Fabric) AddHCA(name string, memory *mem.Memory, counters *stats.Counters) *HCA {
+	if counters == nil {
+		counters = &stats.Counters{}
+	}
+	h := &HCA{
+		fab:      f,
+		idx:      len(f.hcas),
+		name:     name,
+		mem:      memory,
+		cpu:      simtime.NewResource(name + ".cpu"),
+		sendPort: simtime.NewResource(name + ".tx"),
+		recvPort: simtime.NewResource(name + ".rx"),
+		counters: counters,
+	}
+	f.hcas = append(f.hcas, h)
+	return h
+}
+
+// Name returns the node name.
+func (h *HCA) Name() string { return h.name }
+
+// Index returns the HCA's position in the fabric.
+func (h *HCA) Index() int { return h.idx }
+
+// Mem returns the node's memory.
+func (h *HCA) Mem() *mem.Memory { return h.mem }
+
+// CPU returns the node's host CPU resource. Protocol layers reserve it for
+// packing, unpacking, registration and posting work.
+func (h *HCA) CPU() *simtime.Resource { return h.cpu }
+
+// Counters returns the node's statistics counters.
+func (h *HCA) Counters() *stats.Counters { return h.counters }
+
+// Model returns the fabric cost model.
+func (h *HCA) Model() *Model { return &h.fab.model }
+
+// Engine returns the simulation engine.
+func (h *HCA) Engine() *simtime.Engine { return h.fab.eng }
+
+// WRID returns a fresh work-request ID, unique per HCA.
+func (h *HCA) WRID() uint64 {
+	h.nextWRID++
+	return h.nextWRID
+}
+
+// ChargeCPU reserves the host CPU for d starting no earlier than now and
+// returns the time the work finishes. Use it for host-side protocol costs
+// (packing, registration) that must serialize with posting and completion
+// handling.
+func (h *HCA) ChargeCPU(d simtime.Duration) simtime.Time {
+	return h.ChargeCPUNamed(d, "host")
+}
+
+// ChargeCPUNamed is ChargeCPU with an activity label for the tracer.
+func (h *HCA) ChargeCPUNamed(d simtime.Duration, name string) simtime.Time {
+	start, end := h.cpu.Acquire(h.fab.eng.Now(), d)
+	h.fab.tracer.Add(h.name, trace.LaneCPU, name, start, end)
+	return end
+}
+
+// traceLane records a port interval when tracing is enabled.
+func (h *HCA) traceLane(lane trace.Lane, name string, start, end simtime.Time) {
+	h.fab.tracer.Add(h.name, lane, name, start, end)
+}
+
+// Connect creates a connected (RC) queue pair between two HCAs. Each side
+// gets its own QP whose send and receive completions are delivered to the
+// given CQs. A CQ may be shared among QPs.
+func Connect(a, b *HCA, aSendCQ, aRecvCQ, bSendCQ, bRecvCQ *CQ) (*QP, *QP) {
+	if a.fab != b.fab {
+		panic("ib: Connect across fabrics")
+	}
+	qa := &QP{hca: a, num: a.nextQP, sendCQ: aSendCQ, recvCQ: aRecvCQ}
+	a.nextQP++
+	qb := &QP{hca: b, num: b.nextQP, sendCQ: bSendCQ, recvCQ: bRecvCQ}
+	b.nextQP++
+	qa.peer, qb.peer = qb, qa
+	return qa, qb
+}
+
+// validateSGL checks every SGE against the local registration table and
+// returns the total byte length.
+func validateSGL(h *HCA, sgl []SGE) (int64, error) {
+	var total int64
+	for _, s := range sgl {
+		if s.Len < 0 {
+			return 0, fmt.Errorf("ib %s: negative SGE length", h.name)
+		}
+		if s.Len == 0 {
+			continue
+		}
+		if err := h.mem.Reg().CheckAccess(s.Key, s.Addr, s.Len); err != nil {
+			return 0, err
+		}
+		total += s.Len
+	}
+	return total, nil
+}

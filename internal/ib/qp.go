@@ -1,0 +1,314 @@
+package ib
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+	"repro/internal/simtime"
+	"repro/internal/trace"
+)
+
+// SGE is a scatter/gather element naming registered local memory.
+type SGE struct {
+	Addr mem.Addr
+	Len  int64
+	Key  uint32 // lkey of a covering registered region
+}
+
+// SendWR is a send-queue work request.
+//
+// Channel semantics (OpSend) carry an Inline payload: the bytes are captured
+// at post time, modeling MVAPICH's pre-registered internal send buffers, and
+// are handed to the receiver in the completion entry. Memory semantics
+// (RDMA write/read) use SGL/RemoteAddr/RKey and require registration on both
+// ends, exactly as on hardware.
+type SendWR struct {
+	WRID uint64
+	Op   Opcode
+
+	// Inline is the payload for OpSend.
+	Inline []byte
+
+	// SGL is the local gather list (write) or scatter list (read).
+	SGL []SGE
+
+	// RemoteAddr/RKey name the remote contiguous region for RDMA operations.
+	RemoteAddr mem.Addr
+	RKey       uint32
+
+	// Imm is delivered to the remote CQ for OpSend and OpRDMAWriteImm.
+	Imm uint32
+}
+
+// RecvWR is a receive-queue work request. In this simulation it is a pure
+// credit: channel-semantics payloads arrive in CQE.Data, and RDMA-write-
+// with-immediate consumes a credit to generate the remote completion, as the
+// paper's segment-arrival notification scheme requires.
+type RecvWR struct {
+	WRID uint64
+}
+
+// arrival is payload/notification waiting for a receive credit (the
+// simulation's receiver-not-ready stall).
+type arrival struct {
+	op     Opcode
+	data   []byte
+	bytes  int64
+	imm    uint32
+	hasImm bool
+}
+
+// QP is one end of a reliable connection.
+type QP struct {
+	hca     *HCA
+	num     int
+	peer    *QP
+	sendCQ  *CQ
+	recvCQ  *CQ
+	recvQ   []RecvWR
+	stalled []arrival
+
+	// UserData is free for the owning protocol layer (e.g. peer rank).
+	UserData int
+}
+
+// HCA returns the owning adapter.
+func (qp *QP) HCA() *HCA { return qp.hca }
+
+// Peer returns the connected remote QP.
+func (qp *QP) Peer() *QP { return qp.peer }
+
+// Num returns the QP number (unique per HCA).
+func (qp *QP) Num() int { return qp.num }
+
+// PostRecv posts a receive credit. If arrivals were stalled waiting for
+// credits they are delivered now, in arrival order.
+func (qp *QP) PostRecv(wr RecvWR) {
+	qp.hca.counters.RecvsPosted++
+	qp.recvQ = append(qp.recvQ, wr)
+	for len(qp.stalled) > 0 && len(qp.recvQ) > 0 {
+		a := qp.stalled[0]
+		qp.stalled = qp.stalled[1:]
+		qp.completeArrival(a)
+	}
+}
+
+// RecvCredits reports the number of posted, unconsumed receive credits.
+func (qp *QP) RecvCredits() int { return len(qp.recvQ) }
+
+// PostSend posts one work request.
+func (qp *QP) PostSend(wr SendWR) error {
+	return qp.post([]SendWR{wr}, false)
+}
+
+// PostSendList posts a list of work requests in one operation; descriptors
+// after the first are cheaper to post (the extended interface the paper's
+// Multi-W scheme evaluates in Figure 13).
+func (qp *QP) PostSendList(wrs []SendWR) error {
+	return qp.post(wrs, true)
+}
+
+func (qp *QP) post(wrs []SendWR, list bool) error {
+	if len(wrs) == 0 {
+		return nil
+	}
+	h := qp.hca
+	m := h.Model()
+	eng := h.Engine()
+
+	// Validate everything before charging any time, so a bad descriptor in a
+	// list fails the whole post (as ibv_post_send does).
+	for i := range wrs {
+		if err := qp.validate(&wrs[i]); err != nil {
+			return fmt.Errorf("ib %s qp%d: %w", h.name, qp.num, err)
+		}
+	}
+
+	c := h.counters
+	if list {
+		c.ListPosts++
+	}
+	for i := range wrs {
+		wr := &wrs[i]
+		c.DescriptorsPosted++
+		c.SGEsPosted += int64(len(wr.SGL))
+		switch wr.Op {
+		case OpSend:
+			c.SendsPosted++
+		case OpRDMAWrite, OpRDMAWriteImm:
+			c.RDMAWritesPosted++
+			if wr.Op == OpRDMAWriteImm {
+				c.ImmediatesSent++
+			}
+		case OpRDMARead:
+			c.RDMAReadsPosted++
+		}
+		if !list {
+			c.ListPosts++ // each single post is its own post operation
+		}
+		cpuStart, cpuEnd := h.cpu.Acquire(eng.Now(), m.PostTime(i, len(wr.SGL), list))
+		h.fab.tracer.Add(h.name, trace.LaneCPU, "doorbell", cpuStart, cpuEnd)
+		qp.launch(*wr, cpuEnd)
+	}
+	return nil
+}
+
+func (qp *QP) validate(wr *SendWR) error {
+	h := qp.hca
+	switch wr.Op {
+	case OpSend:
+		if len(wr.SGL) != 0 {
+			return fmt.Errorf("OpSend carries inline payloads only")
+		}
+		return nil
+	case OpRDMAWrite, OpRDMAWriteImm:
+		n, err := validateSGL(h, wr.SGL)
+		if err != nil {
+			return err
+		}
+		// Remote access rights are checked at delivery (the responder side),
+		// but the target range must at least be a plausible address.
+		if err := qp.peer.hca.mem.CheckRange(wr.RemoteAddr, n); err != nil {
+			return err
+		}
+		return nil
+	case OpRDMARead:
+		if _, err := validateSGL(h, wr.SGL); err != nil {
+			return err
+		}
+		return nil
+	default:
+		return fmt.Errorf("bad opcode %v", wr.Op)
+	}
+}
+
+// launch models NIC processing and wire transfer of one descriptor that
+// becomes eligible at time ready (when the host finished posting it).
+func (qp *QP) launch(wr SendWR, ready simtime.Time) {
+	h := qp.hca
+	m := h.Model()
+	eng := h.Engine()
+
+	switch wr.Op {
+	case OpSend:
+		payload := append([]byte(nil), wr.Inline...)
+		size := int64(len(payload))
+		occ := m.NICDescCost + m.WireTime(size)
+		sendStart, sendEnd := h.sendPort.AcquireAt(ready, occ)
+		rs, re := qp.peer.hca.recvPort.AcquireAt(sendStart.Add(m.WireLatency), m.WireTime(size))
+		h.traceLane(trace.LaneTx, "xmit:ctrl", sendStart, sendEnd)
+		qp.peer.hca.traceLane(trace.LaneRx, "xmit:ctrl", rs, re)
+		wrid := wr.WRID
+		imm, hasImm := wr.Imm, true
+		eng.At(re, func() {
+			qp.peer.arrive(arrival{op: OpSend, data: payload, bytes: size, imm: imm, hasImm: hasImm})
+		})
+		eng.At(re.Add(m.WireLatency), func() {
+			qp.sendCQ.push(CQE{QP: qp, WRID: wrid, Op: OpSend, Bytes: size})
+		})
+
+	case OpRDMAWrite, OpRDMAWriteImm:
+		// Snapshot the gather list at launch; hardware requires the source
+		// stable until completion and our protocols honor that.
+		var size int64
+		for _, s := range wr.SGL {
+			size += s.Len
+		}
+		payload := make([]byte, 0, size)
+		for _, s := range wr.SGL {
+			if s.Len > 0 {
+				payload = append(payload, h.mem.Bytes(s.Addr, s.Len)...)
+			}
+		}
+		occ := m.NICDescCost + simtime.Duration(len(wr.SGL))*m.NICSGECost + m.WireTime(size)
+		sendStart, sendEnd := h.sendPort.AcquireAt(ready, occ)
+		rs, re := qp.peer.hca.recvPort.AcquireAt(sendStart.Add(m.WireLatency), m.WireTime(size))
+		h.traceLane(trace.LaneTx, "wire:write", sendStart, sendEnd)
+		qp.peer.hca.traceLane(trace.LaneRx, "wire:write", rs, re)
+		wrcopy := wr
+		eng.At(re, func() { qp.deliverWrite(wrcopy, payload, size, re) })
+
+	case OpRDMARead:
+		var size int64
+		for _, s := range wr.SGL {
+			size += s.Len
+		}
+		// Request to responder.
+		reqOcc := m.NICDescCost + simtime.Duration(len(wr.SGL))*m.NICSGECost
+		reqStart, _ := h.sendPort.AcquireAt(ready, reqOcc)
+		// Responder streams the data back after its turnaround.
+		respReady := reqStart.Add(m.WireLatency + m.ReadTurnaround)
+		dataOcc := m.NICDescCost + m.WireTime(size)
+		respStart, respEnd := qp.peer.hca.sendPort.AcquireAt(respReady, dataOcc)
+		ls, le := h.recvPort.AcquireAt(respStart.Add(m.WireLatency), m.WireTime(size))
+		qp.peer.hca.traceLane(trace.LaneTx, "wire:read-resp", respStart, respEnd)
+		h.traceLane(trace.LaneRx, "wire:read-resp", ls, le)
+		wrcopy := wr
+		eng.At(le, func() { qp.completeRead(wrcopy, size) })
+	}
+}
+
+// deliverWrite lands an RDMA write at the responder.
+func (qp *QP) deliverWrite(wr SendWR, payload []byte, size int64, t simtime.Time) {
+	m := qp.hca.Model()
+	peer := qp.peer
+	// Responder-side protection check.
+	if err := peer.hca.mem.Reg().CheckAccess(wr.RKey, wr.RemoteAddr, size); err != nil {
+		qp.sendCQ.push(CQE{QP: qp, WRID: wr.WRID, Op: wr.Op, Bytes: size,
+			Err: fmt.Errorf("remote access error: %w", err)})
+		return
+	}
+	copy(peer.hca.mem.Bytes(wr.RemoteAddr, size), payload)
+	if wr.Op == OpRDMAWriteImm {
+		peer.arrive(arrival{op: OpRDMAWriteImm, bytes: size, imm: wr.Imm, hasImm: true})
+	}
+	// Initiator completion after the ack returns.
+	eng := qp.hca.Engine()
+	eng.At(t.Add(m.WireLatency), func() {
+		qp.sendCQ.push(CQE{QP: qp, WRID: wr.WRID, Op: wr.Op, Bytes: size})
+	})
+}
+
+// completeRead lands RDMA read data at the initiator.
+func (qp *QP) completeRead(wr SendWR, size int64) {
+	peer := qp.peer
+	if err := peer.hca.mem.Reg().CheckAccess(wr.RKey, wr.RemoteAddr, size); err != nil {
+		qp.sendCQ.push(CQE{QP: qp, WRID: wr.WRID, Op: OpRDMARead, Bytes: size,
+			Err: fmt.Errorf("remote access error: %w", err)})
+		return
+	}
+	src := peer.hca.mem.Bytes(wr.RemoteAddr, size)
+	var off int64
+	for _, s := range wr.SGL {
+		if s.Len <= 0 {
+			continue
+		}
+		copy(qp.hca.mem.Bytes(s.Addr, s.Len), src[off:off+s.Len])
+		off += s.Len
+	}
+	qp.sendCQ.push(CQE{QP: qp, WRID: wr.WRID, Op: OpRDMARead, Bytes: size})
+}
+
+// arrive delivers a channel-semantics payload or an immediate notification,
+// consuming a receive credit or stalling until one is posted.
+func (qp *QP) arrive(a arrival) {
+	if len(qp.recvQ) == 0 {
+		qp.stalled = append(qp.stalled, a)
+		return
+	}
+	qp.completeArrival(a)
+}
+
+func (qp *QP) completeArrival(a arrival) {
+	rwr := qp.recvQ[0]
+	qp.recvQ = qp.recvQ[1:]
+	qp.recvCQ.push(CQE{
+		QP:     qp,
+		WRID:   rwr.WRID,
+		Op:     OpRecv,
+		Bytes:  a.bytes,
+		Imm:    a.imm,
+		HasImm: a.hasImm,
+		Data:   a.data,
+	})
+}

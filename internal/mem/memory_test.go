@@ -1,0 +1,188 @@
+package mem
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAllocBasic(t *testing.T) {
+	m := NewMemory("n0", 1<<20)
+	a, err := m.Alloc(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == 0 {
+		t.Fatal("allocated nil address")
+	}
+	if a%8 != 0 {
+		t.Fatalf("addr %#x not 8-byte aligned", a)
+	}
+	b, err := m.Alloc(200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b == a {
+		t.Fatal("duplicate allocation")
+	}
+	if got := m.AllocatedBytes(); got != 300 {
+		t.Fatalf("AllocatedBytes = %d, want 300", got)
+	}
+}
+
+func TestAllocPageAlignment(t *testing.T) {
+	m := NewMemory("n0", 1<<20)
+	if _, err := m.Alloc(13); err != nil {
+		t.Fatal(err)
+	}
+	a, err := m.AllocPage(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a%PageSize != 0 {
+		t.Fatalf("addr %#x not page aligned", a)
+	}
+}
+
+func TestAllocBadAlignment(t *testing.T) {
+	m := NewMemory("n0", 1<<20)
+	if _, err := m.AllocAligned(10, 3); err == nil {
+		t.Fatal("expected error for non-power-of-two alignment")
+	}
+	if _, err := m.Alloc(0); err == nil {
+		t.Fatal("expected error for zero-size alloc")
+	}
+}
+
+func TestAllocExhaustion(t *testing.T) {
+	m := NewMemory("n0", 4*PageSize)
+	if _, err := m.Alloc(16 * PageSize); err == nil {
+		t.Fatal("expected out-of-memory")
+	}
+}
+
+func TestFreeAndCoalesce(t *testing.T) {
+	m := NewMemory("n0", 1<<20)
+	a, _ := m.Alloc(1000)
+	b, _ := m.Alloc(1000)
+	c, _ := m.Alloc(1000)
+	if err := m.Free(b); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Free(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Free(c); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Free(a); err == nil {
+		t.Fatal("double free not detected")
+	}
+	// After freeing everything the space must coalesce enough to satisfy a
+	// large allocation again.
+	if _, err := m.Alloc(1 << 19); err != nil {
+		t.Fatalf("post-free large alloc failed: %v", err)
+	}
+}
+
+func TestBytesAccess(t *testing.T) {
+	m := NewMemory("n0", 1<<20)
+	a, _ := m.Alloc(64)
+	bs := m.Bytes(a, 64)
+	for i := range bs {
+		bs[i] = byte(i)
+	}
+	again := m.Bytes(a, 64)
+	for i := range again {
+		if again[i] != byte(i) {
+			t.Fatalf("byte %d = %d, want %d", i, again[i], i)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range Bytes did not panic")
+		}
+	}()
+	m.Bytes(Addr(m.Size()-10), 100)
+}
+
+func TestNilAddressRejected(t *testing.T) {
+	m := NewMemory("n0", 1<<20)
+	if err := m.CheckRange(0, 8); err == nil {
+		t.Fatal("nil address accepted")
+	}
+}
+
+func TestPageSpan(t *testing.T) {
+	cases := []struct {
+		a    Addr
+		n    int64
+		want int64
+	}{
+		{0, 0, 0},
+		{0, 1, 1},
+		{0, PageSize, 1},
+		{0, PageSize + 1, 2},
+		{PageSize - 1, 2, 2},
+		{PageSize, PageSize, 1},
+		{100, 3 * PageSize, 4},
+	}
+	for _, c := range cases {
+		if got := PageSpan(c.a, c.n); got != c.want {
+			t.Errorf("PageSpan(%d, %d) = %d, want %d", c.a, c.n, got, c.want)
+		}
+	}
+}
+
+// Property: an arbitrary interleaving of allocs and frees never hands out
+// overlapping ranges, and freeing everything restores full capacity.
+func TestAllocatorProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := NewMemory("p", 1<<20)
+		type alloc struct {
+			a Addr
+			n int64
+		}
+		var live []alloc
+		overlaps := func(x alloc) bool {
+			for _, y := range live {
+				if x.a < y.a+Addr(y.n) && y.a < x.a+Addr(x.n) {
+					return true
+				}
+			}
+			return false
+		}
+		for i := 0; i < 200; i++ {
+			if len(live) > 0 && rng.Intn(2) == 0 {
+				k := rng.Intn(len(live))
+				if err := m.Free(live[k].a); err != nil {
+					return false
+				}
+				live = append(live[:k], live[k+1:]...)
+				continue
+			}
+			n := int64(rng.Intn(5000) + 1)
+			a, err := m.Alloc(n)
+			if err != nil {
+				continue // exhaustion is acceptable
+			}
+			na := alloc{a, n}
+			if overlaps(na) {
+				return false
+			}
+			live = append(live, na)
+		}
+		for _, x := range live {
+			if err := m.Free(x.a); err != nil {
+				return false
+			}
+		}
+		// All space (minus the reserved first page) must be reusable.
+		_, err := m.Alloc(1<<20 - PageSize - 64)
+		return err == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,106 @@
+package mem
+
+import "sort"
+
+// Block is one contiguous piece of a datatype message buffer.
+type Block struct {
+	Addr Addr
+	Len  int64
+}
+
+// End returns the first address past the block.
+func (b Block) End() Addr { return b.Addr + Addr(b.Len) }
+
+// RegCost parameterizes the cost model for Optimistic Group Registration:
+// registering a region costs Base + Pages*PerPage (in virtual nanoseconds).
+// The absolute unit does not matter to the grouping decision, only the
+// Base/PerPage ratio.
+type RegCost struct {
+	Base    int64
+	PerPage int64
+}
+
+// RegionCost returns the modeled cost of registering [a, a+n).
+func (c RegCost) RegionCost(a Addr, n int64) int64 {
+	return c.Base + PageSpan(a, n)*c.PerPage
+}
+
+// GroupRegions implements Optimistic Group Registration (Wu, Wyckoff, Panda):
+// given the contiguous blocks of a datatype message buffer, it returns a set
+// of covering regions to register, merging neighbouring blocks across their
+// gaps whenever pinning the gap pages is cheaper than paying another
+// registration operation. Large gaps that would null the benefit are left as
+// region boundaries.
+//
+// The returned regions are sorted by address, non-overlapping, and cover
+// every input block. Input blocks may be unsorted; overlapping or adjacent
+// blocks are coalesced first.
+func GroupRegions(blocks []Block, cost RegCost) []Block {
+	if len(blocks) == 0 {
+		return nil
+	}
+	sorted := make([]Block, 0, len(blocks))
+	for _, b := range blocks {
+		if b.Len > 0 {
+			sorted = append(sorted, b)
+		}
+	}
+	if len(sorted) == 0 {
+		return nil
+	}
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Addr < sorted[j].Addr })
+
+	regions := make([]Block, 0, len(sorted))
+	cur := sorted[0]
+	for _, b := range sorted[1:] {
+		if b.Addr <= cur.End() {
+			// Overlapping or adjacent: coalesce unconditionally.
+			if b.End() > cur.End() {
+				cur.Len = int64(b.End() - cur.Addr)
+			}
+			continue
+		}
+		// Candidate merge across the gap. Compare the extra pages the
+		// merged region pins against the cost of a separate region.
+		mergedLen := int64(b.End() - cur.Addr)
+		extraPages := PageSpan(cur.Addr, mergedLen) - PageSpan(cur.Addr, cur.Len)
+		mergeCost := extraPages * cost.PerPage
+		separateCost := cost.RegionCost(b.Addr, b.Len)
+		if mergeCost < separateCost {
+			cur.Len = mergedLen
+			continue
+		}
+		regions = append(regions, cur)
+		cur = b
+	}
+	regions = append(regions, cur)
+	return regions
+}
+
+// TotalCost returns the modeled registration cost of a region set.
+func TotalCost(regions []Block, cost RegCost) int64 {
+	var t int64
+	for _, r := range regions {
+		t += cost.RegionCost(r.Addr, r.Len)
+	}
+	return t
+}
+
+// CoverAll returns the single region spanning from the first block to the
+// last — the paper's "register the whole buffer including gaps" strategy,
+// used as a comparison point in ablation benchmarks.
+func CoverAll(blocks []Block) []Block {
+	if len(blocks) == 0 {
+		return nil
+	}
+	lo, hi := blocks[0].Addr, blocks[0].End()
+	for _, b := range blocks[1:] {
+		if b.Addr < lo {
+			lo = b.Addr
+		}
+		if b.End() > hi {
+			hi = b.End()
+		}
+	}
+	return []Block{{Addr: lo, Len: int64(hi - lo)}}
+}

@@ -1,0 +1,186 @@
+package mem
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+var testCost = RegCost{Base: 30000, PerPage: 350} // ~ the paper-era defaults
+
+func TestGroupRegionsEmpty(t *testing.T) {
+	if got := GroupRegions(nil, testCost); got != nil {
+		t.Fatalf("GroupRegions(nil) = %v", got)
+	}
+	if got := GroupRegions([]Block{{Addr: 100, Len: 0}}, testCost); got != nil {
+		t.Fatalf("zero-length blocks should vanish, got %v", got)
+	}
+}
+
+func TestGroupRegionsSingle(t *testing.T) {
+	got := GroupRegions([]Block{{Addr: 4096, Len: 100}}, testCost)
+	if len(got) != 1 || got[0].Addr != 4096 || got[0].Len != 100 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestGroupRegionsSmallGapsMerge(t *testing.T) {
+	// Vector-like layout: 16-byte blocks every 512 bytes. Gap pages are far
+	// cheaper than extra registrations, so everything merges into one region.
+	var blocks []Block
+	for i := 0; i < 64; i++ {
+		blocks = append(blocks, Block{Addr: Addr(8192 + i*512), Len: 16})
+	}
+	got := GroupRegions(blocks, testCost)
+	if len(got) != 1 {
+		t.Fatalf("expected 1 region, got %d: %v", len(got), got)
+	}
+	if got[0].Addr != 8192 || got[0].End() != Addr(8192+63*512+16) {
+		t.Fatalf("region bounds wrong: %v", got[0])
+	}
+}
+
+func TestGroupRegionsHugeGapsSplit(t *testing.T) {
+	// Two blocks separated by 100 MB: pinning the gap costs far more than a
+	// second registration, so they must stay separate.
+	blocks := []Block{
+		{Addr: 4096, Len: 1000},
+		{Addr: 4096 + 100*1024*1024, Len: 1000},
+	}
+	got := GroupRegions(blocks, testCost)
+	if len(got) != 2 {
+		t.Fatalf("expected 2 regions, got %v", got)
+	}
+}
+
+func TestGroupRegionsAdjacentCoalesce(t *testing.T) {
+	blocks := []Block{
+		{Addr: 1000, Len: 100},
+		{Addr: 1100, Len: 100}, // exactly adjacent
+		{Addr: 1150, Len: 200}, // overlapping
+	}
+	got := GroupRegions(blocks, testCost)
+	if len(got) != 1 || got[0].Addr != 1000 || got[0].End() != 1350 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestGroupRegionsUnsortedInput(t *testing.T) {
+	blocks := []Block{
+		{Addr: 9000, Len: 10},
+		{Addr: 1000, Len: 10},
+		{Addr: 5000, Len: 10},
+	}
+	got := GroupRegions(blocks, testCost)
+	if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i].Addr < got[j].Addr }) {
+		t.Fatalf("regions not sorted: %v", got)
+	}
+}
+
+func TestGroupRegionsCostThreshold(t *testing.T) {
+	// With Base = 0 any gap page is pure loss, so nothing merges across gaps
+	// that add pages.
+	cheap := RegCost{Base: 0, PerPage: 100}
+	blocks := []Block{
+		{Addr: 0 + 4096, Len: 100},
+		{Addr: 3*4096 + 8, Len: 100}, // different page, gap adds pages
+	}
+	got := GroupRegions(blocks, cheap)
+	if len(got) != 2 {
+		t.Fatalf("zero-base model must not merge, got %v", got)
+	}
+	// With a massive Base, everything merges.
+	exp := RegCost{Base: 1 << 40, PerPage: 1}
+	got = GroupRegions(blocks, exp)
+	if len(got) != 1 {
+		t.Fatalf("huge-base model must merge, got %v", got)
+	}
+}
+
+func TestCoverAll(t *testing.T) {
+	blocks := []Block{
+		{Addr: 5000, Len: 10},
+		{Addr: 1000, Len: 20},
+		{Addr: 9000, Len: 30},
+	}
+	got := CoverAll(blocks)
+	if len(got) != 1 || got[0].Addr != 1000 || got[0].End() != 9030 {
+		t.Fatalf("got %v", got)
+	}
+	if CoverAll(nil) != nil {
+		t.Fatal("CoverAll(nil) should be nil")
+	}
+}
+
+// Property: OGR output covers every input block, regions are sorted and
+// disjoint, and the modeled cost never exceeds either the per-block or the
+// cover-all strategies (OGR is at least as good as both endpoints it
+// interpolates between).
+func TestGroupRegionsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(40) + 1
+		blocks := make([]Block, n)
+		addr := Addr(4096)
+		for i := range blocks {
+			addr += Addr(rng.Intn(1 << 18))
+			blocks[i] = Block{Addr: addr, Len: int64(rng.Intn(8192) + 1)}
+			addr += Addr(blocks[i].Len)
+		}
+		rng.Shuffle(n, func(i, j int) { blocks[i], blocks[j] = blocks[j], blocks[i] })
+
+		cost := RegCost{Base: int64(rng.Intn(100000)), PerPage: int64(rng.Intn(1000) + 1)}
+		regions := GroupRegions(blocks, cost)
+
+		// Sorted, disjoint.
+		for i := 1; i < len(regions); i++ {
+			if regions[i].Addr < regions[i-1].End() {
+				return false
+			}
+		}
+		// Coverage.
+		covered := func(b Block) bool {
+			for _, r := range regions {
+				if b.Addr >= r.Addr && b.End() <= r.End() {
+					return true
+				}
+			}
+			return false
+		}
+		for _, b := range blocks {
+			if !covered(b) {
+				return false
+			}
+		}
+		// Cost dominance over both trivial strategies.
+		ogr := TotalCost(regions, cost)
+		perBlock := TotalCost(GroupRegions(blocks, RegCost{Base: 0, PerPage: 0}), cost)
+		// per-block baseline: coalesce only adjacent/overlapping blocks
+		all := TotalCost(CoverAll(blocks), cost)
+		if ogr > perBlock || ogr > all {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRegionCostAndAlign(t *testing.T) {
+	c := RegCost{Base: 100, PerPage: 10}
+	if got := c.RegionCost(0, PageSize); got != 110 {
+		t.Fatalf("one-page cost = %d", got)
+	}
+	if got := c.RegionCost(PageSize-1, 2); got != 120 { // straddles two pages
+		t.Fatalf("straddle cost = %d", got)
+	}
+	if Addr(1).Align(8) != 8 || Addr(8).Align(8) != 8 || Addr(0).Align(4096) != 0 {
+		t.Fatal("Align wrong")
+	}
+	b := Block{Addr: 100, Len: 20}
+	if b.End() != 120 {
+		t.Fatal("Block.End wrong")
+	}
+}

@@ -1,0 +1,117 @@
+package mem
+
+import (
+	"fmt"
+)
+
+// Region is a registered memory region, the simulation's equivalent of an
+// InfiniBand memory region (MR). RDMA operations must name a region key whose
+// range covers the accessed bytes.
+type Region struct {
+	Addr  Addr
+	Len   int64
+	LKey  uint32
+	RKey  uint32
+	Pages int64
+
+	valid bool
+}
+
+// Valid reports whether the region is still registered.
+func (r *Region) Valid() bool { return r.valid }
+
+// Covers reports whether the region covers the byte range [a, a+n).
+func (r *Region) Covers(a Addr, n int64) bool {
+	return r.valid && a >= r.Addr && int64(a)+n <= int64(r.Addr)+r.Len
+}
+
+// RegTable tracks the registered regions of one node's memory.
+type RegTable struct {
+	mem     *Memory
+	nextKey uint32
+	regions map[uint32]*Region
+
+	// Totals for accounting and tests.
+	TotalRegistrations   int64
+	TotalDeregistrations int64
+	PinnedBytes          int64
+	PinnedPages          int64
+}
+
+func newRegTable(m *Memory) *RegTable {
+	return &RegTable{mem: m, nextKey: 1, regions: make(map[uint32]*Region)}
+}
+
+// Register pins the byte range [a, a+n) and returns the new region.
+// Overlapping registrations are permitted, as on hardware.
+func (t *RegTable) Register(a Addr, n int64) (*Region, error) {
+	if err := t.mem.CheckRange(a, n); err != nil {
+		return nil, fmt.Errorf("register: %w", err)
+	}
+	if n <= 0 {
+		return nil, fmt.Errorf("register: empty range at %#x", a)
+	}
+	r := &Region{
+		Addr:  a,
+		Len:   n,
+		LKey:  t.nextKey,
+		RKey:  t.nextKey,
+		Pages: PageSpan(a, n),
+		valid: true,
+	}
+	t.nextKey++
+	t.regions[r.LKey] = r
+	t.TotalRegistrations++
+	t.PinnedBytes += n
+	t.PinnedPages += r.Pages
+	return r, nil
+}
+
+// Deregister unpins a region. Deregistering twice is an error.
+func (t *RegTable) Deregister(r *Region) error {
+	if r == nil || !r.valid {
+		return fmt.Errorf("deregister: region not registered")
+	}
+	if _, ok := t.regions[r.LKey]; !ok {
+		return fmt.Errorf("deregister: unknown key %d", r.LKey)
+	}
+	delete(t.regions, r.LKey)
+	r.valid = false
+	t.TotalDeregistrations++
+	t.PinnedBytes -= r.Len
+	t.PinnedPages -= r.Pages
+	return nil
+}
+
+// Lookup returns the region for a key, or nil.
+func (t *RegTable) Lookup(key uint32) *Region {
+	return t.regions[key]
+}
+
+// CheckAccess validates that key authorizes access to [a, a+n), returning a
+// descriptive error otherwise. It is used by the ib layer to validate both
+// local (lkey) and remote (rkey) accesses.
+func (t *RegTable) CheckAccess(key uint32, a Addr, n int64) error {
+	r := t.regions[key]
+	if r == nil {
+		return fmt.Errorf("mem %s: access with invalid key %d", t.mem.Name(), key)
+	}
+	if !r.Covers(a, n) {
+		return fmt.Errorf("mem %s: key %d region [%#x,+%d) does not cover access [%#x,+%d)",
+			t.mem.Name(), key, r.Addr, r.Len, a, n)
+	}
+	return nil
+}
+
+// Covered reports whether some registered region covers [a, a+n).
+func (t *RegTable) Covered(a Addr, n int64) bool {
+	for _, r := range t.regions {
+		if r.Covers(a, n) {
+			return true
+		}
+	}
+	return false
+}
+
+// RegionCount reports the number of live regions.
+func (t *RegTable) RegionCount() int { return len(t.regions) }

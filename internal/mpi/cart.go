@@ -1,0 +1,134 @@
+package mpi
+
+import "fmt"
+
+// Cart is a Cartesian process topology over a communicator
+// (MPI_Cart_create). Ranks are laid out row-major over dims (dimension 0
+// slowest), with optional wraparound per dimension.
+type Cart struct {
+	comm     *Comm
+	dims     []int
+	periodic []bool
+	coords   []int // this process's coordinates
+}
+
+// CartCreate builds a Cartesian topology over the communicator. The product
+// of dims must equal the communicator size. periodic selects wraparound per
+// dimension. Collective only in the trivial sense (no communication needed —
+// the embedding is deterministic, as MPICH's is with reorder=false).
+func (c *Comm) CartCreate(dims []int, periodic []bool) (*Cart, error) {
+	if len(dims) == 0 || len(periodic) != len(dims) {
+		return nil, fmt.Errorf("cart: dims/periodic disagree: %d/%d", len(dims), len(periodic))
+	}
+	total := 1
+	for i, d := range dims {
+		if d <= 0 {
+			return nil, fmt.Errorf("cart: dims[%d]=%d", i, d)
+		}
+		total *= d
+	}
+	if total != c.Size() {
+		return nil, fmt.Errorf("cart: grid %d != comm size %d", total, c.Size())
+	}
+	ct := &Cart{
+		comm:     c,
+		dims:     append([]int(nil), dims...),
+		periodic: append([]bool(nil), periodic...),
+	}
+	ct.coords = ct.CoordsOf(c.Rank())
+	return ct, nil
+}
+
+// DimsCreate factors nnodes into ndims balanced dimensions, largest first
+// (MPI_Dims_create with all entries zero).
+func DimsCreate(nnodes, ndims int) ([]int, error) {
+	if nnodes <= 0 || ndims <= 0 {
+		return nil, fmt.Errorf("cart: DimsCreate(%d, %d)", nnodes, ndims)
+	}
+	dims := make([]int, ndims)
+	for i := range dims {
+		dims[i] = 1
+	}
+	// Factorize, then assign factors largest-first onto the currently
+	// smallest dimension — the balanced decomposition MPI specifies.
+	var factors []int
+	n := nnodes
+	for f := 2; f*f <= n; {
+		if n%f == 0 {
+			factors = append(factors, f)
+			n /= f
+		} else {
+			f++
+		}
+	}
+	if n > 1 {
+		factors = append(factors, n)
+	}
+	for i := len(factors) - 1; i >= 0; i-- {
+		smallest := 0
+		for j := 1; j < ndims; j++ {
+			if dims[j] < dims[smallest] {
+				smallest = j
+			}
+		}
+		dims[smallest] *= factors[i]
+	}
+	// Sort descending so dimension 0 is largest, as MPI requires.
+	for i := 0; i < ndims; i++ {
+		for j := i + 1; j < ndims; j++ {
+			if dims[j] > dims[i] {
+				dims[i], dims[j] = dims[j], dims[i]
+			}
+		}
+	}
+	return dims, nil
+}
+
+// Comm returns the underlying communicator.
+func (ct *Cart) Comm() *Comm { return ct.comm }
+
+// Dims returns the grid shape.
+func (ct *Cart) Dims() []int { return append([]int(nil), ct.dims...) }
+
+// Coords returns this process's coordinates.
+func (ct *Cart) Coords() []int { return append([]int(nil), ct.coords...) }
+
+// CoordsOf converts a comm rank to grid coordinates (MPI_Cart_coords).
+func (ct *Cart) CoordsOf(rank int) []int {
+	n := len(ct.dims)
+	out := make([]int, n)
+	for i := n - 1; i >= 0; i-- {
+		out[i] = rank % ct.dims[i]
+		rank /= ct.dims[i]
+	}
+	return out
+}
+
+// RankOf converts grid coordinates to a comm rank (MPI_Cart_rank). Periodic
+// dimensions wrap; out-of-range coordinates on non-periodic dimensions
+// return ProcNull.
+func (ct *Cart) RankOf(coords []int) int {
+	rank := 0
+	for i, c := range coords {
+		if ct.periodic[i] {
+			c = ((c % ct.dims[i]) + ct.dims[i]) % ct.dims[i]
+		} else if c < 0 || c >= ct.dims[i] {
+			return ProcNull
+		}
+		rank = rank*ct.dims[i] + c
+	}
+	return rank
+}
+
+// ProcNull is the null rank for off-grid neighbours (MPI_PROC_NULL).
+const ProcNull = -2
+
+// Shift returns the source and destination ranks for a displacement along a
+// dimension (MPI_Cart_shift): recv from source, send to dest.
+func (ct *Cart) Shift(dim, disp int) (source, dest int) {
+	up := append([]int(nil), ct.coords...)
+	down := append([]int(nil), ct.coords...)
+	up[dim] += disp
+	down[dim] -= disp
+	return ct.RankOf(down), ct.RankOf(up)
+}

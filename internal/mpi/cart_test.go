@@ -1,0 +1,161 @@
+package mpi
+
+import (
+	"encoding/binary"
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/datatype"
+)
+
+func TestDimsCreate(t *testing.T) {
+	cases := []struct {
+		n, d int
+		want []int
+	}{
+		{8, 2, []int{4, 2}},
+		{8, 3, []int{2, 2, 2}},
+		{12, 2, []int{4, 3}},
+		{7, 2, []int{7, 1}},
+		{1, 3, []int{1, 1, 1}},
+		{24, 3, []int{4, 3, 2}},
+	}
+	for _, c := range cases {
+		got, err := DimsCreate(c.n, c.d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prod := 1
+		for _, v := range got {
+			prod *= v
+		}
+		if prod != c.n {
+			t.Fatalf("DimsCreate(%d,%d) = %v: product %d", c.n, c.d, got, prod)
+		}
+		for i := range c.want {
+			if got[i] != c.want[i] {
+				t.Fatalf("DimsCreate(%d,%d) = %v, want %v", c.n, c.d, got, c.want)
+			}
+		}
+	}
+	if _, err := DimsCreate(0, 2); err == nil {
+		t.Fatal("DimsCreate(0,2) accepted")
+	}
+}
+
+func TestCartCoordsRoundTrip(t *testing.T) {
+	w, err := NewWorld(smallConfig(6, core.SchemeBCSPUP))
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = w.Run(func(p *Proc) error {
+		ct, err := p.World().CartCreate([]int{3, 2}, []bool{false, true})
+		if err != nil {
+			return err
+		}
+		for r := 0; r < 6; r++ {
+			coords := ct.CoordsOf(r)
+			if back := ct.RankOf(coords); back != r {
+				return fmt.Errorf("coords round trip: %d -> %v -> %d", r, coords, back)
+			}
+		}
+		// Rank 5 in a 3x2 grid is (2,1).
+		c := ct.CoordsOf(5)
+		if c[0] != 2 || c[1] != 1 {
+			return fmt.Errorf("coords of 5 = %v", c)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCartShift(t *testing.T) {
+	w, err := NewWorld(smallConfig(6, core.SchemeBCSPUP))
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = w.Run(func(p *Proc) error {
+		// 3x2, dim 0 non-periodic, dim 1 periodic.
+		ct, err := p.World().CartCreate([]int{3, 2}, []bool{false, true})
+		if err != nil {
+			return err
+		}
+		coords := ct.Coords()
+		// Dim 0 (non-periodic): edges see ProcNull.
+		src, dst := ct.Shift(0, 1)
+		if coords[0] == 0 && src != ProcNull {
+			return fmt.Errorf("top row should have no source, got %d", src)
+		}
+		if coords[0] == 2 && dst != ProcNull {
+			return fmt.Errorf("bottom row should have no dest, got %d", dst)
+		}
+		if coords[0] == 1 {
+			if src != ct.RankOf([]int{0, coords[1]}) || dst != ct.RankOf([]int{2, coords[1]}) {
+				return fmt.Errorf("middle row shift wrong: src=%d dst=%d", src, dst)
+			}
+		}
+		// Dim 1 (periodic): always wraps to the other column.
+		src1, dst1 := ct.Shift(1, 1)
+		other := ct.RankOf([]int{coords[0], coords[1] ^ 1})
+		if src1 != other || dst1 != other {
+			return fmt.Errorf("periodic shift wrong: src=%d dst=%d want %d", src1, dst1, other)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCartErrors(t *testing.T) {
+	w, err := NewWorld(smallConfig(4, core.SchemeBCSPUP))
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = w.Run(func(p *Proc) error {
+		if _, err := p.World().CartCreate([]int{3, 2}, []bool{false, false}); err == nil {
+			return fmt.Errorf("grid/size mismatch accepted")
+		}
+		if _, err := p.World().CartCreate([]int{4}, []bool{false, false}); err == nil {
+			return fmt.Errorf("dims/periodic mismatch accepted")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// A ring exchange along a periodic dimension must deliver each neighbour's
+// payload.
+func TestCartNeighborExchange(t *testing.T) {
+	w, err := NewWorld(smallConfig(4, core.SchemeBCSPUP))
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = w.Run(func(p *Proc) error {
+		ct, err := p.World().CartCreate([]int{4}, []bool{true})
+		if err != nil {
+			return err
+		}
+		src, dst := ct.Shift(0, 1)
+		sbuf := p.Mem().MustAlloc(4)
+		binary.LittleEndian.PutUint32(p.Mem().Bytes(sbuf, 4), uint32(p.Rank()))
+		rbuf := p.Mem().MustAlloc(4)
+		if err := ct.Comm().Sendrecv(sbuf, 4, datatype.Byte, dst, 0,
+			rbuf, 4, datatype.Byte, src, 0); err != nil {
+			return err
+		}
+		got := int(binary.LittleEndian.Uint32(p.Mem().Bytes(rbuf, 4)))
+		if got != src {
+			return fmt.Errorf("rank %d got %d, want %d", p.Rank(), got, src)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,242 @@
+package mpi
+
+import (
+	"encoding/binary"
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/datatype"
+)
+
+func TestCommWorld(t *testing.T) {
+	w, err := NewWorld(smallConfig(4, core.SchemeBCSPUP))
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = w.Run(func(p *Proc) error {
+		c := p.World()
+		if c.Rank() != p.Rank() || c.Size() != p.Size() {
+			return fmt.Errorf("world comm identity broken: %d/%d vs %d/%d",
+				c.Rank(), c.Size(), p.Rank(), p.Size())
+		}
+		if c.WorldRank(2) != 2 || c.CommRank(3) != 3 {
+			return fmt.Errorf("world rank mapping broken")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCommSplitEvenOdd(t *testing.T) {
+	const n = 6
+	w, err := NewWorld(smallConfig(n, core.SchemeBCSPUP))
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = w.Run(func(p *Proc) error {
+		color := p.Rank() % 2
+		sub, err := p.World().Split(color, p.Rank())
+		if err != nil {
+			return err
+		}
+		if sub.Size() != n/2 {
+			return fmt.Errorf("sub size = %d", sub.Size())
+		}
+		if sub.WorldRank(sub.Rank()) != p.Rank() {
+			return fmt.Errorf("rank mapping inconsistent")
+		}
+		// Ring send within the sub-communicator.
+		buf := p.Mem().MustAlloc(8)
+		binary.LittleEndian.PutUint32(p.Mem().Bytes(buf, 8), uint32(p.Rank()))
+		right := (sub.Rank() + 1) % sub.Size()
+		left := (sub.Rank() - 1 + sub.Size()) % sub.Size()
+		rbuf := p.Mem().MustAlloc(8)
+		if err := sub.Sendrecv(buf, 8, datatype.Byte, right, 1,
+			rbuf, 8, datatype.Byte, left, 1); err != nil {
+			return err
+		}
+		got := int(binary.LittleEndian.Uint32(p.Mem().Bytes(rbuf, 8)))
+		want := sub.WorldRank(left)
+		if got != want {
+			return fmt.Errorf("ring recv = %d, want %d", got, want)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCommSplitKeyOrdering(t *testing.T) {
+	const n = 4
+	w, err := NewWorld(smallConfig(n, core.SchemeBCSPUP))
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = w.Run(func(p *Proc) error {
+		// Reverse the ordering with descending keys.
+		sub, err := p.World().Split(0, n-p.Rank())
+		if err != nil {
+			return err
+		}
+		if want := n - 1 - p.Rank(); sub.Rank() != want {
+			return fmt.Errorf("key-ordered rank = %d, want %d", sub.Rank(), want)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCommSplitUndefined(t *testing.T) {
+	w, err := NewWorld(smallConfig(3, core.SchemeBCSPUP))
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = w.Run(func(p *Proc) error {
+		color := 0
+		if p.Rank() == 1 {
+			color = Undefined
+		}
+		sub, err := p.World().Split(color, 0)
+		if err != nil {
+			return err
+		}
+		if p.Rank() == 1 {
+			if sub != nil {
+				return fmt.Errorf("undefined color got a communicator")
+			}
+			return nil
+		}
+		if sub.Size() != 2 {
+			return fmt.Errorf("sub size = %d", sub.Size())
+		}
+		return sub.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Messages with identical tags on different communicators must not cross.
+func TestCommContextIsolation(t *testing.T) {
+	w, err := NewWorld(smallConfig(2, core.SchemeBCSPUP))
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = w.Run(func(p *Proc) error {
+		dup, err := p.World().Dup()
+		if err != nil {
+			return err
+		}
+		const tag = 5
+		buf := p.Mem().MustAlloc(4)
+		if p.Rank() == 0 {
+			p.Mem().Bytes(buf, 4)[0] = 0xAA // world message
+			if err := p.World().Send(buf, 4, datatype.Byte, 1, tag); err != nil {
+				return err
+			}
+			buf2 := p.Mem().MustAlloc(4)
+			p.Mem().Bytes(buf2, 4)[0] = 0xBB // dup message
+			return dup.Send(buf2, 4, datatype.Byte, 1, tag)
+		}
+		// Receive the dup-context message FIRST even though the world
+		// message arrived first: contexts must not cross-match.
+		if _, err := dup.Recv(buf, 4, datatype.Byte, 0, tag); err != nil {
+			return err
+		}
+		if got := p.Mem().Bytes(buf, 4)[0]; got != 0xBB {
+			return fmt.Errorf("dup recv got %#x, want 0xBB", got)
+		}
+		if _, err := p.World().Recv(buf, 4, datatype.Byte, 0, tag); err != nil {
+			return err
+		}
+		if got := p.Mem().Bytes(buf, 4)[0]; got != 0xAA {
+			return fmt.Errorf("world recv got %#x, want 0xAA", got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Collectives must work within a sub-communicator, concurrently in both
+// halves.
+func TestSubCommCollectives(t *testing.T) {
+	const n = 8
+	w, err := NewWorld(smallConfig(n, core.SchemeBCSPUP))
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = w.Run(func(p *Proc) error {
+		half := p.Rank() / (n / 2) // 0 or 1
+		sub, err := p.World().Split(half, p.Rank())
+		if err != nil {
+			return err
+		}
+		// Allreduce of world ranks within each half.
+		sbuf := p.Mem().MustAlloc(4)
+		binary.LittleEndian.PutUint32(p.Mem().Bytes(sbuf, 4), uint32(p.Rank()))
+		rbuf := p.Mem().MustAlloc(4)
+		if err := sub.Allreduce(sbuf, rbuf, 1, OpSumInt32); err != nil {
+			return err
+		}
+		got := int(int32(binary.LittleEndian.Uint32(p.Mem().Bytes(rbuf, 4))))
+		want := 0
+		for r := half * (n / 2); r < (half+1)*(n/2); r++ {
+			want += r
+		}
+		if got != want {
+			return fmt.Errorf("rank %d half %d: allreduce = %d, want %d", p.Rank(), half, got, want)
+		}
+		// Bcast of the half leader's value within the sub-communicator.
+		bbuf := p.Mem().MustAlloc(4)
+		if sub.Rank() == 0 {
+			binary.LittleEndian.PutUint32(p.Mem().Bytes(bbuf, 4), uint32(100+half))
+		}
+		if err := sub.Bcast(bbuf, 4, datatype.Byte, 0); err != nil {
+			return err
+		}
+		if v := binary.LittleEndian.Uint32(p.Mem().Bytes(bbuf, 4)); v != uint32(100+half) {
+			return fmt.Errorf("sub bcast = %d", v)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Successive Splits must agree on fresh contexts across ranks.
+func TestRepeatedSplitsStayIsolated(t *testing.T) {
+	w, err := NewWorld(smallConfig(4, core.SchemeBCSPUP))
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = w.Run(func(p *Proc) error {
+		var comms []*Comm
+		for i := 0; i < 3; i++ {
+			sub, err := p.World().Split(0, p.Rank())
+			if err != nil {
+				return err
+			}
+			comms = append(comms, sub)
+		}
+		// A barrier on each must complete (mismatched contexts would
+		// deadlock, which the engine reports).
+		for _, c := range comms {
+			if err := c.Barrier(); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

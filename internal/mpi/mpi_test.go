@@ -1,0 +1,331 @@
+package mpi
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/datatype"
+	"repro/internal/mem"
+	"repro/internal/pack"
+	"repro/internal/simtime"
+)
+
+func smallConfig(n int, scheme core.Scheme) Config {
+	cfg := DefaultConfig()
+	cfg.Ranks = n
+	cfg.MemBytes = 24 << 20
+	cfg.Core.Scheme = scheme
+	cfg.Core.PoolSize = 2 << 20
+	return cfg
+}
+
+func fill(p *Proc, base mem.Addr, dt *datatype.Type, count int, seed byte) []byte {
+	data := make([]byte, dt.Size()*int64(count))
+	for i := range data {
+		data[i] = seed ^ byte(i*29+3)
+	}
+	u := pack.NewUnpacker(p.Mem(), base, dt, count)
+	if n, _ := u.UnpackFrom(data); n != int64(len(data)) {
+		panic("fill short")
+	}
+	return data
+}
+
+func read(p *Proc, base mem.Addr, dt *datatype.Type, count int) []byte {
+	out := make([]byte, dt.Size()*int64(count))
+	pk := pack.NewPacker(p.Mem(), base, dt, count)
+	if n, _ := pk.PackTo(out); n != int64(len(out)) {
+		panic("read short")
+	}
+	return out
+}
+
+func allocFor(p *Proc, dt *datatype.Type, count int) mem.Addr {
+	span := dt.TrueExtent() + int64(count-1)*dt.Extent()
+	a := p.Mem().MustAlloc(span)
+	return mem.Addr(int64(a) - dt.TrueLB())
+}
+
+func TestPingPong(t *testing.T) {
+	w, err := NewWorld(smallConfig(2, core.SchemeBCSPUP))
+	if err != nil {
+		t.Fatal(err)
+	}
+	vec := datatype.Must(datatype.TypeVector(32, 8, 16, datatype.Int32))
+	var rtt simtime.Duration
+	err = w.Run(func(p *Proc) error {
+		buf := allocFor(p, vec, 20)
+		if p.Rank() == 0 {
+			fill(p, buf, vec, 20, 1)
+			start := p.Now()
+			if err := p.Send(buf, 20, vec, 1, 0); err != nil {
+				return err
+			}
+			if _, err := p.Recv(buf, 20, vec, 1, 1); err != nil {
+				return err
+			}
+			rtt = p.Now().Sub(start)
+		} else {
+			if _, err := p.Recv(buf, 20, vec, 0, 0); err != nil {
+				return err
+			}
+			if err := p.Send(buf, 20, vec, 0, 1); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rtt <= 0 {
+		t.Fatalf("rtt = %v", rtt)
+	}
+}
+
+func TestBarrier(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4, 8} {
+		t.Run(fmt.Sprintf("n=%d", n), func(t *testing.T) {
+			w, err := NewWorld(smallConfig(n, core.SchemeBCSPUP))
+			if err != nil {
+				t.Fatal(err)
+			}
+			after := make([]simtime.Time, n)
+			before := make([]simtime.Time, n)
+			err = w.Run(func(p *Proc) error {
+				// Stagger arrival.
+				p.Compute(simtime.Duration(p.Rank()) * simtime.Millisecond)
+				before[p.Rank()] = p.Now()
+				if err := p.Barrier(); err != nil {
+					return err
+				}
+				after[p.Rank()] = p.Now()
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Nobody may leave the barrier before the last rank entered.
+			var lastIn simtime.Time
+			for _, b := range before {
+				if b > lastIn {
+					lastIn = b
+				}
+			}
+			for r, a := range after {
+				if a < lastIn {
+					t.Fatalf("rank %d left barrier at %v before last entry %v", r, a, lastIn)
+				}
+			}
+		})
+	}
+}
+
+func TestBcast(t *testing.T) {
+	vec := datatype.Must(datatype.TypeVector(64, 16, 32, datatype.Int32)) // 4 KB
+	for _, n := range []int{2, 3, 5, 8} {
+		for root := 0; root < n; root += 3 {
+			t.Run(fmt.Sprintf("n=%d root=%d", n, root), func(t *testing.T) {
+				w, err := NewWorld(smallConfig(n, core.SchemeBCSPUP))
+				if err != nil {
+					t.Fatal(err)
+				}
+				var want []byte
+				got := make([][]byte, n)
+				err = w.Run(func(p *Proc) error {
+					buf := allocFor(p, vec, 4)
+					if p.Rank() == root {
+						want = fill(p, buf, vec, 4, 0x3C)
+					}
+					if err := p.Bcast(buf, 4, vec, root); err != nil {
+						return err
+					}
+					got[p.Rank()] = read(p, buf, vec, 4)
+					return nil
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				for r := 0; r < n; r++ {
+					if !bytes.Equal(got[r], want) {
+						t.Fatalf("rank %d bcast data mismatch", r)
+					}
+				}
+			})
+		}
+	}
+}
+
+func TestGatherScatter(t *testing.T) {
+	w, err := NewWorld(smallConfig(4, core.SchemeBCSPUP))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const root = 1
+	ct := datatype.Must(datatype.TypeContiguous(64, datatype.Int32)) // 256 B
+	sent := make([][]byte, 4)
+	var gathered []byte
+	scattered := make([][]byte, 4)
+	var scatterSrc []byte
+	err = w.Run(func(p *Proc) error {
+		n := p.Size()
+		sbuf := allocFor(p, ct, 1)
+		sent[p.Rank()] = fill(p, sbuf, ct, 1, byte(p.Rank()+1))
+		var rbuf mem.Addr
+		if p.Rank() == root {
+			rbuf = allocFor(p, ct, n)
+		}
+		if err := p.Gather(sbuf, 1, ct, rbuf, 1, ct, root); err != nil {
+			return err
+		}
+		if p.Rank() == root {
+			gathered = read(p, rbuf, ct, n)
+		}
+		// Scatter it back out.
+		dbuf := allocFor(p, ct, 1)
+		if err := p.Scatter(rbuf, 1, ct, dbuf, 1, ct, root); err != nil {
+			return err
+		}
+		scattered[p.Rank()] = read(p, dbuf, ct, 1)
+		if p.Rank() == root {
+			scatterSrc = gathered
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []byte
+	for r := 0; r < 4; r++ {
+		want = append(want, sent[r]...)
+	}
+	if !bytes.Equal(gathered, want) {
+		t.Fatal("gather result mismatch")
+	}
+	_ = scatterSrc
+	for r := 0; r < 4; r++ {
+		if !bytes.Equal(scattered[r], sent[r]) {
+			t.Fatalf("scatter result mismatch at rank %d", r)
+		}
+	}
+}
+
+func TestAllgather(t *testing.T) {
+	w, err := NewWorld(smallConfig(5, core.SchemeBCSPUP))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct := datatype.Must(datatype.TypeContiguous(128, datatype.Int32))
+	sent := make([][]byte, 5)
+	got := make([][]byte, 5)
+	err = w.Run(func(p *Proc) error {
+		sbuf := allocFor(p, ct, 1)
+		sent[p.Rank()] = fill(p, sbuf, ct, 1, byte(0x10+p.Rank()))
+		rbuf := allocFor(p, ct, p.Size())
+		if err := p.Allgather(sbuf, 1, ct, rbuf, 1, ct); err != nil {
+			return err
+		}
+		got[p.Rank()] = read(p, rbuf, ct, p.Size())
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []byte
+	for r := 0; r < 5; r++ {
+		want = append(want, sent[r]...)
+	}
+	for r := 0; r < 5; r++ {
+		if !bytes.Equal(got[r], want) {
+			t.Fatalf("allgather mismatch at rank %d", r)
+		}
+	}
+}
+
+// Alltoall with a derived struct datatype across schemes — the paper's
+// Section 8.3 workload in miniature.
+func TestAlltoallStruct(t *testing.T) {
+	st := datatype.Must(datatype.TypeStruct(
+		[]int{1, 4, 16, 64},
+		[]int64{0, 8, 40, 136},
+		[]*datatype.Type{datatype.Int32, datatype.Int32, datatype.Int32, datatype.Int32},
+	)) // 340 data bytes over 392-byte extent
+	for _, scheme := range []core.Scheme{core.SchemeGeneric, core.SchemeBCSPUP,
+		core.SchemeRWGUP, core.SchemePRRS, core.SchemeMultiW, core.SchemeAuto} {
+		t.Run(scheme.String(), func(t *testing.T) {
+			const n = 4
+			const count = 40 // 13.6 KB per pair: rendezvous
+			w, err := NewWorld(smallConfig(n, scheme))
+			if err != nil {
+				t.Fatal(err)
+			}
+			sent := make([][]byte, n) // rank r's full send payload
+			got := make([][]byte, n)
+			err = w.Run(func(p *Proc) error {
+				sbuf := allocFor(p, st, count*n)
+				sent[p.Rank()] = fill(p, sbuf, st, count*n, byte(p.Rank()*3+1))
+				rbuf := allocFor(p, st, count*n)
+				if err := p.Alltoall(sbuf, count, st, rbuf, count, st); err != nil {
+					return err
+				}
+				got[p.Rank()] = read(p, rbuf, st, count*n)
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			blockBytes := int(st.Size()) * count
+			for r := 0; r < n; r++ {
+				for s := 0; s < n; s++ {
+					want := sent[s][r*blockBytes : (r+1)*blockBytes]
+					have := got[r][s*blockBytes : (s+1)*blockBytes]
+					if !bytes.Equal(want, have) {
+						t.Fatalf("alltoall mismatch: block from %d at %d", s, r)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestWorldErrors(t *testing.T) {
+	if _, err := NewWorld(Config{Ranks: 0}); err == nil {
+		t.Fatal("zero-rank world accepted")
+	}
+	w, err := NewWorld(smallConfig(2, core.SchemeBCSPUP))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantErr := fmt.Errorf("boom")
+	err = w.Run(func(p *Proc) error {
+		if p.Rank() == 1 {
+			return wantErr
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("rank error not propagated")
+	}
+}
+
+func TestDeadlockSurfaces(t *testing.T) {
+	w, err := NewWorld(smallConfig(2, core.SchemeBCSPUP))
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = w.Run(func(p *Proc) error {
+		if p.Rank() == 0 {
+			buf := p.Mem().MustAlloc(64)
+			_, err := p.Recv(buf, 64, datatype.Byte, 1, 0) // never sent
+			return err
+		}
+		return nil
+	})
+	var de *simtime.DeadlockError
+	if !errors.As(err, &de) {
+		t.Fatalf("err = %v, want DeadlockError", err)
+	}
+}

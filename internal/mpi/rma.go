@@ -1,0 +1,156 @@
+package mpi
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/datatype"
+	"repro/internal/mem"
+	"repro/internal/simtime"
+)
+
+// Win is an MPI-2 one-sided communication window: a contiguous region of
+// each member rank's memory exposed for Put and Get. Access is organized in
+// fence epochs (MPI_Win_fence-style active target synchronization).
+type Win struct {
+	comm *Comm
+	base mem.Addr
+	size int64
+
+	region *mem.Region
+	remote []winRemote // per comm rank
+
+	pending int
+	err     error
+	sig     simtime.Signal
+	freed   bool
+}
+
+type winRemote struct {
+	base mem.Addr
+	size int64
+	key  uint32
+}
+
+// WinCreate exposes (base, size) on every member of the communicator and
+// exchanges the access keys. Collective.
+func (c *Comm) WinCreate(base mem.Addr, size int64) (*Win, error) {
+	key, region, err := c.p.ep.ExposeWindow(base, size)
+	if err != nil {
+		return nil, fmt.Errorf("wincreate: %w", err)
+	}
+	w := &Win{comm: c, base: base, size: size, region: region}
+
+	const recSize = 20
+	sbuf := c.p.Mem().MustAlloc(recSize)
+	defer c.p.Mem().Free(sbuf)
+	rbuf := c.p.Mem().MustAlloc(int64(c.Size()) * recSize)
+	defer c.p.Mem().Free(rbuf)
+	b := c.p.Mem().Bytes(sbuf, recSize)
+	binary.LittleEndian.PutUint64(b[0:], uint64(base))
+	binary.LittleEndian.PutUint64(b[8:], uint64(size))
+	binary.LittleEndian.PutUint32(b[16:], key)
+	if err := c.Allgather(sbuf, recSize, datatype.Byte, rbuf, recSize, datatype.Byte); err != nil {
+		return nil, fmt.Errorf("wincreate: %w", err)
+	}
+	all := c.p.Mem().Bytes(rbuf, int64(c.Size())*recSize)
+	w.remote = make([]winRemote, c.Size())
+	for i := range w.remote {
+		rec := all[i*recSize:]
+		w.remote[i] = winRemote{
+			base: mem.Addr(binary.LittleEndian.Uint64(rec[0:])),
+			size: int64(binary.LittleEndian.Uint64(rec[8:])),
+			key:  binary.LittleEndian.Uint32(rec[16:]),
+		}
+	}
+	return w, nil
+}
+
+// Base returns the local window's base address.
+func (w *Win) Base() mem.Addr { return w.base }
+
+// Size returns the local window's size in bytes.
+func (w *Win) Size() int64 { return w.size }
+
+// Put starts a one-sided write of (oBuf, oCount, oType) into target's window
+// at byte displacement disp, laid out as (tCount, tType). It returns
+// immediately; completion is established by Fence.
+func (w *Win) Put(oBuf mem.Addr, oCount int, oType *datatype.Type,
+	target int, disp int64, tCount int, tType *datatype.Type) error {
+	return w.start(oBuf, oCount, oType, target, disp, tCount, tType, true)
+}
+
+// Get starts a one-sided read of target's (tCount, tType) at displacement
+// disp into (oBuf, oCount, oType). Completion is established by Fence.
+func (w *Win) Get(oBuf mem.Addr, oCount int, oType *datatype.Type,
+	target int, disp int64, tCount int, tType *datatype.Type) error {
+	return w.start(oBuf, oCount, oType, target, disp, tCount, tType, false)
+}
+
+func (w *Win) start(oBuf mem.Addr, oCount int, oType *datatype.Type,
+	target int, disp int64, tCount int, tType *datatype.Type, put bool) error {
+	if w.freed {
+		return fmt.Errorf("rma: window is freed")
+	}
+	if target < 0 || target >= w.comm.Size() {
+		return fmt.Errorf("rma: target %d out of range", target)
+	}
+	rt := w.remote[target]
+	tBase := mem.Addr(int64(rt.base) + disp)
+	w.pending++
+	done := func(err error) {
+		w.pending--
+		if err != nil && w.err == nil {
+			w.err = err
+		}
+		w.sig.Broadcast()
+	}
+	world := w.comm.WorldRank(target)
+	if put {
+		w.comm.p.ep.Put(world, oBuf, oCount, oType, tBase, rt.key,
+			rt.base, rt.base+mem.Addr(rt.size), tCount, tType, done)
+	} else {
+		w.comm.p.ep.Get(world, oBuf, oCount, oType, tBase, rt.key,
+			rt.base, rt.base+mem.Addr(rt.size), tCount, tType, done)
+	}
+	return nil
+}
+
+// Flush waits for all locally-issued Puts and Gets to complete, without
+// synchronizing with other ranks (passive-target completion, in the spirit
+// of MPI_Win_flush_all). After Flush returns, local Gets have landed and
+// remote windows contain local Puts.
+func (w *Win) Flush() error {
+	for w.pending > 0 {
+		w.comm.p.sp.Wait(&w.sig)
+	}
+	err := w.err
+	w.err = nil
+	return err
+}
+
+// Fence completes the access epoch: it waits for all locally-issued Puts and
+// Gets, then synchronizes all members, so after it returns every rank's
+// window reflects every Put of the epoch (MPI_Win_fence).
+func (w *Win) Fence() error {
+	for w.pending > 0 {
+		w.comm.p.sp.Wait(&w.sig)
+	}
+	err := w.err
+	w.err = nil
+	// Synchronize even on local failure, so peers' fences complete.
+	if berr := w.comm.Barrier(); err == nil {
+		err = berr
+	}
+	return err
+}
+
+// Free releases the window after a final synchronization. Collective.
+func (w *Win) Free() error {
+	if err := w.Fence(); err != nil {
+		return err
+	}
+	w.freed = true
+	w.comm.p.ep.CloseWindow(w.region)
+	return nil
+}

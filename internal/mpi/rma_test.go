@@ -1,0 +1,302 @@
+package mpi
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/datatype"
+	"repro/internal/mem"
+	"repro/internal/pack"
+)
+
+func fillBytes(p *Proc, a mem.Addr, n int64, seed byte) []byte {
+	b := p.Mem().Bytes(a, n)
+	for i := range b {
+		b[i] = seed ^ byte(i*13+1)
+	}
+	return append([]byte(nil), b...)
+}
+
+func TestPutContiguous(t *testing.T) {
+	w, err := NewWorld(smallConfig(2, core.SchemeBCSPUP))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 64 << 10
+	err = w.Run(func(p *Proc) error {
+		winBuf := p.Mem().MustAlloc(n)
+		win, err := p.World().WinCreate(winBuf, n)
+		if err != nil {
+			return err
+		}
+		var want []byte
+		if p.Rank() == 0 {
+			src := p.Mem().MustAlloc(n)
+			want = fillBytes(p, src, n, 0x61)
+			ct := datatype.Must(datatype.TypeContiguous(n, datatype.Byte))
+			if err := win.Put(src, 1, ct, 1, 0, 1, ct); err != nil {
+				return err
+			}
+		}
+		if err := win.Fence(); err != nil {
+			return err
+		}
+		if p.Rank() == 1 {
+			got := p.Mem().Bytes(winBuf, n)
+			for i := range got {
+				if got[i] != 0x61^byte(i*13+1) {
+					return fmt.Errorf("put data corrupt at %d", i)
+				}
+			}
+		}
+		_ = want
+		return win.Free()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPutNoncontiguousBothSides(t *testing.T) {
+	w, err := NewWorld(smallConfig(2, core.SchemeMultiW))
+	if err != nil {
+		t.Fatal(err)
+	}
+	oType := datatype.Must(datatype.TypeVector(64, 8, 32, datatype.Int32))  // 2 KB data
+	tType := datatype.Must(datatype.TypeVector(128, 4, 16, datatype.Int32)) // 2 KB data
+	err = w.Run(func(p *Proc) error {
+		winSpan := tType.TrueExtent()
+		winBuf := p.Mem().MustAlloc(winSpan)
+		win, err := p.World().WinCreate(winBuf, winSpan)
+		if err != nil {
+			return err
+		}
+		var sent []byte
+		if p.Rank() == 0 {
+			src := p.Mem().MustAlloc(oType.TrueExtent())
+			data := make([]byte, oType.Size())
+			for i := range data {
+				data[i] = byte(i*7 + 3)
+			}
+			u := pack.NewUnpacker(p.Mem(), src, oType, 1)
+			u.UnpackFrom(data)
+			sent = data
+			if err := win.Put(src, 1, oType, 1, 0, 1, tType); err != nil {
+				return err
+			}
+		}
+		if err := win.Fence(); err != nil {
+			return err
+		}
+		if p.Rank() == 1 {
+			got := make([]byte, tType.Size())
+			pk := pack.NewPacker(p.Mem(), winBuf, tType, 1)
+			pk.PackTo(got)
+			for i := range got {
+				if got[i] != byte(i*7+3) {
+					return fmt.Errorf("noncontig put corrupt at %d", i)
+				}
+			}
+			// Zero copies on the passive target.
+			if c := p.Endpoint().Counters(); c.BytesUnpacked != 0 {
+				return fmt.Errorf("target unpacked %d bytes; RMA must be zero copy", c.BytesUnpacked)
+			}
+		}
+		_ = sent
+		return win.Free()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGetRoundTrip(t *testing.T) {
+	w, err := NewWorld(smallConfig(3, core.SchemeBCSPUP))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 16 << 10
+	ct := datatype.Must(datatype.TypeContiguous(n, datatype.Byte))
+	err = w.Run(func(p *Proc) error {
+		winBuf := p.Mem().MustAlloc(n)
+		fillBytes(p, winBuf, n, byte(0x10+p.Rank()))
+		win, err := p.World().WinCreate(winBuf, n)
+		if err != nil {
+			return err
+		}
+		if err := win.Fence(); err != nil { // expose epoch
+			return err
+		}
+		// Everyone reads its right neighbour's window.
+		right := (p.Rank() + 1) % p.Size()
+		dst := p.Mem().MustAlloc(n)
+		if err := win.Get(dst, 1, ct, right, 0, 1, ct); err != nil {
+			return err
+		}
+		if err := win.Fence(); err != nil {
+			return err
+		}
+		want := byte(0x10 + right)
+		got := p.Mem().Bytes(dst, n)
+		for i := range got {
+			if got[i] != want^byte(i*13+1) {
+				return fmt.Errorf("get corrupt at %d", i)
+			}
+		}
+		return win.Free()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPutToSelf(t *testing.T) {
+	w, err := NewWorld(smallConfig(2, core.SchemeBCSPUP))
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = w.Run(func(p *Proc) error {
+		const n = 4096
+		winBuf := p.Mem().MustAlloc(n)
+		win, err := p.World().WinCreate(winBuf, n)
+		if err != nil {
+			return err
+		}
+		src := p.Mem().MustAlloc(n)
+		fillBytes(p, src, n, 0x33)
+		ct := datatype.Must(datatype.TypeContiguous(n, datatype.Byte))
+		if err := win.Put(src, 1, ct, p.Rank(), 0, 1, ct); err != nil {
+			return err
+		}
+		if err := win.Fence(); err != nil {
+			return err
+		}
+		if !bytes.Equal(p.Mem().Bytes(winBuf, n), p.Mem().Bytes(src, n)) {
+			return fmt.Errorf("self put mismatch")
+		}
+		return win.Free()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPutOutOfBoundsRejected(t *testing.T) {
+	w, err := NewWorld(smallConfig(2, core.SchemeBCSPUP))
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = w.Run(func(p *Proc) error {
+		winBuf := p.Mem().MustAlloc(4096)
+		win, err := p.World().WinCreate(winBuf, 4096)
+		if err != nil {
+			return err
+		}
+		if p.Rank() == 0 {
+			src := p.Mem().MustAlloc(4096)
+			ct := datatype.Must(datatype.TypeContiguous(4096, datatype.Byte))
+			// Displacement pushes the access past the window end.
+			if err := win.Put(src, 1, ct, 1, 100, 1, ct); err != nil {
+				return err
+			}
+			if err := win.Fence(); err == nil {
+				return fmt.Errorf("out-of-window put not rejected")
+			}
+		} else {
+			win.Fence()
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPutSizeMismatchRejected(t *testing.T) {
+	w, err := NewWorld(smallConfig(2, core.SchemeBCSPUP))
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = w.Run(func(p *Proc) error {
+		winBuf := p.Mem().MustAlloc(4096)
+		win, err := p.World().WinCreate(winBuf, 4096)
+		if err != nil {
+			return err
+		}
+		if p.Rank() == 0 {
+			src := p.Mem().MustAlloc(4096)
+			big := datatype.Must(datatype.TypeContiguous(2048, datatype.Byte))
+			small := datatype.Must(datatype.TypeContiguous(1024, datatype.Byte))
+			if err := win.Put(src, 1, big, 1, 0, 1, small); err != nil {
+				return err
+			}
+			if err := win.Fence(); err == nil {
+				return fmt.Errorf("size mismatch not rejected")
+			}
+		} else {
+			win.Fence()
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Multiple epochs: Put in epoch 1 must be visible before epoch 2's Get reads
+// it back through a third rank.
+func TestFenceEpochOrdering(t *testing.T) {
+	w, err := NewWorld(smallConfig(3, core.SchemeBCSPUP))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 1024
+	ct := datatype.Must(datatype.TypeContiguous(n, datatype.Byte))
+	err = w.Run(func(p *Proc) error {
+		winBuf := p.Mem().MustAlloc(n)
+		win, err := p.World().WinCreate(winBuf, n)
+		if err != nil {
+			return err
+		}
+		if err := win.Fence(); err != nil {
+			return err
+		}
+		// Epoch 1: rank 0 writes into rank 1's window.
+		if p.Rank() == 0 {
+			src := p.Mem().MustAlloc(n)
+			fillBytes(p, src, n, 0x5E)
+			if err := win.Put(src, 1, ct, 1, 0, 1, ct); err != nil {
+				return err
+			}
+		}
+		if err := win.Fence(); err != nil {
+			return err
+		}
+		// Epoch 2: rank 2 reads rank 1's window and checks rank 0's data.
+		if p.Rank() == 2 {
+			dst := p.Mem().MustAlloc(n)
+			if err := win.Get(dst, 1, ct, 1, 0, 1, ct); err != nil {
+				return err
+			}
+			if err := win.Fence(); err != nil {
+				return err
+			}
+			got := p.Mem().Bytes(dst, n)
+			for i := range got {
+				if got[i] != 0x5E^byte(i*13+1) {
+					return fmt.Errorf("epoch-2 get corrupt at %d", i)
+				}
+			}
+		} else {
+			if err := win.Fence(); err != nil {
+				return err
+			}
+		}
+		return win.Free()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

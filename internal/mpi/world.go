@@ -1,0 +1,254 @@
+// Package mpi layers a miniature MPI on top of the core datatype
+// communication engine: a World of simulated ranks, blocking and nonblocking
+// point-to-point operations, and the collectives the paper's evaluation
+// exercises (Alltoall above all, plus Bcast, Gather, Scatter, Allgather,
+// Barrier). Rank programs run as coroutine processes in virtual time, so
+// latency and bandwidth are measured exactly as an MPI benchmark would
+// measure them — with the simulation clock standing in for the wall clock.
+package mpi
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/datatype"
+	"repro/internal/ib"
+	"repro/internal/mem"
+	"repro/internal/simtime"
+)
+
+// Config assembles a simulated cluster.
+type Config struct {
+	// Ranks is the number of processes (one per simulated node).
+	Ranks int
+	// MemBytes is each rank's simulated memory size.
+	MemBytes int64
+	// Model is the fabric cost model.
+	Model ib.Model
+	// Core is the datatype-communication configuration.
+	Core core.Config
+}
+
+// DefaultConfig returns an 8-rank cluster with the paper's parameters.
+func DefaultConfig() Config {
+	return Config{
+		Ranks:    8,
+		MemBytes: 256 << 20,
+		Model:    ib.DefaultModel(),
+		Core:     core.DefaultConfig(),
+	}
+}
+
+// World is a simulated cluster: engine, fabric and one endpoint per rank.
+type World struct {
+	cfg Config
+	eng *simtime.Engine
+	fab *ib.Fabric
+	eps []*core.Endpoint
+}
+
+// NewWorld builds the cluster.
+func NewWorld(cfg Config) (*World, error) {
+	if cfg.Ranks <= 0 {
+		return nil, fmt.Errorf("mpi: %d ranks", cfg.Ranks)
+	}
+	if cfg.MemBytes <= 0 {
+		cfg.MemBytes = 256 << 20
+	}
+	w := &World{cfg: cfg, eng: simtime.NewEngine()}
+	w.fab = ib.NewFabric(w.eng, cfg.Model)
+	for i := 0; i < cfg.Ranks; i++ {
+		m := mem.NewMemory(fmt.Sprintf("rank%d", i), cfg.MemBytes)
+		hca := w.fab.AddHCA(fmt.Sprintf("rank%d", i), m, nil)
+		ep, err := core.NewEndpoint(i, hca, cfg.Core)
+		if err != nil {
+			return nil, err
+		}
+		w.eps = append(w.eps, ep)
+	}
+	core.ConnectPeers(w.eps)
+	return w, nil
+}
+
+// Engine returns the simulation engine.
+func (w *World) Engine() *simtime.Engine { return w.eng }
+
+// Fabric returns the simulated interconnect (e.g. to attach a tracer).
+func (w *World) Fabric() *ib.Fabric { return w.fab }
+
+// Endpoint returns rank i's communication engine (for counter inspection).
+func (w *World) Endpoint(i int) *core.Endpoint { return w.eps[i] }
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return len(w.eps) }
+
+// Run executes body once per rank (concurrently in virtual time) and drives
+// the simulation to completion. It returns the first body error, a deadlock
+// error, or nil.
+func (w *World) Run(body func(p *Proc) error) error {
+	errs := make([]error, len(w.eps))
+	for i, ep := range w.eps {
+		i, ep := i, ep
+		w.eng.Spawn(fmt.Sprintf("rank%d", i), func(sp *simtime.Process) {
+			errs[i] = body(&Proc{ep: ep, sp: sp, w: w, nextCtx: 1})
+		})
+	}
+	if err := w.eng.Run(); err != nil {
+		// A rank failing early often strands its peers: surface both the
+		// engine's deadlock report and the body errors that caused it.
+		return errors.Join(append([]error{err}, errs...)...)
+	}
+	return errors.Join(errs...)
+}
+
+// Proc is one rank's view of the world inside Run.
+type Proc struct {
+	ep *core.Endpoint
+	sp *simtime.Process
+	w  *World
+
+	worldComm *Comm
+	nextCtx   int
+}
+
+// Rank returns this process's rank.
+func (p *Proc) Rank() int { return p.ep.Rank() }
+
+// Size returns the number of ranks.
+func (p *Proc) Size() int { return p.w.Size() }
+
+// Mem returns the rank's simulated memory.
+func (p *Proc) Mem() *mem.Memory { return p.ep.Mem() }
+
+// Endpoint exposes the underlying communication engine.
+func (p *Proc) Endpoint() *core.Endpoint { return p.ep }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() simtime.Time { return p.sp.Now() }
+
+// Compute models local computation for d of virtual time.
+func (p *Proc) Compute(d simtime.Duration) { p.sp.Sleep(d) }
+
+// Send sends (buf, count, dt) to dst with tag and blocks until the send
+// buffer is reusable.
+func (p *Proc) Send(buf mem.Addr, count int, dt *datatype.Type, dst, tag int) error {
+	return p.ep.Send(p.sp, buf, count, dt, dst, tag)
+}
+
+// Recv blocks until a matching message lands in (buf, count, dt).
+func (p *Proc) Recv(buf mem.Addr, count int, dt *datatype.Type, src, tag int) (*core.Request, error) {
+	return p.ep.Recv(p.sp, buf, count, dt, src, tag)
+}
+
+// Isend starts a nonblocking send.
+func (p *Proc) Isend(buf mem.Addr, count int, dt *datatype.Type, dst, tag int) *core.Request {
+	return p.ep.Isend(buf, count, dt, dst, tag)
+}
+
+// Ssend is the blocking synchronous-mode send: completion implies the
+// matching receive was posted (always rendezvous).
+func (p *Proc) Ssend(buf mem.Addr, count int, dt *datatype.Type, dst, tag int) error {
+	return p.ep.Ssend(p.sp, buf, count, dt, dst, tag)
+}
+
+// Irecv starts a nonblocking receive.
+func (p *Proc) Irecv(buf mem.Addr, count int, dt *datatype.Type, src, tag int) *core.Request {
+	return p.ep.Irecv(buf, count, dt, src, tag)
+}
+
+// Wait blocks until every request completes and returns the first error.
+func (p *Proc) Wait(reqs ...*core.Request) error {
+	core.WaitAll(p.sp, reqs...)
+	for _, r := range reqs {
+		if r.Err != nil {
+			return r.Err
+		}
+	}
+	return nil
+}
+
+// Sendrecv runs a send and a receive concurrently and waits for both.
+func (p *Proc) Sendrecv(
+	sbuf mem.Addr, scount int, stype *datatype.Type, dst, stag int,
+	rbuf mem.Addr, rcount int, rtype *datatype.Type, src, rtag int,
+) error {
+	rr := p.Irecv(rbuf, rcount, rtype, src, rtag)
+	sr := p.Isend(sbuf, scount, stype, dst, stag)
+	return p.Wait(rr, sr)
+}
+
+// Probe blocks until a message matching (src, tag) arrives, without
+// receiving it, and returns its envelope.
+func (p *Proc) Probe(src, tag int) core.Status {
+	return p.ep.Probe(p.sp, src, tag)
+}
+
+// Iprobe checks for a matching message without blocking or receiving.
+func (p *Proc) Iprobe(src, tag int) (core.Status, bool) {
+	return p.ep.Iprobe(src, tag)
+}
+
+// The collective operations on Proc operate over the world communicator;
+// use World().Split to build sub-communicators and call the same methods on
+// them.
+
+// Barrier synchronizes all ranks.
+func (p *Proc) Barrier() error { return p.World().Barrier() }
+
+// Bcast broadcasts from root over the world communicator.
+func (p *Proc) Bcast(buf mem.Addr, count int, dt *datatype.Type, root int) error {
+	return p.World().Bcast(buf, count, dt, root)
+}
+
+// Gather gathers to root over the world communicator.
+func (p *Proc) Gather(sbuf mem.Addr, scount int, stype *datatype.Type,
+	rbuf mem.Addr, rcount int, rtype *datatype.Type, root int) error {
+	return p.World().Gather(sbuf, scount, stype, rbuf, rcount, rtype, root)
+}
+
+// Scatter distributes from root over the world communicator.
+func (p *Proc) Scatter(sbuf mem.Addr, scount int, stype *datatype.Type,
+	rbuf mem.Addr, rcount int, rtype *datatype.Type, root int) error {
+	return p.World().Scatter(sbuf, scount, stype, rbuf, rcount, rtype, root)
+}
+
+// Allgather gathers everywhere over the world communicator.
+func (p *Proc) Allgather(sbuf mem.Addr, scount int, stype *datatype.Type,
+	rbuf mem.Addr, rcount int, rtype *datatype.Type) error {
+	return p.World().Allgather(sbuf, scount, stype, rbuf, rcount, rtype)
+}
+
+// Alltoall exchanges blocks over the world communicator.
+func (p *Proc) Alltoall(sbuf mem.Addr, scount int, stype *datatype.Type,
+	rbuf mem.Addr, rcount int, rtype *datatype.Type) error {
+	return p.World().Alltoall(sbuf, scount, stype, rbuf, rcount, rtype)
+}
+
+// Alltoallv is the vector Alltoall over the world communicator.
+func (p *Proc) Alltoallv(sbuf mem.Addr, scounts, sdispls []int, stype *datatype.Type,
+	rbuf mem.Addr, rcounts, rdispls []int, rtype *datatype.Type) error {
+	return p.World().Alltoallv(sbuf, scounts, sdispls, stype, rbuf, rcounts, rdispls, rtype)
+}
+
+// Gatherv gathers variable contributions over the world communicator.
+func (p *Proc) Gatherv(sbuf mem.Addr, scount int, stype *datatype.Type,
+	rbuf mem.Addr, rcounts, rdispls []int, rtype *datatype.Type, root int) error {
+	return p.World().Gatherv(sbuf, scount, stype, rbuf, rcounts, rdispls, rtype, root)
+}
+
+// Scatterv scatters variable pieces over the world communicator.
+func (p *Proc) Scatterv(sbuf mem.Addr, scounts, sdispls []int, stype *datatype.Type,
+	rbuf mem.Addr, rcount int, rtype *datatype.Type, root int) error {
+	return p.World().Scatterv(sbuf, scounts, sdispls, stype, rbuf, rcount, rtype, root)
+}
+
+// Reduce combines to root over the world communicator.
+func (p *Proc) Reduce(sbuf, rbuf mem.Addr, count int, op Op, root int) error {
+	return p.World().Reduce(sbuf, rbuf, count, op, root)
+}
+
+// Allreduce combines everywhere over the world communicator.
+func (p *Proc) Allreduce(sbuf, rbuf mem.Addr, count int, op Op) error {
+	return p.World().Allreduce(sbuf, rbuf, count, op)
+}

@@ -1,0 +1,99 @@
+// Package pack implements segment pack and unpack engines over datatype
+// cursors: resumable copies between a noncontiguous user buffer in simulated
+// memory and contiguous staging storage. The engines report how many bytes
+// and how many contiguous runs each step touched so callers can charge the
+// modeled copy cost (bandwidth plus per-run startup).
+package pack
+
+import (
+	"repro/internal/datatype"
+	"repro/internal/mem"
+)
+
+// Packer copies a (type, count) message out of a user buffer into contiguous
+// destinations, any number of bytes at a time.
+type Packer struct {
+	mem  *mem.Memory
+	base mem.Addr
+	cur  *datatype.Cursor
+}
+
+// NewPacker creates a packer over the message (base, count, t) in m.
+func NewPacker(m *mem.Memory, base mem.Addr, t *datatype.Type, count int) *Packer {
+	return &Packer{mem: m, base: base, cur: datatype.NewCursor(t, count)}
+}
+
+// Remaining reports unpacked bytes left.
+func (p *Packer) Remaining() int64 { return p.cur.Remaining() }
+
+// Done reports whether the whole message has been packed.
+func (p *Packer) Done() bool { return p.cur.Done() }
+
+// PackTo fills dst with the next len(dst) bytes of the message (or fewer if
+// the message ends), returning the bytes written and the number of
+// contiguous runs touched.
+func (p *Packer) PackTo(dst []byte) (n int64, runs int) {
+	for int64(len(dst))-n > 0 {
+		off, k, ok := p.cur.Next(int64(len(dst)) - n)
+		if !ok {
+			break
+		}
+		src := p.mem.Bytes(addrAt(p.base, off), k)
+		copy(dst[n:n+k], src)
+		n += k
+		runs++
+	}
+	return n, runs
+}
+
+// Unpacker copies contiguous staging bytes back into a noncontiguous user
+// buffer, any number of bytes at a time.
+type Unpacker struct {
+	mem  *mem.Memory
+	base mem.Addr
+	cur  *datatype.Cursor
+}
+
+// NewUnpacker creates an unpacker over the message (base, count, t) in m.
+func NewUnpacker(m *mem.Memory, base mem.Addr, t *datatype.Type, count int) *Unpacker {
+	return &Unpacker{mem: m, base: base, cur: datatype.NewCursor(t, count)}
+}
+
+// Remaining reports bytes left to unpack.
+func (u *Unpacker) Remaining() int64 { return u.cur.Remaining() }
+
+// Done reports whether the whole message has been unpacked.
+func (u *Unpacker) Done() bool { return u.cur.Done() }
+
+// UnpackFrom scatters src into the next len(src) bytes' worth of message
+// positions, returning bytes consumed and contiguous runs touched.
+func (u *Unpacker) UnpackFrom(src []byte) (n int64, runs int) {
+	for int64(len(src))-n > 0 {
+		off, k, ok := u.cur.Next(int64(len(src)) - n)
+		if !ok {
+			break
+		}
+		dst := u.mem.Bytes(addrAt(u.base, off), k)
+		copy(dst, src[n:n+k])
+		n += k
+		runs++
+	}
+	return n, runs
+}
+
+// addrAt applies a possibly negative datatype offset to a base address.
+func addrAt(base mem.Addr, off int64) mem.Addr {
+	return mem.Addr(int64(base) + off)
+}
+
+// MessageBlocks returns the absolute-address contiguous blocks of a message,
+// the form the registration machinery (OGR) consumes. limit bounds the
+// number of runs (0 = no limit); the bool reports truncation.
+func MessageBlocks(base mem.Addr, t *datatype.Type, count, limit int) ([]mem.Block, bool) {
+	runs, trunc := datatype.Flatten(t, count, limit)
+	out := make([]mem.Block, len(runs))
+	for i, r := range runs {
+		out[i] = mem.Block{Addr: addrAt(base, r.Off), Len: r.Len}
+	}
+	return out, trunc
+}

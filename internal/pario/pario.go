@@ -1,0 +1,266 @@
+// Package pario is a miniature parallel-I/O system over the simulated
+// fabric: one rank serves a file held in its memory, and clients perform
+// noncontiguous reads and writes described by MPI derived datatypes — the
+// application domain the paper closes with ("techniques discussed in this
+// paper can be applied to file and storage systems to support efficient
+// noncontiguous I/O access") and the setting of its PVFS-over-InfiniBand
+// companion work [31–33].
+//
+// Two access modes mirror the paper's comparison:
+//
+//   - ModePack: the client packs its noncontiguous buffer and ships
+//     contiguous bytes through send/receive; the server copies them into the
+//     file. Two copies per operation, like the Generic scheme.
+//   - ModeRDMA: the file is exposed as an RMA window. Writes are RDMA
+//     writes gathered straight from the client's registered user blocks into
+//     the contiguous file region (RWG applied to I/O); reads are RDMA reads
+//     scattered from the file into the client's blocks (the read-scatter
+//     case of the paper's PVFS work). Zero copies on both ends.
+package pario
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/datatype"
+	"repro/internal/mem"
+	"repro/internal/mpi"
+)
+
+// Mode selects the transfer strategy.
+type Mode int
+
+// Access modes.
+const (
+	ModePack Mode = iota
+	ModeRDMA
+)
+
+func (m Mode) String() string {
+	if m == ModePack {
+		return "pack"
+	}
+	return "rdma"
+}
+
+// Message tags used by the pack-mode server protocol.
+const (
+	tagWriteReq = 1 << 20
+	tagWriteDat = 1<<20 + 1
+	tagReadReq  = 1<<20 + 2
+	tagReadDat  = 1<<20 + 3
+	tagShutdown = 1<<20 + 4
+)
+
+// File is a handle to a server-hosted file. Every rank of the communicator
+// must call Open collectively; the rank equal to server hosts the bytes.
+type File struct {
+	comm   *mpi.Comm
+	server int
+	size   int64
+	mode   Mode
+
+	// The file storage, exposed as an RMA window (meaningful on the server;
+	// other ranks expose a minimal dummy region as required by the
+	// collective window creation).
+	win  *mpi.Win
+	base mem.Addr // server-local file base (server rank only)
+}
+
+// Open creates a file of size bytes hosted by rank server. Collective over
+// the communicator.
+func Open(c *mpi.Comm, server int, size int64, mode Mode) (*File, error) {
+	if server < 0 || server >= c.Size() {
+		return nil, fmt.Errorf("pario: server rank %d out of range", server)
+	}
+	if size <= 0 {
+		return nil, fmt.Errorf("pario: file size %d", size)
+	}
+	f := &File{comm: c, server: server, size: size, mode: mode}
+	span := int64(8)
+	if c.Rank() == server {
+		span = size
+	}
+	buf := c.P().Mem().MustAlloc(span)
+	if c.Rank() == server {
+		f.base = buf
+	}
+	win, err := c.WinCreate(buf, span)
+	if err != nil {
+		return nil, fmt.Errorf("pario: %w", err)
+	}
+	f.win = win
+	return f, nil
+}
+
+// Size returns the file size in bytes.
+func (f *File) Size() int64 { return f.size }
+
+// Mode returns the access mode.
+func (f *File) Mode() Mode { return f.mode }
+
+func (f *File) checkRange(off, n int64) error {
+	if off < 0 || off+n > f.size {
+		return fmt.Errorf("pario: access [%d,+%d) outside file of %d bytes", off, n, f.size)
+	}
+	return nil
+}
+
+// WriteAt writes the (buf, count, dt) message to the contiguous file range
+// starting at off. In ModeRDMA the data moves by gathered RDMA writes with
+// no staging copies; in ModePack it is packed and shipped to the server.
+func (f *File) WriteAt(off int64, buf mem.Addr, count int, dt *datatype.Type) error {
+	n := dt.Size() * int64(count)
+	if err := f.checkRange(off, n); err != nil {
+		return err
+	}
+	if f.mode == ModeRDMA {
+		ct := datatype.Must(datatype.TypeContiguous(int(n), datatype.Byte))
+		if err := f.win.Put(buf, count, dt, f.server, off, 1, ct); err != nil {
+			return err
+		}
+		return f.win.Flush()
+	}
+	// Pack mode: header then packed payload; wait for the ack.
+	hdr := f.comm.P().Mem().MustAlloc(16)
+	defer f.comm.P().Mem().Free(hdr)
+	putU64(f.comm.P(), hdr, 0, uint64(off))
+	putU64(f.comm.P(), hdr, 8, uint64(n))
+	if err := f.comm.Send(hdr, 16, datatype.Byte, f.server, tagWriteReq); err != nil {
+		return err
+	}
+	if err := f.comm.Send(buf, count, dt, f.server, tagWriteDat); err != nil {
+		return err
+	}
+	ack := f.comm.P().Mem().MustAlloc(8)
+	defer f.comm.P().Mem().Free(ack)
+	_, err := f.comm.Recv(ack, 1, datatype.Byte, f.server, tagWriteReq)
+	return err
+}
+
+// ReadAt reads the contiguous file range starting at off into the
+// (buf, count, dt) message. In ModeRDMA the data moves by scattered RDMA
+// reads straight into the user blocks.
+func (f *File) ReadAt(off int64, buf mem.Addr, count int, dt *datatype.Type) error {
+	n := dt.Size() * int64(count)
+	if err := f.checkRange(off, n); err != nil {
+		return err
+	}
+	if f.mode == ModeRDMA {
+		ct := datatype.Must(datatype.TypeContiguous(int(n), datatype.Byte))
+		if err := f.win.Get(buf, count, dt, f.server, off, 1, ct); err != nil {
+			return err
+		}
+		return f.win.Flush()
+	}
+	hdr := f.comm.P().Mem().MustAlloc(16)
+	defer f.comm.P().Mem().Free(hdr)
+	putU64(f.comm.P(), hdr, 0, uint64(off))
+	putU64(f.comm.P(), hdr, 8, uint64(n))
+	if err := f.comm.Send(hdr, 16, datatype.Byte, f.server, tagReadReq); err != nil {
+		return err
+	}
+	_, err := f.comm.Recv(buf, count, dt, f.server, tagReadDat)
+	return err
+}
+
+// Serve runs the server loop on the hosting rank, answering pack-mode
+// requests until every other rank has sent its shutdown notice (Close), and
+// then tears down the server's side of the window. In ModeRDMA there is
+// nothing to serve — clients access the window directly — but Serve still
+// waits for the shutdown notices, so every rank runs exactly one of Serve
+// (the host) or Close (the clients).
+func (f *File) Serve() error {
+	if f.comm.Rank() != f.server {
+		return fmt.Errorf("pario: Serve on non-server rank %d", f.comm.Rank())
+	}
+	p := f.comm.P()
+	hdr := p.Mem().MustAlloc(16)
+	defer p.Mem().Free(hdr)
+	remaining := f.comm.Size() - 1
+	for remaining > 0 {
+		st := f.comm.Probe(core.AnySource, core.AnyTag)
+		// Status sources are world ranks; translate to this communicator.
+		src := f.comm.CommRank(st.Source)
+		switch st.Tag {
+		case tagShutdown:
+			if _, err := f.comm.Recv(hdr, 0, datatype.Byte, src, tagShutdown); err != nil {
+				return err
+			}
+			remaining--
+		case tagWriteReq:
+			if _, err := f.comm.Recv(hdr, 16, datatype.Byte, src, tagWriteReq); err != nil {
+				return err
+			}
+			off := int64(getU64(p, hdr, 0))
+			n := int64(getU64(p, hdr, 8))
+			if err := f.checkRange(off, n); err != nil {
+				return err
+			}
+			dst := f.base + mem.Addr(off)
+			ct := datatype.Must(datatype.TypeContiguous(int(n), datatype.Byte))
+			if _, err := f.comm.Recv(dst, 1, ct, src, tagWriteDat); err != nil {
+				return err
+			}
+			if err := f.comm.Send(hdr, 1, datatype.Byte, src, tagWriteReq); err != nil {
+				return err
+			}
+		case tagReadReq:
+			if _, err := f.comm.Recv(hdr, 16, datatype.Byte, src, tagReadReq); err != nil {
+				return err
+			}
+			off := int64(getU64(p, hdr, 0))
+			n := int64(getU64(p, hdr, 8))
+			if err := f.checkRange(off, n); err != nil {
+				return err
+			}
+			fsrc := f.base + mem.Addr(off)
+			ct := datatype.Must(datatype.TypeContiguous(int(n), datatype.Byte))
+			if err := f.comm.Send(fsrc, 1, ct, src, tagReadDat); err != nil {
+				return err
+			}
+		case tagViewWriteReq:
+			if err := f.serveViewWrite(src, st.Bytes); err != nil {
+				return err
+			}
+		case tagViewReadReq:
+			if err := f.serveViewRead(src, st.Bytes); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("pario: unexpected tag %d from %d", st.Tag, src)
+		}
+	}
+	return f.win.Free()
+}
+
+// Close releases a client's handle, notifying the server; all ranks then
+// synchronize through the window teardown. The server rank must not call
+// Close — its Serve call performs the server-side teardown.
+func (f *File) Close() error {
+	if f.comm.Rank() == f.server {
+		return fmt.Errorf("pario: Close on the server rank (Serve tears down the host side)")
+	}
+	tok := f.comm.P().Mem().MustAlloc(8)
+	defer f.comm.P().Mem().Free(tok)
+	if err := f.comm.Send(tok, 0, datatype.Byte, f.server, tagShutdown); err != nil {
+		return err
+	}
+	return f.win.Free()
+}
+
+func putU64(p *mpi.Proc, a mem.Addr, off int, v uint64) {
+	b := p.Mem().Bytes(a+mem.Addr(off), 8)
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+}
+
+func getU64(p *mpi.Proc, a mem.Addr, off int) uint64 {
+	b := p.Mem().Bytes(a+mem.Addr(off), 8)
+	var v uint64
+	for i := 0; i < 8; i++ {
+		v |= uint64(b[i]) << (8 * i)
+	}
+	return v
+}

@@ -1,0 +1,218 @@
+package pario
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/datatype"
+	"repro/internal/mem"
+	"repro/internal/mpi"
+	"repro/internal/pack"
+)
+
+func testWorld(t *testing.T, n int) *mpi.World {
+	t.Helper()
+	cfg := mpi.DefaultConfig()
+	cfg.Ranks = n
+	cfg.MemBytes = 64 << 20
+	cfg.Core.Scheme = core.SchemeBCSPUP
+	cfg.Core.PoolSize = 2 << 20
+	w, err := mpi.NewWorld(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func allocFor(p *mpi.Proc, dt *datatype.Type, count int) mem.Addr {
+	span := dt.TrueExtent() + int64(count-1)*dt.Extent()
+	a := p.Mem().MustAlloc(span)
+	return mem.Addr(int64(a) - dt.TrueLB())
+}
+
+func fillMsg(p *mpi.Proc, base mem.Addr, dt *datatype.Type, count int, seed byte) []byte {
+	data := make([]byte, dt.Size()*int64(count))
+	for i := range data {
+		data[i] = seed ^ byte(i*11+2)
+	}
+	u := pack.NewUnpacker(p.Mem(), base, dt, count)
+	if n, _ := u.UnpackFrom(data); n != int64(len(data)) {
+		panic("short fill")
+	}
+	return data
+}
+
+func readMsg(p *mpi.Proc, base mem.Addr, dt *datatype.Type, count int) []byte {
+	out := make([]byte, dt.Size()*int64(count))
+	pk := pack.NewPacker(p.Mem(), base, dt, count)
+	if n, _ := pk.PackTo(out); n != int64(len(out)) {
+		panic("short read")
+	}
+	return out
+}
+
+// Every client writes a noncontiguous view to its own file region, then
+// reads it back through a different noncontiguous layout; both modes.
+func TestWriteReadRoundTrip(t *testing.T) {
+	for _, mode := range []Mode{ModePack, ModeRDMA} {
+		t.Run(mode.String(), func(t *testing.T) {
+			const n = 4
+			const server = 0
+			wr := datatype.Must(datatype.TypeVector(64, 8, 16, datatype.Int32)) // 2 KB
+			rd := datatype.Must(datatype.TypeVector(128, 4, 8, datatype.Int32)) // 2 KB
+			w := testWorld(t, n)
+			err := w.Run(func(p *mpi.Proc) error {
+				f, err := Open(p.World(), server, 1<<20, mode)
+				if err != nil {
+					return err
+				}
+				if p.Rank() == server {
+					return f.Serve()
+				}
+				off := int64(p.Rank()) * 4096
+				src := allocFor(p, wr, 1)
+				want := fillMsg(p, src, wr, 1, byte(p.Rank()*3+1))
+				if err := f.WriteAt(off, src, 1, wr); err != nil {
+					return err
+				}
+				dst := allocFor(p, rd, 1)
+				if err := f.ReadAt(off, dst, 1, rd); err != nil {
+					return err
+				}
+				got := readMsg(p, dst, rd, 1)
+				for i := range want {
+					if got[i] != want[i] {
+						return fmt.Errorf("rank %d byte %d: got %d want %d",
+							p.Rank(), i, got[i], want[i])
+					}
+				}
+				return f.Close()
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// RDMA mode must move data with zero copies on the server.
+func TestRDMAModeZeroServerCopies(t *testing.T) {
+	const server = 0
+	dt := datatype.Must(datatype.TypeVector(256, 16, 32, datatype.Int32)) // 16 KB
+	w := testWorld(t, 2)
+	err := w.Run(func(p *mpi.Proc) error {
+		f, err := Open(p.World(), server, 1<<20, ModeRDMA)
+		if err != nil {
+			return err
+		}
+		// Window setup's internal collectives involve tiny self-copies;
+		// measure only the I/O itself.
+		p.Endpoint().Counters().Reset()
+		if p.Rank() == server {
+			return f.Serve()
+		}
+		buf := allocFor(p, dt, 1)
+		fillMsg(p, buf, dt, 1, 7)
+		if err := f.WriteAt(0, buf, 1, dt); err != nil {
+			return err
+		}
+		if err := f.ReadAt(0, buf, 1, dt); err != nil {
+			return err
+		}
+		return f.Close()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := w.Endpoint(server).Counters()
+	if sc.BytesPacked != 0 || sc.BytesUnpacked != 0 {
+		t.Fatalf("server copied bytes in RDMA mode: packed=%d unpacked=%d",
+			sc.BytesPacked, sc.BytesUnpacked)
+	}
+	cc := w.Endpoint(1).Counters()
+	if cc.BytesPacked != 0 || cc.BytesUnpacked != 0 {
+		t.Fatalf("client copied bytes in RDMA mode: packed=%d unpacked=%d",
+			cc.BytesPacked, cc.BytesUnpacked)
+	}
+}
+
+func TestBoundsChecked(t *testing.T) {
+	w := testWorld(t, 2)
+	err := w.Run(func(p *mpi.Proc) error {
+		f, err := Open(p.World(), 0, 4096, ModeRDMA)
+		if err != nil {
+			return err
+		}
+		if p.Rank() == 0 {
+			return f.Serve()
+		}
+		buf := p.Mem().MustAlloc(8192)
+		ct := datatype.Must(datatype.TypeContiguous(8192, datatype.Byte))
+		if err := f.WriteAt(0, buf, 1, ct); err == nil {
+			return fmt.Errorf("oversized write accepted")
+		}
+		if err := f.ReadAt(-1, buf, 1, datatype.Byte); err == nil {
+			return fmt.Errorf("negative offset accepted")
+		}
+		return f.Close()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOpenErrors(t *testing.T) {
+	w := testWorld(t, 2)
+	err := w.Run(func(p *mpi.Proc) error {
+		if _, err := Open(p.World(), 5, 4096, ModePack); err == nil {
+			return fmt.Errorf("bad server rank accepted")
+		}
+		if _, err := Open(p.World(), 0, 0, ModePack); err == nil {
+			return fmt.Errorf("zero size accepted")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Concurrent clients interleave pack-mode requests at the server.
+func TestConcurrentClientsPackMode(t *testing.T) {
+	const n = 5
+	const server = 2
+	w := testWorld(t, n)
+	dt := datatype.Must(datatype.TypeContiguous(1024, datatype.Int32)) // 4 KB
+	err := w.Run(func(p *mpi.Proc) error {
+		f, err := Open(p.World(), server, 1<<20, ModePack)
+		if err != nil {
+			return err
+		}
+		if p.Rank() == server {
+			return f.Serve()
+		}
+		for iter := 0; iter < 3; iter++ {
+			off := int64(p.Rank())*8192 + int64(iter)*(1<<17)
+			buf := allocFor(p, dt, 1)
+			want := fillMsg(p, buf, dt, 1, byte(p.Rank()+iter))
+			if err := f.WriteAt(off, buf, 1, dt); err != nil {
+				return err
+			}
+			back := allocFor(p, dt, 1)
+			if err := f.ReadAt(off, back, 1, dt); err != nil {
+				return err
+			}
+			got := readMsg(p, back, dt, 1)
+			for i := range want {
+				if got[i] != want[i] {
+					return fmt.Errorf("rank %d iter %d corrupt at %d", p.Rank(), iter, i)
+				}
+			}
+		}
+		return f.Close()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

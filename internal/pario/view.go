@@ -1,0 +1,179 @@
+package pario
+
+import (
+	"fmt"
+
+	"repro/internal/datatype"
+	"repro/internal/mem"
+)
+
+// File views: datatype-described noncontiguity on the *file* side, the
+// MPI-IO pattern (and Ching et al.'s insight the paper cites: shipping the
+// datatype instead of a block list shrinks request messages). A view is a
+// filetype tiled from a displacement; a rank reads and writes only the
+// view's data bytes, which the canonical striped-file pattern uses to
+// interleave ranks' stripes.
+//
+// In ModeRDMA the client drives the transfer directly: the RMA machinery
+// walks the memory layout and the view's file layout together, so a strided
+// view costs one gathered/scattered descriptor batch. In ModePack the
+// *encoded filetype travels with the request* and the server packs/unpacks
+// through the view — one small request regardless of how many file blocks
+// the view touches.
+
+// Pack-mode view request tags.
+const (
+	tagViewWriteReq = 1<<20 + 5
+	tagViewWriteDat = 1<<20 + 6
+	tagViewReadReq  = 1<<20 + 7
+	tagViewReadDat  = 1<<20 + 8
+)
+
+// viewArgs validates a view access and returns the payload size.
+func viewArgs(f *File, disp int64, ftCount int, filetype *datatype.Type,
+	count int, memtype *datatype.Type) (int64, error) {
+	n := memtype.Size() * int64(count)
+	if fn := filetype.Size() * int64(ftCount); fn != n {
+		return 0, fmt.Errorf("pario: view size %d != memory size %d", fn, n)
+	}
+	lo := disp + filetype.TrueLB()
+	hi := disp + filetype.TrueLB() + filetype.TrueExtent() + int64(ftCount-1)*filetype.Extent()
+	if lo < 0 || hi > f.size {
+		return 0, fmt.Errorf("pario: view [%d,%d) outside file of %d bytes", lo, hi, f.size)
+	}
+	return n, nil
+}
+
+// WriteView writes the (buf, count, memtype) message into the file through
+// ftCount instances of filetype tiled from byte displacement disp.
+func (f *File) WriteView(disp int64, ftCount int, filetype *datatype.Type,
+	buf mem.Addr, count int, memtype *datatype.Type) error {
+	n, err := viewArgs(f, disp, ftCount, filetype, count, memtype)
+	if err != nil {
+		return err
+	}
+	if f.mode == ModeRDMA {
+		if err := f.win.Put(buf, count, memtype, f.server, disp, ftCount, filetype); err != nil {
+			return err
+		}
+		return f.win.Flush()
+	}
+	if err := f.sendViewReq(tagViewWriteReq, disp, ftCount, filetype, n); err != nil {
+		return err
+	}
+	if err := f.comm.Send(buf, count, memtype, f.server, tagViewWriteDat); err != nil {
+		return err
+	}
+	ack := f.comm.P().Mem().MustAlloc(8)
+	defer f.comm.P().Mem().Free(ack)
+	_, err = f.comm.Recv(ack, 1, datatype.Byte, f.server, tagViewWriteReq)
+	return err
+}
+
+// ReadView reads ftCount instances of filetype tiled from disp into the
+// (buf, count, memtype) message.
+func (f *File) ReadView(disp int64, ftCount int, filetype *datatype.Type,
+	buf mem.Addr, count int, memtype *datatype.Type) error {
+	_, err := viewArgs(f, disp, ftCount, filetype, count, memtype)
+	if err != nil {
+		return err
+	}
+	if f.mode == ModeRDMA {
+		if err := f.win.Get(buf, count, memtype, f.server, disp, ftCount, filetype); err != nil {
+			return err
+		}
+		return f.win.Flush()
+	}
+	if err := f.sendViewReq(tagViewReadReq, disp, ftCount, filetype, 0); err != nil {
+		return err
+	}
+	_, err = f.comm.Recv(buf, count, memtype, f.server, tagViewReadDat)
+	return err
+}
+
+// sendViewReq ships {disp, ftCount, payload bytes, encoded filetype}.
+func (f *File) sendViewReq(tag int, disp int64, ftCount int, filetype *datatype.Type, n int64) error {
+	enc := datatype.Encode(filetype)
+	req := make([]byte, 24+len(enc))
+	le64(req[0:], uint64(disp))
+	le64(req[8:], uint64(ftCount))
+	le64(req[16:], uint64(n))
+	copy(req[24:], enc)
+	p := f.comm.P()
+	buf := p.Mem().MustAlloc(int64(len(req)))
+	defer p.Mem().Free(buf)
+	copy(p.Mem().Bytes(buf, int64(len(req))), req)
+	return f.comm.Send(buf, len(req), datatype.Byte, f.server, tag)
+}
+
+// serveViewWrite handles a pack-mode view write at the server: the payload
+// is unpacked into the file *through the shipped filetype*.
+func (f *File) serveViewWrite(src int, reqBytes int64) error {
+	p := f.comm.P()
+	buf := p.Mem().MustAlloc(reqBytes)
+	defer p.Mem().Free(buf)
+	if _, err := f.comm.Recv(buf, int(reqBytes), datatype.Byte, src, tagViewWriteReq); err != nil {
+		return err
+	}
+	disp, ftCount, n, filetype, err := f.parseViewReq(buf, reqBytes)
+	if err != nil {
+		return err
+	}
+	// Receive the packed payload straight into the view: the receive's
+	// datatype is the filetype positioned at the view displacement.
+	if _, err := f.comm.Recv(f.base+mem.Addr(disp), ftCount, filetype, src, tagViewWriteDat); err != nil {
+		return err
+	}
+	_ = n
+	ack := p.Mem().MustAlloc(8)
+	defer p.Mem().Free(ack)
+	return f.comm.Send(ack, 1, datatype.Byte, src, tagViewWriteReq)
+}
+
+// serveViewRead handles a pack-mode view read: the server sends the view's
+// data bytes, packed through the filetype.
+func (f *File) serveViewRead(src int, reqBytes int64) error {
+	p := f.comm.P()
+	buf := p.Mem().MustAlloc(reqBytes)
+	defer p.Mem().Free(buf)
+	if _, err := f.comm.Recv(buf, int(reqBytes), datatype.Byte, src, tagViewReadReq); err != nil {
+		return err
+	}
+	disp, ftCount, _, filetype, err := f.parseViewReq(buf, reqBytes)
+	if err != nil {
+		return err
+	}
+	return f.comm.Send(f.base+mem.Addr(disp), ftCount, filetype, src, tagViewReadDat)
+}
+
+func (f *File) parseViewReq(buf mem.Addr, reqBytes int64) (int64, int, int64, *datatype.Type, error) {
+	b := f.comm.P().Mem().Bytes(buf, reqBytes)
+	if len(b) < 24 {
+		return 0, 0, 0, nil, fmt.Errorf("pario: short view request")
+	}
+	disp := int64(ld64(b[0:]))
+	ftCount := int(ld64(b[8:]))
+	n := int64(ld64(b[16:]))
+	filetype, err := datatype.Decode(b[24:])
+	if err != nil {
+		return 0, 0, 0, nil, fmt.Errorf("pario: bad view filetype: %w", err)
+	}
+	if _, err := viewArgs(f, disp, ftCount, filetype, int(filetype.Size())*ftCount, datatype.Byte); err != nil {
+		return 0, 0, 0, nil, err
+	}
+	return disp, ftCount, n, filetype, nil
+}
+
+func le64(b []byte, v uint64) {
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+}
+
+func ld64(b []byte) uint64 {
+	var v uint64
+	for i := 0; i < 8; i++ {
+		v |= uint64(b[i]) << (8 * i)
+	}
+	return v
+}

@@ -1,0 +1,169 @@
+package pario
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/datatype"
+	"repro/internal/mpi"
+)
+
+// The canonical striped-file pattern: each of two clients writes its
+// interleaved stripes through a resized-vector file view; the whole file
+// then alternates client stripes. Both modes.
+func TestStripedFileView(t *testing.T) {
+	for _, mode := range []Mode{ModePack, ModeRDMA} {
+		t.Run(mode.String(), func(t *testing.T) {
+			const (
+				server    = 0
+				stripe    = 1024 // bytes per stripe
+				nStripes  = 8    // stripes per client
+				nClients  = 2
+				fileBytes = stripe * nStripes * nClients
+			)
+			// Client view: nStripes stripes, each a contiguous `stripe`
+			// bytes, spaced nClients*stripe apart.
+			base := datatype.Must(datatype.TypeVector(nStripes, stripe, nClients*stripe, datatype.Byte))
+			view := datatype.Must(datatype.TypeResized(base, 0, int64(nClients*stripe*nStripes)))
+			memType := datatype.Must(datatype.TypeContiguous(stripe*nStripes, datatype.Byte))
+
+			w := testWorld(t, nClients+1)
+			err := w.Run(func(p *mpi.Proc) error {
+				f, err := Open(p.World(), server, fileBytes, mode)
+				if err != nil {
+					return err
+				}
+				if p.Rank() == server {
+					return f.Serve()
+				}
+				client := p.Rank() - 1
+				// Each client's stripes start client*stripe into the file.
+				disp := int64(client) * stripe
+
+				src := p.Mem().MustAlloc(stripe * nStripes)
+				data := p.Mem().Bytes(src, stripe*nStripes)
+				for i := range data {
+					data[i] = byte(client*101 + i)
+				}
+				if err := f.WriteView(disp, 1, view, src, 1, memType); err != nil {
+					return err
+				}
+				// Read the own view back.
+				dst := p.Mem().MustAlloc(stripe * nStripes)
+				if err := f.ReadView(disp, 1, view, dst, 1, memType); err != nil {
+					return err
+				}
+				got := p.Mem().Bytes(dst, stripe*nStripes)
+				for i := range got {
+					if got[i] != byte(client*101+i) {
+						return fmt.Errorf("client %d: view read corrupt at %d", client, i)
+					}
+				}
+				// Client 0 additionally reads the WHOLE file contiguously
+				// after client 1 signals its write finished (the server rank
+				// is busy serving, so a world barrier would hang).
+				tok := p.Mem().MustAlloc(8)
+				if client == 1 {
+					if err := p.World().Send(tok, 1, datatype.Byte, 1, 99); err != nil {
+						return err
+					}
+				}
+				if client == 0 {
+					if _, err := p.World().Recv(tok, 1, datatype.Byte, 2, 99); err != nil {
+						return err
+					}
+					whole := p.Mem().MustAlloc(fileBytes)
+					all := datatype.Must(datatype.TypeContiguous(fileBytes, datatype.Byte))
+					if err := f.ReadAt(0, whole, 1, all); err != nil {
+						return err
+					}
+					fb := p.Mem().Bytes(whole, fileBytes)
+					for s := 0; s < nStripes*nClients; s++ {
+						owner := s % nClients
+						idx := (s / nClients) * stripe // offset within owner's data
+						for i := 0; i < stripe; i++ {
+							want := byte(owner*101 + idx + i)
+							if fb[s*stripe+i] != want {
+								return fmt.Errorf("stripe %d byte %d: got %d want %d",
+									s, i, fb[s*stripe+i], want)
+							}
+						}
+					}
+				}
+				return f.Close()
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestViewErrors(t *testing.T) {
+	w := testWorld(t, 2)
+	err := w.Run(func(p *mpi.Proc) error {
+		f, err := Open(p.World(), 0, 8192, ModeRDMA)
+		if err != nil {
+			return err
+		}
+		if p.Rank() == 0 {
+			return f.Serve()
+		}
+		buf := p.Mem().MustAlloc(4096)
+		ct := datatype.Must(datatype.TypeContiguous(4096, datatype.Byte))
+		half := datatype.Must(datatype.TypeContiguous(2048, datatype.Byte))
+		// Size mismatch between view and memory.
+		if err := f.WriteView(0, 1, half, buf, 1, ct); err == nil {
+			return fmt.Errorf("size mismatch accepted")
+		}
+		// View spilling past the file end.
+		if err := f.WriteView(8000, 1, ct, buf, 1, ct); err == nil {
+			return fmt.Errorf("overflowing view accepted")
+		}
+		return f.Close()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// In pack mode the filetype must reach the server intact through the wire
+// codec even for nested layouts.
+func TestViewNestedFiletypePackMode(t *testing.T) {
+	inner := datatype.Must(datatype.TypeVector(4, 2, 4, datatype.Int32))
+	view := datatype.Must(datatype.TypeHvector(3, 1, 128, inner))
+	n := view.Size() // 96 bytes
+	memType := datatype.Must(datatype.TypeContiguous(int(n), datatype.Byte))
+	w := testWorld(t, 2)
+	err := w.Run(func(p *mpi.Proc) error {
+		f, err := Open(p.World(), 0, 4096, ModePack)
+		if err != nil {
+			return err
+		}
+		if p.Rank() == 0 {
+			return f.Serve()
+		}
+		src := p.Mem().MustAlloc(n)
+		data := p.Mem().Bytes(src, n)
+		for i := range data {
+			data[i] = byte(i + 7)
+		}
+		if err := f.WriteView(64, 1, view, src, 1, memType); err != nil {
+			return err
+		}
+		dst := p.Mem().MustAlloc(n)
+		if err := f.ReadView(64, 1, view, dst, 1, memType); err != nil {
+			return err
+		}
+		got := p.Mem().Bytes(dst, n)
+		for i := range got {
+			if got[i] != byte(i+7) {
+				return fmt.Errorf("nested view corrupt at %d", i)
+			}
+		}
+		return f.Close()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

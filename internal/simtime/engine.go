@@ -1,0 +1,179 @@
+// Package simtime provides a deterministic discrete-event simulation engine
+// with coroutine-style processes.
+//
+// The engine advances a virtual clock by executing events in (time, sequence)
+// order. Rank programs (MPI processes, in this repository) run as Process
+// coroutines: goroutines that execute in strict alternation with the engine,
+// so the whole simulation is logically single-threaded and bit-for-bit
+// reproducible. A process blocks by sleeping for a virtual duration or by
+// waiting on a Signal; protocol state machines run as plain scheduled events.
+package simtime
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Time is an absolute virtual time in nanoseconds since the start of the
+// simulation.
+type Time int64
+
+// Duration is a span of virtual time in nanoseconds.
+type Duration int64
+
+// Common durations, mirroring the time package for readability.
+const (
+	Nanosecond  Duration = 1
+	Microsecond Duration = 1000 * Nanosecond
+	Millisecond Duration = 1000 * Microsecond
+	Second      Duration = 1000 * Millisecond
+)
+
+// Micros reports t as a floating-point number of microseconds.
+func (t Time) Micros() float64 { return float64(t) / 1e3 }
+
+// Micros reports d as a floating-point number of microseconds.
+func (d Duration) Micros() float64 { return float64(d) / 1e3 }
+
+// Seconds reports d as a floating-point number of seconds.
+func (d Duration) Seconds() float64 { return float64(d) / 1e9 }
+
+// Add returns the time d after t.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the duration t-u.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+func (t Time) String() string { return fmt.Sprintf("%.3fus", t.Micros()) }
+
+func (d Duration) String() string { return fmt.Sprintf("%.3fus", d.Micros()) }
+
+type event struct {
+	at  Time
+	seq int64
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a discrete-event simulator. The zero value is not usable; create
+// one with NewEngine.
+type Engine struct {
+	now    Time
+	seq    int64
+	events eventHeap
+	live   []*Process // spawned processes that have not finished
+	yield  chan struct{}
+	inRun  bool
+}
+
+// NewEngine returns an engine with an empty event queue at time zero.
+func NewEngine() *Engine {
+	return &Engine{yield: make(chan struct{})}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Schedule arranges for fn to run in engine (event) context after d elapses.
+// A non-positive d schedules fn at the current time, after already-pending
+// events at that time. Schedule may be called from event context or from a
+// running Process; both are serialized with engine execution.
+func (e *Engine) Schedule(d Duration, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	e.seq++
+	heap.Push(&e.events, &event{at: e.now.Add(d), seq: e.seq, fn: fn})
+}
+
+// At arranges for fn to run at absolute time t (or now, if t is in the past).
+func (e *Engine) At(t Time, fn func()) {
+	e.Schedule(t.Sub(e.now), fn)
+}
+
+// DeadlockError is returned by Run when the event queue drains while spawned
+// processes are still blocked.
+type DeadlockError struct {
+	// Blocked lists the names of the processes that can never resume.
+	Blocked []string
+	// At is the virtual time at which the simulation stalled.
+	At Time
+}
+
+func (e *DeadlockError) Error() string {
+	return fmt.Sprintf("simtime: deadlock at %v: blocked processes: %s",
+		e.At, strings.Join(e.Blocked, ", "))
+}
+
+// Run executes events until the queue is empty. It returns a *DeadlockError
+// if any spawned process is still blocked when no event can wake it.
+func (e *Engine) Run() error {
+	if e.inRun {
+		panic("simtime: Run called re-entrantly")
+	}
+	e.inRun = true
+	defer func() { e.inRun = false }()
+	for len(e.events) > 0 {
+		ev := heap.Pop(&e.events).(*event)
+		if ev.at < e.now {
+			panic("simtime: event scheduled in the past")
+		}
+		e.now = ev.at
+		ev.fn()
+	}
+	if n := len(e.live); n > 0 {
+		names := make([]string, 0, n)
+		for _, p := range e.live {
+			names = append(names, p.name)
+		}
+		sort.Strings(names)
+		return &DeadlockError{Blocked: names, At: e.now}
+	}
+	return nil
+}
+
+// RunUntil executes events with timestamps not exceeding t, then returns.
+// It does not check for deadlock.
+func (e *Engine) RunUntil(t Time) {
+	for len(e.events) > 0 && e.events[0].at <= t {
+		ev := heap.Pop(&e.events).(*event)
+		e.now = ev.at
+		ev.fn()
+	}
+	if e.now < t {
+		e.now = t
+	}
+}
+
+// Pending reports the number of queued events.
+func (e *Engine) Pending() int { return len(e.events) }
+
+func (e *Engine) removeLive(p *Process) {
+	for i, q := range e.live {
+		if q == p {
+			e.live = append(e.live[:i], e.live[i+1:]...)
+			return
+		}
+	}
+}

@@ -1,0 +1,394 @@
+package simtime
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestScheduleOrdering(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	e.Schedule(30, func() { got = append(got, 3) })
+	e.Schedule(10, func() { got = append(got, 1) })
+	e.Schedule(20, func() { got = append(got, 2) })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if e.Now() != 30 {
+		t.Fatalf("Now = %v, want 30", e.Now())
+	}
+}
+
+func TestScheduleFIFOAtSameTime(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	for i := 0; i < 100; i++ {
+		i := i
+		e.Schedule(5, func() { got = append(got, i) })
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("same-time events not FIFO: got[%d] = %d", i, got[i])
+		}
+	}
+}
+
+func TestNegativeDelayClamped(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(10, func() {
+		e.Schedule(-5, func() {
+			if e.Now() != 10 {
+				t.Errorf("negative delay ran at %v, want 10", e.Now())
+			}
+		})
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNestedSchedule(t *testing.T) {
+	e := NewEngine()
+	depth := 0
+	var rec func()
+	rec = func() {
+		depth++
+		if depth < 10 {
+			e.Schedule(1, rec)
+		}
+	}
+	e.Schedule(0, rec)
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if depth != 10 {
+		t.Fatalf("depth = %d, want 10", depth)
+	}
+	if e.Now() != 9 {
+		t.Fatalf("Now = %v, want 9", e.Now())
+	}
+}
+
+func TestProcessSleep(t *testing.T) {
+	e := NewEngine()
+	var wakes []Time
+	e.Spawn("sleeper", func(p *Process) {
+		for i := 0; i < 3; i++ {
+			p.Sleep(100)
+			wakes = append(wakes, p.Now())
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []Time{100, 200, 300}
+	for i := range want {
+		if wakes[i] != want[i] {
+			t.Fatalf("wakes = %v, want %v", wakes, want)
+		}
+	}
+}
+
+func TestProcessZeroSleepYields(t *testing.T) {
+	e := NewEngine()
+	var order []string
+	e.Spawn("a", func(p *Process) {
+		order = append(order, "a1")
+		p.Sleep(0)
+		order = append(order, "a2")
+	})
+	e.Spawn("b", func(p *Process) {
+		order = append(order, "b1")
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"a1", "b1", "a2"}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestSignalBroadcast(t *testing.T) {
+	e := NewEngine()
+	var sig Signal
+	ready := false
+	var woke []string
+	for _, name := range []string{"w1", "w2", "w3"} {
+		name := name
+		e.Spawn(name, func(p *Process) {
+			for !ready {
+				p.Wait(&sig)
+			}
+			woke = append(woke, name)
+		})
+	}
+	e.Spawn("setter", func(p *Process) {
+		p.Sleep(50)
+		ready = true
+		sig.Broadcast()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(woke) != 3 {
+		t.Fatalf("woke = %v, want 3 waiters", woke)
+	}
+	// Waiters wake in Wait order.
+	want := []string{"w1", "w2", "w3"}
+	for i := range want {
+		if woke[i] != want[i] {
+			t.Fatalf("wake order = %v, want %v", woke, want)
+		}
+	}
+}
+
+func TestSignalSpuriousBroadcast(t *testing.T) {
+	e := NewEngine()
+	var sig Signal
+	n := 0
+	e.Spawn("w", func(p *Process) {
+		for n < 2 {
+			p.Wait(&sig)
+		}
+	})
+	e.Spawn("b", func(p *Process) {
+		for i := 0; i < 2; i++ {
+			p.Sleep(10)
+			n++
+			sig.Broadcast()
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("n = %d, want 2", n)
+	}
+}
+
+func TestDeadlockDetection(t *testing.T) {
+	e := NewEngine()
+	var sig Signal
+	e.Spawn("stuck", func(p *Process) {
+		p.Wait(&sig) // nobody broadcasts
+	})
+	err := e.Run()
+	de, ok := err.(*DeadlockError)
+	if !ok {
+		t.Fatalf("Run = %v, want DeadlockError", err)
+	}
+	if len(de.Blocked) != 1 || de.Blocked[0] != "stuck" {
+		t.Fatalf("Blocked = %v, want [stuck]", de.Blocked)
+	}
+}
+
+func TestNoDeadlockWhenAllFinish(t *testing.T) {
+	e := NewEngine()
+	for i := 0; i < 5; i++ {
+		e.Spawn("p", func(p *Process) { p.Sleep(10) })
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpawnFromProcess(t *testing.T) {
+	e := NewEngine()
+	var childRan bool
+	e.Spawn("parent", func(p *Process) {
+		p.Sleep(10)
+		e.Spawn("child", func(c *Process) {
+			c.Sleep(5)
+			childRan = true
+			if c.Now() != 15 {
+				t.Errorf("child Now = %v, want 15", c.Now())
+			}
+		})
+		p.Sleep(100)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !childRan {
+		t.Fatal("child never ran")
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	e := NewEngine()
+	var fired []Time
+	for _, d := range []Duration{10, 20, 30} {
+		d := d
+		e.Schedule(d, func() { fired = append(fired, e.Now()) })
+	}
+	e.RunUntil(20)
+	if len(fired) != 2 {
+		t.Fatalf("fired = %v, want 2 events", fired)
+	}
+	if e.Now() != 20 {
+		t.Fatalf("Now = %v, want 20", e.Now())
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("Pending = %d, want 1", e.Pending())
+	}
+}
+
+func TestResourceSerialization(t *testing.T) {
+	r := NewResource("cpu")
+	s1, e1 := r.Acquire(0, 100)
+	if s1 != 0 || e1 != 100 {
+		t.Fatalf("first acquire = [%v,%v], want [0,100]", s1, e1)
+	}
+	// Second request at t=50 must queue behind the first.
+	s2, e2 := r.Acquire(50, 30)
+	if s2 != 100 || e2 != 130 {
+		t.Fatalf("second acquire = [%v,%v], want [100,130]", s2, e2)
+	}
+	// A request after the resource is idle starts immediately.
+	s3, e3 := r.Acquire(500, 10)
+	if s3 != 500 || e3 != 510 {
+		t.Fatalf("third acquire = [%v,%v], want [500,510]", s3, e3)
+	}
+	if r.Busy != 140 {
+		t.Fatalf("Busy = %v, want 140", r.Busy)
+	}
+}
+
+func TestResourceNegativeDuration(t *testing.T) {
+	r := NewResource("x")
+	s, e := r.Acquire(10, -5)
+	if s != 10 || e != 10 {
+		t.Fatalf("acquire = [%v,%v], want [10,10]", s, e)
+	}
+}
+
+// Property: events fire in nondecreasing time order regardless of insertion
+// order, and every scheduled event fires exactly once.
+func TestEventOrderProperty(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := NewEngine()
+		count := int(n%64) + 1
+		delays := make([]Duration, count)
+		for i := range delays {
+			delays[i] = Duration(rng.Intn(1000))
+		}
+		var fired []Time
+		for _, d := range delays {
+			e.Schedule(d, func() { fired = append(fired, e.Now()) })
+		}
+		if err := e.Run(); err != nil {
+			return false
+		}
+		if len(fired) != count {
+			return false
+		}
+		if !sort.SliceIsSorted(fired, func(i, j int) bool { return fired[i] < fired[j] }) {
+			return false
+		}
+		sorted := make([]Duration, count)
+		copy(sorted, delays)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		for i, ft := range fired {
+			if ft != Time(sorted[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: interleaved sleeping processes always observe the correct clock.
+func TestProcessClockProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := NewEngine()
+		ok := true
+		for i := 0; i < 8; i++ {
+			steps := make([]Duration, rng.Intn(10)+1)
+			for j := range steps {
+				steps[j] = Duration(rng.Intn(100))
+			}
+			e.Spawn("p", func(p *Process) {
+				var elapsed Time
+				for _, d := range steps {
+					p.Sleep(d)
+					elapsed = elapsed.Add(d)
+					if p.Now() < elapsed {
+						ok = false
+					}
+				}
+			})
+		}
+		if err := e.Run(); err != nil {
+			return false
+		}
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimeFormatting(t *testing.T) {
+	if got := Time(1500).Micros(); got != 1.5 {
+		t.Fatalf("Micros = %v, want 1.5", got)
+	}
+	if got := (2 * Microsecond).Micros(); got != 2.0 {
+		t.Fatalf("Duration.Micros = %v, want 2", got)
+	}
+	if got := (3 * Second).Seconds(); got != 3.0 {
+		t.Fatalf("Seconds = %v, want 3", got)
+	}
+}
+
+func TestAtAbsoluteTime(t *testing.T) {
+	e := NewEngine()
+	var at Time
+	e.Schedule(100, func() {
+		e.At(50, func() { at = e.Now() }) // already past: runs now
+	})
+	e.At(200, func() {
+		if e.Now() != 200 {
+			t.Errorf("At(200) ran at %v", e.Now())
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if at != 100 {
+		t.Fatalf("past At ran at %v, want 100 (clamped to now)", at)
+	}
+}
+
+func TestResourceReset(t *testing.T) {
+	r := NewResource("x")
+	r.Acquire(0, 100)
+	r.Reset()
+	if r.FreeAt() != 0 || r.Busy != 0 {
+		t.Fatalf("reset incomplete: freeAt=%v busy=%v", r.FreeAt(), r.Busy)
+	}
+	if r.Name() != "x" {
+		t.Fatalf("name = %q", r.Name())
+	}
+}

@@ -1,0 +1,145 @@
+// Package stats collects per-rank operation counters for the simulated MPI
+// stack. Tests use counters to assert scheme contracts (for example, that the
+// Multi-W scheme copies zero payload bytes) and the benchmark harness reports
+// them alongside timing figures.
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Counters accumulates per-rank event counts. All fields count occurrences
+// unless the name says Bytes. The zero value is ready to use.
+type Counters struct {
+	// Host memory-copy traffic, split by purpose.
+	BytesPacked   int64 // user buffer -> staging (pack)
+	BytesUnpacked int64 // staging -> user buffer (unpack)
+	BytesStaged   int64 // staging -> staging (e.g. pack buffer -> eager buffer)
+
+	// Memory registration activity.
+	Registrations     int64
+	RegisteredBytes   int64
+	RegisteredPages   int64
+	Deregistrations   int64
+	DeregisteredPages int64
+	RegCacheHits      int64
+	RegCacheMisses    int64
+	RegCacheEvictions int64
+
+	// Dynamic staging-buffer management.
+	DynamicAllocs int64
+	DynamicFrees  int64
+	PoolExhausted int64 // times a segment pool ran dry and fell back
+
+	// Verbs-level activity.
+	SendsPosted       int64 // channel-semantics sends
+	RDMAWritesPosted  int64
+	RDMAReadsPosted   int64
+	DescriptorsPosted int64 // total descriptors, counting each list element
+	ListPosts         int64 // list-post operations (each covers >=1 descriptor)
+	SGEsPosted        int64
+	RecvsPosted       int64
+	Completions       int64
+	ImmediatesSent    int64
+
+	// Protocol-level activity.
+	EagerSends        int64
+	RendezvousSends   int64
+	CtrlMessages      int64
+	TypeLayoutsSent   int64 // Multi-W datatype representations shipped
+	TypeCacheHits     int64 // Multi-W sender-side datatype cache hits
+	TypeCacheReplaced int64 // stale versions replaced
+	SegmentsPipelined int64 // segments sent through BC-SPUP/RWG-UP pipelines
+}
+
+// BytesCopied reports total host copy traffic (pack + unpack + staging).
+func (c *Counters) BytesCopied() int64 {
+	return c.BytesPacked + c.BytesUnpacked + c.BytesStaged
+}
+
+// Add accumulates o into c.
+func (c *Counters) Add(o *Counters) {
+	c.BytesPacked += o.BytesPacked
+	c.BytesUnpacked += o.BytesUnpacked
+	c.BytesStaged += o.BytesStaged
+	c.Registrations += o.Registrations
+	c.RegisteredBytes += o.RegisteredBytes
+	c.RegisteredPages += o.RegisteredPages
+	c.Deregistrations += o.Deregistrations
+	c.DeregisteredPages += o.DeregisteredPages
+	c.RegCacheHits += o.RegCacheHits
+	c.RegCacheMisses += o.RegCacheMisses
+	c.RegCacheEvictions += o.RegCacheEvictions
+	c.DynamicAllocs += o.DynamicAllocs
+	c.DynamicFrees += o.DynamicFrees
+	c.PoolExhausted += o.PoolExhausted
+	c.SendsPosted += o.SendsPosted
+	c.RDMAWritesPosted += o.RDMAWritesPosted
+	c.RDMAReadsPosted += o.RDMAReadsPosted
+	c.DescriptorsPosted += o.DescriptorsPosted
+	c.ListPosts += o.ListPosts
+	c.SGEsPosted += o.SGEsPosted
+	c.RecvsPosted += o.RecvsPosted
+	c.Completions += o.Completions
+	c.ImmediatesSent += o.ImmediatesSent
+	c.EagerSends += o.EagerSends
+	c.RendezvousSends += o.RendezvousSends
+	c.CtrlMessages += o.CtrlMessages
+	c.TypeLayoutsSent += o.TypeLayoutsSent
+	c.TypeCacheHits += o.TypeCacheHits
+	c.TypeCacheReplaced += o.TypeCacheReplaced
+	c.SegmentsPipelined += o.SegmentsPipelined
+}
+
+// Reset zeroes all counters.
+func (c *Counters) Reset() { *c = Counters{} }
+
+// String renders the non-zero counters, one per line, sorted by name.
+func (c *Counters) String() string {
+	entries := map[string]int64{
+		"BytesPacked":       c.BytesPacked,
+		"BytesUnpacked":     c.BytesUnpacked,
+		"BytesStaged":       c.BytesStaged,
+		"Registrations":     c.Registrations,
+		"RegisteredBytes":   c.RegisteredBytes,
+		"RegisteredPages":   c.RegisteredPages,
+		"Deregistrations":   c.Deregistrations,
+		"DeregisteredPages": c.DeregisteredPages,
+		"RegCacheHits":      c.RegCacheHits,
+		"RegCacheMisses":    c.RegCacheMisses,
+		"RegCacheEvictions": c.RegCacheEvictions,
+		"DynamicAllocs":     c.DynamicAllocs,
+		"DynamicFrees":      c.DynamicFrees,
+		"PoolExhausted":     c.PoolExhausted,
+		"SendsPosted":       c.SendsPosted,
+		"RDMAWritesPosted":  c.RDMAWritesPosted,
+		"RDMAReadsPosted":   c.RDMAReadsPosted,
+		"DescriptorsPosted": c.DescriptorsPosted,
+		"ListPosts":         c.ListPosts,
+		"SGEsPosted":        c.SGEsPosted,
+		"RecvsPosted":       c.RecvsPosted,
+		"Completions":       c.Completions,
+		"ImmediatesSent":    c.ImmediatesSent,
+		"EagerSends":        c.EagerSends,
+		"RendezvousSends":   c.RendezvousSends,
+		"CtrlMessages":      c.CtrlMessages,
+		"TypeLayoutsSent":   c.TypeLayoutsSent,
+		"TypeCacheHits":     c.TypeCacheHits,
+		"TypeCacheReplaced": c.TypeCacheReplaced,
+		"SegmentsPipelined": c.SegmentsPipelined,
+	}
+	names := make([]string, 0, len(entries))
+	for k, v := range entries {
+		if v != 0 {
+			names = append(names, k)
+		}
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, k := range names {
+		fmt.Fprintf(&b, "%s=%d\n", k, entries[k])
+	}
+	return b.String()
+}

@@ -1,0 +1,85 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBytesCopied(t *testing.T) {
+	c := &Counters{BytesPacked: 10, BytesUnpacked: 20, BytesStaged: 5}
+	if got := c.BytesCopied(); got != 35 {
+		t.Fatalf("BytesCopied = %d, want 35", got)
+	}
+}
+
+func TestAddAccumulates(t *testing.T) {
+	a := &Counters{BytesPacked: 1, Registrations: 2, RDMAWritesPosted: 3,
+		TypeLayoutsSent: 4, SegmentsPipelined: 5}
+	b := &Counters{BytesPacked: 10, Registrations: 20, RDMAWritesPosted: 30,
+		TypeLayoutsSent: 40, SegmentsPipelined: 50}
+	a.Add(b)
+	if a.BytesPacked != 11 || a.Registrations != 22 || a.RDMAWritesPosted != 33 ||
+		a.TypeLayoutsSent != 44 || a.SegmentsPipelined != 55 {
+		t.Fatalf("Add wrong: %+v", a)
+	}
+	// The source must be untouched.
+	if b.BytesPacked != 10 {
+		t.Fatal("Add mutated its argument")
+	}
+}
+
+func TestReset(t *testing.T) {
+	c := &Counters{BytesPacked: 1, Completions: 9, PoolExhausted: 3}
+	c.Reset()
+	if *c != (Counters{}) {
+		t.Fatalf("Reset incomplete: %+v", c)
+	}
+}
+
+func TestStringShowsOnlyNonZero(t *testing.T) {
+	c := &Counters{BytesPacked: 7, RegCacheHits: 2}
+	out := c.String()
+	if !strings.Contains(out, "BytesPacked=7") || !strings.Contains(out, "RegCacheHits=2") {
+		t.Fatalf("missing fields:\n%s", out)
+	}
+	if strings.Contains(out, "BytesUnpacked") {
+		t.Fatalf("zero field rendered:\n%s", out)
+	}
+	// Sorted output: BytesPacked before RegCacheHits.
+	if strings.Index(out, "BytesPacked") > strings.Index(out, "RegCacheHits") {
+		t.Fatalf("output not sorted:\n%s", out)
+	}
+	if (&Counters{}).String() != "" {
+		t.Fatal("zero counters should render empty")
+	}
+}
+
+// Add must cover every field: accumulating a struct filled with ones twice
+// must yield twos everywhere String reports.
+func TestAddCoversAllFields(t *testing.T) {
+	ones := Counters{
+		BytesPacked: 1, BytesUnpacked: 1, BytesStaged: 1,
+		Registrations: 1, RegisteredBytes: 1, RegisteredPages: 1,
+		Deregistrations: 1, DeregisteredPages: 1,
+		RegCacheHits: 1, RegCacheMisses: 1, RegCacheEvictions: 1,
+		DynamicAllocs: 1, DynamicFrees: 1, PoolExhausted: 1,
+		SendsPosted: 1, RDMAWritesPosted: 1, RDMAReadsPosted: 1,
+		DescriptorsPosted: 1, ListPosts: 1, SGEsPosted: 1, RecvsPosted: 1,
+		Completions: 1, ImmediatesSent: 1,
+		EagerSends: 1, RendezvousSends: 1, CtrlMessages: 1,
+		TypeLayoutsSent: 1, TypeCacheHits: 1, TypeCacheReplaced: 1,
+		SegmentsPipelined: 1,
+	}
+	var sum Counters
+	sum.Add(&ones)
+	sum.Add(&ones)
+	out := sum.String()
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if !strings.HasSuffix(line, "=2") {
+			t.Fatalf("field not accumulated twice: %q", line)
+		}
+	}
+	if got := strings.Count(out, "\n"); got != 30 {
+		t.Fatalf("expected 30 reported fields, got %d:\n%s", got, out)
+	}
+}

@@ -1,0 +1,220 @@
+// Package trace records named activity intervals on the simulated nodes'
+// resources (CPU, HCA transmit and receive ports) and renders them as a text
+// Gantt chart. It exists to make the paper's Figure 3 — the overlap between
+// packing, network communication and unpacking in BC-SPUP — directly
+// observable instead of merely asserted: cmd/dtpipeline traces one message
+// under the Generic and BC-SPUP schemes and prints both timelines.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/simtime"
+)
+
+// Lane identifies which resource an interval occupied.
+type Lane string
+
+// The traced lanes.
+const (
+	LaneCPU Lane = "cpu"
+	LaneTx  Lane = "tx"
+	LaneRx  Lane = "rx"
+)
+
+// Event is one activity interval.
+type Event struct {
+	Node  string
+	Lane  Lane
+	Name  string
+	Start simtime.Time
+	End   simtime.Time
+}
+
+// Recorder accumulates events. A nil *Recorder is a valid no-op sink, so
+// instrumented code needs no conditionals.
+type Recorder struct {
+	events []Event
+}
+
+// New returns an empty recorder.
+func New() *Recorder { return &Recorder{} }
+
+// Add records an interval. No-op on a nil recorder or an empty interval.
+func (r *Recorder) Add(node string, lane Lane, name string, start, end simtime.Time) {
+	if r == nil || end <= start {
+		return
+	}
+	r.events = append(r.events, Event{Node: node, Lane: lane, Name: name, Start: start, End: end})
+}
+
+// Events returns the recorded intervals, ordered by start time.
+func (r *Recorder) Events() []Event {
+	out := append([]Event(nil), r.events...)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	return out
+}
+
+// Span returns the recorded time range.
+func (r *Recorder) Span() (lo, hi simtime.Time) {
+	for i, e := range r.events {
+		if i == 0 || e.Start < lo {
+			lo = e.Start
+		}
+		if e.End > hi {
+			hi = e.End
+		}
+	}
+	return lo, hi
+}
+
+// laneKey orders the chart rows.
+type laneKey struct {
+	node string
+	lane Lane
+}
+
+// Gantt renders the events as one row per (node, lane), width columns wide.
+// Each interval paints its first letter; overlaps within a lane (which the
+// resource model should prevent) paint '#'.
+func (r *Recorder) Gantt(width int) string {
+	if r == nil || len(r.events) == 0 {
+		return "(no events)\n"
+	}
+	if width < 20 {
+		width = 20
+	}
+	lo, hi := r.Span()
+	span := float64(hi - lo)
+	if span <= 0 {
+		span = 1
+	}
+	rows := map[laneKey][]Event{}
+	var keys []laneKey
+	for _, e := range r.events {
+		k := laneKey{e.Node, e.Lane}
+		if _, ok := rows[k]; !ok {
+			keys = append(keys, k)
+		}
+		rows[k] = append(rows[k], e)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].node != keys[j].node {
+			return keys[i].node < keys[j].node
+		}
+		return keys[i].lane < keys[j].lane
+	})
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "timeline %v .. %v (each column ~ %.1fus)\n",
+		lo, hi, span/float64(width)/1e3)
+	for _, k := range keys {
+		cells := make([]byte, width)
+		for i := range cells {
+			cells[i] = '.'
+		}
+		for _, e := range rows[k] {
+			s := int(float64(e.Start-lo) / span * float64(width))
+			t := int(float64(e.End-lo)/span*float64(width) + 0.999)
+			if t > width {
+				t = width
+			}
+			if s >= t {
+				t = s + 1
+				if t > width {
+					s, t = width-1, width
+				}
+			}
+			mark := byte('?')
+			if len(e.Name) > 0 {
+				mark = e.Name[0]
+			}
+			for i := s; i < t; i++ {
+				if cells[i] != '.' {
+					cells[i] = '#'
+				} else {
+					cells[i] = mark
+				}
+			}
+		}
+		fmt.Fprintf(&b, "%-10s %-3s |%s|\n", k.node, k.lane, cells)
+	}
+	// Legend: unique first letters.
+	seen := map[byte]string{}
+	var order []byte
+	for _, e := range r.events {
+		if len(e.Name) == 0 {
+			continue
+		}
+		c := e.Name[0]
+		if _, ok := seen[c]; !ok {
+			seen[c] = legendName(e.Name)
+			order = append(order, c)
+		}
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+	b.WriteString("legend:")
+	for _, c := range order {
+		fmt.Fprintf(&b, " %c=%s", c, seen[c])
+	}
+	b.WriteString("  #=overlap\n")
+	return b.String()
+}
+
+func legendName(name string) string {
+	if i := strings.IndexAny(name, " :"); i > 0 {
+		return name[:i]
+	}
+	return name
+}
+
+// Utilization reports the busy fraction of a (node, lane) over the recorded
+// span.
+func (r *Recorder) Utilization(node string, lane Lane) float64 {
+	lo, hi := r.Span()
+	if hi <= lo {
+		return 0
+	}
+	var busy simtime.Duration
+	for _, e := range r.events {
+		if e.Node == node && e.Lane == lane {
+			busy += e.End.Sub(e.Start)
+		}
+	}
+	return float64(busy) / float64(hi-lo)
+}
+
+// ChromeTrace renders the events in the Chrome trace-event JSON format
+// (load via chrome://tracing or https://ui.perfetto.dev): one "process" per
+// node, one "thread" per lane, complete events with microsecond timestamps.
+func (r *Recorder) ChromeTrace() []byte {
+	type ev struct {
+		Name string  `json:"name"`
+		Ph   string  `json:"ph"`
+		Ts   float64 `json:"ts"`
+		Dur  float64 `json:"dur"`
+		Pid  string  `json:"pid"`
+		Tid  string  `json:"tid"`
+	}
+	if r == nil {
+		b, _ := json.Marshal([]ev{})
+		return b
+	}
+	out := make([]ev, 0, len(r.events))
+	for _, e := range r.Events() {
+		out = append(out, ev{
+			Name: e.Name, Ph: "X",
+			Ts:  e.Start.Micros(),
+			Dur: e.End.Sub(e.Start).Micros(),
+			Pid: e.Node, Tid: string(e.Lane),
+		})
+	}
+	b, err := json.Marshal(out)
+	if err != nil {
+		panic(err) // static struct: cannot fail
+	}
+	return b
+}

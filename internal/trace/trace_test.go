@@ -1,0 +1,107 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNilRecorderIsNoOp(t *testing.T) {
+	var r *Recorder
+	r.Add("n", LaneCPU, "x", 0, 10) // must not panic
+	if got := r.Gantt(40); !strings.Contains(got, "no events") {
+		t.Fatalf("nil gantt = %q", got)
+	}
+}
+
+func TestAddAndSpan(t *testing.T) {
+	r := New()
+	r.Add("a", LaneCPU, "pack", 100, 200)
+	r.Add("a", LaneTx, "wire", 150, 400)
+	r.Add("b", LaneRx, "wire", 160, 410)
+	r.Add("a", LaneCPU, "empty", 50, 50) // zero-length: dropped
+	if len(r.Events()) != 3 {
+		t.Fatalf("events = %d", len(r.Events()))
+	}
+	lo, hi := r.Span()
+	if lo != 100 || hi != 410 {
+		t.Fatalf("span = %v..%v", lo, hi)
+	}
+}
+
+func TestEventsSorted(t *testing.T) {
+	r := New()
+	r.Add("a", LaneCPU, "late", 300, 400)
+	r.Add("a", LaneCPU, "early", 0, 10)
+	ev := r.Events()
+	if ev[0].Name != "early" || ev[1].Name != "late" {
+		t.Fatalf("events not sorted: %+v", ev)
+	}
+}
+
+func TestGanttRendersLanes(t *testing.T) {
+	r := New()
+	r.Add("rank0", LaneCPU, "pack seg", 0, 500)
+	r.Add("rank0", LaneTx, "wire", 500, 1500)
+	r.Add("rank1", LaneCPU, "unpack seg", 1500, 2000)
+	out := r.Gantt(40)
+	for _, want := range []string{"rank0", "rank1", "cpu", "tx", "p=pack", "u=unpack", "w=wire"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("gantt missing %q:\n%s", want, out)
+		}
+	}
+	// Three lane rows plus header and legend.
+	if lines := strings.Count(out, "|\n"); lines != 3 {
+		t.Fatalf("lane rows = %d, want 3\n%s", lines, out)
+	}
+}
+
+func TestGanttOverlapMarker(t *testing.T) {
+	r := New()
+	r.Add("a", LaneCPU, "one", 0, 100)
+	r.Add("a", LaneCPU, "two", 50, 150)
+	out := r.Gantt(50)
+	if !strings.Contains(out, "#") {
+		t.Fatalf("overlap not marked:\n%s", out)
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	r := New()
+	r.Add("a", LaneCPU, "x", 0, 250)
+	r.Add("a", LaneTx, "y", 0, 1000)
+	if u := r.Utilization("a", LaneCPU); u != 0.25 {
+		t.Fatalf("cpu util = %v", u)
+	}
+	if u := r.Utilization("a", LaneTx); u != 1.0 {
+		t.Fatalf("tx util = %v", u)
+	}
+	if u := r.Utilization("missing", LaneRx); u != 0 {
+		t.Fatalf("missing util = %v", u)
+	}
+}
+
+func TestTinyIntervalStillVisible(t *testing.T) {
+	r := New()
+	r.Add("a", LaneCPU, "blip", 0, 1)
+	r.Add("a", LaneTx, "long", 0, 1_000_000)
+	out := r.Gantt(50)
+	if !strings.Contains(out, "b") {
+		t.Fatalf("sub-column event invisible:\n%s", out)
+	}
+}
+
+func TestChromeTrace(t *testing.T) {
+	r := New()
+	r.Add("rank0", LaneCPU, "pack", 1000, 2000)
+	r.Add("rank0", LaneTx, "wire", 2000, 5000)
+	out := string(r.ChromeTrace())
+	for _, want := range []string{`"pack"`, `"wire"`, `"rank0"`, `"cpu"`, `"ph":"X"`, `"ts":1`, `"dur":1`} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("chrome trace missing %q:\n%s", want, out)
+		}
+	}
+	var nilRec *Recorder
+	if got := string(nilRec.ChromeTrace()); got != "[]" {
+		t.Fatalf("nil trace = %q", got)
+	}
+}
