@@ -1,0 +1,26 @@
+# Development entry points. `make check` is the tier-1 gate: vet, build,
+# and the full test suite under the race detector (which includes one short
+# fault-injected soak pass).
+
+GO ?= go
+
+.PHONY: check vet build test fault-soak bench
+
+check: vet build test
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test -race ./...
+
+# A longer, visible fault-injection pass over every transfer scheme.
+fault-soak:
+	$(GO) run ./cmd/fabsim -fault-soak
+	$(GO) run ./cmd/fabsim -fault-soak -perm-rate 1 -cqe-rate 1
+
+bench:
+	$(GO) test -bench=. -benchtime=1x -run=^$$ .

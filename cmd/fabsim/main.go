@@ -4,17 +4,50 @@
 // "Contig" reference numbers the paper's figures are judged against.
 //
 //	go run ./cmd/fabsim
+//
+// With -fault-soak it instead drives every transfer scheme end to end under
+// seeded fault injection and reports per-scheme delivery results, retry
+// counts, and injector statistics:
+//
+//	go run ./cmd/fabsim -fault-soak -seed 7 -cqe-rate 0.1 -delay-rate 0.2
+//	go run ./cmd/fabsim -fault-soak -perm-rate 1 -cqe-rate 1   # forced aborts
 package main
 
 import (
+	"bytes"
+	"flag"
 	"fmt"
+	"os"
 
+	"repro/internal/core"
+	"repro/internal/datatype"
+	"repro/internal/fault"
 	"repro/internal/ib"
 	"repro/internal/mem"
+	"repro/internal/pack"
 	"repro/internal/simtime"
 )
 
+var (
+	faultSoak = flag.Bool("fault-soak", false, "run a fault-injected pass over every transfer scheme")
+	seed      = flag.Int64("seed", 1, "fault injector seed")
+	msgs      = flag.Int("msgs", 4, "messages per scheme in the fault soak")
+	postRate  = flag.Float64("post-rate", 0.05, "probability a descriptor post fails")
+	cqeRate   = flag.Float64("cqe-rate", 0.08, "probability a descriptor completes with an error CQE")
+	regRate   = flag.Float64("reg-rate", 0.05, "probability a memory registration fails")
+	delayRate = flag.Float64("delay-rate", 0.10, "probability a completion is delayed")
+	permRate  = flag.Float64("perm-rate", 0.0, "probability an injected fault is permanent (not retryable)")
+)
+
 func main() {
+	flag.Parse()
+	if *faultSoak {
+		if !runFaultSoak() {
+			os.Exit(1)
+		}
+		return
+	}
+
 	model := ib.DefaultModel()
 	fmt.Println("# cost model (DESIGN.md section 5)")
 	fmt.Printf("wire latency        %v\n", model.WireLatency)
@@ -42,6 +75,127 @@ func main() {
 		d := oneOp(model, ib.OpRDMAWrite, 64<<10, n)
 		fmt.Printf("%6d %14.2f\n", n, d.Micros())
 	}
+}
+
+// runFaultSoak drives every scheme through a two-rank fault-injected
+// exchange and reports delivery outcomes. Returns false if any scheme
+// corrupted data or (with perm-rate 0) failed a request.
+func runFaultSoak() bool {
+	fc := fault.Config{
+		Seed:          *seed,
+		PostFailRate:  *postRate,
+		CQEErrorRate:  *cqeRate,
+		RegFailRate:   *regRate,
+		DelayRate:     *delayRate,
+		MaxDelay:      20 * simtime.Microsecond,
+		PermanentRate: *permRate,
+	}
+	fmt.Printf("# fault soak: seed=%d post=%.2f cqe=%.2f reg=%.2f delay=%.2f perm=%.2f msgs=%d\n",
+		*seed, *postRate, *cqeRate, *regRate, *delayRate, *permRate, *msgs)
+	fmt.Printf("%-10s %8s %8s %8s %8s %8s %12s\n",
+		"scheme", "ok", "failed", "corrupt", "retries", "aborts", "end (ms)")
+
+	schemes := []core.Scheme{core.SchemeGeneric, core.SchemeBCSPUP, core.SchemeRWGUP,
+		core.SchemePRRS, core.SchemeMultiW}
+	vec := datatype.Must(datatype.TypeVector(128, 16, 64, datatype.Int32))
+	const count = 160
+	allGood := true
+
+	for _, scheme := range schemes {
+		eng := simtime.NewEngine()
+		fab := ib.NewFabric(eng, ib.DefaultModel())
+		inj := fault.New(fc)
+		fab.SetInjector(inj)
+		cfg := core.DefaultConfig()
+		cfg.Scheme = scheme
+		cfg.PoolSize = 4 << 20
+		eps := make([]*core.Endpoint, 2)
+		for i := range eps {
+			m := mem.NewMemory(fmt.Sprintf("n%d", i), 64<<20)
+			hca := fab.AddHCA(fmt.Sprintf("n%d", i), m, nil)
+			ep, err := core.NewEndpoint(i, hca, cfg)
+			if err != nil {
+				panic(err)
+			}
+			eps[i] = ep
+		}
+		core.ConnectPeers(eps)
+
+		size := vec.Size() * int64(count)
+		sent := make([][]byte, *msgs)
+		got := make([][]byte, *msgs)
+		var sendErrs, recvErrs int
+		for _, ep := range eps {
+			ep := ep
+			eng.Spawn(fmt.Sprintf("rank%d", ep.Rank()), func(p *simtime.Process) {
+				for m := 0; m < *msgs; m++ {
+					span := vec.TrueExtent() + int64(count-1)*vec.Extent()
+					a := ep.Mem().MustAlloc(span)
+					buf := mem.Addr(int64(a) - vec.TrueLB())
+					if ep.Rank() == 0 {
+						data := make([]byte, size)
+						for i := range data {
+							data[i] = byte(m+1) ^ byte(i*31+7)
+						}
+						u := pack.NewUnpacker(ep.Mem(), buf, vec, count)
+						u.UnpackFrom(data)
+						sent[m] = data
+						if err := ep.Send(p, buf, count, vec, 1, m); err != nil {
+							sendErrs++
+						}
+					} else {
+						_, err := ep.Recv(p, buf, count, vec, 0, m)
+						if err != nil {
+							recvErrs++
+							continue
+						}
+						out := make([]byte, size)
+						pk := pack.NewPacker(ep.Mem(), buf, vec, count)
+						pk.PackTo(out)
+						got[m] = out
+					}
+				}
+			})
+		}
+		if err := eng.Run(); err != nil {
+			fmt.Printf("%-10s engine error: %v\n", scheme, err)
+			allGood = false
+			continue
+		}
+
+		okCount, corrupt := 0, 0
+		for m := 0; m < *msgs; m++ {
+			switch {
+			case got[m] == nil:
+				// failed receive; counted in recvErrs
+			case bytes.Equal(sent[m], got[m]):
+				okCount++
+			default:
+				corrupt++
+			}
+		}
+		var retries, aborts int64
+		for _, ep := range eps {
+			retries += ep.Counters().FaultRetries
+			aborts += ep.Counters().RequestsFailed
+		}
+		fmt.Printf("%-10s %8d %8d %8d %8d %8d %12.2f\n",
+			scheme, okCount, recvErrs, corrupt, retries, aborts,
+			float64(eng.Now().Sub(0).Micros())/1000)
+		if corrupt > 0 {
+			allGood = false
+		}
+		if *permRate == 0 && (sendErrs > 0 || recvErrs > 0) {
+			allGood = false
+		}
+	}
+	fmt.Println()
+	if allGood {
+		fmt.Println("fault soak: PASS (all schemes delivered byte-identical data or aborted cleanly)")
+	} else {
+		fmt.Println("fault soak: FAIL")
+	}
+	return allGood
 }
 
 // oneOp measures the virtual completion time of a single RDMA operation of

@@ -114,6 +114,15 @@ type Config struct {
 	// user-buffer registration amortizes (the MPI_Info hint of Section 6).
 	// When false, SchemeAuto avoids the copy-reduced schemes.
 	BuffersReused bool
+
+	// FaultRetryLimit bounds how many times a transient injected fault
+	// (descriptor post failure, error CQE, registration failure) is retried
+	// before the operation is treated as permanently failed.
+	FaultRetryLimit int
+
+	// FaultRetryBase is the first retry backoff; each further retry doubles
+	// it (bounded exponential backoff in virtual time).
+	FaultRetryBase simtime.Duration
 }
 
 // DefaultConfig returns the paper's implementation parameters.
@@ -134,7 +143,22 @@ func DefaultConfig() Config {
 		AutoBlockThreshold:  4 << 10,
 		AutoGatherThreshold: 256,
 		BuffersReused:       true,
+		FaultRetryLimit:     6,
+		FaultRetryBase:      5 * simtime.Microsecond,
 	}
+}
+
+// retryBackoff returns the backoff before retry number attempt (1-based):
+// FaultRetryBase doubled per retry, capped at one millisecond.
+func (c *Config) retryBackoff(attempt int) simtime.Duration {
+	d := c.FaultRetryBase
+	if d <= 0 {
+		d = 5 * simtime.Microsecond
+	}
+	for i := 1; i < attempt && d < simtime.Millisecond; i++ {
+		d *= 2
+	}
+	return d
 }
 
 // segSizeFor picks the segment size for a message: at least two segments

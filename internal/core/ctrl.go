@@ -16,6 +16,8 @@ const (
 	kindCTS                        // rendezvous reply (scheme-specific payload)
 	kindSegReady                   // P-RRS: a packed segment is readable
 	kindDone                       // P-RRS: receiver finished reading
+	kindSendFail                   // sender aborted the op; receiver must clean up
+	kindRecvFail                   // receiver aborted the op; sender must clean up
 )
 
 // ctrlWriter builds control messages.

@@ -116,6 +116,7 @@ type inbound struct {
 	data    []byte // packed eager payload
 	sAvg    int64  // sender's average run length (RTS, for Auto)
 	sContig bool   // sender layout contiguous (RTS)
+	failed  bool   // sender aborted this RTS before it was matched
 }
 
 // Endpoint is one rank's datatype communication engine. All methods must be
@@ -191,6 +192,10 @@ func NewEndpoint(rank int, hca *ib.HCA, cfg Config) (*Endpoint, error) {
 	}
 	ep.userReg = mem.NewRegCache(ep.memory.Reg(), cfg.RegCacheCapacity, cfg.RegCache)
 	ep.stagingReg = mem.NewRegCache(ep.memory.Reg(), cfg.RegCacheCapacity, cfg.RegCache)
+	if inj := hca.Injector(); inj != nil {
+		ep.userReg.SetFaultFn(inj.RegFault)
+		ep.stagingReg.SetFaultFn(inj.RegFault)
+	}
 	return ep, nil
 }
 
@@ -412,6 +417,15 @@ func (ep *Endpoint) deliver(inb *inbound, req *Request) {
 	case kindEager:
 		ep.eagerDeliver(inb, req)
 	case kindRTS:
+		if inb.failed {
+			// The sender aborted this transfer before we matched it; fail
+			// the receive promptly instead of waiting for data forever.
+			req.Source = inb.src
+			req.Tag = inb.tag
+			ep.ctr.RequestsFailed++
+			req.complete(fmt.Errorf("%w (sender rank %d)", ErrRemoteAbort, inb.src))
+			return
+		}
 		ep.rndvMatched(inb, req)
 	default:
 		panic("core: bad inbound kind")
@@ -515,6 +529,10 @@ func (ep *Endpoint) handleCtrl(src int, data []byte) {
 		ep.handleSegReady(src, r)
 	case kindDone:
 		ep.handleDone(src, r)
+	case kindSendFail:
+		ep.handleSendFail(src, r)
+	case kindRecvFail:
+		ep.handleRecvFail(src, r)
 	default:
 		panic(fmt.Sprintf("core: bad control kind %d", kind))
 	}

@@ -1,0 +1,274 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/fault"
+	"repro/internal/ib"
+)
+
+// Structured error propagation for the transfer schemes.
+//
+// Taxonomy: transient faults (injected post failures, error CQEs,
+// registration failures classified transient) are retried with bounded
+// exponential backoff in virtual time; permanent faults — including retry
+// exhaustion — abort the operation. An abort completes the Request with the
+// error immediately, but resource teardown waits until every outstanding
+// descriptor of the op has drained: a pool slot released while a retried
+// RDMA write still references it could be reacquired by another transfer
+// and corrupted, since the pool-wide registration stays valid. After the
+// drain, the peer is told (kindSendFail/kindRecvFail) so its half of the
+// rendezvous fails too instead of waiting forever.
+
+// ErrRemoteAbort reports that the peer rank aborted the transfer after an
+// unrecoverable fault on its side.
+var ErrRemoteAbort = errors.New("core: peer aborted transfer")
+
+// errOpAborted resolves descriptors that were abandoned (not re-posted)
+// because their op had already failed.
+var errOpAborted = errors.New("core: descriptor abandoned after op abort")
+
+// faultMode reports whether fault injection is active on this fabric. The
+// data paths then trade pipelining for retry-safe, order-preserving posting;
+// with injection off, behavior is bit-identical to the fault-free engine.
+func (ep *Endpoint) faultMode() bool { return ep.hca.Injector() != nil }
+
+// postRetry posts one descriptor to the peer at dst, retrying transient
+// faults (post failures and error completions) with bounded backoff.
+// Each attempt gets a fresh WRID. done runs exactly once: with nil after a
+// successful completion, or with the final error. cancelled is consulted
+// before every attempt so an aborted op stops re-posting into memory that
+// is about to be released.
+func (ep *Endpoint) postRetry(dst int, wr ib.SendWR, cancelled func() bool, done func(error)) {
+	attempt := 0
+	var try func()
+	retry := func(err error) bool {
+		if !fault.IsTransient(err) || attempt >= ep.cfg.FaultRetryLimit || cancelled() {
+			return false
+		}
+		attempt++
+		ep.ctr.FaultRetries++
+		ep.eng.Schedule(ep.cfg.retryBackoff(attempt), try)
+		return true
+	}
+	try = func() {
+		if cancelled() {
+			done(errOpAborted)
+			return
+		}
+		wr.WRID = ep.hca.WRID()
+		wrid := wr.WRID
+		ep.onSendCQE[wrid] = func(e ib.CQE) {
+			if e.Err == nil {
+				done(nil)
+				return
+			}
+			if retry(e.Err) {
+				return
+			}
+			done(e.Err)
+		}
+		if err := ep.qps[dst].PostSend(wr); err != nil {
+			delete(ep.onSendCQE, wrid)
+			if retry(err) {
+				return
+			}
+			done(err)
+		}
+	}
+	try()
+}
+
+// --- Sender-side abort -------------------------------------------------------
+
+// abortSend fails a sender-side op: the request completes with err now, and
+// teardown (and peer notification) happens once outstanding descriptors
+// drain. Safe to call repeatedly; only the first error sticks.
+func (ep *Endpoint) abortSend(op *sendOp, err error) {
+	if op.failed {
+		return
+	}
+	op.failed = true
+	op.failErr = err
+	ep.ctr.RequestsFailed++
+	op.req.complete(err)
+	if op.wrsLeft == 0 {
+		ep.finalizeSendAbort(op)
+	}
+}
+
+// finalizeSendAbort releases everything a failed send op holds, once no
+// descriptor references it anymore, and notifies the receiver.
+func (ep *Endpoint) finalizeSendAbort(op *sendOp) {
+	if _, live := ep.sendOps[op.id]; !live {
+		return // already finalized
+	}
+	delete(ep.sendOps, op.id)
+	if op.staging.held {
+		ep.releaseSeg(ep.packPool, op.staging.seg)
+		op.staging = segRes{}
+	}
+	for i := range op.segs {
+		if op.segs[i].held {
+			ep.releaseSeg(ep.packPool, op.segs[i].seg)
+			op.segs[i].held = false
+		}
+	}
+	op.segs = nil
+	if op.regions != nil {
+		ep.releaseUserRegions(op.regions)
+		op.regions = nil
+	}
+	if op.notifyPeer {
+		var w ctrlWriter
+		w.u8(kindSendFail)
+		w.u32(op.id)
+		ep.sendCtrl(op.dst, w.buf, nil)
+	}
+}
+
+// sendWRResolved accounts one finally-resolved descriptor (completed, failed
+// past retry, or abandoned) of a send op and advances its state machine:
+// rest runs on success, failures start or continue the abort drain.
+func (ep *Endpoint) sendWRResolved(op *sendOp, err error, rest func()) {
+	op.wrsLeft--
+	if err != nil && !op.failed {
+		ep.abortSend(op, err)
+		return
+	}
+	if op.failed {
+		if op.wrsLeft == 0 {
+			ep.finalizeSendAbort(op)
+		}
+		return
+	}
+	if rest != nil {
+		rest()
+	}
+}
+
+// donePosting marks that every descriptor of the op has been posted; the
+// onWRsDone callback installed by postWRs may only fire after this (the
+// allPosted guard), so a fast early segment can never complete the op while
+// later segments are still being posted.
+func (ep *Endpoint) donePosting(op *sendOp) {
+	op.allPosted = true
+	if op.failed {
+		if op.wrsLeft == 0 {
+			ep.finalizeSendAbort(op)
+		}
+		return
+	}
+	if op.wrsLeft == 0 && op.onWRsDone != nil {
+		fn := op.onWRsDone
+		op.onWRsDone = nil
+		fn()
+	}
+}
+
+// --- Receiver-side abort -----------------------------------------------------
+
+// abortRecv fails a receiver-side op; notify says whether the sender should
+// be told once the drain finishes (false when the abort was caused by the
+// sender's own failure notice).
+func (ep *Endpoint) abortRecv(op *recvOp, err error, notify bool) {
+	if op.failed {
+		return
+	}
+	op.failed = true
+	op.failErr = err
+	op.notifyPeer = notify
+	ep.ctr.RequestsFailed++
+	op.req.complete(err)
+	if op.wrsLeft == 0 {
+		ep.finalizeRecvAbort(op)
+	}
+}
+
+// finalizeRecvAbort releases everything a failed receive op holds and
+// notifies the sender if requested.
+func (ep *Endpoint) finalizeRecvAbort(op *recvOp) {
+	if _, live := ep.recvOps[op.key]; !live {
+		return // already finalized
+	}
+	delete(ep.recvOps, op.key)
+	if op.wholeSeg != nil {
+		ep.releaseSeg(ep.unpackPool, *op.wholeSeg)
+		op.wholeSeg = nil
+	}
+	for i := range op.segs {
+		if op.segs[i].held {
+			ep.releaseSeg(ep.unpackPool, op.segs[i].seg)
+			op.segs[i].held = false
+		}
+	}
+	op.segs = nil
+	if op.regions != nil {
+		ep.releaseUserRegions(op.regions)
+		op.regions = nil
+	}
+	if op.notifyPeer {
+		var w ctrlWriter
+		w.u8(kindRecvFail)
+		w.u32(op.key.op)
+		ep.sendCtrl(op.key.src, w.buf, nil)
+	}
+}
+
+// recvWRResolved is sendWRResolved for receiver-initiated descriptors
+// (P-RRS scatter reads).
+func (ep *Endpoint) recvWRResolved(op *recvOp, err error, rest func()) {
+	op.wrsLeft--
+	if err != nil && !op.failed {
+		ep.abortRecv(op, err, true)
+		return
+	}
+	if op.failed {
+		if op.wrsLeft == 0 {
+			ep.finalizeRecvAbort(op)
+		}
+		return
+	}
+	if rest != nil {
+		rest()
+	}
+}
+
+// --- Cross-rank failure notices ----------------------------------------------
+
+// handleSendFail processes a sender's abort notice: fail the matched receive,
+// or drop the queued RTS so no future receive matches a dead transfer.
+func (ep *Endpoint) handleSendFail(src int, r *ctrlReader) {
+	id := r.u32()
+	if r.err != nil {
+		panic(r.err)
+	}
+	ep.ctr.PeerAborts++
+	if op, ok := ep.recvOps[opKey{src: src, op: id}]; ok {
+		ep.abortRecv(op, fmt.Errorf("%w (sender rank %d)", ErrRemoteAbort, src), false)
+		return
+	}
+	// Not matched yet: mark the queued RTS dead. It stays matchable so a
+	// receive posted later fails promptly instead of waiting forever.
+	for _, inb := range ep.unexpected {
+		if inb.kind == kindRTS && inb.src == src && inb.opID == id {
+			inb.failed = true
+			return
+		}
+	}
+}
+
+// handleRecvFail processes a receiver's abort notice: fail the sender-side
+// op without notifying back.
+func (ep *Endpoint) handleRecvFail(src int, r *ctrlReader) {
+	id := r.u32()
+	if r.err != nil {
+		panic(r.err)
+	}
+	ep.ctr.PeerAborts++
+	if op, ok := ep.sendOps[id]; ok {
+		op.notifyPeer = false
+		ep.abortSend(op, fmt.Errorf("%w (receiver rank %d)", ErrRemoteAbort, src))
+	}
+}

@@ -82,26 +82,36 @@ func (ep *Endpoint) Put(dst int, oBuf mem.Addr, oCount int, oType *datatype.Type
 		ep.rmaLocal(a, true, done)
 		return
 	}
-	regions, refs, err := ep.registerUserMessage(oBuf, oType, oCount)
-	if err != nil {
-		done(err)
-		return
-	}
-	oc := datatype.NewCursor(oType, oCount)
-	tc := datatype.NewCursor(tType, tCount)
-	remaining := oType.Size() * int64(oCount)
-	var wrs []ib.SendWR
-	for remaining > 0 {
-		tOff, tLen, ok := tc.Next(remaining)
-		if !ok {
-			panic("core: RMA target cursor exhausted early")
+	ep.registerUserMessage(oBuf, oType, oCount, func(regions []*mem.Region, refs []regRef, err error) {
+		if err != nil {
+			done(err)
+			return
 		}
-		wrs = append(wrs, ep.chunkWRs(ib.OpRDMAWrite, oc, oBuf, refs, tLen,
-			mem.Addr(int64(tBase)+tOff), tKey)...)
-		remaining -= tLen
-	}
-	ep.chargeTypeProc(len(wrs))
-	ep.postRMAWRs(dst, wrs, regions, done)
+		oc := datatype.NewCursor(oType, oCount)
+		tc := datatype.NewCursor(tType, tCount)
+		remaining := oType.Size() * int64(oCount)
+		var wrs []ib.SendWR
+		for remaining > 0 {
+			tOff, tLen, ok := tc.Next(remaining)
+			if !ok {
+				ep.releaseUserRegions(regions)
+				done(fmt.Errorf("core rank %d: RMA target layout exhausted with %d bytes unconsumed",
+					ep.rank, remaining))
+				return
+			}
+			chunk, cerr := ep.chunkWRs(ib.OpRDMAWrite, oc, oBuf, refs, tLen,
+				mem.Addr(int64(tBase)+tOff), tKey)
+			if cerr != nil {
+				ep.releaseUserRegions(regions)
+				done(cerr)
+				return
+			}
+			wrs = append(wrs, chunk...)
+			remaining -= tLen
+		}
+		ep.chargeTypeProc(len(wrs))
+		ep.postRMAWRs(dst, wrs, regions, done)
+	})
 }
 
 // Get reads the target layout (tCount, tType at tBase) in dst's window into
@@ -119,31 +129,45 @@ func (ep *Endpoint) Get(dst int, oBuf mem.Addr, oCount int, oType *datatype.Type
 		ep.rmaLocal(a, false, done)
 		return
 	}
-	regions, refs, err := ep.registerUserMessage(oBuf, oType, oCount)
-	if err != nil {
-		done(err)
-		return
-	}
-	oc := datatype.NewCursor(oType, oCount)
-	tc := datatype.NewCursor(tType, tCount)
-	remaining := oType.Size() * int64(oCount)
-	var wrs []ib.SendWR
-	for remaining > 0 {
-		// Each remote contiguous run becomes one (or more) scatter reads.
-		tOff, tLen, ok := tc.Next(remaining)
-		if !ok {
-			panic("core: RMA target cursor exhausted early")
+	ep.registerUserMessage(oBuf, oType, oCount, func(regions []*mem.Region, refs []regRef, err error) {
+		if err != nil {
+			done(err)
+			return
 		}
-		wrs = append(wrs, ep.chunkWRs(ib.OpRDMARead, oc, oBuf, refs, tLen,
-			mem.Addr(int64(tBase)+tOff), tKey)...)
-		remaining -= tLen
-	}
-	ep.chargeTypeProc(len(wrs))
-	ep.postRMAWRs(dst, wrs, regions, done)
+		oc := datatype.NewCursor(oType, oCount)
+		tc := datatype.NewCursor(tType, tCount)
+		remaining := oType.Size() * int64(oCount)
+		var wrs []ib.SendWR
+		for remaining > 0 {
+			// Each remote contiguous run becomes one (or more) scatter reads.
+			tOff, tLen, ok := tc.Next(remaining)
+			if !ok {
+				ep.releaseUserRegions(regions)
+				done(fmt.Errorf("core rank %d: RMA target layout exhausted with %d bytes unconsumed",
+					ep.rank, remaining))
+				return
+			}
+			chunk, cerr := ep.chunkWRs(ib.OpRDMARead, oc, oBuf, refs, tLen,
+				mem.Addr(int64(tBase)+tOff), tKey)
+			if cerr != nil {
+				ep.releaseUserRegions(regions)
+				done(cerr)
+				return
+			}
+			wrs = append(wrs, chunk...)
+			remaining -= tLen
+		}
+		ep.chargeTypeProc(len(wrs))
+		ep.postRMAWRs(dst, wrs, regions, done)
+	})
 }
 
-// postRMAWRs posts the descriptor batch and runs done when all complete,
-// releasing the origin registrations.
+// postRMAWRs posts the descriptor batch and runs done when every descriptor
+// has finally resolved, releasing the origin registrations. The first error
+// wins but the drain still waits for the rest, so regions are never released
+// while a descriptor might still read or write through them. Transient
+// injected faults are retried per descriptor (which forces individual posts
+// in fault mode).
 func (ep *Endpoint) postRMAWRs(dst int, wrs []ib.SendWR, regions []*mem.Region, done func(error)) {
 	left := len(wrs)
 	if left == 0 {
@@ -152,31 +176,33 @@ func (ep *Endpoint) postRMAWRs(dst int, wrs []ib.SendWR, regions []*mem.Region, 
 		return
 	}
 	var failed error
-	for i := range wrs {
-		wrs[i].WRID = ep.hca.WRID()
-		ep.onSendCQE[wrs[i].WRID] = func(e ib.CQE) {
-			if e.Err != nil && failed == nil {
-				failed = e.Err
-			}
-			left--
-			if left == 0 {
-				ep.releaseUserRegions(regions)
-				done(failed)
-			}
+	resolve := func(err error) {
+		if err != nil && failed == nil {
+			failed = err
+		}
+		left--
+		if left == 0 {
+			ep.releaseUserRegions(regions)
+			done(failed)
 		}
 	}
-	var err error
-	if ep.cfg.ListPost && len(wrs) > 1 {
-		err = ep.qps[dst].PostSendList(wrs)
-	} else {
+	if ep.cfg.ListPost && len(wrs) > 1 && !ep.faultMode() {
 		for i := range wrs {
-			if err = ep.qps[dst].PostSend(wrs[i]); err != nil {
-				break
-			}
+			wrs[i].WRID = ep.hca.WRID()
+			ep.onSendCQE[wrs[i].WRID] = func(e ib.CQE) { resolve(e.Err) }
 		}
+		if err := ep.qps[dst].PostSendList(wrs); err != nil {
+			// The whole list was rejected: nothing reached the NIC.
+			for i := range wrs {
+				delete(ep.onSendCQE, wrs[i].WRID)
+			}
+			ep.releaseUserRegions(regions)
+			done(err)
+		}
+		return
 	}
-	if err != nil {
-		panic(fmt.Sprintf("core rank %d: RMA post failed: %v", ep.rank, err))
+	for i := range wrs {
+		ep.postRetry(dst, wrs[i], func() bool { return false }, resolve)
 	}
 }
 

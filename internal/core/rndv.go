@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/datatype"
+	"repro/internal/fault"
 	"repro/internal/mem"
 	"repro/internal/pack"
 	"repro/internal/simtime"
@@ -28,13 +29,28 @@ type sendOp struct {
 
 	staging segRes   // Generic whole-message pack buffer
 	segs    []segRes // P-RRS pack segments, held until Done
-	wrsLeft int      // outstanding RDMA write completions
+	wrsLeft int      // descriptors not yet finally resolved
+
+	// allPosted guards completion: wrsLeft may transiently hit zero between
+	// segment posts, so onWRsDone only fires once every descriptor of the op
+	// has been posted.
+	allPosted bool
+	onWRsDone func()
+
+	// Failure state (see failure.go).
+	failed     bool
+	failErr    error
+	notifyPeer bool
 }
 
-// segRes couples a staging segment with the byte count it carries.
+// segRes couples a staging segment with the byte count it carries. held
+// records whether this op still owns the segment (rather than inferring
+// ownership from a sentinel address), so abort teardown releases exactly the
+// resources the op holds.
 type segRes struct {
 	seg   seg
 	bytes int64
+	held  bool
 }
 
 // recvOp is the receiver-side state of one rendezvous transfer.
@@ -66,6 +82,12 @@ type recvOp struct {
 	// P-RRS read state.
 	readCur   *datatype.Cursor
 	bytesRead int64
+	wrsLeft   int // outstanding receiver-initiated descriptors (scatter reads)
+
+	// Failure state (see failure.go).
+	failed     bool
+	failErr    error
+	notifyPeer bool
 }
 
 func (ep *Endpoint) newOpID() uint32 {
@@ -80,8 +102,13 @@ func (ep *Endpoint) chargeTypeProc(runs int) {
 
 // registerUserMessage registers the contiguous blocks of a message buffer
 // using Optimistic Group Registration through the user pin-down cache,
-// charging the real registration work.
-func (ep *Endpoint) registerUserMessage(buf mem.Addr, dt *datatype.Type, count int) ([]*mem.Region, []regRef, error) {
+// charging the real registration work, and hands the regions to done.
+// Transient registration faults are retried with backoff (so done may run
+// after a virtual-time delay); without faults done runs synchronously.
+// On error any partially acquired groups are released first.
+func (ep *Endpoint) registerUserMessage(buf mem.Addr, dt *datatype.Type, count int,
+	done func([]*mem.Region, []regRef, error)) {
+
 	blocks, _ := pack.MessageBlocks(buf, dt, count, 0)
 	ep.chargeTypeProc(len(blocks))
 	cost := mem.RegCost{Base: int64(ep.model.RegBase), PerPage: int64(ep.model.RegPerPage)}
@@ -89,18 +116,34 @@ func (ep *Endpoint) registerUserMessage(buf mem.Addr, dt *datatype.Type, count i
 	regions := make([]*mem.Region, 0, len(groups))
 	refs := make([]regRef, 0, len(groups))
 	var total mem.RegOps
-	for _, g := range groups {
-		r, ops, err := ep.userReg.Acquire(g.Addr, g.Len)
-		total.Add(ops)
-		if err != nil {
-			return nil, nil, err
+	i, attempt := 0, 0
+	var step func()
+	step = func() {
+		for i < len(groups) {
+			g := groups[i]
+			r, ops, err := ep.userReg.Acquire(g.Addr, g.Len)
+			total.Add(ops)
+			if err != nil {
+				if fault.IsTransient(err) && attempt < ep.cfg.FaultRetryLimit {
+					attempt++
+					ep.ctr.FaultRetries++
+					ep.eng.Schedule(ep.cfg.retryBackoff(attempt), step)
+					return
+				}
+				ep.releaseUserRegions(regions)
+				done(nil, nil, err)
+				return
+			}
+			attempt = 0
+			regions = append(regions, r)
+			refs = append(refs, regRef{addr: g.Addr, len: g.Len, key: r.LKey})
+			i++
 		}
-		regions = append(regions, r)
-		refs = append(refs, regRef{addr: g.Addr, len: g.Len, key: r.LKey})
+		ep.accountReg(total)
+		ep.hca.ChargeCPUNamed(ep.model.RegOpsTime(total), "reg")
+		done(regions, refs, nil)
 	}
-	ep.accountReg(total)
-	ep.hca.ChargeCPUNamed(ep.model.RegOpsTime(total), "reg")
-	return regions, refs, nil
+	step()
 }
 
 // releaseUserRegions drops user-buffer registrations, charging any real
@@ -122,20 +165,38 @@ func (ep *Endpoint) releaseUserRegions(regions []*mem.Region) {
 
 // acquireStaging allocates and registers a dynamic staging buffer of exactly
 // n bytes (the Generic scheme's pack/unpack buffers), charging malloc and
-// registration work.
-func (ep *Endpoint) acquireStaging(n int64) (seg, error) {
+// registration work, and hands the segment to done. Transient registration
+// faults are retried with backoff; the allocation is freed if registration
+// ultimately fails. Without faults done runs synchronously.
+func (ep *Endpoint) acquireStaging(n int64, done func(seg, error)) {
 	ep.ctr.DynamicAllocs++
 	addr, err := ep.memory.AllocPage(n)
 	if err != nil {
-		return seg{}, err
+		done(seg{}, err)
+		return
 	}
-	region, ops, err := ep.stagingReg.Acquire(addr, n)
-	if err != nil {
-		return seg{}, err
+	attempt := 0
+	var try func()
+	try = func() {
+		region, ops, err := ep.stagingReg.Acquire(addr, n)
+		if err != nil {
+			if fault.IsTransient(err) && attempt < ep.cfg.FaultRetryLimit {
+				attempt++
+				ep.ctr.FaultRetries++
+				ep.eng.Schedule(ep.cfg.retryBackoff(attempt), try)
+				return
+			}
+			if ferr := ep.memory.Free(addr); ferr != nil {
+				panic(ferr)
+			}
+			done(seg{}, err)
+			return
+		}
+		ep.accountReg(ops)
+		ep.hca.ChargeCPUNamed(ep.model.MallocTime(n)+ep.model.RegOpsTime(ops), "malloc+reg")
+		done(seg{addr: addr, key: region.LKey, region: region}, nil)
 	}
-	ep.accountReg(ops)
-	ep.hca.ChargeCPUNamed(ep.model.MallocTime(n)+ep.model.RegOpsTime(ops), "malloc+reg")
-	return seg{addr: addr, key: region.LKey, region: region}, nil
+	try()
 }
 
 // --- Sender: initiation ------------------------------------------------------
@@ -145,43 +206,55 @@ func (ep *Endpoint) rndvSend(req *Request, ctx int, buf mem.Addr, count int, dt 
 	op := &sendOp{
 		id: ep.newOpID(), req: req, dst: dst, tag: tag,
 		buf: buf, count: count, dt: dt,
-		size:    dt.Size() * int64(count),
-		sContig: dt.Contig(),
+		size:       dt.Size() * int64(count),
+		sContig:    dt.Contig(),
+		notifyPeer: true,
 	}
 	ep.sendOps[op.id] = op
 	ep.ctr.RendezvousSends++
+
+	stats := datatype.LayoutStats(dt, count, 4096)
+	sAvg := int64(stats.AvgRun)
+	sendRTS := func() {
+		var w ctrlWriter
+		w.u8(kindRTS)
+		w.u32(op.id)
+		w.u32(uint32(ctx))
+		w.u32(uint32(tag))
+		w.i64(op.size)
+		w.i64(sAvg)
+		if op.sContig {
+			w.u8(1)
+		} else {
+			w.u8(0)
+		}
+		ep.sendCtrl(dst, w.buf, nil)
+	}
 
 	// Copy-reduced fixed schemes register the user buffer now, overlapping
 	// registration with the handshake (Section 7.4). Under Auto the choice
 	// is the receiver's, so registration waits for the CTS.
 	if ep.cfg.Scheme == SchemeRWGUP || ep.cfg.Scheme == SchemeMultiW ||
 		(ep.cfg.Scheme == SchemePRRS && op.sContig) || op.sContig {
-		var err error
-		op.regions, op.refs, err = ep.registerUserMessage(buf, dt, count)
-		if err != nil {
-			req.complete(err)
-			delete(ep.sendOps, op.id)
-			return
-		}
-		op.registered = true
+		ep.registerUserMessage(buf, dt, count, func(regions []*mem.Region, refs []regRef, err error) {
+			if err != nil {
+				// Still announce the op so the receiver has something to
+				// match; the abort's failure notice then unblocks it.
+				sendRTS()
+				ep.abortSend(op, err)
+				return
+			}
+			if op.failed {
+				ep.releaseUserRegions(regions)
+				return
+			}
+			op.regions, op.refs = regions, refs
+			op.registered = true
+			sendRTS()
+		})
+		return
 	}
-
-	stats := datatype.LayoutStats(dt, count, 4096)
-	sAvg := int64(stats.AvgRun)
-
-	var w ctrlWriter
-	w.u8(kindRTS)
-	w.u32(op.id)
-	w.u32(uint32(ctx))
-	w.u32(uint32(tag))
-	w.i64(op.size)
-	w.i64(sAvg)
-	if op.sContig {
-		w.u8(1)
-	} else {
-		w.u8(0)
-	}
-	ep.sendCtrl(dst, w.buf, nil)
+	sendRTS()
 }
 
 // --- Receiver: match and scheme choice ---------------------------------------
@@ -283,18 +356,24 @@ func (ep *Endpoint) recvStagedSetup(op *recvOp, segSize int64) {
 
 	if op.direct {
 		// Contiguous receiver: segments map straight onto the user buffer.
-		regions, rrefs, err := ep.registerUserMessage(op.req.buf, op.req.dt, op.req.count)
-		if err != nil {
-			ep.failRecv(op, err)
-			return
-		}
-		op.regions = regions
-		base := mem.Addr(int64(op.req.buf) + op.req.dt.TrueLB())
-		refs := make([]segRef, 0, op.nSegs)
-		for k := 0; k < op.nSegs; k++ {
-			refs = append(refs, segRef{addr: base + mem.Addr(int64(k)*segSize), key: rrefs[0].key})
-		}
-		sendCTS(refs)
+		ep.registerUserMessage(op.req.buf, op.req.dt, op.req.count,
+			func(regions []*mem.Region, rrefs []regRef, err error) {
+				if err != nil {
+					ep.abortRecv(op, err, true)
+					return
+				}
+				if op.failed {
+					ep.releaseUserRegions(regions)
+					return
+				}
+				op.regions = regions
+				base := mem.Addr(int64(op.req.buf) + op.req.dt.TrueLB())
+				refs := make([]segRef, 0, op.nSegs)
+				for k := 0; k < op.nSegs; k++ {
+					refs = append(refs, segRef{addr: base + mem.Addr(int64(k)*segSize), key: rrefs[0].key})
+				}
+				sendCTS(refs)
+			})
 		return
 	}
 
@@ -303,13 +382,18 @@ func (ep *Endpoint) recvStagedSetup(op *recvOp, segSize int64) {
 	if op.scheme == SchemeGeneric {
 		// The basic scheme's dynamically allocated whole-message unpack
 		// buffer (Figure 1).
-		s, err := ep.acquireStaging(op.eff)
-		if err != nil {
-			ep.failRecv(op, err)
-			return
-		}
-		op.segs = []segRes{{seg: s, bytes: op.eff}}
-		sendCTS([]segRef{{addr: s.addr, key: s.key}})
+		ep.acquireStaging(op.eff, func(s seg, err error) {
+			if err != nil {
+				ep.abortRecv(op, err, true)
+				return
+			}
+			if op.failed {
+				ep.releaseSeg(ep.unpackPool, s)
+				return
+			}
+			op.segs = []segRes{{seg: s, bytes: op.eff, held: true}}
+			sendCTS([]segRef{{addr: s.addr, key: s.key}})
+		})
 		return
 	}
 
@@ -327,32 +411,42 @@ func (ep *Endpoint) recvStagedSetup(op *recvOp, segSize int64) {
 		// size — the same registration cost the Generic scheme pays — and
 		// carve the segments out of it.
 		ep.ctr.PoolExhausted++
-		s, err := ep.acquireStaging(op.eff)
-		if err != nil {
-			ep.failRecv(op, err)
-			return
-		}
-		op.wholeSeg = &s
-		refs := make([]segRef, 0, op.nSegs)
-		for k := 0; k < op.nSegs; k++ {
-			addr := s.addr + mem.Addr(int64(k)*segSize)
-			op.segs = append(op.segs, segRes{
-				seg:   seg{addr: addr, key: s.key},
-				bytes: segBytes(k),
-			})
-			refs = append(refs, segRef{addr: addr, key: s.key})
-		}
-		sendCTS(refs)
+		ep.acquireStaging(op.eff, func(s seg, err error) {
+			if err != nil {
+				ep.abortRecv(op, err, true)
+				return
+			}
+			if op.failed {
+				ep.releaseSeg(ep.unpackPool, s)
+				return
+			}
+			op.wholeSeg = &s
+			refs := make([]segRef, 0, op.nSegs)
+			for k := 0; k < op.nSegs; k++ {
+				addr := s.addr + mem.Addr(int64(k)*segSize)
+				// Views onto wholeSeg: not individually held, the backing
+				// buffer is released once.
+				op.segs = append(op.segs, segRes{
+					seg:   seg{addr: addr, key: s.key},
+					bytes: segBytes(k),
+				})
+				refs = append(refs, segRef{addr: addr, key: s.key})
+			}
+			sendCTS(refs)
+		})
 		return
 	}
 	pool.whenAvailable(op.nSegs, func() {
+		if op.failed {
+			return // aborted while parked; slots stay with the pool
+		}
 		refs := make([]segRef, 0, op.nSegs)
 		for k := 0; k < op.nSegs; k++ {
 			s, ok := pool.tryAcquire()
 			if !ok {
 				panic("core: unpack pool promised slots it does not have")
 			}
-			op.segs = append(op.segs, segRes{seg: s, bytes: segBytes(k)})
+			op.segs = append(op.segs, segRes{seg: s, bytes: segBytes(k), held: true})
 			refs = append(refs, segRef{addr: s.addr, key: s.key})
 		}
 		sendCTS(refs)
@@ -362,73 +456,83 @@ func (ep *Endpoint) recvStagedSetup(op *recvOp, segSize int64) {
 // recvMultiWSetup registers the receiver's user blocks and ships its layout
 // (or its cached identity) plus region keys in the CTS.
 func (ep *Endpoint) recvMultiWSetup(op *recvOp) {
-	regions, refs, err := ep.registerUserMessage(op.req.buf, op.req.dt, op.req.count)
-	if err != nil {
-		ep.failRecv(op, err)
-		return
-	}
-	op.regions = regions
-	op.refs = refs
+	ep.registerUserMessage(op.req.buf, op.req.dt, op.req.count,
+		func(regions []*mem.Region, refs []regRef, err error) {
+			if err != nil {
+				ep.abortRecv(op, err, true)
+				return
+			}
+			if op.failed {
+				ep.releaseUserRegions(regions)
+				return
+			}
+			op.regions = regions
+			op.refs = refs
 
-	idx := ep.types.commit(op.req.dt)
-	version := ep.types.version(idx)
-	var layout []byte
-	if ep.layouts.needSend(op.key.src, idx, version) {
-		layout = datatype.Encode(op.req.dt)
-		ep.ctr.TypeLayoutsSent++
-	}
+			idx := ep.types.commit(op.req.dt)
+			version := ep.types.version(idx)
+			var layout []byte
+			if ep.layouts.needSend(op.key.src, idx, version) {
+				layout = datatype.Encode(op.req.dt)
+				ep.ctr.TypeLayoutsSent++
+			}
 
-	var w ctrlWriter
-	w.u8(kindCTS)
-	w.u32(op.key.op)
-	w.u8(uint8(SchemeMultiW))
-	w.i64(op.eff)
-	w.u64(uint64(op.req.buf))
-	w.u64(uint64(op.req.count))
-	w.u32(uint32(idx))
-	w.u32(version)
-	if layout != nil {
-		w.u8(1)
-		w.bytes(layout)
-	} else {
-		w.u8(0)
-	}
-	rrefs := make([]regRef, len(refs))
-	copy(rrefs, refs)
-	w.regRefs(rrefs)
-	ep.sendCtrl(op.key.src, w.buf, nil)
+			var w ctrlWriter
+			w.u8(kindCTS)
+			w.u32(op.key.op)
+			w.u8(uint8(SchemeMultiW))
+			w.i64(op.eff)
+			w.u64(uint64(op.req.buf))
+			w.u64(uint64(op.req.count))
+			w.u32(uint32(idx))
+			w.u32(version)
+			if layout != nil {
+				w.u8(1)
+				w.bytes(layout)
+			} else {
+				w.u8(0)
+			}
+			rrefs := make([]regRef, len(refs))
+			copy(rrefs, refs)
+			w.regRefs(rrefs)
+			ep.sendCtrl(op.key.src, w.buf, nil)
+		})
 }
 
 // recvPRRSSetup registers the receiver's user blocks for scatter reads and
 // tells the sender to start producing segments.
 func (ep *Endpoint) recvPRRSSetup(op *recvOp) {
-	regions, refs, err := ep.registerUserMessage(op.req.buf, op.req.dt, op.req.count)
-	if err != nil {
-		ep.failRecv(op, err)
-		return
-	}
-	op.regions = regions
-	op.refs = refs
-	op.segSize = ep.cfg.segSizeFor(op.eff)
-	op.nSegs = int((op.eff + op.segSize - 1) / op.segSize)
-	op.readCur = datatype.NewCursor(op.req.dt, op.req.count)
+	ep.registerUserMessage(op.req.buf, op.req.dt, op.req.count,
+		func(regions []*mem.Region, refs []regRef, err error) {
+			if err != nil {
+				ep.abortRecv(op, err, true)
+				return
+			}
+			if op.failed {
+				ep.releaseUserRegions(regions)
+				return
+			}
+			op.regions = regions
+			op.refs = refs
+			op.segSize = ep.cfg.segSizeFor(op.eff)
+			op.nSegs = int((op.eff + op.segSize - 1) / op.segSize)
+			op.readCur = datatype.NewCursor(op.req.dt, op.req.count)
 
-	var w ctrlWriter
-	w.u8(kindCTS)
-	w.u32(op.key.op)
-	w.u8(uint8(SchemePRRS))
-	w.i64(op.eff)
-	w.i64(op.segSize)
-	ep.sendCtrl(op.key.src, w.buf, nil)
-}
-
-func (ep *Endpoint) failRecv(op *recvOp, err error) {
-	delete(ep.recvOps, op.key)
-	op.req.complete(err)
+			var w ctrlWriter
+			w.u8(kindCTS)
+			w.u32(op.key.op)
+			w.u8(uint8(SchemePRRS))
+			w.i64(op.eff)
+			w.i64(op.segSize)
+			ep.sendCtrl(op.key.src, w.buf, nil)
+		})
 }
 
 // finishRecv completes the receive request and releases receiver resources.
 func (ep *Endpoint) finishRecv(op *recvOp) {
+	if op.failed {
+		return // abort teardown owns the resources now
+	}
 	delete(ep.recvOps, op.key)
 	if op.wholeSeg != nil {
 		ep.releaseSeg(ep.unpackPool, *op.wholeSeg)
@@ -451,16 +555,27 @@ func (ep *Endpoint) handleCTS(src int, r *ctrlReader) {
 	scheme := Scheme(r.u8())
 	eff := r.i64()
 	op, ok := ep.sendOps[id]
-	if !ok {
+	if !ok && !ep.faultMode() {
 		panic(fmt.Sprintf("core rank %d: CTS for unknown op %d", ep.rank, id))
 	}
-	op.eff = eff
+	// A CTS can still arrive for an op this side already aborted (the
+	// receiver replied before our failure notice reached it). The data
+	// movement is skipped, but per-peer cache state carried by the CTS —
+	// the Multi-W layout below — must still be absorbed: the receiver has
+	// marked it delivered and will never ship it again.
+	dead := !ok || op.failed
+	if !dead {
+		op.eff = eff
+	}
 	switch scheme {
 	case SchemeGeneric, SchemeBCSPUP, SchemeRWGUP:
 		segSize := r.i64()
 		refs := r.segRefs()
 		if r.err != nil {
 			panic(r.err)
+		}
+		if dead {
+			return
 		}
 		ep.sendStagedData(op, scheme, segSize, refs)
 	case SchemeMultiW:
@@ -484,7 +599,15 @@ func (ep *Endpoint) handleCTS(src int, r *ctrlReader) {
 			}
 			ep.layouts.store(src, idx, version, t)
 			rType = t
-		} else {
+		}
+		rRefs := r.regRefs()
+		if r.err != nil {
+			panic(r.err)
+		}
+		if dead {
+			return
+		}
+		if rType == nil {
 			t, ok := ep.layouts.lookup(src, idx, version)
 			if !ok {
 				panic(fmt.Sprintf("core rank %d: missing cached layout (%d,%d,v%d)",
@@ -493,15 +616,14 @@ func (ep *Endpoint) handleCTS(src int, r *ctrlReader) {
 			ep.ctr.TypeCacheHits++
 			rType = t
 		}
-		rRefs := r.regRefs()
-		if r.err != nil {
-			panic(r.err)
-		}
 		ep.sendMultiWData(op, rBase, rType, rCount, rRefs)
 	case SchemePRRS:
 		segSize := r.i64()
 		if r.err != nil {
 			panic(r.err)
+		}
+		if dead {
+			return
 		}
 		ep.sendPRRSData(op, segSize)
 	default:
@@ -511,6 +633,9 @@ func (ep *Endpoint) handleCTS(src int, r *ctrlReader) {
 
 // finishSend completes the send request and releases sender resources.
 func (ep *Endpoint) finishSend(op *sendOp) {
+	if op.failed {
+		return // abort teardown owns the resources now
+	}
 	delete(ep.sendOps, op.id)
 	if op.regions != nil {
 		ep.releaseUserRegions(op.regions)
@@ -525,7 +650,13 @@ func (ep *Endpoint) handleImm(src int, imm uint32, bytes int64) {
 	key := opKey{src: src, op: imm}
 	op, ok := ep.recvOps[key]
 	if !ok {
+		if ep.faultMode() {
+			return // data landed for an op we already aborted
+		}
 		panic(fmt.Sprintf("core rank %d: immediate for unknown op %d from %d", ep.rank, imm, src))
+	}
+	if op.failed {
+		return
 	}
 	op.arrived++
 	switch op.scheme {
@@ -576,12 +707,16 @@ func (ep *Endpoint) unpackSegment(op *recvOp, k int) {
 	ep.ctr.SegmentsPipelined++
 	cost := ep.cfg.packCost(ep.model, n, runs)
 	ep.afterNamed(cost, "unpack", func() {
+		if op.failed {
+			return // abort teardown released (or will release) the segments
+		}
 		// Pool slots return to the pool; Generic's dynamic staging buffer is
 		// deregistered and freed (releaseSeg dispatches on the segment
 		// kind). Segments carved from a whole on-the-fly buffer are views:
 		// the backing buffer is released once, at completion.
 		if op.wholeSeg == nil {
-			ep.releaseSeg(ep.unpackPool, sr.seg)
+			ep.releaseSeg(ep.unpackPool, op.segs[k].seg)
+			op.segs[k].held = false
 		}
 		op.finished++
 		if op.finished == op.nSegs {

@@ -12,9 +12,11 @@ import (
 // chunkWRs consumes want bytes from a message cursor and builds RDMA
 // descriptors (writes or reads) against consecutive remote memory starting
 // at rAddr. The local side is the scatter/gather list (keys resolved from
-// localRefs); descriptors split at the adapter's SGE limit.
+// localRefs); descriptors split at the adapter's SGE limit. A cursor that
+// runs out before want bytes are consumed is a layout/size mismatch and is
+// reported as an error rather than silently truncating the transfer.
 func (ep *Endpoint) chunkWRs(op ib.Opcode, cur *datatype.Cursor, base mem.Addr,
-	localRefs []regRef, want int64, rAddr mem.Addr, rKey uint32) []ib.SendWR {
+	localRefs []regRef, want int64, rAddr mem.Addr, rKey uint32) ([]ib.SendWR, error) {
 
 	maxSGE := ep.model.MaxSGE
 	var wrs []ib.SendWR
@@ -32,7 +34,8 @@ func (ep *Endpoint) chunkWRs(op ib.Opcode, cur *datatype.Cursor, base mem.Addr,
 	for want > 0 {
 		off, n, ok := cur.Next(want)
 		if !ok {
-			break
+			return nil, fmt.Errorf("core rank %d: layout exhausted with %d bytes unconsumed (layout/size mismatch)",
+				ep.rank, want)
 		}
 		addr := mem.Addr(int64(base) + off)
 		i := findRegion(localRefs, addr, n)
@@ -47,39 +50,141 @@ func (ep *Endpoint) chunkWRs(op ib.Opcode, cur *datatype.Cursor, base mem.Addr,
 		}
 	}
 	flush()
-	return wrs
+	return wrs, nil
 }
 
-// postWRs assigns WRIDs, installs a completion callback counting down
-// op.wrsLeft (finishing the send on zero), and posts the descriptors —
-// as one list post or individually.
+// postWRs posts descriptors for op, counting them in op.wrsLeft and running
+// onAll once the op's whole descriptor population has drained. onAll only
+// fires after donePosting(op) sets the allPosted guard, so a fast segment's
+// completions can never finish the op while later segments are still being
+// posted. Post failures and error completions abort the op instead of
+// panicking; transient faults are retried.
 func (ep *Endpoint) postWRs(op *sendOp, dst int, wrs []ib.SendWR, list bool, onAll func()) {
+	if onAll != nil {
+		op.onWRsDone = onAll
+	}
+	advance := func() {
+		if op.allPosted && op.wrsLeft == 0 && op.onWRsDone != nil {
+			fn := op.onWRsDone
+			op.onWRsDone = nil
+			fn()
+		}
+	}
+	if list && len(wrs) > 1 && !ep.faultMode() {
+		op.wrsLeft += len(wrs)
+		for i := range wrs {
+			wrs[i].WRID = ep.hca.WRID()
+			ep.onSendCQE[wrs[i].WRID] = func(e ib.CQE) {
+				ep.sendWRResolved(op, e.Err, advance)
+			}
+		}
+		if err := ep.qps[dst].PostSendList(wrs); err != nil {
+			// The whole list was rejected: nothing reached the NIC.
+			for i := range wrs {
+				delete(ep.onSendCQE, wrs[i].WRID)
+			}
+			op.wrsLeft -= len(wrs)
+			ep.abortSend(op, err)
+		}
+		return
+	}
+	cancelled := func() bool { return op.failed }
+	for i := range wrs {
+		wr := wrs[i]
+		op.wrsLeft++
+		ep.postRetry(dst, wr, cancelled, func(err error) {
+			ep.sendWRResolved(op, err, advance)
+		})
+	}
+}
+
+// postGroupsChained posts descriptor groups strictly sequentially: group k+1
+// starts only after every descriptor of group k — including its immediate —
+// has completed. The fault-mode replacement for pipelined group posting:
+// retries would otherwise let a later segment's immediate overtake an
+// earlier segment's data, breaking the receiver's arrival-order unpack
+// indexing. The cost is the pipelining the fault-free path enjoys.
+func (ep *Endpoint) postGroupsChained(op *sendOp, groups [][]ib.SendWR, onAll func()) {
+	k := 0
+	var next func()
+	next = func() {
+		if op.failed {
+			return
+		}
+		if k == len(groups) {
+			onAll()
+			return
+		}
+		wrs := groups[k]
+		k++
+		ep.ctr.SegmentsPipelined++
+		ep.postGroupFenced(op, wrs, next)
+	}
+	next()
+}
+
+// postGroupFenced posts one group's descriptors with retries. When a group
+// carries its immediate across several descriptors, the immediate moves to a
+// zero-length fence write posted only after every data descriptor completes,
+// so a retried descriptor can never let the immediate announce data that has
+// not landed. then runs after the whole group (fence included) completes.
+func (ep *Endpoint) postGroupFenced(op *sendOp, wrs []ib.SendWR, then func()) {
+	cancelled := func() bool { return op.failed }
+	last := len(wrs) - 1
+	var fence *ib.SendWR
+	if last > 0 && wrs[last].Op == ib.OpRDMAWriteImm {
+		f := ib.SendWR{Op: ib.OpRDMAWriteImm, RemoteAddr: wrs[last].RemoteAddr,
+			RKey: wrs[last].RKey, Imm: wrs[last].Imm}
+		fence = &f
+		wrs[last].Op = ib.OpRDMAWrite
+	}
+	dataDone := func() {
+		if fence == nil {
+			then()
+			return
+		}
+		op.wrsLeft++
+		ep.postRetry(op.dst, *fence, cancelled, func(err error) {
+			ep.sendWRResolved(op, err, then)
+		})
+	}
+	pending := len(wrs)
 	op.wrsLeft += len(wrs)
 	for i := range wrs {
-		wrs[i].WRID = ep.hca.WRID()
-		ep.onSendCQE[wrs[i].WRID] = func(e ib.CQE) {
-			if e.Err != nil {
-				panic(fmt.Sprintf("core rank %d: RDMA error: %v", ep.rank, e.Err))
-			}
-			op.wrsLeft--
-			if op.wrsLeft == 0 && onAll != nil {
-				onAll()
-			}
+		wr := wrs[i]
+		ep.postRetry(op.dst, wr, cancelled, func(err error) {
+			ep.sendWRResolved(op, err, func() {
+				pending--
+				if pending == 0 {
+					dataDone()
+				}
+			})
+		})
+	}
+}
+
+// withUserRegistration ensures the op's user buffer is registered, then runs
+// fn. Registration failures abort the op; an op failed during registration
+// backoff (a peer abort notice can arrive in the gap) releases the fresh
+// registrations instead of leaking them.
+func (ep *Endpoint) withUserRegistration(op *sendOp, fn func()) {
+	if op.registered {
+		fn()
+		return
+	}
+	ep.registerUserMessage(op.buf, op.dt, op.count, func(regions []*mem.Region, refs []regRef, err error) {
+		if err != nil {
+			ep.abortSend(op, err)
+			return
 		}
-	}
-	var err error
-	if list && len(wrs) > 1 {
-		err = ep.qps[dst].PostSendList(wrs)
-	} else {
-		for i := range wrs {
-			if err = ep.qps[dst].PostSend(wrs[i]); err != nil {
-				break
-			}
+		if op.failed {
+			ep.releaseUserRegions(regions)
+			return
 		}
-	}
-	if err != nil {
-		panic(fmt.Sprintf("core rank %d: post failed: %v", ep.rank, err))
-	}
+		op.regions, op.refs = regions, refs
+		op.registered = true
+		fn()
+	})
 }
 
 // sendStagedData moves the message into the receiver's staged destinations
@@ -95,49 +200,68 @@ func (ep *Endpoint) sendStagedData(op *sendOp, scheme Scheme, segSize int64, ref
 		panic("core: CTS segment count mismatch")
 	}
 
-	gather := scheme == SchemeRWGUP || op.sContig
-	if gather && !op.registered {
-		var err error
-		op.regions, op.refs, err = ep.registerUserMessage(op.buf, op.dt, op.count)
-		if err != nil {
-			op.req.complete(err)
-			delete(ep.sendOps, op.id)
-			return
-		}
-		op.registered = true
+	if scheme == SchemeRWGUP || op.sContig {
+		ep.withUserRegistration(op, func() { ep.sendGatherData(op, segSize, nSegs, refs) })
+		return
 	}
+	if scheme == SchemeGeneric {
+		ep.sendGenericData(op, refs)
+		return
+	}
+	ep.sendBCSPUPData(op, segSize, nSegs, refs)
+}
 
-	switch {
-	case gather:
-		// RWG-UP: RDMA-write-with-gather straight from the user blocks into
-		// each unpack segment; the last descriptor of each segment carries
-		// the immediate that drives the receiver's segment unpack.
-		cur := datatype.NewCursor(op.dt, op.count)
-		left := op.eff
-		for k := 0; k < nSegs; k++ {
-			n := segSize
-			if n > left {
-				n = left
-			}
-			left -= n
-			wrs := ep.chunkWRs(ib.OpRDMAWrite, cur, op.buf, op.refs, n, refs[k].addr, refs[k].key)
-			last := len(wrs) - 1
-			wrs[last].Op = ib.OpRDMAWriteImm
-			wrs[last].Imm = op.id
-			ep.ctr.SegmentsPipelined++
-			ep.postWRs(op, op.dst, wrs, false, func() { ep.finishSend(op) })
+// sendGatherData is the RWG-UP data movement: RDMA-write-with-gather straight
+// from the user blocks into each unpack segment, the last descriptor of each
+// segment carrying the immediate that drives the receiver's segment unpack.
+// Descriptor groups for every segment are built before any is posted, so the
+// shared completion countdown can never transiently hit zero between
+// segments.
+func (ep *Endpoint) sendGatherData(op *sendOp, segSize int64, nSegs int, refs []segRef) {
+	cur := datatype.NewCursor(op.dt, op.count)
+	left := op.eff
+	groups := make([][]ib.SendWR, 0, nSegs)
+	for k := 0; k < nSegs; k++ {
+		n := segSize
+		if n > left {
+			n = left
 		}
-
-	case scheme == SchemeGeneric:
-		// Basic pack/unpack: allocate the pack buffer, pack the whole
-		// message, one RDMA write, unpack on the far side — fully serialized.
-		s, err := ep.acquireStaging(op.eff)
+		left -= n
+		wrs, err := ep.chunkWRs(ib.OpRDMAWrite, cur, op.buf, op.refs, n, refs[k].addr, refs[k].key)
 		if err != nil {
-			op.req.complete(err)
-			delete(ep.sendOps, op.id)
+			ep.abortSend(op, err)
 			return
 		}
-		op.staging = segRes{seg: s, bytes: op.eff}
+		last := len(wrs) - 1
+		wrs[last].Op = ib.OpRDMAWriteImm
+		wrs[last].Imm = op.id
+		groups = append(groups, wrs)
+	}
+	if ep.faultMode() {
+		ep.postGroupsChained(op, groups, func() { ep.finishSend(op) })
+		return
+	}
+	for _, wrs := range groups {
+		ep.ctr.SegmentsPipelined++
+		ep.postWRs(op, op.dst, wrs, false, func() { ep.finishSend(op) })
+	}
+	ep.donePosting(op)
+}
+
+// sendGenericData is the basic pack/unpack path: allocate the pack buffer,
+// pack the whole message, one RDMA write, unpack on the far side — fully
+// serialized.
+func (ep *Endpoint) sendGenericData(op *sendOp, refs []segRef) {
+	ep.acquireStaging(op.eff, func(s seg, err error) {
+		if err != nil {
+			ep.abortSend(op, err)
+			return
+		}
+		if op.failed {
+			ep.releaseSeg(ep.packPool, s)
+			return
+		}
+		op.staging = segRes{seg: s, bytes: op.eff, held: true}
 		packer := pack.NewPacker(ep.memory, op.buf, op.dt, op.count)
 		dst := ep.memory.Bytes(s.addr, op.eff)
 		n, runs := packer.PackTo(dst)
@@ -153,35 +277,45 @@ func (ep *Endpoint) sendStagedData(op *sendOp, scheme Scheme, segSize int64, ref
 		}
 		ep.postWRs(op, op.dst, []ib.SendWR{wr}, false, func() {
 			ep.releaseSeg(ep.packPool, op.staging.seg)
+			op.staging = segRes{}
 			ep.finishSend(op)
 		})
+		ep.donePosting(op)
+	})
+}
 
-	default: // SchemeBCSPUP
-		// Buffer-centric segment pack: pack each segment into a
-		// pre-registered pool slot and write it out; the NIC drains segment
-		// k while the CPU packs segment k+1. When the pack pool runs dry the
-		// sender stalls until a slot's send completes (Section 4.3.3).
-		packer := pack.NewPacker(ep.memory, op.buf, op.dt, op.count)
-		op.wrsLeft = nSegs
-		if !ep.packPool.enabled {
-			// Worst case (Figure 14): one on-the-fly pack buffer of the real
-			// data size — the same registration cost Generic pays — carved
-			// into segments so the pipeline still runs.
-			ep.ctr.PoolExhausted++
-			s, err := ep.acquireStaging(op.eff)
+// sendBCSPUPData is the buffer-centric segment pack: pack each segment into
+// a pre-registered pool slot and write it out; the NIC drains segment k
+// while the CPU packs segment k+1. When the pack pool runs dry the sender
+// stalls until a slot's send completes (Section 4.3.3). In fault mode,
+// segments go out one at a time so retries cannot reorder arrivals.
+func (ep *Endpoint) sendBCSPUPData(op *sendOp, segSize int64, nSegs int, refs []segRef) {
+	packer := pack.NewPacker(ep.memory, op.buf, op.dt, op.count)
+	segBytes := func(k int) int64 {
+		n := segSize
+		if rest := op.eff - int64(k)*segSize; n > rest {
+			n = rest
+		}
+		return n
+	}
+
+	if !ep.packPool.enabled {
+		// Worst case (Figure 14): one on-the-fly pack buffer of the real data
+		// size — the same registration cost Generic pays — carved into
+		// segments so the pipeline still runs.
+		ep.ctr.PoolExhausted++
+		ep.acquireStaging(op.eff, func(s seg, err error) {
 			if err != nil {
-				op.req.complete(err)
-				delete(ep.sendOps, op.id)
+				ep.abortSend(op, err)
 				return
 			}
-			op.staging = segRes{seg: s, bytes: op.eff}
-			left := op.eff
-			for k := 0; k < nSegs; k++ {
-				n := segSize
-				if n > left {
-					n = left
-				}
-				left -= n
+			if op.failed {
+				ep.releaseSeg(ep.packPool, s)
+				return
+			}
+			op.staging = segRes{seg: s, bytes: op.eff, held: true}
+			buildSeg := func(k int) ib.SendWR {
+				n := segBytes(k)
 				addr := s.addr + mem.Addr(int64(k)*segSize)
 				got, runs := packer.PackTo(ep.memory.Bytes(addr, n))
 				if got != n {
@@ -190,113 +324,143 @@ func (ep *Endpoint) sendStagedData(op *sendOp, scheme Scheme, segSize int64, ref
 				ep.ctr.BytesPacked += n
 				ep.ctr.SegmentsPipelined++
 				ep.hca.ChargeCPUNamed(ep.cfg.packCost(ep.model, n, runs), "pack")
-				wr := ib.SendWR{
+				return ib.SendWR{
 					Op:         ib.OpRDMAWriteImm,
 					SGL:        []ib.SGE{{Addr: addr, Len: n, Key: s.key}},
 					RemoteAddr: refs[k].addr, RKey: refs[k].key, Imm: op.id,
 				}
-				wr.WRID = ep.hca.WRID()
-				ep.onSendCQE[wr.WRID] = func(e ib.CQE) {
-					if e.Err != nil {
-						panic(e.Err)
-					}
-					op.wrsLeft--
-					if op.wrsLeft == 0 {
-						ep.releaseSeg(ep.packPool, op.staging.seg)
-						ep.finishSend(op)
-					}
-				}
-				if err := ep.qps[op.dst].PostSend(wr); err != nil {
-					panic(err)
-				}
 			}
-			return
-		}
-		left := op.eff
-		k := 0
-		var step func()
-		step = func() {
-			if k == nSegs {
+			onAll := func() {
+				ep.releaseSeg(ep.packPool, op.staging.seg)
+				op.staging = segRes{}
+				ep.finishSend(op)
+			}
+			if ep.faultMode() {
+				k := 0
+				var next func()
+				next = func() {
+					if op.failed {
+						return
+					}
+					if k == nSegs {
+						onAll()
+						return
+					}
+					wr := buildSeg(k)
+					k++
+					op.wrsLeft++
+					ep.postRetry(op.dst, wr, func() bool { return op.failed }, func(err error) {
+						ep.sendWRResolved(op, err, next)
+					})
+				}
+				next()
 				return
 			}
-			idx := k
-			k++
-			n := segSize
-			if n > left {
-				n = left
+			for k := 0; k < nSegs; k++ {
+				ep.postWRs(op, op.dst, []ib.SendWR{buildSeg(k)}, false, onAll)
 			}
-			left -= n
-			ep.withSeg(ep.packPool, func(s seg) {
-				dst := ep.memory.Bytes(s.addr, n)
-				got, runs := packer.PackTo(dst)
-				if got != n {
-					panic("core: segment pack shortfall")
-				}
-				ep.ctr.BytesPacked += n
-				ep.ctr.SegmentsPipelined++
-				ep.hca.ChargeCPUNamed(ep.cfg.packCost(ep.model, n, runs), "pack")
-				wr := ib.SendWR{
-					Op:         ib.OpRDMAWriteImm,
-					SGL:        []ib.SGE{{Addr: s.addr, Len: n, Key: s.key}},
-					RemoteAddr: refs[idx].addr, RKey: refs[idx].key, Imm: op.id,
-				}
-				wr.WRID = ep.hca.WRID()
-				ep.onSendCQE[wr.WRID] = func(e ib.CQE) {
-					if e.Err != nil {
-						panic(e.Err)
+			ep.donePosting(op)
+		})
+		return
+	}
+
+	k := 0
+	var step func()
+	step = func() {
+		if op.failed || k == nSegs {
+			return
+		}
+		idx := k
+		k++
+		n := segBytes(idx)
+		ep.withSeg(ep.packPool, func(s seg, err error) {
+			if err != nil {
+				ep.abortSend(op, err)
+				return
+			}
+			if op.failed {
+				ep.releaseSeg(ep.packPool, s)
+				return
+			}
+			dst := ep.memory.Bytes(s.addr, n)
+			got, runs := packer.PackTo(dst)
+			if got != n {
+				panic("core: segment pack shortfall")
+			}
+			ep.ctr.BytesPacked += n
+			ep.ctr.SegmentsPipelined++
+			ep.hca.ChargeCPUNamed(ep.cfg.packCost(ep.model, n, runs), "pack")
+			wr := ib.SendWR{
+				Op:         ib.OpRDMAWriteImm,
+				SGL:        []ib.SGE{{Addr: s.addr, Len: n, Key: s.key}},
+				RemoteAddr: refs[idx].addr, RKey: refs[idx].key, Imm: op.id,
+			}
+			op.wrsLeft++
+			ep.postRetry(op.dst, wr, func() bool { return op.failed }, func(err error) {
+				// The slot is released at final resolution either way: on
+				// success the data has left it, on abort the descriptor no
+				// longer references it.
+				ep.releaseSeg(ep.packPool, s)
+				ep.sendWRResolved(op, err, func() {
+					if ep.faultMode() {
+						step()
 					}
-					ep.releaseSeg(ep.packPool, s)
-					op.wrsLeft--
-					if op.wrsLeft == 0 {
+					if op.allPosted && op.wrsLeft == 0 {
 						ep.finishSend(op)
 					}
-				}
-				if err := ep.qps[op.dst].PostSend(wr); err != nil {
-					panic(err)
-				}
-				step()
+				})
 			})
-		}
-		step()
+			if idx == nSegs-1 {
+				op.allPosted = true
+			}
+			if !ep.faultMode() {
+				step()
+			}
+		})
 	}
+	step()
 }
 
 // sendMultiWData implements the Multi-W zero-copy transfer: walk the local
 // and remote layouts together, emitting one RDMA write per remote contiguous
 // run (gathering across local runs), immediate data on the final descriptor.
 func (ep *Endpoint) sendMultiWData(op *sendOp, rBase mem.Addr, rType *datatype.Type, rCount int, rRefs []regRef) {
-	if !op.registered {
-		var err error
-		op.regions, op.refs, err = ep.registerUserMessage(op.buf, op.dt, op.count)
-		if err != nil {
-			op.req.complete(err)
-			delete(ep.sendOps, op.id)
+	ep.withUserRegistration(op, func() {
+		sc := datatype.NewCursor(op.dt, op.count)
+		rc := datatype.NewCursor(rType, rCount)
+		remaining := op.eff
+		var wrs []ib.SendWR
+		for remaining > 0 {
+			rOff, rLen, ok := rc.Next(remaining)
+			if !ok {
+				ep.abortSend(op, fmt.Errorf("core rank %d: receiver layout smaller than effective size (%d bytes unconsumed)",
+					ep.rank, remaining))
+				return
+			}
+			rAddr := mem.Addr(int64(rBase) + rOff)
+			i := findRegion(rRefs, rAddr, rLen)
+			if i < 0 {
+				panic(fmt.Sprintf("core rank %d: no remote region covers [%#x,+%d)", ep.rank, rAddr, rLen))
+			}
+			chunk, err := ep.chunkWRs(ib.OpRDMAWrite, sc, op.buf, op.refs, rLen, rAddr, rRefs[i].key)
+			if err != nil {
+				ep.abortSend(op, err)
+				return
+			}
+			wrs = append(wrs, chunk...)
+			remaining -= rLen
+		}
+		last := len(wrs) - 1
+		wrs[last].Op = ib.OpRDMAWriteImm
+		wrs[last].Imm = op.id
+		ep.chargeTypeProc(len(wrs))
+		if ep.faultMode() {
+			ep.postGroupsChained(op, [][]ib.SendWR{wrs}, func() { ep.finishSend(op) })
 			return
 		}
-		op.registered = true
-	}
-	sc := datatype.NewCursor(op.dt, op.count)
-	rc := datatype.NewCursor(rType, rCount)
-	remaining := op.eff
-	var wrs []ib.SendWR
-	for remaining > 0 {
-		rOff, rLen, ok := rc.Next(remaining)
-		if !ok {
-			panic("core: receiver layout smaller than effective size")
-		}
-		rAddr := mem.Addr(int64(rBase) + rOff)
-		i := findRegion(rRefs, rAddr, rLen)
-		if i < 0 {
-			panic(fmt.Sprintf("core rank %d: no remote region covers [%#x,+%d)", ep.rank, rAddr, rLen))
-		}
-		wrs = append(wrs, ep.chunkWRs(ib.OpRDMAWrite, sc, op.buf, op.refs, rLen, rAddr, rRefs[i].key)...)
-		remaining -= rLen
-	}
-	last := len(wrs) - 1
-	wrs[last].Op = ib.OpRDMAWriteImm
-	wrs[last].Imm = op.id
-	ep.chargeTypeProc(len(wrs))
-	ep.postWRs(op, op.dst, wrs, ep.cfg.ListPost, func() { ep.finishSend(op) })
+		ep.postWRs(op, op.dst, wrs, ep.cfg.ListPost, func() { ep.finishSend(op) })
+		ep.donePosting(op)
+	})
 }
 
 // sendPRRSData implements the sender half of Pack with RDMA Read Scatter:
@@ -321,26 +485,18 @@ func (ep *Endpoint) sendPRRSData(op *sendOp, segSize int64) {
 
 	if op.sContig {
 		// Zero-copy P-RRS: the receiver reads straight from the user buffer.
-		if !op.registered {
-			var err error
-			op.regions, op.refs, err = ep.registerUserMessage(op.buf, op.dt, op.count)
-			if err != nil {
-				op.req.complete(err)
-				delete(ep.sendOps, op.id)
-				return
+		ep.withUserRegistration(op, func() {
+			base := mem.Addr(int64(op.buf) + op.dt.TrueLB())
+			left := op.eff
+			for k := 0; k < nSegs; k++ {
+				n := segSize
+				if n > left {
+					n = left
+				}
+				left -= n
+				announce(k, base+mem.Addr(int64(k)*segSize), op.refs[0].key, n)
 			}
-			op.registered = true
-		}
-		base := mem.Addr(int64(op.buf) + op.dt.TrueLB())
-		left := op.eff
-		for k := 0; k < nSegs; k++ {
-			n := segSize
-			if n > left {
-				n = left
-			}
-			left -= n
-			announce(k, base+mem.Addr(int64(k)*segSize), op.refs[0].key, n)
-		}
+		})
 		return
 	}
 
@@ -365,35 +521,43 @@ func (ep *Endpoint) sendPRRSData(op *sendOp, segSize int64) {
 		// Worst case or message larger than the pool: one on-the-fly pack
 		// buffer of the real data size, carved into segment views.
 		ep.ctr.PoolExhausted++
-		s, err := ep.acquireStaging(op.eff)
-		if err != nil {
-			op.req.complete(err)
-			delete(ep.sendOps, op.id)
-			return
-		}
-		op.staging = segRes{seg: s, bytes: op.eff}
-		for k := 0; k < nSegs; k++ {
-			packSeg(k, seg{addr: s.addr + mem.Addr(int64(k)*segSize), key: s.key})
-		}
+		ep.acquireStaging(op.eff, func(s seg, err error) {
+			if err != nil {
+				ep.abortSend(op, err)
+				return
+			}
+			if op.failed {
+				ep.releaseSeg(ep.packPool, s)
+				return
+			}
+			op.staging = segRes{seg: s, bytes: op.eff, held: true}
+			for k := 0; k < nSegs; k++ {
+				packSeg(k, seg{addr: s.addr + mem.Addr(int64(k)*segSize), key: s.key})
+			}
+		})
 		return
 	}
 	// The slots stay held until the receiver's Done, so take the whole
 	// message's worth atomically: partial grants across concurrent ops
 	// would deadlock with every op stuck one slot short.
 	ep.packPool.whenAvailable(nSegs, func() {
+		if op.failed {
+			return
+		}
 		for k := 0; k < nSegs; k++ {
 			s, ok := ep.packPool.tryAcquire()
 			if !ok {
 				panic("core: pack pool promised slots it does not have")
 			}
-			op.segs = append(op.segs, segRes{seg: s, bytes: 0})
+			op.segs = append(op.segs, segRes{seg: s, held: true})
 			packSeg(k, s)
 		}
 	})
 }
 
 // handleSegReady is the receiver half of P-RRS: scatter-read the announced
-// segment into the user blocks.
+// segment into the user blocks. Reads retry independently — each scatters to
+// a fixed address range, so completion order does not matter.
 func (ep *Endpoint) handleSegReady(src int, r *ctrlReader) {
 	id := r.u32()
 	addr := mem.Addr(r.u64())
@@ -404,33 +568,41 @@ func (ep *Endpoint) handleSegReady(src int, r *ctrlReader) {
 	}
 	op, ok := ep.recvOps[opKey{src: src, op: id}]
 	if !ok {
+		if ep.faultMode() {
+			return // announcement raced an abort
+		}
 		panic(fmt.Sprintf("core rank %d: SegReady for unknown op %d", ep.rank, id))
 	}
-	wrs := ep.chunkWRs(ib.OpRDMARead, op.readCur, op.req.buf, op.refs, n, addr, key)
+	if op.failed {
+		return
+	}
+	wrs, err := ep.chunkWRs(ib.OpRDMARead, op.readCur, op.req.buf, op.refs, n, addr, key)
+	if err != nil {
+		ep.abortRecv(op, err, true)
+		return
+	}
 	ep.ctr.SegmentsPipelined++
+	cancelled := func() bool { return op.failed }
 	for i := range wrs {
-		wrs[i].WRID = ep.hca.WRID()
-		bytes := int64(0)
-		for _, s := range wrs[i].SGL {
-			bytes += s.Len
+		wr := wrs[i]
+		var b int64
+		for _, s := range wr.SGL {
+			b += s.Len
 		}
-		b := bytes
-		ep.onSendCQE[wrs[i].WRID] = func(e ib.CQE) {
-			if e.Err != nil {
-				panic(e.Err)
-			}
-			op.bytesRead += b
-			if op.bytesRead == op.eff {
-				var w ctrlWriter
-				w.u8(kindDone)
-				w.u32(id)
-				ep.sendCtrl(src, w.buf, nil)
-				ep.finishRecv(op)
-			}
-		}
-		if err := ep.qps[src].PostSend(wrs[i]); err != nil {
-			panic(err)
-		}
+		bytes := b
+		op.wrsLeft++
+		ep.postRetry(src, wr, cancelled, func(err error) {
+			ep.recvWRResolved(op, err, func() {
+				op.bytesRead += bytes
+				if op.bytesRead == op.eff {
+					var w ctrlWriter
+					w.u8(kindDone)
+					w.u32(id)
+					ep.sendCtrl(src, w.buf, nil)
+					ep.finishRecv(op)
+				}
+			})
+		})
 	}
 }
 
@@ -443,13 +615,22 @@ func (ep *Endpoint) handleDone(src int, r *ctrlReader) {
 	}
 	op, ok := ep.sendOps[id]
 	if !ok {
+		if ep.faultMode() {
+			return // Done raced an abort
+		}
 		panic(fmt.Sprintf("core rank %d: Done for unknown op %d", ep.rank, id))
 	}
-	for _, sr := range op.segs {
-		ep.releaseSeg(ep.packPool, sr.seg)
+	if op.failed {
+		return
+	}
+	for i := range op.segs {
+		if op.segs[i].held {
+			ep.releaseSeg(ep.packPool, op.segs[i].seg)
+			op.segs[i].held = false
+		}
 	}
 	op.segs = nil
-	if op.staging.seg.addr != 0 {
+	if op.staging.held {
 		ep.releaseSeg(ep.packPool, op.staging.seg)
 		op.staging = segRes{}
 	}

@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"repro/internal/mem"
-	"repro/internal/simtime"
 )
 
 // seg is one staging segment: either a slot of a pre-registered pool or a
@@ -103,39 +102,14 @@ func (p *segPool) whenAvailable(need int, fn func()) {
 // available reports free slots.
 func (p *segPool) available() int { return len(p.free) }
 
-// acquireSeg returns a staging segment of up to the pool slot size,
-// preferring the pool and falling back to dynamic allocation plus
-// registration, charging the fallback's time. It returns the segment and
-// the virtual time at which it is usable.
-func (ep *Endpoint) acquireSeg(pool *segPool) (seg, simtime.Time, error) {
-	if s, ok := pool.tryAcquire(); ok {
-		return s, ep.eng.Now(), nil
-	}
-	ep.ctr.PoolExhausted++
-	ep.ctr.DynamicAllocs++
-	addr, err := ep.memory.AllocPage(pool.slot)
-	if err != nil {
-		return seg{}, 0, err
-	}
-	region, ops, err := ep.stagingReg.Acquire(addr, pool.slot)
-	if err != nil {
-		return seg{}, 0, err
-	}
-	ep.accountReg(ops)
-	t := ep.hca.ChargeCPUNamed(ep.model.MallocTime(pool.slot)+ep.model.RegOpsTime(ops), "malloc+reg")
-	return seg{addr: addr, key: region.LKey, region: region}, t, nil
-}
-
 // withSeg runs fn with one staging segment, as soon as one is available.
 // With the pool disabled (the worst-case configuration) the segment is
-// allocated and registered dynamically instead of waiting.
-func (ep *Endpoint) withSeg(pool *segPool, fn func(seg)) {
+// allocated and registered dynamically instead of waiting; a pooled segment
+// never fails, so fn's error is non-nil only on that dynamic path.
+func (ep *Endpoint) withSeg(pool *segPool, fn func(seg, error)) {
 	if !pool.enabled {
-		s, _, err := ep.acquireSeg(pool)
-		if err != nil {
-			panic(err)
-		}
-		fn(s)
+		ep.ctr.PoolExhausted++
+		ep.acquireStaging(pool.slot, fn)
 		return
 	}
 	pool.whenAvailable(1, func() {
@@ -143,7 +117,7 @@ func (ep *Endpoint) withSeg(pool *segPool, fn func(seg)) {
 		if !ok {
 			panic("core: pool promised a slot it does not have")
 		}
-		fn(s)
+		fn(s, nil)
 	})
 }
 

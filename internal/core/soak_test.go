@@ -7,6 +7,7 @@ import (
 	"testing/quick"
 
 	"repro/internal/datatype"
+	"repro/internal/fault"
 	"repro/internal/mem"
 	"repro/internal/simtime"
 )
@@ -114,6 +115,102 @@ func TestRandomTrafficSoak(t *testing.T) {
 		return ok
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The fault soak: one short pass of random traffic under transient fault
+// injection runs by default with every `go test`. The retry machinery must
+// keep delivery byte-identical and resources balanced no matter where the
+// injector lands its faults.
+func TestRandomTrafficFaultSoak(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		schemes := []Scheme{SchemeGeneric, SchemeBCSPUP, SchemeRWGUP,
+			SchemePRRS, SchemeMultiW, SchemeAuto}
+		cfg := DefaultConfig()
+		cfg.Scheme = schemes[rng.Intn(len(schemes))]
+		cfg.PoolSize = int64(rng.Intn(3)+1) << 20
+		fc := fault.Config{
+			Seed:         rng.Int63(),
+			PostFailRate: 0.04,
+			CQEErrorRate: 0.06,
+			RegFailRate:  0.04,
+			DelayRate:    0.08,
+			MaxDelay:     15 * simtime.Microsecond,
+		}
+		w, _ := newFaultWorld(t, 2, cfg, 64<<20, fc)
+
+		types := []*datatype.Type{
+			datatype.Must(datatype.TypeVector(32, 4, 16, datatype.Int32)),
+			datatype.Must(datatype.TypeContiguous(512, datatype.Int32)),
+		}
+		type msg struct {
+			src, dst, tag int
+			dt            *datatype.Type
+			count         int
+			payload       []byte
+		}
+		nMsgs := rng.Intn(4) + 2
+		var plan []msg
+		for i := 0; i < nMsgs; i++ {
+			src := rng.Intn(2)
+			plan = append(plan, msg{
+				src: src, dst: 1 - src, tag: rng.Intn(3),
+				dt:    types[rng.Intn(len(types))],
+				count: rng.Intn(40) + 1,
+			})
+		}
+		received := make([][]byte, len(plan))
+		recvBufs := make([]mem.Addr, len(plan))
+		w.run(t, func(p *simtime.Process, ep *Endpoint) {
+			var reqs []*Request
+			var recvIdx []int
+			for i, m := range plan {
+				if m.dst == ep.Rank() {
+					buf := allocFor(ep, m.dt, m.count)
+					recvBufs[i] = buf
+					reqs = append(reqs, ep.Irecv(buf, m.count, m.dt, m.src, m.tag))
+					recvIdx = append(recvIdx, i)
+				}
+			}
+			for i, m := range plan {
+				if m.src == ep.Rank() {
+					buf := allocFor(ep, m.dt, m.count)
+					plan[i].payload = fillMsg(ep, buf, m.dt, m.count, byte(i+1))
+					reqs = append(reqs, ep.Isend(buf, m.count, m.dt, m.dst, m.tag))
+				}
+			}
+			WaitAll(p, reqs...)
+			for _, r := range reqs {
+				if r.Err != nil {
+					t.Errorf("transient-fault soak request failed: %v", r.Err)
+				}
+			}
+			for _, i := range recvIdx {
+				received[i] = readMsg(ep, recvBufs[i], plan[i].dt, plan[i].count)
+			}
+		})
+
+		for i, m := range plan {
+			if m.payload == nil || received[i] == nil || !bytes.Equal(m.payload, received[i]) {
+				return false
+			}
+		}
+		for _, ep := range w.eps {
+			if len(ep.sendOps) != 0 || len(ep.recvOps) != 0 || len(ep.onSendCQE) != 0 {
+				return false
+			}
+			if ep.packPool.enabled && ep.packPool.available() != ep.packPool.slots {
+				return false
+			}
+			if ep.unpackPool.enabled && ep.unpackPool.available() != ep.unpackPool.slots {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
 		t.Fatal(err)
 	}
 }

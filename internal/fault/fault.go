@@ -1,0 +1,146 @@
+// Package fault provides seeded, deterministic fault injection for the
+// simulated fabric and registration layers.
+//
+// An Injector draws from its own rand source; because the simulation engine
+// is single-threaded, draws happen in event order and the same seed always
+// produces the same fault pattern — fault runs are as reproducible as
+// fault-free ones. Injected faults are classified transient (the operation
+// may be retried) or permanent (the operation has failed for good), matching
+// the taxonomy hardware verbs expose as retry-exceeded vs. fatal work
+// completions.
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/simtime"
+)
+
+// Config sets per-operation fault probabilities. All rates are in [0, 1];
+// the zero value injects nothing.
+type Config struct {
+	// Seed initializes the injector's random source.
+	Seed int64
+
+	// PostFailRate is the probability that posting an RDMA descriptor fails
+	// at the verbs boundary (ibv_post_send returning an error).
+	PostFailRate float64
+
+	// CQEErrorRate is the probability that a posted RDMA operation completes
+	// with an error CQE instead of transferring any data.
+	CQEErrorRate float64
+
+	// RegFailRate is the probability that a real memory registration (a
+	// pin-down cache miss) fails.
+	RegFailRate float64
+
+	// DelayRate is the probability that a successful RDMA completion is
+	// delivered late, by a uniform extra delay up to MaxDelay.
+	DelayRate float64
+	MaxDelay  simtime.Duration
+
+	// PermanentRate is, given an injected fault, the probability that the
+	// fault is permanent rather than transient.
+	PermanentRate float64
+}
+
+// Error is an injected fault. Transient errors may be retried; permanent
+// ones must fail the operation.
+type Error struct {
+	Op        string // "post", "cqe", or "reg"
+	Transient bool
+}
+
+func (e *Error) Error() string {
+	kind := "permanent"
+	if e.Transient {
+		kind = "transient"
+	}
+	return fmt.Sprintf("injected %s %s fault", kind, e.Op)
+}
+
+// IsTransient reports whether err is (or wraps) a transient injected fault.
+func IsTransient(err error) bool {
+	var fe *Error
+	return errors.As(err, &fe) && fe.Transient
+}
+
+// IsInjected reports whether err is (or wraps) any injected fault.
+func IsInjected(err error) bool {
+	var fe *Error
+	return errors.As(err, &fe)
+}
+
+// Stats counts what the injector has done.
+type Stats struct {
+	PostFaults int64
+	CQEFaults  int64
+	RegFaults  int64
+	Delays     int64
+	Permanent  int64
+}
+
+// Total returns the number of injected faults (delays excluded).
+func (s Stats) Total() int64 { return s.PostFaults + s.CQEFaults + s.RegFaults }
+
+// Injector draws faults from a seeded source.
+type Injector struct {
+	cfg   Config
+	rng   *rand.Rand
+	stats Stats
+}
+
+// New creates an injector for the given configuration.
+func New(cfg Config) *Injector {
+	return &Injector{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+// Config returns the injector's configuration.
+func (in *Injector) Config() Config { return in.cfg }
+
+// Stats returns a snapshot of the injection counts.
+func (in *Injector) Stats() Stats { return in.stats }
+
+func (in *Injector) draw(rate float64, op string, count *int64) error {
+	if rate <= 0 || in.rng.Float64() >= rate {
+		return nil
+	}
+	*count++
+	transient := true
+	if in.cfg.PermanentRate > 0 && in.rng.Float64() < in.cfg.PermanentRate {
+		transient = false
+		in.stats.Permanent++
+	}
+	return &Error{Op: op, Transient: transient}
+}
+
+// PostFault samples a descriptor-post failure; nil means the post proceeds.
+func (in *Injector) PostFault() error {
+	return in.draw(in.cfg.PostFailRate, "post", &in.stats.PostFaults)
+}
+
+// CQEFault samples an error completion for a launched RDMA operation; nil
+// means the operation transfers normally.
+func (in *Injector) CQEFault() error {
+	return in.draw(in.cfg.CQEErrorRate, "cqe", &in.stats.CQEFaults)
+}
+
+// RegFault samples a registration failure; nil means the registration
+// proceeds.
+func (in *Injector) RegFault() error {
+	return in.draw(in.cfg.RegFailRate, "reg", &in.stats.RegFaults)
+}
+
+// Delay samples extra completion latency (zero most of the time).
+func (in *Injector) Delay() simtime.Duration {
+	if in.cfg.DelayRate <= 0 || in.cfg.MaxDelay <= 0 {
+		return 0
+	}
+	if in.rng.Float64() >= in.cfg.DelayRate {
+		return 0
+	}
+	in.stats.Delays++
+	return simtime.Duration(in.rng.Int63n(int64(in.cfg.MaxDelay)) + 1)
+}

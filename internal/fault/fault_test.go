@@ -1,0 +1,62 @@
+package fault
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/simtime"
+)
+
+// Same seed, same draw sequence: fault runs must be as reproducible as
+// fault-free ones.
+func TestInjectorDeterminism(t *testing.T) {
+	cfg := Config{
+		Seed:         42,
+		PostFailRate: 0.3, CQEErrorRate: 0.3, RegFailRate: 0.3,
+		DelayRate: 0.5, MaxDelay: 10 * simtime.Microsecond,
+		PermanentRate: 0.2,
+	}
+	trace := func() string {
+		in := New(cfg)
+		s := ""
+		for i := 0; i < 200; i++ {
+			s += fmt.Sprintf("%v|%v|%v|%v;", in.PostFault(), in.CQEFault(), in.RegFault(), in.Delay())
+		}
+		return s
+	}
+	if a, b := trace(), trace(); a != b {
+		t.Fatal("same seed produced different fault sequences")
+	}
+}
+
+func TestClassification(t *testing.T) {
+	tr := &Error{Op: "cqe", Transient: true}
+	pe := &Error{Op: "post", Transient: false}
+	if !IsTransient(tr) || IsTransient(pe) {
+		t.Fatal("transient classification wrong")
+	}
+	wrapped := fmt.Errorf("qp3: %w", tr)
+	if !IsTransient(wrapped) || !IsInjected(wrapped) {
+		t.Fatal("classification must survive wrapping")
+	}
+	if IsInjected(fmt.Errorf("ordinary error")) {
+		t.Fatal("ordinary error reported as injected")
+	}
+}
+
+func TestRatesRoughlyHonored(t *testing.T) {
+	in := New(Config{Seed: 7, CQEErrorRate: 1, PermanentRate: 1})
+	for i := 0; i < 10; i++ {
+		err := in.CQEFault()
+		if err == nil || IsTransient(err) {
+			t.Fatal("rate-1 permanent CQE fault not injected")
+		}
+	}
+	if in.Stats().CQEFaults != 10 || in.Stats().Permanent != 10 {
+		t.Fatalf("stats mismatch: %+v", in.Stats())
+	}
+	quiet := New(Config{Seed: 7})
+	if quiet.PostFault() != nil || quiet.CQEFault() != nil || quiet.RegFault() != nil || quiet.Delay() != 0 {
+		t.Fatal("zero config injected a fault")
+	}
+}

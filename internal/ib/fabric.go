@@ -3,6 +3,7 @@ package ib
 import (
 	"fmt"
 
+	"repro/internal/fault"
 	"repro/internal/mem"
 	"repro/internal/simtime"
 	"repro/internal/stats"
@@ -13,15 +14,25 @@ import (
 // InfiniScale switch) where the only contention points are each HCA's send
 // and receive ports.
 type Fabric struct {
-	eng    *simtime.Engine
-	model  Model
-	hcas   []*HCA
-	tracer *trace.Recorder
+	eng      *simtime.Engine
+	model    Model
+	hcas     []*HCA
+	tracer   *trace.Recorder
+	injector *fault.Injector
 }
 
 // SetTracer attaches an activity recorder; all nodes' CPU and port intervals
 // are recorded into it. Pass nil to disable (the default).
 func (f *Fabric) SetTracer(r *trace.Recorder) { f.tracer = r }
+
+// SetInjector attaches a fault injector to the fabric. Injection covers RDMA
+// descriptors (post failures, error completions, delayed completions) on
+// every HCA; channel-semantics sends are exempt so control traffic keeps the
+// transport's reliable ordering. Pass nil to disable (the default).
+func (f *Fabric) SetInjector(in *fault.Injector) { f.injector = in }
+
+// Injector returns the attached fault injector, or nil.
+func (f *Fabric) Injector() *fault.Injector { return f.injector }
 
 // NewFabric creates a fabric on the given engine with the given cost model.
 func NewFabric(eng *simtime.Engine, model Model) *Fabric {
@@ -90,6 +101,10 @@ func (h *HCA) Counters() *stats.Counters { return h.counters }
 
 // Model returns the fabric cost model.
 func (h *HCA) Model() *Model { return &h.fab.model }
+
+// Injector returns the fabric's fault injector, or nil when fault injection
+// is off.
+func (h *HCA) Injector() *fault.Injector { return h.fab.injector }
 
 // Engine returns the simulation engine.
 func (h *HCA) Engine() *simtime.Engine { return h.fab.eng }

@@ -124,6 +124,16 @@ func (qp *QP) post(wrs []SendWR, list bool) error {
 		}
 	}
 
+	// Injected post failures model ibv_post_send rejecting the descriptor
+	// (transiently: queue full; permanently: QP moved to error state).
+	// Channel-semantics sends are exempt — control traffic must keep the
+	// transport's reliable ordering for the protocol layer's matching rules.
+	if inj := h.fab.injector; inj != nil && wrs[0].Op != OpSend {
+		if err := inj.PostFault(); err != nil {
+			return fmt.Errorf("ib %s qp%d: post: %w", h.name, qp.num, err)
+		}
+	}
+
 	c := h.counters
 	if list {
 		c.ListPosts++
@@ -189,6 +199,17 @@ func (qp *QP) launch(wr SendWR, ready simtime.Time) {
 	m := h.Model()
 	eng := h.Engine()
 
+	// Injected CQE errors: the NIC consumes the descriptor but the transfer
+	// fails before any payload moves, and the initiator sees an error
+	// completion after the round trip. Channel-semantics sends are exempt
+	// (see post).
+	if inj := h.fab.injector; inj != nil && wr.Op != OpSend {
+		if ferr := inj.CQEFault(); ferr != nil {
+			qp.failLaunch(wr, ready, ferr)
+			return
+		}
+	}
+
 	switch wr.Op {
 	case OpSend:
 		payload := append([]byte(nil), wr.Inline...)
@@ -248,6 +269,22 @@ func (qp *QP) launch(wr SendWR, ready simtime.Time) {
 	}
 }
 
+// failLaunch completes a descriptor with an injected error: the send port
+// is occupied for the descriptor-processing attempt, no data crosses the
+// wire, and the error CQE arrives after a round trip.
+func (qp *QP) failLaunch(wr SendWR, ready simtime.Time, ferr error) {
+	h := qp.hca
+	m := h.Model()
+	occ := m.NICDescCost + simtime.Duration(len(wr.SGL))*m.NICSGECost
+	sendStart, sendEnd := h.sendPort.AcquireAt(ready, occ)
+	h.traceLane(trace.LaneTx, "wire:fault", sendStart, sendEnd)
+	err := fmt.Errorf("ib %s qp%d: %v failed: %w", h.name, qp.num, wr.Op, ferr)
+	wrid, op := wr.WRID, wr.Op
+	h.Engine().At(sendEnd.Add(2*m.WireLatency), func() {
+		qp.sendCQ.push(CQE{QP: qp, WRID: wrid, Op: op, Err: err})
+	})
+}
+
 // deliverWrite lands an RDMA write at the responder.
 func (qp *QP) deliverWrite(wr SendWR, payload []byte, size int64, t simtime.Time) {
 	m := qp.hca.Model()
@@ -262,9 +299,14 @@ func (qp *QP) deliverWrite(wr SendWR, payload []byte, size int64, t simtime.Time
 	if wr.Op == OpRDMAWriteImm {
 		peer.arrive(arrival{op: OpRDMAWriteImm, bytes: size, imm: wr.Imm, hasImm: true})
 	}
-	// Initiator completion after the ack returns.
+	// Initiator completion after the ack returns; injected delays model a
+	// congested completion path without reordering the data delivery above.
+	var delay simtime.Duration
+	if inj := qp.hca.fab.injector; inj != nil {
+		delay = inj.Delay()
+	}
 	eng := qp.hca.Engine()
-	eng.At(t.Add(m.WireLatency), func() {
+	eng.At(t.Add(m.WireLatency+delay), func() {
 		qp.sendCQ.push(CQE{QP: qp, WRID: wr.WRID, Op: wr.Op, Bytes: size})
 	})
 }
@@ -285,6 +327,14 @@ func (qp *QP) completeRead(wr SendWR, size int64) {
 		}
 		copy(qp.hca.mem.Bytes(s.Addr, s.Len), src[off:off+s.Len])
 		off += s.Len
+	}
+	if inj := qp.hca.fab.injector; inj != nil {
+		if delay := inj.Delay(); delay > 0 {
+			qp.hca.Engine().Schedule(delay, func() {
+				qp.sendCQ.push(CQE{QP: qp, WRID: wr.WRID, Op: OpRDMARead, Bytes: size})
+			})
+			return
+		}
 	}
 	qp.sendCQ.push(CQE{QP: qp, WRID: wr.WRID, Op: OpRDMARead, Bytes: size})
 }

@@ -44,6 +44,7 @@ type RegCache struct {
 	entries  []*cacheEntry
 	stamp    int64
 	enabled  bool
+	faultFn  func() error // sampled before real registrations (fault injection)
 }
 
 // NewRegCache creates a pin-down cache over t holding at most capBytes of
@@ -61,6 +62,12 @@ func (c *RegCache) Enabled() bool { return c.enabled }
 // call Flush for that.
 func (c *RegCache) SetEnabled(on bool) { c.enabled = on }
 
+// SetFaultFn installs a hook sampled before every real registration (a cache
+// miss); a non-nil return fails the Acquire without registering anything.
+// Cache hits do no hardware work and are never failed. Used for fault
+// injection; pass nil to disable.
+func (c *RegCache) SetFaultFn(fn func() error) { c.faultFn = fn }
+
 // Acquire returns a region covering [a, a+n), reusing a cached registration
 // when possible. The returned RegOps describes the real work performed.
 func (c *RegCache) Acquire(a Addr, n int64) (*Region, RegOps, error) {
@@ -76,6 +83,11 @@ func (c *RegCache) Acquire(a Addr, n int64) (*Region, RegOps, error) {
 			}
 		}
 		ops.Misses = 1
+	}
+	if c.faultFn != nil {
+		if err := c.faultFn(); err != nil {
+			return nil, ops, fmt.Errorf("register [%#x,+%d): %w", a, n, err)
+		}
 	}
 	r, err := c.tab.Register(a, n)
 	if err != nil {

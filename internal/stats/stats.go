@@ -52,6 +52,11 @@ type Counters struct {
 	TypeCacheHits     int64 // Multi-W sender-side datatype cache hits
 	TypeCacheReplaced int64 // stale versions replaced
 	SegmentsPipelined int64 // segments sent through BC-SPUP/RWG-UP pipelines
+
+	// Fault handling.
+	FaultRetries   int64 // transient-fault retries (descriptors, registrations)
+	RequestsFailed int64 // requests completed with a fault error
+	PeerAborts     int64 // abort notifications received from a peer rank
 }
 
 // BytesCopied reports total host copy traffic (pack + unpack + staging).
@@ -91,6 +96,9 @@ func (c *Counters) Add(o *Counters) {
 	c.TypeCacheHits += o.TypeCacheHits
 	c.TypeCacheReplaced += o.TypeCacheReplaced
 	c.SegmentsPipelined += o.SegmentsPipelined
+	c.FaultRetries += o.FaultRetries
+	c.RequestsFailed += o.RequestsFailed
+	c.PeerAborts += o.PeerAborts
 }
 
 // Reset zeroes all counters.
@@ -129,6 +137,9 @@ func (c *Counters) String() string {
 		"TypeCacheHits":     c.TypeCacheHits,
 		"TypeCacheReplaced": c.TypeCacheReplaced,
 		"SegmentsPipelined": c.SegmentsPipelined,
+		"FaultRetries":      c.FaultRetries,
+		"RequestsFailed":    c.RequestsFailed,
+		"PeerAborts":        c.PeerAborts,
 	}
 	names := make([]string, 0, len(entries))
 	for k, v := range entries {
