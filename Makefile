@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check vet build test fault-soak bench
+.PHONY: check vet build test conformance fault-soak bench bench-backends
 
 check: vet build test
 
@@ -17,10 +17,22 @@ build:
 test:
 	$(GO) test -race ./...
 
-# A longer, visible fault-injection pass over every transfer scheme.
+# The cross-backend conformance suite on its own: every datatype shape over
+# every transfer scheme must deliver byte-identical data on both the
+# deterministic simulator and the real-time concurrent fabric.
+conformance:
+	$(GO) test -race -count=1 -run TestCrossBackend ./internal/mpi/
+
+# A longer, visible fault-injection pass over every transfer scheme, on both
+# backends.
 fault-soak:
 	$(GO) run ./cmd/fabsim -fault-soak
+	$(GO) run ./cmd/fabsim -fault-soak -backend rt
 	$(GO) run ./cmd/fabsim -fault-soak -perm-rate 1 -cqe-rate 1
+
+# Wall-clock scheme bandwidth/latency on both backends -> BENCH_backends.json.
+bench-backends:
+	$(GO) run ./cmd/dtbench -backend both
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ .

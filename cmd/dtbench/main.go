@@ -6,6 +6,7 @@
 //	dtbench                  # run everything
 //	dtbench -fig 8           # one figure (2, 8, 9, 11, 12, 13, 14)
 //	dtbench -headline        # abstract's improvement factors (runs 8, 9, 11)
+//	dtbench -backend rt      # wall-clock backend benchmark -> BENCH_backends.json
 package main
 
 import (
@@ -21,6 +22,9 @@ func main() {
 	headline := flag.Bool("headline", false, "print the headline improvement factors")
 	ablations := flag.Bool("ablations", false, "run this reproduction's extra ablation studies")
 	counters := flag.Bool("counters", false, "print per-scheme operation counters for one transfer")
+	backend := flag.String("backend", "", `wall-clock backend benchmark: "sim", "rt", or "both"`)
+	benchOut := flag.String("bench-out", "BENCH_backends.json", "output path for the -backend benchmark")
+	benchIters := flag.Int("bench-iters", 50, "ping-pong round trips per (scheme, backend) in -backend")
 	flag.Parse()
 
 	figs := map[int]func() *exper.Result{
@@ -28,6 +32,35 @@ func main() {
 		12: exper.Fig12, 13: exper.Fig13, 14: exper.Fig14,
 	}
 
+	if *backend != "" {
+		var backends []string
+		switch *backend {
+		case "sim", "rt":
+			backends = []string{*backend}
+		case "both":
+			backends = []string{"sim", "rt"}
+		default:
+			fmt.Fprintf(os.Stderr, "dtbench: unknown backend %q (want sim, rt, or both)\n", *backend)
+			os.Exit(2)
+		}
+		rows, err := exper.BenchBackends(backends, *benchIters)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dtbench:", err)
+			os.Exit(1)
+		}
+		doc, err := exper.BackendsJSON(rows)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dtbench:", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*benchOut, append(doc, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "dtbench:", err)
+			os.Exit(1)
+		}
+		fmt.Print(exper.BackendsTable(rows))
+		fmt.Printf("wrote %s\n", *benchOut)
+		return
+	}
 	if *counters {
 		rep, err := exper.CountersReport()
 		if err != nil {

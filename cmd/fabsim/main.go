@@ -1,15 +1,17 @@
-// fabsim exercises the simulated InfiniBand fabric at the Verbs level,
-// independent of MPI: it prints the cost-model parameters and sweeps raw
-// RDMA write/read latency, bandwidth, and gather-descriptor costs — the
-// "Contig" reference numbers the paper's figures are judged against.
+// fabsim exercises the fabric at the Verbs level, independent of MPI: it
+// prints the cost-model parameters and sweeps raw RDMA write/read latency,
+// bandwidth, and gather-descriptor costs — the "Contig" reference numbers
+// the paper's figures are judged against.
 //
-//	go run ./cmd/fabsim
+//	go run ./cmd/fabsim                # deterministic simulator (virtual time)
+//	go run ./cmd/fabsim -backend rt    # real-time concurrent fabric (wall time)
 //
 // With -fault-soak it instead drives every transfer scheme end to end under
 // seeded fault injection and reports per-scheme delivery results, retry
-// counts, and injector statistics:
+// counts, and injector statistics (also available on either backend):
 //
 //	go run ./cmd/fabsim -fault-soak -seed 7 -cqe-rate 0.1 -delay-rate 0.2
+//	go run ./cmd/fabsim -fault-soak -backend rt
 //	go run ./cmd/fabsim -fault-soak -perm-rate 1 -cqe-rate 1   # forced aborts
 package main
 
@@ -18,6 +20,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/datatype"
@@ -25,10 +28,13 @@ import (
 	"repro/internal/ib"
 	"repro/internal/mem"
 	"repro/internal/pack"
+	"repro/internal/rtfab"
 	"repro/internal/simtime"
+	"repro/internal/verbs"
 )
 
 var (
+	backend   = flag.String("backend", "sim", `fabric backend: "sim" (deterministic) or "rt" (real-time concurrent)`)
 	faultSoak = flag.Bool("fault-soak", false, "run a fault-injected pass over every transfer scheme")
 	seed      = flag.Int64("seed", 1, "fault injector seed")
 	msgs      = flag.Int("msgs", 4, "messages per scheme in the fault soak")
@@ -41,10 +47,18 @@ var (
 
 func main() {
 	flag.Parse()
+	if *backend != "sim" && *backend != "rt" {
+		fmt.Fprintf(os.Stderr, "fabsim: unknown backend %q (want sim or rt)\n", *backend)
+		os.Exit(2)
+	}
 	if *faultSoak {
 		if !runFaultSoak() {
 			os.Exit(1)
 		}
+		return
+	}
+	if *backend == "rt" {
+		runRTSweep()
 		return
 	}
 
@@ -77,9 +91,80 @@ func main() {
 	}
 }
 
+// runRTSweep is the raw RDMA sweep on the real-time backend: the same
+// write/read and gather measurements as the simulator path, but timed with
+// the wall clock over many iterated operations.
+func runRTSweep() {
+	model := ib.DefaultModel()
+	const iters = 400
+	fmt.Printf("# raw RDMA wall-clock latency on the real-time backend (%d ops averaged)\n", iters)
+	fmt.Printf("%10s %14s %14s %14s\n", "bytes", "write (us)", "read (us)", "write MB/s")
+	for _, size := range []int64{256, 4 << 10, 64 << 10, 512 << 10, 4 << 20} {
+		w := rtOneOp(model, verbs.OpRDMAWrite, size, 1, iters)
+		r := rtOneOp(model, verbs.OpRDMARead, size, 1, iters)
+		mbps := float64(size) / (1 << 20) / w.Seconds()
+		fmt.Printf("%10d %14.2f %14.2f %14.1f\n", size,
+			float64(w.Nanoseconds())/1e3, float64(r.Nanoseconds())/1e3, mbps)
+	}
+
+	fmt.Println("\n# gather write: one descriptor, varying SGE count (64 KB total)")
+	fmt.Printf("%6s %14s\n", "SGEs", "latency (us)")
+	for _, n := range []int{1, 4, 16, 64} {
+		d := rtOneOp(model, verbs.OpRDMAWrite, 64<<10, n, iters)
+		fmt.Printf("%6d %14.2f\n", n, float64(d.Nanoseconds())/1e3)
+	}
+}
+
+// rtOneOp measures the average wall-clock completion time of an RDMA
+// operation on a two-node real-time fabric, amortized over iters sequential
+// posts so that fabric start/stop cost drops out of the per-op number.
+func rtOneOp(model verbs.Model, op verbs.Opcode, size int64, n, iters int) time.Duration {
+	f := rtfab.New(model)
+	ma := mem.NewMemory("a", size*2+8<<20)
+	mb := mem.NewMemory("b", size*2+8<<20)
+	na := f.AddNode("a", ma, nil)
+	nb := f.AddNode("b", mb, nil)
+	aSend, aRecv := na.NewCQ(), na.NewCQ()
+	bSend, bRecv := nb.NewCQ(), nb.NewCQ()
+	qa, _ := na.Connect(nb, aSend, aRecv, bSend, bRecv)
+
+	per := size / int64(n)
+	sgl := make([]verbs.SGE, n)
+	for i := range sgl {
+		a := ma.MustAlloc(per)
+		reg, err := ma.Reg().Register(a, per)
+		if err != nil {
+			panic(err)
+		}
+		sgl[i] = verbs.SGE{Addr: a, Len: per, Key: reg.LKey}
+	}
+	remote := mb.MustAlloc(size)
+	rreg, err := mb.Reg().Register(remote, size)
+	if err != nil {
+		panic(err)
+	}
+
+	na.Engine().Spawn("driver", func(p *simtime.Process) {
+		for i := 0; i < iters; i++ {
+			wr := verbs.SendWR{Op: op, SGL: sgl, RemoteAddr: remote, RKey: rreg.RKey}
+			if err := qa.PostSend(wr); err != nil {
+				panic(err)
+			}
+			if e := aSend.WaitPoll(p); e.Err != nil {
+				panic(e.Err)
+			}
+		}
+	})
+	start := time.Now()
+	if err := f.Run(time.Minute); err != nil {
+		panic(err)
+	}
+	return time.Since(start) / time.Duration(iters)
+}
+
 // runFaultSoak drives every scheme through a two-rank fault-injected
-// exchange and reports delivery outcomes. Returns false if any scheme
-// corrupted data or (with perm-rate 0) failed a request.
+// exchange and reports delivery outcomes on the selected backend. Returns
+// false if any scheme corrupted data or (with perm-rate 0) failed a request.
 func runFaultSoak() bool {
 	fc := fault.Config{
 		Seed:          *seed,
@@ -90,8 +175,8 @@ func runFaultSoak() bool {
 		MaxDelay:      20 * simtime.Microsecond,
 		PermanentRate: *permRate,
 	}
-	fmt.Printf("# fault soak: seed=%d post=%.2f cqe=%.2f reg=%.2f delay=%.2f perm=%.2f msgs=%d\n",
-		*seed, *postRate, *cqeRate, *regRate, *delayRate, *permRate, *msgs)
+	fmt.Printf("# fault soak: backend=%s seed=%d post=%.2f cqe=%.2f reg=%.2f delay=%.2f perm=%.2f msgs=%d\n",
+		*backend, *seed, *postRate, *cqeRate, *regRate, *delayRate, *permRate, *msgs)
 	fmt.Printf("%-10s %8s %8s %8s %8s %8s %12s\n",
 		"scheme", "ok", "failed", "corrupt", "retries", "aborts", "end (ms)")
 
@@ -102,18 +187,33 @@ func runFaultSoak() bool {
 	allGood := true
 
 	for _, scheme := range schemes {
-		eng := simtime.NewEngine()
-		fab := ib.NewFabric(eng, ib.DefaultModel())
 		inj := fault.New(fc)
-		fab.SetInjector(inj)
+		var (
+			eng *simtime.Engine
+			rtf *rtfab.Fabric
+			fab *ib.Fabric
+		)
+		if *backend == "rt" {
+			rtf = rtfab.New(ib.DefaultModel())
+			rtf.SetInjector(inj)
+		} else {
+			eng = simtime.NewEngine()
+			fab = ib.NewFabric(eng, ib.DefaultModel())
+			fab.SetInjector(inj)
+		}
 		cfg := core.DefaultConfig()
 		cfg.Scheme = scheme
 		cfg.PoolSize = 4 << 20
 		eps := make([]*core.Endpoint, 2)
+		hcas := make([]verbs.HCA, 2)
 		for i := range eps {
 			m := mem.NewMemory(fmt.Sprintf("n%d", i), 64<<20)
-			hca := fab.AddHCA(fmt.Sprintf("n%d", i), m, nil)
-			ep, err := core.NewEndpoint(i, hca, cfg)
+			if rtf != nil {
+				hcas[i] = rtf.AddNode(fmt.Sprintf("n%d", i), m, nil)
+			} else {
+				hcas[i] = fab.AddHCA(fmt.Sprintf("n%d", i), m, nil)
+			}
+			ep, err := core.NewEndpoint(i, hcas[i], cfg)
 			if err != nil {
 				panic(err)
 			}
@@ -127,7 +227,7 @@ func runFaultSoak() bool {
 		var sendErrs, recvErrs int
 		for _, ep := range eps {
 			ep := ep
-			eng.Spawn(fmt.Sprintf("rank%d", ep.Rank()), func(p *simtime.Process) {
+			hcas[ep.Rank()].Engine().Spawn(fmt.Sprintf("rank%d", ep.Rank()), func(p *simtime.Process) {
 				for m := 0; m < *msgs; m++ {
 					span := vec.TrueExtent() + int64(count-1)*vec.Extent()
 					a := ep.Mem().MustAlloc(span)
@@ -157,10 +257,21 @@ func runFaultSoak() bool {
 				}
 			})
 		}
-		if err := eng.Run(); err != nil {
-			fmt.Printf("%-10s engine error: %v\n", scheme, err)
+		start := time.Now()
+		var runErr error
+		if rtf != nil {
+			runErr = rtf.Run(time.Minute)
+		} else {
+			runErr = eng.Run()
+		}
+		if runErr != nil {
+			fmt.Printf("%-10s engine error: %v\n", scheme, runErr)
 			allGood = false
 			continue
+		}
+		endMS := float64(time.Since(start).Microseconds()) / 1000
+		if eng != nil {
+			endMS = float64(eng.Now().Sub(0).Micros()) / 1000
 		}
 
 		okCount, corrupt := 0, 0
@@ -180,8 +291,7 @@ func runFaultSoak() bool {
 			aborts += ep.Counters().RequestsFailed
 		}
 		fmt.Printf("%-10s %8d %8d %8d %8d %8d %12.2f\n",
-			scheme, okCount, recvErrs, corrupt, retries, aborts,
-			float64(eng.Now().Sub(0).Micros())/1000)
+			scheme, okCount, recvErrs, corrupt, retries, aborts, endMS)
 		if corrupt > 0 {
 			allGood = false
 		}

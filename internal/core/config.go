@@ -22,8 +22,8 @@
 package core
 
 import (
-	"repro/internal/ib"
 	"repro/internal/simtime"
+	"repro/internal/verbs"
 )
 
 // Scheme selects how rendezvous-size datatype messages are transferred.
@@ -176,6 +176,6 @@ func (c *Config) segSizeFor(size int64) int64 {
 
 // packCost prices a pack or unpack of the given bytes spread over runs,
 // including datatype-processing overhead.
-func (c *Config) packCost(m *ib.Model, bytes int64, runs int) simtime.Duration {
+func (c *Config) packCost(m *verbs.Model, bytes int64, runs int) simtime.Duration {
 	return m.CopyTime(bytes, runs) + c.TypeProcBase + simtime.Duration(runs)*c.TypeProcPerRun
 }

@@ -1,15 +1,17 @@
 package core
 
 import (
+	"sync/atomic"
+
 	"errors"
 	"fmt"
 
 	"repro/internal/datatype"
-	"repro/internal/ib"
 	"repro/internal/mem"
 	"repro/internal/pack"
 	"repro/internal/simtime"
 	"repro/internal/stats"
+	"repro/internal/verbs"
 )
 
 // Wildcards for receive matching.
@@ -124,15 +126,15 @@ type inbound struct {
 type Endpoint struct {
 	rank   int
 	eng    *simtime.Engine
-	hca    *ib.HCA
-	model  *ib.Model
+	hca    verbs.HCA
+	model  *verbs.Model
 	memory *mem.Memory
 	cfg    Config
 	ctr    *stats.Counters
 
-	qps    []*ib.QP // indexed by peer rank; nil for self
-	sendCQ *ib.CQ
-	recvCQ *ib.CQ
+	qps    []verbs.QP // indexed by peer rank; nil for self
+	sendCQ verbs.CQ
+	recvCQ verbs.CQ
 
 	packPool   *segPool
 	unpackPool *segPool
@@ -148,7 +150,7 @@ type Endpoint struct {
 	sendOps map[uint32]*sendOp
 	recvOps map[opKey]*recvOp
 
-	onSendCQE map[uint64]func(ib.CQE)
+	onSendCQE map[uint64]func(verbs.CQE)
 
 	types   *typeRegistry
 	layouts *layoutCache
@@ -161,7 +163,7 @@ type opKey struct {
 
 // NewEndpoint creates the engine for one rank on the given HCA. Peers are
 // wired afterwards with ConnectPeers.
-func NewEndpoint(rank int, hca *ib.HCA, cfg Config) (*Endpoint, error) {
+func NewEndpoint(rank int, hca verbs.HCA, cfg Config) (*Endpoint, error) {
 	ep := &Endpoint{
 		rank:      rank,
 		eng:       hca.Engine(),
@@ -172,12 +174,12 @@ func NewEndpoint(rank int, hca *ib.HCA, cfg Config) (*Endpoint, error) {
 		ctr:       hca.Counters(),
 		sendOps:   make(map[uint32]*sendOp),
 		recvOps:   make(map[opKey]*recvOp),
-		onSendCQE: make(map[uint64]func(ib.CQE)),
+		onSendCQE: make(map[uint64]func(verbs.CQE)),
 		types:     newTypeRegistry(),
 		layouts:   newLayoutCache(),
 	}
-	ep.sendCQ = ib.NewCQ(hca)
-	ep.recvCQ = ib.NewCQ(hca)
+	ep.sendCQ = hca.NewCQ()
+	ep.recvCQ = hca.NewCQ()
 	ep.sendCQ.SetHandler(ep.handleSendCQE)
 	ep.recvCQ.SetHandler(ep.handleRecvCQE)
 
@@ -205,20 +207,20 @@ func ConnectPeers(eps []*Endpoint) {
 	n := len(eps)
 	for _, ep := range eps {
 		if ep.qps == nil {
-			ep.qps = make([]*ib.QP, n)
+			ep.qps = make([]verbs.QP, n)
 		}
 	}
 	for i := 0; i < n; i++ {
 		for j := i + 1; j < n; j++ {
 			a, b := eps[i], eps[j]
-			qa, qb := ib.Connect(a.hca, b.hca, a.sendCQ, a.recvCQ, b.sendCQ, b.recvCQ)
-			qa.UserData = j
-			qb.UserData = i
+			qa, qb := a.hca.Connect(b.hca, a.sendCQ, a.recvCQ, b.sendCQ, b.recvCQ)
+			qa.SetUserData(j)
+			qb.SetUserData(i)
 			a.qps[j] = qa
 			b.qps[i] = qb
 			for k := 0; k < initialCredits; k++ {
-				qa.PostRecv(ib.RecvWR{})
-				qb.PostRecv(ib.RecvWR{})
+				qa.PostRecv(verbs.RecvWR{})
+				qb.PostRecv(verbs.RecvWR{})
 			}
 		}
 	}
@@ -251,14 +253,14 @@ func (ep *Endpoint) CommitType(t *datatype.Type) int { return ep.types.commit(t)
 func (ep *Endpoint) FreeType(t *datatype.Type) { ep.types.free(t) }
 
 func (ep *Endpoint) accountReg(ops mem.RegOps) {
-	ep.ctr.Registrations += ops.Registrations
-	ep.ctr.RegisteredBytes += ops.RegisteredBytes
-	ep.ctr.RegisteredPages += ops.RegisteredPages
-	ep.ctr.Deregistrations += ops.Dereg
-	ep.ctr.DeregisteredPages += ops.DeregPages
-	ep.ctr.RegCacheHits += ops.Hits
-	ep.ctr.RegCacheMisses += ops.Misses
-	ep.ctr.RegCacheEvictions += ops.Evictions
+	atomic.AddInt64(&ep.ctr.Registrations, ops.Registrations)
+	atomic.AddInt64(&ep.ctr.RegisteredBytes, ops.RegisteredBytes)
+	atomic.AddInt64(&ep.ctr.RegisteredPages, ops.RegisteredPages)
+	atomic.AddInt64(&ep.ctr.Deregistrations, ops.Dereg)
+	atomic.AddInt64(&ep.ctr.DeregisteredPages, ops.DeregPages)
+	atomic.AddInt64(&ep.ctr.RegCacheHits, ops.Hits)
+	atomic.AddInt64(&ep.ctr.RegCacheMisses, ops.Misses)
+	atomic.AddInt64(&ep.ctr.RegCacheEvictions, ops.Evictions)
 }
 
 // after charges the endpoint CPU for d and runs fn when the work finishes.
@@ -273,18 +275,18 @@ func (ep *Endpoint) afterNamed(d simtime.Duration, name string, fn func()) {
 }
 
 // sendCtrl posts a control message to a peer.
-func (ep *Endpoint) sendCtrl(dst int, payload []byte, onCQE func(ib.CQE)) {
-	ep.ctr.CtrlMessages++
+func (ep *Endpoint) sendCtrl(dst int, payload []byte, onCQE func(verbs.CQE)) {
+	atomic.AddInt64(&ep.ctr.CtrlMessages, 1)
 	wrid := ep.hca.WRID()
 	if onCQE != nil {
 		ep.onSendCQE[wrid] = onCQE
 	}
-	if err := ep.qps[dst].PostSend(ib.SendWR{WRID: wrid, Op: ib.OpSend, Inline: payload}); err != nil {
+	if err := ep.qps[dst].PostSend(verbs.SendWR{WRID: wrid, Op: verbs.OpSend, Inline: payload}); err != nil {
 		panic(fmt.Sprintf("core: ctrl send failed: %v", err))
 	}
 }
 
-func (ep *Endpoint) handleSendCQE(e ib.CQE) {
+func (ep *Endpoint) handleSendCQE(e verbs.CQE) {
 	if cb, ok := ep.onSendCQE[e.WRID]; ok {
 		delete(ep.onSendCQE, e.WRID)
 		cb(e)
@@ -295,10 +297,10 @@ func (ep *Endpoint) handleSendCQE(e ib.CQE) {
 	}
 }
 
-func (ep *Endpoint) handleRecvCQE(e ib.CQE) {
+func (ep *Endpoint) handleRecvCQE(e verbs.CQE) {
 	// Replenish the consumed credit.
-	e.QP.PostRecv(ib.RecvWR{})
-	src := e.QP.UserData
+	e.QP.PostRecv(verbs.RecvWR{})
+	src := e.QP.UserData()
 	if e.Data != nil {
 		ep.handleCtrl(src, e.Data)
 		return
@@ -422,7 +424,7 @@ func (ep *Endpoint) deliver(inb *inbound, req *Request) {
 			// the receive promptly instead of waiting for data forever.
 			req.Source = inb.src
 			req.Tag = inb.tag
-			ep.ctr.RequestsFailed++
+			atomic.AddInt64(&ep.ctr.RequestsFailed, 1)
 			req.complete(fmt.Errorf("%w (sender rank %d)", ErrRemoteAbort, inb.src))
 			return
 		}
@@ -450,19 +452,19 @@ func (ep *Endpoint) eagerSend(req *Request, ctx int, buf mem.Addr, count int, dt
 	if dt.Contig() {
 		// Contiguous data: one copy into the internal buffer either way.
 		cost = ep.model.CopyTime(size, 1)
-		ep.ctr.BytesStaged += size
+		atomic.AddInt64(&ep.ctr.BytesStaged, size)
 	} else if ep.cfg.Scheme == SchemeGeneric {
 		// Pack to temp buffer, then copy temp into the internal buffer.
 		cost = ep.model.MallocTime(size) +
 			ep.cfg.packCost(ep.model, size, runs) +
 			ep.model.CopyTime(size, 1)
-		ep.ctr.BytesPacked += size
-		ep.ctr.BytesStaged += size
+		atomic.AddInt64(&ep.ctr.BytesPacked, size)
+		atomic.AddInt64(&ep.ctr.BytesStaged, size)
 	} else {
 		cost = ep.cfg.packCost(ep.model, size, runs)
-		ep.ctr.BytesPacked += size
+		atomic.AddInt64(&ep.ctr.BytesPacked, size)
 	}
-	ep.ctr.EagerSends++
+	atomic.AddInt64(&ep.ctr.EagerSends, 1)
 
 	var w ctrlWriter
 	w.u8(kindEager)
@@ -502,7 +504,7 @@ func (ep *Endpoint) handleCtrl(src int, data []byte) {
 		}
 		// Unexpected: MPICH copies the payload aside into an unexpected-
 		// message buffer; charge that staging copy.
-		ep.ctr.BytesStaged += size
+		atomic.AddInt64(&ep.ctr.BytesStaged, size)
 		ep.hca.ChargeCPU(ep.model.CopyTime(size, 1))
 		ep.unexpected = append(ep.unexpected, inb)
 		ep.arrivalSig.Broadcast()
@@ -555,16 +557,16 @@ func (ep *Endpoint) eagerDeliver(inb *inbound, req *Request) {
 	var cost simtime.Duration
 	if req.dt.Contig() {
 		cost = ep.model.CopyTime(n, 1)
-		ep.ctr.BytesStaged += n
+		atomic.AddInt64(&ep.ctr.BytesStaged, n)
 	} else if ep.cfg.Scheme == SchemeGeneric {
 		cost = ep.model.CopyTime(n, 1) +
 			ep.model.MallocTime(n) +
 			ep.cfg.packCost(ep.model, n, runs)
-		ep.ctr.BytesStaged += n
-		ep.ctr.BytesUnpacked += n
+		atomic.AddInt64(&ep.ctr.BytesStaged, n)
+		atomic.AddInt64(&ep.ctr.BytesUnpacked, n)
 	} else {
 		cost = ep.cfg.packCost(ep.model, n, runs)
-		ep.ctr.BytesUnpacked += n
+		atomic.AddInt64(&ep.ctr.BytesUnpacked, n)
 	}
 	req.Source = inb.src
 	req.Tag = inb.tag
@@ -580,7 +582,7 @@ func (ep *Endpoint) selfSend(req *Request, ctx int, buf mem.Addr, count int, dt 
 	payload := make([]byte, size)
 	p := pack.NewPacker(ep.memory, buf, dt, count)
 	_, runs := p.PackTo(payload)
-	ep.ctr.BytesPacked += size
+	atomic.AddInt64(&ep.ctr.BytesPacked, size)
 	cost := ep.cfg.packCost(ep.model, size, runs)
 	inb := &inbound{kind: kindEager, ctx: ctx, src: ep.rank, tag: tag, size: size, data: payload}
 	ep.afterNamed(cost, "pack", func() {

@@ -1,11 +1,13 @@
 package core
 
 import (
+	"sync/atomic"
+
 	"errors"
 	"fmt"
 
 	"repro/internal/fault"
-	"repro/internal/ib"
+	"repro/internal/verbs"
 )
 
 // Structured error propagation for the transfer schemes.
@@ -40,7 +42,7 @@ func (ep *Endpoint) faultMode() bool { return ep.hca.Injector() != nil }
 // successful completion, or with the final error. cancelled is consulted
 // before every attempt so an aborted op stops re-posting into memory that
 // is about to be released.
-func (ep *Endpoint) postRetry(dst int, wr ib.SendWR, cancelled func() bool, done func(error)) {
+func (ep *Endpoint) postRetry(dst int, wr verbs.SendWR, cancelled func() bool, done func(error)) {
 	attempt := 0
 	var try func()
 	retry := func(err error) bool {
@@ -48,7 +50,7 @@ func (ep *Endpoint) postRetry(dst int, wr ib.SendWR, cancelled func() bool, done
 			return false
 		}
 		attempt++
-		ep.ctr.FaultRetries++
+		atomic.AddInt64(&ep.ctr.FaultRetries, 1)
 		ep.eng.Schedule(ep.cfg.retryBackoff(attempt), try)
 		return true
 	}
@@ -59,7 +61,7 @@ func (ep *Endpoint) postRetry(dst int, wr ib.SendWR, cancelled func() bool, done
 		}
 		wr.WRID = ep.hca.WRID()
 		wrid := wr.WRID
-		ep.onSendCQE[wrid] = func(e ib.CQE) {
+		ep.onSendCQE[wrid] = func(e verbs.CQE) {
 			if e.Err == nil {
 				done(nil)
 				return
@@ -91,7 +93,7 @@ func (ep *Endpoint) abortSend(op *sendOp, err error) {
 	}
 	op.failed = true
 	op.failErr = err
-	ep.ctr.RequestsFailed++
+	atomic.AddInt64(&ep.ctr.RequestsFailed, 1)
 	op.req.complete(err)
 	if op.wrsLeft == 0 {
 		ep.finalizeSendAbort(op)
@@ -179,7 +181,7 @@ func (ep *Endpoint) abortRecv(op *recvOp, err error, notify bool) {
 	op.failed = true
 	op.failErr = err
 	op.notifyPeer = notify
-	ep.ctr.RequestsFailed++
+	atomic.AddInt64(&ep.ctr.RequestsFailed, 1)
 	op.req.complete(err)
 	if op.wrsLeft == 0 {
 		ep.finalizeRecvAbort(op)
@@ -244,7 +246,7 @@ func (ep *Endpoint) handleSendFail(src int, r *ctrlReader) {
 	if r.err != nil {
 		panic(r.err)
 	}
-	ep.ctr.PeerAborts++
+	atomic.AddInt64(&ep.ctr.PeerAborts, 1)
 	if op, ok := ep.recvOps[opKey{src: src, op: id}]; ok {
 		ep.abortRecv(op, fmt.Errorf("%w (sender rank %d)", ErrRemoteAbort, src), false)
 		return
@@ -266,7 +268,7 @@ func (ep *Endpoint) handleRecvFail(src int, r *ctrlReader) {
 	if r.err != nil {
 		panic(r.err)
 	}
-	ep.ctr.PeerAborts++
+	atomic.AddInt64(&ep.ctr.PeerAborts, 1)
 	if op, ok := ep.sendOps[id]; ok {
 		op.notifyPeer = false
 		ep.abortSend(op, fmt.Errorf("%w (receiver rank %d)", ErrRemoteAbort, src))

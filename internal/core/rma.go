@@ -1,12 +1,14 @@
 package core
 
 import (
+	"sync/atomic"
+
 	"fmt"
 
 	"repro/internal/datatype"
-	"repro/internal/ib"
 	"repro/internal/mem"
 	"repro/internal/pack"
+	"repro/internal/verbs"
 )
 
 // One-sided (RMA) operations. The paper's datatype-layout machinery came out
@@ -90,7 +92,7 @@ func (ep *Endpoint) Put(dst int, oBuf mem.Addr, oCount int, oType *datatype.Type
 		oc := datatype.NewCursor(oType, oCount)
 		tc := datatype.NewCursor(tType, tCount)
 		remaining := oType.Size() * int64(oCount)
-		var wrs []ib.SendWR
+		var wrs []verbs.SendWR
 		for remaining > 0 {
 			tOff, tLen, ok := tc.Next(remaining)
 			if !ok {
@@ -99,7 +101,7 @@ func (ep *Endpoint) Put(dst int, oBuf mem.Addr, oCount int, oType *datatype.Type
 					ep.rank, remaining))
 				return
 			}
-			chunk, cerr := ep.chunkWRs(ib.OpRDMAWrite, oc, oBuf, refs, tLen,
+			chunk, cerr := ep.chunkWRs(verbs.OpRDMAWrite, oc, oBuf, refs, tLen,
 				mem.Addr(int64(tBase)+tOff), tKey)
 			if cerr != nil {
 				ep.releaseUserRegions(regions)
@@ -137,7 +139,7 @@ func (ep *Endpoint) Get(dst int, oBuf mem.Addr, oCount int, oType *datatype.Type
 		oc := datatype.NewCursor(oType, oCount)
 		tc := datatype.NewCursor(tType, tCount)
 		remaining := oType.Size() * int64(oCount)
-		var wrs []ib.SendWR
+		var wrs []verbs.SendWR
 		for remaining > 0 {
 			// Each remote contiguous run becomes one (or more) scatter reads.
 			tOff, tLen, ok := tc.Next(remaining)
@@ -147,7 +149,7 @@ func (ep *Endpoint) Get(dst int, oBuf mem.Addr, oCount int, oType *datatype.Type
 					ep.rank, remaining))
 				return
 			}
-			chunk, cerr := ep.chunkWRs(ib.OpRDMARead, oc, oBuf, refs, tLen,
+			chunk, cerr := ep.chunkWRs(verbs.OpRDMARead, oc, oBuf, refs, tLen,
 				mem.Addr(int64(tBase)+tOff), tKey)
 			if cerr != nil {
 				ep.releaseUserRegions(regions)
@@ -168,7 +170,7 @@ func (ep *Endpoint) Get(dst int, oBuf mem.Addr, oCount int, oType *datatype.Type
 // while a descriptor might still read or write through them. Transient
 // injected faults are retried per descriptor (which forces individual posts
 // in fault mode).
-func (ep *Endpoint) postRMAWRs(dst int, wrs []ib.SendWR, regions []*mem.Region, done func(error)) {
+func (ep *Endpoint) postRMAWRs(dst int, wrs []verbs.SendWR, regions []*mem.Region, done func(error)) {
 	left := len(wrs)
 	if left == 0 {
 		ep.releaseUserRegions(regions)
@@ -189,7 +191,7 @@ func (ep *Endpoint) postRMAWRs(dst int, wrs []ib.SendWR, regions []*mem.Region, 
 	if ep.cfg.ListPost && len(wrs) > 1 && !ep.faultMode() {
 		for i := range wrs {
 			wrs[i].WRID = ep.hca.WRID()
-			ep.onSendCQE[wrs[i].WRID] = func(e ib.CQE) { resolve(e.Err) }
+			ep.onSendCQE[wrs[i].WRID] = func(e verbs.CQE) { resolve(e.Err) }
 		}
 		if err := ep.qps[dst].PostSendList(wrs); err != nil {
 			// The whole list was rejected: nothing reached the NIC.
@@ -225,7 +227,7 @@ func (ep *Endpoint) rmaLocal(a *rmaArgs, put bool, done func(error)) {
 		_, r2 := up.UnpackFrom(tmp)
 		runs = r1 + r2
 	}
-	ep.ctr.BytesPacked += bytes
-	ep.ctr.BytesUnpacked += bytes
+	atomic.AddInt64(&ep.ctr.BytesPacked, bytes)
+	atomic.AddInt64(&ep.ctr.BytesUnpacked, bytes)
 	ep.afterNamed(ep.cfg.packCost(ep.model, 2*bytes, runs), "pack", func() { done(nil) })
 }

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"sync/atomic"
+
 	"fmt"
 
 	"repro/internal/datatype"
@@ -126,7 +128,7 @@ func (ep *Endpoint) registerUserMessage(buf mem.Addr, dt *datatype.Type, count i
 			if err != nil {
 				if fault.IsTransient(err) && attempt < ep.cfg.FaultRetryLimit {
 					attempt++
-					ep.ctr.FaultRetries++
+					atomic.AddInt64(&ep.ctr.FaultRetries, 1)
 					ep.eng.Schedule(ep.cfg.retryBackoff(attempt), step)
 					return
 				}
@@ -169,7 +171,7 @@ func (ep *Endpoint) releaseUserRegions(regions []*mem.Region) {
 // faults are retried with backoff; the allocation is freed if registration
 // ultimately fails. Without faults done runs synchronously.
 func (ep *Endpoint) acquireStaging(n int64, done func(seg, error)) {
-	ep.ctr.DynamicAllocs++
+	atomic.AddInt64(&ep.ctr.DynamicAllocs, 1)
 	addr, err := ep.memory.AllocPage(n)
 	if err != nil {
 		done(seg{}, err)
@@ -182,7 +184,7 @@ func (ep *Endpoint) acquireStaging(n int64, done func(seg, error)) {
 		if err != nil {
 			if fault.IsTransient(err) && attempt < ep.cfg.FaultRetryLimit {
 				attempt++
-				ep.ctr.FaultRetries++
+				atomic.AddInt64(&ep.ctr.FaultRetries, 1)
 				ep.eng.Schedule(ep.cfg.retryBackoff(attempt), try)
 				return
 			}
@@ -211,7 +213,7 @@ func (ep *Endpoint) rndvSend(req *Request, ctx int, buf mem.Addr, count int, dt 
 		notifyPeer: true,
 	}
 	ep.sendOps[op.id] = op
-	ep.ctr.RendezvousSends++
+	atomic.AddInt64(&ep.ctr.RendezvousSends, 1)
 
 	stats := datatype.LayoutStats(dt, count, 4096)
 	sAvg := int64(stats.AvgRun)
@@ -410,7 +412,7 @@ func (ep *Endpoint) recvStagedSetup(op *recvOp, segSize int64) {
 		// whole pool: allocate one on-the-fly unpack buffer of the real data
 		// size — the same registration cost the Generic scheme pays — and
 		// carve the segments out of it.
-		ep.ctr.PoolExhausted++
+		atomic.AddInt64(&ep.ctr.PoolExhausted, 1)
 		ep.acquireStaging(op.eff, func(s seg, err error) {
 			if err != nil {
 				ep.abortRecv(op, err, true)
@@ -474,7 +476,7 @@ func (ep *Endpoint) recvMultiWSetup(op *recvOp) {
 			var layout []byte
 			if ep.layouts.needSend(op.key.src, idx, version) {
 				layout = datatype.Encode(op.req.dt)
-				ep.ctr.TypeLayoutsSent++
+				atomic.AddInt64(&ep.ctr.TypeLayoutsSent, 1)
 			}
 
 			var w ctrlWriter
@@ -595,7 +597,7 @@ func (ep *Endpoint) handleCTS(src int, r *ctrlReader) {
 				panic(err)
 			}
 			if _, had := ep.layouts.got[layoutKey{src, idx}]; had {
-				ep.ctr.TypeCacheReplaced++
+				atomic.AddInt64(&ep.ctr.TypeCacheReplaced, 1)
 			}
 			ep.layouts.store(src, idx, version, t)
 			rType = t
@@ -613,7 +615,7 @@ func (ep *Endpoint) handleCTS(src int, r *ctrlReader) {
 				panic(fmt.Sprintf("core rank %d: missing cached layout (%d,%d,v%d)",
 					ep.rank, src, idx, version))
 			}
-			ep.ctr.TypeCacheHits++
+			atomic.AddInt64(&ep.ctr.TypeCacheHits, 1)
 			rType = t
 		}
 		ep.sendMultiWData(op, rBase, rType, rCount, rRefs)
@@ -703,8 +705,8 @@ func (ep *Endpoint) unpackSegment(op *recvOp, k int) {
 	if n != sr.bytes {
 		panic("core: segment unpack shortfall")
 	}
-	ep.ctr.BytesUnpacked += n
-	ep.ctr.SegmentsPipelined++
+	atomic.AddInt64(&ep.ctr.BytesUnpacked, n)
+	atomic.AddInt64(&ep.ctr.SegmentsPipelined, 1)
 	cost := ep.cfg.packCost(ep.model, n, runs)
 	ep.afterNamed(cost, "unpack", func() {
 		if op.failed {

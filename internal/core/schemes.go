@@ -1,12 +1,14 @@
 package core
 
 import (
+	"sync/atomic"
+
 	"fmt"
 
 	"repro/internal/datatype"
-	"repro/internal/ib"
 	"repro/internal/mem"
 	"repro/internal/pack"
+	"repro/internal/verbs"
 )
 
 // chunkWRs consumes want bytes from a message cursor and builds RDMA
@@ -15,18 +17,18 @@ import (
 // localRefs); descriptors split at the adapter's SGE limit. A cursor that
 // runs out before want bytes are consumed is a layout/size mismatch and is
 // reported as an error rather than silently truncating the transfer.
-func (ep *Endpoint) chunkWRs(op ib.Opcode, cur *datatype.Cursor, base mem.Addr,
-	localRefs []regRef, want int64, rAddr mem.Addr, rKey uint32) ([]ib.SendWR, error) {
+func (ep *Endpoint) chunkWRs(op verbs.Opcode, cur *datatype.Cursor, base mem.Addr,
+	localRefs []regRef, want int64, rAddr mem.Addr, rKey uint32) ([]verbs.SendWR, error) {
 
 	maxSGE := ep.model.MaxSGE
-	var wrs []ib.SendWR
-	var sgl []ib.SGE
+	var wrs []verbs.SendWR
+	var sgl []verbs.SGE
 	var sglBytes int64
 	flush := func() {
 		if len(sgl) == 0 {
 			return
 		}
-		wrs = append(wrs, ib.SendWR{Op: op, SGL: sgl, RemoteAddr: rAddr, RKey: rKey})
+		wrs = append(wrs, verbs.SendWR{Op: op, SGL: sgl, RemoteAddr: rAddr, RKey: rKey})
 		rAddr += mem.Addr(sglBytes)
 		sgl = nil
 		sglBytes = 0
@@ -42,7 +44,7 @@ func (ep *Endpoint) chunkWRs(op ib.Opcode, cur *datatype.Cursor, base mem.Addr,
 		if i < 0 {
 			panic(fmt.Sprintf("core rank %d: no region covers [%#x,+%d)", ep.rank, addr, n))
 		}
-		sgl = append(sgl, ib.SGE{Addr: addr, Len: n, Key: localRefs[i].key})
+		sgl = append(sgl, verbs.SGE{Addr: addr, Len: n, Key: localRefs[i].key})
 		sglBytes += n
 		want -= n
 		if len(sgl) == maxSGE {
@@ -59,7 +61,7 @@ func (ep *Endpoint) chunkWRs(op ib.Opcode, cur *datatype.Cursor, base mem.Addr,
 // completions can never finish the op while later segments are still being
 // posted. Post failures and error completions abort the op instead of
 // panicking; transient faults are retried.
-func (ep *Endpoint) postWRs(op *sendOp, dst int, wrs []ib.SendWR, list bool, onAll func()) {
+func (ep *Endpoint) postWRs(op *sendOp, dst int, wrs []verbs.SendWR, list bool, onAll func()) {
 	if onAll != nil {
 		op.onWRsDone = onAll
 	}
@@ -74,7 +76,7 @@ func (ep *Endpoint) postWRs(op *sendOp, dst int, wrs []ib.SendWR, list bool, onA
 		op.wrsLeft += len(wrs)
 		for i := range wrs {
 			wrs[i].WRID = ep.hca.WRID()
-			ep.onSendCQE[wrs[i].WRID] = func(e ib.CQE) {
+			ep.onSendCQE[wrs[i].WRID] = func(e verbs.CQE) {
 				ep.sendWRResolved(op, e.Err, advance)
 			}
 		}
@@ -104,7 +106,7 @@ func (ep *Endpoint) postWRs(op *sendOp, dst int, wrs []ib.SendWR, list bool, onA
 // retries would otherwise let a later segment's immediate overtake an
 // earlier segment's data, breaking the receiver's arrival-order unpack
 // indexing. The cost is the pipelining the fault-free path enjoys.
-func (ep *Endpoint) postGroupsChained(op *sendOp, groups [][]ib.SendWR, onAll func()) {
+func (ep *Endpoint) postGroupsChained(op *sendOp, groups [][]verbs.SendWR, onAll func()) {
 	k := 0
 	var next func()
 	next = func() {
@@ -117,7 +119,7 @@ func (ep *Endpoint) postGroupsChained(op *sendOp, groups [][]ib.SendWR, onAll fu
 		}
 		wrs := groups[k]
 		k++
-		ep.ctr.SegmentsPipelined++
+		atomic.AddInt64(&ep.ctr.SegmentsPipelined, 1)
 		ep.postGroupFenced(op, wrs, next)
 	}
 	next()
@@ -128,15 +130,15 @@ func (ep *Endpoint) postGroupsChained(op *sendOp, groups [][]ib.SendWR, onAll fu
 // zero-length fence write posted only after every data descriptor completes,
 // so a retried descriptor can never let the immediate announce data that has
 // not landed. then runs after the whole group (fence included) completes.
-func (ep *Endpoint) postGroupFenced(op *sendOp, wrs []ib.SendWR, then func()) {
+func (ep *Endpoint) postGroupFenced(op *sendOp, wrs []verbs.SendWR, then func()) {
 	cancelled := func() bool { return op.failed }
 	last := len(wrs) - 1
-	var fence *ib.SendWR
-	if last > 0 && wrs[last].Op == ib.OpRDMAWriteImm {
-		f := ib.SendWR{Op: ib.OpRDMAWriteImm, RemoteAddr: wrs[last].RemoteAddr,
+	var fence *verbs.SendWR
+	if last > 0 && wrs[last].Op == verbs.OpRDMAWriteImm {
+		f := verbs.SendWR{Op: verbs.OpRDMAWriteImm, RemoteAddr: wrs[last].RemoteAddr,
 			RKey: wrs[last].RKey, Imm: wrs[last].Imm}
 		fence = &f
-		wrs[last].Op = ib.OpRDMAWrite
+		wrs[last].Op = verbs.OpRDMAWrite
 	}
 	dataDone := func() {
 		if fence == nil {
@@ -220,20 +222,20 @@ func (ep *Endpoint) sendStagedData(op *sendOp, scheme Scheme, segSize int64, ref
 func (ep *Endpoint) sendGatherData(op *sendOp, segSize int64, nSegs int, refs []segRef) {
 	cur := datatype.NewCursor(op.dt, op.count)
 	left := op.eff
-	groups := make([][]ib.SendWR, 0, nSegs)
+	groups := make([][]verbs.SendWR, 0, nSegs)
 	for k := 0; k < nSegs; k++ {
 		n := segSize
 		if n > left {
 			n = left
 		}
 		left -= n
-		wrs, err := ep.chunkWRs(ib.OpRDMAWrite, cur, op.buf, op.refs, n, refs[k].addr, refs[k].key)
+		wrs, err := ep.chunkWRs(verbs.OpRDMAWrite, cur, op.buf, op.refs, n, refs[k].addr, refs[k].key)
 		if err != nil {
 			ep.abortSend(op, err)
 			return
 		}
 		last := len(wrs) - 1
-		wrs[last].Op = ib.OpRDMAWriteImm
+		wrs[last].Op = verbs.OpRDMAWriteImm
 		wrs[last].Imm = op.id
 		groups = append(groups, wrs)
 	}
@@ -242,7 +244,7 @@ func (ep *Endpoint) sendGatherData(op *sendOp, segSize int64, nSegs int, refs []
 		return
 	}
 	for _, wrs := range groups {
-		ep.ctr.SegmentsPipelined++
+		atomic.AddInt64(&ep.ctr.SegmentsPipelined, 1)
 		ep.postWRs(op, op.dst, wrs, false, func() { ep.finishSend(op) })
 	}
 	ep.donePosting(op)
@@ -268,14 +270,14 @@ func (ep *Endpoint) sendGenericData(op *sendOp, refs []segRef) {
 		if n != op.eff {
 			panic("core: generic pack shortfall")
 		}
-		ep.ctr.BytesPacked += n
+		atomic.AddInt64(&ep.ctr.BytesPacked, n)
 		ep.hca.ChargeCPUNamed(ep.cfg.packCost(ep.model, n, runs), "pack")
-		wr := ib.SendWR{
-			Op:         ib.OpRDMAWriteImm,
-			SGL:        []ib.SGE{{Addr: s.addr, Len: op.eff, Key: s.key}},
+		wr := verbs.SendWR{
+			Op:         verbs.OpRDMAWriteImm,
+			SGL:        []verbs.SGE{{Addr: s.addr, Len: op.eff, Key: s.key}},
 			RemoteAddr: refs[0].addr, RKey: refs[0].key, Imm: op.id,
 		}
-		ep.postWRs(op, op.dst, []ib.SendWR{wr}, false, func() {
+		ep.postWRs(op, op.dst, []verbs.SendWR{wr}, false, func() {
 			ep.releaseSeg(ep.packPool, op.staging.seg)
 			op.staging = segRes{}
 			ep.finishSend(op)
@@ -303,7 +305,7 @@ func (ep *Endpoint) sendBCSPUPData(op *sendOp, segSize int64, nSegs int, refs []
 		// Worst case (Figure 14): one on-the-fly pack buffer of the real data
 		// size — the same registration cost Generic pays — carved into
 		// segments so the pipeline still runs.
-		ep.ctr.PoolExhausted++
+		atomic.AddInt64(&ep.ctr.PoolExhausted, 1)
 		ep.acquireStaging(op.eff, func(s seg, err error) {
 			if err != nil {
 				ep.abortSend(op, err)
@@ -314,19 +316,19 @@ func (ep *Endpoint) sendBCSPUPData(op *sendOp, segSize int64, nSegs int, refs []
 				return
 			}
 			op.staging = segRes{seg: s, bytes: op.eff, held: true}
-			buildSeg := func(k int) ib.SendWR {
+			buildSeg := func(k int) verbs.SendWR {
 				n := segBytes(k)
 				addr := s.addr + mem.Addr(int64(k)*segSize)
 				got, runs := packer.PackTo(ep.memory.Bytes(addr, n))
 				if got != n {
 					panic("core: segment pack shortfall")
 				}
-				ep.ctr.BytesPacked += n
-				ep.ctr.SegmentsPipelined++
+				atomic.AddInt64(&ep.ctr.BytesPacked, n)
+				atomic.AddInt64(&ep.ctr.SegmentsPipelined, 1)
 				ep.hca.ChargeCPUNamed(ep.cfg.packCost(ep.model, n, runs), "pack")
-				return ib.SendWR{
-					Op:         ib.OpRDMAWriteImm,
-					SGL:        []ib.SGE{{Addr: addr, Len: n, Key: s.key}},
+				return verbs.SendWR{
+					Op:         verbs.OpRDMAWriteImm,
+					SGL:        []verbs.SGE{{Addr: addr, Len: n, Key: s.key}},
 					RemoteAddr: refs[k].addr, RKey: refs[k].key, Imm: op.id,
 				}
 			}
@@ -357,7 +359,7 @@ func (ep *Endpoint) sendBCSPUPData(op *sendOp, segSize int64, nSegs int, refs []
 				return
 			}
 			for k := 0; k < nSegs; k++ {
-				ep.postWRs(op, op.dst, []ib.SendWR{buildSeg(k)}, false, onAll)
+				ep.postWRs(op, op.dst, []verbs.SendWR{buildSeg(k)}, false, onAll)
 			}
 			ep.donePosting(op)
 		})
@@ -387,12 +389,12 @@ func (ep *Endpoint) sendBCSPUPData(op *sendOp, segSize int64, nSegs int, refs []
 			if got != n {
 				panic("core: segment pack shortfall")
 			}
-			ep.ctr.BytesPacked += n
-			ep.ctr.SegmentsPipelined++
+			atomic.AddInt64(&ep.ctr.BytesPacked, n)
+			atomic.AddInt64(&ep.ctr.SegmentsPipelined, 1)
 			ep.hca.ChargeCPUNamed(ep.cfg.packCost(ep.model, n, runs), "pack")
-			wr := ib.SendWR{
-				Op:         ib.OpRDMAWriteImm,
-				SGL:        []ib.SGE{{Addr: s.addr, Len: n, Key: s.key}},
+			wr := verbs.SendWR{
+				Op:         verbs.OpRDMAWriteImm,
+				SGL:        []verbs.SGE{{Addr: s.addr, Len: n, Key: s.key}},
 				RemoteAddr: refs[idx].addr, RKey: refs[idx].key, Imm: op.id,
 			}
 			op.wrsLeft++
@@ -429,7 +431,7 @@ func (ep *Endpoint) sendMultiWData(op *sendOp, rBase mem.Addr, rType *datatype.T
 		sc := datatype.NewCursor(op.dt, op.count)
 		rc := datatype.NewCursor(rType, rCount)
 		remaining := op.eff
-		var wrs []ib.SendWR
+		var wrs []verbs.SendWR
 		for remaining > 0 {
 			rOff, rLen, ok := rc.Next(remaining)
 			if !ok {
@@ -442,7 +444,7 @@ func (ep *Endpoint) sendMultiWData(op *sendOp, rBase mem.Addr, rType *datatype.T
 			if i < 0 {
 				panic(fmt.Sprintf("core rank %d: no remote region covers [%#x,+%d)", ep.rank, rAddr, rLen))
 			}
-			chunk, err := ep.chunkWRs(ib.OpRDMAWrite, sc, op.buf, op.refs, rLen, rAddr, rRefs[i].key)
+			chunk, err := ep.chunkWRs(verbs.OpRDMAWrite, sc, op.buf, op.refs, rLen, rAddr, rRefs[i].key)
 			if err != nil {
 				ep.abortSend(op, err)
 				return
@@ -451,11 +453,11 @@ func (ep *Endpoint) sendMultiWData(op *sendOp, rBase mem.Addr, rType *datatype.T
 			remaining -= rLen
 		}
 		last := len(wrs) - 1
-		wrs[last].Op = ib.OpRDMAWriteImm
+		wrs[last].Op = verbs.OpRDMAWriteImm
 		wrs[last].Imm = op.id
 		ep.chargeTypeProc(len(wrs))
 		if ep.faultMode() {
-			ep.postGroupsChained(op, [][]ib.SendWR{wrs}, func() { ep.finishSend(op) })
+			ep.postGroupsChained(op, [][]verbs.SendWR{wrs}, func() { ep.finishSend(op) })
 			return
 		}
 		ep.postWRs(op, op.dst, wrs, ep.cfg.ListPost, func() { ep.finishSend(op) })
@@ -512,15 +514,15 @@ func (ep *Endpoint) sendPRRSData(op *sendOp, segSize int64) {
 		if got != n {
 			panic("core: P-RRS pack shortfall")
 		}
-		ep.ctr.BytesPacked += n
-		ep.ctr.SegmentsPipelined++
+		atomic.AddInt64(&ep.ctr.BytesPacked, n)
+		atomic.AddInt64(&ep.ctr.SegmentsPipelined, 1)
 		ep.hca.ChargeCPUNamed(ep.cfg.packCost(ep.model, n, runs), "pack")
 		announce(k, s.addr, s.key, n)
 	}
 	if !ep.packPool.enabled || nSegs > ep.packPool.slots {
 		// Worst case or message larger than the pool: one on-the-fly pack
 		// buffer of the real data size, carved into segment views.
-		ep.ctr.PoolExhausted++
+		atomic.AddInt64(&ep.ctr.PoolExhausted, 1)
 		ep.acquireStaging(op.eff, func(s seg, err error) {
 			if err != nil {
 				ep.abortSend(op, err)
@@ -576,12 +578,12 @@ func (ep *Endpoint) handleSegReady(src int, r *ctrlReader) {
 	if op.failed {
 		return
 	}
-	wrs, err := ep.chunkWRs(ib.OpRDMARead, op.readCur, op.req.buf, op.refs, n, addr, key)
+	wrs, err := ep.chunkWRs(verbs.OpRDMARead, op.readCur, op.req.buf, op.refs, n, addr, key)
 	if err != nil {
 		ep.abortRecv(op, err, true)
 		return
 	}
-	ep.ctr.SegmentsPipelined++
+	atomic.AddInt64(&ep.ctr.SegmentsPipelined, 1)
 	cancelled := func() bool { return op.failed }
 	for i := range wrs {
 		wr := wrs[i]

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"sync/atomic"
+
 	"fmt"
 
 	"repro/internal/mem"
@@ -108,7 +110,7 @@ func (p *segPool) available() int { return len(p.free) }
 // never fails, so fn's error is non-nil only on that dynamic path.
 func (ep *Endpoint) withSeg(pool *segPool, fn func(seg, error)) {
 	if !pool.enabled {
-		ep.ctr.PoolExhausted++
+		atomic.AddInt64(&ep.ctr.PoolExhausted, 1)
 		ep.acquireStaging(pool.slot, fn)
 		return
 	}
@@ -133,7 +135,7 @@ func (ep *Endpoint) releaseSeg(pool *segPool, s seg) {
 		panic(err)
 	}
 	ep.accountReg(ops)
-	ep.ctr.DynamicFrees++
+	atomic.AddInt64(&ep.ctr.DynamicFrees, 1)
 	if err := ep.memory.Free(s.addr); err != nil {
 		panic(err)
 	}

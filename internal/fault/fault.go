@@ -1,10 +1,12 @@
 // Package fault provides seeded, deterministic fault injection for the
 // simulated fabric and registration layers.
 //
-// An Injector draws from its own rand source; because the simulation engine
-// is single-threaded, draws happen in event order and the same seed always
-// produces the same fault pattern — fault runs are as reproducible as
-// fault-free ones. Injected faults are classified transient (the operation
+// An Injector draws from its own rand source under a mutex. On the
+// single-threaded simulator backend draws happen in event order, so the same
+// seed always produces the same fault pattern — fault runs are as
+// reproducible as fault-free ones. On the real-time backend the draw order
+// depends on goroutine interleaving, so a seed fixes the marginal rates but
+// not which operation receives which fault. Injected faults are classified transient (the operation
 // may be retried) or permanent (the operation has failed for good), matching
 // the taxonomy hardware verbs expose as retry-exceeded vs. fatal work
 // completions.
@@ -14,6 +16,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"repro/internal/simtime"
 )
@@ -85,9 +88,12 @@ type Stats struct {
 // Total returns the number of injected faults (delays excluded).
 func (s Stats) Total() int64 { return s.PostFaults + s.CQEFaults + s.RegFaults }
 
-// Injector draws faults from a seeded source.
+// Injector draws faults from a seeded source. It is safe for concurrent use
+// by the real-time fabric's node goroutines.
 type Injector struct {
-	cfg   Config
+	cfg Config
+
+	mu    sync.Mutex
 	rng   *rand.Rand
 	stats Stats
 }
@@ -101,13 +107,22 @@ func New(cfg Config) *Injector {
 func (in *Injector) Config() Config { return in.cfg }
 
 // Stats returns a snapshot of the injection counts.
-func (in *Injector) Stats() Stats { return in.stats }
+func (in *Injector) Stats() Stats {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.stats
+}
 
-func (in *Injector) draw(rate float64, op string, count *int64) error {
-	if rate <= 0 || in.rng.Float64() >= rate {
+func (in *Injector) draw(rate float64, op string, count func(*Stats) *int64) error {
+	if rate <= 0 {
 		return nil
 	}
-	*count++
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.rng.Float64() >= rate {
+		return nil
+	}
+	*count(&in.stats)++
 	transient := true
 	if in.cfg.PermanentRate > 0 && in.rng.Float64() < in.cfg.PermanentRate {
 		transient = false
@@ -118,19 +133,19 @@ func (in *Injector) draw(rate float64, op string, count *int64) error {
 
 // PostFault samples a descriptor-post failure; nil means the post proceeds.
 func (in *Injector) PostFault() error {
-	return in.draw(in.cfg.PostFailRate, "post", &in.stats.PostFaults)
+	return in.draw(in.cfg.PostFailRate, "post", func(s *Stats) *int64 { return &s.PostFaults })
 }
 
 // CQEFault samples an error completion for a launched RDMA operation; nil
 // means the operation transfers normally.
 func (in *Injector) CQEFault() error {
-	return in.draw(in.cfg.CQEErrorRate, "cqe", &in.stats.CQEFaults)
+	return in.draw(in.cfg.CQEErrorRate, "cqe", func(s *Stats) *int64 { return &s.CQEFaults })
 }
 
 // RegFault samples a registration failure; nil means the registration
 // proceeds.
 func (in *Injector) RegFault() error {
-	return in.draw(in.cfg.RegFailRate, "reg", &in.stats.RegFaults)
+	return in.draw(in.cfg.RegFailRate, "reg", func(s *Stats) *int64 { return &s.RegFaults })
 }
 
 // Delay samples extra completion latency (zero most of the time).
@@ -138,6 +153,8 @@ func (in *Injector) Delay() simtime.Duration {
 	if in.cfg.DelayRate <= 0 || in.cfg.MaxDelay <= 0 {
 		return 0
 	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
 	if in.rng.Float64() >= in.cfg.DelayRate {
 		return 0
 	}

@@ -1,0 +1,63 @@
+package fault
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/simtime"
+)
+
+// The injector is shared by every node goroutine on the real-time backend;
+// concurrent draws must be safe and the stats must account every fault
+// exactly once. Run with -race.
+func TestInjectorConcurrent(t *testing.T) {
+	in := New(Config{
+		Seed:          7,
+		PostFailRate:  0.5,
+		CQEErrorRate:  0.5,
+		RegFailRate:   0.5,
+		DelayRate:     0.5,
+		MaxDelay:      100 * simtime.Nanosecond,
+		PermanentRate: 0.25,
+	})
+
+	const workers = 8
+	const perWorker = 1000
+	faults := make([]int64, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				if err := in.PostFault(); err != nil {
+					faults[w]++
+				}
+				if err := in.CQEFault(); err != nil {
+					faults[w]++
+				}
+				if err := in.RegFault(); err != nil {
+					faults[w]++
+				}
+				_ = in.Delay()
+				_ = in.Stats()
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	var seen int64
+	for _, n := range faults {
+		seen += n
+	}
+	st := in.Stats()
+	if st.Total() != seen {
+		t.Fatalf("stats count %d faults, callers saw %d", st.Total(), seen)
+	}
+	if st.PostFaults == 0 || st.CQEFaults == 0 || st.RegFaults == 0 || st.Delays == 0 {
+		t.Fatalf("expected every fault kind at 50%% rates, got %+v", st)
+	}
+	if st.Permanent == 0 {
+		t.Fatalf("expected some permanent faults at 25%% rate, got %+v", st)
+	}
+}

@@ -1,50 +1,27 @@
 package ib
 
-import "repro/internal/simtime"
+import (
+	"sync/atomic"
 
-// Opcode identifies the operation a work request or completion refers to.
-type Opcode int
+	"repro/internal/simtime"
+	"repro/internal/verbs"
+)
+
+// Opcode, the opcode constants, and CQE alias the backend-neutral
+// definitions in internal/verbs.
+type Opcode = verbs.Opcode
 
 // Work-request opcodes.
 const (
-	OpSend Opcode = iota
-	OpRDMAWrite
-	OpRDMAWriteImm
-	OpRDMARead
-	OpRecv // completion-side only
+	OpSend         = verbs.OpSend
+	OpRDMAWrite    = verbs.OpRDMAWrite
+	OpRDMAWriteImm = verbs.OpRDMAWriteImm
+	OpRDMARead     = verbs.OpRDMARead
+	OpRecv         = verbs.OpRecv // completion-side only
 )
 
-func (o Opcode) String() string {
-	switch o {
-	case OpSend:
-		return "SEND"
-	case OpRDMAWrite:
-		return "RDMA_WRITE"
-	case OpRDMAWriteImm:
-		return "RDMA_WRITE_IMM"
-	case OpRDMARead:
-		return "RDMA_READ"
-	case OpRecv:
-		return "RECV"
-	}
-	return "UNKNOWN"
-}
-
 // CQE is a completion queue entry.
-type CQE struct {
-	QP     *QP    // the queue pair the completion belongss to
-	WRID   uint64 // the work request's ID
-	Op     Opcode
-	Bytes  int64 // payload length
-	Imm    uint32
-	HasImm bool
-	Err    error // nil on success
-
-	// Data carries the payload of a channel-semantics (OpSend) message on
-	// the receive side, modeling the pre-registered internal receive buffer
-	// it would land in on hardware. Nil for RDMA completions.
-	Data []byte
-}
+type CQE = verbs.CQE
 
 // CQ is a completion queue. A CQ either queues entries for polling
 // (Poll/WaitPoll) or dispatches them to a handler; protocol engines use the
@@ -72,7 +49,7 @@ func (cq *CQ) SetHandler(fn func(CQE)) {
 
 // push delivers a completion at the current virtual time.
 func (cq *CQ) push(e CQE) {
-	cq.hca.counters.Completions++
+	atomic.AddInt64(&cq.hca.counters.Completions, 1)
 	if cq.handler != nil {
 		eng := cq.hca.Engine()
 		end := cq.hca.ChargeCPUNamed(cq.hca.Model().CompletionCost, "cqe")

@@ -8,6 +8,7 @@ import (
 	"repro/internal/simtime"
 	"repro/internal/stats"
 	"repro/internal/trace"
+	"repro/internal/verbs"
 )
 
 // Fabric is the switched interconnect: a full crossbar (like the paper's
@@ -134,6 +135,26 @@ func (h *HCA) ChargeCPUNamed(d simtime.Duration, name string) simtime.Time {
 func (h *HCA) traceLane(lane trace.Lane, name string, start, end simtime.Time) {
 	h.fab.tracer.Add(h.name, lane, name, start, end)
 }
+
+// NewCQ creates a completion queue on this HCA (verbs.HCA).
+func (h *HCA) NewCQ() verbs.CQ { return NewCQ(h) }
+
+// Connect implements verbs.HCA: it creates a connected (RC) queue pair
+// between this HCA and peer, which must be an ib.HCA on the same fabric.
+func (h *HCA) Connect(peer verbs.HCA, sendCQ, recvCQ, peerSendCQ, peerRecvCQ verbs.CQ) (verbs.QP, verbs.QP) {
+	p, ok := peer.(*HCA)
+	if !ok {
+		panic("ib: Connect to a non-simulator HCA")
+	}
+	return Connect(h, p, sendCQ.(*CQ), recvCQ.(*CQ), peerSendCQ.(*CQ), peerRecvCQ.(*CQ))
+}
+
+// Compile-time checks that the simulator satisfies the verbs contract.
+var (
+	_ verbs.HCA = (*HCA)(nil)
+	_ verbs.QP  = (*QP)(nil)
+	_ verbs.CQ  = (*CQ)(nil)
+)
 
 // Connect creates a connected (RC) queue pair between two HCAs. Each side
 // gets its own QP whose send and receive completions are delivered to the

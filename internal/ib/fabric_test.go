@@ -121,13 +121,13 @@ func TestSharedCQAcrossQPs(t *testing.T) {
 	}
 	shared := NewCQ(hcas[0])
 	srcs := map[int]int{}
-	shared.SetHandler(func(e CQE) { srcs[e.QP.UserData]++ })
+	shared.SetHandler(func(e CQE) { srcs[e.QP.UserData()]++ })
 	sendDummy := NewCQ(hcas[0])
 	for _, peer := range []int{1, 2} {
 		ps, pr := NewCQ(hcas[peer]), NewCQ(hcas[peer])
 		q0, qp := Connect(hcas[0], hcas[peer], sendDummy, shared, ps, pr)
-		q0.UserData = peer
-		qp.UserData = 0
+		q0.SetUserData(peer)
+		qp.SetUserData(0)
 		q0.PostRecv(RecvWR{})
 		if err := qp.PostSend(SendWR{Op: OpSend, Inline: []byte{byte(peer)}}); err != nil {
 			t.Fatal(err)

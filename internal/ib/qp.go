@@ -2,51 +2,20 @@ package ib
 
 import (
 	"fmt"
+	"sync/atomic"
 
-	"repro/internal/mem"
 	"repro/internal/simtime"
 	"repro/internal/trace"
+	"repro/internal/verbs"
 )
 
-// SGE is a scatter/gather element naming registered local memory.
-type SGE struct {
-	Addr mem.Addr
-	Len  int64
-	Key  uint32 // lkey of a covering registered region
-}
-
-// SendWR is a send-queue work request.
-//
-// Channel semantics (OpSend) carry an Inline payload: the bytes are captured
-// at post time, modeling MVAPICH's pre-registered internal send buffers, and
-// are handed to the receiver in the completion entry. Memory semantics
-// (RDMA write/read) use SGL/RemoteAddr/RKey and require registration on both
-// ends, exactly as on hardware.
-type SendWR struct {
-	WRID uint64
-	Op   Opcode
-
-	// Inline is the payload for OpSend.
-	Inline []byte
-
-	// SGL is the local gather list (write) or scatter list (read).
-	SGL []SGE
-
-	// RemoteAddr/RKey name the remote contiguous region for RDMA operations.
-	RemoteAddr mem.Addr
-	RKey       uint32
-
-	// Imm is delivered to the remote CQ for OpSend and OpRDMAWriteImm.
-	Imm uint32
-}
-
-// RecvWR is a receive-queue work request. In this simulation it is a pure
-// credit: channel-semantics payloads arrive in CQE.Data, and RDMA-write-
-// with-immediate consumes a credit to generate the remote completion, as the
-// paper's segment-arrival notification scheme requires.
-type RecvWR struct {
-	WRID uint64
-}
+// SGE, SendWR and RecvWR alias the backend-neutral work-request types in
+// internal/verbs.
+type (
+	SGE    = verbs.SGE
+	SendWR = verbs.SendWR
+	RecvWR = verbs.RecvWR
+)
 
 // arrival is payload/notification waiting for a receive credit (the
 // simulation's receiver-not-ready stall).
@@ -68,8 +37,8 @@ type QP struct {
 	recvQ   []RecvWR
 	stalled []arrival
 
-	// UserData is free for the owning protocol layer (e.g. peer rank).
-	UserData int
+	// userData is free for the owning protocol layer (e.g. peer rank).
+	userData int
 }
 
 // HCA returns the owning adapter.
@@ -81,10 +50,16 @@ func (qp *QP) Peer() *QP { return qp.peer }
 // Num returns the QP number (unique per HCA).
 func (qp *QP) Num() int { return qp.num }
 
+// UserData returns the tag stored with SetUserData.
+func (qp *QP) UserData() int { return qp.userData }
+
+// SetUserData stores an integer tag on the QP for the owning protocol layer.
+func (qp *QP) SetUserData(v int) { qp.userData = v }
+
 // PostRecv posts a receive credit. If arrivals were stalled waiting for
 // credits they are delivered now, in arrival order.
 func (qp *QP) PostRecv(wr RecvWR) {
-	qp.hca.counters.RecvsPosted++
+	atomic.AddInt64(&qp.hca.counters.RecvsPosted, 1)
 	qp.recvQ = append(qp.recvQ, wr)
 	for len(qp.stalled) > 0 && len(qp.recvQ) > 0 {
 		a := qp.stalled[0]
@@ -136,25 +111,25 @@ func (qp *QP) post(wrs []SendWR, list bool) error {
 
 	c := h.counters
 	if list {
-		c.ListPosts++
+		atomic.AddInt64(&c.ListPosts, 1)
 	}
 	for i := range wrs {
 		wr := &wrs[i]
-		c.DescriptorsPosted++
-		c.SGEsPosted += int64(len(wr.SGL))
+		atomic.AddInt64(&c.DescriptorsPosted, 1)
+		atomic.AddInt64(&c.SGEsPosted, int64(len(wr.SGL)))
 		switch wr.Op {
 		case OpSend:
-			c.SendsPosted++
+			atomic.AddInt64(&c.SendsPosted, 1)
 		case OpRDMAWrite, OpRDMAWriteImm:
-			c.RDMAWritesPosted++
+			atomic.AddInt64(&c.RDMAWritesPosted, 1)
 			if wr.Op == OpRDMAWriteImm {
-				c.ImmediatesSent++
+				atomic.AddInt64(&c.ImmediatesSent, 1)
 			}
 		case OpRDMARead:
-			c.RDMAReadsPosted++
+			atomic.AddInt64(&c.RDMAReadsPosted, 1)
 		}
 		if !list {
-			c.ListPosts++ // each single post is its own post operation
+			atomic.AddInt64(&c.ListPosts, 1) // each single post is its own post operation
 		}
 		cpuStart, cpuEnd := h.cpu.Acquire(eng.Now(), m.PostTime(i, len(wr.SGL), list))
 		h.fab.tracer.Add(h.name, trace.LaneCPU, "doorbell", cpuStart, cpuEnd)

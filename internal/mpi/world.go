@@ -10,12 +10,24 @@ package mpi
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/datatype"
 	"repro/internal/ib"
 	"repro/internal/mem"
+	"repro/internal/rtfab"
 	"repro/internal/simtime"
+	"repro/internal/verbs"
+)
+
+// Backend names for Config.Backend.
+const (
+	// BackendSim is the deterministic discrete-event simulator (default).
+	BackendSim = "sim"
+	// BackendRT is the real-time concurrent fabric: one goroutine per rank,
+	// wall-clock timing, byte-identical delivery semantics.
+	BackendRT = "rt"
 )
 
 // Config assembles a simulated cluster.
@@ -28,6 +40,12 @@ type Config struct {
 	Model ib.Model
 	// Core is the datatype-communication configuration.
 	Core core.Config
+	// Backend selects the verbs substrate: BackendSim ("" or "sim") or
+	// BackendRT ("rt").
+	Backend string
+	// RTTimeout bounds a BackendRT run (watchdog); zero means
+	// rtfab.DefaultTimeout. Ignored by the simulator.
+	RTTimeout time.Duration
 }
 
 // DefaultConfig returns an 8-rank cluster with the paper's parameters.
@@ -40,15 +58,19 @@ func DefaultConfig() Config {
 	}
 }
 
-// World is a simulated cluster: engine, fabric and one endpoint per rank.
+// World is a cluster on either backend: a fabric and one endpoint per rank.
+// On the simulator all ranks share one engine; on the real-time backend each
+// rank's endpoint runs on its node's private engine.
 type World struct {
-	cfg Config
-	eng *simtime.Engine
-	fab *ib.Fabric
-	eps []*core.Endpoint
+	cfg  Config
+	eng  *simtime.Engine // simulator only
+	fab  *ib.Fabric      // simulator only
+	rt   *rtfab.Fabric   // real-time only
+	hcas []verbs.HCA
+	eps  []*core.Endpoint
 }
 
-// NewWorld builds the cluster.
+// NewWorld builds the cluster on the backend cfg.Backend selects.
 func NewWorld(cfg Config) (*World, error) {
 	if cfg.Ranks <= 0 {
 		return nil, fmt.Errorf("mpi: %d ranks", cfg.Ranks)
@@ -56,11 +78,25 @@ func NewWorld(cfg Config) (*World, error) {
 	if cfg.MemBytes <= 0 {
 		cfg.MemBytes = 256 << 20
 	}
-	w := &World{cfg: cfg, eng: simtime.NewEngine()}
-	w.fab = ib.NewFabric(w.eng, cfg.Model)
+	w := &World{cfg: cfg}
+	switch cfg.Backend {
+	case "", BackendSim:
+		w.eng = simtime.NewEngine()
+		w.fab = ib.NewFabric(w.eng, cfg.Model)
+	case BackendRT:
+		w.rt = rtfab.New(cfg.Model)
+	default:
+		return nil, fmt.Errorf("mpi: unknown backend %q", cfg.Backend)
+	}
 	for i := 0; i < cfg.Ranks; i++ {
 		m := mem.NewMemory(fmt.Sprintf("rank%d", i), cfg.MemBytes)
-		hca := w.fab.AddHCA(fmt.Sprintf("rank%d", i), m, nil)
+		var hca verbs.HCA
+		if w.fab != nil {
+			hca = w.fab.AddHCA(fmt.Sprintf("rank%d", i), m, nil)
+		} else {
+			hca = w.rt.AddNode(fmt.Sprintf("rank%d", i), m, nil)
+		}
+		w.hcas = append(w.hcas, hca)
 		ep, err := core.NewEndpoint(i, hca, cfg.Core)
 		if err != nil {
 			return nil, err
@@ -71,10 +107,20 @@ func NewWorld(cfg Config) (*World, error) {
 	return w, nil
 }
 
-// Engine returns the simulation engine.
+// Backend reports which backend the world runs on.
+func (w *World) Backend() string {
+	if w.rt != nil {
+		return BackendRT
+	}
+	return BackendSim
+}
+
+// Engine returns the shared simulation engine, or nil on the real-time
+// backend (where each rank owns a private engine).
 func (w *World) Engine() *simtime.Engine { return w.eng }
 
-// Fabric returns the simulated interconnect (e.g. to attach a tracer).
+// Fabric returns the simulated interconnect (e.g. to attach a tracer), or
+// nil on the real-time backend.
 func (w *World) Fabric() *ib.Fabric { return w.fab }
 
 // Endpoint returns rank i's communication engine (for counter inspection).
@@ -83,20 +129,27 @@ func (w *World) Endpoint(i int) *core.Endpoint { return w.eps[i] }
 // Size returns the number of ranks.
 func (w *World) Size() int { return len(w.eps) }
 
-// Run executes body once per rank (concurrently in virtual time) and drives
-// the simulation to completion. It returns the first body error, a deadlock
-// error, or nil.
+// Run executes body once per rank — concurrently in virtual time on the
+// simulator, concurrently on the wall clock on the real-time backend — and
+// drives the cluster to completion. It returns the first body error, a
+// deadlock/watchdog error, or nil.
 func (w *World) Run(body func(p *Proc) error) error {
 	errs := make([]error, len(w.eps))
 	for i, ep := range w.eps {
 		i, ep := i, ep
-		w.eng.Spawn(fmt.Sprintf("rank%d", i), func(sp *simtime.Process) {
+		w.hcas[i].Engine().Spawn(fmt.Sprintf("rank%d", i), func(sp *simtime.Process) {
 			errs[i] = body(&Proc{ep: ep, sp: sp, w: w, nextCtx: 1})
 		})
 	}
-	if err := w.eng.Run(); err != nil {
+	var err error
+	if w.rt != nil {
+		err = w.rt.Run(w.cfg.RTTimeout)
+	} else {
+		err = w.eng.Run()
+	}
+	if err != nil {
 		// A rank failing early often strands its peers: surface both the
-		// engine's deadlock report and the body errors that caused it.
+		// fabric's deadlock report and the body errors that caused it.
 		return errors.Join(append([]error{err}, errs...)...)
 	}
 	return errors.Join(errs...)

@@ -1,0 +1,407 @@
+package rtfab
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/simtime"
+	"repro/internal/verbs"
+)
+
+// CQ is a completion queue on one node. All methods run on the owning
+// node's execution context; completions pushed by remote operations arrive
+// as inbox closures, so they too execute on the owner's driver.
+type CQ struct {
+	node    *Node
+	queue   []verbs.CQE
+	handler func(verbs.CQE)
+	sig     simtime.Signal
+}
+
+// NewCQ creates a completion queue on this node (verbs.HCA).
+func (n *Node) NewCQ() verbs.CQ { return &CQ{node: n} }
+
+// SetHandler switches the CQ to handler dispatch. Each entry is delivered in
+// its own engine event after reserving CompletionCost on the node's virtual
+// CPU, exactly like the simulator, so handlers never reenter posting code.
+func (cq *CQ) SetHandler(fn func(verbs.CQE)) {
+	if len(cq.queue) > 0 {
+		panic("rtfab: SetHandler on non-empty CQ")
+	}
+	cq.handler = fn
+}
+
+// push delivers a completion. Must run on the owning node's driver.
+func (cq *CQ) push(e verbs.CQE) {
+	atomic.AddInt64(&cq.node.counters.Completions, 1)
+	if cq.handler != nil {
+		end := cq.node.ChargeCPUNamed(cq.node.Model().CompletionCost, "cqe")
+		cq.node.eng.At(end, func() { cq.handler(e) })
+		return
+	}
+	cq.queue = append(cq.queue, e)
+	cq.sig.Broadcast()
+}
+
+// Poll removes and returns the oldest completion, if any.
+func (cq *CQ) Poll() (verbs.CQE, bool) {
+	if len(cq.queue) == 0 {
+		return verbs.CQE{}, false
+	}
+	e := cq.queue[0]
+	cq.queue = cq.queue[1:]
+	return e, true
+}
+
+// WaitPoll blocks the process until a completion is available, then returns
+// it, charging the completion-handling CPU cost.
+func (cq *CQ) WaitPoll(p *simtime.Process) verbs.CQE {
+	for len(cq.queue) == 0 {
+		p.Wait(&cq.sig)
+	}
+	e := cq.queue[0]
+	cq.queue = cq.queue[1:]
+	end := cq.node.ChargeCPU(cq.node.Model().CompletionCost)
+	p.WaitUntil(end)
+	return e
+}
+
+// Len reports the number of queued completions (always 0 in handler mode).
+func (cq *CQ) Len() int { return len(cq.queue) }
+
+// arrival is a payload or notification waiting for a receive credit.
+type arrival struct {
+	data   []byte
+	bytes  int64
+	imm    uint32
+	hasImm bool
+}
+
+// QP is one end of a reliable connection. Queue state (credits, stalled
+// arrivals) is owned by the node's driver goroutine.
+type QP struct {
+	node     *Node
+	num      int
+	peer     *QP
+	sendCQ   *CQ
+	recvCQ   *CQ
+	recvQ    []verbs.RecvWR
+	stalled  []arrival
+	userData int
+}
+
+// Connect implements verbs.HCA: it creates a connected (RC) queue pair
+// between this node and peer, which must be an rtfab.Node on the same
+// fabric. Must be called before Run.
+func (n *Node) Connect(peer verbs.HCA, sendCQ, recvCQ, peerSendCQ, peerRecvCQ verbs.CQ) (verbs.QP, verbs.QP) {
+	p, ok := peer.(*Node)
+	if !ok {
+		panic("rtfab: Connect to a non-rtfab node")
+	}
+	if n.fab != p.fab {
+		panic("rtfab: Connect across fabrics")
+	}
+	if n.fab.started {
+		panic("rtfab: Connect after Run")
+	}
+	qa := &QP{node: n, num: n.nextQP, sendCQ: sendCQ.(*CQ), recvCQ: recvCQ.(*CQ)}
+	n.nextQP++
+	qb := &QP{node: p, num: p.nextQP, sendCQ: peerSendCQ.(*CQ), recvCQ: peerRecvCQ.(*CQ)}
+	p.nextQP++
+	qa.peer, qb.peer = qb, qa
+	return qa, qb
+}
+
+// Num returns the QP number (unique per node).
+func (qp *QP) Num() int { return qp.num }
+
+// UserData returns the tag stored with SetUserData.
+func (qp *QP) UserData() int { return qp.userData }
+
+// SetUserData stores an integer tag on the QP for the owning protocol layer.
+func (qp *QP) SetUserData(v int) { qp.userData = v }
+
+// PostRecv posts a receive credit. If arrivals were stalled waiting for
+// credits they are delivered now, in arrival order.
+func (qp *QP) PostRecv(wr verbs.RecvWR) {
+	atomic.AddInt64(&qp.node.counters.RecvsPosted, 1)
+	qp.recvQ = append(qp.recvQ, wr)
+	for len(qp.stalled) > 0 && len(qp.recvQ) > 0 {
+		a := qp.stalled[0]
+		qp.stalled = qp.stalled[1:]
+		qp.completeArrival(a)
+	}
+}
+
+// RecvCredits reports the number of posted, unconsumed receive credits.
+func (qp *QP) RecvCredits() int { return len(qp.recvQ) }
+
+// PostSend posts one work request.
+func (qp *QP) PostSend(wr verbs.SendWR) error {
+	return qp.post([]verbs.SendWR{wr}, false)
+}
+
+// PostSendList posts a list of work requests in one operation.
+func (qp *QP) PostSendList(wrs []verbs.SendWR) error {
+	return qp.post(wrs, true)
+}
+
+func (qp *QP) post(wrs []verbs.SendWR, list bool) error {
+	if len(wrs) == 0 {
+		return nil
+	}
+	n := qp.node
+
+	// Validate everything before launching anything, so a bad descriptor in
+	// a list fails the whole post (as ibv_post_send does).
+	for i := range wrs {
+		if err := qp.validate(&wrs[i]); err != nil {
+			return fmt.Errorf("rtfab %s qp%d: %w", n.name, qp.num, err)
+		}
+	}
+
+	// Injected post failures; channel-semantics sends are exempt so control
+	// traffic keeps the transport's reliable ordering (see internal/ib).
+	if inj := n.fab.injector; inj != nil && wrs[0].Op != verbs.OpSend {
+		if err := inj.PostFault(); err != nil {
+			return fmt.Errorf("rtfab %s qp%d: post: %w", n.name, qp.num, err)
+		}
+	}
+
+	c := n.counters
+	if list {
+		atomic.AddInt64(&c.ListPosts, 1)
+	}
+	for i := range wrs {
+		wr := &wrs[i]
+		atomic.AddInt64(&c.DescriptorsPosted, 1)
+		atomic.AddInt64(&c.SGEsPosted, int64(len(wr.SGL)))
+		switch wr.Op {
+		case verbs.OpSend:
+			atomic.AddInt64(&c.SendsPosted, 1)
+		case verbs.OpRDMAWrite, verbs.OpRDMAWriteImm:
+			atomic.AddInt64(&c.RDMAWritesPosted, 1)
+			if wr.Op == verbs.OpRDMAWriteImm {
+				atomic.AddInt64(&c.ImmediatesSent, 1)
+			}
+		case verbs.OpRDMARead:
+			atomic.AddInt64(&c.RDMAReadsPosted, 1)
+		}
+		if !list {
+			atomic.AddInt64(&c.ListPosts, 1)
+		}
+		n.cpu.Acquire(n.eng.Now(), n.Model().PostTime(i, len(wr.SGL), list))
+		qp.launch(*wr)
+	}
+	return nil
+}
+
+func (qp *QP) validate(wr *verbs.SendWR) error {
+	n := qp.node
+	switch wr.Op {
+	case verbs.OpSend:
+		if len(wr.SGL) != 0 {
+			return fmt.Errorf("OpSend carries inline payloads only")
+		}
+		return nil
+	case verbs.OpRDMAWrite, verbs.OpRDMAWriteImm:
+		total, err := validateSGL(n, wr.SGL)
+		if err != nil {
+			return err
+		}
+		// Remote access rights are checked at delivery on the responder's
+		// driver; the target range must at least be a plausible address.
+		// (Memory bounds are immutable, so this cross-node read is safe.)
+		if err := qp.peer.node.mem.CheckRange(wr.RemoteAddr, total); err != nil {
+			return err
+		}
+		return nil
+	case verbs.OpRDMARead:
+		if _, err := validateSGL(n, wr.SGL); err != nil {
+			return err
+		}
+		return nil
+	default:
+		return fmt.Errorf("bad opcode %v", wr.Op)
+	}
+}
+
+// validateSGL checks every SGE against the local registration table and
+// returns the total byte length.
+func validateSGL(n *Node, sgl []verbs.SGE) (int64, error) {
+	var total int64
+	for _, s := range sgl {
+		if s.Len < 0 {
+			return 0, fmt.Errorf("rtfab %s: negative SGE length", n.name)
+		}
+		if s.Len == 0 {
+			continue
+		}
+		if err := n.mem.Reg().CheckAccess(s.Key, s.Addr, s.Len); err != nil {
+			return 0, err
+		}
+		total += s.Len
+	}
+	return total, nil
+}
+
+// launch executes one validated descriptor. The payload is gathered on the
+// initiator's driver (its own arena); delivery, registration checks and the
+// landing copy run on the responder's driver; the ack closure returns to the
+// initiator's driver to push the send completion. Channel FIFO order per
+// sender gives the transport's non-overtaking guarantee.
+func (qp *QP) launch(wr verbs.SendWR) {
+	n := qp.node
+	fab := n.fab
+	peer := qp.peer
+
+	// Injected CQE errors: the descriptor is consumed, no data moves, and
+	// the initiator sees an error completion asynchronously. Channel-
+	// semantics sends are exempt (see post).
+	if inj := fab.injector; inj != nil && wr.Op != verbs.OpSend {
+		if ferr := inj.CQEFault(); ferr != nil {
+			err := fmt.Errorf("rtfab %s qp%d: %v failed: %w", n.name, qp.num, wr.Op, ferr)
+			wrid, op := wr.WRID, wr.Op
+			n.eng.Schedule(0, func() {
+				qp.sendCQ.push(verbs.CQE{QP: qp, WRID: wrid, Op: op, Err: err})
+			})
+			return
+		}
+	}
+
+	switch wr.Op {
+	case verbs.OpSend:
+		payload := append([]byte(nil), wr.Inline...)
+		size := int64(len(payload))
+		wrid, imm := wr.WRID, wr.Imm
+		fab.exec(peer.node, func() {
+			peer.arrive(arrival{data: payload, bytes: size, imm: imm, hasImm: true})
+			// Ack after delivery: send completion implies the message reached
+			// the peer, matching the simulator's timing order.
+			fab.exec(n, func() {
+				qp.sendCQ.push(verbs.CQE{QP: qp, WRID: wrid, Op: verbs.OpSend, Bytes: size})
+			})
+		})
+
+	case verbs.OpRDMAWrite, verbs.OpRDMAWriteImm:
+		// Snapshot the gather list at launch; hardware requires the source
+		// stable until completion and our protocols honor that.
+		var size int64
+		for _, s := range wr.SGL {
+			size += s.Len
+		}
+		payload := make([]byte, 0, size)
+		for _, s := range wr.SGL {
+			if s.Len > 0 {
+				payload = append(payload, n.mem.Bytes(s.Addr, s.Len)...)
+			}
+		}
+		wrcopy := wr
+		fab.exec(peer.node, func() { qp.deliverWrite(wrcopy, payload, size) })
+
+	case verbs.OpRDMARead:
+		var size int64
+		for _, s := range wr.SGL {
+			size += s.Len
+		}
+		wrcopy := wr
+		fab.exec(peer.node, func() { qp.serveRead(wrcopy, size) })
+	}
+}
+
+// deliverWrite lands an RDMA write. Runs on the responder's driver.
+func (qp *QP) deliverWrite(wr verbs.SendWR, payload []byte, size int64) {
+	n := qp.node
+	fab := n.fab
+	peer := qp.peer
+	// Responder-side protection check against the responder's table.
+	if err := peer.node.mem.Reg().CheckAccess(wr.RKey, wr.RemoteAddr, size); err != nil {
+		werr := fmt.Errorf("remote access error: %w", err)
+		fab.exec(n, func() {
+			qp.sendCQ.push(verbs.CQE{QP: qp, WRID: wr.WRID, Op: wr.Op, Bytes: size, Err: werr})
+		})
+		return
+	}
+	copy(peer.node.mem.Bytes(wr.RemoteAddr, size), payload)
+	if wr.Op == verbs.OpRDMAWriteImm {
+		peer.arrive(arrival{bytes: size, imm: wr.Imm, hasImm: true})
+	}
+	// Ack to the initiator; injected delays defer the completion on the
+	// initiator's virtual clock without reordering the delivery above.
+	var delay simtime.Duration
+	if inj := fab.injector; inj != nil {
+		delay = inj.Delay()
+	}
+	fab.exec(n, func() {
+		if delay > 0 {
+			n.eng.Schedule(delay, func() {
+				qp.sendCQ.push(verbs.CQE{QP: qp, WRID: wr.WRID, Op: wr.Op, Bytes: size})
+			})
+			return
+		}
+		qp.sendCQ.push(verbs.CQE{QP: qp, WRID: wr.WRID, Op: wr.Op, Bytes: size})
+	})
+}
+
+// serveRead executes the responder half of an RDMA read (runs on the
+// responder's driver), then ships the bytes back to the initiator, whose
+// driver scatters them into the local gather list.
+func (qp *QP) serveRead(wr verbs.SendWR, size int64) {
+	n := qp.node
+	fab := n.fab
+	peer := qp.peer
+	if err := peer.node.mem.Reg().CheckAccess(wr.RKey, wr.RemoteAddr, size); err != nil {
+		rerr := fmt.Errorf("remote access error: %w", err)
+		fab.exec(n, func() {
+			qp.sendCQ.push(verbs.CQE{QP: qp, WRID: wr.WRID, Op: verbs.OpRDMARead, Bytes: size, Err: rerr})
+		})
+		return
+	}
+	data := append([]byte(nil), peer.node.mem.Bytes(wr.RemoteAddr, size)...)
+	var delay simtime.Duration
+	if inj := fab.injector; inj != nil {
+		delay = inj.Delay()
+	}
+	fab.exec(n, func() {
+		var off int64
+		for _, s := range wr.SGL {
+			if s.Len <= 0 {
+				continue
+			}
+			copy(n.mem.Bytes(s.Addr, s.Len), data[off:off+s.Len])
+			off += s.Len
+		}
+		if delay > 0 {
+			n.eng.Schedule(delay, func() {
+				qp.sendCQ.push(verbs.CQE{QP: qp, WRID: wr.WRID, Op: verbs.OpRDMARead, Bytes: size})
+			})
+			return
+		}
+		qp.sendCQ.push(verbs.CQE{QP: qp, WRID: wr.WRID, Op: verbs.OpRDMARead, Bytes: size})
+	})
+}
+
+// arrive delivers a channel-semantics payload or an immediate notification,
+// consuming a receive credit or stalling until one is posted. Runs on the
+// owning node's driver.
+func (qp *QP) arrive(a arrival) {
+	if len(qp.recvQ) == 0 {
+		qp.stalled = append(qp.stalled, a)
+		return
+	}
+	qp.completeArrival(a)
+}
+
+func (qp *QP) completeArrival(a arrival) {
+	rwr := qp.recvQ[0]
+	qp.recvQ = qp.recvQ[1:]
+	qp.recvCQ.push(verbs.CQE{
+		QP:     qp,
+		WRID:   rwr.WRID,
+		Op:     verbs.OpRecv,
+		Bytes:  a.bytes,
+		Imm:    a.imm,
+		HasImm: a.hasImm,
+		Data:   a.data,
+	})
+}

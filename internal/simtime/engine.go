@@ -166,6 +166,34 @@ func (e *Engine) RunUntil(t Time) {
 	}
 }
 
+// Step executes the single earliest pending event, advancing the clock to
+// its timestamp, and reports whether an event ran. It lets an external
+// driver (the real-time fabric's per-node goroutine) interleave engine
+// events with work arriving from outside the engine, which Run cannot do.
+func (e *Engine) Step() bool {
+	if len(e.events) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.events).(*event)
+	if ev.at > e.now {
+		e.now = ev.at
+	}
+	ev.fn()
+	return true
+}
+
+// Blocked returns the names of spawned processes that have not finished,
+// sorted. A driver that has drained all events can use it to report which
+// processes are stuck.
+func (e *Engine) Blocked() []string {
+	names := make([]string, 0, len(e.live))
+	for _, p := range e.live {
+		names = append(names, p.name)
+	}
+	sort.Strings(names)
+	return names
+}
+
 // Pending reports the number of queued events.
 func (e *Engine) Pending() int { return len(e.events) }
 

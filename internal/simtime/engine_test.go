@@ -392,3 +392,56 @@ func TestResourceReset(t *testing.T) {
 		t.Fatalf("name = %q", r.Name())
 	}
 }
+
+// Step is the incremental drain used by the real-time backend's driver
+// loops: one event per call, in order, advancing the clock, interleavable
+// with externally injected work.
+func TestStepIncrementalDrain(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.Schedule(20, func() { order = append(order, 2) })
+	e.Schedule(10, func() { order = append(order, 1) })
+	if !e.Step() {
+		t.Fatal("Step returned false with events pending")
+	}
+	if e.Now() != 10 || len(order) != 1 || order[0] != 1 {
+		t.Fatalf("after first Step: now=%v order=%v", e.Now(), order)
+	}
+	// Work injected between steps lands in the same queue.
+	e.Schedule(5, func() { order = append(order, 3) })
+	for e.Step() {
+	}
+	if e.Now() != 20 {
+		t.Fatalf("now = %v, want 20", e.Now())
+	}
+	if want := []int{1, 3, 2}; len(order) != 3 || order[0] != want[0] ||
+		order[1] != want[1] || order[2] != want[2] {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+	if e.Step() {
+		t.Fatal("Step returned true on an empty queue")
+	}
+}
+
+// Blocked reports still-parked processes without consuming them — the
+// real-time backend's post-quiescence deadlock check.
+func TestBlockedReportsParkedProcesses(t *testing.T) {
+	e := NewEngine()
+	var sig Signal
+	e.Spawn("zeta", func(p *Process) { p.Wait(&sig) })
+	e.Spawn("alpha", func(p *Process) { p.Wait(&sig) })
+	e.Spawn("done", func(p *Process) { p.Sleep(5) })
+	for e.Step() {
+	}
+	got := e.Blocked()
+	if len(got) != 2 || got[0] != "alpha" || got[1] != "zeta" {
+		t.Fatalf("Blocked = %v, want [alpha zeta] (sorted)", got)
+	}
+	// Waking them empties the report.
+	sig.Broadcast()
+	for e.Step() {
+	}
+	if got := e.Blocked(); len(got) != 0 {
+		t.Fatalf("Blocked after wake = %v, want empty", got)
+	}
+}

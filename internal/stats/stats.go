@@ -8,10 +8,18 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 )
 
 // Counters accumulates per-rank event counts. All fields count occurrences
 // unless the name says Bytes. The zero value is ready to use.
+//
+// Concurrency: every writer (both backends' fabrics and the protocol layers)
+// increments fields with atomic.AddInt64, so one Counters value may be shared
+// across the real-time fabric's node goroutines. Aggregate readers
+// (BytesCopied, Add, Snapshot, String) load atomically and are safe to call
+// while writers run; direct field reads are safe only after the run's
+// goroutines have been joined.
 type Counters struct {
 	// Host memory-copy traffic, split by purpose.
 	BytesPacked   int64 // user buffer -> staging (pack)
@@ -59,98 +67,101 @@ type Counters struct {
 	PeerAborts     int64 // abort notifications received from a peer rank
 }
 
-// BytesCopied reports total host copy traffic (pack + unpack + staging).
-func (c *Counters) BytesCopied() int64 {
-	return c.BytesPacked + c.BytesUnpacked + c.BytesStaged
+// field pairs a counter's name with a pointer to its value.
+type field struct {
+	name string
+	p    *int64
 }
 
-// Add accumulates o into c.
+// fields lists every counter field in declaration order. Both c's methods and
+// the race tests iterate it so no accessor can miss a field.
+func (c *Counters) fields() []field {
+	return []field{
+		{"BytesPacked", &c.BytesPacked},
+		{"BytesUnpacked", &c.BytesUnpacked},
+		{"BytesStaged", &c.BytesStaged},
+		{"Registrations", &c.Registrations},
+		{"RegisteredBytes", &c.RegisteredBytes},
+		{"RegisteredPages", &c.RegisteredPages},
+		{"Deregistrations", &c.Deregistrations},
+		{"DeregisteredPages", &c.DeregisteredPages},
+		{"RegCacheHits", &c.RegCacheHits},
+		{"RegCacheMisses", &c.RegCacheMisses},
+		{"RegCacheEvictions", &c.RegCacheEvictions},
+		{"DynamicAllocs", &c.DynamicAllocs},
+		{"DynamicFrees", &c.DynamicFrees},
+		{"PoolExhausted", &c.PoolExhausted},
+		{"SendsPosted", &c.SendsPosted},
+		{"RDMAWritesPosted", &c.RDMAWritesPosted},
+		{"RDMAReadsPosted", &c.RDMAReadsPosted},
+		{"DescriptorsPosted", &c.DescriptorsPosted},
+		{"ListPosts", &c.ListPosts},
+		{"SGEsPosted", &c.SGEsPosted},
+		{"RecvsPosted", &c.RecvsPosted},
+		{"Completions", &c.Completions},
+		{"ImmediatesSent", &c.ImmediatesSent},
+		{"EagerSends", &c.EagerSends},
+		{"RendezvousSends", &c.RendezvousSends},
+		{"CtrlMessages", &c.CtrlMessages},
+		{"TypeLayoutsSent", &c.TypeLayoutsSent},
+		{"TypeCacheHits", &c.TypeCacheHits},
+		{"TypeCacheReplaced", &c.TypeCacheReplaced},
+		{"SegmentsPipelined", &c.SegmentsPipelined},
+		{"FaultRetries", &c.FaultRetries},
+		{"RequestsFailed", &c.RequestsFailed},
+		{"PeerAborts", &c.PeerAborts},
+	}
+}
+
+// BytesCopied reports total host copy traffic (pack + unpack + staging).
+func (c *Counters) BytesCopied() int64 {
+	return atomic.LoadInt64(&c.BytesPacked) +
+		atomic.LoadInt64(&c.BytesUnpacked) +
+		atomic.LoadInt64(&c.BytesStaged)
+}
+
+// Add accumulates o into c. o may be written concurrently; c gains a
+// consistent per-field (not cross-field) snapshot of it.
 func (c *Counters) Add(o *Counters) {
-	c.BytesPacked += o.BytesPacked
-	c.BytesUnpacked += o.BytesUnpacked
-	c.BytesStaged += o.BytesStaged
-	c.Registrations += o.Registrations
-	c.RegisteredBytes += o.RegisteredBytes
-	c.RegisteredPages += o.RegisteredPages
-	c.Deregistrations += o.Deregistrations
-	c.DeregisteredPages += o.DeregisteredPages
-	c.RegCacheHits += o.RegCacheHits
-	c.RegCacheMisses += o.RegCacheMisses
-	c.RegCacheEvictions += o.RegCacheEvictions
-	c.DynamicAllocs += o.DynamicAllocs
-	c.DynamicFrees += o.DynamicFrees
-	c.PoolExhausted += o.PoolExhausted
-	c.SendsPosted += o.SendsPosted
-	c.RDMAWritesPosted += o.RDMAWritesPosted
-	c.RDMAReadsPosted += o.RDMAReadsPosted
-	c.DescriptorsPosted += o.DescriptorsPosted
-	c.ListPosts += o.ListPosts
-	c.SGEsPosted += o.SGEsPosted
-	c.RecvsPosted += o.RecvsPosted
-	c.Completions += o.Completions
-	c.ImmediatesSent += o.ImmediatesSent
-	c.EagerSends += o.EagerSends
-	c.RendezvousSends += o.RendezvousSends
-	c.CtrlMessages += o.CtrlMessages
-	c.TypeLayoutsSent += o.TypeLayoutsSent
-	c.TypeCacheHits += o.TypeCacheHits
-	c.TypeCacheReplaced += o.TypeCacheReplaced
-	c.SegmentsPipelined += o.SegmentsPipelined
-	c.FaultRetries += o.FaultRetries
-	c.RequestsFailed += o.RequestsFailed
-	c.PeerAborts += o.PeerAborts
+	of := o.fields()
+	for i, f := range c.fields() {
+		atomic.AddInt64(f.p, atomic.LoadInt64(of[i].p))
+	}
+}
+
+// Snapshot returns a plain copy of the counters, loading each field
+// atomically so it can be taken while writers run.
+func (c *Counters) Snapshot() Counters {
+	var out Counters
+	of := out.fields()
+	for i, f := range c.fields() {
+		*of[i].p = atomic.LoadInt64(f.p)
+	}
+	return out
 }
 
 // Reset zeroes all counters.
-func (c *Counters) Reset() { *c = Counters{} }
+func (c *Counters) Reset() {
+	for _, f := range c.fields() {
+		atomic.StoreInt64(f.p, 0)
+	}
+}
 
 // String renders the non-zero counters, one per line, sorted by name.
 func (c *Counters) String() string {
-	entries := map[string]int64{
-		"BytesPacked":       c.BytesPacked,
-		"BytesUnpacked":     c.BytesUnpacked,
-		"BytesStaged":       c.BytesStaged,
-		"Registrations":     c.Registrations,
-		"RegisteredBytes":   c.RegisteredBytes,
-		"RegisteredPages":   c.RegisteredPages,
-		"Deregistrations":   c.Deregistrations,
-		"DeregisteredPages": c.DeregisteredPages,
-		"RegCacheHits":      c.RegCacheHits,
-		"RegCacheMisses":    c.RegCacheMisses,
-		"RegCacheEvictions": c.RegCacheEvictions,
-		"DynamicAllocs":     c.DynamicAllocs,
-		"DynamicFrees":      c.DynamicFrees,
-		"PoolExhausted":     c.PoolExhausted,
-		"SendsPosted":       c.SendsPosted,
-		"RDMAWritesPosted":  c.RDMAWritesPosted,
-		"RDMAReadsPosted":   c.RDMAReadsPosted,
-		"DescriptorsPosted": c.DescriptorsPosted,
-		"ListPosts":         c.ListPosts,
-		"SGEsPosted":        c.SGEsPosted,
-		"RecvsPosted":       c.RecvsPosted,
-		"Completions":       c.Completions,
-		"ImmediatesSent":    c.ImmediatesSent,
-		"EagerSends":        c.EagerSends,
-		"RendezvousSends":   c.RendezvousSends,
-		"CtrlMessages":      c.CtrlMessages,
-		"TypeLayoutsSent":   c.TypeLayoutsSent,
-		"TypeCacheHits":     c.TypeCacheHits,
-		"TypeCacheReplaced": c.TypeCacheReplaced,
-		"SegmentsPipelined": c.SegmentsPipelined,
-		"FaultRetries":      c.FaultRetries,
-		"RequestsFailed":    c.RequestsFailed,
-		"PeerAborts":        c.PeerAborts,
-	}
-	names := make([]string, 0, len(entries))
-	for k, v := range entries {
-		if v != 0 {
-			names = append(names, k)
+	fs := c.fields()
+	names := make([]string, 0, len(fs))
+	vals := make(map[string]int64, len(fs))
+	for _, f := range fs {
+		if v := atomic.LoadInt64(f.p); v != 0 {
+			names = append(names, f.name)
+			vals[f.name] = v
 		}
 	}
 	sort.Strings(names)
 	var b strings.Builder
 	for _, k := range names {
-		fmt.Fprintf(&b, "%s=%d\n", k, entries[k])
+		fmt.Fprintf(&b, "%s=%d\n", k, vals[k])
 	}
 	return b.String()
 }

@@ -1,0 +1,137 @@
+package verbs
+
+import (
+	"repro/internal/mem"
+	"repro/internal/simtime"
+)
+
+// Model holds every hardware cost parameter of the fabric. The simulator
+// backend prices all activity with it; the real-time backend uses it only
+// for structural limits (MaxSGE) and for host-side accounting, since its
+// timing is the wall clock. Bandwidths are in decimal GB/s, which
+// conveniently equals bytes per nanosecond. Defaults approximate the paper's
+// testbed: 2003-era InfiniBand 4x (Mellanox InfiniHost MT23108) behind a
+// 133 MHz PCI-X bus on dual 2.4 GHz Xeon nodes.
+type Model struct {
+	// Wire and link.
+	WireLatency simtime.Duration // one-way first-bit latency through the switch
+	LinkGBps    float64          // per-port serialization bandwidth (PCI-X bound)
+
+	// Host memory copies (pack/unpack).
+	CopyGBps         float64          // memory copy bandwidth
+	CopyBlockStartup simtime.Duration // per contiguous block copy overhead
+
+	// Descriptor posting (host CPU).
+	PostCost      simtime.Duration // CPU cost to post one descriptor
+	ListPostEntry simtime.Duration // CPU cost per descriptor after the first in a list post
+	SGEPost       simtime.Duration // CPU cost per scatter/gather entry built
+
+	// NIC processing (occupies the send port alongside wire serialization).
+	NICDescCost simtime.Duration // per-descriptor NIC processing
+	NICSGECost  simtime.Duration // per-SGE NIC processing
+
+	// Completion handling (host CPU per CQ entry).
+	CompletionCost simtime.Duration
+
+	// RDMA Read responder turnaround (why read is slower than write).
+	ReadTurnaround simtime.Duration
+
+	// Memory registration (page pinning) and deregistration.
+	RegBase      simtime.Duration
+	RegPerPage   simtime.Duration
+	DeregBase    simtime.Duration
+	DeregPerPage simtime.Duration
+
+	// Dynamic staging-buffer allocation (malloc + page touch).
+	MallocBase    simtime.Duration
+	MallocPerPage simtime.Duration
+	FreeCost      simtime.Duration
+
+	// MaxSGE is the gather/scatter limit per descriptor (Mellanox SDK: 64).
+	MaxSGE int
+}
+
+// DefaultModel returns the calibrated testbed parameters. See DESIGN.md §5.
+func DefaultModel() Model {
+	return Model{
+		WireLatency:      1300 * simtime.Nanosecond,
+		LinkGBps:         0.86,
+		CopyGBps:         0.75,
+		CopyBlockStartup: 60 * simtime.Nanosecond,
+		PostCost:         1200 * simtime.Nanosecond,
+		ListPostEntry:    400 * simtime.Nanosecond,
+		SGEPost:          120 * simtime.Nanosecond,
+		NICDescCost:      500 * simtime.Nanosecond,
+		NICSGECost:       80 * simtime.Nanosecond,
+		CompletionCost:   400 * simtime.Nanosecond,
+		ReadTurnaround:   2500 * simtime.Nanosecond,
+		RegBase:          30 * simtime.Microsecond,
+		RegPerPage:       350 * simtime.Nanosecond,
+		DeregBase:        10 * simtime.Microsecond,
+		DeregPerPage:     100 * simtime.Nanosecond,
+		MallocBase:       2 * simtime.Microsecond,
+		MallocPerPage:    1 * simtime.Microsecond,
+		FreeCost:         800 * simtime.Nanosecond,
+		MaxSGE:           64,
+	}
+}
+
+func gbpsTime(bytes int64, gbps float64) simtime.Duration {
+	if bytes <= 0 || gbps <= 0 {
+		return 0
+	}
+	return simtime.Duration(float64(bytes) / gbps)
+}
+
+// WireTime returns the serialization time of a payload on the link.
+func (m *Model) WireTime(bytes int64) simtime.Duration {
+	return gbpsTime(bytes, m.LinkGBps)
+}
+
+// CopyTime returns the host cost of copying bytes spread over the given
+// number of contiguous blocks.
+func (m *Model) CopyTime(bytes int64, blocks int) simtime.Duration {
+	return gbpsTime(bytes, m.CopyGBps) + simtime.Duration(blocks)*m.CopyBlockStartup
+}
+
+// RegTime returns the cost of registering a region spanning pages.
+func (m *Model) RegTime(pages int64) simtime.Duration {
+	return m.RegBase + simtime.Duration(pages)*m.RegPerPage
+}
+
+// DeregTime returns the cost of deregistering a region spanning pages.
+func (m *Model) DeregTime(pages int64) simtime.Duration {
+	return m.DeregBase + simtime.Duration(pages)*m.DeregPerPage
+}
+
+// RegOpsTime prices a batch of real registration work reported by the
+// pin-down cache.
+func (m *Model) RegOpsTime(ops mem.RegOps) simtime.Duration {
+	var d simtime.Duration
+	if ops.Registrations > 0 {
+		d += simtime.Duration(ops.Registrations) * m.RegBase
+		d += simtime.Duration(ops.RegisteredPages) * m.RegPerPage
+	}
+	if ops.Dereg > 0 {
+		d += simtime.Duration(ops.Dereg) * m.DeregBase
+		d += simtime.Duration(ops.DeregPages) * m.DeregPerPage
+	}
+	return d
+}
+
+// MallocTime returns the cost of a dynamic staging-buffer allocation,
+// including first-touch page faults (Ezolt's malloc minor-fault effect).
+func (m *Model) MallocTime(bytes int64) simtime.Duration {
+	pages := (bytes + mem.PageSize - 1) / mem.PageSize
+	return m.MallocBase + simtime.Duration(pages)*m.MallocPerPage
+}
+
+// PostTime returns the CPU cost of posting descriptor i (0-based) of a batch
+// with the given SGE count; list selects list-post amortization.
+func (m *Model) PostTime(i int, sges int, list bool) simtime.Duration {
+	per := m.PostCost
+	if list && i > 0 {
+		per = m.ListPostEntry
+	}
+	return per + simtime.Duration(sges)*m.SGEPost
+}
