@@ -1,12 +1,21 @@
-# Development entry points. `make check` is the tier-1 gate: vet, build,
-# and the full test suite under the race detector (which includes one short
-# fault-injected soak pass).
+# Development entry points. `make check` is the tier-1 gate: formatting,
+# vet, build, and the full test suite under the race detector (which
+# includes one short fault-injected soak pass).
 
 GO ?= go
 
-.PHONY: check vet build test conformance fault-soak bench bench-backends
+# The packages the observability Recorder/Registry reach; `make race` runs
+# just these under the race detector for a fast concurrency gate.
+RACE_PKGS = ./internal/core/ ./internal/mpi/ ./internal/rtfab/ ./internal/stats/ ./internal/trace/
 
-check: vet build test
+.PHONY: check fmt vet build test race conformance fault-soak bench bench-backends
+
+check: fmt vet build test
+
+# Fails (and lists the offenders) if any file is not gofmt-clean.
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed:"; echo "$$out"; exit 1; fi
 
 vet:
 	$(GO) vet ./...
@@ -16,6 +25,9 @@ build:
 
 test:
 	$(GO) test -race ./...
+
+race:
+	$(GO) test -race -count=1 $(RACE_PKGS)
 
 # The cross-backend conformance suite on its own: every datatype shape over
 # every transfer scheme must deliver byte-identical data on both the

@@ -15,6 +15,8 @@ import (
 	"os"
 
 	"repro/internal/exper"
+	"repro/internal/stats"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -25,6 +27,7 @@ func main() {
 	backend := flag.String("backend", "", `wall-clock backend benchmark: "sim", "rt", or "both"`)
 	benchOut := flag.String("bench-out", "BENCH_backends.json", "output path for the -backend benchmark")
 	benchIters := flag.Int("bench-iters", 50, "ping-pong round trips per (scheme, backend) in -backend")
+	traceOut := flag.String("trace", "", "with -backend: write Chrome trace-event JSON (chrome://tracing, Perfetto) here and print per-scheme histograms")
 	flag.Parse()
 
 	figs := map[int]func() *exper.Result{
@@ -43,7 +46,13 @@ func main() {
 			fmt.Fprintf(os.Stderr, "dtbench: unknown backend %q (want sim, rt, or both)\n", *backend)
 			os.Exit(2)
 		}
-		rows, err := exper.BenchBackends(backends, *benchIters)
+		var rec *trace.Recorder
+		var reg *stats.Registry
+		if *traceOut != "" {
+			rec = trace.New()
+			reg = stats.NewRegistry()
+		}
+		rows, err := exper.BenchBackendsTraced(backends, *benchIters, rec, reg)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "dtbench:", err)
 			os.Exit(1)
@@ -59,6 +68,16 @@ func main() {
 		}
 		fmt.Print(exper.BackendsTable(rows))
 		fmt.Printf("wrote %s\n", *benchOut)
+		if rec != nil {
+			if err := os.WriteFile(*traceOut, rec.ChromeTrace(), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, "dtbench:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s (%d events; load via chrome://tracing or ui.perfetto.dev)\n",
+				*traceOut, rec.Len())
+			fmt.Println("\n# per-scheme histograms (lat_ns = one-way latency; mbps = payload bandwidth)")
+			fmt.Print(reg.String())
+		}
 		return
 	}
 	if *counters {

@@ -30,6 +30,7 @@ import (
 	"repro/internal/pack"
 	"repro/internal/rtfab"
 	"repro/internal/simtime"
+	"repro/internal/trace"
 	"repro/internal/verbs"
 )
 
@@ -43,7 +44,13 @@ var (
 	regRate   = flag.Float64("reg-rate", 0.05, "probability a memory registration fails")
 	delayRate = flag.Float64("delay-rate", 0.10, "probability a completion is delayed")
 	permRate  = flag.Float64("perm-rate", 0.0, "probability an injected fault is permanent (not retryable)")
+	doTrace   = flag.Bool("trace", false, "record activity traces and print a busy-time summary at the end")
+	traceOut  = flag.String("trace-out", "", "with -trace: also write Chrome trace-event JSON here")
 )
+
+// tracer is non-nil when -trace is set; the measurement helpers attach it to
+// every fabric they build.
+var tracer *trace.Recorder
 
 func main() {
 	flag.Parse()
@@ -51,14 +58,20 @@ func main() {
 		fmt.Fprintf(os.Stderr, "fabsim: unknown backend %q (want sim or rt)\n", *backend)
 		os.Exit(2)
 	}
+	if *doTrace {
+		tracer = trace.New()
+	}
 	if *faultSoak {
-		if !runFaultSoak() {
+		ok := runFaultSoak()
+		flushTrace()
+		if !ok {
 			os.Exit(1)
 		}
 		return
 	}
 	if *backend == "rt" {
 		runRTSweep()
+		flushTrace()
 		return
 	}
 
@@ -88,6 +101,25 @@ func main() {
 	for _, n := range []int{1, 4, 16, 64} {
 		d := oneOp(model, ib.OpRDMAWrite, 64<<10, n)
 		fmt.Printf("%6d %14.2f\n", n, d.Micros())
+	}
+	flushTrace()
+}
+
+// flushTrace prints the busy-time summary (and writes the Chrome JSON) when
+// -trace was requested.
+func flushTrace() {
+	if tracer == nil {
+		return
+	}
+	fmt.Println("\n# busy-time summary (-trace)")
+	fmt.Print(tracer.Summary())
+	if *traceOut != "" {
+		if err := os.WriteFile(*traceOut, tracer.ChromeTrace(), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "fabsim:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (%d events; load via chrome://tracing or ui.perfetto.dev)\n",
+			*traceOut, tracer.Len())
 	}
 }
 
@@ -120,6 +152,10 @@ func runRTSweep() {
 // posts so that fabric start/stop cost drops out of the per-op number.
 func rtOneOp(model verbs.Model, op verbs.Opcode, size int64, n, iters int) time.Duration {
 	f := rtfab.New(model)
+	if tracer != nil {
+		tracer.SetPrefix(fmt.Sprintf("rt/%v-%dB-%dsge/", op, size, n))
+		f.SetTracer(tracer)
+	}
 	ma := mem.NewMemory("a", size*2+8<<20)
 	mb := mem.NewMemory("b", size*2+8<<20)
 	na := f.AddNode("a", ma, nil)
@@ -204,6 +240,16 @@ func runFaultSoak() bool {
 		cfg := core.DefaultConfig()
 		cfg.Scheme = scheme
 		cfg.PoolSize = 4 << 20
+		if tracer != nil {
+			tracer.SetPrefix(*backend + "/" + scheme.String() + "/")
+			if rtf != nil {
+				rtf.SetTracer(tracer)
+				cfg.TraceClock = rtf.WallClock
+			} else {
+				fab.SetTracer(tracer)
+			}
+			cfg.Tracer = tracer
+		}
 		eps := make([]*core.Endpoint, 2)
 		hcas := make([]verbs.HCA, 2)
 		for i := range eps {
@@ -313,6 +359,10 @@ func runFaultSoak() bool {
 func oneOp(model ib.Model, op ib.Opcode, size int64, n int) simtime.Duration {
 	eng := simtime.NewEngine()
 	fab := ib.NewFabric(eng, model)
+	if tracer != nil {
+		tracer.SetPrefix(fmt.Sprintf("sim/%v-%dB-%dsge/", op, size, n))
+		fab.SetTracer(tracer)
+	}
 	ma := mem.NewMemory("a", size*2+8<<20)
 	mb := mem.NewMemory("b", size*2+8<<20)
 	ha := fab.AddHCA("a", ma, nil)

@@ -23,6 +23,8 @@ package core
 
 import (
 	"repro/internal/simtime"
+	"repro/internal/stats"
+	"repro/internal/trace"
 	"repro/internal/verbs"
 )
 
@@ -123,6 +125,22 @@ type Config struct {
 	// FaultRetryBase is the first retry backoff; each further retry doubles
 	// it (bounded exponential backoff in virtual time).
 	FaultRetryBase simtime.Duration
+
+	// Tracer, when set, receives per-message protocol spans (RTS → CTS →
+	// segments → done) on the msg lane. Nil disables span recording at zero
+	// cost. The Recorder is concurrency-safe, so one may be shared by every
+	// rank of the real-time backend.
+	Tracer *trace.Recorder
+
+	// Metrics, when set, receives latency/bandwidth histograms per
+	// scheme × message-size class and pool/registration occupancy gauges.
+	Metrics *stats.Registry
+
+	// TraceClock overrides the timestamp source for spans and histograms.
+	// The sim backend leaves it nil (virtual engine time); the real-time
+	// backend supplies wall-clock nanoseconds so spans measure real elapsed
+	// time rather than the per-node virtual cost model.
+	TraceClock func() simtime.Time
 }
 
 // DefaultConfig returns the paper's implementation parameters.

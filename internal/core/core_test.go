@@ -386,8 +386,17 @@ func TestPoolExhaustionFallback(t *testing.T) {
 	if !bytes.Equal(sent, got) {
 		t.Fatal("data mismatch under pool exhaustion")
 	}
-	if w.eps[0].Counters().PoolExhausted == 0 && w.eps[1].Counters().PoolExhausted == 0 {
-		t.Fatal("expected pool exhaustion fallback to trigger")
+	// The 1 MB message needs 8 segments against 2-slot pools: the receiver
+	// overflows the whole unpack pool (dynamic fallback), while the sender's
+	// one-segment-at-a-time pack pipeline genuinely parks on the pack pool.
+	if w.eps[1].Counters().PoolOverflow == 0 {
+		t.Fatalf("expected receiver PoolOverflow, counters:\n%s", w.eps[1].Counters())
+	}
+	if w.eps[0].Counters().PoolExhausted == 0 {
+		t.Fatalf("expected sender PoolExhausted (parked waiter), counters:\n%s", w.eps[0].Counters())
+	}
+	if w.eps[0].Counters().PoolDisabled != 0 || w.eps[1].Counters().PoolDisabled != 0 {
+		t.Fatal("PoolDisabled must stay zero while pools are enabled")
 	}
 }
 

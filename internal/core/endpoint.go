@@ -125,12 +125,17 @@ type inbound struct {
 // called from simulation context (a Process body or an event handler).
 type Endpoint struct {
 	rank   int
+	node   string // tracer process name ("rank3")
 	eng    *simtime.Engine
 	hca    verbs.HCA
 	model  *verbs.Model
 	memory *mem.Memory
 	cfg    Config
 	ctr    *stats.Counters
+
+	// regGauge tracks currently pinned pages (nil-safe no-op without a
+	// metrics registry).
+	regGauge *stats.Gauge
 
 	qps    []verbs.QP // indexed by peer rank; nil for self
 	sendCQ verbs.CQ
@@ -150,6 +155,14 @@ type Endpoint struct {
 	sendOps map[uint32]*sendOp
 	recvOps map[opKey]*recvOp
 
+	// annQ serializes message announces (kindEager / kindRTS) per
+	// destination: a slot is reserved at Isend time and the queue drains
+	// strictly FIFO, so a registration retry that delays one message's RTS
+	// cannot let a later message's announce overtake it on the wire — the
+	// receiver matches announces in arrival order, so announce order IS
+	// MPI's non-overtaking guarantee.
+	annQ map[int][]*annSlot
+
 	onSendCQE map[uint64]func(verbs.CQE)
 
 	types   *typeRegistry
@@ -166,6 +179,7 @@ type opKey struct {
 func NewEndpoint(rank int, hca verbs.HCA, cfg Config) (*Endpoint, error) {
 	ep := &Endpoint{
 		rank:      rank,
+		node:      fmt.Sprintf("rank%d", rank),
 		eng:       hca.Engine(),
 		hca:       hca,
 		model:     hca.Model(),
@@ -174,6 +188,7 @@ func NewEndpoint(rank int, hca verbs.HCA, cfg Config) (*Endpoint, error) {
 		ctr:       hca.Counters(),
 		sendOps:   make(map[uint32]*sendOp),
 		recvOps:   make(map[opKey]*recvOp),
+		annQ:      make(map[int][]*annSlot),
 		onSendCQE: make(map[uint64]func(verbs.CQE)),
 		types:     newTypeRegistry(),
 		layouts:   newLayoutCache(),
@@ -192,6 +207,13 @@ func NewEndpoint(rank int, hca verbs.HCA, cfg Config) (*Endpoint, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Observability: pool park counting and occupancy/registration gauges.
+	// A nil Metrics registry hands out nil gauges, which are no-op sinks.
+	ep.packPool.ctr = ep.ctr
+	ep.unpackPool.ctr = ep.ctr
+	ep.packPool.gauge = cfg.Metrics.Gauge("pool_used/pack")
+	ep.unpackPool.gauge = cfg.Metrics.Gauge("pool_used/unpack")
+	ep.regGauge = cfg.Metrics.Gauge("registered_pages")
 	ep.userReg = mem.NewRegCache(ep.memory.Reg(), cfg.RegCacheCapacity, cfg.RegCache)
 	ep.stagingReg = mem.NewRegCache(ep.memory.Reg(), cfg.RegCacheCapacity, cfg.RegCache)
 	if inj := hca.Injector(); inj != nil {
@@ -261,6 +283,7 @@ func (ep *Endpoint) accountReg(ops mem.RegOps) {
 	atomic.AddInt64(&ep.ctr.RegCacheHits, ops.Hits)
 	atomic.AddInt64(&ep.ctr.RegCacheMisses, ops.Misses)
 	atomic.AddInt64(&ep.ctr.RegCacheEvictions, ops.Evictions)
+	ep.regGauge.Add(ops.RegisteredPages - ops.DeregPages)
 }
 
 // after charges the endpoint CPU for d and runs fn when the work finishes.
@@ -272,6 +295,37 @@ func (ep *Endpoint) after(d simtime.Duration, fn func()) {
 func (ep *Endpoint) afterNamed(d simtime.Duration, name string, fn func()) {
 	end := ep.hca.ChargeCPUNamed(d, name)
 	ep.eng.At(end, fn)
+}
+
+// annSlot is one reserved position in a peer's announce order.
+type annSlot struct {
+	ready bool
+	fn    func()
+}
+
+// reserveAnnounce claims the next announce position for dst. Must be called
+// synchronously at Isend time, before any virtual-time deferral, so the
+// slot order equals the MPI posting order.
+func (ep *Endpoint) reserveAnnounce(dst int) *annSlot {
+	s := &annSlot{}
+	ep.annQ[dst] = append(ep.annQ[dst], s)
+	return s
+}
+
+// announceReady supplies the slot's post closure (which may be a no-op for
+// an op that died before announcing) and drains the queue head while it is
+// ready. An announce delayed by registration backoff thus blocks every
+// later announce to the same peer instead of being overtaken by one.
+func (ep *Endpoint) announceReady(dst int, s *annSlot, fn func()) {
+	s.ready, s.fn = true, fn
+	for {
+		q := ep.annQ[dst]
+		if len(q) == 0 || !q[0].ready {
+			return
+		}
+		ep.annQ[dst] = q[1:]
+		q[0].fn()
+	}
 }
 
 // sendCtrl posts a control message to a peer.
@@ -441,6 +495,7 @@ func (ep *Endpoint) deliver(inb *inbound, req *Request) {
 // the protocol's internal buffer (Figure 1); every other scheme packs
 // directly into the internal buffer (the improved path of Figure 7).
 func (ep *Endpoint) eagerSend(req *Request, ctx int, buf mem.Addr, count int, dt *datatype.Type, dst, tag int) {
+	slot := ep.reserveAnnounce(dst)
 	size := dt.Size() * int64(count)
 	payload := make([]byte, size)
 	p := pack.NewPacker(ep.memory, buf, dt, count)
@@ -473,15 +528,21 @@ func (ep *Endpoint) eagerSend(req *Request, ctx int, buf mem.Addr, count int, dt
 	w.i64(size)
 	w.bytes(payload)
 
-	// Charge the pack, then post immediately: the CPU resource already
-	// orders the wire message after the pack work, and posting here (rather
-	// than in a deferred event) keeps wire order equal to Isend call order —
-	// MPI's non-overtaking guarantee — even when a later rendezvous send's
-	// RTS would otherwise race ahead of this eager message.
+	// Charge the pack, then post through the announce queue: the CPU
+	// resource already orders the wire message after the pack work, and the
+	// queue keeps wire order equal to Isend call order — MPI's
+	// non-overtaking guarantee — even when an earlier rendezvous send's RTS
+	// is sitting in a registration-retry backoff.
+	t0 := ep.tnow()
 	end := ep.hca.ChargeCPUNamed(cost, "pack")
-	ep.sendCtrl(dst, w.buf, nil)
+	ep.announceReady(dst, slot, func() {
+		ep.sendCtrl(dst, w.buf, nil)
+	})
 	// The eager send completes once the data has left the user buffer.
-	ep.eng.At(end, func() { req.complete(nil) })
+	ep.eng.At(end, func() {
+		ep.span("eager send", "data", 0, size, t0)
+		req.complete(nil)
+	})
 }
 
 // handleCtrl dispatches an arrived control message.
@@ -571,7 +632,11 @@ func (ep *Endpoint) eagerDeliver(inb *inbound, req *Request) {
 	req.Source = inb.src
 	req.Tag = inb.tag
 	req.Bytes = n
-	ep.afterNamed(cost, "unpack", func() { req.complete(err) })
+	t0 := ep.tnow()
+	ep.afterNamed(cost, "unpack", func() {
+		ep.span("eager recv", "data", 0, n, t0)
+		req.complete(err)
+	})
 }
 
 // --- Self sends -------------------------------------------------------------

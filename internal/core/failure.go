@@ -94,6 +94,7 @@ func (ep *Endpoint) abortSend(op *sendOp, err error) {
 	op.failed = true
 	op.failErr = err
 	atomic.AddInt64(&ep.ctr.RequestsFailed, 1)
+	ep.mark("abort-send", "abort", op.id)
 	op.req.complete(err)
 	if op.wrsLeft == 0 {
 		ep.finalizeSendAbort(op)
@@ -182,6 +183,7 @@ func (ep *Endpoint) abortRecv(op *recvOp, err error, notify bool) {
 	op.failErr = err
 	op.notifyPeer = notify
 	atomic.AddInt64(&ep.ctr.RequestsFailed, 1)
+	ep.mark("abort-recv", "abort", op.key.op)
 	op.req.complete(err)
 	if op.wrsLeft == 0 {
 		ep.finalizeRecvAbort(op)

@@ -1,0 +1,53 @@
+package core
+
+import (
+	"repro/internal/simtime"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// Observability hooks (DESIGN.md §9): per-message protocol spans on the
+// tracer's msg lane and latency/bandwidth histograms in the metrics
+// registry. Everything here is a no-op when Config.Tracer / Config.Metrics
+// are nil, so the hot path pays only a nil check.
+
+// tnow returns the observability timestamp: wall-clock when the backend
+// supplies a TraceClock (rt), virtual engine time otherwise (sim).
+func (ep *Endpoint) tnow() simtime.Time {
+	if ep.cfg.TraceClock != nil {
+		return ep.cfg.TraceClock()
+	}
+	return ep.eng.Now()
+}
+
+// mark records an instant protocol event ("rts", "seg-arrive") for op opID.
+func (ep *Endpoint) mark(name, cat string, opID uint32) {
+	if ep.cfg.Tracer == nil {
+		return
+	}
+	ep.cfg.Tracer.Mark(ep.node, trace.LaneMsg, name, cat, uint64(opID), ep.tnow())
+}
+
+// span records a protocol phase interval from start to now for op opID.
+func (ep *Endpoint) span(name, cat string, opID uint32, bytes int64, start simtime.Time) {
+	if ep.cfg.Tracer == nil {
+		return
+	}
+	ep.cfg.Tracer.AddSpan(ep.node, trace.LaneMsg, name, cat, uint64(opID), bytes, start, ep.tnow())
+}
+
+// observeTransfer feeds one completed transfer into the per-scheme latency
+// and bandwidth histograms, bucketed by message-size class.
+func (ep *Endpoint) observeTransfer(scheme Scheme, bytes int64, start simtime.Time) {
+	m := ep.cfg.Metrics
+	if m == nil {
+		return
+	}
+	lat := int64(ep.tnow().Sub(start))
+	cls := stats.SizeClass(bytes)
+	m.Histogram("lat_ns/" + scheme.String() + "/" + cls).Observe(lat)
+	if lat > 0 {
+		// bytes/ns * 1000 = MB/s.
+		m.Histogram("mbps/" + scheme.String() + "/" + cls).Observe(bytes * 1000 / lat)
+	}
+}

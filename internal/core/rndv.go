@@ -29,6 +29,11 @@ type sendOp struct {
 	regions    []*mem.Region
 	refs       []regRef // local regions with lkeys, sorted by address
 
+	// Observability: when the RTS went out, and the scheme the receiver's
+	// CTS selected (authoritative even under SchemeAuto).
+	tStart simtime.Time
+	scheme Scheme
+
 	staging segRes   // Generic whole-message pack buffer
 	segs    []segRes // P-RRS pack segments, held until Done
 	wrsLeft int      // descriptors not yet finally resolved
@@ -62,6 +67,7 @@ type recvOp struct {
 	eff       int64
 	truncated bool
 	scheme    Scheme
+	tStart    simtime.Time // when the RTS met the posted receive
 
 	// Staged path (Generic / BC-SPUP / RWG-UP).
 	direct   bool // receiver side contiguous: data lands in the user buffer
@@ -212,25 +218,30 @@ func (ep *Endpoint) rndvSend(req *Request, ctx int, buf mem.Addr, count int, dt 
 		sContig:    dt.Contig(),
 		notifyPeer: true,
 	}
+	op.tStart = ep.tnow()
 	ep.sendOps[op.id] = op
 	atomic.AddInt64(&ep.ctr.RendezvousSends, 1)
 
 	stats := datatype.LayoutStats(dt, count, 4096)
 	sAvg := int64(stats.AvgRun)
+	slot := ep.reserveAnnounce(dst)
 	sendRTS := func() {
-		var w ctrlWriter
-		w.u8(kindRTS)
-		w.u32(op.id)
-		w.u32(uint32(ctx))
-		w.u32(uint32(tag))
-		w.i64(op.size)
-		w.i64(sAvg)
-		if op.sContig {
-			w.u8(1)
-		} else {
-			w.u8(0)
-		}
-		ep.sendCtrl(dst, w.buf, nil)
+		ep.announceReady(dst, slot, func() {
+			ep.mark("rts", "rts", op.id)
+			var w ctrlWriter
+			w.u8(kindRTS)
+			w.u32(op.id)
+			w.u32(uint32(ctx))
+			w.u32(uint32(tag))
+			w.i64(op.size)
+			w.i64(sAvg)
+			if op.sContig {
+				w.u8(1)
+			} else {
+				w.u8(0)
+			}
+			ep.sendCtrl(dst, w.buf, nil)
+		})
 	}
 
 	// Copy-reduced fixed schemes register the user buffer now, overlapping
@@ -247,6 +258,9 @@ func (ep *Endpoint) rndvSend(req *Request, ctx int, buf mem.Addr, count int, dt 
 				return
 			}
 			if op.failed {
+				// The op died before announcing; release the slot with a
+				// no-op so later announces to this peer are not stuck.
+				ep.announceReady(dst, slot, func() {})
 				ep.releaseUserRegions(regions)
 				return
 			}
@@ -313,10 +327,12 @@ func (ep *Endpoint) rndvMatched(inb *inbound, req *Request) {
 		scheme:    ep.chooseScheme(inb, req),
 		direct:    req.dt.Contig(),
 	}
+	op.tStart = ep.tnow()
 	req.Source = inb.src
 	req.Tag = inb.tag
 	req.Bytes = eff
 	ep.recvOps[op.key] = op
+	ep.mark("match "+op.scheme.String(), "rts", op.key.op)
 
 	switch op.scheme {
 	case SchemeGeneric:
@@ -354,6 +370,7 @@ func (ep *Endpoint) recvStagedSetup(op *recvOp, segSize int64) {
 		w.i64(segSize)
 		w.segRefs(refs)
 		ep.sendCtrl(op.key.src, w.buf, nil)
+		ep.span("cts "+op.scheme.String(), "handshake", op.key.op, op.eff, op.tStart)
 	}
 
 	if op.direct {
@@ -412,7 +429,11 @@ func (ep *Endpoint) recvStagedSetup(op *recvOp, segSize int64) {
 		// whole pool: allocate one on-the-fly unpack buffer of the real data
 		// size — the same registration cost the Generic scheme pays — and
 		// carve the segments out of it.
-		atomic.AddInt64(&ep.ctr.PoolExhausted, 1)
+		if !pool.enabled {
+			atomic.AddInt64(&ep.ctr.PoolDisabled, 1)
+		} else {
+			atomic.AddInt64(&ep.ctr.PoolOverflow, 1)
+		}
 		ep.acquireStaging(op.eff, func(s seg, err error) {
 			if err != nil {
 				ep.abortRecv(op, err, true)
@@ -498,6 +519,7 @@ func (ep *Endpoint) recvMultiWSetup(op *recvOp) {
 			copy(rrefs, refs)
 			w.regRefs(rrefs)
 			ep.sendCtrl(op.key.src, w.buf, nil)
+			ep.span("cts Multi-W", "handshake", op.key.op, op.eff, op.tStart)
 		})
 }
 
@@ -527,6 +549,7 @@ func (ep *Endpoint) recvPRRSSetup(op *recvOp) {
 			w.i64(op.eff)
 			w.i64(op.segSize)
 			ep.sendCtrl(op.key.src, w.buf, nil)
+			ep.span("cts P-RRS", "handshake", op.key.op, op.eff, op.tStart)
 		})
 }
 
@@ -536,6 +559,8 @@ func (ep *Endpoint) finishRecv(op *recvOp) {
 		return // abort teardown owns the resources now
 	}
 	delete(ep.recvOps, op.key)
+	ep.span("recv "+op.scheme.String(), "data", op.key.op, op.eff, op.tStart)
+	ep.observeTransfer(op.scheme, op.eff, op.tStart)
 	if op.wholeSeg != nil {
 		ep.releaseSeg(ep.unpackPool, *op.wholeSeg)
 		op.wholeSeg = nil
@@ -568,6 +593,8 @@ func (ep *Endpoint) handleCTS(src int, r *ctrlReader) {
 	dead := !ok || op.failed
 	if !dead {
 		op.eff = eff
+		op.scheme = scheme
+		ep.span("handshake "+scheme.String(), "handshake", op.id, eff, op.tStart)
 	}
 	switch scheme {
 	case SchemeGeneric, SchemeBCSPUP, SchemeRWGUP:
@@ -639,6 +666,7 @@ func (ep *Endpoint) finishSend(op *sendOp) {
 		return // abort teardown owns the resources now
 	}
 	delete(ep.sendOps, op.id)
+	ep.span("send "+op.scheme.String(), "data", op.id, op.eff, op.tStart)
 	if op.regions != nil {
 		ep.releaseUserRegions(op.regions)
 		op.regions = nil
@@ -661,6 +689,7 @@ func (ep *Endpoint) handleImm(src int, imm uint32, bytes int64) {
 		return
 	}
 	op.arrived++
+	ep.mark("seg-arrive", "segment", imm)
 	switch op.scheme {
 	case SchemeMultiW:
 		// Single immediate marks the whole zero-copy message landed.
@@ -708,7 +737,9 @@ func (ep *Endpoint) unpackSegment(op *recvOp, k int) {
 	atomic.AddInt64(&ep.ctr.BytesUnpacked, n)
 	atomic.AddInt64(&ep.ctr.SegmentsPipelined, 1)
 	cost := ep.cfg.packCost(ep.model, n, runs)
+	t0 := ep.tnow()
 	ep.afterNamed(cost, "unpack", func() {
+		ep.span("unpack", "segment", op.key.op, n, t0)
 		if op.failed {
 			return // abort teardown released (or will release) the segments
 		}

@@ -305,7 +305,7 @@ func (ep *Endpoint) sendBCSPUPData(op *sendOp, segSize int64, nSegs int, refs []
 		// Worst case (Figure 14): one on-the-fly pack buffer of the real data
 		// size — the same registration cost Generic pays — carved into
 		// segments so the pipeline still runs.
-		atomic.AddInt64(&ep.ctr.PoolExhausted, 1)
+		atomic.AddInt64(&ep.ctr.PoolDisabled, 1)
 		ep.acquireStaging(op.eff, func(s seg, err error) {
 			if err != nil {
 				ep.abortSend(op, err)
@@ -398,11 +398,13 @@ func (ep *Endpoint) sendBCSPUPData(op *sendOp, segSize int64, nSegs int, refs []
 				RemoteAddr: refs[idx].addr, RKey: refs[idx].key, Imm: op.id,
 			}
 			op.wrsLeft++
+			ep.mark("seg-post", "segment", op.id)
 			ep.postRetry(op.dst, wr, func() bool { return op.failed }, func(err error) {
 				// The slot is released at final resolution either way: on
 				// success the data has left it, on abort the descriptor no
 				// longer references it.
 				ep.releaseSeg(ep.packPool, s)
+				ep.mark("seg-complete", "segment", op.id)
 				ep.sendWRResolved(op, err, func() {
 					if ep.faultMode() {
 						step()
@@ -522,7 +524,11 @@ func (ep *Endpoint) sendPRRSData(op *sendOp, segSize int64) {
 	if !ep.packPool.enabled || nSegs > ep.packPool.slots {
 		// Worst case or message larger than the pool: one on-the-fly pack
 		// buffer of the real data size, carved into segment views.
-		atomic.AddInt64(&ep.ctr.PoolExhausted, 1)
+		if !ep.packPool.enabled {
+			atomic.AddInt64(&ep.ctr.PoolDisabled, 1)
+		} else {
+			atomic.AddInt64(&ep.ctr.PoolOverflow, 1)
+		}
 		ep.acquireStaging(op.eff, func(s seg, err error) {
 			if err != nil {
 				ep.abortSend(op, err)

@@ -6,6 +6,7 @@ import (
 	"fmt"
 
 	"repro/internal/mem"
+	"repro/internal/stats"
 )
 
 // seg is one staging segment: either a slot of a pre-registered pool or a
@@ -35,6 +36,12 @@ type segPool struct {
 	// Section 4.3.3). Each waiter names the slot count it needs; waiters
 	// are served FIFO so no transfer starves.
 	waiters []poolWaiter
+
+	// Observability, wired by NewEndpoint: ctr.PoolExhausted counts waiters
+	// that actually park (the pool genuinely ran dry); gauge tracks slot
+	// occupancy. Both may be nil (gauge methods are nil-safe).
+	ctr   *stats.Counters
+	gauge *stats.Gauge
 }
 
 type poolWaiter struct {
@@ -74,6 +81,7 @@ func (p *segPool) tryAcquire() (seg, bool) {
 	}
 	a := p.free[len(p.free)-1]
 	p.free = p.free[:len(p.free)-1]
+	p.gauge.Add(1)
 	return seg{addr: a, key: p.region.LKey, pooled: true}, true
 }
 
@@ -84,6 +92,7 @@ func (p *segPool) release(s seg) {
 		panic("segpool: release of non-pooled segment")
 	}
 	p.free = append(p.free, s.addr)
+	p.gauge.Add(-1)
 	for len(p.waiters) > 0 && len(p.free) >= p.waiters[0].need {
 		w := p.waiters[0]
 		p.waiters = p.waiters[1:]
@@ -98,6 +107,10 @@ func (p *segPool) whenAvailable(need int, fn func()) {
 		fn()
 		return
 	}
+	// The pool genuinely ran dry: this transfer parks until slots free up.
+	if p.ctr != nil {
+		atomic.AddInt64(&p.ctr.PoolExhausted, 1)
+	}
 	p.waiters = append(p.waiters, poolWaiter{need: need, fn: fn})
 }
 
@@ -110,7 +123,7 @@ func (p *segPool) available() int { return len(p.free) }
 // never fails, so fn's error is non-nil only on that dynamic path.
 func (ep *Endpoint) withSeg(pool *segPool, fn func(seg, error)) {
 	if !pool.enabled {
-		atomic.AddInt64(&ep.ctr.PoolExhausted, 1)
+		atomic.AddInt64(&ep.ctr.PoolDisabled, 1)
 		ep.acquireStaging(pool.slot, fn)
 		return
 	}

@@ -124,7 +124,29 @@ func TestRandomTrafficSoak(t *testing.T) {
 // keep delivery byte-identical and resources balanced no matter where the
 // injector lands its faults.
 func TestRandomTrafficFaultSoak(t *testing.T) {
-	f := func(seed int64) bool {
+	f := func(seed int64) bool { return randomTrafficFaultSoak(t, seed) }
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSoakRegressionSeeds replays soak inputs that once exposed real bugs.
+// 7015782731170911169: P-RRS plan where a transient registration fault put
+// one message's RTS into retry backoff and a later same-tag eager send
+// overtook it, matching the wrong (smaller) receive — "message truncated".
+// Fixed by the per-destination announce queue in endpoint.go.
+func TestSoakRegressionSeeds(t *testing.T) {
+	for _, seed := range []int64{7015782731170911169} {
+		if !randomTrafficFaultSoak(t, seed) {
+			t.Errorf("regression seed %d failed", seed)
+		}
+	}
+}
+
+// randomTrafficFaultSoak is the soak property for one seed, named so a
+// failing input reported by testing/quick can be replayed directly.
+func randomTrafficFaultSoak(t *testing.T, seed int64) bool {
+	{
 		rng := rand.New(rand.NewSource(seed))
 		schemes := []Scheme{SchemeGeneric, SchemeBCSPUP, SchemeRWGUP,
 			SchemePRRS, SchemeMultiW, SchemeAuto}
@@ -209,9 +231,6 @@ func TestRandomTrafficFaultSoak(t *testing.T) {
 			}
 		}
 		return true
-	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
-		t.Fatal(err)
 	}
 }
 

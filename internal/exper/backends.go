@@ -8,6 +8,8 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/mpi"
+	"repro/internal/stats"
+	"repro/internal/trace"
 )
 
 // BackendRow is one (scheme, backend) measurement of the wall-clock
@@ -31,6 +33,15 @@ type BackendRow struct {
 // 64-column vector (32 KB payload, above the eager threshold, so the full
 // rendezvous machinery runs).
 func BenchBackends(backends []string, iters int) ([]BackendRow, error) {
+	return BenchBackendsTraced(backends, iters, nil, nil)
+}
+
+// BenchBackendsTraced is BenchBackends with observability attached: every
+// run records per-message spans into rec (namespaced
+// "backend/scheme/rankN" so sequential runs do not collide in the exported
+// trace) and per-scheme latency/bandwidth histograms into reg. Either may
+// be nil.
+func BenchBackendsTraced(backends []string, iters int, rec *trace.Recorder, reg *stats.Registry) ([]BackendRow, error) {
 	if iters <= 0 {
 		iters = 50
 	}
@@ -44,9 +55,12 @@ func BenchBackends(backends []string, iters int) ([]BackendRow, error) {
 	var rows []BackendRow
 	for _, backend := range backends {
 		for _, scheme := range schemes {
+			rec.SetPrefix(backend + "/" + scheme.String() + "/")
 			cfg := worldConfig(2, scheme, 256<<20, func(c *mpi.Config) {
 				c.Backend = backend
 				c.RTTimeout = 2 * time.Minute
+				c.Trace = rec
+				c.Metrics = reg
 			})
 			w, err := mpi.NewWorld(cfg)
 			if err != nil {

@@ -1,0 +1,110 @@
+package mpi
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/datatype"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// TestTraceAndMetricsAcrossBackends runs a rendezvous ping-pong with the full
+// observability stack attached on both backends and checks the contract end
+// to end: per-message spans cover the protocol stages, the Chrome export is
+// valid JSON, and the per-scheme latency/bandwidth histograms fill in. On the
+// rt backend this also exercises the Recorder from concurrent driver
+// goroutines, which is what the -race run in `make race` is for.
+func TestTraceAndMetricsAcrossBackends(t *testing.T) {
+	vec := datatype.Must(datatype.TypeVector(128, 64, 128, datatype.Int32)) // 32 KB, rendezvous
+	for _, backend := range []string{BackendSim, BackendRT} {
+		t.Run(backend, func(t *testing.T) {
+			rec := trace.New()
+			reg := stats.NewRegistry()
+			cfg := smallConfig(2, core.SchemeBCSPUP)
+			cfg.Backend = backend
+			cfg.RTTimeout = time.Minute
+			cfg.Trace = rec
+			cfg.Metrics = reg
+			rec.SetPrefix(backend + "/")
+			w, err := NewWorld(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			const iters = 4
+			err = w.Run(func(p *Proc) error {
+				buf := allocFor(p, vec, 1)
+				peer := 1 - p.Rank()
+				if p.Rank() == 0 {
+					fill(p, buf, vec, 1, 1)
+				}
+				for i := 0; i < iters; i++ {
+					if p.Rank() == 0 {
+						if err := p.Send(buf, 1, vec, peer, i); err != nil {
+							return err
+						}
+						if _, err := p.Recv(buf, 1, vec, peer, i); err != nil {
+							return err
+						}
+					} else {
+						if _, err := p.Recv(buf, 1, vec, peer, i); err != nil {
+							return err
+						}
+						if err := p.Send(buf, 1, vec, peer, i); err != nil {
+							return err
+						}
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			if rec.Len() == 0 {
+				t.Fatal("recorder captured no events")
+			}
+			cats := map[string]bool{}
+			prefixed := 0
+			for _, e := range rec.Events() {
+				if e.Cat != "" {
+					cats[e.Cat] = true
+				}
+				if strings.HasPrefix(e.Node, backend+"/") {
+					prefixed++
+				}
+			}
+			for _, want := range []string{"rts", "handshake", "data", "segment"} {
+				if !cats[want] {
+					t.Errorf("no %q spans recorded (cats: %v)", want, cats)
+				}
+			}
+			if prefixed == 0 {
+				t.Error("SetPrefix was not applied to recorded nodes")
+			}
+
+			var events []map[string]any
+			if err := json.Unmarshal(rec.ChromeTrace(), &events); err != nil {
+				t.Fatalf("ChromeTrace is not valid JSON: %v", err)
+			}
+			if len(events) != rec.Len() {
+				t.Fatalf("ChromeTrace has %d events, recorder has %d", len(events), rec.Len())
+			}
+
+			latName := "lat_ns/BC-SPUP/" + stats.SizeClass(vec.Size())
+			if n := reg.Histogram(latName).Count(); n != 2*iters {
+				t.Errorf("%s count = %d, want %d", latName, n, 2*iters)
+			}
+			mbpsName := "mbps/BC-SPUP/" + stats.SizeClass(vec.Size())
+			if reg.Histogram(mbpsName).Count() == 0 {
+				t.Errorf("%s is empty", mbpsName)
+			}
+			if reg.Gauge("pool_used/pack").High() == 0 {
+				t.Error("pack pool occupancy gauge never rose")
+			}
+		})
+	}
+}

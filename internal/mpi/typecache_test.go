@@ -1,0 +1,94 @@
+package mpi
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/datatype"
+	"repro/internal/stats"
+)
+
+// TestTypeIndexReuseAcrossBackends drives the Multi-W datatype cache through
+// an index-reuse cycle on both backends: the receiver commits a type, frees
+// it, and commits a different layout that reuses the index with a bumped
+// version. The sender's cached layout for that index is now stale; the
+// version check must force a resend (TypeCacheReplaced), after which the
+// refreshed entry serves further transfers from cache (TypeCacheHits) with
+// byte-identical data.
+func TestTypeIndexReuseAcrossBackends(t *testing.T) {
+	t1 := datatype.Must(datatype.TypeVector(64, 512, 1024, datatype.Int32))
+	t2 := datatype.Must(datatype.TypeVector(32, 1024, 2048, datatype.Int32)) // same size, new layout
+	for _, backend := range []string{BackendSim, BackendRT} {
+		t.Run(backend, func(t *testing.T) {
+			cfg := smallConfig(2, core.SchemeMultiW)
+			cfg.MemBytes = 48 << 20
+			cfg.Core.PoolSize = 4 << 20
+			cfg.Backend = backend
+			cfg.RTTimeout = time.Minute
+			w, err := NewWorld(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var sent2, got2, sent3, got3 []byte
+			var cSend, cRecv *stats.Counters
+			err = w.Run(func(p *Proc) error {
+				if p.Rank() == 0 {
+					cSend = p.Endpoint().Counters()
+					buf := allocFor(p, t1, 1)
+					fill(p, buf, t1, 1, 1)
+					if err := p.Send(buf, 1, t1, 1, 0); err != nil {
+						return err
+					}
+					buf2 := allocFor(p, t2, 1)
+					sent2 = fill(p, buf2, t2, 1, 2)
+					if err := p.Send(buf2, 1, t2, 1, 1); err != nil {
+						return err
+					}
+					sent3 = fill(p, buf2, t2, 1, 3)
+					return p.Send(buf2, 1, t2, 1, 2)
+				}
+				cRecv = p.Endpoint().Counters()
+				buf := allocFor(p, t1, 1)
+				if _, err := p.Recv(buf, 1, t1, 0, 0); err != nil {
+					return err
+				}
+				// Free t1's index; committing t2 reuses it with a version
+				// bump that must invalidate the sender's cached layout.
+				p.Endpoint().FreeType(t1)
+				buf2 := allocFor(p, t2, 1)
+				if _, err := p.Recv(buf2, 1, t2, 0, 1); err != nil {
+					return err
+				}
+				got2 = read(p, buf2, t2, 1)
+				if _, err := p.Recv(buf2, 1, t2, 0, 2); err != nil {
+					return err
+				}
+				got3 = read(p, buf2, t2, 1)
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(sent2, got2) {
+				t.Fatal("data mismatch on first transfer after index reuse")
+			}
+			if !bytes.Equal(sent3, got3) {
+				t.Fatal("data mismatch on cached transfer after index reuse")
+			}
+			// The receiver ships the layout for t1 and again for t2 after the
+			// version bump; the third transfer is served from the refreshed
+			// cache entry.
+			if cRecv.TypeLayoutsSent != 2 {
+				t.Fatalf("TypeLayoutsSent = %d, want 2 (resend after version bump)", cRecv.TypeLayoutsSent)
+			}
+			if cSend.TypeCacheReplaced != 1 {
+				t.Fatalf("TypeCacheReplaced = %d, want 1", cSend.TypeCacheReplaced)
+			}
+			if cSend.TypeCacheHits != 1 {
+				t.Fatalf("TypeCacheHits = %d, want 1", cSend.TypeCacheHits)
+			}
+		})
+	}
+}

@@ -18,6 +18,8 @@ import (
 	"repro/internal/mem"
 	"repro/internal/rtfab"
 	"repro/internal/simtime"
+	"repro/internal/stats"
+	"repro/internal/trace"
 	"repro/internal/verbs"
 )
 
@@ -46,6 +48,16 @@ type Config struct {
 	// RTTimeout bounds a BackendRT run (watchdog); zero means
 	// rtfab.DefaultTimeout. Ignored by the simulator.
 	RTTimeout time.Duration
+
+	// Trace, when set, is attached to the fabric (CPU/tx/rx lanes) and to
+	// every endpoint (per-message protocol spans on the msg lane). On the
+	// real-time backend spans carry wall-clock timestamps; one Recorder may
+	// be shared by all ranks (it is concurrency-safe).
+	Trace *trace.Recorder
+
+	// Metrics, when set, receives per-scheme latency/bandwidth histograms
+	// and pool/registration gauges from every endpoint.
+	Metrics *stats.Registry
 }
 
 // DefaultConfig returns an 8-rank cluster with the paper's parameters.
@@ -83,10 +95,27 @@ func NewWorld(cfg Config) (*World, error) {
 	case "", BackendSim:
 		w.eng = simtime.NewEngine()
 		w.fab = ib.NewFabric(w.eng, cfg.Model)
+		if cfg.Trace != nil {
+			w.fab.SetTracer(cfg.Trace)
+		}
 	case BackendRT:
 		w.rt = rtfab.New(cfg.Model)
+		if cfg.Trace != nil {
+			w.rt.SetTracer(cfg.Trace)
+		}
 	default:
 		return nil, fmt.Errorf("mpi: unknown backend %q", cfg.Backend)
+	}
+	ccfg := cfg.Core
+	if cfg.Trace != nil {
+		ccfg.Tracer = cfg.Trace
+	}
+	if cfg.Metrics != nil {
+		ccfg.Metrics = cfg.Metrics
+	}
+	if w.rt != nil && ccfg.TraceClock == nil {
+		// Real-time backend: spans and histograms measure real elapsed time.
+		ccfg.TraceClock = w.rt.WallClock
 	}
 	for i := 0; i < cfg.Ranks; i++ {
 		m := mem.NewMemory(fmt.Sprintf("rank%d", i), cfg.MemBytes)
@@ -97,7 +126,7 @@ func NewWorld(cfg Config) (*World, error) {
 			hca = w.rt.AddNode(fmt.Sprintf("rank%d", i), m, nil)
 		}
 		w.hcas = append(w.hcas, hca)
-		ep, err := core.NewEndpoint(i, hca, cfg.Core)
+		ep, err := core.NewEndpoint(i, hca, ccfg)
 		if err != nil {
 			return nil, err
 		}

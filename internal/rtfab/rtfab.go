@@ -41,6 +41,7 @@ import (
 	"repro/internal/mem"
 	"repro/internal/simtime"
 	"repro/internal/stats"
+	"repro/internal/trace"
 	"repro/internal/verbs"
 )
 
@@ -100,6 +101,12 @@ type Fabric struct {
 	injector *fault.Injector
 	nodes    []*Node
 
+	// tracer receives host-CPU activity intervals; timestamps are wall-clock
+	// nanoseconds since epoch (see WallClock). The Recorder is
+	// concurrency-safe, so every driver goroutine records into it directly.
+	tracer *trace.Recorder
+	epoch  time.Time
+
 	started bool
 	quit    chan struct{}
 	wg      sync.WaitGroup
@@ -117,7 +124,20 @@ func New(model verbs.Model) *Fabric {
 	if model.MaxSGE <= 0 {
 		model.MaxSGE = 1
 	}
-	return &Fabric{model: model, quit: make(chan struct{})}
+	return &Fabric{model: model, quit: make(chan struct{}), epoch: time.Now()}
+}
+
+// SetTracer attaches an activity recorder. Unlike the simulator's
+// virtual-time traces, intervals carry wall-clock start stamps (relative to
+// the fabric's construction) with the virtual CPU cost as their length —
+// real concurrency across nodes, modeled cost per activity.
+func (f *Fabric) SetTracer(t *trace.Recorder) { f.tracer = t }
+
+// WallClock returns nanoseconds of real time since the fabric was created,
+// the timestamp base for traces and histograms on this backend. Safe to call
+// from any goroutine.
+func (f *Fabric) WallClock() simtime.Time {
+	return simtime.Time(time.Since(f.epoch))
 }
 
 // Model returns the fabric's cost model.
@@ -205,10 +225,13 @@ func (n *Node) ChargeCPU(d simtime.Duration) simtime.Time {
 	return n.ChargeCPUNamed(d, "host")
 }
 
-// ChargeCPUNamed is ChargeCPU with an activity label (unused here; the
-// real-time backend has no tracer).
-func (n *Node) ChargeCPUNamed(d simtime.Duration, _ string) simtime.Time {
+// ChargeCPUNamed is ChargeCPU with an activity label for the tracer.
+func (n *Node) ChargeCPUNamed(d simtime.Duration, name string) simtime.Time {
 	_, end := n.cpu.Acquire(n.eng.Now(), d)
+	if t := n.fab.tracer; t != nil && d > 0 {
+		at := n.fab.WallClock()
+		t.Add(n.name, trace.LaneCPU, name, at, at+simtime.Time(d))
+	}
 	return end
 }
 

@@ -1,0 +1,315 @@
+package stats
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Histogram is a log2-bucketed histogram of non-negative int64 observations
+// (latencies in nanoseconds, bandwidths in MB/s, ...). Bucket i holds values
+// v with bitlen(v) == i, i.e. [2^(i-1), 2^i); bucket 0 holds zero. All
+// methods are safe for concurrent use, and a nil *Histogram is a valid
+// no-op sink.
+type Histogram struct {
+	mu       sync.Mutex
+	counts   [64]int64
+	n        int64
+	sum      int64
+	min, max int64
+}
+
+// Observe records one value. Negative values clamp to zero.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	h.mu.Lock()
+	h.counts[bits.Len64(uint64(v))]++
+	if h.n == 0 || v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	h.n++
+	h.sum += v
+	h.mu.Unlock()
+}
+
+// Count reports the number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.n
+}
+
+// Mean reports the arithmetic mean of the observations (0 when empty).
+func (h *Histogram) Mean() float64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.n == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.n)
+}
+
+// Quantile reports an upper bound for the q-quantile (0 <= q <= 1): the
+// upper edge of the log bucket the quantile falls in, clamped to the
+// observed maximum. Zero when empty.
+func (h *Histogram) Quantile(q float64) int64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.n == 0 {
+		return 0
+	}
+	rank := int64(q * float64(h.n))
+	if rank >= h.n {
+		rank = h.n - 1
+	}
+	var seen int64
+	for i, c := range h.counts {
+		seen += c
+		if seen > rank {
+			hi := int64(1) << i // upper edge of bucket i (bitlen == i)
+			if i == 0 {
+				hi = 0
+			}
+			if hi > h.max {
+				hi = h.max
+			}
+			return hi
+		}
+	}
+	return h.max
+}
+
+// Buckets returns the non-empty buckets as (upper-edge, count) pairs in
+// ascending order — the raw material for external plotting.
+func (h *Histogram) Buckets() (edges []int64, counts []int64) {
+	if h == nil {
+		return nil, nil
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		hi := int64(1) << i
+		if i == 0 {
+			hi = 0
+		}
+		edges = append(edges, hi)
+		counts = append(counts, c)
+	}
+	return edges, counts
+}
+
+// String renders a compact one-line summary.
+func (h *Histogram) String() string {
+	if h == nil {
+		return "n=0"
+	}
+	n := h.Count()
+	if n == 0 {
+		return "n=0"
+	}
+	h.mu.Lock()
+	min, max := h.min, h.max
+	h.mu.Unlock()
+	return fmt.Sprintf("n=%d min=%d mean=%.0f p50<=%d p99<=%d max=%d",
+		n, min, h.Mean(), h.Quantile(0.50), h.Quantile(0.99), max)
+}
+
+// Gauge is a concurrency-safe instantaneous value that also remembers its
+// high-water mark (pool occupancy, pinned pages). A nil *Gauge is a valid
+// no-op sink.
+type Gauge struct {
+	mu   sync.Mutex
+	v    int64
+	high int64
+}
+
+// Add moves the gauge by d.
+func (g *Gauge) Add(d int64) {
+	if g == nil {
+		return
+	}
+	g.mu.Lock()
+	g.v += d
+	if g.v > g.high {
+		g.high = g.v
+	}
+	g.mu.Unlock()
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.mu.Lock()
+	g.v = v
+	if v > g.high {
+		g.high = v
+	}
+	g.mu.Unlock()
+}
+
+// Value reports the current value.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.v
+}
+
+// High reports the high-water mark.
+func (g *Gauge) High() int64 {
+	if g == nil {
+		return 0
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.high
+}
+
+// Registry is a named collection of histograms and gauges — the metrics
+// side of the observability layer. Histogram and Gauge get-or-create their
+// instrument, so call sites stay one-liners. All methods are safe for
+// concurrent use, and a nil *Registry hands out nil (no-op) instruments.
+type Registry struct {
+	mu     sync.Mutex
+	hists  map[string]*Histogram
+	gauges map[string]*Gauge
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		hists:  make(map[string]*Histogram),
+		gauges: make(map[string]*Gauge),
+	}
+}
+
+// Histogram returns the named histogram, creating it on first use. A nil
+// registry returns a nil (no-op) histogram.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Gauge returns the named gauge, creating it on first use. A nil registry
+// returns a nil (no-op) gauge.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histograms returns the registered histogram names, sorted.
+func (r *Registry) Histograms() []string {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.hists))
+	for n := range r.hists {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// String renders every instrument, one per line, sorted by name.
+func (r *Registry) String() string {
+	if r == nil {
+		return ""
+	}
+	r.mu.Lock()
+	hists := make(map[string]*Histogram, len(r.hists))
+	for n, h := range r.hists {
+		hists[n] = h
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for n, g := range r.gauges {
+		gauges[n] = g
+	}
+	r.mu.Unlock()
+
+	var names []string
+	for n := range hists {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, n := range names {
+		fmt.Fprintf(&b, "%-40s %s\n", n, hists[n])
+	}
+	names = names[:0]
+	for n := range gauges {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		g := gauges[n]
+		fmt.Fprintf(&b, "%-40s value=%d high=%d\n", n, g.Value(), g.High())
+	}
+	return b.String()
+}
+
+// SizeClass buckets a byte count into a power-of-two label ("<=32KiB"),
+// the message-size dimension of the scheme histograms.
+func SizeClass(n int64) string {
+	if n <= 0 {
+		return "<=0B"
+	}
+	// Round up to the next power of two.
+	p := uint(bits.Len64(uint64(n - 1)))
+	v := int64(1) << p
+	switch {
+	case v >= 1<<30:
+		return fmt.Sprintf("<=%dGiB", v>>30)
+	case v >= 1<<20:
+		return fmt.Sprintf("<=%dMiB", v>>20)
+	case v >= 1<<10:
+		return fmt.Sprintf("<=%dKiB", v>>10)
+	default:
+		return fmt.Sprintf("<=%dB", v)
+	}
+}

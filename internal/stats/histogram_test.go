@@ -1,0 +1,132 @@
+package stats
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	h := &Histogram{}
+	if h.Count() != 0 || h.Mean() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram not zero")
+	}
+	for _, v := range []int64{0, 1, 2, 3, 100, 1000, -5} {
+		h.Observe(v)
+	}
+	if h.Count() != 7 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	// -5 clamps to 0; sum = 0+1+2+3+100+1000+0 = 1106.
+	if got := h.Mean(); got < 157 || got > 159 {
+		t.Fatalf("mean = %v", got)
+	}
+	if q := h.Quantile(1.0); q != 1000 {
+		t.Fatalf("p100 = %d, want clamp to max 1000", q)
+	}
+	if q := h.Quantile(0); q != 0 {
+		t.Fatalf("p0 = %d", q)
+	}
+	edges, counts := h.Buckets()
+	if len(edges) != len(counts) || len(edges) == 0 {
+		t.Fatalf("buckets: %v %v", edges, counts)
+	}
+	var n int64
+	for _, c := range counts {
+		n += c
+	}
+	if n != 7 {
+		t.Fatalf("bucket counts sum to %d", n)
+	}
+	if s := h.String(); !strings.Contains(s, "n=7") {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+func TestGaugeHighWater(t *testing.T) {
+	g := &Gauge{}
+	g.Add(3)
+	g.Add(4)
+	g.Add(-5)
+	if g.Value() != 2 || g.High() != 7 {
+		t.Fatalf("value=%d high=%d", g.Value(), g.High())
+	}
+	g.Set(10)
+	if g.Value() != 10 || g.High() != 10 {
+		t.Fatalf("after Set: value=%d high=%d", g.Value(), g.High())
+	}
+}
+
+func TestRegistryNilAndGetOrCreate(t *testing.T) {
+	var nilReg *Registry
+	nilReg.Histogram("x").Observe(1) // must not panic
+	nilReg.Gauge("y").Add(1)
+	if nilReg.String() != "" || nilReg.Histograms() != nil {
+		t.Fatal("nil registry not empty")
+	}
+
+	r := NewRegistry()
+	h := r.Histogram("lat_ns/Generic/<=64KiB")
+	if r.Histogram("lat_ns/Generic/<=64KiB") != h {
+		t.Fatal("Histogram not memoized")
+	}
+	h.Observe(42)
+	r.Gauge("pool_used/pack").Set(3)
+	out := r.String()
+	for _, want := range []string{"lat_ns/Generic/<=64KiB", "n=1", "pool_used/pack", "value=3 high=3"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("registry dump missing %q:\n%s", want, out)
+		}
+	}
+	if names := r.Histograms(); len(names) != 1 || names[0] != "lat_ns/Generic/<=64KiB" {
+		t.Fatalf("Histograms() = %v", names)
+	}
+}
+
+func TestSizeClass(t *testing.T) {
+	cases := []struct {
+		n    int64
+		want string
+	}{
+		{0, "<=0B"}, {1, "<=1B"}, {512, "<=512B"}, {513, "<=1KiB"},
+		{1024, "<=1KiB"}, {65536, "<=64KiB"}, {65537, "<=128KiB"},
+		{1 << 20, "<=1MiB"}, {4 << 20, "<=4MiB"}, {1 << 30, "<=1GiB"},
+	}
+	for _, c := range cases {
+		if got := SizeClass(c.n); got != c.want {
+			t.Fatalf("SizeClass(%d) = %q, want %q", c.n, got, c.want)
+		}
+	}
+}
+
+// The registry and its instruments are shared across rank goroutines on the
+// real-time backend; everything must survive -race (mirrors stats_race_test.go).
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	const workers = 8
+	const iters = 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				r.Histogram("shared").Observe(int64(w*iters + i))
+				r.Gauge("occupancy").Add(1)
+				r.Gauge("occupancy").Add(-1)
+				if i%50 == 0 {
+					_ = r.String()
+					_ = r.Histogram("shared").Quantile(0.99)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Histogram("shared").Count(); got != workers*iters {
+		t.Fatalf("observations = %d, want %d", got, workers*iters)
+	}
+	if v := r.Gauge("occupancy").Value(); v != 0 {
+		t.Fatalf("gauge drifted: %d", v)
+	}
+}

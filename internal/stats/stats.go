@@ -39,7 +39,9 @@ type Counters struct {
 	// Dynamic staging-buffer management.
 	DynamicAllocs int64
 	DynamicFrees  int64
-	PoolExhausted int64 // times a segment pool ran dry and fell back
+	PoolDisabled  int64 // staging was needed while segment pools were disabled
+	PoolOverflow  int64 // a message needed more slots than the whole pool holds
+	PoolExhausted int64 // a pool genuinely ran dry and a transfer parked waiting
 
 	// Verbs-level activity.
 	SendsPosted       int64 // channel-semantics sends
@@ -90,6 +92,8 @@ func (c *Counters) fields() []field {
 		{"RegCacheEvictions", &c.RegCacheEvictions},
 		{"DynamicAllocs", &c.DynamicAllocs},
 		{"DynamicFrees", &c.DynamicFrees},
+		{"PoolDisabled", &c.PoolDisabled},
+		{"PoolOverflow", &c.PoolOverflow},
 		{"PoolExhausted", &c.PoolExhausted},
 		{"SendsPosted", &c.SendsPosted},
 		{"RDMAWritesPosted", &c.RDMAWritesPosted},

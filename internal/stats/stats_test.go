@@ -29,7 +29,7 @@ func TestAddAccumulates(t *testing.T) {
 }
 
 func TestReset(t *testing.T) {
-	c := &Counters{BytesPacked: 1, Completions: 9, PoolExhausted: 3}
+	c := &Counters{BytesPacked: 1, Completions: 9, PoolExhausted: 3, PoolDisabled: 2}
 	c.Reset()
 	if *c != (Counters{}) {
 		t.Fatalf("Reset incomplete: %+v", c)
@@ -62,7 +62,8 @@ func TestAddCoversAllFields(t *testing.T) {
 		Registrations: 1, RegisteredBytes: 1, RegisteredPages: 1,
 		Deregistrations: 1, DeregisteredPages: 1,
 		RegCacheHits: 1, RegCacheMisses: 1, RegCacheEvictions: 1,
-		DynamicAllocs: 1, DynamicFrees: 1, PoolExhausted: 1,
+		DynamicAllocs: 1, DynamicFrees: 1,
+		PoolDisabled: 1, PoolOverflow: 1, PoolExhausted: 1,
 		SendsPosted: 1, RDMAWritesPosted: 1, RDMAReadsPosted: 1,
 		DescriptorsPosted: 1, ListPosts: 1, SGEsPosted: 1, RecvsPosted: 1,
 		Completions: 1, ImmediatesSent: 1,
@@ -79,7 +80,7 @@ func TestAddCoversAllFields(t *testing.T) {
 			t.Fatalf("field not accumulated twice: %q", line)
 		}
 	}
-	if got := strings.Count(out, "\n"); got != 30 {
-		t.Fatalf("expected 30 reported fields, got %d:\n%s", got, out)
+	if got := strings.Count(out, "\n"); got != 32 {
+		t.Fatalf("expected 32 reported fields, got %d:\n%s", got, out)
 	}
 }

@@ -1,9 +1,19 @@
-// Package trace records named activity intervals on the simulated nodes'
-// resources (CPU, HCA transmit and receive ports) and renders them as a text
-// Gantt chart. It exists to make the paper's Figure 3 — the overlap between
-// packing, network communication and unpacking in BC-SPUP — directly
-// observable instead of merely asserted: cmd/dtpipeline traces one message
-// under the Generic and BC-SPUP schemes and prints both timelines.
+// Package trace is the observability subsystem: it records named activity
+// intervals on the nodes' resources (CPU, HCA transmit and receive ports)
+// and per-message protocol spans (RTS → CTS → per-segment pack/post/
+// complete/unpack → done), and renders them as a text Gantt chart, a
+// flamegraph-style busy-time summary, or Chrome trace-event JSON
+// (chrome://tracing / Perfetto).
+//
+// It began as the instrument that makes the paper's Figure 3 — the overlap
+// between packing, network communication and unpacking in BC-SPUP —
+// directly observable (cmd/dtpipeline), and now also carries the
+// per-message spans both backends emit under cmd/dtbench -trace.
+//
+// Concurrency: a Recorder may be written by many goroutines at once (the
+// real-time backend records from every rank's driver goroutine), so every
+// method takes an internal mutex. A nil *Recorder stays a valid no-op sink,
+// so instrumented code needs no conditionals.
 package trace
 
 import (
@@ -11,11 +21,12 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/simtime"
 )
 
-// Lane identifies which resource an interval occupied.
+// Lane identifies which resource (or logical track) an interval occupied.
 type Lane string
 
 // The traced lanes.
@@ -23,44 +34,112 @@ const (
 	LaneCPU Lane = "cpu"
 	LaneTx  Lane = "tx"
 	LaneRx  Lane = "rx"
+	// LaneMsg carries per-message protocol spans (handshake, data, segment
+	// marks) rather than a physical resource.
+	LaneMsg Lane = "msg"
 )
 
-// Event is one activity interval.
+// Event is one activity interval, or — when Start == End — an instant mark.
 type Event struct {
 	Node  string
 	Lane  Lane
 	Name  string
 	Start simtime.Time
 	End   simtime.Time
+
+	// Span metadata, zero-valued for plain resource intervals.
+	Cat   string // phase category ("rts", "cts", "handshake", "data", ...)
+	Op    uint64 // message/operation id
+	Bytes int64  // payload bytes the span covers
 }
 
 // Recorder accumulates events. A nil *Recorder is a valid no-op sink, so
-// instrumented code needs no conditionals.
+// instrumented code needs no conditionals. All methods are safe for
+// concurrent use.
 type Recorder struct {
+	mu     sync.Mutex
+	prefix string
 	events []Event
 }
 
 // New returns an empty recorder.
 func New() *Recorder { return &Recorder{} }
 
+// SetPrefix sets a namespace prepended to every subsequently recorded
+// node name ("sim/Generic/" + "rank0"). It lets one recorder absorb several
+// sequential runs without process-name collisions in the exported trace.
+func (r *Recorder) SetPrefix(p string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.prefix = p
+	r.mu.Unlock()
+}
+
 // Add records an interval. No-op on a nil recorder or an empty interval.
 func (r *Recorder) Add(node string, lane Lane, name string, start, end simtime.Time) {
 	if r == nil || end <= start {
 		return
 	}
-	r.events = append(r.events, Event{Node: node, Lane: lane, Name: name, Start: start, End: end})
+	r.append(Event{Node: node, Lane: lane, Name: name, Start: start, End: end})
+}
+
+// AddSpan records a per-message phase interval with metadata. No-op on a nil
+// recorder or an empty interval.
+func (r *Recorder) AddSpan(node string, lane Lane, name, cat string, op uint64, bytes int64, start, end simtime.Time) {
+	if r == nil || end <= start {
+		return
+	}
+	r.append(Event{Node: node, Lane: lane, Name: name, Cat: cat, Op: op, Bytes: bytes, Start: start, End: end})
+}
+
+// Mark records an instant event (Start == End), e.g. "RTS sent" or a
+// segment arrival. No-op on a nil recorder.
+func (r *Recorder) Mark(node string, lane Lane, name, cat string, op uint64, at simtime.Time) {
+	if r == nil {
+		return
+	}
+	r.append(Event{Node: node, Lane: lane, Name: name, Cat: cat, Op: op, Start: at, End: at})
+}
+
+func (r *Recorder) append(e Event) {
+	r.mu.Lock()
+	e.Node = r.prefix + e.Node
+	r.events = append(r.events, e)
+	r.mu.Unlock()
+}
+
+// snapshot copies the events under the lock.
+func (r *Recorder) snapshot() []Event {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]Event(nil), r.events...)
 }
 
 // Events returns the recorded intervals, ordered by start time.
 func (r *Recorder) Events() []Event {
-	out := append([]Event(nil), r.events...)
+	out := r.snapshot()
 	sort.SliceStable(out, func(i, j int) bool { return out[i].Start < out[j].Start })
 	return out
 }
 
+// Len reports the number of recorded events.
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.events)
+}
+
 // Span returns the recorded time range.
 func (r *Recorder) Span() (lo, hi simtime.Time) {
-	for i, e := range r.events {
+	for i, e := range r.snapshot() {
 		if i == 0 || e.Start < lo {
 			lo = e.Start
 		}
@@ -77,11 +156,19 @@ type laneKey struct {
 	lane Lane
 }
 
-// Gantt renders the events as one row per (node, lane), width columns wide.
-// Each interval paints its first letter; overlaps within a lane (which the
-// resource model should prevent) paint '#'.
+// Gantt renders the interval events as one row per (node, lane), width
+// columns wide. Each interval paints its first letter; overlaps within a
+// lane (which the resource model should prevent) paint '#'. Instant marks
+// are skipped — they carry no width.
 func (r *Recorder) Gantt(width int) string {
-	if r == nil || len(r.events) == 0 {
+	events := r.snapshot()
+	var intervals []Event
+	for _, e := range events {
+		if e.End > e.Start {
+			intervals = append(intervals, e)
+		}
+	}
+	if len(intervals) == 0 {
 		return "(no events)\n"
 	}
 	if width < 20 {
@@ -94,7 +181,7 @@ func (r *Recorder) Gantt(width int) string {
 	}
 	rows := map[laneKey][]Event{}
 	var keys []laneKey
-	for _, e := range r.events {
+	for _, e := range intervals {
 		k := laneKey{e.Node, e.Lane}
 		if _, ok := rows[k]; !ok {
 			keys = append(keys, k)
@@ -145,7 +232,7 @@ func (r *Recorder) Gantt(width int) string {
 	// Legend: unique first letters.
 	seen := map[byte]string{}
 	var order []byte
-	for _, e := range r.events {
+	for _, e := range intervals {
 		if len(e.Name) == 0 {
 			continue
 		}
@@ -179,7 +266,7 @@ func (r *Recorder) Utilization(node string, lane Lane) float64 {
 		return 0
 	}
 	var busy simtime.Duration
-	for _, e := range r.events {
+	for _, e := range r.snapshot() {
 		if e.Node == node && e.Lane == lane {
 			busy += e.End.Sub(e.Start)
 		}
@@ -187,30 +274,115 @@ func (r *Recorder) Utilization(node string, lane Lane) float64 {
 	return float64(busy) / float64(hi-lo)
 }
 
+// Summary renders a flamegraph-style busy-time breakdown: for every
+// (node, lane) row, the total busy time per activity name, sorted by time
+// descending, with the share of the whole recorded span. Instant marks are
+// counted but carry no time.
+func (r *Recorder) Summary() string {
+	events := r.snapshot()
+	if len(events) == 0 {
+		return "(no events)\n"
+	}
+	lo, hi := r.Span()
+	total := float64(hi - lo)
+	if total <= 0 {
+		total = 1
+	}
+
+	type actKey struct {
+		row  laneKey
+		name string
+	}
+	busy := map[actKey]simtime.Duration{}
+	count := map[actKey]int{}
+	var rows []laneKey
+	seenRow := map[laneKey]bool{}
+	for _, e := range events {
+		row := laneKey{e.Node, e.Lane}
+		if !seenRow[row] {
+			seenRow[row] = true
+			rows = append(rows, row)
+		}
+		k := actKey{row, legendName(e.Name)}
+		busy[k] += e.End.Sub(e.Start)
+		count[k]++
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].node != rows[j].node {
+			return rows[i].node < rows[j].node
+		}
+		return rows[i].lane < rows[j].lane
+	})
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "busy-time summary over %v .. %v\n", lo, hi)
+	for _, row := range rows {
+		var acts []actKey
+		for k := range busy {
+			if k.row == row {
+				acts = append(acts, k)
+			}
+		}
+		sort.Slice(acts, func(i, j int) bool {
+			if busy[acts[i]] != busy[acts[j]] {
+				return busy[acts[i]] > busy[acts[j]]
+			}
+			return acts[i].name < acts[j].name
+		})
+		for _, k := range acts {
+			fmt.Fprintf(&b, "%-16s %-4s %-12s %12.1fus %6.1f%% %6d events\n",
+				row.node, row.lane, k.name,
+				busy[k].Micros(), 100*float64(busy[k])/total, count[k])
+		}
+	}
+	return b.String()
+}
+
+// chromeEvent is one entry of the Chrome trace-event JSON format.
+type chromeEvent struct {
+	Name  string                 `json:"name"`
+	Cat   string                 `json:"cat,omitempty"`
+	Ph    string                 `json:"ph"`
+	Ts    float64                `json:"ts"`
+	Dur   *float64               `json:"dur,omitempty"`
+	Pid   string                 `json:"pid"`
+	Tid   string                 `json:"tid"`
+	Scope string                 `json:"s,omitempty"`
+	Args  map[string]interface{} `json:"args,omitempty"`
+}
+
 // ChromeTrace renders the events in the Chrome trace-event JSON format
 // (load via chrome://tracing or https://ui.perfetto.dev): one "process" per
-// node, one "thread" per lane, complete events with microsecond timestamps.
+// node, one "thread" per lane. Intervals become complete ("X") events with
+// microsecond timestamps; marks become thread-scoped instant ("i") events.
+// Span metadata (op id, bytes, category) is carried in args.
 func (r *Recorder) ChromeTrace() []byte {
-	type ev struct {
-		Name string  `json:"name"`
-		Ph   string  `json:"ph"`
-		Ts   float64 `json:"ts"`
-		Dur  float64 `json:"dur"`
-		Pid  string  `json:"pid"`
-		Tid  string  `json:"tid"`
-	}
-	if r == nil {
-		b, _ := json.Marshal([]ev{})
-		return b
-	}
-	out := make([]ev, 0, len(r.events))
-	for _, e := range r.Events() {
-		out = append(out, ev{
-			Name: e.Name, Ph: "X",
+	events := r.Events()
+	out := make([]chromeEvent, 0, len(events))
+	for _, e := range events {
+		ce := chromeEvent{
+			Name: e.Name, Cat: e.Cat,
 			Ts:  e.Start.Micros(),
-			Dur: e.End.Sub(e.Start).Micros(),
 			Pid: e.Node, Tid: string(e.Lane),
-		})
+		}
+		if e.End > e.Start {
+			ce.Ph = "X"
+			d := e.End.Sub(e.Start).Micros()
+			ce.Dur = &d
+		} else {
+			ce.Ph = "i"
+			ce.Scope = "t"
+		}
+		if e.Op != 0 || e.Bytes != 0 {
+			ce.Args = map[string]interface{}{}
+			if e.Op != 0 {
+				ce.Args["op"] = e.Op
+			}
+			if e.Bytes != 0 {
+				ce.Args["bytes"] = e.Bytes
+			}
+		}
+		out = append(out, ce)
 	}
 	b, err := json.Marshal(out)
 	if err != nil {

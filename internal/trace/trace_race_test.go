@@ -1,0 +1,133 @@
+package trace
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/simtime"
+)
+
+// The Recorder is written from every rank's driver goroutine on the
+// real-time backend, so concurrent Add/AddSpan/Mark calls alongside readers
+// must be safe. Run with -race (mirrors stats_race_test.go).
+func TestRecorderConcurrent(t *testing.T) {
+	r := New()
+	const writers = 8
+	const perWriter = 500
+
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			node := string(rune('a' + w))
+			for i := 0; i < perWriter; i++ {
+				at := simtime.Time(i * 10)
+				r.Add(node, LaneCPU, "pack", at, at+5)
+				r.AddSpan(node, LaneMsg, "rndv", "data", uint64(i+1), 4096, at, at+8)
+				r.Mark(node, LaneMsg, "rts", "rts", uint64(i+1), at)
+			}
+		}()
+	}
+	// Readers run while the writers hammer.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 100; i++ {
+			_ = r.Events()
+			_, _ = r.Span()
+			_ = r.ChromeTrace()
+			_ = r.Summary()
+			_ = r.Len()
+		}
+	}()
+	wg.Wait()
+
+	if got, want := r.Len(), writers*perWriter*3; got != want {
+		t.Fatalf("events = %d, want %d", got, want)
+	}
+	var doc []map[string]interface{}
+	if err := json.Unmarshal(r.ChromeTrace(), &doc); err != nil {
+		t.Fatalf("ChromeTrace not valid JSON: %v", err)
+	}
+	if len(doc) != writers*perWriter*3 {
+		t.Fatalf("chrome events = %d, want %d", len(doc), writers*perWriter*3)
+	}
+}
+
+func TestNilRecorderSpanOps(t *testing.T) {
+	var r *Recorder
+	r.AddSpan("n", LaneMsg, "x", "data", 1, 10, 0, 5) // must not panic
+	r.Mark("n", LaneMsg, "x", "rts", 1, 0)
+	r.SetPrefix("p/")
+	if r.Len() != 0 {
+		t.Fatal("nil recorder recorded events")
+	}
+	if s := r.Summary(); s != "(no events)\n" {
+		t.Fatalf("nil summary = %q", s)
+	}
+	if string(r.ChromeTrace()) != "[]" {
+		t.Fatalf("nil chrome trace = %q", r.ChromeTrace())
+	}
+}
+
+func TestSpanMetadataAndPrefix(t *testing.T) {
+	r := New()
+	r.SetPrefix("sim/BC-SPUP/")
+	r.AddSpan("rank0", LaneMsg, "rndv BC-SPUP", "data", 7, 32768, 100, 900)
+	r.Mark("rank0", LaneMsg, "rts", "rts", 7, 100)
+	ev := r.Events()
+	if len(ev) != 2 {
+		t.Fatalf("events = %d", len(ev))
+	}
+	if ev[0].Node != "sim/BC-SPUP/rank0" {
+		t.Fatalf("prefix not applied: %q", ev[0].Node)
+	}
+	var doc []struct {
+		Name string `json:"name"`
+		Ph   string `json:"ph"`
+		Pid  string `json:"pid"`
+		Tid  string `json:"tid"`
+		Args struct {
+			Op    uint64 `json:"op"`
+			Bytes int64  `json:"bytes"`
+		} `json:"args"`
+	}
+	if err := json.Unmarshal(r.ChromeTrace(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	var sawSpan, sawMark bool
+	for _, e := range doc {
+		switch e.Ph {
+		case "X":
+			sawSpan = true
+			if e.Args.Op != 7 || e.Args.Bytes != 32768 {
+				t.Fatalf("span args = %+v", e.Args)
+			}
+		case "i":
+			sawMark = true
+		}
+		if e.Tid != "msg" || e.Pid != "sim/BC-SPUP/rank0" {
+			t.Fatalf("pid/tid = %q/%q", e.Pid, e.Tid)
+		}
+	}
+	if !sawSpan || !sawMark {
+		t.Fatalf("span=%v mark=%v", sawSpan, sawMark)
+	}
+}
+
+func TestSummaryAggregates(t *testing.T) {
+	r := New()
+	r.Add("rank0", LaneCPU, "pack seg0", 0, 400)
+	r.Add("rank0", LaneCPU, "pack seg1", 500, 900)
+	r.Add("rank0", LaneTx, "xmit", 100, 1000)
+	out := r.Summary()
+	for _, want := range []string{"rank0", "cpu", "pack", "2 events", "tx", "xmit"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("summary missing %q:\n%s", want, out)
+		}
+	}
+}
