@@ -8,9 +8,9 @@ GO ?= go
 # just these under the race detector for a fast concurrency gate.
 RACE_PKGS = ./internal/core/ ./internal/mpi/ ./internal/rtfab/ ./internal/stats/ ./internal/trace/
 
-.PHONY: check fmt vet build test race conformance fault-soak bench bench-backends
+.PHONY: check fmt vet build test race conformance fault-soak bench bench-backends tune tune-guard
 
-check: fmt vet build test
+check: fmt vet build test tune-guard
 
 # Fails (and lists the offenders) if any file is not gofmt-clean.
 fmt:
@@ -41,6 +41,18 @@ fault-soak:
 	$(GO) run ./cmd/fabsim -fault-soak
 	$(GO) run ./cmd/fabsim -fault-soak -backend rt
 	$(GO) run ./cmd/fabsim -fault-soak -perm-rate 1 -cqe-rate 1
+
+# Adversarial adaptive-tuner sweep -> BENCH_tuner.json, plus the learned
+# tuning table for warm starts (replay it with `dtbench -tune-in`).
+tune:
+	$(GO) run ./cmd/dtbench -tuner -tune-out TUNE_table.json
+
+# CI-style guard: the sweep runs on virtual time with a seeded RNG, so the
+# checked-in BENCH_tuner.json must regenerate byte-identically.
+tune-guard:
+	@$(GO) run ./cmd/dtbench -tuner -tuner-out BENCH_tuner.json >/dev/null
+	@git diff --exit-code -- BENCH_tuner.json || \
+		{ echo "BENCH_tuner.json drifted from 'make tune' output"; exit 1; }
 
 # Wall-clock scheme bandwidth/latency on both backends -> BENCH_backends.json.
 bench-backends:

@@ -28,6 +28,11 @@ func main() {
 	benchOut := flag.String("bench-out", "BENCH_backends.json", "output path for the -backend benchmark")
 	benchIters := flag.Int("bench-iters", 50, "ping-pong round trips per (scheme, backend) in -backend")
 	traceOut := flag.String("trace", "", "with -backend: write Chrome trace-event JSON (chrome://tracing, Perfetto) here and print per-scheme histograms")
+	tunerRun := flag.Bool("tuner", false, "run the adversarial adaptive-tuner sweep -> BENCH_tuner.json")
+	tunerMsgs := flag.Int("tuner-msgs", 160, "messages per mode in the -tuner sweep")
+	tunerOut := flag.String("tuner-out", "BENCH_tuner.json", "output path for the -tuner report")
+	tuneOut := flag.String("tune-out", "", "with -tuner: also write the learned tuning table (JSON) here")
+	tuneIn := flag.String("tune-in", "", "warm-start: replay the workload with this tuning table, exploration off")
 	flag.Parse()
 
 	figs := map[int]func() *exper.Result{
@@ -77,6 +82,47 @@ func main() {
 				*traceOut, rec.Len())
 			fmt.Println("\n# per-scheme histograms (lat_ns = one-way latency; mbps = payload bandwidth)")
 			fmt.Print(reg.String())
+		}
+		return
+	}
+	if *tuneIn != "" {
+		table, err := os.ReadFile(*tuneIn)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dtbench:", err)
+			os.Exit(1)
+		}
+		row, err := exper.TunerWarmRun(table, *tunerMsgs)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dtbench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("warm start from %s: %d messages, mean %.2f us (last quartile %.2f us), %d exploitations, regret %.2f ms\n",
+			*tuneIn, row.Msgs, row.MeanUS, row.LastQMeanUS, row.Exploitations, row.RegretMS)
+		return
+	}
+	if *tunerRun {
+		rep, table, err := exper.TunerSweep(*tunerMsgs)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dtbench:", err)
+			os.Exit(1)
+		}
+		doc, err := exper.TunerJSON(rep)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dtbench:", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*tunerOut, append(doc, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "dtbench:", err)
+			os.Exit(1)
+		}
+		fmt.Print(exper.TunerTable(rep))
+		fmt.Printf("wrote %s\n", *tunerOut)
+		if *tuneOut != "" {
+			if err := os.WriteFile(*tuneOut, append(table, '\n'), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, "dtbench:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s (tuning table; replay with -tune-in)\n", *tuneOut)
 		}
 		return
 	}

@@ -1,7 +1,7 @@
 // dtinspect builds a derived datatype from a small command-line spec and
 // prints its layout: size/extent semantics, contiguous-run statistics, the
-// flattened block list, and the wire-encoding size used by the Multi-W
-// layout exchange.
+// adaptive tuner's layout signature, the flattened block list, and the
+// wire-encoding size used by the Multi-W layout exchange.
 //
 // Specs:
 //
@@ -26,6 +26,7 @@ import (
 
 	"repro/internal/datatype"
 	"repro/internal/exper"
+	"repro/internal/tuner"
 )
 
 func main() {
@@ -50,6 +51,9 @@ func main() {
 	s := datatype.LayoutStats(dt, *count, 1<<20)
 	fmt.Printf("message:     count=%d -> %d bytes in %d runs (min %d / median %d / avg %.1f / max %d)\n",
 		*count, s.Bytes, s.Runs, s.MinRun, s.MedianRun, s.AvgRun, s.MaxRun)
+
+	sig := tuner.SignatureOf(s.Runs, int64(s.AvgRun), s.Bytes)
+	fmt.Printf("tuner sig:   %s\n", sig)
 
 	enc := datatype.Encode(dt)
 	fmt.Printf("wire layout: %d bytes encoded\n", len(enc))

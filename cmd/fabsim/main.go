@@ -31,6 +31,7 @@ import (
 	"repro/internal/rtfab"
 	"repro/internal/simtime"
 	"repro/internal/trace"
+	"repro/internal/tuner"
 	"repro/internal/verbs"
 )
 
@@ -46,6 +47,7 @@ var (
 	permRate  = flag.Float64("perm-rate", 0.0, "probability an injected fault is permanent (not retryable)")
 	doTrace   = flag.Bool("trace", false, "record activity traces and print a busy-time summary at the end")
 	traceOut  = flag.String("trace-out", "", "with -trace: also write Chrome trace-event JSON here")
+	tunerSoak = flag.Bool("tuner", false, "with -fault-soak: add an Auto row driven by the adaptive tuner")
 )
 
 // tracer is non-nil when -trace is set; the measurement helpers attach it to
@@ -216,13 +218,29 @@ func runFaultSoak() bool {
 	fmt.Printf("%-10s %8s %8s %8s %8s %8s %12s\n",
 		"scheme", "ok", "failed", "corrupt", "retries", "aborts", "end (ms)")
 
-	schemes := []core.Scheme{core.SchemeGeneric, core.SchemeBCSPUP, core.SchemeRWGUP,
-		core.SchemePRRS, core.SchemeMultiW}
+	type soakRow struct {
+		label  string
+		scheme core.Scheme
+		sel    core.SchemeSelector
+	}
+	rows := []soakRow{
+		{"Generic", core.SchemeGeneric, nil},
+		{"BC-SPUP", core.SchemeBCSPUP, nil},
+		{"RWG-UP", core.SchemeRWGUP, nil},
+		{"P-RRS", core.SchemePRRS, nil},
+		{"Multi-W", core.SchemeMultiW, nil},
+	}
+	if *tunerSoak {
+		// Adaptive selection under fire: the same tuner instance is shared
+		// by both endpoints, and fault-inflated latencies feed its arms.
+		rows = append(rows, soakRow{"Auto+tuner", core.SchemeAuto, tuner.New(tuner.DefaultConfig())})
+	}
 	vec := datatype.Must(datatype.TypeVector(128, 16, 64, datatype.Int32))
 	const count = 160
 	allGood := true
 
-	for _, scheme := range schemes {
+	for _, row := range rows {
+		scheme := row.scheme
 		inj := fault.New(fc)
 		var (
 			eng *simtime.Engine
@@ -239,9 +257,10 @@ func runFaultSoak() bool {
 		}
 		cfg := core.DefaultConfig()
 		cfg.Scheme = scheme
+		cfg.Selector = row.sel
 		cfg.PoolSize = 4 << 20
 		if tracer != nil {
-			tracer.SetPrefix(*backend + "/" + scheme.String() + "/")
+			tracer.SetPrefix(*backend + "/" + row.label + "/")
 			if rtf != nil {
 				rtf.SetTracer(tracer)
 				cfg.TraceClock = rtf.WallClock
@@ -311,7 +330,7 @@ func runFaultSoak() bool {
 			runErr = eng.Run()
 		}
 		if runErr != nil {
-			fmt.Printf("%-10s engine error: %v\n", scheme, runErr)
+			fmt.Printf("%-10s engine error: %v\n", row.label, runErr)
 			allGood = false
 			continue
 		}
@@ -337,7 +356,7 @@ func runFaultSoak() bool {
 			aborts += ep.Counters().RequestsFailed
 		}
 		fmt.Printf("%-10s %8d %8d %8d %8d %8d %12.2f\n",
-			scheme, okCount, recvErrs, corrupt, retries, aborts, endMS)
+			row.label, okCount, recvErrs, corrupt, retries, aborts, endMS)
 		if corrupt > 0 {
 			allGood = false
 		}

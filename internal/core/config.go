@@ -117,6 +117,14 @@ type Config struct {
 	// When false, SchemeAuto avoids the copy-reduced schemes.
 	BuffersReused bool
 
+	// Selector, when set and Scheme is SchemeAuto, replaces the static
+	// threshold heuristic with measurement-driven per-message selection
+	// (internal/tuner). The selector chooses among the eligible schemes for
+	// each message shape and receives the measured completion latency of
+	// every transfer it decided. Implementations must be concurrency-safe on
+	// the real-time backend.
+	Selector SchemeSelector
+
 	// FaultRetryLimit bounds how many times a transient injected fault
 	// (descriptor post failure, error CQE, registration failure) is retried
 	// before the operation is treated as permanently failed.

@@ -67,7 +67,8 @@ type recvOp struct {
 	eff       int64
 	truncated bool
 	scheme    Scheme
-	tStart    simtime.Time // when the RTS met the posted receive
+	sel       *SelectorInput // non-nil when an adaptive selector made the choice
+	tStart    simtime.Time   // when the RTS met the posted receive
 
 	// Staged path (Generic / BC-SPUP / RWG-UP).
 	direct   bool // receiver side contiguous: data lands in the user buffer
@@ -275,56 +276,23 @@ func (ep *Endpoint) rndvSend(req *Request, ctx int, buf mem.Addr, count int, dt 
 
 // --- Receiver: match and scheme choice ---------------------------------------
 
-// chooseScheme implements Section 6's dynamic selection on the receiver.
-func (ep *Endpoint) chooseScheme(inb *inbound, req *Request) Scheme {
-	if ep.cfg.Scheme != SchemeAuto {
-		return ep.cfg.Scheme
-	}
-	rContig := req.dt.Contig()
-	if inb.sContig && rContig {
-		return SchemeGeneric // collapses to one zero-copy write
-	}
-	if !ep.cfg.BuffersReused {
-		// User buffers are not reused: registration will not amortize, so
-		// stay with the pack-based pipeline.
-		return SchemeBCSPUP
-	}
-	rStats := datatype.LayoutStats(req.dt, req.count, 4096)
-	rAvg := int64(rStats.AvgRun)
-	sAvg := inb.sAvg
-	if inb.sContig {
-		sAvg = inb.size
-	}
-	if rContig {
-		rAvg = req.dt.Size() * int64(req.count)
-	}
-	switch {
-	case sAvg >= ep.cfg.AutoBlockThreshold && rAvg >= ep.cfg.AutoBlockThreshold:
-		return SchemeMultiW
-	case inb.sContig && rAvg >= ep.cfg.AutoGatherThreshold:
-		// Contiguous sender, scatterable receiver: read straight out of the
-		// sender's user buffer.
-		return SchemePRRS
-	case sAvg >= ep.cfg.AutoGatherThreshold:
-		return SchemeRWGUP
-	default:
-		return SchemeBCSPUP
-	}
-}
-
 // rndvMatched runs when an RTS meets its posted receive; it allocates
-// receiver resources for the chosen scheme and sends the CTS.
+// receiver resources for the chosen scheme and sends the CTS. The scheme
+// decision itself (static Section 6 heuristic, or an adaptive selector) lives
+// in select.go.
 func (ep *Endpoint) rndvMatched(inb *inbound, req *Request) {
 	capacity := req.dt.Size() * int64(req.count)
 	eff := inb.size
 	if eff > capacity {
 		eff = capacity
 	}
+	scheme, sel := ep.decideScheme(inb, req, eff)
 	op := &recvOp{
 		key: opKey{src: inb.src, op: inb.opID},
 		req: req, eff: eff,
 		truncated: inb.size > capacity,
-		scheme:    ep.chooseScheme(inb, req),
+		scheme:    scheme,
+		sel:       sel,
 		direct:    req.dt.Contig(),
 	}
 	op.tStart = ep.tnow()
@@ -561,6 +529,14 @@ func (ep *Endpoint) finishRecv(op *recvOp) {
 	delete(ep.recvOps, op.key)
 	ep.span("recv "+op.scheme.String(), "data", op.key.op, op.eff, op.tStart)
 	ep.observeTransfer(op.scheme, op.eff, op.tStart)
+	if op.sel != nil && ep.cfg.Selector != nil {
+		// Close the adaptive loop: feed the measured receive latency back to
+		// the selector that chose this scheme, and account its regret proxy.
+		lat := int64(ep.tnow().Sub(op.tStart))
+		if regret := ep.cfg.Selector.Observe(*op.sel, op.scheme, lat); regret > 0 {
+			atomic.AddInt64(&ep.ctr.TunerRegretNs, regret)
+		}
+	}
 	if op.wholeSeg != nil {
 		ep.releaseSeg(ep.unpackPool, *op.wholeSeg)
 		op.wholeSeg = nil

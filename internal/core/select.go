@@ -1,0 +1,178 @@
+package core
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/datatype"
+	"repro/internal/trace"
+)
+
+// Scheme selection (Section 6, grown adaptive). The receiver makes the
+// CTS-authoritative choice for every rendezvous message. With
+// Config.Scheme != SchemeAuto the configured scheme is used unconditionally;
+// under SchemeAuto the static threshold heuristic of Section 6 decides —
+// unless a SchemeSelector is plugged into Config.Selector, in which case the
+// selector (internal/tuner's measurement-driven Tuner) chooses among the
+// eligible schemes and is fed the completion latency of every transfer it
+// decided, closing the measure-select loop the static constants cannot.
+
+// SelectorInput describes one rendezvous message at scheme-choice time, as
+// the receiver sees it: the sender's layout summary from the RTS and the
+// receiver's from its posted datatype. Averages are normalized the way the
+// static heuristic reads them — a contiguous side reports the whole message
+// as one run.
+type SelectorInput struct {
+	Peer    int   // sender rank
+	Bytes   int64 // effective payload bytes
+	SAvg    int64 // sender average contiguous run length
+	SContig bool  // sender layout contiguous
+	RRuns   int64 // receiver flattened run count
+	RAvg    int64 // receiver average contiguous run length
+	RContig bool  // receiver layout contiguous
+
+	// Eligible lists the schemes a selector may pick for this shape; every
+	// member delivers byte-identical data (the cross-backend conformance
+	// suite pins that), so eligibility encodes policy, not correctness.
+	Eligible []Scheme
+
+	// Static is what the Section 6 threshold heuristic picks — the
+	// selector's fallback and its regret baseline.
+	Static Scheme
+}
+
+// SchemeDecision is a selector's verdict for one message.
+type SchemeDecision struct {
+	Scheme    Scheme
+	Explored  bool   // chosen to gather data rather than because it looks best
+	Rationale string // human-readable why, carried into the decision trace instant
+}
+
+// SchemeSelector replaces the static Auto heuristic with external
+// per-message selection. Choose runs on the receiver at CTS time; Observe is
+// called once per completed transfer with the measured receive latency and
+// returns a regret proxy in nanoseconds (0 when the choice matched the best
+// current estimate). Implementations must be safe for concurrent use: on the
+// real-time backend every rank calls in from its own goroutine.
+type SchemeSelector interface {
+	Choose(in SelectorInput) SchemeDecision
+	Observe(in SelectorInput, chosen Scheme, latencyNs int64) (regretNs int64)
+}
+
+// eligibleSchemes lists the schemes a selector may choose for this shape.
+// Both sides contiguous collapses to the single zero-copy write; without the
+// buffer-reuse hint the copy-reduced schemes are excluded because user-buffer
+// registration will not amortize (the MPI_Info rule of Section 6).
+func eligibleSchemes(cfg *Config, sContig, rContig bool) []Scheme {
+	if sContig && rContig {
+		return []Scheme{SchemeGeneric}
+	}
+	if !cfg.BuffersReused {
+		return []Scheme{SchemeGeneric, SchemeBCSPUP}
+	}
+	return []Scheme{SchemeGeneric, SchemeBCSPUP, SchemeRWGUP, SchemePRRS, SchemeMultiW}
+}
+
+// AutoChoice is the static Section 6 heuristic as a pure function of the
+// message shape: fixed layout thresholds decide, and the rationale string
+// records which rule fired. It is the behavior SchemeAuto has always had and
+// the fallback (and regret baseline) when a selector is plugged in.
+func AutoChoice(cfg *Config, in SelectorInput) (Scheme, string) {
+	if in.SContig && in.RContig {
+		return SchemeGeneric, "both sides contiguous: one zero-copy write"
+	}
+	if !cfg.BuffersReused {
+		return SchemeBCSPUP, "buffers not reused: registration will not amortize"
+	}
+	switch {
+	case in.SAvg >= cfg.AutoBlockThreshold && in.RAvg >= cfg.AutoBlockThreshold:
+		return SchemeMultiW, fmt.Sprintf("savg %d and ravg %d reach block threshold %d",
+			in.SAvg, in.RAvg, cfg.AutoBlockThreshold)
+	case in.SContig && in.RAvg >= cfg.AutoGatherThreshold:
+		return SchemePRRS, fmt.Sprintf("contiguous sender, ravg %d reaches gather threshold %d",
+			in.RAvg, cfg.AutoGatherThreshold)
+	case in.SAvg >= cfg.AutoGatherThreshold:
+		return SchemeRWGUP, fmt.Sprintf("savg %d reaches gather threshold %d",
+			in.SAvg, cfg.AutoGatherThreshold)
+	default:
+		return SchemeBCSPUP, fmt.Sprintf("savg %d below gather threshold %d: staged pipeline",
+			in.SAvg, cfg.AutoGatherThreshold)
+	}
+}
+
+// selectorInput assembles the per-message shape summary for scheme choice.
+// Only the Auto path pays the receiver-side LayoutStats walk.
+func (ep *Endpoint) selectorInput(inb *inbound, req *Request, eff int64) SelectorInput {
+	in := SelectorInput{
+		Peer:    inb.src,
+		Bytes:   eff,
+		SAvg:    inb.sAvg,
+		SContig: inb.sContig,
+		RContig: req.dt.Contig(),
+	}
+	if in.SContig {
+		in.SAvg = inb.size
+	}
+	if in.RContig {
+		in.RAvg = req.dt.Size() * int64(req.count)
+		in.RRuns = 1
+	} else {
+		rStats := datatype.LayoutStats(req.dt, req.count, 4096)
+		in.RAvg = int64(rStats.AvgRun)
+		in.RRuns = rStats.Runs
+	}
+	in.Eligible = eligibleSchemes(&ep.cfg, in.SContig, in.RContig)
+	return in
+}
+
+// decideScheme picks the transfer scheme for a matched rendezvous message
+// and emits the decision trace instant (chosen scheme + rationale). Under
+// SchemeAuto with a Selector it returns the SelectorInput so completion can
+// feed the measured latency back; otherwise the second result is nil.
+func (ep *Endpoint) decideScheme(inb *inbound, req *Request, eff int64) (Scheme, *SelectorInput) {
+	if ep.cfg.Scheme != SchemeAuto {
+		ep.markDecision(inb.opID, ep.cfg.Scheme, "fixed: configured scheme")
+		return ep.cfg.Scheme, nil
+	}
+	in := ep.selectorInput(inb, req, eff)
+	static, why := AutoChoice(&ep.cfg, in)
+	in.Static = static
+	if ep.cfg.Selector == nil {
+		ep.markDecision(inb.opID, static, "static: "+why)
+		return static, nil
+	}
+	d := ep.cfg.Selector.Choose(in)
+	scheme := d.Scheme
+	if !schemeIn(in.Eligible, scheme) {
+		// A selector must never force an ineligible scheme onto the wire;
+		// fall back to the static rule and say so in the trace.
+		scheme = static
+		d.Rationale = fmt.Sprintf("selector returned ineligible %v, falling back: %s", d.Scheme, why)
+		d.Explored = false
+	}
+	if d.Explored {
+		atomic.AddInt64(&ep.ctr.TunerExplorations, 1)
+	} else {
+		atomic.AddInt64(&ep.ctr.TunerExploitations, 1)
+	}
+	ep.markDecision(inb.opID, scheme, "tuned: "+d.Rationale)
+	return scheme, &in
+}
+
+// markDecision records the scheme-decision instant on the msg lane: which
+// scheme this receiver's CTS will carry, and why.
+func (ep *Endpoint) markDecision(opID uint32, s Scheme, why string) {
+	if ep.cfg.Tracer == nil {
+		return
+	}
+	ep.cfg.Tracer.Mark(ep.node, trace.LaneMsg, "decide "+s.String()+": "+why, "decision", uint64(opID), ep.tnow())
+}
+
+func schemeIn(list []Scheme, s Scheme) bool {
+	for _, e := range list {
+		if e == s {
+			return true
+		}
+	}
+	return false
+}

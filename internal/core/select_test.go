@@ -1,0 +1,126 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+// Boundary tests for the static Section 6 heuristic: AutoChoice is the pure
+// function behind SchemeAuto, so the exact threshold behavior the tuner falls
+// back to is pinned here, input by input.
+
+func autoCfg() Config {
+	cfg := DefaultConfig()
+	cfg.Scheme = SchemeAuto
+	return cfg
+}
+
+func TestAutoChoiceBoundaries(t *testing.T) {
+	cfg := autoCfg() // AutoBlockThreshold=4096, AutoGatherThreshold=256
+	cases := []struct {
+		name string
+		in   SelectorInput
+		want Scheme
+	}{
+		{"both contiguous", SelectorInput{SContig: true, RContig: true, SAvg: 1 << 20, RAvg: 1 << 20}, SchemeGeneric},
+		{"both at block threshold", SelectorInput{SAvg: 4096, RAvg: 4096}, SchemeMultiW},
+		{"sender one under block threshold", SelectorInput{SAvg: 4095, RAvg: 4096}, SchemeRWGUP},
+		{"receiver one under block threshold", SelectorInput{SAvg: 4096, RAvg: 4095}, SchemeRWGUP},
+		{"contig sender at gather threshold", SelectorInput{SContig: true, SAvg: 1 << 20, RAvg: 256}, SchemePRRS},
+		// A contiguous sender's SAvg is the whole message, so one under the
+		// gather threshold on the receiver falls through to the sender-run
+		// rule and picks the gather path, not the pipeline.
+		{"contig sender one under gather threshold", SelectorInput{SContig: true, SAvg: 1 << 20, RAvg: 255}, SchemeRWGUP},
+		{"sender at gather threshold", SelectorInput{SAvg: 256, RAvg: 64}, SchemeRWGUP},
+		{"sender one under gather threshold", SelectorInput{SAvg: 255, RAvg: 64}, SchemeBCSPUP},
+		{"contig receiver large runs", SelectorInput{RContig: true, SAvg: 4096, RAvg: 1 << 20}, SchemeMultiW},
+		{"contig receiver small sender runs", SelectorInput{RContig: true, SAvg: 255, RAvg: 1 << 20}, SchemeBCSPUP},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			got, why := AutoChoice(&cfg, c.in)
+			if got != c.want {
+				t.Fatalf("AutoChoice(%+v) = %v (%s), want %v", c.in, got, why, c.want)
+			}
+			if why == "" {
+				t.Fatal("empty rationale")
+			}
+		})
+	}
+}
+
+func TestAutoChoiceBuffersNotReused(t *testing.T) {
+	cfg := autoCfg()
+	cfg.BuffersReused = false
+	// Even a shape that would pick Multi-W stays on the pipeline when user
+	// buffers are not reused (registration will not amortize) ...
+	in := SelectorInput{SAvg: 1 << 20, RAvg: 1 << 20}
+	got, why := AutoChoice(&cfg, in)
+	if got != SchemeBCSPUP {
+		t.Fatalf("BuffersReused=false chose %v (%s), want BC-SPUP", got, why)
+	}
+	if !strings.Contains(why, "not reused") {
+		t.Fatalf("rationale %q does not mention buffer reuse", why)
+	}
+	// ... except both-sides-contiguous, which needs no unpack at all.
+	in = SelectorInput{SContig: true, RContig: true, SAvg: 1 << 20, RAvg: 1 << 20}
+	if got, _ := AutoChoice(&cfg, in); got != SchemeGeneric {
+		t.Fatalf("both-contig with BuffersReused=false chose %v, want Generic", got)
+	}
+}
+
+func TestEligibleSchemes(t *testing.T) {
+	cfg := autoCfg()
+	if got := eligibleSchemes(&cfg, true, true); len(got) != 1 || got[0] != SchemeGeneric {
+		t.Fatalf("both-contig eligibility = %v", got)
+	}
+	if got := eligibleSchemes(&cfg, false, false); len(got) != 5 {
+		t.Fatalf("full eligibility = %v", got)
+	}
+	cfg.BuffersReused = false
+	got := eligibleSchemes(&cfg, false, false)
+	if len(got) != 2 || got[0] != SchemeGeneric || got[1] != SchemeBCSPUP {
+		t.Fatalf("no-reuse eligibility = %v", got)
+	}
+}
+
+// recordingSelector pins the decideScheme contract: inputs passed through,
+// ineligible verdicts rejected, counters incremented.
+type recordingSelector struct {
+	last     SelectorInput
+	ret      SchemeDecision
+	observed []Scheme
+	lats     []int64
+	regret   int64
+}
+
+func (r *recordingSelector) Choose(in SelectorInput) SchemeDecision {
+	r.last = in
+	return r.ret
+}
+
+func (r *recordingSelector) Observe(in SelectorInput, chosen Scheme, lat int64) int64 {
+	r.observed = append(r.observed, chosen)
+	r.lats = append(r.lats, lat)
+	return r.regret
+}
+
+func TestSelectorIneligibleFallsBackToStatic(t *testing.T) {
+	cfg := autoCfg()
+	sel := &recordingSelector{ret: SchemeDecision{Scheme: SchemeMultiW, Rationale: "forced"}}
+	cfg.Selector = sel
+	cfg.BuffersReused = false // Multi-W not eligible
+	ep := &Endpoint{cfg: cfg, ctr: nil}
+	_ = ep
+	// Exercise the eligibility guard directly: the decision path lives on a
+	// full endpoint, so here we just pin the pure pieces it composes.
+	in := SelectorInput{SAvg: 1 << 20, RAvg: 1 << 20}
+	in.Eligible = eligibleSchemes(&cfg, false, false)
+	static, _ := AutoChoice(&cfg, in)
+	if schemeIn(in.Eligible, sel.ret.Scheme) {
+		t.Fatal("test shape should make Multi-W ineligible")
+	}
+	if static != SchemeBCSPUP {
+		t.Fatalf("static fallback = %v", static)
+	}
+}

@@ -77,7 +77,7 @@ func TestTraceAndMetricsAcrossBackends(t *testing.T) {
 					prefixed++
 				}
 			}
-			for _, want := range []string{"rts", "handshake", "data", "segment"} {
+			for _, want := range []string{"rts", "handshake", "data", "segment", "decision"} {
 				if !cats[want] {
 					t.Errorf("no %q spans recorded (cats: %v)", want, cats)
 				}

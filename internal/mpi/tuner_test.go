@@ -1,0 +1,323 @@
+package mpi
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/datatype"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/tuner"
+)
+
+// Integration tests for adaptive scheme selection at the MPI layer: the
+// decision trace instants (static and tuned), the tuner counters, and the
+// acceptance criterion that cross-backend conformance stays byte-identical
+// under SchemeAuto with a live tuner.
+
+// decisionInstants collects the trace events in the "decision" category.
+func decisionInstants(rec *trace.Recorder) []string {
+	var out []string
+	for _, e := range rec.Events() {
+		if e.Cat == "decision" {
+			out = append(out, e.Name)
+		}
+	}
+	return out
+}
+
+// TestAutoDecisionRationaleBothBackends pins the static heuristic's boundary
+// behavior end to end: each shape's rendezvous receive must emit a "decision"
+// instant naming the expected scheme, on both backends, including exactly-at-
+// threshold shapes (block threshold 4096, gather threshold 256).
+func TestAutoDecisionRationaleBothBackends(t *testing.T) {
+	shapes := []struct {
+		name    string
+		dt      *datatype.Type
+		count   int
+		reuse   bool
+		scheme  core.Scheme
+		whyFrag string
+	}{
+		// 4096-byte runs on both sides: exactly at AutoBlockThreshold.
+		{"at block threshold", datatype.Must(datatype.TypeVector(4, 1024, 2048, datatype.Int32)), 1,
+			true, core.SchemeMultiW, "block threshold"},
+		// 256-byte runs: exactly at AutoGatherThreshold.
+		{"at gather threshold", datatype.Must(datatype.TypeVector(64, 64, 128, datatype.Int32)), 1,
+			true, core.SchemeRWGUP, "gather threshold"},
+		// 252-byte runs: just under the gather threshold.
+		{"under gather threshold", datatype.Must(datatype.TypeVector(64, 63, 128, datatype.Int32)), 1,
+			true, core.SchemeBCSPUP, "below gather threshold"},
+		// Both sides contiguous: collapses to one zero-copy write.
+		{"both contiguous", datatype.Must(datatype.TypeContiguous(4096, datatype.Int32)), 1,
+			true, core.SchemeGeneric, "both sides contiguous"},
+		// Buffers not reused: stay on the pipeline regardless of layout.
+		{"buffers not reused", datatype.Must(datatype.TypeVector(4, 1024, 2048, datatype.Int32)), 1,
+			false, core.SchemeBCSPUP, "not reused"},
+	}
+	for _, backend := range []string{BackendSim, BackendRT} {
+		for _, sh := range shapes {
+			t.Run(fmt.Sprintf("%s/%s", sh.name, backend), func(t *testing.T) {
+				rec := trace.New()
+				cfg := smallConfig(2, core.SchemeAuto)
+				cfg.Core.BuffersReused = sh.reuse
+				cfg.Backend = backend
+				cfg.RTTimeout = time.Minute
+				cfg.Trace = rec
+				w, err := NewWorld(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				err = w.Run(func(p *Proc) error {
+					buf := allocFor(p, sh.dt, sh.count)
+					if p.Rank() == 0 {
+						fill(p, buf, sh.dt, sh.count, 7)
+						return p.Send(buf, sh.count, sh.dt, 1, 2)
+					}
+					_, err := p.Recv(buf, sh.count, sh.dt, 0, 2)
+					return err
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				want := "decide " + sh.scheme.String() + ": static"
+				found := false
+				for _, name := range decisionInstants(rec) {
+					if strings.HasPrefix(name, want) {
+						found = true
+						if !strings.Contains(name, sh.whyFrag) {
+							t.Errorf("decision %q lacks rationale fragment %q", name, sh.whyFrag)
+						}
+					}
+				}
+				if !found {
+					t.Fatalf("no %q instant (decisions: %v)", want, decisionInstants(rec))
+				}
+			})
+		}
+	}
+}
+
+// TestFixedSchemeDecisionTrace: even a fixed (non-Auto) scheme records why it
+// was used, so traces always explain the path taken.
+func TestFixedSchemeDecisionTrace(t *testing.T) {
+	rec := trace.New()
+	cfg := smallConfig(2, core.SchemePRRS)
+	cfg.Trace = rec
+	w, err := NewWorld(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vec := datatype.Must(datatype.TypeVector(128, 32, 64, datatype.Int32)) // 16 KB
+	err = w.Run(func(p *Proc) error {
+		buf := allocFor(p, vec, 1)
+		if p.Rank() == 0 {
+			fill(p, buf, vec, 1, 9)
+			return p.Send(buf, 1, vec, 1, 4)
+		}
+		_, err := p.Recv(buf, 1, vec, 0, 4)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, name := range decisionInstants(rec) {
+		if strings.HasPrefix(name, "decide P-RRS: fixed") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no fixed-scheme decision instant (decisions: %v)", decisionInstants(rec))
+	}
+}
+
+// TestTunerActiveBothBackends drives repeated rendezvous traffic through a
+// shared Tuner on each backend and checks the selection loop end to end:
+// tuned decision instants appear, the exploration/exploitation counters add
+// up to the message count, and the data still arrives intact.
+func TestTunerActiveBothBackends(t *testing.T) {
+	vec := datatype.Must(datatype.TypeVector(128, 32, 64, datatype.Int32)) // 16 KB, 128-byte runs
+	for _, backend := range []string{BackendSim, BackendRT} {
+		t.Run(backend, func(t *testing.T) {
+			rec := trace.New()
+			tu := tuner.New(tuner.DefaultConfig())
+			cfg := smallConfig(2, core.SchemeAuto)
+			cfg.Backend = backend
+			cfg.RTTimeout = time.Minute
+			cfg.Trace = rec
+			cfg.Selector = tu
+			w, err := NewWorld(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			const iters = 24
+			var mismatch atomic.Int64
+			err = w.Run(func(p *Proc) error {
+				buf := allocFor(p, vec, 1)
+				var want []byte
+				if p.Rank() == 0 {
+					want = fill(p, buf, vec, 1, 11)
+				}
+				for i := 0; i < iters; i++ {
+					if p.Rank() == 0 {
+						if err := p.Send(buf, 1, vec, 1, i); err != nil {
+							return err
+						}
+					} else {
+						if _, err := p.Recv(buf, 1, vec, 0, i); err != nil {
+							return err
+						}
+					}
+				}
+				if p.Rank() == 1 {
+					got := read(p, buf, vec, 1)
+					ref := fill(p, allocFor(p, vec, 1), vec, 1, 11)
+					if !bytes.Equal(got, ref) {
+						mismatch.Add(1)
+					}
+					_ = want
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if mismatch.Load() != 0 {
+				t.Fatal("tuned transfer delivered wrong bytes")
+			}
+
+			ctr := w.Endpoint(1).Counters().Snapshot()
+			if got := ctr.TunerExplorations + ctr.TunerExploitations; got != iters {
+				t.Errorf("tuner decisions = %d (explore %d + exploit %d), want %d",
+					got, ctr.TunerExplorations, ctr.TunerExploitations, iters)
+			}
+			tuned := 0
+			for _, name := range decisionInstants(rec) {
+				if strings.Contains(name, "tuned:") {
+					tuned++
+					if !strings.Contains(name, "arms") {
+						t.Errorf("tuned decision %q lacks arm estimates", name)
+					}
+				}
+			}
+			if tuned != iters {
+				t.Errorf("tuned decision instants = %d, want %d", tuned, iters)
+			}
+			if tu.Keys() == 0 {
+				t.Error("tuner table stayed empty")
+			}
+		})
+	}
+}
+
+// TestCrossBackendConformanceTunerActive is the acceptance criterion: the
+// conformance shapes stay byte-identical on both backends under SchemeAuto
+// with a live (exploring) tuner choosing schemes.
+func TestCrossBackendConformanceTunerActive(t *testing.T) {
+	types := confTypes(t)
+	for _, backend := range []string{BackendSim, BackendRT} {
+		for name, tc := range types {
+			t.Run(fmt.Sprintf("%s/%s", name, backend), func(t *testing.T) {
+				tu := tuner.New(tuner.DefaultConfig())
+				cfg := DefaultConfig()
+				cfg.Ranks = 2
+				cfg.MemBytes = 96 << 20
+				cfg.Core.Scheme = core.SchemeAuto
+				cfg.Backend = backend
+				cfg.RTTimeout = time.Minute
+				cfg.Selector = tu
+				w, err := NewWorld(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want := confPattern(tc.dt.Size()*int64(tc.count), 5)
+				var got []byte
+				err = w.Run(func(p *Proc) error {
+					buf := confAlloc(p, tc.dt, tc.count)
+					// Several iterations so exploration cycles through
+					// different schemes for the same shape.
+					for i := 0; i < 6; i++ {
+						if p.Rank() == 0 {
+							confFill(p, buf, tc.dt, tc.count, 5)
+							if err := p.Send(buf, tc.count, tc.dt, 1, i); err != nil {
+								return err
+							}
+						} else {
+							if _, err := p.Recv(buf, tc.count, tc.dt, 0, i); err != nil {
+								return err
+							}
+							got = confGather(p, buf, tc.dt, tc.count)
+							if !bytes.Equal(got, want) {
+								return fmt.Errorf("iteration %d delivered wrong bytes", i)
+							}
+						}
+					}
+					return nil
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(got, want) {
+					t.Fatalf("tuner-active auto on %s delivered wrong bytes for %s", backend, name)
+				}
+			})
+		}
+	}
+}
+
+// TestTunerDeterministicOnSim: equal seeds must reproduce the exact decision
+// sequence on the deterministic backend (replayability).
+func TestTunerDeterministicOnSim(t *testing.T) {
+	run := func() ([]string, stats.Counters) {
+		rec := trace.New()
+		tu := tuner.New(tuner.DefaultConfig())
+		cfg := smallConfig(2, core.SchemeAuto)
+		cfg.Trace = rec
+		cfg.Selector = tu
+		w, err := NewWorld(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vec := datatype.Must(datatype.TypeVector(128, 32, 64, datatype.Int32))
+		err = w.Run(func(p *Proc) error {
+			buf := allocFor(p, vec, 1)
+			for i := 0; i < 32; i++ {
+				if p.Rank() == 0 {
+					fill(p, buf, vec, 1, byte(i))
+					if err := p.Send(buf, 1, vec, 1, i); err != nil {
+						return err
+					}
+				} else if _, err := p.Recv(buf, 1, vec, 0, i); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return decisionInstants(rec), w.Endpoint(1).Counters().Snapshot()
+	}
+	d1, c1 := run()
+	d2, c2 := run()
+	if len(d1) == 0 {
+		t.Fatal("no decisions recorded")
+	}
+	if len(d1) != len(d2) {
+		t.Fatalf("decision counts differ: %d vs %d", len(d1), len(d2))
+	}
+	for i := range d1 {
+		if d1[i] != d2[i] {
+			t.Fatalf("decision %d differs:\n  %s\n  %s", i, d1[i], d2[i])
+		}
+	}
+	if c1.TunerExplorations != c2.TunerExplorations {
+		t.Fatalf("exploration counts differ: %d vs %d", c1.TunerExplorations, c2.TunerExplorations)
+	}
+}

@@ -58,6 +58,13 @@ type Config struct {
 	// Metrics, when set, receives per-scheme latency/bandwidth histograms
 	// and pool/registration gauges from every endpoint.
 	Metrics *stats.Registry
+
+	// Selector, when set (and Core.Scheme is SchemeAuto), replaces the
+	// static threshold heuristic with adaptive per-message scheme selection
+	// (internal/tuner). The same selector is shared by every rank's
+	// endpoint, so all feedback lands in one tuning table; implementations
+	// must be concurrency-safe for BackendRT.
+	Selector core.SchemeSelector
 }
 
 // DefaultConfig returns an 8-rank cluster with the paper's parameters.
@@ -112,6 +119,9 @@ func NewWorld(cfg Config) (*World, error) {
 	}
 	if cfg.Metrics != nil {
 		ccfg.Metrics = cfg.Metrics
+	}
+	if cfg.Selector != nil {
+		ccfg.Selector = cfg.Selector
 	}
 	if w.rt != nil && ccfg.TraceClock == nil {
 		// Real-time backend: spans and histograms measure real elapsed time.

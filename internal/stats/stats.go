@@ -67,6 +67,11 @@ type Counters struct {
 	FaultRetries   int64 // transient-fault retries (descriptors, registrations)
 	RequestsFailed int64 // requests completed with a fault error
 	PeerAborts     int64 // abort notifications received from a peer rank
+
+	// Adaptive scheme tuning (internal/tuner via core.SchemeSelector).
+	TunerExplorations  int64 // decisions taken to gather data, not because best
+	TunerExploitations int64 // decisions following the current best estimate
+	TunerRegretNs      int64 // summed latency paid above the best arm's estimate
 }
 
 // field pairs a counter's name with a pointer to its value.
@@ -114,6 +119,9 @@ func (c *Counters) fields() []field {
 		{"FaultRetries", &c.FaultRetries},
 		{"RequestsFailed", &c.RequestsFailed},
 		{"PeerAborts", &c.PeerAborts},
+		{"TunerExplorations", &c.TunerExplorations},
+		{"TunerExploitations", &c.TunerExploitations},
+		{"TunerRegretNs", &c.TunerRegretNs},
 	}
 }
 

@@ -1,0 +1,144 @@
+package tuner
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/core"
+)
+
+// Tuning tables persist as JSON so a calibration sweep (dtbench -tune-out)
+// can warm-start later runs (dtbench -tune-in, usually with exploration
+// off). The document stores each arm's prior, sample count, and raw latency
+// sum, so a re-imported table reproduces the exporting tuner's blended means
+// — and therefore its selections — exactly.
+
+const tableVersion = 1
+
+type tableDoc struct {
+	Version int        `json:"version"`
+	Entries []entryDoc `json:"entries"`
+}
+
+type entryDoc struct {
+	Key  Key      `json:"key"`
+	Arms []armDoc `json:"arms"`
+}
+
+type armDoc struct {
+	Scheme     string  `json:"scheme"`
+	PriorNs    float64 `json:"prior_ns"`
+	N          int64   `json:"n"`
+	SumNs      float64 `json:"sum_ns"`
+	MeanNs     float64 `json:"mean_ns"` // informational: blended estimate at export
+	Eliminated bool    `json:"eliminated,omitempty"`
+}
+
+var schemeNames = map[string]core.Scheme{
+	core.SchemeGeneric.String(): core.SchemeGeneric,
+	core.SchemeBCSPUP.String():  core.SchemeBCSPUP,
+	core.SchemeRWGUP.String():   core.SchemeRWGUP,
+	core.SchemePRRS.String():    core.SchemePRRS,
+	core.SchemeMultiW.String():  core.SchemeMultiW,
+}
+
+// ExportJSON serializes the tuning table, entries sorted by key so equal
+// tables produce byte-equal documents.
+func (t *Tuner) ExportJSON() ([]byte, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	doc := tableDoc{Version: tableVersion}
+	keys := make([]Key, 0, len(t.entries))
+	for k := range t.entries {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keyLess(keys[i], keys[j]) })
+	for _, k := range keys {
+		e := t.entries[k]
+		ed := entryDoc{Key: k}
+		for _, a := range e.arms {
+			ed.Arms = append(ed.Arms, armDoc{
+				Scheme:     a.scheme.String(),
+				PriorNs:    a.prior,
+				N:          a.n,
+				SumNs:      a.sum,
+				MeanNs:     a.mean(t.cfg.PriorWeight),
+				Eliminated: a.eliminated,
+			})
+		}
+		doc.Entries = append(doc.Entries, ed)
+	}
+	return json.MarshalIndent(doc, "", "  ")
+}
+
+// ImportJSON replaces the tuning table with the document's contents.
+func (t *Tuner) ImportJSON(data []byte) error {
+	var doc tableDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return fmt.Errorf("tuner: bad table: %w", err)
+	}
+	if doc.Version != tableVersion {
+		return fmt.Errorf("tuner: table version %d, want %d", doc.Version, tableVersion)
+	}
+	entries := make(map[Key]*entry, len(doc.Entries))
+	for _, ed := range doc.Entries {
+		e := &entry{}
+		for _, ad := range ed.Arms {
+			s, ok := schemeNames[ad.Scheme]
+			if !ok {
+				return fmt.Errorf("tuner: unknown scheme %q in table", ad.Scheme)
+			}
+			if e.find(s) != nil {
+				return fmt.Errorf("tuner: duplicate arm %q under key %+v", ad.Scheme, ed.Key)
+			}
+			e.arms = append(e.arms, &arm{
+				scheme:     s,
+				prior:      ad.PriorNs,
+				n:          ad.N,
+				sum:        ad.SumNs,
+				eliminated: ad.Eliminated,
+			})
+		}
+		entries[ed.Key] = e
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.entries = entries
+	return nil
+}
+
+// SaveFile writes the table to path.
+func (t *Tuner) SaveFile(path string) error {
+	data, err := t.ExportJSON()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// LoadFile reads a table previously written by SaveFile.
+func (t *Tuner) LoadFile(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	return t.ImportJSON(data)
+}
+
+func keyLess(a, b Key) bool {
+	if a.Peer != b.Peer {
+		return a.Peer < b.Peer
+	}
+	if a.Class != b.Class {
+		return a.Class < b.Class
+	}
+	if a.SRun != b.SRun {
+		return a.SRun < b.SRun
+	}
+	if a.RRun != b.RRun {
+		return a.RRun < b.RRun
+	}
+	return a.RRuns < b.RRuns
+}

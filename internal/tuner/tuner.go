@@ -1,0 +1,414 @@
+// Package tuner provides measurement-driven per-message transfer-scheme
+// selection, replacing the static Section 6 thresholds of SchemeAuto.
+//
+// Which datatype path wins is machine- and layout-dependent (Hunold et al.,
+// "MPI Derived Datatypes: Performance Expectations and Status Quo"; Eijkhout,
+// "Performance of MPI sends of non-contiguous data"), so instead of trusting
+// seed-time constants the Tuner learns the crossovers online: it keys
+// decisions by (peer rank, layout-signature buckets, size class), keeps one
+// bandit arm per eligible scheme seeded with a cost-model prior, and updates
+// the arms from the completion-path latency feedback core.Endpoint already
+// measures. Selection is epsilon-greedy with a decaying exploration rate and
+// successive elimination of far-worse arms; the RNG is seeded, and on the
+// sim backend (single-threaded event loop, virtual time) the whole decision
+// sequence is deterministic and replayable.
+//
+// Tables export/import as JSON so a calibration sweep can warm-start
+// production runs (dtbench -tune-out / -tune-in).
+package tuner
+
+import (
+	"fmt"
+	"math/bits"
+	"math/rand"
+	"strings"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/mem"
+	"repro/internal/stats"
+	"repro/internal/verbs"
+)
+
+// Key identifies one tuning context: which peer the message comes from and
+// the bucketed shape of the transfer. Bucketing by log2 of the average run
+// lengths and the receiver run count keeps the table small while separating
+// the regimes where different schemes win.
+type Key struct {
+	Peer  int    `json:"peer"`
+	Class string `json:"class"` // stats.SizeClass of the payload
+	SRun  uint8  `json:"srun"`  // log2 bucket of sender average run length
+	RRun  uint8  `json:"rrun"`  // log2 bucket of receiver average run length
+	RRuns uint8  `json:"rruns"` // log2 bucket of receiver run count
+}
+
+// bucket maps a positive quantity to its log2 bucket (bits.Len64); zero and
+// negative values share bucket 0.
+func bucket(v int64) uint8 {
+	if v <= 0 {
+		return 0
+	}
+	return uint8(bits.Len64(uint64(v)))
+}
+
+// KeyFor derives the tuning key for one message shape.
+func KeyFor(in core.SelectorInput) Key {
+	return Key{
+		Peer:  in.Peer,
+		Class: stats.SizeClass(in.Bytes),
+		SRun:  bucket(in.SAvg),
+		RRun:  bucket(in.RAvg),
+		RRuns: bucket(in.RRuns),
+	}
+}
+
+// Signature is the human-readable layout signature dtinspect prints so users
+// can correlate tuning-table keys with their datatypes.
+type Signature struct {
+	Runs      int64  // flattened contiguous run count
+	AvgRun    int64  // average run length in bytes
+	Bytes     int64  // total payload bytes
+	RunBucket uint8  // log2 bucket of AvgRun (Key.SRun / Key.RRun)
+	CntBucket uint8  // log2 bucket of Runs (Key.RRuns)
+	Class     string // size class (Key.Class)
+}
+
+// SignatureOf computes the layout signature for a flattened layout summary.
+func SignatureOf(runs, avgRun, bytes int64) Signature {
+	return Signature{
+		Runs: runs, AvgRun: avgRun, Bytes: bytes,
+		RunBucket: bucket(avgRun),
+		CntBucket: bucket(runs),
+		Class:     stats.SizeClass(bytes),
+	}
+}
+
+func (s Signature) String() string {
+	return fmt.Sprintf("runs=%d avg_run=%dB bytes=%d class=%s run_bucket=%d cnt_bucket=%d",
+		s.Runs, s.AvgRun, s.Bytes, s.Class, s.RunBucket, s.CntBucket)
+}
+
+// Config holds the tuner's policy knobs. The zero value is not usable; start
+// from DefaultConfig.
+type Config struct {
+	// Seed seeds the exploration RNG. Equal seeds over equal decision
+	// sequences reproduce equal choices (the sim backend guarantees the
+	// sequence itself is deterministic).
+	Seed int64
+
+	// Epsilon is the initial exploration probability; the effective rate
+	// decays as Epsilon·DecayN/(DecayN+n) with n the key's sample count, so
+	// converged keys almost always exploit.
+	Epsilon float64
+	DecayN  int
+
+	// PriorWeight is how many pseudo-samples the cost-model prior counts
+	// for; real measurements quickly dominate it.
+	PriorWeight float64
+
+	// Successive elimination: an arm with at least ElimSamples real samples
+	// whose mean exceeds ElimFactor times the best arm's mean stops being
+	// explored (it can still win back if later samples pull its mean down).
+	ElimFactor  float64
+	ElimSamples int
+
+	// Explore enables exploration; disabled, the tuner always plays the
+	// current best arm (warm-started tables run pure exploitation).
+	Explore bool
+
+	// Model prices the per-scheme priors; nil uses verbs.DefaultModel.
+	Model *verbs.Model
+}
+
+// DefaultConfig returns the tuning policy used by dtbench and the tests.
+func DefaultConfig() Config {
+	return Config{
+		Seed:        1,
+		Epsilon:     0.25,
+		DecayN:      12,
+		PriorWeight: 2,
+		ElimFactor:  3,
+		ElimSamples: 3,
+		Explore:     true,
+	}
+}
+
+// arm is one scheme's running estimate under a key.
+type arm struct {
+	scheme     core.Scheme
+	prior      float64 // cost-model latency estimate, ns
+	n          int64   // real samples observed
+	sum        float64 // summed observed latency, ns
+	eliminated bool
+}
+
+// mean blends the prior (as priorWeight pseudo-samples) with the observations.
+func (a *arm) mean(priorWeight float64) float64 {
+	return (a.prior*priorWeight + a.sum) / (priorWeight + float64(a.n))
+}
+
+// entry is the per-key arm set.
+type entry struct {
+	arms []*arm
+}
+
+func (e *entry) find(s core.Scheme) *arm {
+	for _, a := range e.arms {
+		if a.scheme == s {
+			return a
+		}
+	}
+	return nil
+}
+
+func (e *entry) samples() int64 {
+	var n int64
+	for _, a := range e.arms {
+		n += a.n
+	}
+	return n
+}
+
+// best returns the arm with the lowest blended mean (all arms considered —
+// elimination only stops exploration, never exploitation of a recovered arm).
+func (e *entry) best(priorWeight float64) *arm {
+	var b *arm
+	for _, a := range e.arms {
+		if b == nil || a.mean(priorWeight) < b.mean(priorWeight) {
+			b = a
+		}
+	}
+	return b
+}
+
+// reEliminate refreshes every arm's eliminated flag against the current best.
+func (e *entry) reEliminate(cfg *Config) {
+	b := e.best(cfg.PriorWeight)
+	if b == nil {
+		return
+	}
+	limit := cfg.ElimFactor * b.mean(cfg.PriorWeight)
+	for _, a := range e.arms {
+		a.eliminated = a != b && a.n >= int64(cfg.ElimSamples) && a.mean(cfg.PriorWeight) > limit
+	}
+}
+
+// Tuner is a core.SchemeSelector learning per-key scheme latencies online.
+// Safe for concurrent use; share one Tuner across all ranks of a world so
+// every endpoint's feedback lands in one table.
+type Tuner struct {
+	mu      sync.Mutex
+	cfg     Config
+	rng     *rand.Rand
+	entries map[Key]*entry
+}
+
+// New builds a Tuner with the given policy.
+func New(cfg Config) *Tuner {
+	if cfg.Model == nil {
+		m := verbs.DefaultModel()
+		cfg.Model = &m
+	}
+	if cfg.PriorWeight <= 0 {
+		cfg.PriorWeight = 1
+	}
+	if cfg.DecayN <= 0 {
+		cfg.DecayN = 1
+	}
+	return &Tuner{
+		cfg:     cfg,
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		entries: make(map[Key]*entry),
+	}
+}
+
+// SetExplore toggles exploration (off for warm-started production runs).
+func (t *Tuner) SetExplore(on bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.cfg.Explore = on
+}
+
+// Keys reports how many tuning contexts the table currently holds.
+func (t *Tuner) Keys() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.entries)
+}
+
+// entryFor returns (creating on first sight) the arm set for this shape,
+// with each eligible scheme's arm seeded from the cost-model prior.
+func (t *Tuner) entryFor(k Key, in core.SelectorInput) *entry {
+	e, ok := t.entries[k]
+	if ok {
+		// A warm-started table may predate an eligibility change (for
+		// example BuffersReused flipping); grow missing arms on demand.
+		for _, s := range in.Eligible {
+			if e.find(s) == nil {
+				e.arms = append(e.arms, &arm{scheme: s, prior: priorNs(t.cfg.Model, in, s)})
+			}
+		}
+		return e
+	}
+	e = &entry{}
+	for _, s := range in.Eligible {
+		e.arms = append(e.arms, &arm{scheme: s, prior: priorNs(t.cfg.Model, in, s)})
+	}
+	t.entries[k] = e
+	return e
+}
+
+// Choose implements core.SchemeSelector: epsilon-greedy over the key's arms.
+func (t *Tuner) Choose(in core.SelectorInput) core.SchemeDecision {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	k := KeyFor(in)
+	e := t.entryFor(k, in)
+	best := e.best(t.cfg.PriorWeight)
+	if best == nil {
+		return core.SchemeDecision{Scheme: in.Static, Rationale: "no arms, static fallback"}
+	}
+	if len(e.arms) > 1 && t.cfg.Explore {
+		n := e.samples()
+		eps := t.cfg.Epsilon * float64(t.cfg.DecayN) / float64(t.cfg.DecayN+int(n))
+		if t.rng.Float64() < eps {
+			// Explore the least-sampled live arm that is not the current
+			// best; eliminated arms stay retired.
+			var pick *arm
+			for _, a := range e.arms {
+				if a == best || a.eliminated {
+					continue
+				}
+				if pick == nil || a.n < pick.n {
+					pick = a
+				}
+			}
+			if pick != nil {
+				return core.SchemeDecision{
+					Scheme:   pick.scheme,
+					Explored: true,
+					Rationale: fmt.Sprintf("explore %s (eps=%.3f, n=%d); %s",
+						pick.scheme, eps, n, e.describe(t.cfg.PriorWeight)),
+				}
+			}
+		}
+	}
+	return core.SchemeDecision{
+		Scheme: best.scheme,
+		Rationale: fmt.Sprintf("exploit %s mean %.1fus; %s",
+			best.scheme, best.mean(t.cfg.PriorWeight)/1e3, e.describe(t.cfg.PriorWeight)),
+	}
+}
+
+// describe renders the current arm estimates ("Generic=210.4us/3 ...", with
+// a trailing ! marking eliminated arms) for decision rationales.
+func (e *entry) describe(priorWeight float64) string {
+	var b strings.Builder
+	b.WriteString("arms")
+	for _, a := range e.arms {
+		fmt.Fprintf(&b, " %s=%.1fus/%d", a.scheme, a.mean(priorWeight)/1e3, a.n)
+		if a.eliminated {
+			b.WriteString("!")
+		}
+	}
+	return b.String()
+}
+
+// Observe implements core.SchemeSelector: fold one measured completion
+// latency into the chosen arm, refresh eliminations, and report the regret
+// proxy — how far above the best arm's current estimate this transfer landed.
+func (t *Tuner) Observe(in core.SelectorInput, chosen core.Scheme, latencyNs int64) int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	k := KeyFor(in)
+	e := t.entryFor(k, in)
+	a := e.find(chosen)
+	if a == nil {
+		// The endpoint fell back to a scheme outside the eligible set (it
+		// never should); learn nothing rather than corrupt an arm.
+		return 0
+	}
+	a.n++
+	a.sum += float64(latencyNs)
+	e.reEliminate(&t.cfg)
+	best := e.best(t.cfg.PriorWeight)
+	if r := float64(latencyNs) - best.mean(t.cfg.PriorWeight); r > 0 {
+		return int64(r)
+	}
+	return 0
+}
+
+// --- Cost-model priors -------------------------------------------------------
+
+// priorNs estimates one scheme's receive-side completion latency in
+// nanoseconds from the fabric cost model. The estimates are deliberately
+// coarse — they only have to rank the schemes sensibly until real samples
+// (PriorWeight pseudo-samples' worth) take over.
+func priorNs(m *verbs.Model, in core.SelectorInput, s core.Scheme) float64 {
+	b := in.Bytes
+	sRuns := runsFor(b, in.SAvg)
+	rRuns := in.RRuns
+	if rRuns <= 0 {
+		rRuns = runsFor(b, in.RAvg)
+	}
+	wire := float64(m.WireTime(b))
+	packC := float64(m.CopyTime(b, int(sRuns)))
+	unpackC := float64(m.CopyTime(b, int(rRuns)))
+	pages := (b + mem.PageSize - 1) / mem.PageSize
+	sge := float64(m.SGEPost + m.NICSGECost)
+	desc := float64(m.PostCost + m.NICDescCost + m.CompletionCost)
+
+	switch s {
+	case core.SchemeGeneric:
+		// Whole-message staging on both sides: malloc + registration + pack,
+		// then the wire, then unpack — fully sequential.
+		setup := 2 * float64(m.MallocTime(b)+m.RegTime(pages))
+		return setup + packC + wire + unpackC + desc
+	case core.SchemeBCSPUP:
+		// Segmented pipeline over pre-registered pools: the three stages
+		// overlap, so the slowest dominates, plus per-segment descriptors.
+		segs := 2.0
+		return maxf(packC, wire, unpackC) + segs*desc
+	case core.SchemeRWGUP:
+		// Gather straight from the sender's registered user blocks: no pack,
+		// but every sender run costs an SGE on host and NIC.
+		gather := float64(sRuns)*sge + float64(sRuns/int64(m.MaxSGE)+1)*desc
+		return gather + maxf(wire, unpackC)
+	case core.SchemePRRS:
+		// Sender packs; receiver pulls with RDMA reads and scatters into its
+		// runs — reads pay the responder turnaround.
+		reads := float64(rRuns)*sge + 2*float64(m.ReadTurnaround) + desc
+		return packC + wire + reads
+	case core.SchemeMultiW:
+		// Zero copy: one write per contiguous intersection of the two
+		// layouts (at least max of the two run counts).
+		nW := sRuns
+		if rRuns > nW {
+			nW = rRuns
+		}
+		return float64(nW)*(float64(m.ListPostEntry)+sge+float64(m.NICDescCost)) + wire + desc
+	default:
+		return wire + packC + unpackC
+	}
+}
+
+func runsFor(bytes, avg int64) int64 {
+	if avg <= 0 {
+		return 1
+	}
+	n := bytes / avg
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+func maxf(vs ...float64) float64 {
+	m := vs[0]
+	for _, v := range vs[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}

@@ -1,0 +1,307 @@
+package tuner
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+)
+
+// noncontig is a typical vector shape: 16 KiB spread over 256-byte runs on
+// both sides.
+func noncontig() core.SelectorInput {
+	in := core.SelectorInput{
+		Peer: 1, Bytes: 16 << 10,
+		SAvg: 256, RAvg: 256, RRuns: 64,
+		Eligible: []core.Scheme{core.SchemeGeneric, core.SchemeBCSPUP,
+			core.SchemeRWGUP, core.SchemePRRS, core.SchemeMultiW},
+		Static: core.SchemeRWGUP,
+	}
+	return in
+}
+
+func TestBuckets(t *testing.T) {
+	cases := []struct {
+		v    int64
+		want uint8
+	}{{0, 0}, {-5, 0}, {1, 1}, {2, 2}, {3, 2}, {4, 3}, {255, 8}, {256, 9}, {4096, 13}}
+	for _, c := range cases {
+		if got := bucket(c.v); got != c.want {
+			t.Errorf("bucket(%d) = %d, want %d", c.v, got, c.want)
+		}
+	}
+}
+
+func TestKeyForSeparatesRegimes(t *testing.T) {
+	small := noncontig()
+	large := noncontig()
+	large.SAvg, large.RAvg = 8192, 8192
+	large.RRuns = 2
+	if KeyFor(small) == KeyFor(large) {
+		t.Fatal("shapes in different run-length regimes share a key")
+	}
+	same := noncontig()
+	same.SAvg = 300 // same log2 bucket as 256
+	same.RAvg = 300
+	if KeyFor(small) != KeyFor(same) {
+		t.Fatal("shapes in the same buckets got different keys")
+	}
+}
+
+func TestSignatureOf(t *testing.T) {
+	s := SignatureOf(64, 256, 16<<10)
+	if s.RunBucket != 9 || s.CntBucket != 7 {
+		t.Fatalf("signature buckets = %d/%d, want 9/7", s.RunBucket, s.CntBucket)
+	}
+	if s.Class != stats.SizeClass(16<<10) {
+		t.Fatalf("signature class = %q", s.Class)
+	}
+	if s.String() == "" {
+		t.Fatal("empty signature string")
+	}
+}
+
+// TestPriorOrdering sanity-checks the cost-model priors: fine-grained layouts
+// should not rank Multi-W first, and coarse layouts should not rank the
+// staged pipeline above the zero-copy write path.
+func TestPriorOrdering(t *testing.T) {
+	cfg := DefaultConfig()
+	tu := New(cfg)
+	fine := noncontig()
+	fine.SAvg, fine.RAvg, fine.RRuns = 16, 16, 1024
+	if p1, p2 := priorNs(tu.cfg.Model, fine, core.SchemeBCSPUP), priorNs(tu.cfg.Model, fine, core.SchemeMultiW); p1 >= p2 {
+		t.Fatalf("16B runs: BC-SPUP prior %.0f >= Multi-W prior %.0f", p1, p2)
+	}
+	coarse := noncontig()
+	coarse.SAvg, coarse.RAvg, coarse.RRuns = 64<<10, 64<<10, 4
+	coarse.Bytes = 256 << 10
+	if p1, p2 := priorNs(tu.cfg.Model, coarse, core.SchemeMultiW), priorNs(tu.cfg.Model, coarse, core.SchemeGeneric); p1 >= p2 {
+		t.Fatalf("64KiB runs: Multi-W prior %.0f >= Generic prior %.0f", p1, p2)
+	}
+}
+
+// synthetic latencies per scheme: BC-SPUP is the clear winner.
+var synthLat = map[core.Scheme]int64{
+	core.SchemeGeneric: 400_000,
+	core.SchemeBCSPUP:  60_000,
+	core.SchemeRWGUP:   1_800_000,
+	core.SchemePRRS:    250_000,
+	core.SchemeMultiW:  900_000,
+}
+
+// drive feeds n synthetic messages through the tuner and returns every
+// decision in order.
+func drive(tu *Tuner, in core.SelectorInput, n int) []core.Scheme {
+	out := make([]core.Scheme, 0, n)
+	for i := 0; i < n; i++ {
+		d := tu.Choose(in)
+		out = append(out, d.Scheme)
+		tu.Observe(in, d.Scheme, synthLat[d.Scheme])
+	}
+	return out
+}
+
+func TestConvergesToBestArm(t *testing.T) {
+	tu := New(DefaultConfig())
+	in := noncontig()
+	picks := drive(tu, in, 200)
+	// Last quartile must be (almost) all BC-SPUP; with the decayed epsilon
+	// and eliminations a stray exploration is possible but rare.
+	wrong := 0
+	for _, s := range picks[150:] {
+		if s != core.SchemeBCSPUP {
+			wrong++
+		}
+	}
+	if wrong > 2 {
+		t.Fatalf("last quartile picked non-best arm %d/50 times: %v", wrong, picks[150:])
+	}
+}
+
+func TestDeterministicUnderSeed(t *testing.T) {
+	in := noncontig()
+	a := drive(New(DefaultConfig()), in, 120)
+	b := drive(New(DefaultConfig()), in, 120)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("decision %d differs under equal seeds: %v vs %v", i, a[i], b[i])
+		}
+	}
+	cfg := DefaultConfig()
+	cfg.Seed = 99
+	c := drive(New(cfg), in, 120)
+	diff := false
+	for i := range a {
+		if a[i] != c[i] {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Fatal("different seeds produced identical 120-decision sequences (exploration inert?)")
+	}
+}
+
+func TestEliminationStopsExploringBadArm(t *testing.T) {
+	tu := New(DefaultConfig())
+	in := noncontig()
+	drive(tu, in, 40)
+	// Hand the 1.8ms RWG-UP arm enough samples to cross ElimSamples; from
+	// then on it must never be played again.
+	for i := 0; i < DefaultConfig().ElimSamples; i++ {
+		tu.Observe(in, core.SchemeRWGUP, synthLat[core.SchemeRWGUP])
+	}
+	rwg := 0
+	for _, s := range drive(tu, in, 200) {
+		if s == core.SchemeRWGUP {
+			rwg++
+		}
+	}
+	if rwg != 0 {
+		t.Fatalf("eliminated arm still explored %d/200 times", rwg)
+	}
+}
+
+func TestSingleEligibleScheme(t *testing.T) {
+	tu := New(DefaultConfig())
+	in := noncontig()
+	in.Eligible = []core.Scheme{core.SchemeGeneric}
+	in.Static = core.SchemeGeneric
+	for i := 0; i < 50; i++ {
+		d := tu.Choose(in)
+		if d.Scheme != core.SchemeGeneric {
+			t.Fatalf("single-arm key chose %v", d.Scheme)
+		}
+		if d.Explored {
+			t.Fatal("single-arm key claims exploration")
+		}
+		tu.Observe(in, d.Scheme, synthLat[d.Scheme])
+	}
+}
+
+func TestObserveIgnoresForeignScheme(t *testing.T) {
+	tu := New(DefaultConfig())
+	in := noncontig()
+	in.Eligible = []core.Scheme{core.SchemeGeneric, core.SchemeBCSPUP}
+	if r := tu.Observe(in, core.SchemeMultiW, 1_000_000); r != 0 {
+		t.Fatalf("foreign-scheme observation produced regret %d", r)
+	}
+}
+
+func TestRegretProxy(t *testing.T) {
+	tu := New(DefaultConfig())
+	in := noncontig()
+	drive(tu, in, 100) // converge
+	if r := tu.Observe(in, core.SchemeBCSPUP, 60_000); r > 10_000 {
+		t.Fatalf("near-best latency reported regret %d", r)
+	}
+	if r := tu.Observe(in, core.SchemeGeneric, 400_000); r < 300_000 {
+		t.Fatalf("bad-arm latency reported regret %d, want >=300000", r)
+	}
+}
+
+// TestRoundTrip pins the acceptance criterion: an exported table re-imported
+// into a fresh tuner reproduces the same selections with exploration off.
+func TestRoundTrip(t *testing.T) {
+	tu := New(DefaultConfig())
+	in := noncontig()
+	in2 := noncontig()
+	in2.Peer = 3
+	in2.SAvg, in2.RAvg, in2.RRuns = 8192, 8192, 2
+	drive(tu, in, 150)
+	drive(tu, in2, 150)
+
+	data, err := tu.ExportJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := DefaultConfig()
+	cfg.Explore = false
+	fresh := New(cfg)
+	if err := fresh.ImportJSON(data); err != nil {
+		t.Fatal(err)
+	}
+	tu.SetExplore(false)
+	if fresh.Keys() != tu.Keys() {
+		t.Fatalf("imported %d keys, exported %d", fresh.Keys(), tu.Keys())
+	}
+	for i := 0; i < 50; i++ {
+		for _, shape := range []core.SelectorInput{in, in2} {
+			want := tu.Choose(shape)
+			got := fresh.Choose(shape)
+			if got.Scheme != want.Scheme {
+				t.Fatalf("round-tripped tuner chose %v, original %v (shape peer=%d)",
+					got.Scheme, want.Scheme, shape.Peer)
+			}
+			// Keep the two tables in lockstep.
+			tu.Observe(shape, want.Scheme, synthLat[want.Scheme])
+			fresh.Observe(shape, got.Scheme, synthLat[got.Scheme])
+		}
+	}
+
+	// Export of the re-imported (and equally updated) table matches a fresh
+	// export of the original byte for byte: persistence is lossless.
+	d1, err := tu.ExportJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := fresh.ExportJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(d1, d2) {
+		t.Fatal("re-exported table differs from the original's export")
+	}
+}
+
+func TestImportRejectsGarbage(t *testing.T) {
+	tu := New(DefaultConfig())
+	if err := tu.ImportJSON([]byte("{")); err == nil {
+		t.Fatal("truncated JSON accepted")
+	}
+	if err := tu.ImportJSON([]byte(`{"version":99,"entries":[]}`)); err == nil {
+		t.Fatal("wrong version accepted")
+	}
+	if err := tu.ImportJSON([]byte(`{"version":1,"entries":[{"key":{"peer":0,"class":"x","srun":1,"rrun":1,"rruns":1},"arms":[{"scheme":"Bogus","n":1,"sum_ns":5}]}]}`)); err == nil {
+		t.Fatal("unknown scheme accepted")
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	tu := New(DefaultConfig())
+	in := noncontig()
+	drive(tu, in, 40)
+	path := t.TempDir() + "/table.json"
+	if err := tu.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	fresh := New(DefaultConfig())
+	if err := fresh.LoadFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if fresh.Keys() != tu.Keys() {
+		t.Fatalf("loaded %d keys, saved %d", fresh.Keys(), tu.Keys())
+	}
+}
+
+// TestEligibilityGrowth: a table imported from a run without buffer reuse
+// (two arms) must grow arms when the same key later sees the full set.
+func TestEligibilityGrowth(t *testing.T) {
+	tu := New(DefaultConfig())
+	in := noncontig()
+	in.Eligible = []core.Scheme{core.SchemeGeneric, core.SchemeBCSPUP}
+	drive(tu, in, 30)
+	full := noncontig()
+	d := tu.Choose(full)
+	found := false
+	for _, s := range full.Eligible {
+		if d.Scheme == s {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("choice %v outside eligible set after arm growth", d.Scheme)
+	}
+}
