@@ -8,9 +8,9 @@ GO ?= go
 # just these under the race detector for a fast concurrency gate.
 RACE_PKGS = ./internal/core/ ./internal/mpi/ ./internal/rtfab/ ./internal/stats/ ./internal/trace/
 
-.PHONY: check fmt vet build test race conformance fault-soak bench bench-backends tune tune-guard
+.PHONY: check fmt vet build test race conformance fault-soak bench bench-backends tune tune-guard doclint par par-guard
 
-check: fmt vet build test tune-guard
+check: fmt vet build test doclint tune-guard par-guard
 
 # Fails (and lists the offenders) if any file is not gofmt-clean.
 fmt:
@@ -53,6 +53,23 @@ tune-guard:
 	@$(GO) run ./cmd/dtbench -tuner -tuner-out BENCH_tuner.json >/dev/null
 	@git diff --exit-code -- BENCH_tuner.json || \
 		{ echo "BENCH_tuner.json drifted from 'make tune' output"; exit 1; }
+
+# Documentation floor: package comments everywhere under internal/, and a
+# doc comment on every exported symbol of the strict packages (pack, verbs).
+doclint:
+	$(GO) run ./cmd/doclint
+
+# Parallel segment-engine sweep (workers x backend) -> BENCH_parallel.json.
+# The rt rows are wall-clock and machine-dependent; regenerate them when the
+# engine changes, on the machine the numbers are quoted for.
+par:
+	$(GO) run ./cmd/dtbench -parallel both
+
+# CI-style guard: the sweep's sim rows run on virtual time, so the
+# checked-in BENCH_parallel.json must regenerate them byte-identically.
+# (rt rows are exempt: they are wall-clock measurements.)
+par-guard:
+	@$(GO) run ./cmd/dtbench -parallel-guard
 
 # Wall-clock scheme bandwidth/latency on both backends -> BENCH_backends.json.
 bench-backends:

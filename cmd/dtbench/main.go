@@ -15,6 +15,7 @@ import (
 	"os"
 
 	"repro/internal/exper"
+	"repro/internal/mpi"
 	"repro/internal/stats"
 	"repro/internal/trace"
 )
@@ -27,6 +28,11 @@ func main() {
 	backend := flag.String("backend", "", `wall-clock backend benchmark: "sim", "rt", or "both"`)
 	benchOut := flag.String("bench-out", "BENCH_backends.json", "output path for the -backend benchmark")
 	benchIters := flag.Int("bench-iters", 50, "ping-pong round trips per (scheme, backend) in -backend")
+	workers := flag.Int("workers", 0, "with -backend: pack/unpack worker count (0 = config default)")
+	batch := flag.Int("batch", 0, "with -backend: doorbell batch for segmented schemes (0 = config default)")
+	parallel := flag.String("parallel", "", `parallel segment-engine sweep: "sim", "rt", or "both" -> BENCH_parallel.json`)
+	parallelOut := flag.String("parallel-out", "BENCH_parallel.json", "output path for the -parallel sweep")
+	parallelGuard := flag.Bool("parallel-guard", false, "regenerate the -parallel sim rows and verify them against -parallel-out")
 	traceOut := flag.String("trace", "", "with -backend: write Chrome trace-event JSON (chrome://tracing, Perfetto) here and print per-scheme histograms")
 	tunerRun := flag.Bool("tuner", false, "run the adversarial adaptive-tuner sweep -> BENCH_tuner.json")
 	tunerMsgs := flag.Int("tuner-msgs", 160, "messages per mode in the -tuner sweep")
@@ -40,24 +46,70 @@ func main() {
 		12: exper.Fig12, 13: exper.Fig13, 14: exper.Fig14,
 	}
 
-	if *backend != "" {
-		var backends []string
-		switch *backend {
+	backendList := func(arg string) []string {
+		switch arg {
 		case "sim", "rt":
-			backends = []string{*backend}
+			return []string{arg}
 		case "both":
-			backends = []string{"sim", "rt"}
-		default:
-			fmt.Fprintf(os.Stderr, "dtbench: unknown backend %q (want sim, rt, or both)\n", *backend)
-			os.Exit(2)
+			return []string{"sim", "rt"}
 		}
+		fmt.Fprintf(os.Stderr, "dtbench: unknown backend %q (want sim, rt, or both)\n", arg)
+		os.Exit(2)
+		return nil
+	}
+
+	if *parallelGuard {
+		committed, err := os.ReadFile(*parallelOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dtbench:", err)
+			os.Exit(1)
+		}
+		if err := exper.ParallelGuard(committed); err != nil {
+			fmt.Fprintln(os.Stderr, "dtbench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("parallel guard: sim rows of %s reproduce byte-for-byte\n", *parallelOut)
+		return
+	}
+	if *parallel != "" {
+		rows, err := exper.ParallelSweep(backendList(*parallel))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dtbench:", err)
+			os.Exit(1)
+		}
+		doc, err := exper.ParallelJSON(rows)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dtbench:", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*parallelOut, append(doc, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "dtbench:", err)
+			os.Exit(1)
+		}
+		fmt.Print(exper.ParallelTable(rows))
+		fmt.Printf("wrote %s\n", *parallelOut)
+		return
+	}
+	if *backend != "" {
+		backends := backendList(*backend)
 		var rec *trace.Recorder
 		var reg *stats.Registry
 		if *traceOut != "" {
 			rec = trace.New()
 			reg = stats.NewRegistry()
 		}
-		rows, err := exper.BenchBackendsTraced(backends, *benchIters, rec, reg)
+		var mut func(*mpi.Config)
+		if *workers > 0 || *batch > 0 {
+			mut = func(c *mpi.Config) {
+				if *workers > 0 {
+					c.Core.PackWorkers = *workers
+				}
+				if *batch > 0 {
+					c.Core.PostBatch = *batch
+				}
+			}
+		}
+		rows, err := exper.BenchBackendsOpts(backends, *benchIters, rec, reg, mut)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "dtbench:", err)
 			os.Exit(1)

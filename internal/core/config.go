@@ -22,6 +22,7 @@
 package core
 
 import (
+	"repro/internal/pack"
 	"repro/internal/simtime"
 	"repro/internal/stats"
 	"repro/internal/trace"
@@ -149,6 +150,36 @@ type Config struct {
 	// backend supplies wall-clock nanoseconds so spans measure real elapsed
 	// time rather than the per-node virtual cost model.
 	TraceClock func() simtime.Time
+
+	// PackWorkers is the parallel segment engine's worker count: each
+	// pack/unpack step splits its copies across up to this many shards.
+	// <= 1 keeps the serial engine (the pre-parallel behavior, bit for
+	// bit).
+	PackWorkers int
+
+	// PackExecutor runs the worker shards. Nil (or pack.SerialExec on the
+	// simulator) keeps execution single-threaded and deterministic while
+	// the cost model still prices the fan-out; the real-time backend
+	// installs pack.GoExec for real goroutine workers.
+	PackExecutor pack.Executor
+
+	// ParShardBytes is the minimum bytes per worker shard
+	// (0 = pack.DefaultMinShard). Steps smaller than twice this never
+	// fan out.
+	ParShardBytes int64
+
+	// PostBatch is the doorbell batch for segmented schemes: BC-SPUP
+	// acquires up to this many pool slots, packs them as one parallel
+	// step, and posts their descriptors with a single list post. <= 1
+	// keeps per-segment posting. The effective batch is clamped to the
+	// fabric's Model.MaxPostBatch.
+	PostBatch int
+
+	// PoolShards shards each staging pool by slot size class: shard 0
+	// holds SegmentSize slots, each further shard halves the slot size.
+	// 1 keeps the single-class pool. Sharding cuts contention when
+	// concurrent messages want different segment sizes.
+	PoolShards int
 }
 
 // DefaultConfig returns the paper's implementation parameters.
@@ -171,6 +202,9 @@ func DefaultConfig() Config {
 		BuffersReused:       true,
 		FaultRetryLimit:     6,
 		FaultRetryBase:      5 * simtime.Microsecond,
+		PackWorkers:         1,
+		PostBatch:           1,
+		PoolShards:          1,
 	}
 }
 
@@ -204,4 +238,41 @@ func (c *Config) segSizeFor(size int64) int64 {
 // including datatype-processing overhead.
 func (c *Config) packCost(m *verbs.Model, bytes int64, runs int) simtime.Duration {
 	return m.CopyTime(bytes, runs) + c.TypeProcBase + simtime.Duration(runs)*c.TypeProcPerRun
+}
+
+// parPackCost prices a parallel pack/unpack step: the slowest shard's copy
+// time (workers run concurrently), full datatype-processing overhead (the
+// cursor walk stays sequential), and a per-shard fan-out charge. With one
+// shard it equals packCost exactly, so worker count never perturbs the
+// serial schemes' virtual timing.
+func (c *Config) parPackCost(m *verbs.Model, st pack.ParStats) simtime.Duration {
+	if len(st.Shards) <= 1 {
+		return c.packCost(m, st.Bytes, st.Runs)
+	}
+	var slowest simtime.Duration
+	for _, sh := range st.Shards {
+		if d := m.CopyTime(sh.Bytes, sh.Runs); d > slowest {
+			slowest = d
+		}
+	}
+	return slowest + c.TypeProcBase + simtime.Duration(st.Runs)*c.TypeProcPerRun +
+		simtime.Duration(len(st.Shards))*m.ParallelFanOut
+}
+
+// par returns the pack engine configuration for this endpoint.
+func (c *Config) par() pack.Par {
+	return pack.Par{Workers: c.PackWorkers, Exec: c.PackExecutor, MinShard: c.ParShardBytes}
+}
+
+// postBatchLimit returns the effective descriptors-per-doorbell batch,
+// clamping PostBatch to the fabric's list-post limit.
+func (c *Config) postBatchLimit(m *verbs.Model) int {
+	b := c.PostBatch
+	if b < 1 {
+		b = 1
+	}
+	if m.MaxPostBatch > 0 && b > m.MaxPostBatch {
+		b = m.MaxPostBatch
+	}
+	return b
 }

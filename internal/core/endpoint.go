@@ -199,11 +199,11 @@ func NewEndpoint(rank int, hca verbs.HCA, cfg Config) (*Endpoint, error) {
 	ep.recvCQ.SetHandler(ep.handleRecvCQE)
 
 	var err error
-	ep.packPool, err = newSegPool(ep.memory, cfg.PoolSize, cfg.SegmentSize, cfg.UsePools)
+	ep.packPool, err = newSegPool(ep.memory, cfg.PoolSize, cfg.SegmentSize, cfg.PoolShards, cfg.UsePools)
 	if err != nil {
 		return nil, err
 	}
-	ep.unpackPool, err = newSegPool(ep.memory, cfg.PoolSize, cfg.SegmentSize, cfg.UsePools)
+	ep.unpackPool, err = newSegPool(ep.memory, cfg.PoolSize, cfg.SegmentSize, cfg.PoolShards, cfg.UsePools)
 	if err != nil {
 		return nil, err
 	}
@@ -666,8 +666,8 @@ func (ep *Endpoint) DebugState() string {
 	return fmt.Sprintf(
 		"rank %d: sendOps=%d recvOps=%d posted=%d unexpected=%d packPool(free=%d/%d waiters=%d) unpackPool(free=%d/%d waiters=%d) cqCallbacks=%d",
 		ep.rank, len(ep.sendOps), len(ep.recvOps), len(ep.postedRecvs), len(ep.unexpected),
-		ep.packPool.available(), ep.packPool.slots, len(ep.packPool.waiters),
-		ep.unpackPool.available(), ep.unpackPool.slots, len(ep.unpackPool.waiters),
+		ep.packPool.available(), ep.packPool.totalSlots(), ep.packPool.pendingWaiters(),
+		ep.unpackPool.available(), ep.unpackPool.totalSlots(), ep.unpackPool.pendingWaiters(),
 		len(ep.onSendCQE))
 }
 

@@ -212,11 +212,11 @@ func TestPoolBalanceAfterBurst(t *testing.T) {
 				}
 			})
 			for _, ep := range w.eps {
-				if got := ep.packPool.available(); got != ep.packPool.slots {
-					t.Fatalf("rank %d pack pool leaked: %d/%d", ep.Rank(), got, ep.packPool.slots)
+				if got := ep.packPool.available(); got != ep.packPool.totalSlots() {
+					t.Fatalf("rank %d pack pool leaked: %d/%d", ep.Rank(), got, ep.packPool.totalSlots())
 				}
-				if got := ep.unpackPool.available(); got != ep.unpackPool.slots {
-					t.Fatalf("rank %d unpack pool leaked: %d/%d", ep.Rank(), got, ep.unpackPool.slots)
+				if got := ep.unpackPool.available(); got != ep.unpackPool.totalSlots() {
+					t.Fatalf("rank %d unpack pool leaked: %d/%d", ep.Rank(), got, ep.unpackPool.totalSlots())
 				}
 				if len(ep.sendOps) != 0 || len(ep.recvOps) != 0 {
 					t.Fatalf("rank %d leaked ops: %s", ep.Rank(), ep.DebugState())

@@ -51,12 +51,12 @@ func checkNoLeaks(t *testing.T, w *testWorld) {
 			name string
 			pool *segPool
 		}{{"pack", ep.packPool}, {"unpack", ep.unpackPool}} {
-			if pl.pool.enabled && pl.pool.available() != pl.pool.slots {
+			if pl.pool.enabled && pl.pool.available() != pl.pool.totalSlots() {
 				t.Errorf("rank %d: %s pool leaked slots: %d/%d free",
-					ep.Rank(), pl.name, pl.pool.available(), pl.pool.slots)
+					ep.Rank(), pl.name, pl.pool.available(), pl.pool.totalSlots())
 			}
-			if len(pl.pool.waiters) != 0 {
-				t.Errorf("rank %d: %s pool has %d stuck waiters", ep.Rank(), pl.name, len(pl.pool.waiters))
+			if pl.pool.pendingWaiters() != 0 {
+				t.Errorf("rank %d: %s pool has %d stuck waiters", ep.Rank(), pl.name, pl.pool.pendingWaiters())
 			}
 		}
 	}

@@ -1,6 +1,9 @@
 package core
 
 import (
+	"sync/atomic"
+
+	"repro/internal/pack"
 	"repro/internal/simtime"
 	"repro/internal/stats"
 	"repro/internal/trace"
@@ -34,6 +37,47 @@ func (ep *Endpoint) span(name, cat string, opID uint32, bytes int64, start simti
 		return
 	}
 	ep.cfg.Tracer.AddSpan(ep.node, trace.LaneMsg, name, cat, uint64(opID), bytes, start, ep.tnow())
+}
+
+// chargeParPack charges one parallel pack step's CPU cost (slowest shard
+// plus fan-out) and records its worker fan-out.
+func (ep *Endpoint) chargeParPack(st pack.ParStats, name string) {
+	if len(st.Shards) > 1 {
+		atomic.AddInt64(&ep.ctr.ParallelPacks, 1)
+	}
+	ep.observeShards(st)
+	ep.hca.ChargeCPUNamed(ep.cfg.parPackCost(ep.model, st), name)
+}
+
+// observeShards feeds one parallel pack/unpack step into the worker
+// utilization histograms: shards per step, and how evenly the bytes split
+// (mean shard bytes over the largest shard, in percent — 100 is a perfect
+// split, lower means one worker straggles).
+func (ep *Endpoint) observeShards(st pack.ParStats) {
+	m := ep.cfg.Metrics
+	if m == nil || len(st.Shards) <= 1 {
+		return
+	}
+	m.Histogram("pack_shards").Observe(int64(len(st.Shards)))
+	var biggest int64
+	for _, sh := range st.Shards {
+		if sh.Bytes > biggest {
+			biggest = sh.Bytes
+		}
+	}
+	if biggest > 0 {
+		mean := st.Bytes / int64(len(st.Shards))
+		m.Histogram("pack_shard_util_pct").Observe(mean * 100 / biggest)
+	}
+}
+
+// observeBatch counts one doorbell batch of n descriptors and feeds the
+// batch-size histogram.
+func (ep *Endpoint) observeBatch(n int) {
+	atomic.AddInt64(&ep.ctr.BatchedWRs, int64(n))
+	if ep.cfg.Metrics != nil {
+		ep.cfg.Metrics.Histogram("batch_wrs").Observe(int64(n))
+	}
 }
 
 // observeTransfer feeds one completed transfer into the per-scheme latency

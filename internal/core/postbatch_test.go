@@ -1,0 +1,206 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/datatype"
+	"repro/internal/ib"
+	"repro/internal/mem"
+	"repro/internal/rtfab"
+	"repro/internal/simtime"
+	"repro/internal/verbs"
+)
+
+// newTestWorldModel is newTestWorld with a custom cost model — the boundary
+// tests shrink MaxPostBatch and MaxSGE independently.
+func newTestWorldModel(t *testing.T, n int, cfg Config, memSize int64, model ib.Model) *testWorld {
+	t.Helper()
+	eng := simtime.NewEngine()
+	fab := ib.NewFabric(eng, model)
+	eps := make([]*Endpoint, n)
+	for i := range eps {
+		m := mem.NewMemory(fmt.Sprintf("n%d", i), memSize)
+		hca := fab.AddHCA(fmt.Sprintf("n%d", i), m, nil)
+		ep, err := NewEndpoint(i, hca, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eps[i] = ep
+	}
+	ConnectPeers(eps)
+	return &testWorld{eng: eng, eps: eps}
+}
+
+// postBatchHarness is one backend's raw QP pair plus registered source and
+// destination buffers for hand-built list posts.
+type postBatchHarness struct {
+	qp       verbs.QP
+	src, dst mem.Addr
+	lkey     uint32
+	rkey     uint32
+}
+
+// TestMaxPostBatchDistinctFromMaxSGE pins the fix for the limit the callers
+// used to conflate: MaxPostBatch bounds descriptors per doorbell and MaxSGE
+// bounds one descriptor's gather list. With MaxSGE = 4 and MaxPostBatch = 8
+// on both backends, a full batch of full-gather descriptors (32 SGEs in
+// total) must be accepted — the batch limit counts descriptors, not SGEs —
+// while one descriptor too many is rejected at the verbs boundary.
+func TestMaxPostBatchDistinctFromMaxSGE(t *testing.T) {
+	model := verbs.DefaultModel()
+	model.MaxSGE = 4
+	model.MaxPostBatch = 8
+
+	build := map[string]func(t *testing.T) postBatchHarness{
+		"sim": func(t *testing.T) postBatchHarness {
+			eng := simtime.NewEngine()
+			fab := ib.NewFabric(eng, model)
+			ma := mem.NewMemory("a", 1<<20)
+			mb := mem.NewMemory("b", 1<<20)
+			ha := fab.AddHCA("a", ma, nil)
+			hb := fab.AddHCA("b", mb, nil)
+			qa, _ := ha.Connect(hb, ha.NewCQ(), ha.NewCQ(), hb.NewCQ(), hb.NewCQ())
+			return newPostBatchBufs(t, qa, ma, mb)
+		},
+		"rt": func(t *testing.T) postBatchHarness {
+			fab := rtfab.New(model)
+			ma := mem.NewMemory("a", 1<<20)
+			mb := mem.NewMemory("b", 1<<20)
+			na := fab.AddNode("a", ma, nil)
+			nb := fab.AddNode("b", mb, nil)
+			qa, _ := na.Connect(nb, na.NewCQ(), na.NewCQ(), nb.NewCQ(), nb.NewCQ())
+			return newPostBatchBufs(t, qa, ma, mb)
+		},
+	}
+
+	for backend, mk := range build {
+		t.Run(backend, func(t *testing.T) {
+			h := mk(t)
+			wr := func(nSGE int) verbs.SendWR {
+				w := verbs.SendWR{Op: verbs.OpRDMAWrite, RemoteAddr: h.dst, RKey: h.rkey}
+				for s := 0; s < nSGE; s++ {
+					w.SGL = append(w.SGL, verbs.SGE{
+						Addr: h.src + mem.Addr(64*s), Len: 64, Key: h.lkey})
+				}
+				return w
+			}
+			list := func(nWR, nSGE int) []verbs.SendWR {
+				wrs := make([]verbs.SendWR, nWR)
+				for i := range wrs {
+					wrs[i] = wr(nSGE)
+				}
+				return wrs
+			}
+
+			// MaxPostBatch descriptors, each with a full MaxSGE gather list:
+			// 32 SGEs in one doorbell, and it must be accepted.
+			if err := h.qp.PostSendList(list(model.MaxPostBatch, model.MaxSGE)); err != nil {
+				t.Fatalf("full batch of full-gather descriptors rejected: %v", err)
+			}
+			// One descriptor past the batch limit: rejected, naming the limit.
+			err := h.qp.PostSendList(list(model.MaxPostBatch+1, 1))
+			if err == nil {
+				t.Fatalf("list of %d descriptors accepted past MaxPostBatch %d",
+					model.MaxPostBatch+1, model.MaxPostBatch)
+			}
+			if !strings.Contains(err.Error(), "MaxPostBatch") {
+				t.Fatalf("rejection does not name MaxPostBatch: %v", err)
+			}
+			// Singleton posts are not doorbell batches: they bypass the limit
+			// even when a list of the same size would not.
+			if err := h.qp.PostSend(wr(model.MaxSGE)); err != nil {
+				t.Fatalf("single post rejected: %v", err)
+			}
+		})
+	}
+}
+
+func newPostBatchBufs(t *testing.T, qp verbs.QP, ma, mb *mem.Memory) postBatchHarness {
+	t.Helper()
+	src := ma.MustAlloc(64 << 10)
+	dst := mb.MustAlloc(64 << 10)
+	srcReg, err := ma.Reg().Register(src, 64<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dstReg, err := mb.Reg().Register(dst, 64<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return postBatchHarness{qp: qp, src: src, dst: dst, lkey: srcReg.LKey, rkey: dstReg.RKey}
+}
+
+// TestPostBatchChunkingEndToEnd shrinks MaxPostBatch to 3 and sends a
+// Multi-W message needing far more descriptors: the endpoint must chunk the
+// doorbells (several list posts), deliver the bytes intact, and count the
+// batched descriptors.
+func TestPostBatchChunkingEndToEnd(t *testing.T) {
+	model := ib.DefaultModel()
+	model.MaxPostBatch = 3
+	cfg := DefaultConfig()
+	cfg.Scheme = SchemeMultiW
+	cfg.PoolSize = 4 << 20
+	vec := datatype.Must(datatype.TypeVector(64, 64, 128, datatype.Int32)) // 64 runs, 16 KB
+	w := newTestWorldModel(t, 2, cfg, 48<<20, model)
+	var sent, got []byte
+	w.run(t, func(p *simtime.Process, ep *Endpoint) {
+		buf := allocFor(ep, vec, 1)
+		if ep.Rank() == 0 {
+			sent = fillMsg(ep, buf, vec, 1, 0x7D)
+			if err := ep.Send(p, buf, 1, vec, 1, 0); err != nil {
+				t.Error(err)
+			}
+			return
+		}
+		if _, err := ep.Recv(p, buf, 1, vec, 0, 0); err != nil {
+			t.Error(err)
+		}
+		got = readMsg(ep, buf, vec, 1)
+	})
+	if string(sent) != string(got) {
+		t.Fatal("chunked Multi-W delivered wrong bytes")
+	}
+	c := w.eps[0].Counters()
+	// 64 descriptors at 3 per doorbell: at least 22 list posts, and every
+	// descriptor flows through the batch counter.
+	if c.ListPosts < 22 {
+		t.Fatalf("ListPosts = %d, want >= 22 (chunked doorbells)", c.ListPosts)
+	}
+	if c.BatchedWRs < 64 {
+		t.Fatalf("BatchedWRs = %d, want >= 64", c.BatchedWRs)
+	}
+}
+
+// TestChunkBatches pins the chunker itself: exact division, remainders, a
+// non-positive limit (unlimited), and lists already within the limit.
+func TestChunkBatches(t *testing.T) {
+	mk := func(n int) []verbs.SendWR { return make([]verbs.SendWR, n) }
+	for _, tc := range []struct {
+		n, limit int
+		want     []int
+	}{
+		{9, 3, []int{3, 3, 3}},
+		{10, 3, []int{3, 3, 3, 1}},
+		{2, 3, []int{2}},
+		{5, 0, []int{5}},
+		{5, -1, []int{5}},
+		{1, 1, []int{1}},
+	} {
+		got := chunkBatches(mk(tc.n), tc.limit)
+		if len(got) != len(tc.want) {
+			t.Fatalf("chunkBatches(%d, %d): %d batches, want %d", tc.n, tc.limit, len(got), len(tc.want))
+		}
+		total := 0
+		for i, b := range got {
+			if len(b) != tc.want[i] {
+				t.Fatalf("chunkBatches(%d, %d): batch %d has %d, want %d", tc.n, tc.limit, i, len(b), tc.want[i])
+			}
+			total += len(b)
+		}
+		if total != tc.n {
+			t.Fatalf("chunkBatches(%d, %d) dropped descriptors: %d", tc.n, tc.limit, total)
+		}
+	}
+}

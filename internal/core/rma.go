@@ -193,13 +193,20 @@ func (ep *Endpoint) postRMAWRs(dst int, wrs []verbs.SendWR, regions []*mem.Regio
 			wrs[i].WRID = ep.hca.WRID()
 			ep.onSendCQE[wrs[i].WRID] = func(e verbs.CQE) { resolve(e.Err) }
 		}
-		if err := ep.qps[dst].PostSendList(wrs); err != nil {
-			// The whole list was rejected: nothing reached the NIC.
-			for i := range wrs {
-				delete(ep.onSendCQE, wrs[i].WRID)
+		batches := chunkBatches(wrs, ep.model.MaxPostBatch)
+		for bi, batch := range batches {
+			if err := ep.qps[dst].PostSendList(batch); err != nil {
+				// This batch — and everything after it — never reached the
+				// NIC; already-posted batches resolve through their CQEs.
+				for _, b := range batches[bi:] {
+					for i := range b {
+						delete(ep.onSendCQE, b[i].WRID)
+						resolve(err)
+					}
+				}
+				return
 			}
-			ep.releaseUserRegions(regions)
-			done(err)
+			ep.observeBatch(len(batch))
 		}
 		return
 	}

@@ -75,7 +75,7 @@ type recvOp struct {
 	segSize  int64
 	nSegs    int
 	segs     []segRes
-	unpacker *pack.Unpacker
+	unpacker *pack.ParallelUnpacker
 	arrived  int
 	finished int
 
@@ -364,7 +364,7 @@ func (ep *Endpoint) recvStagedSetup(op *recvOp, segSize int64) {
 		return
 	}
 
-	op.unpacker = pack.NewUnpacker(ep.memory, op.req.buf, op.req.dt, op.req.count)
+	op.unpacker = pack.NewParallelUnpacker(ep.memory, op.req.buf, op.req.dt, op.req.count, ep.cfg.par())
 
 	if op.scheme == SchemeGeneric {
 		// The basic scheme's dynamically allocated whole-message unpack
@@ -392,7 +392,8 @@ func (ep *Endpoint) recvStagedSetup(op *recvOp, segSize int64) {
 		return n
 	}
 	pool := ep.unpackPool
-	if !pool.enabled || op.nSegs > pool.slots {
+	segC := pool.classFor(segSize)
+	if !pool.enabled || op.nSegs > pool.slotsFor(segC) {
 		// No pool (the worst case of Figure 14) or message larger than the
 		// whole pool: allocate one on-the-fly unpack buffer of the real data
 		// size — the same registration cost the Generic scheme pays — and
@@ -427,13 +428,13 @@ func (ep *Endpoint) recvStagedSetup(op *recvOp, segSize int64) {
 		})
 		return
 	}
-	pool.whenAvailable(op.nSegs, func() {
+	pool.whenAvailable(op.nSegs, segC, func() {
 		if op.failed {
 			return // aborted while parked; slots stay with the pool
 		}
 		refs := make([]segRef, 0, op.nSegs)
 		for k := 0; k < op.nSegs; k++ {
-			s, ok := pool.tryAcquire()
+			s, ok := pool.tryAcquire(segC)
 			if !ok {
 				panic("core: unpack pool promised slots it does not have")
 			}
@@ -706,13 +707,18 @@ func (ep *Endpoint) stagedArrival(op *recvOp) {
 func (ep *Endpoint) unpackSegment(op *recvOp, k int) {
 	sr := op.segs[k]
 	src := ep.memory.Bytes(sr.seg.addr, sr.bytes)
-	n, runs := op.unpacker.UnpackFrom(src)
+	st := op.unpacker.Unpack(src)
+	n := st.Bytes
 	if n != sr.bytes {
 		panic("core: segment unpack shortfall")
 	}
 	atomic.AddInt64(&ep.ctr.BytesUnpacked, n)
 	atomic.AddInt64(&ep.ctr.SegmentsPipelined, 1)
-	cost := ep.cfg.packCost(ep.model, n, runs)
+	if len(st.Shards) > 1 {
+		atomic.AddInt64(&ep.ctr.ParallelUnpacks, 1)
+	}
+	ep.observeShards(st)
+	cost := ep.cfg.parPackCost(ep.model, st)
 	t0 := ep.tnow()
 	ep.afterNamed(cost, "unpack", func() {
 		ep.span("unpack", "segment", op.key.op, n, t0)

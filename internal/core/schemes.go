@@ -55,6 +55,22 @@ func (ep *Endpoint) chunkWRs(op verbs.Opcode, cur *datatype.Cursor, base mem.Add
 	return wrs, nil
 }
 
+// chunkBatches splits a descriptor list at the adapter's per-doorbell batch
+// limit. The limit is distinct from MaxSGE — MaxSGE bounds one descriptor's
+// gather list, the batch limit bounds how many descriptors one PostSendList
+// call (one doorbell) may carry. limit <= 0 means unlimited.
+func chunkBatches(wrs []verbs.SendWR, limit int) [][]verbs.SendWR {
+	if limit <= 0 || len(wrs) <= limit {
+		return [][]verbs.SendWR{wrs}
+	}
+	out := make([][]verbs.SendWR, 0, (len(wrs)+limit-1)/limit)
+	for len(wrs) > limit {
+		out = append(out, wrs[:limit])
+		wrs = wrs[limit:]
+	}
+	return append(out, wrs)
+}
+
 // postWRs posts descriptors for op, counting them in op.wrsLeft and running
 // onAll once the op's whole descriptor population has drained. onAll only
 // fires after donePosting(op) sets the allPosted guard, so a fast segment's
@@ -80,13 +96,23 @@ func (ep *Endpoint) postWRs(op *sendOp, dst int, wrs []verbs.SendWR, list bool, 
 				ep.sendWRResolved(op, e.Err, advance)
 			}
 		}
-		if err := ep.qps[dst].PostSendList(wrs); err != nil {
-			// The whole list was rejected: nothing reached the NIC.
-			for i := range wrs {
-				delete(ep.onSendCQE, wrs[i].WRID)
+		batches := chunkBatches(wrs, ep.model.MaxPostBatch)
+		for bi, batch := range batches {
+			if err := ep.qps[dst].PostSendList(batch); err != nil {
+				// This batch — and everything after it — never reached the
+				// NIC.
+				rest := 0
+				for _, b := range batches[bi:] {
+					for i := range b {
+						delete(ep.onSendCQE, b[i].WRID)
+					}
+					rest += len(b)
+				}
+				op.wrsLeft -= rest
+				ep.abortSend(op, err)
+				return
 			}
-			op.wrsLeft -= len(wrs)
-			ep.abortSend(op, err)
+			ep.observeBatch(len(batch))
 		}
 		return
 	}
@@ -264,14 +290,14 @@ func (ep *Endpoint) sendGenericData(op *sendOp, refs []segRef) {
 			return
 		}
 		op.staging = segRes{seg: s, bytes: op.eff, held: true}
-		packer := pack.NewPacker(ep.memory, op.buf, op.dt, op.count)
+		packer := pack.NewParallelPacker(ep.memory, op.buf, op.dt, op.count, ep.cfg.par())
 		dst := ep.memory.Bytes(s.addr, op.eff)
-		n, runs := packer.PackTo(dst)
-		if n != op.eff {
+		st := packer.Pack(dst)
+		if st.Bytes != op.eff {
 			panic("core: generic pack shortfall")
 		}
-		atomic.AddInt64(&ep.ctr.BytesPacked, n)
-		ep.hca.ChargeCPUNamed(ep.cfg.packCost(ep.model, n, runs), "pack")
+		atomic.AddInt64(&ep.ctr.BytesPacked, st.Bytes)
+		ep.chargeParPack(st, "pack")
 		wr := verbs.SendWR{
 			Op:         verbs.OpRDMAWriteImm,
 			SGL:        []verbs.SGE{{Addr: s.addr, Len: op.eff, Key: s.key}},
@@ -292,7 +318,7 @@ func (ep *Endpoint) sendGenericData(op *sendOp, refs []segRef) {
 // stalls until a slot's send completes (Section 4.3.3). In fault mode,
 // segments go out one at a time so retries cannot reorder arrivals.
 func (ep *Endpoint) sendBCSPUPData(op *sendOp, segSize int64, nSegs int, refs []segRef) {
-	packer := pack.NewPacker(ep.memory, op.buf, op.dt, op.count)
+	packer := pack.NewParallelPacker(ep.memory, op.buf, op.dt, op.count, ep.cfg.par())
 	segBytes := func(k int) int64 {
 		n := segSize
 		if rest := op.eff - int64(k)*segSize; n > rest {
@@ -319,13 +345,13 @@ func (ep *Endpoint) sendBCSPUPData(op *sendOp, segSize int64, nSegs int, refs []
 			buildSeg := func(k int) verbs.SendWR {
 				n := segBytes(k)
 				addr := s.addr + mem.Addr(int64(k)*segSize)
-				got, runs := packer.PackTo(ep.memory.Bytes(addr, n))
-				if got != n {
+				st := packer.Pack(ep.memory.Bytes(addr, n))
+				if st.Bytes != n {
 					panic("core: segment pack shortfall")
 				}
 				atomic.AddInt64(&ep.ctr.BytesPacked, n)
 				atomic.AddInt64(&ep.ctr.SegmentsPipelined, 1)
-				ep.hca.ChargeCPUNamed(ep.cfg.packCost(ep.model, n, runs), "pack")
+				ep.chargeParPack(st, "pack")
 				return verbs.SendWR{
 					Op:         verbs.OpRDMAWriteImm,
 					SGL:        []verbs.SGE{{Addr: addr, Len: n, Key: s.key}},
@@ -366,6 +392,11 @@ func (ep *Endpoint) sendBCSPUPData(op *sendOp, segSize int64, nSegs int, refs []
 		return
 	}
 
+	if !ep.faultMode() && ep.cfg.postBatchLimit(ep.model) > 1 {
+		ep.sendBCSPUPBatched(op, packer, segSize, nSegs, refs)
+		return
+	}
+
 	k := 0
 	var step func()
 	step = func() {
@@ -375,7 +406,7 @@ func (ep *Endpoint) sendBCSPUPData(op *sendOp, segSize int64, nSegs int, refs []
 		idx := k
 		k++
 		n := segBytes(idx)
-		ep.withSeg(ep.packPool, func(s seg, err error) {
+		ep.withSeg(ep.packPool, segSize, func(s seg, err error) {
 			if err != nil {
 				ep.abortSend(op, err)
 				return
@@ -385,13 +416,13 @@ func (ep *Endpoint) sendBCSPUPData(op *sendOp, segSize int64, nSegs int, refs []
 				return
 			}
 			dst := ep.memory.Bytes(s.addr, n)
-			got, runs := packer.PackTo(dst)
-			if got != n {
+			st := packer.Pack(dst)
+			if st.Bytes != n {
 				panic("core: segment pack shortfall")
 			}
 			atomic.AddInt64(&ep.ctr.BytesPacked, n)
 			atomic.AddInt64(&ep.ctr.SegmentsPipelined, 1)
-			ep.hca.ChargeCPUNamed(ep.cfg.packCost(ep.model, n, runs), "pack")
+			ep.chargeParPack(st, "pack")
 			wr := verbs.SendWR{
 				Op:         verbs.OpRDMAWriteImm,
 				SGL:        []verbs.SGE{{Addr: s.addr, Len: n, Key: s.key}},
@@ -420,6 +451,108 @@ func (ep *Endpoint) sendBCSPUPData(op *sendOp, segSize int64, nSegs int, refs []
 			if !ep.faultMode() {
 				step()
 			}
+		})
+	}
+	step()
+}
+
+// sendBCSPUPBatched is the doorbell-batched BC-SPUP pipeline: acquire up to
+// PostBatch pool slots at once, pack them (each segment one parallel pack
+// step), and ring a single doorbell — one PostSendList — for the whole
+// batch. The NIC drains batch k while the CPU packs batch k+1, and each
+// completion returns its own slot, so a dry pool wakes in slot units rather
+// than batch units. Fault mode never reaches this path: retries must not
+// reorder segment arrivals, so the serial chained pipeline handles injection
+// runs.
+func (ep *Endpoint) sendBCSPUPBatched(op *sendOp, packer *pack.ParallelPacker, segSize int64, nSegs int, refs []segRef) {
+	c := ep.packPool.classFor(segSize)
+	batch := ep.cfg.postBatchLimit(ep.model)
+	if max := ep.packPool.slotsFor(c); batch > max {
+		batch = max
+	}
+	if batch < 1 {
+		batch = 1
+	}
+	segBytes := func(k int) int64 {
+		n := segSize
+		if rest := op.eff - int64(k)*segSize; n > rest {
+			n = rest
+		}
+		return n
+	}
+	k := 0
+	var step func()
+	step = func() {
+		if op.failed || k == nSegs {
+			return
+		}
+		b := batch
+		if rest := nSegs - k; b > rest {
+			b = rest
+		}
+		ep.packPool.whenAvailable(b, c, func() {
+			if op.failed {
+				return
+			}
+			start := k
+			k += b
+			wrs := make([]verbs.SendWR, b)
+			segs := make([]seg, b)
+			for i := 0; i < b; i++ {
+				s, ok := ep.packPool.tryAcquire(c)
+				if !ok {
+					panic("core: pack pool promised slots it does not have")
+				}
+				segs[i] = s
+				idx := start + i
+				n := segBytes(idx)
+				st := packer.Pack(ep.memory.Bytes(s.addr, n))
+				if st.Bytes != n {
+					panic("core: segment pack shortfall")
+				}
+				atomic.AddInt64(&ep.ctr.BytesPacked, n)
+				atomic.AddInt64(&ep.ctr.SegmentsPipelined, 1)
+				ep.chargeParPack(st, "pack")
+				wrs[i] = verbs.SendWR{
+					Op:         verbs.OpRDMAWriteImm,
+					SGL:        []verbs.SGE{{Addr: s.addr, Len: n, Key: s.key}},
+					RemoteAddr: refs[idx].addr, RKey: refs[idx].key, Imm: op.id,
+				}
+				ep.mark("seg-post", "segment", op.id)
+			}
+			op.wrsLeft += b
+			for i := range wrs {
+				wrs[i].WRID = ep.hca.WRID()
+				s := segs[i]
+				ep.onSendCQE[wrs[i].WRID] = func(e verbs.CQE) {
+					// The slot is released at resolution either way: on
+					// success the data has left it, on abort the descriptor
+					// no longer references it.
+					ep.releaseSeg(ep.packPool, s)
+					ep.mark("seg-complete", "segment", op.id)
+					ep.sendWRResolved(op, e.Err, func() {
+						if op.allPosted && op.wrsLeft == 0 {
+							ep.finishSend(op)
+						}
+					})
+				}
+			}
+			if err := ep.qps[op.dst].PostSendList(wrs); err != nil {
+				// The whole doorbell was rejected: nothing reached the NIC,
+				// so the batch's slots go straight back.
+				for i := range wrs {
+					delete(ep.onSendCQE, wrs[i].WRID)
+					ep.releaseSeg(ep.packPool, segs[i])
+				}
+				op.wrsLeft -= b
+				ep.abortSend(op, err)
+				return
+			}
+			ep.observeBatch(len(wrs))
+			if k == nSegs {
+				op.allPosted = true
+			}
+			step()
 		})
 	}
 	step()
@@ -505,23 +638,24 @@ func (ep *Endpoint) sendPRRSData(op *sendOp, segSize int64) {
 	}
 
 	// P-RRS pack segments stay occupied until the receiver's Done.
-	packer := pack.NewPacker(ep.memory, op.buf, op.dt, op.count)
+	packer := pack.NewParallelPacker(ep.memory, op.buf, op.dt, op.count, ep.cfg.par())
 	packSeg := func(k int, s seg) {
 		n := segSize
 		if rest := op.eff - int64(k)*segSize; n > rest {
 			n = rest
 		}
 		dst := ep.memory.Bytes(s.addr, n)
-		got, runs := packer.PackTo(dst)
-		if got != n {
+		st := packer.Pack(dst)
+		if st.Bytes != n {
 			panic("core: P-RRS pack shortfall")
 		}
 		atomic.AddInt64(&ep.ctr.BytesPacked, n)
 		atomic.AddInt64(&ep.ctr.SegmentsPipelined, 1)
-		ep.hca.ChargeCPUNamed(ep.cfg.packCost(ep.model, n, runs), "pack")
+		ep.chargeParPack(st, "pack")
 		announce(k, s.addr, s.key, n)
 	}
-	if !ep.packPool.enabled || nSegs > ep.packPool.slots {
+	segC := ep.packPool.classFor(segSize)
+	if !ep.packPool.enabled || nSegs > ep.packPool.slotsFor(segC) {
 		// Worst case or message larger than the pool: one on-the-fly pack
 		// buffer of the real data size, carved into segment views.
 		if !ep.packPool.enabled {
@@ -548,12 +682,12 @@ func (ep *Endpoint) sendPRRSData(op *sendOp, segSize int64) {
 	// The slots stay held until the receiver's Done, so take the whole
 	// message's worth atomically: partial grants across concurrent ops
 	// would deadlock with every op stuck one slot short.
-	ep.packPool.whenAvailable(nSegs, func() {
+	ep.packPool.whenAvailable(nSegs, segC, func() {
 		if op.failed {
 			return
 		}
 		for k := 0; k < nSegs; k++ {
-			s, ok := ep.packPool.tryAcquire()
+			s, ok := ep.packPool.tryAcquire(segC)
 			if !ok {
 				panic("core: pack pool promised slots it does not have")
 			}

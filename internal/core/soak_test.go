@@ -105,10 +105,10 @@ func TestRandomTrafficSoak(t *testing.T) {
 			if len(ep.sendOps) != 0 || len(ep.recvOps) != 0 || len(ep.onSendCQE) != 0 {
 				return false
 			}
-			if ep.packPool.enabled && ep.packPool.available() != ep.packPool.slots {
+			if ep.packPool.enabled && ep.packPool.available() != ep.packPool.totalSlots() {
 				return false
 			}
-			if ep.unpackPool.enabled && ep.unpackPool.available() != ep.unpackPool.slots {
+			if ep.unpackPool.enabled && ep.unpackPool.available() != ep.unpackPool.totalSlots() {
 				return false
 			}
 		}
@@ -223,10 +223,10 @@ func randomTrafficFaultSoak(t *testing.T, seed int64) bool {
 			if len(ep.sendOps) != 0 || len(ep.recvOps) != 0 || len(ep.onSendCQE) != 0 {
 				return false
 			}
-			if ep.packPool.enabled && ep.packPool.available() != ep.packPool.slots {
+			if ep.packPool.enabled && ep.packPool.available() != ep.packPool.totalSlots() {
 				return false
 			}
-			if ep.unpackPool.enabled && ep.unpackPool.available() != ep.unpackPool.slots {
+			if ep.unpackPool.enabled && ep.unpackPool.available() != ep.unpackPool.totalSlots() {
 				return false
 			}
 		}

@@ -42,6 +42,13 @@ func BenchBackends(backends []string, iters int) ([]BackendRow, error) {
 // trace) and per-scheme latency/bandwidth histograms into reg. Either may
 // be nil.
 func BenchBackendsTraced(backends []string, iters int, rec *trace.Recorder, reg *stats.Registry) ([]BackendRow, error) {
+	return BenchBackendsOpts(backends, iters, rec, reg, nil)
+}
+
+// BenchBackendsOpts is BenchBackendsTraced with a configuration hook: mut
+// (may be nil) edits each world's configuration before it is built —
+// dtbench uses it to thread -workers and -batch through the benchmark.
+func BenchBackendsOpts(backends []string, iters int, rec *trace.Recorder, reg *stats.Registry, mut func(*mpi.Config)) ([]BackendRow, error) {
 	if iters <= 0 {
 		iters = 50
 	}
@@ -61,6 +68,9 @@ func BenchBackendsTraced(backends []string, iters int, rec *trace.Recorder, reg 
 				c.RTTimeout = 2 * time.Minute
 				c.Trace = rec
 				c.Metrics = reg
+				if mut != nil {
+					mut(c)
+				}
 			})
 			w, err := mpi.NewWorld(cfg)
 			if err != nil {

@@ -91,6 +91,13 @@ func (qp *QP) post(wrs []SendWR, list bool) error {
 	m := h.Model()
 	eng := h.Engine()
 
+	// MaxPostBatch bounds descriptors per doorbell; it is distinct from
+	// MaxSGE, which bounds one descriptor's gather list.
+	if list && m.MaxPostBatch > 0 && len(wrs) > m.MaxPostBatch {
+		return fmt.Errorf("ib %s qp%d: list post of %d descriptors exceeds MaxPostBatch %d",
+			h.name, qp.num, len(wrs), m.MaxPostBatch)
+	}
+
 	// Validate everything before charging any time, so a bad descriptor in a
 	// list fails the whole post (as ibv_post_send does).
 	for i := range wrs {

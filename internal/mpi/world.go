@@ -14,8 +14,10 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/datatype"
+	"repro/internal/fault"
 	"repro/internal/ib"
 	"repro/internal/mem"
+	"repro/internal/pack"
 	"repro/internal/rtfab"
 	"repro/internal/simtime"
 	"repro/internal/stats"
@@ -65,6 +67,11 @@ type Config struct {
 	// endpoint, so all feedback lands in one tuning table; implementations
 	// must be concurrency-safe for BackendRT.
 	Selector core.SchemeSelector
+
+	// Fault, when set, is installed as the fabric's fault injector before
+	// any endpoint is built, so soak tests can run injection campaigns
+	// through the mpi layer on either backend.
+	Fault *fault.Injector
 }
 
 // DefaultConfig returns an 8-rank cluster with the paper's parameters.
@@ -105,10 +112,16 @@ func NewWorld(cfg Config) (*World, error) {
 		if cfg.Trace != nil {
 			w.fab.SetTracer(cfg.Trace)
 		}
+		if cfg.Fault != nil {
+			w.fab.SetInjector(cfg.Fault)
+		}
 	case BackendRT:
 		w.rt = rtfab.New(cfg.Model)
 		if cfg.Trace != nil {
 			w.rt.SetTracer(cfg.Trace)
+		}
+		if cfg.Fault != nil {
+			w.rt.SetInjector(cfg.Fault)
 		}
 	default:
 		return nil, fmt.Errorf("mpi: unknown backend %q", cfg.Backend)
@@ -126,6 +139,17 @@ func NewWorld(cfg Config) (*World, error) {
 	if w.rt != nil && ccfg.TraceClock == nil {
 		// Real-time backend: spans and histograms measure real elapsed time.
 		ccfg.TraceClock = w.rt.WallClock
+	}
+	if ccfg.PackExecutor == nil {
+		if w.rt != nil {
+			// Real-time backend: parallel pack shards run on real goroutines.
+			ccfg.PackExecutor = pack.GoExec{}
+		} else {
+			// Simulator: shards are copied serially on the driving goroutine —
+			// output stays byte-identical at any worker count — while the cost
+			// model prices the fan-out in deterministic virtual time.
+			ccfg.PackExecutor = pack.SerialExec{}
+		}
 	}
 	for i := 0; i < cfg.Ranks; i++ {
 		m := mem.NewMemory(fmt.Sprintf("rank%d", i), cfg.MemBytes)

@@ -63,6 +63,11 @@ type Counters struct {
 	TypeCacheReplaced int64 // stale versions replaced
 	SegmentsPipelined int64 // segments sent through BC-SPUP/RWG-UP pipelines
 
+	// Parallel segment engine and doorbell batching.
+	ParallelPacks   int64 // pack steps that fanned out across >1 worker shard
+	ParallelUnpacks int64 // unpack steps that fanned out across >1 worker shard
+	BatchedWRs      int64 // descriptors posted through multi-descriptor doorbells
+
 	// Fault handling.
 	FaultRetries   int64 // transient-fault retries (descriptors, registrations)
 	RequestsFailed int64 // requests completed with a fault error
@@ -116,6 +121,9 @@ func (c *Counters) fields() []field {
 		{"TypeCacheHits", &c.TypeCacheHits},
 		{"TypeCacheReplaced", &c.TypeCacheReplaced},
 		{"SegmentsPipelined", &c.SegmentsPipelined},
+		{"ParallelPacks", &c.ParallelPacks},
+		{"ParallelUnpacks", &c.ParallelUnpacks},
+		{"BatchedWRs", &c.BatchedWRs},
 		{"FaultRetries", &c.FaultRetries},
 		{"RequestsFailed", &c.RequestsFailed},
 		{"PeerAborts", &c.PeerAborts},

@@ -49,6 +49,18 @@ type Model struct {
 
 	// MaxSGE is the gather/scatter limit per descriptor (Mellanox SDK: 64).
 	MaxSGE int
+
+	// MaxPostBatch is the descriptor limit per list post (one doorbell).
+	// It is a distinct limit from MaxSGE — SGEs bound one descriptor's
+	// gather list, MaxPostBatch bounds how many descriptors one
+	// PostSendList call may carry. 0 means unlimited.
+	MaxPostBatch int
+
+	// ParallelFanOut is the host CPU cost of dispatching one pack/unpack
+	// worker shard (scheduling plus cache-line handoff). The parallel
+	// segment engine charges shards*ParallelFanOut on top of the slowest
+	// shard's copy time.
+	ParallelFanOut simtime.Duration
 }
 
 // DefaultModel returns the calibrated testbed parameters. See DESIGN.md §5.
@@ -73,6 +85,8 @@ func DefaultModel() Model {
 		MallocPerPage:    1 * simtime.Microsecond,
 		FreeCost:         800 * simtime.Nanosecond,
 		MaxSGE:           64,
+		MaxPostBatch:     64,
+		ParallelFanOut:   500 * simtime.Nanosecond,
 	}
 }
 

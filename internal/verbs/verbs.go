@@ -38,6 +38,7 @@ const (
 	OpRecv // completion-side only
 )
 
+// String returns the opcode's conventional verbs-API spelling.
 func (o Opcode) String() string {
 	switch o {
 	case OpSend:
@@ -119,7 +120,9 @@ type QP interface {
 	PostSend(SendWR) error
 	// PostSendList posts a list of work requests in one operation;
 	// descriptors after the first are cheaper to post (the extended
-	// interface the paper's Multi-W scheme evaluates in Figure 13).
+	// interface the paper's Multi-W scheme evaluates in Figure 13). The
+	// list must not exceed Model.MaxPostBatch descriptors (when nonzero);
+	// callers chunk longer lists.
 	PostSendList([]SendWR) error
 	// PostRecv posts a receive credit.
 	PostRecv(RecvWR)
