@@ -8,9 +8,9 @@ GO ?= go
 # just these under the race detector for a fast concurrency gate.
 RACE_PKGS = ./internal/core/ ./internal/mpi/ ./internal/rtfab/ ./internal/stats/ ./internal/trace/
 
-.PHONY: check fmt vet build test race conformance fault-soak bench bench-backends tune tune-guard doclint par par-guard
+.PHONY: check fmt vet build test race conformance fault-soak bench bench-backends tune tune-guard doclint par par-guard compile compile-guard
 
-check: fmt vet build test doclint tune-guard par-guard
+check: fmt vet build test doclint tune-guard par-guard compile-guard
 
 # Fails (and lists the offenders) if any file is not gofmt-clean.
 fmt:
@@ -70,6 +70,18 @@ par:
 # (rt rows are exempt: they are wall-clock measurements.)
 par-guard:
 	@$(GO) run ./cmd/dtbench -parallel-guard
+
+# Datatype-compiler pack sweep -> BENCH_compile.json: compiled program
+# replay vs interpreted cursor walk vs the raw copy() upper bound. Sim rows
+# are modeled and deterministic; host rows are wall-clock on this machine.
+compile:
+	$(GO) run ./cmd/dtbench -compile
+
+# CI-style guard: the sweep's sim rows are pure cost-model arithmetic, so
+# the checked-in BENCH_compile.json must regenerate them byte-identically.
+# (host rows are exempt: they are wall-clock measurements.)
+compile-guard:
+	@$(GO) run ./cmd/dtbench -compile-guard
 
 # Wall-clock scheme bandwidth/latency on both backends -> BENCH_backends.json.
 bench-backends:

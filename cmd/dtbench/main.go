@@ -39,6 +39,9 @@ func main() {
 	tunerOut := flag.String("tuner-out", "BENCH_tuner.json", "output path for the -tuner report")
 	tuneOut := flag.String("tune-out", "", "with -tuner: also write the learned tuning table (JSON) here")
 	tuneIn := flag.String("tune-in", "", "warm-start: replay the workload with this tuning table, exploration off")
+	compile := flag.Bool("compile", false, "datatype-compiler pack sweep (modeled sim rows + host wall-clock rows) -> BENCH_compile.json")
+	compileOut := flag.String("compile-out", "BENCH_compile.json", "output path for the -compile sweep")
+	compileGuard := flag.Bool("compile-guard", false, "regenerate the -compile sim rows and verify them against -compile-out")
 	flag.Parse()
 
 	figs := map[int]func() *exper.Result{
@@ -58,6 +61,38 @@ func main() {
 		return nil
 	}
 
+	if *compileGuard {
+		committed, err := os.ReadFile(*compileOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dtbench:", err)
+			os.Exit(1)
+		}
+		if err := exper.CompileGuard(committed); err != nil {
+			fmt.Fprintln(os.Stderr, "dtbench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("compile guard: sim rows of %s reproduce byte-for-byte\n", *compileOut)
+		return
+	}
+	if *compile {
+		rows, err := exper.CompilerSweep(true)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dtbench:", err)
+			os.Exit(1)
+		}
+		doc, err := exper.CompileJSON(rows)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dtbench:", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*compileOut, append(doc, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "dtbench:", err)
+			os.Exit(1)
+		}
+		fmt.Print(exper.CompileTable(rows))
+		fmt.Printf("wrote %s\n", *compileOut)
+		return
+	}
 	if *parallelGuard {
 		committed, err := os.ReadFile(*parallelOut)
 		if err != nil {

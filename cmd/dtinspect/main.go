@@ -55,6 +55,9 @@ func main() {
 	sig := tuner.SignatureOf(s.Runs, int64(s.AvgRun), s.Bytes)
 	fmt.Printf("tuner sig:   %s\n", sig)
 
+	prog := datatype.Compile(dt, *count)
+	fmt.Printf("compiled:    %s\n", prog)
+
 	enc := datatype.Encode(dt)
 	fmt.Printf("wire layout: %d bytes encoded\n", len(enc))
 	fmt.Printf("dataloop tree:\n%s", indentLines(dt.Tree()))

@@ -180,6 +180,14 @@ type Config struct {
 	// 1 keeps the single-class pool. Sharding cuts contention when
 	// concurrent messages want different segment sizes.
 	PoolShards int
+
+	// InterpretedPack disables the compiled layout programs: every pack,
+	// unpack and layout walk goes through the interpreted datatype.Cursor,
+	// as before the datatype compiler existed. The compiled and interpreted
+	// paths emit identical run sequences — identical staging bytes and
+	// identical virtual cost — so this switch exists for conformance A/B
+	// comparison and as an escape hatch, not as a semantic knob.
+	InterpretedPack bool
 }
 
 // DefaultConfig returns the paper's implementation parameters.

@@ -8,7 +8,6 @@ import (
 
 	"repro/internal/datatype"
 	"repro/internal/mem"
-	"repro/internal/pack"
 	"repro/internal/simtime"
 	"repro/internal/stats"
 	"repro/internal/verbs"
@@ -167,6 +166,7 @@ type Endpoint struct {
 
 	types   *typeRegistry
 	layouts *layoutCache
+	progs   *programCache
 }
 
 type opKey struct {
@@ -192,6 +192,7 @@ func NewEndpoint(rank int, hca verbs.HCA, cfg Config) (*Endpoint, error) {
 		onSendCQE: make(map[uint64]func(verbs.CQE)),
 		types:     newTypeRegistry(),
 		layouts:   newLayoutCache(),
+		progs:     newProgramCache(),
 	}
 	ep.sendCQ = hca.NewCQ()
 	ep.recvCQ = hca.NewCQ()
@@ -498,7 +499,7 @@ func (ep *Endpoint) eagerSend(req *Request, ctx int, buf mem.Addr, count int, dt
 	slot := ep.reserveAnnounce(dst)
 	size := dt.Size() * int64(count)
 	payload := make([]byte, size)
-	p := pack.NewPacker(ep.memory, buf, dt, count)
+	p := ep.newPacker(buf, dt, count)
 	n, runs := p.PackTo(payload)
 	if n != size {
 		panic("core: short pack")
@@ -610,7 +611,7 @@ func (ep *Endpoint) eagerDeliver(inb *inbound, req *Request) {
 		n = capacity
 		err = ErrTruncate
 	}
-	u := pack.NewUnpacker(ep.memory, req.buf, req.dt, req.count)
+	u := ep.newUnpacker(req.buf, req.dt, req.count)
 	got, runs := u.UnpackFrom(inb.data[:n])
 	if got != n {
 		panic("core: short unpack")
@@ -645,7 +646,7 @@ func (ep *Endpoint) eagerDeliver(inb *inbound, req *Request) {
 func (ep *Endpoint) selfSend(req *Request, ctx int, buf mem.Addr, count int, dt *datatype.Type, tag int) {
 	size := dt.Size() * int64(count)
 	payload := make([]byte, size)
-	p := pack.NewPacker(ep.memory, buf, dt, count)
+	p := ep.newPacker(buf, dt, count)
 	_, runs := p.PackTo(payload)
 	atomic.AddInt64(&ep.ctr.BytesPacked, size)
 	cost := ep.cfg.packCost(ep.model, size, runs)

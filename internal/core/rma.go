@@ -7,7 +7,6 @@ import (
 
 	"repro/internal/datatype"
 	"repro/internal/mem"
-	"repro/internal/pack"
 	"repro/internal/verbs"
 )
 
@@ -89,8 +88,8 @@ func (ep *Endpoint) Put(dst int, oBuf mem.Addr, oCount int, oType *datatype.Type
 			done(err)
 			return
 		}
-		oc := datatype.NewCursor(oType, oCount)
-		tc := datatype.NewCursor(tType, tCount)
+		oc := ep.walkerFor(oType, oCount)
+		tc := ep.walkerFor(tType, tCount)
 		remaining := oType.Size() * int64(oCount)
 		var wrs []verbs.SendWR
 		for remaining > 0 {
@@ -136,8 +135,8 @@ func (ep *Endpoint) Get(dst int, oBuf mem.Addr, oCount int, oType *datatype.Type
 			done(err)
 			return
 		}
-		oc := datatype.NewCursor(oType, oCount)
-		tc := datatype.NewCursor(tType, tCount)
+		oc := ep.walkerFor(oType, oCount)
+		tc := ep.walkerFor(tType, tCount)
 		remaining := oType.Size() * int64(oCount)
 		var wrs []verbs.SendWR
 		for remaining > 0 {
@@ -222,15 +221,15 @@ func (ep *Endpoint) rmaLocal(a *rmaArgs, put bool, done func(error)) {
 	tmp := make([]byte, bytes)
 	var runs int
 	if put {
-		pk := pack.NewPacker(ep.memory, a.oBuf, a.oType, a.oCount)
+		pk := ep.newPacker(a.oBuf, a.oType, a.oCount)
 		_, r1 := pk.PackTo(tmp)
-		up := pack.NewUnpacker(ep.memory, a.tBase, a.tType, a.tCount)
+		up := ep.newUnpacker(a.tBase, a.tType, a.tCount)
 		_, r2 := up.UnpackFrom(tmp)
 		runs = r1 + r2
 	} else {
-		pk := pack.NewPacker(ep.memory, a.tBase, a.tType, a.tCount)
+		pk := ep.newPacker(a.tBase, a.tType, a.tCount)
 		_, r1 := pk.PackTo(tmp)
-		up := pack.NewUnpacker(ep.memory, a.oBuf, a.oType, a.oCount)
+		up := ep.newUnpacker(a.oBuf, a.oType, a.oCount)
 		_, r2 := up.UnpackFrom(tmp)
 		runs = r1 + r2
 	}

@@ -89,7 +89,7 @@ type recvOp struct {
 	wholeSeg *seg
 
 	// P-RRS read state.
-	readCur   *datatype.Cursor
+	readCur   datatype.RunWalker
 	bytesRead int64
 	wrsLeft   int // outstanding receiver-initiated descriptors (scatter reads)
 
@@ -118,10 +118,16 @@ func (ep *Endpoint) chargeTypeProc(runs int) {
 func (ep *Endpoint) registerUserMessage(buf mem.Addr, dt *datatype.Type, count int,
 	done func([]*mem.Region, []regRef, error)) {
 
-	blocks, _ := pack.MessageBlocks(buf, dt, count, 0)
+	blocks, sorted := ep.messageBlocks(buf, dt, count)
 	ep.chargeTypeProc(len(blocks))
 	cost := mem.RegCost{Base: int64(ep.model.RegBase), PerPage: int64(ep.model.RegPerPage)}
-	groups := mem.GroupRegions(blocks, cost)
+	var groups []mem.Block
+	if sorted {
+		// Compiled programs that emit in address order skip the sort.
+		groups = mem.GroupRegionsSorted(blocks, cost)
+	} else {
+		groups = mem.GroupRegions(blocks, cost)
+	}
 	regions := make([]*mem.Region, 0, len(groups))
 	refs := make([]regRef, 0, len(groups))
 	var total mem.RegOps
@@ -223,8 +229,7 @@ func (ep *Endpoint) rndvSend(req *Request, ctx int, buf mem.Addr, count int, dt 
 	ep.sendOps[op.id] = op
 	atomic.AddInt64(&ep.ctr.RendezvousSends, 1)
 
-	stats := datatype.LayoutStats(dt, count, 4096)
-	sAvg := int64(stats.AvgRun)
+	_, sAvg := ep.layoutSummary(dt, count)
 	slot := ep.reserveAnnounce(dst)
 	sendRTS := func() {
 		ep.announceReady(dst, slot, func() {
@@ -364,7 +369,7 @@ func (ep *Endpoint) recvStagedSetup(op *recvOp, segSize int64) {
 		return
 	}
 
-	op.unpacker = pack.NewParallelUnpacker(ep.memory, op.req.buf, op.req.dt, op.req.count, ep.cfg.par())
+	op.unpacker = ep.newParallelUnpacker(op.req.buf, op.req.dt, op.req.count)
 
 	if op.scheme == SchemeGeneric {
 		// The basic scheme's dynamically allocated whole-message unpack
@@ -509,7 +514,7 @@ func (ep *Endpoint) recvPRRSSetup(op *recvOp) {
 			op.refs = refs
 			op.segSize = ep.cfg.segSizeFor(op.eff)
 			op.nSegs = int((op.eff + op.segSize - 1) / op.segSize)
-			op.readCur = datatype.NewCursor(op.req.dt, op.req.count)
+			op.readCur = ep.walkerFor(op.req.dt, op.req.count)
 
 			var w ctrlWriter
 			w.u8(kindCTS)

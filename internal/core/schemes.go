@@ -17,7 +17,7 @@ import (
 // localRefs); descriptors split at the adapter's SGE limit. A cursor that
 // runs out before want bytes are consumed is a layout/size mismatch and is
 // reported as an error rather than silently truncating the transfer.
-func (ep *Endpoint) chunkWRs(op verbs.Opcode, cur *datatype.Cursor, base mem.Addr,
+func (ep *Endpoint) chunkWRs(op verbs.Opcode, cur datatype.RunWalker, base mem.Addr,
 	localRefs []regRef, want int64, rAddr mem.Addr, rKey uint32) ([]verbs.SendWR, error) {
 
 	maxSGE := ep.model.MaxSGE
@@ -246,7 +246,7 @@ func (ep *Endpoint) sendStagedData(op *sendOp, scheme Scheme, segSize int64, ref
 // shared completion countdown can never transiently hit zero between
 // segments.
 func (ep *Endpoint) sendGatherData(op *sendOp, segSize int64, nSegs int, refs []segRef) {
-	cur := datatype.NewCursor(op.dt, op.count)
+	cur := ep.walkerFor(op.dt, op.count)
 	left := op.eff
 	groups := make([][]verbs.SendWR, 0, nSegs)
 	for k := 0; k < nSegs; k++ {
@@ -290,7 +290,7 @@ func (ep *Endpoint) sendGenericData(op *sendOp, refs []segRef) {
 			return
 		}
 		op.staging = segRes{seg: s, bytes: op.eff, held: true}
-		packer := pack.NewParallelPacker(ep.memory, op.buf, op.dt, op.count, ep.cfg.par())
+		packer := ep.newParallelPacker(op.buf, op.dt, op.count)
 		dst := ep.memory.Bytes(s.addr, op.eff)
 		st := packer.Pack(dst)
 		if st.Bytes != op.eff {
@@ -318,7 +318,7 @@ func (ep *Endpoint) sendGenericData(op *sendOp, refs []segRef) {
 // stalls until a slot's send completes (Section 4.3.3). In fault mode,
 // segments go out one at a time so retries cannot reorder arrivals.
 func (ep *Endpoint) sendBCSPUPData(op *sendOp, segSize int64, nSegs int, refs []segRef) {
-	packer := pack.NewParallelPacker(ep.memory, op.buf, op.dt, op.count, ep.cfg.par())
+	packer := ep.newParallelPacker(op.buf, op.dt, op.count)
 	segBytes := func(k int) int64 {
 		n := segSize
 		if rest := op.eff - int64(k)*segSize; n > rest {
@@ -563,8 +563,8 @@ func (ep *Endpoint) sendBCSPUPBatched(op *sendOp, packer *pack.ParallelPacker, s
 // run (gathering across local runs), immediate data on the final descriptor.
 func (ep *Endpoint) sendMultiWData(op *sendOp, rBase mem.Addr, rType *datatype.Type, rCount int, rRefs []regRef) {
 	ep.withUserRegistration(op, func() {
-		sc := datatype.NewCursor(op.dt, op.count)
-		rc := datatype.NewCursor(rType, rCount)
+		sc := ep.walkerFor(op.dt, op.count)
+		rc := ep.walkerFor(rType, rCount)
 		remaining := op.eff
 		var wrs []verbs.SendWR
 		for remaining > 0 {
@@ -638,7 +638,7 @@ func (ep *Endpoint) sendPRRSData(op *sendOp, segSize int64) {
 	}
 
 	// P-RRS pack segments stay occupied until the receiver's Done.
-	packer := pack.NewParallelPacker(ep.memory, op.buf, op.dt, op.count, ep.cfg.par())
+	packer := ep.newParallelPacker(op.buf, op.dt, op.count)
 	packSeg := func(k int, s seg) {
 		n := segSize
 		if rest := op.eff - int64(k)*segSize; n > rest {

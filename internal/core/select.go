@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"sync/atomic"
 
-	"repro/internal/datatype"
 	"repro/internal/trace"
 )
 
@@ -117,9 +116,7 @@ func (ep *Endpoint) selectorInput(inb *inbound, req *Request, eff int64) Selecto
 		in.RAvg = req.dt.Size() * int64(req.count)
 		in.RRuns = 1
 	} else {
-		rStats := datatype.LayoutStats(req.dt, req.count, 4096)
-		in.RAvg = int64(rStats.AvgRun)
-		in.RRuns = rStats.Runs
+		in.RRuns, in.RAvg = ep.layoutSummary(req.dt, req.count)
 	}
 	in.Eligible = eligibleSchemes(&ep.cfg, in.SContig, in.RContig)
 	return in

@@ -53,6 +53,44 @@ func (tr *typeRegistry) free(t *datatype.Type) {
 	tr.freeIdx = append(tr.freeIdx, idx)
 }
 
+// progKey identifies a compiled layout program: the rank-local type index,
+// the index's version (so index reuse after FreeType can never resurrect a
+// stale program), and the instance count. Counts are cached exactly — the
+// count-classes of interest (1 and the application's steady-state counts)
+// are few, and an exact key keeps programs byte-exact replays.
+type progKey struct {
+	idx   int
+	ver   uint32
+	count int
+}
+
+// progCacheCap bounds the per-endpoint program cache; on overflow the whole
+// epoch is dropped (programs recompile on demand, off the per-pack hot
+// path).
+const progCacheCap = 1024
+
+// programCache memoizes datatype.Compile per endpoint so recompilation
+// never sits on the pack hot path. Entries are invalidated implicitly by
+// the (idx, version) key when a type index is reused.
+type programCache struct {
+	m map[progKey]*datatype.Program
+}
+
+func newProgramCache() *programCache {
+	return &programCache{m: make(map[progKey]*datatype.Program)}
+}
+
+// get returns the cached program for (idx, ver, count), or nil.
+func (pc *programCache) get(k progKey) *datatype.Program { return pc.m[k] }
+
+// put caches a program, clearing the epoch first when at capacity.
+func (pc *programCache) put(k progKey, p *datatype.Program) {
+	if len(pc.m) >= progCacheCap {
+		pc.m = make(map[progKey]*datatype.Program)
+	}
+	pc.m[k] = p
+}
+
 // layoutKey identifies a peer's datatype in the layout caches.
 type layoutKey struct {
 	peer int

@@ -1,0 +1,450 @@
+package datatype
+
+import "fmt"
+
+// This file is the datatype compiler: Compile canonicalizes a (type, count)
+// message into a layout *program* — a handful of nested-stride descriptors or
+// an explicit run table — that pack/unpack engines replay instead of
+// re-walking the dataloop tree through the interpreted Cursor. TEMPI
+// (Pearson et al.) showed order-of-magnitude pack gains from exactly this
+// canonicalization; the contract here is stricter than TEMPI's: a compiled
+// program must emit the *identical* maximal-run sequence the Cursor emits
+// (same offsets, same lengths, same order), so staging bytes, run counts and
+// therefore the simulator's virtual cost are bit-for-bit unchanged. Shapes
+// whose run sequence the compiler cannot reproduce exactly (cross-boundary
+// run coalescing, very deep nesting with very many runs) fall back to
+// ProgGeneric, which replays through the interpreted Cursor.
+
+// ProgKind classifies a compiled layout program.
+type ProgKind int
+
+// The program kinds, from most to least canonical.
+const (
+	// ProgContig is a single contiguous run: pack is one memcpy.
+	ProgContig ProgKind = iota
+	// ProgStrided is a fixed-length block replicated under up to
+	// maxProgDims nested uniform strides (1D vectors, 2D matrix columns,
+	// deeper subarray nests). Run i's offset is a mixed-radix sum; the
+	// sequential cursor advances with two integer adds per run.
+	ProgStrided
+	// ProgIndexed is an explicit run table (offset, length), the
+	// canonical form of indexed/struct layouts; a uniform block length is
+	// detected so fixed-block replay needs no length lookup.
+	ProgIndexed
+	// ProgGeneric marks a shape the compiler does not canonicalize; its
+	// cursor wraps the interpreted datatype Cursor.
+	ProgGeneric
+)
+
+func (k ProgKind) String() string {
+	switch k {
+	case ProgContig:
+		return "contig"
+	case ProgStrided:
+		return "strided"
+	case ProgIndexed:
+		return "indexed"
+	case ProgGeneric:
+		return "generic"
+	}
+	return "unknown"
+}
+
+const (
+	// maxProgDims bounds the stride nesting a ProgStrided program carries;
+	// deeper nests are materialized into a run table or left generic.
+	maxProgDims = 8
+	// maxProgRuns bounds the run table a ProgIndexed program materializes;
+	// beyond it the shape stays generic (the table would cost more memory
+	// than the walk it saves).
+	maxProgRuns = 1 << 16
+)
+
+// progDim is one stride level of a ProgStrided program, outermost first.
+type progDim struct {
+	n      int64 // iterations at this level
+	stride int64 // byte stride between consecutive iterations
+}
+
+// Program is a compiled layout: the canonical replay form of one
+// (type, count) message. Programs are immutable and safe to share; obtain a
+// cursor per concurrent walk. The zero value is not valid — use Compile.
+type Program struct {
+	kind  ProgKind
+	t     *Type
+	count int
+
+	bytes int64 // total data bytes of the message
+	runs  int64 // maximal contiguous runs; -1 when unknown (ProgGeneric)
+
+	off0   int64 // first-run offset (ProgContig / ProgStrided)
+	runLen int64 // uniform run length (ProgContig / ProgStrided / uniform ProgIndexed)
+
+	dims []progDim // ProgStrided stride levels, outermost first
+
+	offs []int64 // ProgIndexed run offsets in traversal order
+	lens []int64 // ProgIndexed run lengths; nil when uniform (runLen applies)
+
+	ascending bool // runs are emitted in non-decreasing offset order
+}
+
+// Compile canonicalizes count instances of t into a layout program. It never
+// fails: shapes the compiler cannot canonicalize compile to a ProgGeneric
+// program whose cursor replays the interpreted walk. Compile is pure and
+// deterministic; callers cache programs keyed by (type, count).
+func Compile(t *Type, count int) *Program {
+	p := &Program{t: t, count: count, ascending: true}
+	lp := messageLoop(t, count)
+	p.bytes = lp.dataBytes
+	if p.bytes == 0 {
+		// Empty message: a contig program of zero runs.
+		p.kind = ProgContig
+		return p
+	}
+	if off, block, dims, ok := stridedShape(lp, 0); ok {
+		dims = foldDims(dims)
+		if runs, fits := dimRuns(dims); fits && stridedCanonical(dims, block) {
+			p.off0 = off
+			p.runLen = block
+			p.dims = dims
+			p.runs = runs
+			p.ascending = stridedAscending(dims, block)
+			if len(dims) == 0 {
+				p.kind = ProgContig
+			} else {
+				p.kind = ProgStrided
+			}
+			return p
+		}
+	}
+	// Materialize the exact maximal-run sequence. Flatten IS the cursor
+	// walk, so equality with the interpreted path holds by construction.
+	blocks, trunc := Flatten(t, count, maxProgRuns)
+	if trunc {
+		p.kind = ProgGeneric
+		p.runs = -1
+		p.ascending = false
+		return p
+	}
+	p.kind = ProgIndexed
+	p.runs = int64(len(blocks))
+	p.offs = make([]int64, len(blocks))
+	uniform := true
+	for i, b := range blocks {
+		p.offs[i] = b.Off
+		if i == 0 {
+			p.runLen = b.Len
+		} else {
+			if b.Len != p.runLen {
+				uniform = false
+			}
+			if b.Off < p.offs[i-1] {
+				p.ascending = false
+			}
+		}
+	}
+	if !uniform {
+		p.lens = make([]int64, len(blocks))
+		for i, b := range blocks {
+			p.lens[i] = b.Len
+		}
+		p.runLen = 0
+	}
+	return p
+}
+
+// stridedShape extracts (origin offset, block length, stride dims) from a
+// dataloop that is a pure nest of vectors over one contiguous block,
+// tolerating single-part indexed wrappers (which only displace the origin).
+func stridedShape(lp *loop, depth int) (off, block int64, dims []progDim, ok bool) {
+	if depth > maxProgDims {
+		return 0, 0, nil, false
+	}
+	switch lp.kind {
+	case loopContig:
+		return 0, lp.bytes, nil, true
+	case loopVector:
+		cOff, cBlock, cDims, cOK := stridedShape(lp.child, depth+1)
+		if !cOK {
+			return 0, 0, nil, false
+		}
+		dims = append([]progDim{{n: int64(lp.count), stride: lp.stride}}, cDims...)
+		return cOff, cBlock, dims, true
+	case loopIndexed:
+		if len(lp.parts) != 1 {
+			return 0, 0, nil, false
+		}
+		cOff, cBlock, cDims, cOK := stridedShape(lp.parts[0].child, depth+1)
+		if !cOK {
+			return 0, 0, nil, false
+		}
+		return lp.parts[0].off + cOff, cBlock, cDims, true
+	}
+	return 0, 0, nil, false
+}
+
+// foldDims drops degenerate single-iteration levels; they contribute nothing
+// to run enumeration.
+func foldDims(dims []progDim) []progDim {
+	out := dims[:0]
+	for _, d := range dims {
+		if d.n > 1 {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// dimRuns returns the total run count of a stride nest, refusing degenerate
+// or absurdly large products.
+func dimRuns(dims []progDim) (int64, bool) {
+	runs := int64(1)
+	for _, d := range dims {
+		if d.n <= 0 || runs > maxRunProduct/d.n {
+			return 0, false
+		}
+		runs *= d.n
+	}
+	return runs, true
+}
+
+const maxRunProduct = int64(1) << 40
+
+// stridedCanonical reports whether the stride nest emits exactly the
+// cursor's maximal runs — i.e. no two consecutive runs abut. Consecutive
+// runs that increment level j (all deeper levels wrapping) are separated by
+// stride_j minus the span the deeper levels walked; they abut exactly when
+// that delta equals the block length, in which case the cursor would
+// coalesce them and the program must not claim the shape.
+func stridedCanonical(dims []progDim, block int64) bool {
+	sumInner := int64(0)
+	for j := len(dims) - 1; j >= 0; j-- {
+		if dims[j].stride-sumInner == block {
+			return false
+		}
+		sumInner += (dims[j].n - 1) * dims[j].stride
+	}
+	return true
+}
+
+// stridedAscending reports whether the mixed-radix enumeration emits runs in
+// non-decreasing offset order: every consecutive-run delta must be
+// non-negative.
+func stridedAscending(dims []progDim, block int64) bool {
+	sumInner := int64(0)
+	for j := len(dims) - 1; j >= 0; j-- {
+		if dims[j].stride-sumInner < 0 {
+			return false
+		}
+		sumInner += (dims[j].n - 1) * dims[j].stride
+	}
+	return true
+}
+
+// Kind returns the program's canonical class.
+func (p *Program) Kind() ProgKind { return p.kind }
+
+// Type returns the datatype the program was compiled from.
+func (p *Program) Type() *Type { return p.t }
+
+// Count returns the instance count the program was compiled for.
+func (p *Program) Count() int { return p.count }
+
+// Bytes returns the total data bytes of the message.
+func (p *Program) Bytes() int64 { return p.bytes }
+
+// Runs returns the exact maximal contiguous run count, or -1 for a
+// ProgGeneric program (whose run count is only known by walking).
+func (p *Program) Runs() int64 { return p.runs }
+
+// Dims returns the stride nesting depth: 0 for contig, 1 for a 1D vector,
+// 2 for a 2D nest, and so on. Indexed and generic programs report 0.
+func (p *Program) Dims() int { return len(p.dims) }
+
+// Ascending reports whether the program emits runs in non-decreasing offset
+// order, letting consumers skip sorting (OGR grouping).
+func (p *Program) Ascending() bool { return p.ascending }
+
+// RunAt returns run i's (offset, length) by random access, the replay form
+// the parallel engine shards. It panics on ProgGeneric programs (use a
+// cursor) and on out-of-range i.
+func (p *Program) RunAt(i int64) (off, length int64) {
+	if i < 0 || i >= p.runs {
+		panic("datatype: Program.RunAt out of range")
+	}
+	switch p.kind {
+	case ProgContig:
+		return p.off0, p.runLen
+	case ProgStrided:
+		off = p.off0
+		q := i
+		for j := len(p.dims) - 1; j >= 0; j-- {
+			d := p.dims[j]
+			off += (q % d.n) * d.stride
+			q /= d.n
+		}
+		return off, p.runLen
+	case ProgIndexed:
+		if p.lens != nil {
+			return p.offs[i], p.lens[i]
+		}
+		return p.offs[i], p.runLen
+	}
+	panic("datatype: RunAt on generic program")
+}
+
+// String renders the program compactly (dtinspect's view).
+func (p *Program) String() string {
+	switch p.kind {
+	case ProgContig:
+		if p.runs == 0 {
+			return "contig empty"
+		}
+		return fmt.Sprintf("contig [%d,+%d)", p.off0, p.runLen)
+	case ProgStrided:
+		s := fmt.Sprintf("strided block=%dB off=%d runs=%d", p.runLen, p.off0, p.runs)
+		for _, d := range p.dims {
+			s += fmt.Sprintf(" [n=%d stride=%d]", d.n, d.stride)
+		}
+		return s
+	case ProgIndexed:
+		if p.lens == nil {
+			return fmt.Sprintf("indexed fixed-block runs=%d block=%dB", p.runs, p.runLen)
+		}
+		return fmt.Sprintf("indexed runs=%d (varied lengths)", p.runs)
+	case ProgGeneric:
+		return "generic (interpreted cursor walk)"
+	}
+	return "unknown"
+}
+
+// RunWalker is the streaming contract shared by the interpreted Cursor and
+// the compiled ProgCursor: maximal contiguous runs in datatype order, any
+// number of bytes at a time. Both implementations emit the identical
+// sequence for the same (type, count).
+type RunWalker interface {
+	// Next returns up to max bytes of the current run; see Cursor.Next.
+	Next(max int64) (off, n int64, ok bool)
+	// Remaining reports data bytes not yet returned by Next.
+	Remaining() int64
+	// Done reports whether the whole message has been consumed.
+	Done() bool
+}
+
+var (
+	_ RunWalker = (*Cursor)(nil)
+	_ RunWalker = (*ProgCursor)(nil)
+)
+
+// ProgCursor replays a compiled program with the Cursor's streaming
+// contract. For canonical programs the advance is O(1) with no allocation;
+// for ProgGeneric it wraps an interpreted Cursor. The zero value is not
+// valid — use Program.Cursor or Reset.
+type ProgCursor struct {
+	p         *Program
+	remaining int64
+	runIdx    int64
+	pos       int64 // next byte's offset within the current run
+	left      int64 // bytes left in the current run
+	base      int64 // current run's start offset (ProgStrided bookkeeping)
+	idx       [maxProgDims]int64
+	gen       *Cursor // ProgGeneric fallback
+}
+
+// Cursor returns a fresh cursor over the program, positioned at the start.
+func (p *Program) Cursor() *ProgCursor {
+	c := &ProgCursor{}
+	c.Reset(p)
+	return c
+}
+
+// Reset rewinds the cursor to the start of prog. Resetting onto a canonical
+// program allocates nothing, which is what makes warm packers
+// allocation-free; resetting onto a ProgGeneric program rebuilds the
+// interpreted cursor.
+func (c *ProgCursor) Reset(prog *Program) {
+	*c = ProgCursor{p: prog, remaining: prog.bytes}
+	if prog.kind == ProgGeneric {
+		c.gen = NewCursor(prog.t, prog.count)
+		return
+	}
+	if prog.runs == 0 {
+		return
+	}
+	off, n := prog.RunAt(0)
+	c.pos, c.left, c.base = off, n, off
+}
+
+// Remaining reports the data bytes not yet returned by Next.
+func (c *ProgCursor) Remaining() int64 {
+	if c.gen != nil {
+		return c.gen.Remaining()
+	}
+	return c.remaining
+}
+
+// Done reports whether the whole message has been consumed.
+func (c *ProgCursor) Done() bool { return c.Remaining() == 0 }
+
+// Next returns up to max bytes of the current contiguous run, with exactly
+// Cursor.Next's contract. max must be positive.
+func (c *ProgCursor) Next(max int64) (off, n int64, ok bool) {
+	if max <= 0 {
+		panic("datatype: ProgCursor.Next with non-positive max")
+	}
+	if c.gen != nil {
+		return c.gen.Next(max)
+	}
+	if c.remaining == 0 {
+		return 0, 0, false
+	}
+	if c.left == 0 && !c.advance() {
+		return 0, 0, false
+	}
+	off = c.pos
+	n = c.left
+	if n > max {
+		n = max
+	}
+	c.pos += n
+	c.left -= n
+	c.remaining -= n
+	return off, n, true
+}
+
+// advance steps to the next run. The ProgStrided path is the compiled inner
+// loop: one counter increment and one add per run, with wrap propagation
+// amortizing to O(1).
+func (c *ProgCursor) advance() bool {
+	c.runIdx++
+	if c.runIdx >= c.p.runs {
+		return false
+	}
+	switch c.p.kind {
+	case ProgStrided:
+		d := c.p.dims
+		for j := len(d) - 1; ; j-- {
+			c.idx[j]++
+			c.base += d[j].stride
+			if c.idx[j] < d[j].n {
+				break
+			}
+			c.idx[j] = 0
+			c.base -= d[j].n * d[j].stride
+			if j == 0 {
+				return false // unreachable: runIdx guard fires first
+			}
+		}
+		c.pos, c.left = c.base, c.p.runLen
+		return true
+	case ProgIndexed:
+		c.pos = c.p.offs[c.runIdx]
+		if c.p.lens != nil {
+			c.left = c.p.lens[c.runIdx]
+		} else {
+			c.left = c.p.runLen
+		}
+		return true
+	}
+	return false // ProgContig has a single run
+}

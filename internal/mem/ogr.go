@@ -49,7 +49,30 @@ func GroupRegions(blocks []Block, cost RegCost) []Block {
 		return nil
 	}
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Addr < sorted[j].Addr })
+	return groupSorted(sorted, cost)
+}
 
+// GroupRegionsSorted is GroupRegions for blocks already in non-decreasing
+// address order, skipping the sort. Compiled layout programs know their
+// emission order (Program.Ascending), which makes this the grouping entry
+// for program-fed registration. Zero-length blocks are dropped; passing
+// unsorted blocks is a contract violation (the result would under-merge).
+func GroupRegionsSorted(blocks []Block, cost RegCost) []Block {
+	sorted := make([]Block, 0, len(blocks))
+	for _, b := range blocks {
+		if b.Len > 0 {
+			sorted = append(sorted, b)
+		}
+	}
+	if len(sorted) == 0 {
+		return nil
+	}
+	return groupSorted(sorted, cost)
+}
+
+// groupSorted merges address-sorted positive-length blocks under the OGR
+// gap-versus-registration trade.
+func groupSorted(sorted []Block, cost RegCost) []Block {
 	regions := make([]Block, 0, len(sorted))
 	cur := sorted[0]
 	for _, b := range sorted[1:] {

@@ -184,3 +184,33 @@ func TestRegionCostAndAlign(t *testing.T) {
 		t.Fatal("Block.End wrong")
 	}
 }
+
+// TestGroupRegionsSortedMatches checks the sort-skipping fast path used for
+// compiled ascending programs: on already-sorted input (including
+// zero-length blocks, which both entry points must drop) it returns exactly
+// what GroupRegions does, across random layouts and cost models.
+func TestGroupRegionsSortedMatches(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 500; trial++ {
+		var blocks []Block
+		pos := int64(4096)
+		n := rng.Intn(30)
+		for i := 0; i < n; i++ {
+			pos += int64(rng.Intn(1 << 16))
+			ln := int64(rng.Intn(4096)) // includes zero-length blocks
+			blocks = append(blocks, Block{Addr: Addr(pos), Len: ln})
+			pos += ln
+		}
+		cost := RegCost{Base: int64(1 + rng.Intn(100000)), PerPage: int64(1 + rng.Intn(1000))}
+		want := GroupRegions(append([]Block(nil), blocks...), cost)
+		got := GroupRegionsSorted(append([]Block(nil), blocks...), cost)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: %d regions, GroupRegions %d", trial, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: region %d = %v, GroupRegions %v", trial, i, got[i], want[i])
+			}
+		}
+	}
+}

@@ -26,13 +26,32 @@ func (p *Proc) Pack(buf mem.Addr, count int, dt *datatype.Type, out []byte, pos 
 	if int64(pos)+n > int64(len(out)) {
 		return pos, fmt.Errorf("mpi: Pack needs %d bytes at %d, have %d", n, pos, len(out))
 	}
-	pk := pack.NewPacker(p.Mem(), buf, dt, count)
+	pk := p.newPacker(buf, count, dt)
 	got, runs := pk.PackTo(out[pos : int64(pos)+n])
 	if got != n {
 		return pos, fmt.Errorf("mpi: Pack short: %d of %d", got, n)
 	}
 	p.Compute(p.w.cfg.Model.CopyTime(n, runs))
 	return pos + int(n), nil
+}
+
+// newPacker builds the explicit-pack engine, replaying a compiled layout
+// program unless the endpoint opted back into the interpreted walk. The
+// program is compiled per call — MPI_Pack is a user-level convenience, not
+// the transfer hot path.
+func (p *Proc) newPacker(buf mem.Addr, count int, dt *datatype.Type) *pack.Packer {
+	if p.Endpoint().Config().InterpretedPack {
+		return pack.NewPacker(p.Mem(), buf, dt, count)
+	}
+	return pack.NewProgramPacker(p.Mem(), buf, datatype.Compile(dt, count))
+}
+
+// newUnpacker is newPacker's unpack counterpart.
+func (p *Proc) newUnpacker(buf mem.Addr, count int, dt *datatype.Type) *pack.Unpacker {
+	if p.Endpoint().Config().InterpretedPack {
+		return pack.NewUnpacker(p.Mem(), buf, dt, count)
+	}
+	return pack.NewProgramUnpacker(p.Mem(), buf, datatype.Compile(dt, count))
 }
 
 // Unpack copies packed bytes from in starting at pos into the (buf, count,
@@ -42,7 +61,7 @@ func (p *Proc) Unpack(in []byte, pos int, buf mem.Addr, count int, dt *datatype.
 	if int64(pos)+n > int64(len(in)) {
 		return pos, fmt.Errorf("mpi: Unpack needs %d bytes at %d, have %d", n, pos, len(in))
 	}
-	u := pack.NewUnpacker(p.Mem(), buf, dt, count)
+	u := p.newUnpacker(buf, count, dt)
 	got, runs := u.UnpackFrom(in[pos : int64(pos)+n])
 	if got != n {
 		return pos, fmt.Errorf("mpi: Unpack short: %d of %d", got, n)

@@ -1,8 +1,14 @@
 // Package pack implements segment pack and unpack engines over datatype
-// cursors: resumable copies between a noncontiguous user buffer in simulated
+// layouts: resumable copies between a noncontiguous user buffer in simulated
 // memory and contiguous staging storage. The engines report how many bytes
 // and how many contiguous runs each step touched so callers can charge the
 // modeled copy cost (bandwidth plus per-run startup).
+//
+// An engine walks its layout one of two ways: the interpreted datatype
+// Cursor (re-walking the dataloop tree) or a compiled layout Program
+// replayed through a ProgCursor (O(1) advance, no allocation on reset).
+// Both emit the identical run sequence, so staging bytes and run statistics
+// do not depend on which walk a caller picked.
 package pack
 
 import (
@@ -13,26 +19,73 @@ import (
 // Packer copies a (type, count) message out of a user buffer into contiguous
 // destinations, any number of bytes at a time.
 type Packer struct {
-	mem  *mem.Memory
-	base mem.Addr
-	cur  *datatype.Cursor
+	mem   *mem.Memory
+	base  mem.Addr
+	t     *datatype.Type
+	count int
+
+	prog *datatype.Program   // non-nil: replay the compiled program
+	pc   datatype.ProgCursor // compiled walk state (valid when prog != nil)
+	cur  *datatype.Cursor    // interpreted walk state (when prog == nil)
 }
 
-// NewPacker creates a packer over the message (base, count, t) in m.
+// NewPacker creates a packer over the message (base, count, t) in m using
+// the interpreted cursor walk.
 func NewPacker(m *mem.Memory, base mem.Addr, t *datatype.Type, count int) *Packer {
-	return &Packer{mem: m, base: base, cur: datatype.NewCursor(t, count)}
+	return &Packer{mem: m, base: base, t: t, count: count, cur: datatype.NewCursor(t, count)}
+}
+
+// NewProgramPacker creates a packer over the message (base, prog) in m that
+// replays the compiled layout program instead of walking the dataloop tree.
+// The program is shared and immutable; the packer keeps private cursor state.
+func NewProgramPacker(m *mem.Memory, base mem.Addr, prog *datatype.Program) *Packer {
+	p := &Packer{mem: m, base: base, t: prog.Type(), count: prog.Count(), prog: prog}
+	p.pc.Reset(prog)
+	return p
+}
+
+// Reset rewinds the packer to the start of its message so it can be reused.
+// Resetting a program packer over a canonical program allocates nothing.
+func (p *Packer) Reset() {
+	if p.prog != nil {
+		p.pc.Reset(p.prog)
+		return
+	}
+	p.cur = datatype.NewCursor(p.t, p.count)
+}
+
+// walker returns the packer's layout walk as the shared streaming interface.
+func (p *Packer) walker() datatype.RunWalker {
+	if p.prog != nil {
+		return &p.pc
+	}
+	return p.cur
 }
 
 // Remaining reports unpacked bytes left.
-func (p *Packer) Remaining() int64 { return p.cur.Remaining() }
+func (p *Packer) Remaining() int64 { return p.walker().Remaining() }
 
 // Done reports whether the whole message has been packed.
-func (p *Packer) Done() bool { return p.cur.Done() }
+func (p *Packer) Done() bool { return p.walker().Done() }
 
 // PackTo fills dst with the next len(dst) bytes of the message (or fewer if
 // the message ends), returning the bytes written and the number of
 // contiguous runs touched.
 func (p *Packer) PackTo(dst []byte) (n int64, runs int) {
+	if p.prog != nil {
+		// Compiled replay: the concrete cursor advance is a counter
+		// increment plus an add per run (see datatype.ProgCursor).
+		for int64(len(dst))-n > 0 {
+			off, k, ok := p.pc.Next(int64(len(dst)) - n)
+			if !ok {
+				break
+			}
+			copy(dst[n:n+k], p.mem.Bytes(addrAt(p.base, off), k))
+			n += k
+			runs++
+		}
+		return n, runs
+	}
 	for int64(len(dst))-n > 0 {
 		off, k, ok := p.cur.Next(int64(len(dst)) - n)
 		if !ok {
@@ -49,25 +102,71 @@ func (p *Packer) PackTo(dst []byte) (n int64, runs int) {
 // Unpacker copies contiguous staging bytes back into a noncontiguous user
 // buffer, any number of bytes at a time.
 type Unpacker struct {
-	mem  *mem.Memory
-	base mem.Addr
+	mem   *mem.Memory
+	base  mem.Addr
+	t     *datatype.Type
+	count int
+
+	prog *datatype.Program
+	pc   datatype.ProgCursor
 	cur  *datatype.Cursor
 }
 
-// NewUnpacker creates an unpacker over the message (base, count, t) in m.
+// NewUnpacker creates an unpacker over the message (base, count, t) in m
+// using the interpreted cursor walk.
 func NewUnpacker(m *mem.Memory, base mem.Addr, t *datatype.Type, count int) *Unpacker {
-	return &Unpacker{mem: m, base: base, cur: datatype.NewCursor(t, count)}
+	return &Unpacker{mem: m, base: base, t: t, count: count, cur: datatype.NewCursor(t, count)}
+}
+
+// NewProgramUnpacker creates an unpacker over the message (base, prog) in m
+// that replays the compiled layout program.
+func NewProgramUnpacker(m *mem.Memory, base mem.Addr, prog *datatype.Program) *Unpacker {
+	u := &Unpacker{mem: m, base: base, t: prog.Type(), count: prog.Count(), prog: prog}
+	u.pc.Reset(prog)
+	return u
+}
+
+// Reset rewinds the unpacker to the start of its message so it can be
+// reused. Resetting a program unpacker over a canonical program allocates
+// nothing.
+func (u *Unpacker) Reset() {
+	if u.prog != nil {
+		u.pc.Reset(u.prog)
+		return
+	}
+	u.cur = datatype.NewCursor(u.t, u.count)
+}
+
+// walker returns the unpacker's layout walk as the shared streaming
+// interface.
+func (u *Unpacker) walker() datatype.RunWalker {
+	if u.prog != nil {
+		return &u.pc
+	}
+	return u.cur
 }
 
 // Remaining reports bytes left to unpack.
-func (u *Unpacker) Remaining() int64 { return u.cur.Remaining() }
+func (u *Unpacker) Remaining() int64 { return u.walker().Remaining() }
 
 // Done reports whether the whole message has been unpacked.
-func (u *Unpacker) Done() bool { return u.cur.Done() }
+func (u *Unpacker) Done() bool { return u.walker().Done() }
 
 // UnpackFrom scatters src into the next len(src) bytes' worth of message
 // positions, returning bytes consumed and contiguous runs touched.
 func (u *Unpacker) UnpackFrom(src []byte) (n int64, runs int) {
+	if u.prog != nil {
+		for int64(len(src))-n > 0 {
+			off, k, ok := u.pc.Next(int64(len(src)) - n)
+			if !ok {
+				break
+			}
+			copy(u.mem.Bytes(addrAt(u.base, off), k), src[n:n+k])
+			n += k
+			runs++
+		}
+		return n, runs
+	}
 	for int64(len(src))-n > 0 {
 		off, k, ok := u.cur.Next(int64(len(src)) - n)
 		if !ok {
@@ -94,6 +193,28 @@ func MessageBlocks(base mem.Addr, t *datatype.Type, count, limit int) ([]mem.Blo
 	out := make([]mem.Block, len(runs))
 	for i, r := range runs {
 		out[i] = mem.Block{Addr: addrAt(base, r.Off), Len: r.Len}
+	}
+	return out, trunc
+}
+
+// ProgramBlocks is MessageBlocks from a compiled program: canonical programs
+// emit their run table directly (no re-flatten); generic programs fall back
+// to the flatten walk. limit bounds the number of runs (0 = no limit); the
+// bool reports truncation.
+func ProgramBlocks(base mem.Addr, prog *datatype.Program, limit int) ([]mem.Block, bool) {
+	if prog.Kind() == datatype.ProgGeneric {
+		return MessageBlocks(base, prog.Type(), prog.Count(), limit)
+	}
+	runs := prog.Runs()
+	trunc := false
+	if limit > 0 && runs > int64(limit) {
+		runs = int64(limit)
+		trunc = true
+	}
+	out := make([]mem.Block, runs)
+	for i := int64(0); i < runs; i++ {
+		off, n := prog.RunAt(i)
+		out[i] = mem.Block{Addr: addrAt(base, off), Len: n}
 	}
 	return out, trunc
 }

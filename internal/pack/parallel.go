@@ -122,15 +122,16 @@ type runRef struct {
 	n    int64
 }
 
-// collectRuns advances cur by up to want bytes and returns the contiguous
-// runs in layout order plus the bytes consumed. The Next sequence is exactly
-// the serial engine's, so the run count (and thus the modeled per-run cost)
-// is identical to PackTo/UnpackFrom.
-func collectRuns(cur *datatype.Cursor, base mem.Addr, want int64) ([]runRef, int64) {
-	var refs []runRef
+// collectRuns advances the layout walk by up to want bytes, appending the
+// contiguous runs in layout order to refs (reusing its capacity), and
+// returns the extended slice plus the bytes consumed. The Next sequence is
+// exactly the serial engine's — whether the walker is an interpreted Cursor
+// or a compiled ProgCursor — so the run count (and thus the modeled per-run
+// cost) is identical to PackTo/UnpackFrom.
+func collectRuns(w datatype.RunWalker, base mem.Addr, want int64, refs []runRef) ([]runRef, int64) {
 	var n int64
 	for want-n > 0 {
-		off, k, ok := cur.Next(want - n)
+		off, k, ok := w.Next(want - n)
 		if !ok {
 			break
 		}
@@ -145,6 +146,11 @@ func collectRuns(cur *datatype.Cursor, base mem.Addr, want int64) ([]runRef, int
 // shard size. The partition is a pure function of its inputs, so shard
 // statistics — and the virtual cost derived from them — are deterministic.
 func shardRuns(refs []runRef, total int64, workers int, minShard int64) [][]runRef {
+	if minShard < 1 {
+		// Defensive: callers normalize via Par.minShard(), but a zero
+		// divisor here must never take the whole engine down.
+		minShard = 1
+	}
 	n := workers
 	if byMin := int(total / minShard); byMin < n {
 		n = byMin
@@ -179,13 +185,20 @@ func shardRuns(refs []runRef, total int64, workers int, minShard int64) [][]runR
 // it behaves exactly like the serial Packer.
 type ParallelPacker struct {
 	*Packer
-	opt Par
+	opt  Par
+	refs []runRef // reusable run-collection buffer (no per-step allocation once warm)
 }
 
 // NewParallelPacker creates a parallel packer over the message
-// (base, count, t) in m.
+// (base, count, t) in m using the interpreted cursor walk.
 func NewParallelPacker(m *mem.Memory, base mem.Addr, t *datatype.Type, count int, opt Par) *ParallelPacker {
 	return &ParallelPacker{Packer: NewPacker(m, base, t, count), opt: opt}
+}
+
+// NewParallelProgramPacker creates a parallel packer over the message
+// (base, prog) in m that replays the compiled layout program.
+func NewParallelProgramPacker(m *mem.Memory, base mem.Addr, prog *datatype.Program, opt Par) *ParallelPacker {
+	return &ParallelPacker{Packer: NewProgramPacker(m, base, prog), opt: opt}
 }
 
 // Pack fills dst with the next len(dst) bytes of the message (or fewer if
@@ -196,7 +209,8 @@ func (p *ParallelPacker) Pack(dst []byte) ParStats {
 		n, runs := p.PackTo(dst)
 		return ParStats{Bytes: n, Runs: runs, Shards: []ShardStat{{Bytes: n, Runs: runs}}}
 	}
-	refs, n := collectRuns(p.cur, p.base, int64(len(dst)))
+	refs, n := collectRuns(p.walker(), p.base, int64(len(dst)), p.refs[:0])
+	p.refs = refs
 	shards := shardRuns(refs, n, p.opt.Workers, p.opt.minShard())
 	st := ParStats{Bytes: n, Runs: len(refs), Shards: make([]ShardStat, len(shards))}
 	tasks := make([]func(), len(shards))
@@ -222,13 +236,20 @@ func (p *ParallelPacker) Pack(dst []byte) ParStats {
 // the serial Unpacker.
 type ParallelUnpacker struct {
 	*Unpacker
-	opt Par
+	opt  Par
+	refs []runRef // reusable run-collection buffer (no per-step allocation once warm)
 }
 
 // NewParallelUnpacker creates a parallel unpacker over the message
-// (base, count, t) in m.
+// (base, count, t) in m using the interpreted cursor walk.
 func NewParallelUnpacker(m *mem.Memory, base mem.Addr, t *datatype.Type, count int, opt Par) *ParallelUnpacker {
 	return &ParallelUnpacker{Unpacker: NewUnpacker(m, base, t, count), opt: opt}
+}
+
+// NewParallelProgramUnpacker creates a parallel unpacker over the message
+// (base, prog) in m that replays the compiled layout program.
+func NewParallelProgramUnpacker(m *mem.Memory, base mem.Addr, prog *datatype.Program, opt Par) *ParallelUnpacker {
+	return &ParallelUnpacker{Unpacker: NewProgramUnpacker(m, base, prog), opt: opt}
 }
 
 // Unpack scatters src into the next len(src) bytes' worth of message
@@ -239,7 +260,8 @@ func (u *ParallelUnpacker) Unpack(src []byte) ParStats {
 		n, runs := u.UnpackFrom(src)
 		return ParStats{Bytes: n, Runs: runs, Shards: []ShardStat{{Bytes: n, Runs: runs}}}
 	}
-	refs, n := collectRuns(u.cur, u.base, int64(len(src)))
+	refs, n := collectRuns(u.walker(), u.base, int64(len(src)), u.refs[:0])
+	u.refs = refs
 	shards := shardRuns(refs, n, u.opt.Workers, u.opt.minShard())
 	st := ParStats{Bytes: n, Runs: len(refs), Shards: make([]ShardStat, len(shards))}
 	tasks := make([]func(), len(shards))
