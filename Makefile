@@ -6,11 +6,11 @@ GO ?= go
 
 # The packages the observability Recorder/Registry reach; `make race` runs
 # just these under the race detector for a fast concurrency gate.
-RACE_PKGS = ./internal/core/ ./internal/mpi/ ./internal/rtfab/ ./internal/stats/ ./internal/trace/
+RACE_PKGS = ./internal/core/ ./internal/mpi/ ./internal/rtfab/ ./internal/stats/ ./internal/trace/ ./internal/traffic/
 
-.PHONY: check fmt vet build test race conformance fault-soak bench bench-backends tune tune-guard doclint par par-guard compile compile-guard
+.PHONY: check fmt vet build test race conformance fault-soak bench bench-backends tune tune-guard doclint par par-guard compile compile-guard qos soak soak-guard
 
-check: fmt vet build test doclint tune-guard par-guard compile-guard
+check: fmt vet build test doclint tune-guard par-guard compile-guard soak-guard
 
 # Fails (and lists the offenders) if any file is not gofmt-clean.
 fmt:
@@ -82,6 +82,23 @@ compile:
 # (host rows are exempt: they are wall-clock measurements.)
 compile-guard:
 	@$(GO) run ./cmd/dtbench -compile-guard
+
+# Service-mode QoS contention sweep -> BENCH_qos.json: eager-class latency
+# under concurrent Multi-W bulk load, with the lanes+windows layer off and
+# on. The rt rows (and the headline eager-p99 improvement) are wall-clock;
+# regenerate on the machine the numbers are quoted for.
+qos:
+	$(GO) run ./cmd/dtbench -qos both
+
+# Deterministic two-phase traffic soak on the simulator -> SOAK_traffic.json
+# (counters, windowed pool high-waters, per-class latency buckets).
+soak:
+	$(GO) run ./cmd/dtbench -soak
+
+# CI-style guard: the soak runs entirely on virtual time with seeded flows,
+# so the checked-in SOAK_traffic.json must regenerate byte-identically.
+soak-guard:
+	@$(GO) run ./cmd/dtbench -soak-guard
 
 # Wall-clock scheme bandwidth/latency on both backends -> BENCH_backends.json.
 bench-backends:

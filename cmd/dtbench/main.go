@@ -39,6 +39,11 @@ func main() {
 	tunerOut := flag.String("tuner-out", "BENCH_tuner.json", "output path for the -tuner report")
 	tuneOut := flag.String("tune-out", "", "with -tuner: also write the learned tuning table (JSON) here")
 	tuneIn := flag.String("tune-in", "", "warm-start: replay the workload with this tuning table, exploration off")
+	qosRun := flag.String("qos", "", `service-mode QoS sweep: "sim", "rt", or "both" -> BENCH_qos.json`)
+	qosOut := flag.String("qos-out", "BENCH_qos.json", "output path for the -qos sweep")
+	soak := flag.Bool("soak", false, "deterministic two-phase traffic soak (sim) -> SOAK_traffic.json")
+	soakOut := flag.String("soak-out", "SOAK_traffic.json", "output path for the -soak golden snapshot")
+	soakGuard := flag.Bool("soak-guard", false, "regenerate the traffic soak and verify it against -soak-out byte-for-byte")
 	compile := flag.Bool("compile", false, "datatype-compiler pack sweep (modeled sim rows + host wall-clock rows) -> BENCH_compile.json")
 	compileOut := flag.String("compile-out", "BENCH_compile.json", "output path for the -compile sweep")
 	compileGuard := flag.Bool("compile-guard", false, "regenerate the -compile sim rows and verify them against -compile-out")
@@ -61,6 +66,60 @@ func main() {
 		return nil
 	}
 
+	if *soakGuard {
+		committed, err := os.ReadFile(*soakOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dtbench:", err)
+			os.Exit(1)
+		}
+		if err := exper.SoakGuard(committed); err != nil {
+			fmt.Fprintln(os.Stderr, "dtbench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("soak guard: %s reproduces byte-for-byte\n", *soakOut)
+		return
+	}
+	if *soak {
+		doc, err := exper.SoakRun()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dtbench:", err)
+			os.Exit(1)
+		}
+		out, err := exper.SoakJSON(doc)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dtbench:", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*soakOut, append(out, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "dtbench:", err)
+			os.Exit(1)
+		}
+		for _, ph := range doc.Phases {
+			fmt.Printf("phase %-16s pool highs pack=%d unpack=%d regpages=%d\n",
+				ph.Name, ph.PoolPackHigh, ph.PoolUnpackHigh, ph.RegPagesHigh)
+		}
+		fmt.Printf("wrote %s\n", *soakOut)
+		return
+	}
+	if *qosRun != "" {
+		rows, err := exper.QoSSweep(backendList(*qosRun))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dtbench:", err)
+			os.Exit(1)
+		}
+		doc, err := exper.QoSJSON(rows)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dtbench:", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*qosOut, append(doc, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "dtbench:", err)
+			os.Exit(1)
+		}
+		fmt.Print(exper.QoSTable(rows))
+		fmt.Printf("wrote %s\n", *qosOut)
+		return
+	}
 	if *compileGuard {
 		committed, err := os.ReadFile(*compileOut)
 		if err != nil {

@@ -13,6 +13,15 @@
 //	go run ./cmd/fabsim -fault-soak -seed 7 -cqe-rate 0.1 -delay-rate 0.2
 //	go run ./cmd/fabsim -fault-soak -backend rt
 //	go run ./cmd/fabsim -fault-soak -perm-rate 1 -cqe-rate 1   # forced aborts
+//
+// With -qos-soak it runs the deterministic service-mode traffic mix
+// (internal/traffic) with the QoS layer on and reports per-class latency
+// plus the admission/lane counters; -no-qos disables the service layer for
+// an A/B comparison:
+//
+//	go run ./cmd/fabsim -qos-soak
+//	go run ./cmd/fabsim -qos-soak -backend rt
+//	go run ./cmd/fabsim -qos-soak -backend rt -no-qos
 package main
 
 import (
@@ -27,10 +36,14 @@ import (
 	"repro/internal/fault"
 	"repro/internal/ib"
 	"repro/internal/mem"
+	"repro/internal/mpi"
 	"repro/internal/pack"
+	"repro/internal/qos"
 	"repro/internal/rtfab"
 	"repro/internal/simtime"
+	"repro/internal/stats"
 	"repro/internal/trace"
+	"repro/internal/traffic"
 	"repro/internal/tuner"
 	"repro/internal/verbs"
 )
@@ -48,6 +61,9 @@ var (
 	doTrace   = flag.Bool("trace", false, "record activity traces and print a busy-time summary at the end")
 	traceOut  = flag.String("trace-out", "", "with -trace: also write Chrome trace-event JSON here")
 	tunerSoak = flag.Bool("tuner", false, "with -fault-soak: add an Auto row driven by the adaptive tuner")
+	qosSoak   = flag.Bool("qos-soak", false, "run the service-mode traffic soak and report per-class latency + QoS counters")
+	noQoS     = flag.Bool("no-qos", false, "with -qos-soak: disable the QoS layer (A/B baseline)")
+	soakSeed  = flag.Int64("qos-seed", 1, "with -qos-soak: workload seed")
 )
 
 // tracer is non-nil when -trace is set; the measurement helpers attach it to
@@ -69,6 +85,14 @@ func main() {
 		if !ok {
 			os.Exit(1)
 		}
+		return
+	}
+	if *qosSoak {
+		if err := runQoSSoak(); err != nil {
+			fmt.Fprintln(os.Stderr, "fabsim:", err)
+			os.Exit(1)
+		}
+		flushTrace()
 		return
 	}
 	if *backend == "rt" {
@@ -123,6 +147,58 @@ func flushTrace() {
 		fmt.Printf("wrote %s (%d events; load via chrome://tracing or ui.perfetto.dev)\n",
 			*traceOut, tracer.Len())
 	}
+}
+
+// runQoSSoak drives the default service-mode traffic mix over an MPI world
+// on the selected backend and prints per-class latency quantiles plus the
+// aggregate counters (including the QoS admission/lane lines).
+func runQoSSoak() error {
+	spec := traffic.DefaultSpec()
+	spec.Seed = *soakSeed
+	cfg := mpi.DefaultConfig()
+	cfg.Ranks = spec.Ranks
+	cfg.Backend = *backend
+	cfg.RTTimeout = 2 * time.Minute
+	if !*noQoS {
+		pol := qos.DefaultPolicy()
+		cfg.Core.QoS = &pol
+	}
+	if tracer != nil {
+		cfg.Trace = tracer
+	}
+	w, err := mpi.NewWorld(cfg)
+	if err != nil {
+		return err
+	}
+	reg := stats.NewRegistry()
+	r := traffic.NewRunner(spec, reg)
+	fmt.Printf("# qos soak: backend=%s qos=%v seed=%d ranks=%d comms=%d flows=%d msgs/flow=%d\n",
+		*backend, !*noQoS, spec.Seed, spec.Ranks, spec.Comms,
+		spec.EagerFlows+spec.BulkFlows, spec.Msgs)
+	start := time.Now()
+	if err := r.Run(w); err != nil {
+		return err
+	}
+	wall := time.Since(start)
+	if ef, bf := r.Failures(); ef != 0 || bf != 0 {
+		return fmt.Errorf("qos soak: %d eager / %d bulk request failures", ef, bf)
+	}
+	fmt.Printf("%8s %8s %12s %12s %12s\n", "class", "msgs", "p50 us", "p99 us", "max us")
+	for _, cl := range []struct {
+		name string
+		hist *stats.Histogram
+	}{
+		{"eager", reg.Histogram(traffic.HistEager)},
+		{"bulk", reg.Histogram(traffic.HistBulk)},
+	} {
+		fmt.Printf("%8s %8d %12.2f %12.2f %12.2f\n", cl.name, cl.hist.Count(),
+			float64(cl.hist.Quantile(0.50))/1e3,
+			float64(cl.hist.Quantile(0.99))/1e3,
+			float64(cl.hist.Quantile(1))/1e3)
+	}
+	ctr := traffic.AggregateCounters(w)
+	fmt.Printf("\nwall time %v\n# aggregate counters\n%s", wall.Round(time.Millisecond), ctr.String())
+	return nil
 }
 
 // runRTSweep is the raw RDMA sweep on the real-time backend: the same

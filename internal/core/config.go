@@ -23,6 +23,7 @@ package core
 
 import (
 	"repro/internal/pack"
+	"repro/internal/qos"
 	"repro/internal/simtime"
 	"repro/internal/stats"
 	"repro/internal/trace"
@@ -188,6 +189,13 @@ type Config struct {
 	// identical virtual cost — so this switch exists for conformance A/B
 	// comparison and as an escape hatch, not as a semantic knob.
 	InterpretedPack bool
+
+	// QoS enables service mode: traffic-class lanes with per-peer
+	// flow-control windows over bulk descriptor posting, and admission
+	// control that parks or rejects new bulk transfers while segment-pool or
+	// registration budgets are tight (internal/qos). Nil disables the whole
+	// layer — posting and admission behave exactly as without it.
+	QoS *qos.Policy
 }
 
 // DefaultConfig returns the paper's implementation parameters.

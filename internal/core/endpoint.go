@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/datatype"
 	"repro/internal/mem"
+	"repro/internal/qos"
 	"repro/internal/simtime"
 	"repro/internal/stats"
 	"repro/internal/verbs"
@@ -162,6 +163,13 @@ type Endpoint struct {
 	// MPI's non-overtaking guarantee.
 	annQ map[int][]*annSlot
 
+	// Service mode (cfg.QoS != nil): lanes arbitrates bulk descriptor
+	// posting per peer, gate parks whole bulk transfers under resource
+	// pressure. Both are nil when QoS is disabled.
+	lanes  *qos.Arbiter
+	gate   *qos.Gate
+	qosPol qos.Policy
+
 	onSendCQE map[uint64]func(verbs.CQE)
 
 	types   *typeRegistry
@@ -220,6 +228,11 @@ func NewEndpoint(rank int, hca verbs.HCA, cfg Config) (*Endpoint, error) {
 	if inj := hca.Injector(); inj != nil {
 		ep.userReg.SetFaultFn(inj.RegFault)
 		ep.stagingReg.SetFaultFn(inj.RegFault)
+	}
+	if cfg.QoS != nil {
+		ep.qosPol = *cfg.QoS
+		ep.lanes = qos.NewArbiter(ep.qosPol)
+		ep.gate = qos.NewGate(ep.qosPol)
 	}
 	return ep, nil
 }

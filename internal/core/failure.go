@@ -129,6 +129,7 @@ func (ep *Endpoint) finalizeSendAbort(op *sendOp) {
 		w.u32(op.id)
 		ep.sendCtrl(op.dst, w.buf, nil)
 	}
+	ep.qosDrain() // a dead op releases nothing later; re-check parked work
 }
 
 // sendWRResolved accounts one finally-resolved descriptor (completed, failed
@@ -218,6 +219,7 @@ func (ep *Endpoint) finalizeRecvAbort(op *recvOp) {
 		w.u32(op.key.op)
 		ep.sendCtrl(op.key.src, w.buf, nil)
 	}
+	ep.qosDrain() // a dead op releases nothing later; re-check parked work
 }
 
 // recvWRResolved is sendWRResolved for receiver-initiated descriptors

@@ -1,0 +1,176 @@
+package core
+
+import (
+	"sync/atomic"
+
+	"repro/internal/qos"
+	"repro/internal/verbs"
+)
+
+// Service-mode glue: how the endpoint drives internal/qos.
+//
+// Lanes gate individual data-descriptor posts (the Arbiter's per-peer
+// windows); admission gates whole transfers (the Gate's pressure tests).
+// Both sit above the verbs boundary and below the protocol handshake, so
+// control traffic — eager payloads, RTS/CTS, failure notices — is never
+// delayed and announce order (MPI's non-overtaking guarantee) is never
+// perturbed: admission applies only to the data phase, after the RTS has
+// been matched, where stalling is exactly the paper's Section 4.3.3
+// "stall until buffers are available" policy.
+//
+// Fault mode bypasses the lane arbiter: postRetry needs synchronous post
+// errors to drive its retry loop, and injection runs already serialize
+// posting for order safety. faultMode() is fixed per run, so charge and
+// release stay paired. The admission gate stays active under faults — it
+// defers whole transfers before any descriptor exists, which retries never
+// see.
+
+// laneFor maps a transfer's effective size to its traffic class.
+func (ep *Endpoint) laneFor(bytes int64) qos.Lane {
+	if ep.lanes == nil {
+		return qos.LaneLatency
+	}
+	return ep.qosPol.ClassOf(bytes)
+}
+
+// wrPayload sums a descriptor's gather-list bytes (its window charge).
+func wrPayload(wr *verbs.SendWR) int64 {
+	var n int64
+	for _, s := range wr.SGL {
+		n += s.Len
+	}
+	return n
+}
+
+// submitLane offers one post unit (descs descriptors, bytes payload) for dst
+// to the lane arbiter; grant runs when the unit is admitted — immediately
+// with QoS off or fault injection on. Every grant must eventually return its
+// charge through laneRelease.
+func (ep *Endpoint) submitLane(dst int, lane qos.Lane, descs int, bytes int64, grant func()) {
+	if ep.lanes == nil || ep.faultMode() {
+		grant()
+		return
+	}
+	busy := ep.lanes.Queued(dst) > 0
+	if ep.lanes.Submit(dst, lane, descs, bytes, grant) {
+		atomic.AddInt64(&ep.ctr.QoSLaneDeferrals, 1)
+	} else if lane == qos.LaneLatency && busy {
+		atomic.AddInt64(&ep.ctr.QoSLaneBypass, 1)
+	}
+}
+
+// laneRelease returns a granted unit's window charge (credit return),
+// draining dst's deferred bulk queue. Mirrors submitLane's bypass
+// conditions exactly so charges stay balanced.
+func (ep *Endpoint) laneRelease(dst int, descs int, bytes int64) {
+	if ep.lanes == nil || ep.faultMode() {
+		return
+	}
+	ep.lanes.Release(dst, descs, bytes)
+}
+
+// laneChunkLimit bounds a bulk doorbell batch at the descriptor window, so
+// one bulk list post never occupies more of the send queue than a window's
+// worth — the mechanism that keeps eager sends from waiting behind a whole
+// Multi-W flood on the real-time backend.
+func (ep *Endpoint) laneChunkLimit(lane qos.Lane) int {
+	limit := ep.model.MaxPostBatch
+	if ep.lanes == nil || ep.faultMode() || lane != qos.LaneBulk {
+		return limit
+	}
+	if w := ep.qosPol.DescWindow; w > 0 && (limit <= 0 || w < limit) {
+		return w
+	}
+	return limit
+}
+
+// qosPressure builds the live resource snapshot admission reads: the given
+// staging pool's occupancy, the endpoint's pinned pages, and how many
+// transfers are still active to release them. The self flag excludes the op
+// currently asking for admission until it actually parks (after which
+// Parked() accounts for it), so a lone transfer on an idle endpoint is
+// force-admitted rather than parked forever.
+func (ep *Endpoint) qosPressure(pool *segPool, parkedSelf *bool) func() qos.Pressure {
+	return func() qos.Pressure {
+		active := len(ep.sendOps) + len(ep.recvOps) - ep.gate.Parked()
+		if !*parkedSelf {
+			active--
+		}
+		return qos.Pressure{
+			FreeSlots:   pool.available(),
+			PoolWaiters: pool.pendingWaiters(),
+			RegPages:    atomic.LoadInt64(&ep.ctr.RegisteredPages) - atomic.LoadInt64(&ep.ctr.DeregisteredPages),
+			ActiveOps:   active,
+		}
+	}
+}
+
+// qosAdmit runs the shared admission state machine for one transfer's data
+// phase: run immediately on admit, park with trace instants and a resume
+// span otherwise, fail the op with qos.ErrRejected when the parking lot is
+// full.
+func (ep *Endpoint) qosAdmit(lane qos.Lane, opID uint32, bytes int64, pool *segPool,
+	dead func() bool, run func(), fail func(error)) {
+
+	parked := false
+	t0 := ep.tnow()
+	wrapped := func() {
+		if dead() {
+			return // aborted while parked; teardown owns the op now
+		}
+		if parked {
+			ep.mark("qos-resume", "qos", opID)
+			ep.span("qos parked", "qos", opID, bytes, t0)
+			ep.cfg.Metrics.Histogram("qos_park_ns").Observe(int64(ep.tnow().Sub(t0)))
+		}
+		run()
+	}
+	switch ep.gate.Admit(lane, ep.qosPressure(pool, &parked), wrapped) {
+	case qos.Admit:
+		if lane == qos.LaneBulk {
+			atomic.AddInt64(&ep.ctr.QoSAdmitted, 1)
+		}
+	case qos.Park:
+		parked = true
+		atomic.AddInt64(&ep.ctr.QoSParked, 1)
+		ep.mark("qos-park", "qos", opID)
+	case qos.Reject:
+		atomic.AddInt64(&ep.ctr.QoSRejected, 1)
+		ep.mark("qos-reject", "qos", opID)
+		fail(qos.ErrRejected)
+	}
+}
+
+// admitRecv gates the receiver's scheme setup (segment allocation, user
+// registration, the CTS) behind admission control. Parking here delays only
+// the CTS; the sender's RTS is already matched, so MPI ordering is intact.
+func (ep *Endpoint) admitRecv(op *recvOp, run func()) {
+	if ep.gate == nil {
+		run()
+		return
+	}
+	ep.qosAdmit(ep.laneFor(op.eff), op.key.op, op.eff, ep.unpackPool,
+		func() bool { return op.failed }, run,
+		func(err error) { ep.abortRecv(op, err, true) })
+}
+
+// admitSend gates the sender's data movement (pack, registration, descriptor
+// posting) behind admission control once the CTS has arrived.
+func (ep *Endpoint) admitSend(op *sendOp, run func()) {
+	if ep.gate == nil {
+		run()
+		return
+	}
+	ep.qosAdmit(ep.laneFor(op.eff), op.id, op.eff, ep.packPool,
+		func() bool { return op.failed }, run,
+		func(err error) { ep.abortSend(op, err) })
+}
+
+// qosDrain re-evaluates parked transfers. Called wherever admission pressure
+// releases: staging slots returning, registrations dropping, transfers
+// finishing or aborting.
+func (ep *Endpoint) qosDrain() {
+	if ep.gate != nil {
+		ep.gate.Drain()
+	}
+}

@@ -176,6 +176,7 @@ func (ep *Endpoint) releaseUserRegions(regions []*mem.Region) {
 	if d := ep.model.RegOpsTime(total); d > 0 {
 		ep.hca.ChargeCPUNamed(d, "reg")
 	}
+	ep.qosDrain() // registration pressure just dropped
 }
 
 // acquireStaging allocates and registers a dynamic staging buffer of exactly
@@ -307,18 +308,23 @@ func (ep *Endpoint) rndvMatched(inb *inbound, req *Request) {
 	ep.recvOps[op.key] = op
 	ep.mark("match "+op.scheme.String(), "rts", op.key.op)
 
-	switch op.scheme {
-	case SchemeGeneric:
-		ep.recvStagedSetup(op, eff) // one whole-message segment
-	case SchemeBCSPUP, SchemeRWGUP:
-		ep.recvStagedSetup(op, ep.cfg.segSizeFor(eff))
-	case SchemeMultiW:
-		ep.recvMultiWSetup(op)
-	case SchemePRRS:
-		ep.recvPRRSSetup(op)
-	default:
-		panic("core: bad scheme at match")
-	}
+	// Service mode gates the whole data phase here: parking before the
+	// scheme setup delays only the CTS (the sanctioned Section 4.3.3 stall),
+	// never the already-sent announce.
+	ep.admitRecv(op, func() {
+		switch op.scheme {
+		case SchemeGeneric:
+			ep.recvStagedSetup(op, eff) // one whole-message segment
+		case SchemeBCSPUP, SchemeRWGUP:
+			ep.recvStagedSetup(op, ep.cfg.segSizeFor(eff))
+		case SchemeMultiW:
+			ep.recvMultiWSetup(op)
+		case SchemePRRS:
+			ep.recvPRRSSetup(op)
+		default:
+			panic("core: bad scheme at match")
+		}
+	})
 }
 
 // recvStagedSetup assigns unpack destinations — the receiver's user buffer
@@ -555,6 +561,7 @@ func (ep *Endpoint) finishRecv(op *recvOp) {
 		err = ErrTruncate
 	}
 	op.req.complete(err)
+	ep.qosDrain() // one fewer active op; parked transfers may now be admissible
 }
 
 // --- Sender: CTS dispatch ----------------------------------------------------
@@ -588,7 +595,7 @@ func (ep *Endpoint) handleCTS(src int, r *ctrlReader) {
 		if dead {
 			return
 		}
-		ep.sendStagedData(op, scheme, segSize, refs)
+		ep.admitSend(op, func() { ep.sendStagedData(op, scheme, segSize, refs) })
 	case SchemeMultiW:
 		rBase := mem.Addr(r.u64())
 		rCount := int(r.u64())
@@ -627,7 +634,7 @@ func (ep *Endpoint) handleCTS(src int, r *ctrlReader) {
 			atomic.AddInt64(&ep.ctr.TypeCacheHits, 1)
 			rType = t
 		}
-		ep.sendMultiWData(op, rBase, rType, rCount, rRefs)
+		ep.admitSend(op, func() { ep.sendMultiWData(op, rBase, rType, rCount, rRefs) })
 	case SchemePRRS:
 		segSize := r.i64()
 		if r.err != nil {
@@ -636,7 +643,7 @@ func (ep *Endpoint) handleCTS(src int, r *ctrlReader) {
 		if dead {
 			return
 		}
-		ep.sendPRRSData(op, segSize)
+		ep.admitSend(op, func() { ep.sendPRRSData(op, segSize) })
 	default:
 		panic(fmt.Sprintf("core: CTS with bad scheme %d", scheme))
 	}
@@ -654,6 +661,7 @@ func (ep *Endpoint) finishSend(op *sendOp) {
 		op.regions = nil
 	}
 	op.req.complete(nil)
+	ep.qosDrain() // one fewer active op; parked transfers may now be admissible
 }
 
 // --- Receiver: segment arrival (RDMA write with immediate) -------------------

@@ -88,40 +88,74 @@ func (ep *Endpoint) postWRs(op *sendOp, dst int, wrs []verbs.SendWR, list bool, 
 			fn()
 		}
 	}
+	lane := ep.laneFor(op.eff)
 	if list && len(wrs) > 1 && !ep.faultMode() {
 		op.wrsLeft += len(wrs)
 		for i := range wrs {
 			wrs[i].WRID = ep.hca.WRID()
+			wrs[i].Lane = uint8(lane)
+			n := wrPayload(&wrs[i])
 			ep.onSendCQE[wrs[i].WRID] = func(e verbs.CQE) {
+				ep.laneRelease(dst, 1, n)
 				ep.sendWRResolved(op, e.Err, advance)
 			}
 		}
-		batches := chunkBatches(wrs, ep.model.MaxPostBatch)
-		for bi, batch := range batches {
-			if err := ep.qps[dst].PostSendList(batch); err != nil {
-				// This batch — and everything after it — never reached the
-				// NIC.
-				rest := 0
-				for _, b := range batches[bi:] {
-					for i := range b {
-						delete(ep.onSendCQE, b[i].WRID)
-					}
-					rest += len(b)
-				}
-				op.wrsLeft -= rest
-				ep.abortSend(op, err)
-				return
+		// Bulk doorbells split at the lane window, not just the adapter
+		// limit, so each batch is one window-sized unit for the arbiter.
+		batches := chunkBatches(wrs, ep.laneChunkLimit(lane))
+		for _, batch := range batches {
+			batch := batch
+			var batchBytes int64
+			for i := range batch {
+				batchBytes += wrPayload(&batch[i])
 			}
-			ep.observeBatch(len(batch))
+			ep.submitLane(dst, lane, len(batch), batchBytes, func() {
+				if op.failed {
+					// Aborted while the batch waited for window room: the
+					// descriptors never reach the NIC, but their charge and
+					// wrsLeft accounting must still resolve.
+					for i := range batch {
+						delete(ep.onSendCQE, batch[i].WRID)
+					}
+					ep.laneRelease(dst, len(batch), batchBytes)
+					for range batch {
+						ep.sendWRResolved(op, errOpAborted, advance)
+					}
+					return
+				}
+				if err := ep.qps[dst].PostSendList(batch); err != nil {
+					// This batch never reached the NIC. Later batches clean
+					// themselves up through the op.failed path above when
+					// their grants fire.
+					for i := range batch {
+						delete(ep.onSendCQE, batch[i].WRID)
+					}
+					ep.laneRelease(dst, len(batch), batchBytes)
+					op.wrsLeft -= len(batch)
+					ep.abortSend(op, err)
+					return
+				}
+				ep.observeBatch(len(batch))
+			})
 		}
 		return
 	}
 	cancelled := func() bool { return op.failed }
 	for i := range wrs {
 		wr := wrs[i]
+		wr.Lane = uint8(lane)
+		n := wrPayload(&wr)
 		op.wrsLeft++
-		ep.postRetry(dst, wr, cancelled, func(err error) {
-			ep.sendWRResolved(op, err, advance)
+		ep.submitLane(dst, lane, 1, n, func() {
+			if op.failed {
+				ep.laneRelease(dst, 1, n)
+				ep.sendWRResolved(op, errOpAborted, advance)
+				return
+			}
+			ep.postRetry(dst, wr, cancelled, func(err error) {
+				ep.laneRelease(dst, 1, n)
+				ep.sendWRResolved(op, err, advance)
+			})
 		})
 	}
 }
@@ -423,14 +457,16 @@ func (ep *Endpoint) sendBCSPUPData(op *sendOp, segSize int64, nSegs int, refs []
 			atomic.AddInt64(&ep.ctr.BytesPacked, n)
 			atomic.AddInt64(&ep.ctr.SegmentsPipelined, 1)
 			ep.chargeParPack(st, "pack")
+			lane := ep.laneFor(op.eff)
 			wr := verbs.SendWR{
 				Op:         verbs.OpRDMAWriteImm,
 				SGL:        []verbs.SGE{{Addr: s.addr, Len: n, Key: s.key}},
 				RemoteAddr: refs[idx].addr, RKey: refs[idx].key, Imm: op.id,
+				Lane: uint8(lane),
 			}
 			op.wrsLeft++
 			ep.mark("seg-post", "segment", op.id)
-			ep.postRetry(op.dst, wr, func() bool { return op.failed }, func(err error) {
+			resolve := func(err error) {
 				// The slot is released at final resolution either way: on
 				// success the data has left it, on abort the descriptor no
 				// longer references it.
@@ -443,6 +479,17 @@ func (ep *Endpoint) sendBCSPUPData(op *sendOp, segSize int64, nSegs int, refs []
 					if op.allPosted && op.wrsLeft == 0 {
 						ep.finishSend(op)
 					}
+				})
+			}
+			ep.submitLane(op.dst, lane, 1, n, func() {
+				if op.failed {
+					ep.laneRelease(op.dst, 1, n)
+					resolve(errOpAborted)
+					return
+				}
+				ep.postRetry(op.dst, wr, func() bool { return op.failed }, func(err error) {
+					ep.laneRelease(op.dst, 1, n)
+					resolve(err)
 				})
 			})
 			if idx == nSegs-1 {
@@ -521,14 +568,20 @@ func (ep *Endpoint) sendBCSPUPBatched(op *sendOp, packer *pack.ParallelPacker, s
 				ep.mark("seg-post", "segment", op.id)
 			}
 			op.wrsLeft += b
+			lane := ep.laneFor(op.eff)
+			var batchBytes int64
 			for i := range wrs {
 				wrs[i].WRID = ep.hca.WRID()
+				wrs[i].Lane = uint8(lane)
+				n := wrs[i].SGL[0].Len
+				batchBytes += n
 				s := segs[i]
 				ep.onSendCQE[wrs[i].WRID] = func(e verbs.CQE) {
 					// The slot is released at resolution either way: on
 					// success the data has left it, on abort the descriptor
 					// no longer references it.
 					ep.releaseSeg(ep.packPool, s)
+					ep.laneRelease(op.dst, 1, n)
 					ep.mark("seg-complete", "segment", op.id)
 					ep.sendWRResolved(op, e.Err, func() {
 						if op.allPosted && op.wrsLeft == 0 {
@@ -537,22 +590,41 @@ func (ep *Endpoint) sendBCSPUPBatched(op *sendOp, packer *pack.ParallelPacker, s
 					})
 				}
 			}
-			if err := ep.qps[op.dst].PostSendList(wrs); err != nil {
-				// The whole doorbell was rejected: nothing reached the NIC,
-				// so the batch's slots go straight back.
-				for i := range wrs {
-					delete(ep.onSendCQE, wrs[i].WRID)
-					ep.releaseSeg(ep.packPool, segs[i])
+			// The doorbell itself is one lane unit: bulk batches wait for
+			// window room while the packed slots stay charged to this op.
+			ep.submitLane(op.dst, lane, b, batchBytes, func() {
+				if op.failed {
+					// Aborted while waiting for window room: slots and
+					// charge return, the descriptors never post.
+					for i := range wrs {
+						delete(ep.onSendCQE, wrs[i].WRID)
+						ep.releaseSeg(ep.packPool, segs[i])
+					}
+					ep.laneRelease(op.dst, b, batchBytes)
+					op.wrsLeft -= b
+					if op.wrsLeft == 0 {
+						ep.finalizeSendAbort(op)
+					}
+					return
 				}
-				op.wrsLeft -= b
-				ep.abortSend(op, err)
-				return
-			}
-			ep.observeBatch(len(wrs))
-			if k == nSegs {
-				op.allPosted = true
-			}
-			step()
+				if err := ep.qps[op.dst].PostSendList(wrs); err != nil {
+					// The whole doorbell was rejected: nothing reached the
+					// NIC, so the batch's slots go straight back.
+					for i := range wrs {
+						delete(ep.onSendCQE, wrs[i].WRID)
+						ep.releaseSeg(ep.packPool, segs[i])
+					}
+					ep.laneRelease(op.dst, b, batchBytes)
+					op.wrsLeft -= b
+					ep.abortSend(op, err)
+					return
+				}
+				ep.observeBatch(len(wrs))
+				if k == nSegs {
+					op.allPosted = true
+				}
+				step()
+			})
 		})
 	}
 	step()
@@ -725,24 +797,30 @@ func (ep *Endpoint) handleSegReady(src int, r *ctrlReader) {
 	}
 	atomic.AddInt64(&ep.ctr.SegmentsPipelined, 1)
 	cancelled := func() bool { return op.failed }
+	lane := ep.laneFor(op.eff)
 	for i := range wrs {
 		wr := wrs[i]
-		var b int64
-		for _, s := range wr.SGL {
-			b += s.Len
-		}
-		bytes := b
+		wr.Lane = uint8(lane)
+		bytes := wrPayload(&wr)
 		op.wrsLeft++
-		ep.postRetry(src, wr, cancelled, func(err error) {
-			ep.recvWRResolved(op, err, func() {
-				op.bytesRead += bytes
-				if op.bytesRead == op.eff {
-					var w ctrlWriter
-					w.u8(kindDone)
-					w.u32(id)
-					ep.sendCtrl(src, w.buf, nil)
-					ep.finishRecv(op)
-				}
+		ep.submitLane(src, lane, 1, bytes, func() {
+			if op.failed {
+				ep.laneRelease(src, 1, bytes)
+				ep.recvWRResolved(op, errOpAborted, nil)
+				return
+			}
+			ep.postRetry(src, wr, cancelled, func(err error) {
+				ep.laneRelease(src, 1, bytes)
+				ep.recvWRResolved(op, err, func() {
+					op.bytesRead += bytes
+					if op.bytesRead == op.eff {
+						var w ctrlWriter
+						w.u8(kindDone)
+						w.u32(id)
+						ep.sendCtrl(src, w.buf, nil)
+						ep.finishRecv(op)
+					}
+				})
 			})
 		})
 	}

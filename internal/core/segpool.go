@@ -233,6 +233,7 @@ func (ep *Endpoint) withSeg(pool *segPool, size int64, fn func(seg, error)) {
 func (ep *Endpoint) releaseSeg(pool *segPool, s seg) {
 	if s.pooled {
 		pool.release(s)
+		ep.qosDrain() // pool pressure just dropped
 		return
 	}
 	ops, err := ep.stagingReg.Release(s.region)
@@ -245,4 +246,5 @@ func (ep *Endpoint) releaseSeg(pool *segPool, s seg) {
 		panic(err)
 	}
 	ep.hca.ChargeCPUNamed(ep.model.RegOpsTime(ops)+ep.model.FreeCost, "reg")
+	ep.qosDrain() // registration pressure just dropped
 }

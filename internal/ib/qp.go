@@ -124,6 +124,9 @@ func (qp *QP) post(wrs []SendWR, list bool) error {
 		wr := &wrs[i]
 		atomic.AddInt64(&c.DescriptorsPosted, 1)
 		atomic.AddInt64(&c.SGEsPosted, int64(len(wr.SGL)))
+		if wr.Lane != 0 {
+			atomic.AddInt64(&c.LaneBulkDescs, 1)
+		}
 		switch wr.Op {
 		case OpSend:
 			atomic.AddInt64(&c.SendsPosted, 1)

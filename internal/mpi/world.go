@@ -192,6 +192,18 @@ func (w *World) Endpoint(i int) *core.Endpoint { return w.eps[i] }
 // Size returns the number of ranks.
 func (w *World) Size() int { return len(w.eps) }
 
+// ClockNs returns the cluster clock in nanoseconds: virtual engine time on
+// the simulator, wall-clock time since fabric start on the real-time
+// backend. Deltas of ClockNs are the same timebase the trace spans and
+// latency histograms use, so workload generators can stamp per-message
+// latencies that line up with the rest of the instrumentation.
+func (w *World) ClockNs() int64 {
+	if w.rt != nil {
+		return int64(w.rt.WallClock())
+	}
+	return int64(w.eng.Now())
+}
+
 // Run executes body once per rank — concurrently in virtual time on the
 // simulator, concurrently on the wall clock on the real-time backend — and
 // drives the cluster to completion. It returns the first body error, a
@@ -282,6 +294,12 @@ func (p *Proc) Wait(reqs ...*core.Request) error {
 		}
 	}
 	return nil
+}
+
+// WaitAny blocks until at least one of the requests completes and returns
+// its index (the lowest, if several completed together).
+func (p *Proc) WaitAny(reqs ...*core.Request) int {
+	return core.WaitAny(p.sp, reqs...)
 }
 
 // Sendrecv runs a send and a receive concurrently and waits for both.

@@ -1,0 +1,125 @@
+package qos
+
+// Pressure is the resource snapshot an admission decision reads. The owning
+// endpoint supplies it through a closure so parked transfers re-evaluate
+// live state when credits return.
+type Pressure struct {
+	// FreeSlots is the free slot count of the staging pool the transfer
+	// would draw from.
+	FreeSlots int
+	// PoolWaiters counts transfers already parked inside that pool waiting
+	// for slots.
+	PoolWaiters int
+	// RegPages is the endpoint's currently registered page count.
+	RegPages int64
+	// ActiveOps counts unfinished rendezvous operations on the endpoint,
+	// excluding parked ones. When it reaches zero nothing can ever release
+	// pressure, so the gate force-admits (the progress guarantee).
+	ActiveOps int
+}
+
+// Decision is the outcome of an admission request.
+type Decision int
+
+// The admission outcomes.
+const (
+	// Admit: the transfer proceeds now (run was called).
+	Admit Decision = iota
+	// Park: the transfer waits FIFO; run fires from Drain once pressure
+	// releases.
+	Park
+	// Reject: the parking lot is full; run will never fire and the caller
+	// must fail the transfer (ErrRejected).
+	Reject
+)
+
+func (d Decision) String() string {
+	switch d {
+	case Park:
+		return "park"
+	case Reject:
+		return "reject"
+	}
+	return "admit"
+}
+
+// parked is one waiting transfer: its live pressure source and its
+// continuation.
+type parked struct {
+	pr  func() Pressure
+	run func()
+}
+
+// Gate is the admission controller: transfers whose class is bulk park
+// (FIFO) while resource budgets are tight and resume as pressure releases.
+// Single-threaded, like Arbiter.
+type Gate struct {
+	pol      Policy
+	q        []parked
+	draining bool
+}
+
+// NewGate returns a gate enforcing p's budgets.
+func NewGate(p Policy) *Gate {
+	return &Gate{pol: p}
+}
+
+// pressured reports whether pr's budgets are tight enough to park new bulk
+// work.
+func (g *Gate) pressured(pr Pressure) bool {
+	if g.pol.MinFreeSlots > 0 && pr.FreeSlots < g.pol.MinFreeSlots {
+		return true
+	}
+	if g.pol.MaxRegisteredPages > 0 && pr.RegPages > g.pol.MaxRegisteredPages {
+		return true
+	}
+	return pr.PoolWaiters > 0
+}
+
+// Admit asks to start a transfer of the given lane. Latency-lane transfers
+// always run immediately. A bulk transfer runs immediately when budgets are
+// healthy (or nothing else is active to ever release them — the progress
+// guarantee), parks FIFO when they are tight, and is rejected when
+// MaxParked transfers are already waiting. run is called at most once:
+// synchronously on Admit, from a later Drain on Park, never on Reject.
+func (g *Gate) Admit(lane Lane, pr func() Pressure, run func()) Decision {
+	if lane == LaneLatency {
+		run()
+		return Admit
+	}
+	p := pr()
+	if len(g.q) == 0 && (!g.pressured(p) || p.ActiveOps <= 0) {
+		run()
+		return Admit
+	}
+	if g.pol.MaxParked > 0 && len(g.q) >= g.pol.MaxParked {
+		return Reject
+	}
+	g.q = append(g.q, parked{pr: pr, run: run})
+	return Park
+}
+
+// Drain resumes parked transfers in FIFO order while their budgets allow
+// (or nothing else is active). Call it wherever pressure releases — pool
+// slot returns, deregistrations, transfer completion. Reentrant calls
+// (a resumed transfer releasing more pressure) fold into the outer loop.
+func (g *Gate) Drain() {
+	if g.draining {
+		return
+	}
+	g.draining = true
+	defer func() { g.draining = false }()
+	for len(g.q) > 0 {
+		p := g.q[0].pr()
+		if g.pressured(p) && p.ActiveOps > 0 {
+			return
+		}
+		e := g.q[0]
+		g.q[0] = parked{}
+		g.q = g.q[1:]
+		e.run()
+	}
+}
+
+// Parked reports the number of transfers currently waiting for admission.
+func (g *Gate) Parked() int { return len(g.q) }

@@ -65,9 +65,11 @@ func (h *Histogram) Mean() float64 {
 	return float64(h.sum) / float64(h.n)
 }
 
-// Quantile reports an upper bound for the q-quantile (0 <= q <= 1): the
-// upper edge of the log bucket the quantile falls in, clamped to the
-// observed maximum. Zero when empty.
+// Quantile estimates the q-quantile (0 <= q <= 1) by linear interpolation
+// within the log bucket the quantile rank falls in: the k-th of a bucket's c
+// observations is placed k/c of the way between the bucket's edges. The
+// estimate is clamped to the observed min/max, so Quantile(1) is exactly the
+// maximum. Zero when empty.
 func (h *Histogram) Quantile(q float64) int64 {
 	if h == nil {
 		return 0
@@ -77,23 +79,35 @@ func (h *Histogram) Quantile(q float64) int64 {
 	if h.n == 0 {
 		return 0
 	}
-	rank := int64(q * float64(h.n))
-	if rank >= h.n {
-		rank = h.n - 1
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
 	}
+	rank := q * float64(h.n-1) // 0-indexed fractional rank
 	var seen int64
 	for i, c := range h.counts {
-		seen += c
-		if seen > rank {
-			hi := int64(1) << i // upper edge of bucket i (bitlen == i)
-			if i == 0 {
-				hi = 0
-			}
-			if hi > h.max {
-				hi = h.max
-			}
-			return hi
+		if c == 0 {
+			continue
 		}
+		if rank >= float64(seen+c) {
+			seen += c
+			continue
+		}
+		if i == 0 {
+			return 0 // bucket 0 holds only zeros
+		}
+		lo := int64(1) << (i - 1) // bucket i holds [2^(i-1), 2^i)
+		hi := int64(1) << i
+		frac := (rank - float64(seen) + 1) / float64(c)
+		v := int64(float64(lo) + frac*float64(hi-lo))
+		if v < h.min {
+			v = h.min
+		}
+		if v > h.max {
+			v = h.max
+		}
+		return v
 	}
 	return h.max
 }
@@ -132,7 +146,7 @@ func (h *Histogram) String() string {
 	h.mu.Lock()
 	min, max := h.min, h.max
 	h.mu.Unlock()
-	return fmt.Sprintf("n=%d min=%d mean=%.0f p50<=%d p99<=%d max=%d",
+	return fmt.Sprintf("n=%d min=%d mean=%.0f p50~%d p99~%d max=%d",
 		n, min, h.Mean(), h.Quantile(0.50), h.Quantile(0.99), max)
 }
 
@@ -191,6 +205,29 @@ func (g *Gauge) High() int64 {
 	return g.high
 }
 
+// Reset zeroes both the value and the high-water mark.
+func (g *Gauge) Reset() {
+	if g == nil {
+		return
+	}
+	g.mu.Lock()
+	g.v = 0
+	g.high = 0
+	g.mu.Unlock()
+}
+
+// ResetHigh re-bases the high-water mark at the current value, opening a new
+// observation window. Long soaks call this between phases so a phase
+// snapshot reports that phase's peak, not an earlier phase's.
+func (g *Gauge) ResetHigh() {
+	if g == nil {
+		return
+	}
+	g.mu.Lock()
+	g.high = g.v
+	g.mu.Unlock()
+}
+
 // Registry is a named collection of histograms and gauges — the metrics
 // side of the observability layer. Histogram and Gauge get-or-create their
 // instrument, so call sites stay one-liners. All methods are safe for
@@ -239,6 +276,23 @@ func (r *Registry) Gauge(name string) *Gauge {
 		r.gauges[name] = g
 	}
 	return g
+}
+
+// ResetHighs re-bases the high-water mark of every registered gauge at its
+// current value (see Gauge.ResetHigh) — one call per soak phase boundary.
+func (r *Registry) ResetHighs() {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	gauges := make([]*Gauge, 0, len(r.gauges))
+	for _, g := range r.gauges {
+		gauges = append(gauges, g)
+	}
+	r.mu.Unlock()
+	for _, g := range gauges {
+		g.ResetHigh()
+	}
 }
 
 // Histograms returns the registered histogram names, sorted.

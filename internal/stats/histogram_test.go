@@ -43,6 +43,52 @@ func TestHistogramBasics(t *testing.T) {
 	}
 }
 
+func TestQuantileInterpolation(t *testing.T) {
+	// 1000 uniform observations in [1024, 2048): all land in one log bucket.
+	// The upper-edge rule would report 2048 for every quantile; interpolation
+	// must spread estimates across the bucket.
+	h := &Histogram{}
+	for i := 0; i < 1000; i++ {
+		h.Observe(1024 + int64(i))
+	}
+	p50 := h.Quantile(0.50)
+	if p50 < 1300 || p50 > 1700 {
+		t.Fatalf("p50 = %d, want an interior estimate near 1536", p50)
+	}
+	p99 := h.Quantile(0.99)
+	if p99 < 1950 || p99 > 2023 {
+		t.Fatalf("p99 = %d, want near 2013", p99)
+	}
+	if p50 >= p99 {
+		t.Fatalf("p50 %d >= p99 %d", p50, p99)
+	}
+	if got, max := h.Quantile(1), int64(2023); got != max {
+		t.Fatalf("p100 = %d, want observed max %d", got, max)
+	}
+	// Out-of-range q clamps instead of panicking.
+	if h.Quantile(-1) != h.Quantile(0) || h.Quantile(2) != h.Quantile(1) {
+		t.Fatal("out-of-range q not clamped")
+	}
+}
+
+func TestQuantileAcrossBuckets(t *testing.T) {
+	// 90 small values and 10 large ones: p50 must come from the small
+	// bucket, p99 from the large one.
+	h := &Histogram{}
+	for i := 0; i < 90; i++ {
+		h.Observe(100)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(100000)
+	}
+	if p50 := h.Quantile(0.50); p50 < 64 || p50 > 128 {
+		t.Fatalf("p50 = %d, want inside [64,128)", p50)
+	}
+	if p99 := h.Quantile(0.99); p99 < 65536 || p99 > 100000 {
+		t.Fatalf("p99 = %d, want inside the large bucket clamped to max", p99)
+	}
+}
+
 func TestGaugeHighWater(t *testing.T) {
 	g := &Gauge{}
 	g.Add(3)
@@ -55,6 +101,38 @@ func TestGaugeHighWater(t *testing.T) {
 	if g.Value() != 10 || g.High() != 10 {
 		t.Fatalf("after Set: value=%d high=%d", g.Value(), g.High())
 	}
+}
+
+func TestGaugeResetWindows(t *testing.T) {
+	g := &Gauge{}
+	g.Set(100) // phase 1 peak
+	g.Set(5)
+	g.ResetHigh() // phase boundary: new window starts at the current value
+	if g.Value() != 5 || g.High() != 5 {
+		t.Fatalf("after ResetHigh: value=%d high=%d", g.Value(), g.High())
+	}
+	g.Add(10)
+	if g.High() != 15 {
+		t.Fatalf("phase-2 high = %d, want 15 (not phase-1's 100)", g.High())
+	}
+	g.Reset()
+	if g.Value() != 0 || g.High() != 0 {
+		t.Fatalf("after Reset: value=%d high=%d", g.Value(), g.High())
+	}
+	var nilG *Gauge
+	nilG.Reset() // must not panic
+	nilG.ResetHigh()
+
+	r := NewRegistry()
+	r.Gauge("a").Set(50)
+	r.Gauge("a").Set(1)
+	r.Gauge("b").Set(9)
+	r.ResetHighs()
+	if r.Gauge("a").High() != 1 || r.Gauge("b").High() != 9 {
+		t.Fatalf("ResetHighs: a=%d b=%d", r.Gauge("a").High(), r.Gauge("b").High())
+	}
+	var nilReg *Registry
+	nilReg.ResetHighs()
 }
 
 func TestRegistryNilAndGetOrCreate(t *testing.T) {

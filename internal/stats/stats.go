@@ -77,6 +77,14 @@ type Counters struct {
 	TunerExplorations  int64 // decisions taken to gather data, not because best
 	TunerExploitations int64 // decisions following the current best estimate
 	TunerRegretNs      int64 // summed latency paid above the best arm's estimate
+
+	// Service-mode QoS (internal/qos wired through the endpoint).
+	QoSAdmitted      int64 // bulk transfers admitted immediately
+	QoSParked        int64 // bulk transfers parked by admission control
+	QoSRejected      int64 // bulk transfers rejected (parking lot full)
+	QoSLaneDeferrals int64 // bulk descriptor batches deferred for window room
+	QoSLaneBypass    int64 // latency-lane posts that bypassed a busy bulk queue
+	LaneBulkDescs    int64 // descriptors posted tagged with the bulk lane
 }
 
 // field pairs a counter's name with a pointer to its value.
@@ -130,6 +138,12 @@ func (c *Counters) fields() []field {
 		{"TunerExplorations", &c.TunerExplorations},
 		{"TunerExploitations", &c.TunerExploitations},
 		{"TunerRegretNs", &c.TunerRegretNs},
+		{"QoSAdmitted", &c.QoSAdmitted},
+		{"QoSParked", &c.QoSParked},
+		{"QoSRejected", &c.QoSRejected},
+		{"QoSLaneDeferrals", &c.QoSLaneDeferrals},
+		{"QoSLaneBypass", &c.QoSLaneBypass},
+		{"LaneBulkDescs", &c.LaneBulkDescs},
 	}
 }
 

@@ -1,0 +1,209 @@
+// Package traffic is a deterministic workload generator for service-mode
+// soaks: seeded mixes of latency-sensitive (eager) and bulk flows, spread
+// over many communicators, with open-loop (timed injection) and closed-loop
+// (completion-paced) arrivals. The same Spec replayed on the simulator
+// backend produces bit-identical traffic — counter snapshots taken after a
+// soak are therefore golden-file material — while on the real-time backend
+// it produces the contention the QoS layer exists to manage, with per-class
+// end-to-end latency recorded into log2 histograms.
+//
+// Flows are generated once from the seed and shared read-only by every
+// rank's process; per-message send timestamps live in a preallocated atomic
+// slot array, so the receiver can compute injection-to-delivery latency on
+// either backend (both clocks are fabric-wide: virtual engine time on sim,
+// wall clock since fabric start on rt).
+package traffic
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/datatype"
+	"repro/internal/mem"
+	"repro/internal/stats"
+)
+
+// Histogram names the Runner observes per-class latency into.
+const (
+	// HistEager is the latency-sensitive class's injection-to-delivery
+	// latency histogram (nanoseconds).
+	HistEager = "traffic/lat_ns/eager"
+	// HistBulk is the bulk class's injection-to-delivery latency histogram.
+	HistBulk = "traffic/lat_ns/bulk"
+)
+
+// Flow is one unidirectional message stream: Count messages of Bytes payload
+// from Src to Dst (world ranks) on communicator index Comm, tagged with the
+// flow's ID (unique per Spec, so distinct flows between the same pair never
+// cross-match).
+type Flow struct {
+	ID   int // unique; doubles as the MPI tag
+	Src  int // sending world rank
+	Dst  int // receiving world rank (never == Src)
+	Comm int // communicator index: 0 = world, 1.. = duplicates
+
+	Count int   // messages in the flow
+	Bytes int64 // payload bytes per message (rounded to the datatype grid)
+
+	// Bulk selects the payload shape and traffic class: bulk flows send a
+	// non-contiguous vector datatype sized for the rendezvous path, eager
+	// flows a small contiguous buffer under the eager threshold.
+	Bulk bool
+
+	// Closed paces the flow by completion: message k+1 is posted only after
+	// message k's send request completes. Open-loop flows inject on a timer
+	// regardless of completions, which is what builds queue depth.
+	Closed bool
+
+	// GapNs is the open-loop inter-injection gap (ignored when Closed).
+	GapNs int64
+
+	// Stamp gives every message its own send buffer and invokes the
+	// Runner's OnSend hook before posting, so tests can write per-message
+	// sequence payloads even with several messages of one flow in flight.
+	Stamp bool
+
+	// Warmup excludes the first Warmup messages of the flow from the
+	// latency histograms. They still run (and still invoke OnRecv); only
+	// the measurement is skipped. Benchmarks use this to discard one-time
+	// startup costs — first-touch buffer registration, rendezvous layout
+	// flattening — that would otherwise dominate the tail.
+	Warmup int
+}
+
+// Spec is a seeded workload mix. Flows() expands it deterministically.
+type Spec struct {
+	Seed  int64
+	Ranks int
+	Comms int // communicators to spread flows over (min 1)
+
+	EagerFlows int   // latency-sensitive flow count
+	BulkFlows  int   // bulk flow count
+	Msgs       int   // messages per flow
+	EagerBytes int64 // eager payload size (kept under the eager threshold)
+	BulkBytes  int64 // bulk payload size (at or above the bulk threshold)
+
+	// ClosedFrac is the fraction of flows paced closed-loop; the rest are
+	// open-loop with GapNs spacing.
+	ClosedFrac float64
+	GapNs      int64
+
+	// Explicit, when non-nil, is used verbatim instead of seeded expansion.
+	Explicit []Flow
+}
+
+// DefaultSpec is a small mixed soak: 8 ranks, 3 communicators, short eager
+// messages under bulk vector traffic.
+func DefaultSpec() Spec {
+	return Spec{
+		Seed:       1,
+		Ranks:      8,
+		Comms:      3,
+		EagerFlows: 12,
+		BulkFlows:  6,
+		Msgs:       8,
+		EagerBytes: 2 << 10,
+		BulkBytes:  256 << 10,
+		ClosedFrac: 0.5,
+		GapNs:      50_000,
+	}
+}
+
+// Flows expands the spec into its deterministic flow list. The same Spec
+// always yields the same flows, independent of backend or host.
+func (s Spec) Flows() []Flow {
+	if s.Explicit != nil {
+		return s.Explicit
+	}
+	if s.Ranks < 2 {
+		panic(fmt.Sprintf("traffic: %d ranks (need at least 2)", s.Ranks))
+	}
+	comms := s.Comms
+	if comms < 1 {
+		comms = 1
+	}
+	rng := rand.New(rand.NewSource(s.Seed))
+	flows := make([]Flow, 0, s.EagerFlows+s.BulkFlows)
+	add := func(bulk bool, bytes int64) {
+		src := rng.Intn(s.Ranks)
+		dst := (src + 1 + rng.Intn(s.Ranks-1)) % s.Ranks
+		flows = append(flows, Flow{
+			ID:     len(flows),
+			Src:    src,
+			Dst:    dst,
+			Comm:   rng.Intn(comms),
+			Count:  s.Msgs,
+			Bytes:  bytes,
+			Bulk:   bulk,
+			Closed: rng.Float64() < s.ClosedFrac,
+			GapNs:  s.GapNs,
+		})
+	}
+	for i := 0; i < s.EagerFlows; i++ {
+		add(false, s.EagerBytes)
+	}
+	for i := 0; i < s.BulkFlows; i++ {
+		add(true, s.BulkBytes)
+	}
+	return flows
+}
+
+// Bulk vector geometry: 16-int32 blocks (64 B) on a 32-int32 stride, the
+// half-dense layout the paper's vector benchmarks use.
+const (
+	vecBlock  = 16
+	vecStride = 32
+)
+
+// shape resolves a flow's datatype, count, and buffer extent.
+func shape(f Flow) (dt *datatype.Type, count int, extent int64) {
+	if !f.Bulk {
+		n := int(f.Bytes / 4)
+		if n < 1 {
+			n = 1
+		}
+		return datatype.Int32, n, int64(n) * 4
+	}
+	rows := int(f.Bytes / (vecBlock * 4))
+	if rows < 1 {
+		rows = 1
+	}
+	dt = datatype.Must(datatype.TypeVector(rows, vecBlock, vecStride, datatype.Int32))
+	extent = (int64(rows-1)*vecStride + vecBlock) * 4
+	return dt, 1, extent
+}
+
+// Payload reports the exact bytes flow f moves per message after rounding
+// to its datatype grid.
+func (f Flow) Payload() int64 {
+	if !f.Bulk {
+		_, n, _ := shape(f)
+		return int64(n) * 4
+	}
+	rows := int(f.Bytes / (vecBlock * 4))
+	if rows < 1 {
+		rows = 1
+	}
+	return int64(rows) * vecBlock * 4
+}
+
+// fill writes a deterministic per-flow byte pattern over a buffer region.
+func fill(m *mem.Memory, a mem.Addr, n int64, seed int) {
+	b := m.Bytes(a, n)
+	for i := range b {
+		b[i] = byte(seed + i)
+	}
+}
+
+// BucketDump is a histogram snapshot in golden-file-friendly form.
+type BucketDump struct {
+	N      int64   `json:"n"`
+	Edges  []int64 `json:"edges,omitempty"`
+	Counts []int64 `json:"counts,omitempty"`
+}
+
+// DumpHistogram snapshots a histogram's log2 buckets.
+func DumpHistogram(h *stats.Histogram) BucketDump {
+	edges, counts := h.Buckets()
+	return BucketDump{N: h.Count(), Edges: edges, Counts: counts}
+}

@@ -85,6 +85,11 @@ type SendWR struct {
 
 	// Imm is delivered to the remote CQ for OpSend and OpRDMAWriteImm.
 	Imm uint32
+
+	// Lane is an advisory traffic class (internal/qos.Lane), mirroring an
+	// InfiniBand service level: 0 latency-sensitive, 1 bulk. Scheduling
+	// happens above the verbs boundary — the fabric only accounts it.
+	Lane uint8
 }
 
 // RecvWR is a receive-queue work request: a pure credit. Channel-semantics
