@@ -8,9 +8,9 @@ GO ?= go
 # just these under the race detector for a fast concurrency gate.
 RACE_PKGS = ./internal/core/ ./internal/mpi/ ./internal/rtfab/ ./internal/stats/ ./internal/trace/ ./internal/traffic/
 
-.PHONY: check fmt vet build test race conformance fault-soak bench bench-backends tune tune-guard doclint par par-guard compile compile-guard qos soak soak-guard
+.PHONY: check fmt vet build test race conformance fault-soak bench bench-backends tune tune-guard doclint par par-guard compile compile-guard qos soak soak-guard scale scale-guard
 
-check: fmt vet build test doclint tune-guard par-guard compile-guard soak-guard
+check: fmt vet build test doclint tune-guard par-guard compile-guard soak-guard scale-guard
 
 # Fails (and lists the offenders) if any file is not gofmt-clean.
 fmt:
@@ -99,6 +99,19 @@ soak:
 # so the checked-in SOAK_traffic.json must regenerate byte-identically.
 soak-guard:
 	@$(GO) run ./cmd/dtbench -soak-guard
+
+# World-size scale sweep -> BENCH_scale.json: alltoall (scheme x layout up
+# to 256 ranks), the 2-D halo exchange up to 1024 ranks, and the 1024-rank
+# eager alltoall matching-stress row (a million messages through one world).
+# The rt rows are small-world wall-clock spot-checks of the real-time fabric.
+scale:
+	$(GO) run ./cmd/dtbench -scale both
+
+# CI-style guard: the sweep's sim rows run on virtual time, so the
+# checked-in BENCH_scale.json must regenerate them byte-identically.
+# (rt rows are exempt: they are wall-clock measurements.)
+scale-guard:
+	@$(GO) run ./cmd/dtbench -scale-guard
 
 # Wall-clock scheme bandwidth/latency on both backends -> BENCH_backends.json.
 bench-backends:

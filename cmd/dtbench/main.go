@@ -33,6 +33,9 @@ func main() {
 	parallel := flag.String("parallel", "", `parallel segment-engine sweep: "sim", "rt", or "both" -> BENCH_parallel.json`)
 	parallelOut := flag.String("parallel-out", "BENCH_parallel.json", "output path for the -parallel sweep")
 	parallelGuard := flag.Bool("parallel-guard", false, "regenerate the -parallel sim rows and verify them against -parallel-out")
+	scale := flag.String("scale", "", `world-size scale sweep: "sim", "rt", or "both" -> BENCH_scale.json`)
+	scaleOut := flag.String("scale-out", "BENCH_scale.json", "output path for the -scale sweep")
+	scaleGuard := flag.Bool("scale-guard", false, "regenerate the -scale sim rows and verify them against -scale-out")
 	traceOut := flag.String("trace", "", "with -backend: write Chrome trace-event JSON (chrome://tracing, Perfetto) here and print per-scheme histograms")
 	tunerRun := flag.Bool("tuner", false, "run the adversarial adaptive-tuner sweep -> BENCH_tuner.json")
 	tunerMsgs := flag.Int("tuner-msgs", 160, "messages per mode in the -tuner sweep")
@@ -150,6 +153,38 @@ func main() {
 		}
 		fmt.Print(exper.CompileTable(rows))
 		fmt.Printf("wrote %s\n", *compileOut)
+		return
+	}
+	if *scaleGuard {
+		committed, err := os.ReadFile(*scaleOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dtbench:", err)
+			os.Exit(1)
+		}
+		if err := exper.ScaleGuard(committed); err != nil {
+			fmt.Fprintln(os.Stderr, "dtbench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("scale guard: sim rows of %s reproduce byte-for-byte\n", *scaleOut)
+		return
+	}
+	if *scale != "" {
+		rows, err := exper.ScaleSweep(backendList(*scale))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dtbench:", err)
+			os.Exit(1)
+		}
+		doc, err := exper.ScaleJSON(rows)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dtbench:", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*scaleOut, append(doc, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "dtbench:", err)
+			os.Exit(1)
+		}
+		fmt.Print(exper.ScaleTable(rows))
+		fmt.Printf("wrote %s\n", *scaleOut)
 		return
 	}
 	if *parallelGuard {

@@ -52,6 +52,7 @@ type Request struct {
 	ctxWant int
 	srcWant int
 	tagWant int
+	seq     uint64 // post-order stamp within the matching index
 }
 
 // Done reports whether the request has completed.
@@ -119,6 +120,7 @@ type inbound struct {
 	sAvg    int64  // sender's average run length (RTS, for Auto)
 	sContig bool   // sender layout contiguous (RTS)
 	failed  bool   // sender aborted this RTS before it was matched
+	claimed bool   // matched and removed; tombstone in the arrival-order list
 }
 
 // Endpoint is one rank's datatype communication engine. All methods must be
@@ -146,10 +148,10 @@ type Endpoint struct {
 	userReg    *mem.RegCache
 	stagingReg *mem.RegCache
 
-	postedRecvs []*Request
-	unexpected  []*inbound
-	arrivalSig  simtime.Signal // broadcast when an unexpected message queues
-	reqSig      simtime.Signal // broadcast whenever any request completes
+	recvQ      recvIndex      // posted receives, indexed per (ctx, src, tag)
+	unexp      unexpIndex     // unexpected arrivals, indexed per (ctx, src, tag)
+	arrivalSig simtime.Signal // broadcast when an unexpected message queues
+	reqSig     simtime.Signal // broadcast whenever any request completes
 
 	nextOp  uint32
 	sendOps map[uint32]*sendOp
@@ -161,7 +163,7 @@ type Endpoint struct {
 	// cannot let a later message's announce overtake it on the wire — the
 	// receiver matches announces in arrival order, so announce order IS
 	// MPI's non-overtaking guarantee.
-	annQ map[int][]*annSlot
+	annQ map[int]*annQueue
 
 	// Service mode (cfg.QoS != nil): lanes arbitrates bulk descriptor
 	// posting per peer, gate parks whole bulk transfers under resource
@@ -196,12 +198,14 @@ func NewEndpoint(rank int, hca verbs.HCA, cfg Config) (*Endpoint, error) {
 		ctr:       hca.Counters(),
 		sendOps:   make(map[uint32]*sendOp),
 		recvOps:   make(map[opKey]*recvOp),
-		annQ:      make(map[int][]*annSlot),
+		annQ:      make(map[int]*annQueue),
 		onSendCQE: make(map[uint64]func(verbs.CQE)),
 		types:     newTypeRegistry(),
 		layouts:   newLayoutCache(),
 		progs:     newProgramCache(),
 	}
+	ep.recvQ.init()
+	ep.unexp.init()
 	ep.sendCQ = hca.NewCQ()
 	ep.recvCQ = hca.NewCQ()
 	ep.sendCQ.SetHandler(ep.handleSendCQE)
@@ -246,6 +250,7 @@ func ConnectPeers(eps []*Endpoint) {
 			ep.qps = make([]verbs.QP, n)
 		}
 	}
+	credits := creditsFor(n)
 	for i := 0; i < n; i++ {
 		for j := i + 1; j < n; j++ {
 			a, b := eps[i], eps[j]
@@ -254,7 +259,7 @@ func ConnectPeers(eps []*Endpoint) {
 			qb.SetUserData(i)
 			a.qps[j] = qa
 			b.qps[i] = qb
-			for k := 0; k < initialCredits; k++ {
+			for k := 0; k < credits; k++ {
 				qa.PostRecv(verbs.RecvWR{})
 				qb.PostRecv(verbs.RecvWR{})
 			}
@@ -321,8 +326,13 @@ type annSlot struct {
 // synchronously at Isend time, before any virtual-time deferral, so the
 // slot order equals the MPI posting order.
 func (ep *Endpoint) reserveAnnounce(dst int) *annSlot {
+	q := ep.annQ[dst]
+	if q == nil {
+		q = &annQueue{}
+		ep.annQ[dst] = q
+	}
 	s := &annSlot{}
-	ep.annQ[dst] = append(ep.annQ[dst], s)
+	q.s = append(q.s, s)
 	return s
 }
 
@@ -330,15 +340,25 @@ func (ep *Endpoint) reserveAnnounce(dst int) *annSlot {
 // an op that died before announcing) and drains the queue head while it is
 // ready. An announce delayed by registration backoff thus blocks every
 // later announce to the same peer instead of being overtaken by one.
+// Drained slots are nilled out immediately — their post closures capture
+// packed payloads — and the backing array is released once fully drained,
+// so the queue retains nothing for completed announces.
 func (ep *Endpoint) announceReady(dst int, s *annSlot, fn func()) {
 	s.ready, s.fn = true, fn
-	for {
-		q := ep.annQ[dst]
-		if len(q) == 0 || !q[0].ready {
-			return
+	q := ep.annQ[dst]
+	for q.head < len(q.s) && q.s[q.head].ready {
+		slot := q.s[q.head]
+		q.s[q.head] = nil
+		q.head++
+		slot.fn()
+	}
+	if q.head == len(q.s) {
+		if cap(q.s) > 256 {
+			q.s = nil
+		} else {
+			q.s = q.s[:0]
 		}
-		ep.annQ[dst] = q[1:]
-		q[0].fn()
+		q.head = 0
 	}
 }
 
@@ -437,14 +457,11 @@ func (ep *Endpoint) IrecvCtx(ctx int, buf mem.Addr, count int, dt *datatype.Type
 		ep: ep, isRecv: true,
 		buf: buf, count: count, dt: dt, ctxWant: ctx, srcWant: src, tagWant: tag,
 	}
-	for i, inb := range ep.unexpected {
-		if matchWanted(ctx, src, tag, inb.ctx, inb.src, inb.tag) {
-			ep.unexpected = append(ep.unexpected[:i], ep.unexpected[i+1:]...)
-			ep.deliver(inb, req)
-			return req
-		}
+	if inb := ep.unexp.take(ctx, src, tag); inb != nil {
+		ep.deliver(inb, req)
+		return req
 	}
-	ep.postedRecvs = append(ep.postedRecvs, req)
+	ep.recvQ.post(req)
 	return req
 }
 
@@ -472,13 +489,7 @@ func matchWanted(wantCtx, wantSrc, wantTag, ctx, src, tag int) bool {
 // matchPosted finds and removes the first posted receive matching
 // (ctx, src, tag).
 func (ep *Endpoint) matchPosted(ctx, src, tag int) *Request {
-	for i, r := range ep.postedRecvs {
-		if matchWanted(r.ctxWant, r.srcWant, r.tagWant, ctx, src, tag) {
-			ep.postedRecvs = append(ep.postedRecvs[:i], ep.postedRecvs[i+1:]...)
-			return r
-		}
-	}
-	return nil
+	return ep.recvQ.match(ctx, src, tag)
 }
 
 // deliver routes a matched inbound message to its receive request.
@@ -581,7 +592,7 @@ func (ep *Endpoint) handleCtrl(src int, data []byte) {
 		// message buffer; charge that staging copy.
 		atomic.AddInt64(&ep.ctr.BytesStaged, size)
 		ep.hca.ChargeCPU(ep.model.CopyTime(size, 1))
-		ep.unexpected = append(ep.unexpected, inb)
+		ep.unexp.add(inb)
 		ep.arrivalSig.Broadcast()
 	case kindRTS:
 		inb := &inbound{kind: kindRTS, src: src}
@@ -598,7 +609,7 @@ func (ep *Endpoint) handleCtrl(src int, data []byte) {
 			ep.rndvMatched(inb, req)
 			return
 		}
-		ep.unexpected = append(ep.unexpected, inb)
+		ep.unexp.add(inb)
 		ep.arrivalSig.Broadcast()
 	case kindCTS:
 		ep.handleCTS(src, r)
@@ -670,7 +681,7 @@ func (ep *Endpoint) selfSend(req *Request, ctx int, buf mem.Addr, count int, dt 
 			ep.eagerDeliver(inb, r)
 			return
 		}
-		ep.unexpected = append(ep.unexpected, inb)
+		ep.unexp.add(inb)
 		ep.arrivalSig.Broadcast()
 	})
 }
@@ -679,7 +690,7 @@ func (ep *Endpoint) selfSend(req *Request, ctx int, buf mem.Addr, count int, dt 
 func (ep *Endpoint) DebugState() string {
 	return fmt.Sprintf(
 		"rank %d: sendOps=%d recvOps=%d posted=%d unexpected=%d packPool(free=%d/%d waiters=%d) unpackPool(free=%d/%d waiters=%d) cqCallbacks=%d",
-		ep.rank, len(ep.sendOps), len(ep.recvOps), len(ep.postedRecvs), len(ep.unexpected),
+		ep.rank, len(ep.sendOps), len(ep.recvOps), ep.recvQ.len(), ep.unexp.len(),
 		ep.packPool.available(), ep.packPool.totalSlots(), ep.packPool.pendingWaiters(),
 		ep.unpackPool.available(), ep.unpackPool.totalSlots(), ep.unpackPool.pendingWaiters(),
 		len(ep.onSendCQE))
@@ -715,10 +726,8 @@ func (ep *Endpoint) Iprobe(src, tag int) (Status, bool) {
 
 // IprobeCtx is Iprobe within an explicit communicator context.
 func (ep *Endpoint) IprobeCtx(ctx, src, tag int) (Status, bool) {
-	for _, inb := range ep.unexpected {
-		if matchWanted(ctx, src, tag, inb.ctx, inb.src, inb.tag) {
-			return Status{Source: inb.src, Tag: inb.tag, Bytes: inb.size}, true
-		}
+	if inb, ok := ep.unexp.peek(ctx, src, tag); ok {
+		return Status{Source: inb.src, Tag: inb.tag, Bytes: inb.size}, true
 	}
 	return Status{}, false
 }

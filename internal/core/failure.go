@@ -257,12 +257,13 @@ func (ep *Endpoint) handleSendFail(src int, r *ctrlReader) {
 	}
 	// Not matched yet: mark the queued RTS dead. It stays matchable so a
 	// receive posted later fails promptly instead of waiting forever.
-	for _, inb := range ep.unexpected {
+	ep.unexp.each(func(inb *inbound) bool {
 		if inb.kind == kindRTS && inb.src == src && inb.opID == id {
 			inb.failed = true
-			return
+			return false
 		}
-	}
+		return true
+	})
 }
 
 // handleRecvFail processes a receiver's abort notice: fail the sender-side

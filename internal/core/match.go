@@ -1,0 +1,311 @@
+package core
+
+// Indexed message matching.
+//
+// The original engine kept posted receives and unexpected arrivals in flat
+// slices and matched them with linear scans. That is O(messages × peers)
+// during an Alltoall: every arrival walks past every other peer's posted
+// receive before finding its own. The structures here index both sides per
+// (ctx, src, tag) so the common exact-match path is O(1), while wildcard
+// receives (AnySource / AnyTag) keep their original first-posted /
+// first-arrived semantics through an ordered side list.
+//
+// Ordering invariant exploited throughout: every entry sharing one exact
+// (ctx, src, tag) key also matches exactly the same set of wildcard
+// patterns. So the globally earliest entry that matches any pattern is
+// always the HEAD of its exact FIFO queue — removal is pop-front only,
+// never mid-queue surgery. Code below panics if that invariant is ever
+// violated rather than silently reordering.
+
+// matchKey identifies one exact matching bucket.
+type matchKey struct {
+	ctx, src, tag int
+}
+
+// --- Posted-receive index ---------------------------------------------------
+
+// reqQueue is a head-indexed FIFO of posted receives sharing one exact key.
+// Popping advances head; the backing array compacts lazily so a long-lived
+// bucket does not pin every request it ever held.
+type reqQueue struct {
+	s    []*Request
+	head int
+}
+
+func (q *reqQueue) push(r *Request) { q.s = append(q.s, r) }
+
+func (q *reqQueue) peek() *Request {
+	if q.head == len(q.s) {
+		return nil
+	}
+	return q.s[q.head]
+}
+
+func (q *reqQueue) pop() *Request {
+	r := q.s[q.head]
+	q.s[q.head] = nil
+	q.head++
+	if q.head > 32 && q.head*2 >= len(q.s) {
+		q.s = append(q.s[:0], q.s[q.head:]...)
+		q.head = 0
+	}
+	return r
+}
+
+func (q *reqQueue) empty() bool { return q.head == len(q.s) }
+
+// recvIndex holds posted receives: exact receives bucketed per
+// (ctx, src, tag), wildcard receives (AnySource and/or AnyTag) in a small
+// ordered side list. seq stamps give a total post order across both.
+type recvIndex struct {
+	exact map[matchKey]*reqQueue
+	wild  []*Request
+	seq   uint64
+	n     int
+}
+
+func (ri *recvIndex) init() { ri.exact = make(map[matchKey]*reqQueue) }
+
+func (ri *recvIndex) len() int { return ri.n }
+
+// post adds a receive in posting order.
+func (ri *recvIndex) post(r *Request) {
+	ri.seq++
+	r.seq = ri.seq
+	ri.n++
+	if r.srcWant == AnySource || r.tagWant == AnyTag {
+		ri.wild = append(ri.wild, r)
+		return
+	}
+	k := matchKey{ctx: r.ctxWant, src: r.srcWant, tag: r.tagWant}
+	q := ri.exact[k]
+	if q == nil {
+		q = &reqQueue{}
+		ri.exact[k] = q
+	}
+	q.push(r)
+}
+
+// match finds and removes the earliest-posted receive matching the arrival
+// (ctx, src, tag). The exact bucket gives its candidate in O(1); the
+// wildcard list is scanned in post order (wildcard receives are rare on the
+// collective hot path, and a flat scan there preserves exact MPI
+// first-posted semantics).
+func (ri *recvIndex) match(ctx, src, tag int) *Request {
+	k := matchKey{ctx: ctx, src: src, tag: tag}
+	q := ri.exact[k]
+	var exact *Request
+	if q != nil {
+		exact = q.peek()
+	}
+	wildIdx := -1
+	for i, r := range ri.wild {
+		if matchWanted(r.ctxWant, r.srcWant, r.tagWant, ctx, src, tag) {
+			wildIdx = i
+			break
+		}
+	}
+	switch {
+	case exact == nil && wildIdx < 0:
+		return nil
+	case exact != nil && (wildIdx < 0 || exact.seq < ri.wild[wildIdx].seq):
+		r := q.pop()
+		if q.empty() {
+			delete(ri.exact, k)
+		}
+		ri.n--
+		return r
+	default:
+		r := ri.wild[wildIdx]
+		copy(ri.wild[wildIdx:], ri.wild[wildIdx+1:])
+		ri.wild[len(ri.wild)-1] = nil
+		ri.wild = ri.wild[:len(ri.wild)-1]
+		ri.n--
+		return r
+	}
+}
+
+// --- Unexpected-arrival index -----------------------------------------------
+
+// inbQueue is a head-indexed FIFO of unexpected arrivals sharing one exact
+// key.
+type inbQueue struct {
+	s    []*inbound
+	head int
+}
+
+func (q *inbQueue) push(inb *inbound) { q.s = append(q.s, inb) }
+
+func (q *inbQueue) peek() *inbound {
+	if q.head == len(q.s) {
+		return nil
+	}
+	return q.s[q.head]
+}
+
+func (q *inbQueue) pop() *inbound {
+	inb := q.s[q.head]
+	q.s[q.head] = nil
+	q.head++
+	if q.head > 32 && q.head*2 >= len(q.s) {
+		q.s = append(q.s[:0], q.s[q.head:]...)
+		q.head = 0
+	}
+	return inb
+}
+
+func (q *inbQueue) empty() bool { return q.head == len(q.s) }
+
+// unexpIndex holds unexpected arrivals: exact buckets per (ctx, src, tag)
+// for O(1) claiming by exact receives, plus a global arrival-order list for
+// wildcard receives and probes. A claimed arrival becomes a tombstone in
+// the order list and is swept out lazily.
+type unexpIndex struct {
+	exact   map[matchKey]*inbQueue
+	order   []*inbound
+	claimed int
+}
+
+func (ui *unexpIndex) init() { ui.exact = make(map[matchKey]*inbQueue) }
+
+func (ui *unexpIndex) len() int { return len(ui.order) - ui.claimed }
+
+// add records a new arrival in arrival order.
+func (ui *unexpIndex) add(inb *inbound) {
+	ui.order = append(ui.order, inb)
+	k := matchKey{ctx: inb.ctx, src: inb.src, tag: inb.tag}
+	q := ui.exact[k]
+	if q == nil {
+		q = &inbQueue{}
+		ui.exact[k] = q
+	}
+	q.push(inb)
+}
+
+// take finds and removes the earliest arrival matching a receive's wants
+// (wildcards allowed). Exact wants claim the bucket head in O(1); wildcard
+// wants scan arrival order, skipping tombstones.
+func (ui *unexpIndex) take(ctx, src, tag int) *inbound {
+	if src != AnySource && tag != AnyTag {
+		k := matchKey{ctx: ctx, src: src, tag: tag}
+		q := ui.exact[k]
+		if q == nil {
+			return nil
+		}
+		inb := q.pop()
+		if q.empty() {
+			delete(ui.exact, k)
+		}
+		ui.tombstone(inb)
+		return inb
+	}
+	for _, inb := range ui.order {
+		if inb.claimed {
+			continue
+		}
+		if matchWanted(ctx, src, tag, inb.ctx, inb.src, inb.tag) {
+			ui.popExact(inb)
+			ui.tombstone(inb)
+			return inb
+		}
+	}
+	return nil
+}
+
+// peek reports the earliest matching arrival without removing it (probe).
+func (ui *unexpIndex) peek(ctx, src, tag int) (*inbound, bool) {
+	if src != AnySource && tag != AnyTag {
+		q := ui.exact[matchKey{ctx: ctx, src: src, tag: tag}]
+		if q == nil {
+			return nil, false
+		}
+		if inb := q.peek(); inb != nil {
+			return inb, true
+		}
+		return nil, false
+	}
+	for _, inb := range ui.order {
+		if inb.claimed {
+			continue
+		}
+		if matchWanted(ctx, src, tag, inb.ctx, inb.src, inb.tag) {
+			return inb, true
+		}
+	}
+	return nil, false
+}
+
+// each visits every unclaimed arrival in arrival order until fn returns
+// false (failure-notice path; not performance sensitive).
+func (ui *unexpIndex) each(fn func(*inbound) bool) {
+	for _, inb := range ui.order {
+		if inb.claimed {
+			continue
+		}
+		if !fn(inb) {
+			return
+		}
+	}
+}
+
+// popExact removes an arrival claimed through an order scan from its exact
+// bucket. By the ordering invariant it must be the bucket head: any earlier
+// same-key arrival would have matched the same wildcard first.
+func (ui *unexpIndex) popExact(inb *inbound) {
+	k := matchKey{ctx: inb.ctx, src: inb.src, tag: inb.tag}
+	q := ui.exact[k]
+	if q == nil || q.peek() != inb {
+		panic("core: matching invariant violated: claimed arrival is not its bucket head")
+	}
+	q.pop()
+	if q.empty() {
+		delete(ui.exact, k)
+	}
+}
+
+// tombstone marks an arrival claimed in the order list and sweeps
+// tombstones once they dominate it.
+func (ui *unexpIndex) tombstone(inb *inbound) {
+	inb.claimed = true
+	ui.claimed++
+	if ui.claimed > 64 && ui.claimed*2 >= len(ui.order) {
+		live := ui.order[:0]
+		for _, e := range ui.order {
+			if !e.claimed {
+				live = append(live, e)
+			}
+		}
+		for i := len(live); i < len(ui.order); i++ {
+			ui.order[i] = nil
+		}
+		ui.order = live
+		ui.claimed = 0
+	}
+}
+
+// --- Announce queue ----------------------------------------------------------
+
+// annQueue is the per-destination announce order. Slots are reserved at
+// Isend time and drained strictly FIFO; a drained slot is nilled out
+// immediately so its closure (which captures the packed payload) is
+// collectable — the queue no longer retains every announce ever posted.
+type annQueue struct {
+	s    []*annSlot
+	head int
+}
+
+// creditsFor returns the receive credits pre-posted per QP for an n-rank
+// world. Small worlds keep the historical deep credit pool (preserving
+// sim-time goldens); large worlds get a per-peer budget so an endpoint's
+// total posted receive WRs stay O(n), not O(n · 1024). Exhausted credits
+// are safe: arrivals stall in the QP and drain as credits replenish.
+func creditsFor(n int) int {
+	if n <= 32 {
+		return initialCredits
+	}
+	c := 8192 / n
+	if c < 8 {
+		c = 8
+	}
+	return c
+}

@@ -1,0 +1,35 @@
+//go:build linux || darwin
+
+package mem
+
+import "syscall"
+
+// lazyThreshold is the arena size above which backing memory comes from an
+// anonymous mapping instead of the Go heap. Heap slices are zeroed eagerly
+// at allocation — a 1024-rank world of 32 MB arenas would spend tens of
+// seconds clearing memory nobody ever touches — while mapped pages fault in
+// zeroed on first access, so an idle rank's arena costs nothing.
+const lazyThreshold = 16 << 20
+
+// newBacking returns a zeroed address space of the given size. The second
+// result is the mapping to hand back to releaseBacking when the owning
+// Memory is collected, or nil when the space came from the Go heap.
+func newBacking(size int64) ([]byte, []byte) {
+	if size < lazyThreshold {
+		return make([]byte, size), nil
+	}
+	b, err := syscall.Mmap(-1, 0, int(size),
+		syscall.PROT_READ|syscall.PROT_WRITE,
+		syscall.MAP_ANON|syscall.MAP_PRIVATE)
+	if err != nil {
+		// Address space pressure or a locked-down environment: fall back to
+		// the eager heap slice, which is always correct.
+		return make([]byte, size), nil
+	}
+	return b, b
+}
+
+// releaseBacking returns an anonymous mapping to the OS.
+func releaseBacking(mapped []byte) {
+	_ = syscall.Munmap(mapped)
+}

@@ -16,6 +16,7 @@ package mem
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 )
 
@@ -51,24 +52,31 @@ type span struct {
 // Memory is one node's simulated address space. It is not goroutine-safe;
 // the single-threaded simulation engine serializes all access.
 type Memory struct {
-	name  string
-	data  []byte
-	free  []span // sorted by offset, coalesced
-	inUse map[Addr]int64
-	reg   *RegTable
+	name   string
+	data   []byte
+	mapped []byte // non-nil when data is an anonymous mapping (backing_mmap.go)
+	free   []span // sorted by offset, coalesced
+	inUse  map[Addr]int64
+	reg    *RegTable
 }
 
 // NewMemory creates an address space of the given size in bytes. The first
-// page is kept unusable so that Addr(0) can serve as a nil address.
+// page is kept unusable so that Addr(0) can serve as a nil address. Large
+// spaces are backed lazily where the platform allows: pages materialize on
+// first touch, so a big world of mostly-idle arenas costs what it uses, not
+// what it reserves.
 func NewMemory(name string, size int64) *Memory {
 	if size < 2*PageSize {
 		size = 2 * PageSize
 	}
 	m := &Memory{
 		name:  name,
-		data:  make([]byte, size),
 		free:  []span{{off: PageSize, len: size - PageSize}},
 		inUse: make(map[Addr]int64),
+	}
+	m.data, m.mapped = newBacking(size)
+	if m.mapped != nil {
+		runtime.SetFinalizer(m, func(mm *Memory) { releaseBacking(mm.mapped) })
 	}
 	m.reg = newRegTable(m)
 	return m

@@ -1,0 +1,32 @@
+package mpi
+
+// World-size-aware resource budgets. DefaultConfig carries the paper's
+// 2-to-8-rank parameters — a 256 MB arena and two 20 MB staging pools per
+// rank — which multiply into hundreds of gigabytes of simulated memory at
+// 1024 ranks. ScaledConfig keeps per-rank budgets O(1) per peer: pools
+// shrink as worlds grow (per-rank staging concurrency does not grow with
+// world size — the NIC serializes the wire either way), and arenas shrink to
+// what scale workloads actually touch.
+
+// ScaledConfig returns a Config for an n-rank world whose per-rank memory
+// and pool budgets scale to large worlds. Small worlds (n <= 16) are exactly
+// DefaultConfig with the rank count applied, so existing sweeps and goldens
+// are unaffected.
+func ScaledConfig(ranks int) Config {
+	cfg := DefaultConfig()
+	cfg.Ranks = ranks
+	switch {
+	case ranks <= 16:
+		// The paper's regime: keep its parameters bit-for-bit.
+	case ranks <= 64:
+		cfg.MemBytes = 128 << 20
+		cfg.Core.PoolSize = 8 << 20
+	case ranks <= 256:
+		cfg.MemBytes = 64 << 20
+		cfg.Core.PoolSize = 4 << 20
+	default:
+		cfg.MemBytes = 32 << 20
+		cfg.Core.PoolSize = 2 << 20
+	}
+	return cfg
+}

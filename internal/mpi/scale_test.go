@@ -1,0 +1,284 @@
+package mpi
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/datatype"
+	"repro/internal/simtime"
+)
+
+// Scale-out conformance: collectives at 64–256 ranks on the simulator,
+// checked against a naive per-peer oracle every rank computes locally from
+// the deterministic fill pattern. These worlds are where the indexed
+// matching, credit scaling, and ScaledConfig budgets earn their keep — a
+// 256-rank Alltoall posts 65k messages through one endpoint set.
+
+// scaleShapes is the shape matrix for the scale runs: one truly
+// non-contiguous vector, one irregular indexed layout, and one contiguous
+// control, all with equal type sizes irrelevant (each test derives block
+// sizes from the type it uses).
+func scaleShapes() []struct {
+	name string
+	dt   *datatype.Type
+} {
+	vec := datatype.Must(datatype.TypeVector(32, 8, 24, datatype.Int32))                                 // 1 KB / count, sparse
+	idx := datatype.Must(datatype.TypeIndexed([]int{5, 3, 11, 13}, []int{0, 9, 14, 40}, datatype.Int32)) // 128 B / count
+	ctg := datatype.Must(datatype.TypeContiguous(256, datatype.Int32))                                   // 1 KB / count
+	return []struct {
+		name string
+		dt   *datatype.Type
+	}{{"vector", vec}, {"indexed", idx}, {"contig", ctg}}
+}
+
+// scaleConfig builds an n-rank sim world from the scaled budgets, with the
+// eager threshold lowered so the per-block payloads of these tests travel
+// through the rendezvous schemes rather than all fitting in eager.
+func scaleConfig(n int, scheme core.Scheme) Config {
+	cfg := ScaledConfig(n)
+	cfg.Core.Scheme = scheme
+	cfg.Core.EagerThreshold = 1 << 10
+	return cfg
+}
+
+// expectedStream reproduces rank r's packed send stream of totalBytes bytes
+// (the fill() pattern), so any receiver can derive any sender's payload
+// without communication.
+func expectedStream(r int, totalBytes int64) []byte {
+	data := make([]byte, totalBytes)
+	seed := byte(r)
+	for i := range data {
+		data[i] = seed ^ byte(i*29+3)
+	}
+	return data
+}
+
+func TestAlltoallAtScaleMatchesOracle(t *testing.T) {
+	// 64 ranks: the full shape matrix, with the above-threshold shapes
+	// routed through rendezvous. The 256-rank end of the range is covered
+	// by TestAllgatherAtScaleMatchesOracle's eager run — a 256-rank
+	// rendezvous exchange under the race detector costs minutes of shadow
+	// bookkeeping for no additional matching coverage (the non-race scale
+	// sweep, `make scale-guard`, pins 256-rank rendezvous alltoall rows).
+	cases := []struct {
+		ranks  int
+		scount int
+	}{{64, 2}}
+	for _, tc := range cases {
+		for _, sh := range scaleShapes() {
+			t.Run(fmt.Sprintf("n=%d/%s", tc.ranks, sh.name), func(t *testing.T) {
+				n, scount := tc.ranks, tc.scount
+				blockBytes := sh.dt.Size() * int64(scount)
+				w, err := NewWorld(scaleConfig(n, core.SchemeBCSPUP))
+				if err != nil {
+					t.Fatal(err)
+				}
+				err = w.Run(func(p *Proc) error {
+					sbuf := allocFor(p, sh.dt, n*scount)
+					rbuf := allocFor(p, sh.dt, n*scount)
+					fill(p, sbuf, sh.dt, n*scount, byte(p.Rank()))
+					if err := p.Alltoall(sbuf, scount, sh.dt, rbuf, scount, sh.dt); err != nil {
+						return err
+					}
+					got := read(p, rbuf, sh.dt, n*scount)
+					for src := 0; src < n; src++ {
+						want := expectedStream(src, blockBytes*int64(n))[int64(p.Rank())*blockBytes : (int64(p.Rank())+1)*blockBytes]
+						if !bytes.Equal(got[int64(src)*blockBytes:(int64(src)+1)*blockBytes], want) {
+							return fmt.Errorf("rank %d: block from %d corrupt", p.Rank(), src)
+						}
+					}
+					return nil
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				// Blocks above the eager threshold must all have routed
+				// through the rendezvous schemes (the indexed shape's
+				// 256 B blocks legitimately stay eager).
+				if blockBytes > 1<<10 {
+					var rndv int64
+					for i := 0; i < n; i++ {
+						rndv += w.Endpoint(i).Counters().RendezvousSends
+					}
+					if want := int64(n) * int64(n-1); rndv < want {
+						t.Errorf("rendezvous sends = %d, want >= %d (blocks must not fall back to eager)", rndv, want)
+					}
+				}
+			})
+		}
+	}
+}
+
+func TestAllgatherAtScaleMatchesOracle(t *testing.T) {
+	for _, n := range []int{64, 256} {
+		sh := scaleShapes()[0] // vector
+		t.Run(fmt.Sprintf("n=%d/%s", n, sh.name), func(t *testing.T) {
+			// 64 ranks exchange 2 KB rendezvous blocks; the 256-rank world
+			// sends single-count (1 KB, eager) blocks through lean arenas,
+			// so the race detector's shadow cost tracks the 65k messages
+			// rather than gigabytes of mapped-but-idle staging.
+			scount := 2
+			cfg := scaleConfig(n, core.SchemeBCSPUP)
+			if n > 64 {
+				scount = 1
+				cfg.MemBytes = 24 << 20
+				cfg.Core.PoolSize = 2 << 20
+			}
+			blockBytes := sh.dt.Size() * int64(scount)
+			w, err := NewWorld(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			err = w.Run(func(p *Proc) error {
+				sbuf := allocFor(p, sh.dt, scount)
+				rbuf := allocFor(p, sh.dt, n*scount)
+				fill(p, sbuf, sh.dt, scount, byte(p.Rank()))
+				if err := p.Allgather(sbuf, scount, sh.dt, rbuf, scount, sh.dt); err != nil {
+					return err
+				}
+				got := read(p, rbuf, sh.dt, n*scount)
+				for src := 0; src < n; src++ {
+					want := expectedStream(src, blockBytes)
+					if !bytes.Equal(got[int64(src)*blockBytes:(int64(src)+1)*blockBytes], want) {
+						return fmt.Errorf("rank %d: contribution of %d corrupt", p.Rank(), src)
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestAlltoallvAtScaleMatchesOracle(t *testing.T) {
+	const n = 64
+	sh := scaleShapes()[1] // indexed
+	// Variable counts both sides derive from the same symmetric formula:
+	// rank s sends 1 + (s+d)%3 counts to rank d.
+	cnt := func(a, b int) int { return 1 + (a+b)%3 }
+	w, err := NewWorld(scaleConfig(n, core.SchemeBCSPUP))
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = w.Run(func(p *Proc) error {
+		scounts := make([]int, n)
+		sdispls := make([]int, n)
+		rcounts := make([]int, n)
+		rdispls := make([]int, n)
+		stotal, rtotal := 0, 0
+		for i := 0; i < n; i++ {
+			scounts[i] = cnt(p.Rank(), i)
+			sdispls[i] = stotal
+			stotal += scounts[i]
+			rcounts[i] = cnt(i, p.Rank())
+			rdispls[i] = rtotal
+			rtotal += rcounts[i]
+		}
+		sbuf := allocFor(p, sh.dt, stotal)
+		rbuf := allocFor(p, sh.dt, rtotal)
+		fill(p, sbuf, sh.dt, stotal, byte(p.Rank()))
+		if err := p.Alltoallv(sbuf, scounts, sdispls, sh.dt, rbuf, rcounts, rdispls, sh.dt); err != nil {
+			return err
+		}
+		got := read(p, rbuf, sh.dt, rtotal)
+		for src := 0; src < n; src++ {
+			// Reconstruct sender src's stream and slice out my block.
+			srcTotal := 0
+			myOff := 0
+			for d := 0; d < n; d++ {
+				if d == p.Rank() {
+					myOff = srcTotal
+				}
+				srcTotal += cnt(src, d)
+			}
+			stream := expectedStream(src, sh.dt.Size()*int64(srcTotal))
+			want := stream[sh.dt.Size()*int64(myOff) : sh.dt.Size()*int64(myOff+cnt(src, p.Rank()))]
+			gotBlock := got[sh.dt.Size()*int64(rdispls[src]) : sh.dt.Size()*int64(rdispls[src]+rcounts[src])]
+			if !bytes.Equal(gotBlock, want) {
+				return fmt.Errorf("rank %d: alltoallv block from %d corrupt", p.Rank(), src)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBcastTreeNonPowerOfTwo checks the binomial broadcast tree delivers
+// correct bytes at world sizes that exercise ragged tree shapes, from every
+// residue class of roots.
+func TestBcastTreeNonPowerOfTwo(t *testing.T) {
+	sh := scaleShapes()[0]
+	const count = 8 // 8 KB payload: rendezvous under scaleConfig
+	for _, n := range []int{3, 5, 7, 33, 63, 100} {
+		t.Run(fmt.Sprintf("n=%d", n), func(t *testing.T) {
+			for _, root := range []int{0, 1, n / 2, n - 1} {
+				w, err := NewWorld(scaleConfig(n, core.SchemeBCSPUP))
+				if err != nil {
+					t.Fatal(err)
+				}
+				err = w.Run(func(p *Proc) error {
+					buf := allocFor(p, sh.dt, count)
+					if p.Rank() == root {
+						fill(p, buf, sh.dt, count, byte(root))
+					}
+					if err := p.Bcast(buf, count, sh.dt, root); err != nil {
+						return err
+					}
+					want := expectedStream(root, sh.dt.Size()*int64(count))
+					if !bytes.Equal(read(p, buf, sh.dt, count), want) {
+						return fmt.Errorf("rank %d: bcast payload corrupt (root %d)", p.Rank(), root)
+					}
+					return nil
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// TestBarrierNonPowerOfTwo checks the dissemination barrier's ordering
+// property — nobody exits before the last rank enters — at ragged sizes.
+func TestBarrierNonPowerOfTwo(t *testing.T) {
+	for _, n := range []int{3, 5, 7, 33, 63, 100} {
+		t.Run(fmt.Sprintf("n=%d", n), func(t *testing.T) {
+			w, err := NewWorld(scaleConfig(n, core.SchemeBCSPUP))
+			if err != nil {
+				t.Fatal(err)
+			}
+			enter := make([]simtime.Time, n)
+			exit := make([]simtime.Time, n)
+			err = w.Run(func(p *Proc) error {
+				// Stagger arrivals so the property is non-trivial.
+				p.Compute(simtime.Duration((p.Rank()*37)%n) * simtime.Millisecond)
+				enter[p.Rank()] = p.Now()
+				if err := p.Barrier(); err != nil {
+					return err
+				}
+				exit[p.Rank()] = p.Now()
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var lastIn simtime.Time
+			for _, e := range enter {
+				if e > lastIn {
+					lastIn = e
+				}
+			}
+			for r, x := range exit {
+				if x < lastIn {
+					t.Fatalf("rank %d exited at %v before last entry %v", r, x, lastIn)
+				}
+			}
+		})
+	}
+}

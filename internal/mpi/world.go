@@ -104,6 +104,16 @@ func NewWorld(cfg Config) (*World, error) {
 	if cfg.MemBytes <= 0 {
 		cfg.MemBytes = 256 << 20
 	}
+	if cfg.Core.UsePools {
+		// Fail fast with a sizing hint instead of letting the first pool
+		// allocation panic the arena: each endpoint carves two staging pools
+		// out of its rank's memory before any user buffer is placed.
+		if need := 2*cfg.Core.PoolSize + (1 << 20); cfg.MemBytes < need {
+			return nil, fmt.Errorf(
+				"mpi: MemBytes %d cannot hold two %d-byte staging pools plus workspace (need >= %d); shrink Core.PoolSize or start from ScaledConfig",
+				cfg.MemBytes, cfg.Core.PoolSize, need)
+		}
+	}
 	w := &World{cfg: cfg}
 	switch cfg.Backend {
 	case "", BackendSim:

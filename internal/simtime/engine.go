@@ -10,7 +10,6 @@
 package simtime
 
 import (
-	"container/heap"
 	"fmt"
 	"sort"
 	"strings"
@@ -56,24 +55,67 @@ type event struct {
 	fn  func()
 }
 
-type eventHeap []*event
+// eventHeap is a 4-ary min-heap of events stored by value, ordered by
+// (at, seq). seq is unique per event, so the ordering is total and the
+// extraction sequence is independent of heap shape — determinism does not
+// depend on the arity or the sift implementation. Values (24 bytes) beat a
+// heap of pointers here: a million-event Alltoall at 1024 ranks spends most
+// of its host CPU in this structure, and the pointer version paid an
+// allocation per event plus a cache miss per comparison.
+type eventHeap []event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
+func (h eventHeap) before(i, j int) bool {
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return ev
+
+func (h *eventHeap) push(ev event) {
+	s := append(*h, ev)
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 4
+		if !s.before(i, parent) {
+			break
+		}
+		s[i], s[parent] = s[parent], s[i]
+		i = parent
+	}
+	*h = s
+}
+
+func (h *eventHeap) pop() event {
+	s := *h
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	s[n] = event{} // release fn for GC
+	s = s[:n]
+	*h = s
+	i := 0
+	for {
+		first := 4*i + 1
+		if first >= n {
+			break
+		}
+		small := first
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if s.before(c, small) {
+				small = c
+			}
+		}
+		if !s.before(small, i) {
+			break
+		}
+		s[i], s[small] = s[small], s[i]
+		i = small
+	}
+	return top
 }
 
 // Engine is a discrete-event simulator. The zero value is not usable; create
@@ -104,7 +146,7 @@ func (e *Engine) Schedule(d Duration, fn func()) {
 		d = 0
 	}
 	e.seq++
-	heap.Push(&e.events, &event{at: e.now.Add(d), seq: e.seq, fn: fn})
+	e.events.push(event{at: e.now.Add(d), seq: e.seq, fn: fn})
 }
 
 // At arranges for fn to run at absolute time t (or now, if t is in the past).
@@ -135,7 +177,7 @@ func (e *Engine) Run() error {
 	e.inRun = true
 	defer func() { e.inRun = false }()
 	for len(e.events) > 0 {
-		ev := heap.Pop(&e.events).(*event)
+		ev := e.events.pop()
 		if ev.at < e.now {
 			panic("simtime: event scheduled in the past")
 		}
@@ -157,7 +199,7 @@ func (e *Engine) Run() error {
 // It does not check for deadlock.
 func (e *Engine) RunUntil(t Time) {
 	for len(e.events) > 0 && e.events[0].at <= t {
-		ev := heap.Pop(&e.events).(*event)
+		ev := e.events.pop()
 		e.now = ev.at
 		ev.fn()
 	}
@@ -174,7 +216,7 @@ func (e *Engine) Step() bool {
 	if len(e.events) == 0 {
 		return false
 	}
-	ev := heap.Pop(&e.events).(*event)
+	ev := e.events.pop()
 	if ev.at > e.now {
 		e.now = ev.at
 	}

@@ -14,8 +14,20 @@ import (
 // off). The document stores each arm's prior, sample count, and raw latency
 // sum, so a re-imported table reproduces the exporting tuner's blended means
 // — and therefore its selections — exactly.
+//
+// Version history:
+//   - v1: per-peer keys only (Key.Peer is a concrete rank).
+//   - v2: keys may carry Peer = SharedPeer (-1) when the exporting tuner
+//     shared tables across peers (the current default).
+//
+// Import accepts both. Keys are normalized through the importing tuner's
+// sharing policy: loading a v1 per-peer table into a shared-table tuner
+// collapses its peers onto SharedPeer, merging duplicate entries arm-by-arm
+// (samples and sums add; the first-seen prior wins, and eliminations are
+// recomputed from the merged estimates). That is the migration path for
+// tables calibrated before peer sharing existed.
 
-const tableVersion = 1
+const tableVersion = 2
 
 type tableDoc struct {
 	Version int        `json:"version"`
@@ -73,38 +85,58 @@ func (t *Tuner) ExportJSON() ([]byte, error) {
 	return json.MarshalIndent(doc, "", "  ")
 }
 
-// ImportJSON replaces the tuning table with the document's contents.
+// ImportJSON replaces the tuning table with the document's contents,
+// normalizing keys through the importing tuner's sharing policy (see the
+// version history above for the v1 migration semantics).
 func (t *Tuner) ImportJSON(data []byte) error {
 	var doc tableDoc
 	if err := json.Unmarshal(data, &doc); err != nil {
 		return fmt.Errorf("tuner: bad table: %w", err)
 	}
-	if doc.Version != tableVersion {
-		return fmt.Errorf("tuner: table version %d, want %d", doc.Version, tableVersion)
+	if doc.Version != 1 && doc.Version != tableVersion {
+		return fmt.Errorf("tuner: table version %d, want 1 or %d", doc.Version, tableVersion)
 	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	entries := make(map[Key]*entry, len(doc.Entries))
 	for _, ed := range doc.Entries {
-		e := &entry{}
+		k := t.normalizeKey(ed.Key)
+		e := entries[k]
+		merging := e != nil
+		if e == nil {
+			e = &entry{}
+			entries[k] = e
+		}
 		for _, ad := range ed.Arms {
 			s, ok := schemeNames[ad.Scheme]
 			if !ok {
 				return fmt.Errorf("tuner: unknown scheme %q in table", ad.Scheme)
 			}
-			if e.find(s) != nil {
+			a := e.find(s)
+			switch {
+			case a == nil:
+				e.arms = append(e.arms, &arm{
+					scheme:     s,
+					prior:      ad.PriorNs,
+					n:          ad.N,
+					sum:        ad.SumNs,
+					eliminated: ad.Eliminated,
+				})
+			case merging:
+				// Same shape observed from a different peer in a per-peer
+				// table: pool the evidence. The first-seen prior stands (all
+				// peers of one shape price identically under one model).
+				a.n += ad.N
+				a.sum += ad.SumNs
+			default:
 				return fmt.Errorf("tuner: duplicate arm %q under key %+v", ad.Scheme, ed.Key)
 			}
-			e.arms = append(e.arms, &arm{
-				scheme:     s,
-				prior:      ad.PriorNs,
-				n:          ad.N,
-				sum:        ad.SumNs,
-				eliminated: ad.Eliminated,
-			})
 		}
-		entries[ed.Key] = e
+		if merging {
+			// Merged means moved; eliminations must reflect the pooled view.
+			e.reEliminate(&t.cfg)
+		}
 	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
 	t.entries = entries
 	return nil
 }

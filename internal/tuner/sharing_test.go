@@ -1,0 +1,165 @@
+package tuner
+
+import (
+	"encoding/json"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestSharedTablesCollapsePeers drives identical shapes from many peers and
+// checks they all land in one tuning context under the default (shared)
+// policy, and in per-peer contexts only on demand.
+func TestSharedTablesCollapsePeers(t *testing.T) {
+	shared := New(DefaultConfig())
+	cfg := DefaultConfig()
+	cfg.PerPeerTables = true
+	perPeer := New(cfg)
+
+	for peer := 0; peer < 64; peer++ {
+		in := noncontig()
+		in.Peer = peer
+		shared.Choose(in)
+		shared.Observe(in, core.SchemeBCSPUP, 1000)
+		perPeer.Choose(in)
+		perPeer.Observe(in, core.SchemeBCSPUP, 1000)
+	}
+	if got := shared.Keys(); got != 1 {
+		t.Errorf("shared tuner holds %d keys for one shape from 64 peers, want 1", got)
+	}
+	if got := perPeer.Keys(); got != 64 {
+		t.Errorf("per-peer tuner holds %d keys, want 64", got)
+	}
+	// All 64 peers' samples pooled under the shared key.
+	e := shared.entries[Key{Peer: SharedPeer, Class: KeyFor(noncontig()).Class,
+		SRun: KeyFor(noncontig()).SRun, RRun: KeyFor(noncontig()).RRun, RRuns: KeyFor(noncontig()).RRuns}]
+	if e == nil {
+		t.Fatal("shared entry not found under SharedPeer key")
+	}
+	if a := e.find(core.SchemeBCSPUP); a == nil || a.n != 64 {
+		t.Fatalf("shared arm pooled %v samples, want 64", a)
+	}
+}
+
+// TestMaxKeysCapFallsBackToStatic fills the table to its cap and checks that
+// unseen shapes stop growing it and fall back to the static decision.
+func TestMaxKeysCapFallsBackToStatic(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MaxKeys = 4
+	cfg.PerPeerTables = true // peer axis gives us cheap distinct keys
+	tu := New(cfg)
+	for peer := 0; peer < 4; peer++ {
+		in := noncontig()
+		in.Peer = peer
+		tu.Choose(in)
+	}
+	if got := tu.Keys(); got != 4 {
+		t.Fatalf("table holds %d keys, want 4", got)
+	}
+	over := noncontig()
+	over.Peer = 99
+	d := tu.Choose(over)
+	if d.Scheme != over.Static {
+		t.Errorf("over-cap choice = %v, want static %v", d.Scheme, over.Static)
+	}
+	if tu.Observe(over, core.SchemeBCSPUP, 1000) != 0 {
+		t.Error("over-cap observe reported regret")
+	}
+	if got := tu.Keys(); got != 4 {
+		t.Errorf("table grew to %d keys past the cap", got)
+	}
+	// Known keys keep learning at the cap.
+	in := noncontig()
+	in.Peer = 2
+	if d := tu.Choose(in); d.Rationale == "table at key cap, static fallback" {
+		t.Error("known key hit the cap fallback")
+	}
+}
+
+// TestImportV1MigratesPerPeerTables feeds a handcrafted v1 (per-peer) table
+// to a shared-table tuner and checks peers merge arm-by-arm: samples and
+// sums add, the first prior wins, and the table round-trips as v2.
+func TestImportV1MigratesPerPeerTables(t *testing.T) {
+	k := KeyFor(noncontig())
+	mk := func(peer int) Key { k2 := k; k2.Peer = peer; return k2 }
+	v1 := tableDoc{
+		Version: 1,
+		Entries: []entryDoc{
+			{Key: mk(0), Arms: []armDoc{
+				{Scheme: core.SchemeBCSPUP.String(), PriorNs: 100, N: 3, SumNs: 3000},
+				{Scheme: core.SchemeMultiW.String(), PriorNs: 200, N: 1, SumNs: 9000},
+			}},
+			{Key: mk(1), Arms: []armDoc{
+				{Scheme: core.SchemeBCSPUP.String(), PriorNs: 150, N: 2, SumNs: 2000},
+			}},
+			{Key: mk(2), Arms: []armDoc{
+				{Scheme: core.SchemeGeneric.String(), PriorNs: 400, N: 5, SumNs: 50000},
+			}},
+		},
+	}
+	data, err := json.Marshal(v1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tu := New(DefaultConfig())
+	if err := tu.ImportJSON(data); err != nil {
+		t.Fatalf("v1 import: %v", err)
+	}
+	if got := tu.Keys(); got != 1 {
+		t.Fatalf("migrated table holds %d keys, want 1 (peers collapsed)", got)
+	}
+	e := tu.entries[tu.normalizeKey(mk(0))]
+	if e == nil {
+		t.Fatal("migrated entry missing")
+	}
+	bc := e.find(core.SchemeBCSPUP)
+	if bc == nil || bc.n != 5 || bc.sum != 5000 || bc.prior != 100 {
+		t.Fatalf("BC-SPUP merge: got %+v, want n=5 sum=5000 prior=100", bc)
+	}
+	if g := e.find(core.SchemeGeneric); g == nil || g.n != 5 {
+		t.Fatal("Generic arm from third peer not merged in")
+	}
+
+	// Round-trip: the migrated table exports as v2 and re-imports cleanly.
+	out, err := tu.ExportJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc tableDoc
+	if err := json.Unmarshal(out, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Version != 2 {
+		t.Fatalf("exported version %d, want 2", doc.Version)
+	}
+	if len(doc.Entries) != 1 || doc.Entries[0].Key.Peer != SharedPeer {
+		t.Fatalf("exported entries %+v, want one SharedPeer entry", doc.Entries)
+	}
+	tu2 := New(DefaultConfig())
+	if err := tu2.ImportJSON(out); err != nil {
+		t.Fatalf("v2 re-import: %v", err)
+	}
+	if tu2.Keys() != 1 {
+		t.Fatal("v2 re-import changed cardinality")
+	}
+
+	// A per-peer tuner importing the same v1 doc keeps peers separate.
+	cfg := DefaultConfig()
+	cfg.PerPeerTables = true
+	tp := New(cfg)
+	if err := tp.ImportJSON(data); err != nil {
+		t.Fatal(err)
+	}
+	if got := tp.Keys(); got != 3 {
+		t.Fatalf("per-peer import holds %d keys, want 3", got)
+	}
+}
+
+// TestImportRejectsUnknownVersion keeps forward compatibility honest.
+func TestImportRejectsUnknownVersion(t *testing.T) {
+	tu := New(DefaultConfig())
+	if err := tu.ImportJSON([]byte(`{"version":3,"entries":[]}`)); err == nil {
+		t.Fatal("version 3 accepted")
+	}
+}

@@ -42,6 +42,16 @@ type Key struct {
 	RRuns uint8  `json:"rruns"` // log2 bucket of receiver run count
 }
 
+// SharedPeer is the Key.Peer value used when tables are shared across peers
+// (the default): every peer's feedback folds into one arm set per shape.
+const SharedPeer = -1
+
+// DefaultMaxKeys bounds the tuning-table cardinality when Config.MaxKeys is
+// zero. With shared tables the key space is (size class × run buckets) and
+// stays far below this; the cap is a backstop for per-peer tables at large
+// world sizes.
+const DefaultMaxKeys = 4096
+
 // bucket maps a positive quantity to its log2 bucket (bits.Len64); zero and
 // negative values share bucket 0.
 func bucket(v int64) uint8 {
@@ -115,6 +125,18 @@ type Config struct {
 	// Explore enables exploration; disabled, the tuner always plays the
 	// current best arm (warm-started tables run pure exploitation).
 	Explore bool
+
+	// PerPeerTables keys tuning contexts by peer rank. Off by default: on a
+	// homogeneous fabric every peer behaves identically, and at 1024 peers a
+	// per-peer table multiplies cardinality by the world size for no signal.
+	// Turn it on for heterogeneous fabrics where link costs differ per peer.
+	PerPeerTables bool
+
+	// MaxKeys caps the number of tuning contexts the table may hold; zero
+	// means DefaultMaxKeys. Once full, unseen shapes fall back to the static
+	// threshold decision instead of growing the table — learning stops
+	// before bookkeeping swamps the host at scale.
+	MaxKeys int
 
 	// Model prices the per-scheme priors; nil uses verbs.DefaultModel.
 	Model *verbs.Model
@@ -236,8 +258,35 @@ func (t *Tuner) Keys() int {
 	return len(t.entries)
 }
 
+// keyFor derives the table key for a shape under the current sharing policy:
+// shared tables collapse the peer dimension to SharedPeer. Callers hold t.mu.
+func (t *Tuner) keyFor(in core.SelectorInput) Key {
+	k := KeyFor(in)
+	if !t.cfg.PerPeerTables {
+		k.Peer = SharedPeer
+	}
+	return k
+}
+
+// normalizeKey applies the sharing policy to an externally supplied key
+// (table import). Callers hold t.mu.
+func (t *Tuner) normalizeKey(k Key) Key {
+	if !t.cfg.PerPeerTables {
+		k.Peer = SharedPeer
+	}
+	return k
+}
+
+func (t *Tuner) maxKeys() int {
+	if t.cfg.MaxKeys > 0 {
+		return t.cfg.MaxKeys
+	}
+	return DefaultMaxKeys
+}
+
 // entryFor returns (creating on first sight) the arm set for this shape,
-// with each eligible scheme's arm seeded from the cost-model prior.
+// with each eligible scheme's arm seeded from the cost-model prior. It
+// returns nil when the table is at its key cap and the shape is unseen.
 func (t *Tuner) entryFor(k Key, in core.SelectorInput) *entry {
 	e, ok := t.entries[k]
 	if ok {
@@ -249,6 +298,9 @@ func (t *Tuner) entryFor(k Key, in core.SelectorInput) *entry {
 			}
 		}
 		return e
+	}
+	if len(t.entries) >= t.maxKeys() {
+		return nil
 	}
 	e = &entry{}
 	for _, s := range in.Eligible {
@@ -262,8 +314,11 @@ func (t *Tuner) entryFor(k Key, in core.SelectorInput) *entry {
 func (t *Tuner) Choose(in core.SelectorInput) core.SchemeDecision {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	k := KeyFor(in)
+	k := t.keyFor(in)
 	e := t.entryFor(k, in)
+	if e == nil {
+		return core.SchemeDecision{Scheme: in.Static, Rationale: "table at key cap, static fallback"}
+	}
 	best := e.best(t.cfg.PriorWeight)
 	if best == nil {
 		return core.SchemeDecision{Scheme: in.Static, Rationale: "no arms, static fallback"}
@@ -320,8 +375,11 @@ func (e *entry) describe(priorWeight float64) string {
 func (t *Tuner) Observe(in core.SelectorInput, chosen core.Scheme, latencyNs int64) int64 {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	k := KeyFor(in)
+	k := t.keyFor(in)
 	e := t.entryFor(k, in)
+	if e == nil {
+		return 0
+	}
 	a := e.find(chosen)
 	if a == nil {
 		// The endpoint fell back to a scheme outside the eligible set (it
