@@ -6,11 +6,11 @@ GO ?= go
 
 # The packages the observability Recorder/Registry reach; `make race` runs
 # just these under the race detector for a fast concurrency gate.
-RACE_PKGS = ./internal/core/ ./internal/mpi/ ./internal/rtfab/ ./internal/stats/ ./internal/trace/ ./internal/traffic/
+RACE_PKGS = ./internal/core/ ./internal/mpi/ ./internal/rtfab/ ./internal/shmfab/ ./internal/stats/ ./internal/trace/ ./internal/traffic/
 
-.PHONY: check fmt vet build test race conformance fault-soak bench bench-backends tune tune-guard doclint par par-guard compile compile-guard qos soak soak-guard scale scale-guard
+.PHONY: check fmt vet build test race conformance fault-soak bench bench-backends tune tune-guard doclint par par-guard compile compile-guard qos soak soak-guard scale scale-guard zoo zoo-guard
 
-check: fmt vet build test doclint tune-guard par-guard compile-guard soak-guard scale-guard
+check: fmt vet build test doclint tune-guard par-guard compile-guard soak-guard scale-guard zoo-guard
 
 # Fails (and lists the offenders) if any file is not gofmt-clean.
 fmt:
@@ -113,9 +113,22 @@ scale:
 scale-guard:
 	@$(GO) run ./cmd/dtbench -scale-guard
 
-# Wall-clock scheme bandwidth/latency on both backends -> BENCH_backends.json.
+# Layout-zoo sweep -> BENCH_zoo.json: Eijkhout's irregular/nested/strided/
+# tiny-run layouts (plus a contiguous control) under every scheme on all
+# three backends, with per-backend winners and cross-backend flips. The rt
+# rows are wall-clock spot-checks.
+zoo:
+	$(GO) run ./cmd/dtbench -zoo all
+
+# CI-style guard: the sweep's modeled rows (sim + shm) run on virtual time,
+# so the checked-in BENCH_zoo.json must regenerate them byte-identically.
+# (rt rows are exempt: they are wall-clock measurements.)
+zoo-guard:
+	@$(GO) run ./cmd/dtbench -zoo-guard
+
+# Wall-clock scheme bandwidth/latency on all backends -> BENCH_backends.json.
 bench-backends:
-	$(GO) run ./cmd/dtbench -backend both
+	$(GO) run ./cmd/dtbench -backend all
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ .

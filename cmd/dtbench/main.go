@@ -7,6 +7,7 @@
 //	dtbench -fig 8           # one figure (2, 8, 9, 11, 12, 13, 14)
 //	dtbench -headline        # abstract's improvement factors (runs 8, 9, 11)
 //	dtbench -backend rt      # wall-clock backend benchmark -> BENCH_backends.json
+//	dtbench -zoo all         # layout zoo over sim/rt/shm -> BENCH_zoo.json
 package main
 
 import (
@@ -25,7 +26,7 @@ func main() {
 	headline := flag.Bool("headline", false, "print the headline improvement factors")
 	ablations := flag.Bool("ablations", false, "run this reproduction's extra ablation studies")
 	counters := flag.Bool("counters", false, "print per-scheme operation counters for one transfer")
-	backend := flag.String("backend", "", `wall-clock backend benchmark: "sim", "rt", or "both"`)
+	backend := flag.String("backend", "", `wall-clock backend benchmark: "sim", "rt", "shm", "both", or "all"`)
 	benchOut := flag.String("bench-out", "BENCH_backends.json", "output path for the -backend benchmark")
 	benchIters := flag.Int("bench-iters", 50, "ping-pong round trips per (scheme, backend) in -backend")
 	workers := flag.Int("workers", 0, "with -backend: pack/unpack worker count (0 = config default)")
@@ -36,6 +37,9 @@ func main() {
 	scale := flag.String("scale", "", `world-size scale sweep: "sim", "rt", or "both" -> BENCH_scale.json`)
 	scaleOut := flag.String("scale-out", "BENCH_scale.json", "output path for the -scale sweep")
 	scaleGuard := flag.Bool("scale-guard", false, "regenerate the -scale sim rows and verify them against -scale-out")
+	zoo := flag.String("zoo", "", `layout-zoo sweep: "sim", "rt", "shm", "both", or "all" -> BENCH_zoo.json`)
+	zooOut := flag.String("zoo-out", "BENCH_zoo.json", "output path for the -zoo sweep")
+	zooGuard := flag.Bool("zoo-guard", false, "regenerate the -zoo modeled rows (sim + shm) and verify them against -zoo-out")
 	traceOut := flag.String("trace", "", "with -backend: write Chrome trace-event JSON (chrome://tracing, Perfetto) here and print per-scheme histograms")
 	tunerRun := flag.Bool("tuner", false, "run the adversarial adaptive-tuner sweep -> BENCH_tuner.json")
 	tunerMsgs := flag.Int("tuner-msgs", 160, "messages per mode in the -tuner sweep")
@@ -59,12 +63,14 @@ func main() {
 
 	backendList := func(arg string) []string {
 		switch arg {
-		case "sim", "rt":
+		case "sim", "rt", "shm":
 			return []string{arg}
 		case "both":
 			return []string{"sim", "rt"}
+		case "all":
+			return mpi.AllBackends
 		}
-		fmt.Fprintf(os.Stderr, "dtbench: unknown backend %q (want sim, rt, or both)\n", arg)
+		fmt.Fprintf(os.Stderr, "dtbench: unknown backend %q (want sim, rt, shm, both, or all)\n", arg)
 		os.Exit(2)
 		return nil
 	}
@@ -153,6 +159,38 @@ func main() {
 		}
 		fmt.Print(exper.CompileTable(rows))
 		fmt.Printf("wrote %s\n", *compileOut)
+		return
+	}
+	if *zooGuard {
+		committed, err := os.ReadFile(*zooOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dtbench:", err)
+			os.Exit(1)
+		}
+		if err := exper.ZooGuard(committed); err != nil {
+			fmt.Fprintln(os.Stderr, "dtbench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("zoo guard: modeled rows of %s reproduce byte-for-byte\n", *zooOut)
+		return
+	}
+	if *zoo != "" {
+		rows, err := exper.ZooSweep(backendList(*zoo))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dtbench:", err)
+			os.Exit(1)
+		}
+		doc, err := exper.ZooJSON(rows)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dtbench:", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*zooOut, append(doc, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "dtbench:", err)
+			os.Exit(1)
+		}
+		fmt.Print(exper.ZooTable(rows))
+		fmt.Printf("wrote %s\n", *zooOut)
 		return
 	}
 	if *scaleGuard {

@@ -40,6 +40,7 @@ import (
 	"repro/internal/pack"
 	"repro/internal/qos"
 	"repro/internal/rtfab"
+	"repro/internal/shmfab"
 	"repro/internal/simtime"
 	"repro/internal/stats"
 	"repro/internal/trace"
@@ -49,7 +50,7 @@ import (
 )
 
 var (
-	backend   = flag.String("backend", "sim", `fabric backend: "sim" (deterministic) or "rt" (real-time concurrent)`)
+	backend   = flag.String("backend", "sim", `fabric backend: "sim" (deterministic), "rt" (real-time concurrent), or "shm" (shared-memory intra-node)`)
 	faultSoak = flag.Bool("fault-soak", false, "run a fault-injected pass over every transfer scheme")
 	seed      = flag.Int64("seed", 1, "fault injector seed")
 	msgs      = flag.Int("msgs", 4, "messages per scheme in the fault soak")
@@ -72,8 +73,8 @@ var tracer *trace.Recorder
 
 func main() {
 	flag.Parse()
-	if *backend != "sim" && *backend != "rt" {
-		fmt.Fprintf(os.Stderr, "fabsim: unknown backend %q (want sim or rt)\n", *backend)
+	if *backend != "sim" && *backend != "rt" && *backend != "shm" {
+		fmt.Fprintf(os.Stderr, "fabsim: unknown backend %q (want sim, rt or shm)\n", *backend)
 		os.Exit(2)
 	}
 	if *doTrace {
@@ -97,6 +98,11 @@ func main() {
 	}
 	if *backend == "rt" {
 		runRTSweep()
+		flushTrace()
+		return
+	}
+	if *backend == "shm" {
+		runSHMSweep()
 		flushTrace()
 		return
 	}
@@ -199,6 +205,85 @@ func runQoSSoak() error {
 	ctr := traffic.AggregateCounters(w)
 	fmt.Printf("\nwall time %v\n# aggregate counters\n%s", wall.Round(time.Millisecond), ctr.String())
 	return nil
+}
+
+// runSHMSweep is the raw RDMA sweep on the shared-memory backend: the same
+// write/read and gather measurements as the simulator path, in deterministic
+// virtual time under the zero-link cost profile. With no responder
+// turnaround, write and read columns coincide.
+func runSHMSweep() {
+	model := shmfab.DefaultModel()
+	fmt.Println("# shared-memory cost model (DESIGN.md section 15)")
+	fmt.Printf("copy bandwidth      %.2f GB/s (+%v per contiguous run)\n", model.CopyGBps, model.CopyBlockStartup)
+	fmt.Printf("descriptor post     %v (list entries %v, per SGE %v)\n", model.PostCost, model.ListPostEntry, model.SGEPost)
+	fmt.Printf("registration        %v + %v/page; dereg %v + %v/page\n",
+		model.RegBase, model.RegPerPage, model.DeregBase, model.DeregPerPage)
+	fmt.Printf("no link terms: wire latency %v, link bandwidth %.0f, read turnaround %v; max SGE %d\n\n",
+		model.WireLatency, model.LinkGBps, model.ReadTurnaround, model.MaxSGE)
+
+	fmt.Println("# raw copy-transfer completion latency and effective bandwidth")
+	fmt.Printf("%10s %14s %14s %14s\n", "bytes", "write (us)", "read (us)", "write MB/s")
+	for _, size := range []int64{256, 4 << 10, 64 << 10, 512 << 10, 4 << 20} {
+		w := shmOneOp(model, verbs.OpRDMAWrite, size, 1)
+		r := shmOneOp(model, verbs.OpRDMARead, size, 1)
+		mbps := float64(size) / (1 << 20) / w.Seconds()
+		fmt.Printf("%10d %14.2f %14.2f %14.1f\n", size, w.Micros(), r.Micros(), mbps)
+	}
+
+	fmt.Println("\n# gather write: one descriptor, varying SGE count (64 KB total)")
+	fmt.Printf("%6s %14s\n", "SGEs", "latency (us)")
+	for _, n := range []int{1, 4, 16, 64} {
+		d := shmOneOp(model, verbs.OpRDMAWrite, 64<<10, n)
+		fmt.Printf("%6d %14.2f\n", n, d.Micros())
+	}
+}
+
+// shmOneOp measures the virtual completion time of one RDMA operation on a
+// two-partition shared-memory fabric.
+func shmOneOp(model verbs.Model, op verbs.Opcode, size int64, n int) simtime.Duration {
+	eng := simtime.NewEngine()
+	fab := shmfab.New(eng, model, 2, size*2+8<<20)
+	if tracer != nil {
+		tracer.SetPrefix(fmt.Sprintf("shm/%v-%dB-%dsge/", op, size, n))
+		fab.SetTracer(tracer)
+	}
+	na := fab.AddNode("a", nil)
+	nb := fab.AddNode("b", nil)
+	aSend, aRecv := na.NewCQ(), na.NewCQ()
+	bSend, bRecv := nb.NewCQ(), nb.NewCQ()
+	qa, _ := na.Connect(nb, aSend, aRecv, bSend, bRecv)
+
+	ma, mb := na.Mem(), nb.Mem()
+	per := size / int64(n)
+	sgl := make([]verbs.SGE, n)
+	for i := range sgl {
+		a := ma.MustAlloc(per)
+		reg, err := ma.Reg().Register(a, per)
+		if err != nil {
+			panic(err)
+		}
+		sgl[i] = verbs.SGE{Addr: a, Len: per, Key: reg.LKey}
+	}
+	remote := mb.MustAlloc(size)
+	rreg, err := mb.Reg().Register(remote, size)
+	if err != nil {
+		panic(err)
+	}
+
+	var done simtime.Time
+	aSend.SetHandler(func(e verbs.CQE) {
+		if e.Err != nil {
+			panic(e.Err)
+		}
+		done = eng.Now()
+	})
+	if err := qa.PostSend(verbs.SendWR{Op: op, SGL: sgl, RemoteAddr: remote, RKey: rreg.RKey}); err != nil {
+		panic(err)
+	}
+	if err := eng.Run(); err != nil {
+		panic(err)
+	}
+	return done.Sub(0)
 }
 
 // runRTSweep is the raw RDMA sweep on the real-time backend: the same
@@ -309,7 +394,9 @@ func runFaultSoak() bool {
 	if *tunerSoak {
 		// Adaptive selection under fire: the same tuner instance is shared
 		// by both endpoints, and fault-inflated latencies feed its arms.
-		rows = append(rows, soakRow{"Auto+tuner", core.SchemeAuto, tuner.New(tuner.DefaultConfig())})
+		tcfg := tuner.DefaultConfig()
+		tcfg.Backend = *backend
+		rows = append(rows, soakRow{"Auto+tuner", core.SchemeAuto, tuner.New(tcfg)})
 	}
 	vec := datatype.Must(datatype.TypeVector(128, 16, 64, datatype.Int32))
 	const count = 160
@@ -323,10 +410,16 @@ func runFaultSoak() bool {
 			rtf *rtfab.Fabric
 			fab *ib.Fabric
 		)
-		if *backend == "rt" {
+		var shmf *shmfab.Fabric
+		switch *backend {
+		case "rt":
 			rtf = rtfab.New(ib.DefaultModel())
 			rtf.SetInjector(inj)
-		} else {
+		case "shm":
+			eng = simtime.NewEngine()
+			shmf = shmfab.New(eng, shmfab.DefaultModel(), 2, 64<<20)
+			shmf.SetInjector(inj)
+		default:
 			eng = simtime.NewEngine()
 			fab = ib.NewFabric(eng, ib.DefaultModel())
 			fab.SetInjector(inj)
@@ -337,10 +430,13 @@ func runFaultSoak() bool {
 		cfg.PoolSize = 4 << 20
 		if tracer != nil {
 			tracer.SetPrefix(*backend + "/" + row.label + "/")
-			if rtf != nil {
+			switch {
+			case rtf != nil:
 				rtf.SetTracer(tracer)
 				cfg.TraceClock = rtf.WallClock
-			} else {
+			case shmf != nil:
+				shmf.SetTracer(tracer)
+			default:
 				fab.SetTracer(tracer)
 			}
 			cfg.Tracer = tracer
@@ -348,11 +444,13 @@ func runFaultSoak() bool {
 		eps := make([]*core.Endpoint, 2)
 		hcas := make([]verbs.HCA, 2)
 		for i := range eps {
-			m := mem.NewMemory(fmt.Sprintf("n%d", i), 64<<20)
-			if rtf != nil {
-				hcas[i] = rtf.AddNode(fmt.Sprintf("n%d", i), m, nil)
-			} else {
-				hcas[i] = fab.AddHCA(fmt.Sprintf("n%d", i), m, nil)
+			switch {
+			case rtf != nil:
+				hcas[i] = rtf.AddNode(fmt.Sprintf("n%d", i), mem.NewMemory(fmt.Sprintf("n%d", i), 64<<20), nil)
+			case shmf != nil:
+				hcas[i] = shmf.AddNode(fmt.Sprintf("n%d", i), nil)
+			default:
+				hcas[i] = fab.AddHCA(fmt.Sprintf("n%d", i), mem.NewMemory(fmt.Sprintf("n%d", i), 64<<20), nil)
 			}
 			ep, err := core.NewEndpoint(i, hcas[i], cfg)
 			if err != nil {

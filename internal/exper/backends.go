@@ -25,11 +25,11 @@ type BackendRow struct {
 	WallMS    float64 `json:"wall_ms"`    // whole-run wall time
 	LatencyUS float64 `json:"latency_us"` // wall one-way latency per message
 	MBps      float64 `json:"mbps"`       // wall payload bandwidth
-	VirtualUS float64 `json:"virtual_us"` // virtual one-way latency (sim only, 0 on rt)
+	VirtualUS float64 `json:"virtual_us"` // virtual one-way latency (sim/shm, 0 on rt)
 }
 
 // BenchBackends runs the wall-clock ping-pong for every transfer scheme on
-// each requested backend ("sim", "rt"). The workload is the paper's
+// each requested backend ("sim", "rt", "shm"). The workload is the paper's
 // 64-column vector (32 KB payload, above the eager threshold, so the full
 // rendezvous machinery runs).
 func BenchBackends(backends []string, iters int) ([]BackendRow, error) {
@@ -117,7 +117,9 @@ func BenchBackendsOpts(backends []string, iters int, rec *trace.Recorder, reg *s
 				LatencyUS: float64(wall.Microseconds()) / float64(2*iters),
 				MBps:      float64(bytes*2*int64(iters)) / wall.Seconds() / 1e6,
 			}
-			if backend == mpi.BackendSim {
+			if backend != mpi.BackendRT {
+				// sim and shm both run on virtual time; only the real-time
+				// fabric has no modeled clock to report.
 				row.VirtualUS = virtual
 			}
 			rows = append(rows, row)

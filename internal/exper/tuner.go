@@ -176,8 +176,11 @@ func TunerSweep(msgs int) (*TunerReport, []byte, error) {
 
 	// Cold adaptive run: priors come from the *default* model — the tuner
 	// believes gather is cheap, exactly like the static thresholds do, and
-	// must learn the truth from feedback.
-	tu := tuner.New(tuner.DefaultConfig())
+	// must learn the truth from feedback. The table is tagged with the
+	// backend it is measured on, so it can never warm-start another.
+	tcfg := tuner.DefaultConfig()
+	tcfg.Backend = mpi.BackendSim
+	tu := tuner.New(tcfg)
 	tunedLats, tw, err := tunerRunLatencies(adversarialTunerConfig(core.SchemeAuto, tu), dt, msgs)
 	if err != nil {
 		return nil, nil, fmt.Errorf("exper: tuned auto: %w", err)
@@ -200,6 +203,7 @@ func TunerSweep(msgs int) (*TunerReport, []byte, error) {
 	// exploitation — the calibrate-then-warm-start workflow.
 	wcfg := tuner.DefaultConfig()
 	wcfg.Explore = false
+	wcfg.Backend = mpi.BackendSim
 	wt := tuner.New(wcfg)
 	if err := wt.ImportJSON(table); err != nil {
 		return nil, nil, err
@@ -234,6 +238,7 @@ func TunerWarmRun(table []byte, msgs int) (*TunerRow, error) {
 	}
 	cfg := tuner.DefaultConfig()
 	cfg.Explore = false
+	cfg.Backend = mpi.BackendSim
 	wt := tuner.New(cfg)
 	if err := wt.ImportJSON(table); err != nil {
 		return nil, err

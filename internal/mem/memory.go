@@ -58,6 +58,7 @@ type Memory struct {
 	free   []span // sorted by offset, coalesced
 	inUse  map[Addr]int64
 	reg    *RegTable
+	arena  *Arena // non-nil for shared-arena partitions; keeps the mapping alive
 }
 
 // NewMemory creates an address space of the given size in bytes. The first

@@ -108,7 +108,7 @@ func TestCrossBackendConformance(t *testing.T) {
 		core.SchemeGeneric, core.SchemeBCSPUP, core.SchemeRWGUP,
 		core.SchemePRRS, core.SchemeMultiW,
 	}
-	backends := []string{BackendSim, BackendRT}
+	backends := AllBackends
 	types := confTypes(t)
 
 	for name, tc := range types {
@@ -158,7 +158,7 @@ func TestCrossBackendConformance(t *testing.T) {
 // different underlying scheme per message shape).
 func TestCrossBackendConformanceAuto(t *testing.T) {
 	types := confTypes(t)
-	for _, backend := range []string{BackendSim, BackendRT} {
+	for _, backend := range AllBackends {
 		for name, tc := range types {
 			t.Run(fmt.Sprintf("%s/%s", name, backend), func(t *testing.T) {
 				cfg := DefaultConfig()
@@ -206,7 +206,7 @@ func TestCrossBackendConformanceInterpreted(t *testing.T) {
 		core.SchemeGeneric, core.SchemeBCSPUP, core.SchemeRWGUP,
 		core.SchemePRRS, core.SchemeMultiW,
 	}
-	backends := []string{BackendSim, BackendRT}
+	backends := AllBackends
 	types := confTypes(t)
 
 	for name, tc := range types {

@@ -41,7 +41,7 @@ func TestWorkerCountConformance(t *testing.T) {
 	const count = 2
 	want := confPattern(dt.Size()*int64(count), 11)
 	schemes := []core.Scheme{core.SchemeGeneric, core.SchemeBCSPUP, core.SchemePRRS}
-	for _, backend := range []string{BackendSim, BackendRT} {
+	for _, backend := range AllBackends {
 		for _, scheme := range schemes {
 			for _, workers := range []int{1, 2, 4, 8} {
 				t.Run(fmt.Sprintf("%s/%s/w%d", backend, scheme, workers), func(t *testing.T) {
@@ -135,7 +135,7 @@ func TestParallelFaultSoak(t *testing.T) {
 		t.Fatal(err)
 	}
 	const msgs = 8
-	for _, backend := range []string{BackendSim, BackendRT} {
+	for _, backend := range AllBackends {
 		for seed := int64(1); seed <= 3; seed++ {
 			t.Run(fmt.Sprintf("%s/seed%d", backend, seed), func(t *testing.T) {
 				cfg := parallelWorld(backend, core.SchemeBCSPUP, 4)

@@ -20,7 +20,7 @@ import (
 // goroutines, which is what the -race run in `make race` is for.
 func TestTraceAndMetricsAcrossBackends(t *testing.T) {
 	vec := datatype.Must(datatype.TypeVector(128, 64, 128, datatype.Int32)) // 32 KB, rendezvous
-	for _, backend := range []string{BackendSim, BackendRT} {
+	for _, backend := range AllBackends {
 		t.Run(backend, func(t *testing.T) {
 			rec := trace.New()
 			reg := stats.NewRegistry()

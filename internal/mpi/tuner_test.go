@@ -60,7 +60,7 @@ func TestAutoDecisionRationaleBothBackends(t *testing.T) {
 		{"buffers not reused", datatype.Must(datatype.TypeVector(4, 1024, 2048, datatype.Int32)), 1,
 			false, core.SchemeBCSPUP, "not reused"},
 	}
-	for _, backend := range []string{BackendSim, BackendRT} {
+	for _, backend := range AllBackends {
 		for _, sh := range shapes {
 			t.Run(fmt.Sprintf("%s/%s", sh.name, backend), func(t *testing.T) {
 				rec := trace.New()
@@ -143,7 +143,7 @@ func TestFixedSchemeDecisionTrace(t *testing.T) {
 // up to the message count, and the data still arrives intact.
 func TestTunerActiveBothBackends(t *testing.T) {
 	vec := datatype.Must(datatype.TypeVector(128, 32, 64, datatype.Int32)) // 16 KB, 128-byte runs
-	for _, backend := range []string{BackendSim, BackendRT} {
+	for _, backend := range AllBackends {
 		t.Run(backend, func(t *testing.T) {
 			rec := trace.New()
 			tu := tuner.New(tuner.DefaultConfig())
@@ -221,7 +221,7 @@ func TestTunerActiveBothBackends(t *testing.T) {
 // with a live (exploring) tuner choosing schemes.
 func TestCrossBackendConformanceTunerActive(t *testing.T) {
 	types := confTypes(t)
-	for _, backend := range []string{BackendSim, BackendRT} {
+	for _, backend := range AllBackends {
 		for name, tc := range types {
 			t.Run(fmt.Sprintf("%s/%s", name, backend), func(t *testing.T) {
 				tu := tuner.New(tuner.DefaultConfig())

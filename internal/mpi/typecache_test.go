@@ -20,7 +20,7 @@ import (
 func TestTypeIndexReuseAcrossBackends(t *testing.T) {
 	t1 := datatype.Must(datatype.TypeVector(64, 512, 1024, datatype.Int32))
 	t2 := datatype.Must(datatype.TypeVector(32, 1024, 2048, datatype.Int32)) // same size, new layout
-	for _, backend := range []string{BackendSim, BackendRT} {
+	for _, backend := range AllBackends {
 		t.Run(backend, func(t *testing.T) {
 			cfg := smallConfig(2, core.SchemeMultiW)
 			cfg.MemBytes = 48 << 20

@@ -19,6 +19,7 @@ import (
 	"repro/internal/mem"
 	"repro/internal/pack"
 	"repro/internal/rtfab"
+	"repro/internal/shmfab"
 	"repro/internal/simtime"
 	"repro/internal/stats"
 	"repro/internal/trace"
@@ -32,7 +33,16 @@ const (
 	// BackendRT is the real-time concurrent fabric: one goroutine per rank,
 	// wall-clock timing, byte-identical delivery semantics.
 	BackendRT = "rt"
+	// BackendSHM is the shared-memory intra-node fabric: all ranks partition
+	// one arena, RDMA is a CPU copy, and virtual time is deterministic like
+	// the simulator's — under a cost model with zero link terms.
+	BackendSHM = "shm"
 )
+
+// AllBackends lists every verbs backend a World can run on. Conformance and
+// soak suites iterate over it, so a new backend cannot silently skip the
+// cross-backend contract tests.
+var AllBackends = []string{BackendSim, BackendRT, BackendSHM}
 
 // Config assembles a simulated cluster.
 type Config struct {
@@ -44,8 +54,12 @@ type Config struct {
 	Model ib.Model
 	// Core is the datatype-communication configuration.
 	Core core.Config
-	// Backend selects the verbs substrate: BackendSim ("" or "sim") or
-	// BackendRT ("rt").
+	// Backend selects the verbs substrate: BackendSim ("" or "sim"),
+	// BackendRT ("rt"), or BackendSHM ("shm"). On BackendSHM a Config whose
+	// Model is still the untouched ib.DefaultModel() gets
+	// shmfab.DefaultModel() substituted, so default worlds price each
+	// backend with its own profile; an explicitly customized Model is always
+	// honored as given.
 	Backend string
 	// RTTimeout bounds a BackendRT run (watchdog); zero means
 	// rtfab.DefaultTimeout. Ignored by the simulator.
@@ -89,9 +103,10 @@ func DefaultConfig() Config {
 // rank's endpoint runs on its node's private engine.
 type World struct {
 	cfg  Config
-	eng  *simtime.Engine // simulator only
+	eng  *simtime.Engine // sim and shm (shared engine)
 	fab  *ib.Fabric      // simulator only
 	rt   *rtfab.Fabric   // real-time only
+	shm  *shmfab.Fabric  // shared-memory only
 	hcas []verbs.HCA
 	eps  []*core.Endpoint
 }
@@ -133,6 +148,21 @@ func NewWorld(cfg Config) (*World, error) {
 		if cfg.Fault != nil {
 			w.rt.SetInjector(cfg.Fault)
 		}
+	case BackendSHM:
+		if cfg.Model == ib.DefaultModel() {
+			// The default Model is the IB testbed; a shared-memory world
+			// with an untouched default gets the zero-link profile instead.
+			cfg.Model = shmfab.DefaultModel()
+			w.cfg.Model = cfg.Model
+		}
+		w.eng = simtime.NewEngine()
+		w.shm = shmfab.New(w.eng, cfg.Model, cfg.Ranks, cfg.MemBytes)
+		if cfg.Trace != nil {
+			w.shm.SetTracer(cfg.Trace)
+		}
+		if cfg.Fault != nil {
+			w.shm.SetInjector(cfg.Fault)
+		}
 	default:
 		return nil, fmt.Errorf("mpi: unknown backend %q", cfg.Backend)
 	}
@@ -162,12 +192,17 @@ func NewWorld(cfg Config) (*World, error) {
 		}
 	}
 	for i := 0; i < cfg.Ranks; i++ {
-		m := mem.NewMemory(fmt.Sprintf("rank%d", i), cfg.MemBytes)
+		name := fmt.Sprintf("rank%d", i)
 		var hca verbs.HCA
-		if w.fab != nil {
-			hca = w.fab.AddHCA(fmt.Sprintf("rank%d", i), m, nil)
-		} else {
-			hca = w.rt.AddNode(fmt.Sprintf("rank%d", i), m, nil)
+		switch {
+		case w.fab != nil:
+			hca = w.fab.AddHCA(name, mem.NewMemory(name, cfg.MemBytes), nil)
+		case w.rt != nil:
+			hca = w.rt.AddNode(name, mem.NewMemory(name, cfg.MemBytes), nil)
+		default:
+			// Shared-memory backend: the fabric carves the rank's partition
+			// out of the one shared arena.
+			hca = w.shm.AddNode(name, nil)
 		}
 		w.hcas = append(w.hcas, hca)
 		ep, err := core.NewEndpoint(i, hca, ccfg)
@@ -182,15 +217,21 @@ func NewWorld(cfg Config) (*World, error) {
 
 // Backend reports which backend the world runs on.
 func (w *World) Backend() string {
-	if w.rt != nil {
+	switch {
+	case w.rt != nil:
 		return BackendRT
+	case w.shm != nil:
+		return BackendSHM
 	}
 	return BackendSim
 }
 
-// Engine returns the shared simulation engine, or nil on the real-time
-// backend (where each rank owns a private engine).
+// Engine returns the shared simulation engine (sim and shm backends), or nil
+// on the real-time backend (where each rank owns a private engine).
 func (w *World) Engine() *simtime.Engine { return w.eng }
+
+// SHM returns the shared-memory fabric, or nil on the other backends.
+func (w *World) SHM() *shmfab.Fabric { return w.shm }
 
 // Fabric returns the simulated interconnect (e.g. to attach a tracer), or
 // nil on the real-time backend.

@@ -1,0 +1,55 @@
+package shmfab
+
+import (
+	"repro/internal/simtime"
+	"repro/internal/verbs"
+)
+
+// DefaultModel returns the shared-memory cost profile: the same host as the
+// paper's testbed (so copy bandwidth and block startup match ib.DefaultModel
+// exactly), with every NIC and link term removed.
+//
+//   - LinkGBps is zero, which makes Model.WireTime identically zero: there is
+//     no serialization bottleneck between ranks, only memory bandwidth.
+//   - WireLatency and ReadTurnaround are zero: a transfer completes when the
+//     copy finishes; there is no first-bit flight time and no responder
+//     round trip, so RDMA read costs the same as write.
+//   - NICDescCost/NICSGECost are zero: a descriptor is a software queue entry,
+//     priced only by the (smaller) host-side PostCost/ListPostEntry/SGEPost.
+//   - Registration is cheaper — pinning for a CPU copy only has to guard
+//     against the partition map changing, not program an IOMMU — but not
+//     free, so registration-avoidance schemes still matter.
+//   - MaxSGE doubles to 128: the gather loop is software, bounded by batch
+//     bookkeeping rather than NIC descriptor format.
+//
+// The net effect on scheme selection: paying extra copies to reduce
+// descriptor count (the pack-based schemes' bargain) buys much less here,
+// while descriptor-heavy zero-copy schemes (Multi-W, RWG-UP) lose their NIC
+// processing penalty. Crossover points — and therefore tuner tables — are
+// genuinely backend-specific, which is why persisted tuner tables carry a
+// backend tag.
+func DefaultModel() verbs.Model {
+	return verbs.Model{
+		WireLatency:      0,
+		LinkGBps:         0, // no link: WireTime is identically zero
+		CopyGBps:         0.75,
+		CopyBlockStartup: 60 * simtime.Nanosecond,
+		PostCost:         250 * simtime.Nanosecond,
+		ListPostEntry:    80 * simtime.Nanosecond,
+		SGEPost:          60 * simtime.Nanosecond,
+		NICDescCost:      0,
+		NICSGECost:       0,
+		CompletionCost:   200 * simtime.Nanosecond,
+		ReadTurnaround:   0,
+		RegBase:          10 * simtime.Microsecond,
+		RegPerPage:       150 * simtime.Nanosecond,
+		DeregBase:        4 * simtime.Microsecond,
+		DeregPerPage:     60 * simtime.Nanosecond,
+		MallocBase:       2 * simtime.Microsecond,
+		MallocPerPage:    1 * simtime.Microsecond,
+		FreeCost:         800 * simtime.Nanosecond,
+		MaxSGE:           128,
+		MaxPostBatch:     64,
+		ParallelFanOut:   500 * simtime.Nanosecond,
+	}
+}

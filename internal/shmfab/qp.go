@@ -1,0 +1,427 @@
+package shmfab
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/simtime"
+	"repro/internal/trace"
+	"repro/internal/verbs"
+)
+
+// SGE, SendWR, RecvWR, Opcode and CQE alias the backend-neutral types in
+// internal/verbs, like the other fabrics.
+type (
+	// SGE is a scatter/gather element.
+	SGE = verbs.SGE
+	// SendWR is a send-queue work request.
+	SendWR = verbs.SendWR
+	// RecvWR is a receive credit.
+	RecvWR = verbs.RecvWR
+	// Opcode identifies a work-request operation.
+	Opcode = verbs.Opcode
+	// CQE is a completion queue entry.
+	CQE = verbs.CQE
+)
+
+// Work-request opcodes.
+const (
+	// OpSend is the channel-semantics send.
+	OpSend = verbs.OpSend
+	// OpRDMAWrite is the one-sided write (a cross-partition copy here).
+	OpRDMAWrite = verbs.OpRDMAWrite
+	// OpRDMAWriteImm is a write that also consumes a remote receive credit.
+	OpRDMAWriteImm = verbs.OpRDMAWriteImm
+	// OpRDMARead is the one-sided read.
+	OpRDMARead = verbs.OpRDMARead
+	// OpRecv marks receive-side completions.
+	OpRecv = verbs.OpRecv
+)
+
+// arrival is payload/notification waiting for a receive credit.
+type arrival struct {
+	op     Opcode
+	data   []byte
+	bytes  int64
+	imm    uint32
+	hasImm bool
+}
+
+// QP is one end of a connection between two partitions of the shared arena.
+type QP struct {
+	node    *Node
+	num     int
+	peer    *QP
+	sendCQ  *CQ
+	recvCQ  *CQ
+	recvQ   []RecvWR
+	stalled []arrival
+
+	userData int
+}
+
+// Node returns the owning node.
+func (qp *QP) Node() *Node { return qp.node }
+
+// Peer returns the connected remote QP.
+func (qp *QP) Peer() *QP { return qp.peer }
+
+// Num returns the QP number (unique per node).
+func (qp *QP) Num() int { return qp.num }
+
+// UserData returns the tag stored with SetUserData.
+func (qp *QP) UserData() int { return qp.userData }
+
+// SetUserData stores an integer tag on the QP for the owning protocol layer.
+func (qp *QP) SetUserData(v int) { qp.userData = v }
+
+// PostRecv posts a receive credit. If arrivals were stalled waiting for
+// credits they are delivered now, in arrival order.
+func (qp *QP) PostRecv(wr RecvWR) {
+	atomic.AddInt64(&qp.node.counters.RecvsPosted, 1)
+	qp.recvQ = append(qp.recvQ, wr)
+	for len(qp.stalled) > 0 && len(qp.recvQ) > 0 {
+		a := qp.stalled[0]
+		qp.stalled = qp.stalled[1:]
+		qp.completeArrival(a)
+	}
+}
+
+// RecvCredits reports the number of posted, unconsumed receive credits.
+func (qp *QP) RecvCredits() int { return len(qp.recvQ) }
+
+// PostSend posts one work request.
+func (qp *QP) PostSend(wr SendWR) error {
+	return qp.post([]SendWR{wr}, false)
+}
+
+// PostSendList posts a list of work requests in one operation; descriptors
+// after the first are cheaper to post. On this backend the "descriptor" is a
+// software queue entry, so list amortization reflects loop overhead rather
+// than doorbell batching — but the structural limit (MaxPostBatch) is
+// enforced identically so protocol chunking is exercised the same way.
+func (qp *QP) PostSendList(wrs []SendWR) error {
+	return qp.post(wrs, true)
+}
+
+func (qp *QP) post(wrs []SendWR, list bool) error {
+	if len(wrs) == 0 {
+		return nil
+	}
+	n := qp.node
+	m := n.Model()
+	eng := n.Engine()
+
+	if list && m.MaxPostBatch > 0 && len(wrs) > m.MaxPostBatch {
+		return fmt.Errorf("shmfab %s qp%d: list post of %d descriptors exceeds MaxPostBatch %d",
+			n.name, qp.num, len(wrs), m.MaxPostBatch)
+	}
+
+	// Validate everything before charging any time, so a bad descriptor in a
+	// list fails the whole post (as ibv_post_send does).
+	for i := range wrs {
+		if err := qp.validate(&wrs[i]); err != nil {
+			return fmt.Errorf("shmfab %s qp%d: %w", n.name, qp.num, err)
+		}
+	}
+
+	// Injected post failures; channel-semantics sends are exempt, matching
+	// the other fabrics, so control traffic keeps its reliable ordering.
+	if inj := n.fab.injector; inj != nil && wrs[0].Op != OpSend {
+		if err := inj.PostFault(); err != nil {
+			return fmt.Errorf("shmfab %s qp%d: post: %w", n.name, qp.num, err)
+		}
+	}
+
+	c := n.counters
+	if list {
+		atomic.AddInt64(&c.ListPosts, 1)
+	}
+	for i := range wrs {
+		wr := &wrs[i]
+		atomic.AddInt64(&c.DescriptorsPosted, 1)
+		atomic.AddInt64(&c.SGEsPosted, int64(len(wr.SGL)))
+		if wr.Lane != 0 {
+			atomic.AddInt64(&c.LaneBulkDescs, 1)
+		}
+		switch wr.Op {
+		case OpSend:
+			atomic.AddInt64(&c.SendsPosted, 1)
+		case OpRDMAWrite, OpRDMAWriteImm:
+			atomic.AddInt64(&c.RDMAWritesPosted, 1)
+			if wr.Op == OpRDMAWriteImm {
+				atomic.AddInt64(&c.ImmediatesSent, 1)
+			}
+		case OpRDMARead:
+			atomic.AddInt64(&c.RDMAReadsPosted, 1)
+		}
+		if !list {
+			atomic.AddInt64(&c.ListPosts, 1)
+		}
+		cpuStart, cpuEnd := n.cpu.Acquire(eng.Now(), m.PostTime(i, len(wr.SGL), list))
+		n.fab.tracer.Add(n.name, trace.LaneCPU, "doorbell", cpuStart, cpuEnd)
+		qp.launch(*wr, cpuEnd)
+	}
+	return nil
+}
+
+func (qp *QP) validate(wr *SendWR) error {
+	n := qp.node
+	switch wr.Op {
+	case OpSend:
+		if len(wr.SGL) != 0 {
+			return fmt.Errorf("OpSend carries inline payloads only")
+		}
+		return nil
+	case OpRDMAWrite, OpRDMAWriteImm:
+		total, err := validateSGL(n, wr.SGL)
+		if err != nil {
+			return err
+		}
+		// Remote access rights are checked at delivery; the target range must
+		// at least fall inside the peer's partition.
+		if err := qp.peer.node.mem.CheckRange(wr.RemoteAddr, total); err != nil {
+			return err
+		}
+		return nil
+	case OpRDMARead:
+		if _, err := validateSGL(n, wr.SGL); err != nil {
+			return err
+		}
+		return nil
+	default:
+		return fmt.Errorf("bad opcode %v", wr.Op)
+	}
+}
+
+// validateSGL checks every SGE against the local registration table and
+// returns the total byte length.
+func validateSGL(n *Node, sgl []SGE) (int64, error) {
+	var total int64
+	for _, s := range sgl {
+		if s.Len < 0 {
+			return 0, fmt.Errorf("shmfab %s: negative SGE length", n.name)
+		}
+		if s.Len == 0 {
+			continue
+		}
+		if err := n.mem.Reg().CheckAccess(s.Key, s.Addr, s.Len); err != nil {
+			return 0, err
+		}
+		total += s.Len
+	}
+	return total, nil
+}
+
+// launch models the host-side transfer of one descriptor that becomes
+// eligible at time ready. There is no NIC and no wire: the initiator's CPU
+// performs the gather and the cross-partition copy, so the whole transfer is
+// one CopyTime charge — the shared-memory backend's defining property.
+func (qp *QP) launch(wr SendWR, ready simtime.Time) {
+	n := qp.node
+	m := n.Model()
+	eng := n.Engine()
+
+	// Injected CQE errors: the descriptor is consumed but the copy never
+	// runs, and the initiator sees an error completion. Channel-semantics
+	// sends are exempt (see post).
+	if inj := n.fab.injector; inj != nil && wr.Op != OpSend {
+		if ferr := inj.CQEFault(); ferr != nil {
+			err := fmt.Errorf("shmfab %s qp%d: %v failed: %w", n.name, qp.num, wr.Op, ferr)
+			wrid, op := wr.WRID, wr.Op
+			eng.At(ready, func() {
+				qp.sendCQ.push(CQE{QP: qp, WRID: wrid, Op: op, Err: err})
+			})
+			return
+		}
+	}
+
+	switch wr.Op {
+	case OpSend:
+		// Control message: the payload is copied into the peer's mailbox by
+		// the sending CPU.
+		payload := append([]byte(nil), wr.Inline...)
+		size := int64(len(payload))
+		cs, ce := n.cpu.AcquireAt(ready, m.CopyTime(size, 1))
+		n.fab.tracer.Add(n.name, trace.LaneCPU, "shm:ctrl", cs, ce)
+		wrid := wr.WRID
+		imm := wr.Imm
+		eng.At(ce, func() {
+			qp.peer.arrive(arrival{op: OpSend, data: payload, bytes: size, imm: imm, hasImm: true})
+			qp.sendCQ.push(CQE{QP: qp, WRID: wrid, Op: OpSend, Bytes: size})
+		})
+
+	case OpRDMAWrite, OpRDMAWriteImm:
+		// Snapshot the gather list at launch; the source must stay stable
+		// until completion, exactly as on the wire fabrics.
+		var size int64
+		for _, s := range wr.SGL {
+			size += s.Len
+		}
+		payload := make([]byte, 0, size)
+		for _, s := range wr.SGL {
+			if s.Len > 0 {
+				payload = append(payload, n.mem.Bytes(s.Addr, s.Len)...)
+			}
+		}
+		cs, ce := n.cpu.AcquireAt(ready, m.CopyTime(size, len(wr.SGL)))
+		n.fab.tracer.Add(n.name, trace.LaneCPU, "shm:write", cs, ce)
+		wrcopy := wr
+		eng.At(ce, func() { qp.deliverWrite(wrcopy, payload, size) })
+
+	case OpRDMARead:
+		var size int64
+		for _, s := range wr.SGL {
+			size += s.Len
+		}
+		// The initiator's CPU pulls straight out of the peer's partition —
+		// no responder turnaround, no round trip.
+		cs, ce := n.cpu.AcquireAt(ready, m.CopyTime(size, len(wr.SGL)))
+		n.fab.tracer.Add(n.name, trace.LaneCPU, "shm:read", cs, ce)
+		wrcopy := wr
+		eng.At(ce, func() { qp.completeRead(wrcopy, size) })
+	}
+}
+
+// deliverWrite lands a cross-partition write at the peer: protection check
+// against the peer's registration table, then one copy within the shared
+// arena.
+func (qp *QP) deliverWrite(wr SendWR, payload []byte, size int64) {
+	peer := qp.peer
+	if err := peer.node.mem.Reg().CheckAccess(wr.RKey, wr.RemoteAddr, size); err != nil {
+		qp.sendCQ.push(CQE{QP: qp, WRID: wr.WRID, Op: wr.Op, Bytes: size,
+			Err: fmt.Errorf("remote access error: %w", err)})
+		return
+	}
+	copy(peer.node.mem.Bytes(wr.RemoteAddr, size), payload)
+	if wr.Op == OpRDMAWriteImm {
+		peer.arrive(arrival{op: OpRDMAWriteImm, bytes: size, imm: wr.Imm, hasImm: true})
+	}
+	// Completion is immediate — there is no ack to wait for — but injected
+	// delays still model a congested completion path.
+	if inj := qp.node.fab.injector; inj != nil {
+		if delay := inj.Delay(); delay > 0 {
+			qp.node.Engine().Schedule(delay, func() {
+				qp.sendCQ.push(CQE{QP: qp, WRID: wr.WRID, Op: wr.Op, Bytes: size})
+			})
+			return
+		}
+	}
+	qp.sendCQ.push(CQE{QP: qp, WRID: wr.WRID, Op: wr.Op, Bytes: size})
+}
+
+// completeRead lands read data at the initiator after the protection check
+// against the peer's registration table.
+func (qp *QP) completeRead(wr SendWR, size int64) {
+	peer := qp.peer
+	if err := peer.node.mem.Reg().CheckAccess(wr.RKey, wr.RemoteAddr, size); err != nil {
+		qp.sendCQ.push(CQE{QP: qp, WRID: wr.WRID, Op: OpRDMARead, Bytes: size,
+			Err: fmt.Errorf("remote access error: %w", err)})
+		return
+	}
+	src := peer.node.mem.Bytes(wr.RemoteAddr, size)
+	var off int64
+	for _, s := range wr.SGL {
+		if s.Len <= 0 {
+			continue
+		}
+		copy(qp.node.mem.Bytes(s.Addr, s.Len), src[off:off+s.Len])
+		off += s.Len
+	}
+	if inj := qp.node.fab.injector; inj != nil {
+		if delay := inj.Delay(); delay > 0 {
+			qp.node.Engine().Schedule(delay, func() {
+				qp.sendCQ.push(CQE{QP: qp, WRID: wr.WRID, Op: OpRDMARead, Bytes: size})
+			})
+			return
+		}
+	}
+	qp.sendCQ.push(CQE{QP: qp, WRID: wr.WRID, Op: OpRDMARead, Bytes: size})
+}
+
+// arrive delivers a channel-semantics payload or an immediate notification,
+// consuming a receive credit or stalling until one is posted.
+func (qp *QP) arrive(a arrival) {
+	if len(qp.recvQ) == 0 {
+		qp.stalled = append(qp.stalled, a)
+		return
+	}
+	qp.completeArrival(a)
+}
+
+func (qp *QP) completeArrival(a arrival) {
+	rwr := qp.recvQ[0]
+	qp.recvQ = qp.recvQ[1:]
+	qp.recvCQ.push(CQE{
+		QP:     qp,
+		WRID:   rwr.WRID,
+		Op:     OpRecv,
+		Bytes:  a.bytes,
+		Imm:    a.imm,
+		HasImm: a.hasImm,
+		Data:   a.data,
+	})
+}
+
+// CQ is a completion queue. A CQ either queues entries for polling
+// (Poll/WaitPoll) or dispatches them to a handler; protocol engines use the
+// handler form so completion processing charges the host CPU and serializes
+// with other host work.
+type CQ struct {
+	node    *Node
+	queue   []CQE
+	handler func(CQE)
+	sig     simtime.Signal
+}
+
+// NewCQ creates a completion queue on a node.
+func NewCQ(n *Node) *CQ { return &CQ{node: n} }
+
+// SetHandler switches the CQ to handler dispatch. Each entry is delivered in
+// its own event after reserving CompletionCost on the node's CPU. Must be
+// set before any completion arrives.
+func (cq *CQ) SetHandler(fn func(CQE)) {
+	if len(cq.queue) > 0 {
+		panic("shmfab: SetHandler on non-empty CQ")
+	}
+	cq.handler = fn
+}
+
+// push delivers a completion at the current virtual time.
+func (cq *CQ) push(e CQE) {
+	atomic.AddInt64(&cq.node.counters.Completions, 1)
+	if cq.handler != nil {
+		eng := cq.node.Engine()
+		end := cq.node.ChargeCPUNamed(cq.node.Model().CompletionCost, "cqe")
+		eng.At(end, func() { cq.handler(e) })
+		return
+	}
+	cq.queue = append(cq.queue, e)
+	cq.sig.Broadcast()
+}
+
+// Poll removes and returns the oldest completion, if any.
+func (cq *CQ) Poll() (CQE, bool) {
+	if len(cq.queue) == 0 {
+		return CQE{}, false
+	}
+	e := cq.queue[0]
+	cq.queue = cq.queue[1:]
+	return e, true
+}
+
+// WaitPoll blocks the process until a completion is available, then returns
+// it, charging the completion-handling CPU cost.
+func (cq *CQ) WaitPoll(p *simtime.Process) CQE {
+	for len(cq.queue) == 0 {
+		p.Wait(&cq.sig)
+	}
+	e := cq.queue[0]
+	cq.queue = cq.queue[1:]
+	end := cq.node.ChargeCPU(cq.node.Model().CompletionCost)
+	p.WaitUntil(end)
+	return e
+}
+
+// Len reports the number of queued completions (always 0 in handler mode).
+func (cq *CQ) Len() int { return len(cq.queue) }

@@ -1,0 +1,192 @@
+// Package shmfab is the shared-memory intra-node backend of the verbs
+// contract: the third fabric next to the discrete-event simulator
+// (internal/ib) and the real-time concurrent fabric (internal/rtfab).
+//
+// It models ranks co-resident on one node, communicating through a single
+// shared memory arena (mem.Arena) partitioned per rank. The verbs semantics
+// are unchanged — registration checks, receive credits, completion queues,
+// fault injection — but the transport is: an RDMA write or read is a direct
+// copy() between partitions of the same mapping, priced purely as host CPU
+// time by the cost model. There is no NIC, no per-descriptor wire
+// serialization and no link latency, so the Model a shm fabric runs carries
+// zero link terms (DefaultModel) and scheme crossover points land in
+// genuinely different places than on the wire backends: schemes that pay
+// copies to save descriptors lose their advantage, and schemes that pay
+// descriptors to save copies gain one.
+//
+// Like internal/ib, the fabric is deterministic: one engine drives every
+// node, all costs come from the model, and runs are bit-for-bit
+// reproducible — which is what lets the zoo guard pin shm benchmark rows
+// byte-for-byte next to the simulator's.
+package shmfab
+
+import (
+	"repro/internal/fault"
+	"repro/internal/mem"
+	"repro/internal/simtime"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/verbs"
+)
+
+// Model aliases the backend-neutral cost model.
+type Model = verbs.Model
+
+// Fabric is one node's worth of ranks sharing a memory arena. The only
+// contention point is each rank's host CPU — there are no ports.
+type Fabric struct {
+	eng      *simtime.Engine
+	model    Model
+	arena    *mem.Arena
+	nodes    []*Node
+	tracer   *trace.Recorder
+	injector *fault.Injector
+}
+
+// New creates a shared-memory fabric on the given engine: one arena of ranks
+// partitions of perRankBytes each. Nodes are attached with AddNode, which
+// hands out the partitions in order.
+func New(eng *simtime.Engine, model Model, ranks int, perRankBytes int64) *Fabric {
+	if model.MaxSGE <= 0 {
+		model.MaxSGE = 1
+	}
+	return &Fabric{
+		eng:   eng,
+		model: model,
+		arena: mem.NewArena(ranks, perRankBytes),
+	}
+}
+
+// SetTracer attaches an activity recorder; all nodes' CPU intervals are
+// recorded into it. Pass nil to disable (the default).
+func (f *Fabric) SetTracer(r *trace.Recorder) { f.tracer = r }
+
+// SetInjector attaches a fault injector. Injection covers RDMA descriptors
+// (post failures, error completions, delayed completions) on every node;
+// channel-semantics sends are exempt so control traffic keeps the
+// transport's reliable ordering. Pass nil to disable (the default).
+func (f *Fabric) SetInjector(in *fault.Injector) { f.injector = in }
+
+// Injector returns the attached fault injector, or nil.
+func (f *Fabric) Injector() *fault.Injector { return f.injector }
+
+// Engine returns the shared simulation engine.
+func (f *Fabric) Engine() *simtime.Engine { return f.eng }
+
+// Model returns the fabric's cost model.
+func (f *Fabric) Model() *Model { return &f.model }
+
+// Arena returns the shared backing store (for partition-layout tests).
+func (f *Fabric) Arena() *mem.Arena { return f.arena }
+
+// Node is one rank's view of the shared-memory fabric: its arena partition
+// and its host CPU. It satisfies verbs.HCA so protocol code cannot tell it
+// from an adapter — except through the cost profile.
+type Node struct {
+	fab      *Fabric
+	idx      int
+	name     string
+	mem      *mem.Memory
+	cpu      *simtime.Resource
+	counters *stats.Counters
+	nextQP   int
+	nextWRID uint64
+}
+
+// AddNode attaches the next rank to the fabric, carving its partition out of
+// the shared arena. counters may be nil.
+func (f *Fabric) AddNode(name string, counters *stats.Counters) *Node {
+	if counters == nil {
+		counters = &stats.Counters{}
+	}
+	n := &Node{
+		fab:      f,
+		idx:      len(f.nodes),
+		name:     name,
+		mem:      f.arena.Partition(len(f.nodes), name),
+		cpu:      simtime.NewResource(name + ".cpu"),
+		counters: counters,
+	}
+	f.nodes = append(f.nodes, n)
+	return n
+}
+
+// Name returns the node name.
+func (n *Node) Name() string { return n.name }
+
+// Index returns the node's position in the fabric.
+func (n *Node) Index() int { return n.idx }
+
+// Mem returns the node's arena partition.
+func (n *Node) Mem() *mem.Memory { return n.mem }
+
+// CPU returns the node's host CPU resource.
+func (n *Node) CPU() *simtime.Resource { return n.cpu }
+
+// Counters returns the node's statistics counters.
+func (n *Node) Counters() *stats.Counters { return n.counters }
+
+// Model returns the fabric cost model.
+func (n *Node) Model() *Model { return &n.fab.model }
+
+// Injector returns the fabric's fault injector, or nil when fault injection
+// is off.
+func (n *Node) Injector() *fault.Injector { return n.fab.injector }
+
+// Engine returns the shared simulation engine.
+func (n *Node) Engine() *simtime.Engine { return n.fab.eng }
+
+// WRID returns a fresh work-request ID, unique per node.
+func (n *Node) WRID() uint64 {
+	n.nextWRID++
+	return n.nextWRID
+}
+
+// ChargeCPU reserves the host CPU for d starting no earlier than now and
+// returns the time the work finishes.
+func (n *Node) ChargeCPU(d simtime.Duration) simtime.Time {
+	return n.ChargeCPUNamed(d, "host")
+}
+
+// ChargeCPUNamed is ChargeCPU with an activity label for the tracer.
+func (n *Node) ChargeCPUNamed(d simtime.Duration, name string) simtime.Time {
+	start, end := n.cpu.Acquire(n.fab.eng.Now(), d)
+	n.fab.tracer.Add(n.name, trace.LaneCPU, name, start, end)
+	return end
+}
+
+// NewCQ creates a completion queue on this node (verbs.HCA).
+func (n *Node) NewCQ() verbs.CQ { return NewCQ(n) }
+
+// Connect implements verbs.HCA: it creates a connected queue pair between
+// this node and peer, which must be a shmfab.Node on the same fabric.
+func (n *Node) Connect(peer verbs.HCA, sendCQ, recvCQ, peerSendCQ, peerRecvCQ verbs.CQ) (verbs.QP, verbs.QP) {
+	p, ok := peer.(*Node)
+	if !ok {
+		panic("shmfab: Connect to a non-shared-memory HCA")
+	}
+	return Connect(n, p, sendCQ.(*CQ), recvCQ.(*CQ), peerSendCQ.(*CQ), peerRecvCQ.(*CQ))
+}
+
+// Connect creates a connected queue pair between two nodes. Each side gets
+// its own QP whose send and receive completions are delivered to the given
+// CQs. A CQ may be shared among QPs.
+func Connect(a, b *Node, aSendCQ, aRecvCQ, bSendCQ, bRecvCQ *CQ) (*QP, *QP) {
+	if a.fab != b.fab {
+		panic("shmfab: Connect across fabrics")
+	}
+	qa := &QP{node: a, num: a.nextQP, sendCQ: aSendCQ, recvCQ: aRecvCQ}
+	a.nextQP++
+	qb := &QP{node: b, num: b.nextQP, sendCQ: bSendCQ, recvCQ: bRecvCQ}
+	b.nextQP++
+	qa.peer, qb.peer = qb, qa
+	return qa, qb
+}
+
+// Compile-time checks that the shared-memory fabric satisfies the verbs
+// contract.
+var (
+	_ verbs.HCA = (*Node)(nil)
+	_ verbs.QP  = (*QP)(nil)
+	_ verbs.CQ  = (*CQ)(nil)
+)

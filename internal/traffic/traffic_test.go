@@ -83,7 +83,7 @@ func runSoak(t *testing.T, backend string, spec Spec, mut func(*mpi.Config)) (st
 }
 
 func TestSoakRunsOnBothBackends(t *testing.T) {
-	for _, backend := range []string{mpi.BackendSim, mpi.BackendRT} {
+	for _, backend := range mpi.AllBackends {
 		t.Run(backend, func(t *testing.T) {
 			qp := qos.DefaultPolicy()
 			ctr, eager, bulk, r := runSoak(t, backend, testSpec(), func(c *mpi.Config) {
@@ -134,7 +134,7 @@ func TestCrippledPoolAdmission(t *testing.T) {
 			{ID: 4, Src: 1, Dst: 0, Comm: 0, Count: 16, Bytes: 512, Closed: true},
 		},
 	}
-	for _, backend := range []string{mpi.BackendSim, mpi.BackendRT} {
+	for _, backend := range mpi.AllBackends {
 		t.Run(backend, func(t *testing.T) {
 			rec := trace.New()
 			reg := stats.NewRegistry()
@@ -198,7 +198,7 @@ func TestAnnounceOrderManyComms(t *testing.T) {
 		})
 	}
 	spec := Spec{Ranks: 2, Comms: nComms, Explicit: flows}
-	for _, backend := range []string{mpi.BackendSim, mpi.BackendRT} {
+	for _, backend := range mpi.AllBackends {
 		t.Run(backend, func(t *testing.T) {
 			w := testWorld(t, backend, 2, nil)
 			r := NewRunner(spec, stats.NewRegistry())

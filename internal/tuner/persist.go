@@ -18,7 +18,10 @@ import (
 // Version history:
 //   - v1: per-peer keys only (Key.Peer is a concrete rank).
 //   - v2: keys may carry Peer = SharedPeer (-1) when the exporting tuner
-//     shared tables across peers (the current default).
+//     shared tables across peers (the current default). v2 documents may
+//     also carry a "backend" tag naming the verbs backend the measurements
+//     come from; tables without the tag (exported before it existed) still
+//     import — see Config.Backend for the mismatch rule.
 //
 // Import accepts both. Keys are normalized through the importing tuner's
 // sharing policy: loading a v1 per-peer table into a shared-table tuner
@@ -30,7 +33,11 @@ import (
 const tableVersion = 2
 
 type tableDoc struct {
-	Version int        `json:"version"`
+	Version int `json:"version"`
+	// Backend tags which verbs backend produced the measurements; import
+	// rejects a mismatch (see Config.Backend). Empty in tables exported
+	// before the tag existed — those import anywhere.
+	Backend string     `json:"backend,omitempty"`
 	Entries []entryDoc `json:"entries"`
 }
 
@@ -61,7 +68,7 @@ var schemeNames = map[string]core.Scheme{
 func (t *Tuner) ExportJSON() ([]byte, error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	doc := tableDoc{Version: tableVersion}
+	doc := tableDoc{Version: tableVersion, Backend: t.cfg.Backend}
 	keys := make([]Key, 0, len(t.entries))
 	for k := range t.entries {
 		keys = append(keys, k)
@@ -95,6 +102,10 @@ func (t *Tuner) ImportJSON(data []byte) error {
 	}
 	if doc.Version != 1 && doc.Version != tableVersion {
 		return fmt.Errorf("tuner: table version %d, want 1 or %d", doc.Version, tableVersion)
+	}
+	if doc.Backend != "" && t.cfg.Backend != "" && doc.Backend != t.cfg.Backend {
+		return fmt.Errorf("tuner: table learned on backend %q cannot warm-start %q",
+			doc.Backend, t.cfg.Backend)
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()

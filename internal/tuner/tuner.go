@@ -140,6 +140,16 @@ type Config struct {
 
 	// Model prices the per-scheme priors; nil uses verbs.DefaultModel.
 	Model *verbs.Model
+
+	// Backend names the verbs backend the table's measurements come from
+	// ("sim", "rt", "shm"). Exported tables carry it, and import refuses a
+	// table tagged with a different backend: scheme crossover points are
+	// backend-specific (a zero-link shared-memory profile prices descriptors
+	// and copies nothing like the wire fabrics do), so a table learned on one
+	// must never warm-start another. Empty means unspecified — such tuners
+	// accept any table and such tables import anywhere, which keeps tables
+	// exported before the tag existed usable.
+	Backend string
 }
 
 // DefaultConfig returns the tuning policy used by dtbench and the tests.

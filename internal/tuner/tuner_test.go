@@ -305,3 +305,59 @@ func TestEligibilityGrowth(t *testing.T) {
 		t.Fatalf("choice %v outside eligible set after arm growth", d.Scheme)
 	}
 }
+
+// TestBackendTagRoundTrip pins the per-backend table contract: a v2 export
+// carries the exporting tuner's backend tag, a same-backend tuner imports it
+// losslessly, a different-backend tuner refuses it, and untagged v2 tables
+// (exported before the tag existed) still import anywhere.
+func TestBackendTagRoundTrip(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Backend = "shm"
+	tu := New(cfg)
+	drive(tu, noncontig(), 50)
+
+	data, err := tu.ExportJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(data, []byte(`"backend": "shm"`)) {
+		t.Fatalf("export does not carry the backend tag:\n%s", data)
+	}
+
+	// Same backend: lossless round trip.
+	same := New(cfg)
+	if err := same.ImportJSON(data); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := same.ExportJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, d2) {
+		t.Fatal("same-backend re-export differs")
+	}
+
+	// Different backend: refused.
+	rtCfg := DefaultConfig()
+	rtCfg.Backend = "rt"
+	if err := New(rtCfg).ImportJSON(data); err == nil {
+		t.Fatal("table learned on shm warm-started an rt tuner")
+	}
+
+	// Untagged importer accepts any table (it declared no backend).
+	if err := New(DefaultConfig()).ImportJSON(data); err != nil {
+		t.Fatalf("untagged tuner rejected a tagged table: %v", err)
+	}
+
+	// Untagged v2 table (pre-tag export) imports into a tagged tuner.
+	untagged, err := New(DefaultConfig()).ExportJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(untagged, []byte(`"backend"`)) {
+		t.Fatal("untagged export grew a backend field")
+	}
+	if err := New(rtCfg).ImportJSON(untagged); err != nil {
+		t.Fatalf("tagged tuner rejected an untagged v2 table: %v", err)
+	}
+}
