@@ -8,9 +8,9 @@ GO ?= go
 # just these under the race detector for a fast concurrency gate.
 RACE_PKGS = ./internal/core/ ./internal/mpi/ ./internal/rtfab/ ./internal/shmfab/ ./internal/stats/ ./internal/trace/ ./internal/traffic/
 
-.PHONY: check fmt vet build test race conformance fault-soak bench bench-backends tune tune-guard doclint par par-guard compile compile-guard qos soak soak-guard scale scale-guard zoo zoo-guard
+.PHONY: check fmt vet build test race conformance fault-soak bench bench-backends tune tune-guard doclint par par-guard compile compile-guard qos soak soak-guard scale scale-guard zoo zoo-guard perf perf-guard
 
-check: fmt vet build test doclint tune-guard par-guard compile-guard soak-guard scale-guard zoo-guard
+check: fmt vet build test doclint tune-guard par-guard compile-guard soak-guard scale-guard zoo-guard perf-guard
 
 # Fails (and lists the offenders) if any file is not gofmt-clean.
 fmt:
@@ -55,7 +55,8 @@ tune-guard:
 		{ echo "BENCH_tuner.json drifted from 'make tune' output"; exit 1; }
 
 # Documentation floor: package comments everywhere under internal/, and a
-# doc comment on every exported symbol of the strict packages (pack, verbs).
+# doc comment on every exported symbol of the strict packages (core, pack,
+# perfgate, qos, verbs).
 doclint:
 	$(GO) run ./cmd/doclint
 
@@ -125,6 +126,19 @@ zoo:
 # (rt rows are exempt: they are wall-clock measurements.)
 zoo-guard:
 	@$(GO) run ./cmd/dtbench -zoo-guard
+
+# Performance floor: rerun the pinned hot-path micro-suite and rewrite
+# BENCH_perf.json. Do this deliberately, after a change that moves the
+# numbers for a reason you can name — wall rows on the machine they are
+# quoted for.
+perf:
+	$(GO) run ./cmd/perfgate -update
+
+# CI-style guard: compare the current build against BENCH_perf.json.
+# Zero-alloc rows must stay at exactly zero allocs/op; virtual-time latency
+# rows (sim + shm) must stay within tolerance; wall-clock rows are advisory.
+perf-guard:
+	@$(GO) run ./cmd/perfgate -check
 
 # Wall-clock scheme bandwidth/latency on all backends -> BENCH_backends.json.
 bench-backends:

@@ -4,7 +4,8 @@
 //   - every package under internal/ must open with a real package comment
 //     (more than one line of actual prose, not a lint pragma);
 //   - in the packages that form the public surface of the datatype engine
-//     (internal/pack, internal/verbs), every exported top-level symbol and
+//     and its hot path (internal/pack, internal/verbs, internal/core,
+//     internal/qos, internal/perfgate), every exported top-level symbol and
 //     every exported method must carry a doc comment.
 //
 // `make doclint` runs it over the module; a bare exported symbol fails CI.
@@ -24,8 +25,11 @@ import (
 // strictPkgs are the directories where every exported symbol needs a doc
 // comment, not just the package clause.
 var strictPkgs = map[string]bool{
-	"internal/pack":  true,
-	"internal/verbs": true,
+	"internal/core":     true,
+	"internal/pack":     true,
+	"internal/perfgate": true,
+	"internal/qos":      true,
+	"internal/verbs":    true,
 }
 
 func main() {

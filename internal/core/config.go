@@ -43,6 +43,7 @@ const (
 	SchemeAuto                  // per-message dynamic selection (Section 6)
 )
 
+// String returns the paper's name for the scheme.
 func (s Scheme) String() string {
 	switch s {
 	case SchemeGeneric:

@@ -119,15 +119,21 @@ func (w *ctrlWriter) segRefs(refs []segRef) {
 }
 
 func (r *ctrlReader) segRefs() []segRef {
+	return r.segRefsInto(nil)
+}
+
+// segRefsInto parses a segment-reference list into buf (reusing its
+// capacity), so warm-path callers can feed an op-owned scratch slice instead
+// of allocating per message.
+func (r *ctrlReader) segRefsInto(buf []segRef) []segRef {
 	n := r.u64()
 	if r.err != nil || n > 1<<20 {
 		r.fail("segRefs")
 		return nil
 	}
-	refs := make([]segRef, n)
-	for i := range refs {
-		refs[i].addr = mem.Addr(r.u64())
-		refs[i].key = r.u32()
+	refs := buf[:0]
+	for i := uint64(0); i < n; i++ {
+		refs = append(refs, segRef{addr: mem.Addr(r.u64()), key: r.u32()})
 	}
 	return refs
 }
@@ -142,16 +148,19 @@ func (w *ctrlWriter) regRefs(refs []regRef) {
 }
 
 func (r *ctrlReader) regRefs() []regRef {
+	return r.regRefsInto(nil)
+}
+
+// regRefsInto is segRefsInto for region-reference lists.
+func (r *ctrlReader) regRefsInto(buf []regRef) []regRef {
 	n := r.u64()
 	if r.err != nil || n > 1<<20 {
 		r.fail("regRefs")
 		return nil
 	}
-	refs := make([]regRef, n)
-	for i := range refs {
-		refs[i].addr = mem.Addr(r.u64())
-		refs[i].len = r.i64()
-		refs[i].key = r.u32()
+	refs := buf[:0]
+	for i := uint64(0); i < n; i++ {
+		refs = append(refs, regRef{addr: mem.Addr(r.u64()), len: r.i64(), key: r.u32()})
 	}
 	return refs
 }

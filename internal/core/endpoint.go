@@ -153,17 +153,33 @@ type Endpoint struct {
 	arrivalSig simtime.Signal // broadcast when an unexpected message queues
 	reqSig     simtime.Signal // broadcast whenever any request completes
 
-	nextOp  uint32
-	sendOps map[uint32]*sendOp
-	recvOps map[opKey]*recvOp
+	nextOp uint32
 
-	// annQ serializes message announces (kindEager / kindRTS) per
-	// destination: a slot is reserved at Isend time and the queue drains
-	// strictly FIFO, so a registration retry that delays one message's RTS
-	// cannot let a later message's announce overtake it on the wire — the
-	// receiver matches announces in arrival order, so announce order IS
-	// MPI's non-overtaking guarantee.
-	annQ map[int]*annQueue
+	// peers shards per-peer protocol state — the active send/recv ops and
+	// the announce order (see peerState in freelist.go). The announce queue
+	// serializes message announces (kindEager / kindRTS) per destination: a
+	// slot is reserved at Isend time and the queue drains strictly FIFO, so
+	// a registration retry that delays one message's RTS cannot let a later
+	// message's announce overtake it on the wire — the receiver matches
+	// announces in arrival order, so announce order IS MPI's non-overtaking
+	// guarantee.
+	peers       []*peerState
+	activeSends int // ops linked across all peers[i].sends
+	activeRecvs int // ops linked across all peers[i].recvs
+
+	// Warm-path free-lists and scratch (freelist.go): per-message protocol
+	// objects recycle through the endpoint instead of the allocator.
+	sendFree      []*sendOp
+	recvFree      []*recvOp
+	liveSend      int
+	liveRecv      int
+	annFree       []*annSlot
+	bufFree       [][]byte
+	ctrlw         ctrlWriter       // synchronous build→send control frames
+	batchScratch  [][]verbs.SendWR // postWRs doorbell-split scratch
+	ctsSegScratch []segRef         // dead-CTS parse scratch
+	ctsRegScratch []regRef         // dead-CTS parse scratch
+	mc            metricCache      // lazily bound metric handles (observe.go)
 
 	// Service mode (cfg.QoS != nil): lanes arbitrates bulk descriptor
 	// posting per peer, gate parks whole bulk transfers under resource
@@ -196,9 +212,6 @@ func NewEndpoint(rank int, hca verbs.HCA, cfg Config) (*Endpoint, error) {
 		memory:    hca.Mem(),
 		cfg:       cfg,
 		ctr:       hca.Counters(),
-		sendOps:   make(map[uint32]*sendOp),
-		recvOps:   make(map[opKey]*recvOp),
-		annQ:      make(map[int]*annQueue),
 		onSendCQE: make(map[uint64]func(verbs.CQE)),
 		types:     newTypeRegistry(),
 		layouts:   newLayoutCache(),
@@ -326,12 +339,8 @@ type annSlot struct {
 // synchronously at Isend time, before any virtual-time deferral, so the
 // slot order equals the MPI posting order.
 func (ep *Endpoint) reserveAnnounce(dst int) *annSlot {
-	q := ep.annQ[dst]
-	if q == nil {
-		q = &annQueue{}
-		ep.annQ[dst] = q
-	}
-	s := &annSlot{}
+	s := ep.getAnnSlot()
+	q := &ep.peer(dst).ann
 	q.s = append(q.s, s)
 	return s
 }
@@ -341,16 +350,19 @@ func (ep *Endpoint) reserveAnnounce(dst int) *annSlot {
 // ready. An announce delayed by registration backoff thus blocks every
 // later announce to the same peer instead of being overtaken by one.
 // Drained slots are nilled out immediately — their post closures capture
-// packed payloads — and the backing array is released once fully drained,
+// packed payloads — then recycled to the slot free-list (safe because post
+// closures only build and send control frames; they never reenter the
+// announce machinery), and the backing array is released once fully drained,
 // so the queue retains nothing for completed announces.
 func (ep *Endpoint) announceReady(dst int, s *annSlot, fn func()) {
 	s.ready, s.fn = true, fn
-	q := ep.annQ[dst]
+	q := &ep.peer(dst).ann
 	for q.head < len(q.s) && q.s[q.head].ready {
 		slot := q.s[q.head]
 		q.s[q.head] = nil
 		q.head++
 		slot.fn()
+		ep.putAnnSlot(slot)
 	}
 	if q.head == len(q.s) {
 		if cap(q.s) > 256 {
@@ -522,7 +534,7 @@ func (ep *Endpoint) deliver(inb *inbound, req *Request) {
 func (ep *Endpoint) eagerSend(req *Request, ctx int, buf mem.Addr, count int, dt *datatype.Type, dst, tag int) {
 	slot := ep.reserveAnnounce(dst)
 	size := dt.Size() * int64(count)
-	payload := make([]byte, size)
+	payload := ep.getBuf(size)
 	p := ep.newPacker(buf, dt, count)
 	n, runs := p.PackTo(payload)
 	if n != size {
@@ -546,12 +558,20 @@ func (ep *Endpoint) eagerSend(req *Request, ctx int, buf mem.Addr, count int, dt
 	}
 	atomic.AddInt64(&ep.ctr.EagerSends, 1)
 
-	var w ctrlWriter
+	// The frame buffer is pooled, not the endpoint's synchronous ctrl
+	// scratch: the announce may be queued behind an earlier message's
+	// delayed RTS and posted later, so it needs its own storage. The packed
+	// payload is copied into the frame here, so both buffers return to the
+	// free-list as soon as their last reader is done — the payload now, the
+	// frame once the fabric has copied it inline (PostSend does that
+	// synchronously inside sendCtrl).
+	w := ctrlWriter{buf: ep.getBuf(0)}
 	w.u8(kindEager)
 	w.u32(uint32(ctx))
 	w.u32(uint32(tag))
 	w.i64(size)
 	w.bytes(payload)
+	ep.putBuf(payload)
 
 	// Charge the pack, then post through the announce queue: the CPU
 	// resource already orders the wire message after the pack work, and the
@@ -562,6 +582,7 @@ func (ep *Endpoint) eagerSend(req *Request, ctx int, buf mem.Addr, count int, dt
 	end := ep.hca.ChargeCPUNamed(cost, "pack")
 	ep.announceReady(dst, slot, func() {
 		ep.sendCtrl(dst, w.buf, nil)
+		ep.putBuf(w.buf)
 	})
 	// The eager send completes once the data has left the user buffer.
 	ep.eng.At(end, func() {
@@ -689,23 +710,28 @@ func (ep *Endpoint) selfSend(req *Request, ctx int, buf mem.Addr, count int, dt 
 // DebugState summarizes in-flight protocol state for diagnosing stalls.
 func (ep *Endpoint) DebugState() string {
 	return fmt.Sprintf(
-		"rank %d: sendOps=%d recvOps=%d posted=%d unexpected=%d packPool(free=%d/%d waiters=%d) unpackPool(free=%d/%d waiters=%d) cqCallbacks=%d",
-		ep.rank, len(ep.sendOps), len(ep.recvOps), ep.recvQ.len(), ep.unexp.len(),
+		"rank %d: sendOps=%d recvOps=%d posted=%d unexpected=%d packPool(free=%d/%d waiters=%d) unpackPool(free=%d/%d waiters=%d) cqCallbacks=%d %s",
+		ep.rank, ep.activeSends, ep.activeRecvs, ep.recvQ.len(), ep.unexp.len(),
 		ep.packPool.available(), ep.packPool.totalSlots(), ep.packPool.pendingWaiters(),
 		ep.unpackPool.available(), ep.unpackPool.totalSlots(), ep.unpackPool.pendingWaiters(),
-		len(ep.onSendCQE))
+		len(ep.onSendCQE), ep.poolStatsString())
 }
 
 // DebugOps lists in-flight operation details (diagnostics only).
 func (ep *Endpoint) DebugOps() string {
 	s := ""
-	for id, op := range ep.sendOps {
-		s += fmt.Sprintf("send op %d: dst=%d eff=%d wrsLeft=%d segsHeld=%d\n",
-			id, op.dst, op.eff, op.wrsLeft, len(op.segs))
-	}
-	for k, op := range ep.recvOps {
-		s += fmt.Sprintf("recv op %d from %d: scheme=%v eff=%d arrived=%d/%d finished=%d bytesRead=%d\n",
-			k.op, k.src, op.scheme, op.eff, op.arrived, op.nSegs, op.finished, op.bytesRead)
+	for _, p := range ep.peers {
+		if p == nil {
+			continue
+		}
+		for _, op := range p.sends {
+			s += fmt.Sprintf("send op %d: dst=%d eff=%d wrsLeft=%d segsHeld=%d\n",
+				op.id, op.dst, op.eff, op.wrsLeft, len(op.segs))
+		}
+		for _, op := range p.recvs {
+			s += fmt.Sprintf("recv op %d from %d: scheme=%v eff=%d arrived=%d/%d finished=%d bytesRead=%d\n",
+				op.key.op, op.key.src, op.scheme, op.eff, op.arrived, op.nSegs, op.finished, op.bytesRead)
+		}
 	}
 	return s
 }

@@ -218,8 +218,11 @@ func TestPoolBalanceAfterBurst(t *testing.T) {
 				if got := ep.unpackPool.available(); got != ep.unpackPool.totalSlots() {
 					t.Fatalf("rank %d unpack pool leaked: %d/%d", ep.Rank(), got, ep.unpackPool.totalSlots())
 				}
-				if len(ep.sendOps) != 0 || len(ep.recvOps) != 0 {
+				if ep.activeSends != 0 || ep.activeRecvs != 0 {
 					t.Fatalf("rank %d leaked ops: %s", ep.Rank(), ep.DebugState())
+				}
+				if ps := ep.PoolStats(); ps.LiveSendOps != 0 || ps.LiveRecvOps != 0 {
+					t.Fatalf("rank %d leaked pooled ops: %+v", ep.Rank(), ps)
 				}
 				if len(ep.onSendCQE) != 0 {
 					t.Fatalf("rank %d leaked %d CQE callbacks", ep.Rank(), len(ep.onSendCQE))

@@ -104,10 +104,9 @@ func (ep *Endpoint) abortSend(op *sendOp, err error) {
 // finalizeSendAbort releases everything a failed send op holds, once no
 // descriptor references it anymore, and notifies the receiver.
 func (ep *Endpoint) finalizeSendAbort(op *sendOp) {
-	if _, live := ep.sendOps[op.id]; !live {
+	if !ep.removeSendOp(op) {
 		return // already finalized
 	}
-	delete(ep.sendOps, op.id)
 	if op.staging.held {
 		ep.releaseSeg(ep.packPool, op.staging.seg)
 		op.staging = segRes{}
@@ -118,18 +117,19 @@ func (ep *Endpoint) finalizeSendAbort(op *sendOp) {
 			op.segs[i].held = false
 		}
 	}
-	op.segs = nil
-	if op.regions != nil {
+	op.segs = op.segs[:0]
+	if len(op.regions) > 0 {
 		ep.releaseUserRegions(op.regions)
-		op.regions = nil
+		op.regions = op.regions[:0]
 	}
 	if op.notifyPeer {
-		var w ctrlWriter
+		w := ep.ctrlW()
 		w.u8(kindSendFail)
 		w.u32(op.id)
 		ep.sendCtrl(op.dst, w.buf, nil)
 	}
 	ep.qosDrain() // a dead op releases nothing later; re-check parked work
+	ep.retireSend(op)
 }
 
 // sendWRResolved accounts one finally-resolved descriptor (completed, failed
@@ -194,10 +194,9 @@ func (ep *Endpoint) abortRecv(op *recvOp, err error, notify bool) {
 // finalizeRecvAbort releases everything a failed receive op holds and
 // notifies the sender if requested.
 func (ep *Endpoint) finalizeRecvAbort(op *recvOp) {
-	if _, live := ep.recvOps[op.key]; !live {
+	if !ep.removeRecvOp(op) {
 		return // already finalized
 	}
-	delete(ep.recvOps, op.key)
 	if op.wholeSeg != nil {
 		ep.releaseSeg(ep.unpackPool, *op.wholeSeg)
 		op.wholeSeg = nil
@@ -208,18 +207,19 @@ func (ep *Endpoint) finalizeRecvAbort(op *recvOp) {
 			op.segs[i].held = false
 		}
 	}
-	op.segs = nil
-	if op.regions != nil {
+	op.segs = op.segs[:0]
+	if len(op.regions) > 0 {
 		ep.releaseUserRegions(op.regions)
-		op.regions = nil
+		op.regions = op.regions[:0]
 	}
 	if op.notifyPeer {
-		var w ctrlWriter
+		w := ep.ctrlW()
 		w.u8(kindRecvFail)
 		w.u32(op.key.op)
 		ep.sendCtrl(op.key.src, w.buf, nil)
 	}
 	ep.qosDrain() // a dead op releases nothing later; re-check parked work
+	ep.retireRecv(op)
 }
 
 // recvWRResolved is sendWRResolved for receiver-initiated descriptors
@@ -251,7 +251,7 @@ func (ep *Endpoint) handleSendFail(src int, r *ctrlReader) {
 		panic(r.err)
 	}
 	atomic.AddInt64(&ep.ctr.PeerAborts, 1)
-	if op, ok := ep.recvOps[opKey{src: src, op: id}]; ok {
+	if op := ep.lookupRecvOp(src, id); op != nil {
 		ep.abortRecv(op, fmt.Errorf("%w (sender rank %d)", ErrRemoteAbort, src), false)
 		return
 	}
@@ -274,7 +274,7 @@ func (ep *Endpoint) handleRecvFail(src int, r *ctrlReader) {
 		panic(r.err)
 	}
 	atomic.AddInt64(&ep.ctr.PeerAborts, 1)
-	if op, ok := ep.sendOps[id]; ok {
+	if op := ep.lookupSendOp(src, id); op != nil {
 		op.notifyPeer = false
 		ep.abortSend(op, fmt.Errorf("%w (receiver rank %d)", ErrRemoteAbort, src))
 	}

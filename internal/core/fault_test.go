@@ -41,8 +41,11 @@ func newFaultWorld(t *testing.T, n int, cfg Config, memSize int64, fc fault.Conf
 func checkNoLeaks(t *testing.T, w *testWorld) {
 	t.Helper()
 	for _, ep := range w.eps {
-		if len(ep.sendOps) != 0 || len(ep.recvOps) != 0 {
+		if ep.activeSends != 0 || ep.activeRecvs != 0 {
 			t.Errorf("rank %d: leaked ops: %s", ep.Rank(), ep.DebugOps())
+		}
+		if ps := ep.PoolStats(); ps.LiveSendOps != 0 || ps.LiveRecvOps != 0 {
+			t.Errorf("rank %d: pooled ops not recycled at quiescence: %+v", ep.Rank(), ps)
 		}
 		if len(ep.onSendCQE) != 0 {
 			t.Errorf("rank %d: %d leaked CQE callbacks", ep.Rank(), len(ep.onSendCQE))

@@ -213,7 +213,11 @@ func TestAnnounceQueuePrune(t *testing.T) {
 		}
 	})
 	for _, ep := range w.eps {
-		for dst, q := range ep.annQ {
+		for dst, p := range ep.peers {
+			if p == nil {
+				continue
+			}
+			q := &p.ann
 			if live := len(q.s) - q.head; live != 0 {
 				t.Errorf("rank %d -> %d: %d undrained announce slots", ep.Rank(), dst, live)
 			}

@@ -14,6 +14,69 @@ import (
 // registry. Everything here is a no-op when Config.Tracer / Config.Metrics
 // are nil, so the hot path pays only a nil check.
 
+// numSchemes bounds the per-scheme lookup tables below. SchemeAuto is the
+// highest-valued scheme, so every Scheme indexes inside the tables.
+const numSchemes = int(SchemeAuto) + 1
+
+// Pre-built span and mark names for each scheme. Building "recv " +
+// scheme.String() per message would allocate on every transfer; these
+// tables make scheme-tagged trace names a plain array load.
+var (
+	recvSpanName      [numSchemes]string
+	sendSpanName      [numSchemes]string
+	ctsSpanName       [numSchemes]string
+	matchMarkName     [numSchemes]string
+	handshakeSpanName [numSchemes]string
+)
+
+func init() {
+	for i := 0; i < numSchemes; i++ {
+		s := Scheme(i).String()
+		recvSpanName[i] = "recv " + s
+		sendSpanName[i] = "send " + s
+		ctsSpanName[i] = "cts " + s
+		matchMarkName[i] = "match " + s
+		handshakeSpanName[i] = "handshake " + s
+	}
+}
+
+// schemeName looks up a scheme's pre-built trace name, falling back to the
+// Generic slot for out-of-range values (a corrupted wire scheme is caught
+// by validation before it gets here; the fallback just keeps tracing total).
+func schemeName(tbl *[numSchemes]string, s Scheme) string {
+	if s < 0 || int(s) >= numSchemes {
+		s = SchemeGeneric
+	}
+	return tbl[s]
+}
+
+// metricCache holds resolved histogram handles so the warm path skips the
+// registry's map-plus-mutex lookup and the name concatenation that lookup
+// would need. Cells bind lazily on first observation; a nil cell means
+// "not bound yet" (the cache is only consulted when Config.Metrics is
+// non-nil). Endpoint methods run single-threaded in their engine context,
+// so the cache needs no locking.
+type metricCache struct {
+	lat        [numSchemes][stats.NumSizeClasses]*stats.Histogram
+	mbps       [numSchemes][stats.NumSizeClasses]*stats.Histogram
+	packShards *stats.Histogram
+	packUtil   *stats.Histogram
+	batchWRs   *stats.Histogram
+	qosPark    *stats.Histogram
+}
+
+// qosParkHist returns the cached qos_park_ns histogram (nil, a valid no-op
+// sink, when metrics are off).
+func (ep *Endpoint) qosParkHist() *stats.Histogram {
+	if ep.cfg.Metrics == nil {
+		return nil
+	}
+	if ep.mc.qosPark == nil {
+		ep.mc.qosPark = ep.cfg.Metrics.Histogram("qos_park_ns")
+	}
+	return ep.mc.qosPark
+}
+
 // tnow returns the observability timestamp: wall-clock when the backend
 // supplies a TraceClock (rt), virtual engine time otherwise (sim).
 func (ep *Endpoint) tnow() simtime.Time {
@@ -58,7 +121,11 @@ func (ep *Endpoint) observeShards(st pack.ParStats) {
 	if m == nil || len(st.Shards) <= 1 {
 		return
 	}
-	m.Histogram("pack_shards").Observe(int64(len(st.Shards)))
+	if ep.mc.packShards == nil {
+		ep.mc.packShards = m.Histogram("pack_shards")
+		ep.mc.packUtil = m.Histogram("pack_shard_util_pct")
+	}
+	ep.mc.packShards.Observe(int64(len(st.Shards)))
 	var biggest int64
 	for _, sh := range st.Shards {
 		if sh.Bytes > biggest {
@@ -67,7 +134,7 @@ func (ep *Endpoint) observeShards(st pack.ParStats) {
 	}
 	if biggest > 0 {
 		mean := st.Bytes / int64(len(st.Shards))
-		m.Histogram("pack_shard_util_pct").Observe(mean * 100 / biggest)
+		ep.mc.packUtil.Observe(mean * 100 / biggest)
 	}
 }
 
@@ -75,23 +142,37 @@ func (ep *Endpoint) observeShards(st pack.ParStats) {
 // batch-size histogram.
 func (ep *Endpoint) observeBatch(n int) {
 	atomic.AddInt64(&ep.ctr.BatchedWRs, int64(n))
-	if ep.cfg.Metrics != nil {
-		ep.cfg.Metrics.Histogram("batch_wrs").Observe(int64(n))
+	if m := ep.cfg.Metrics; m != nil {
+		if ep.mc.batchWRs == nil {
+			ep.mc.batchWRs = m.Histogram("batch_wrs")
+		}
+		ep.mc.batchWRs.Observe(int64(n))
 	}
 }
 
 // observeTransfer feeds one completed transfer into the per-scheme latency
-// and bandwidth histograms, bucketed by message-size class.
+// and bandwidth histograms, bucketed by message-size class. Handles bind
+// lazily per (scheme, size-class) cell so the warm path performs no name
+// concatenation and no registry lookup.
 func (ep *Endpoint) observeTransfer(scheme Scheme, bytes int64, start simtime.Time) {
 	m := ep.cfg.Metrics
 	if m == nil {
 		return
 	}
+	s := scheme
+	if s < 0 || int(s) >= numSchemes {
+		s = SchemeGeneric
+	}
 	lat := int64(ep.tnow().Sub(start))
-	cls := stats.SizeClass(bytes)
-	m.Histogram("lat_ns/" + scheme.String() + "/" + cls).Observe(lat)
+	i := stats.SizeClassIndex(bytes)
+	if ep.mc.lat[s][i] == nil {
+		cls := stats.SizeClassLabel(i)
+		ep.mc.lat[s][i] = m.Histogram("lat_ns/" + scheme.String() + "/" + cls)
+		ep.mc.mbps[s][i] = m.Histogram("mbps/" + scheme.String() + "/" + cls)
+	}
+	ep.mc.lat[s][i].Observe(lat)
 	if lat > 0 {
 		// bytes/ns * 1000 = MB/s.
-		m.Histogram("mbps/" + scheme.String() + "/" + cls).Observe(bytes * 1000 / lat)
+		ep.mc.mbps[s][i].Observe(bytes * 1000 / lat)
 	}
 }

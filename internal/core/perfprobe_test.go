@@ -1,0 +1,51 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/datatype"
+)
+
+// The descriptor builder is the per-message inner loop of every RDMA scheme:
+// warm calls must not allocate. These assertions are the unit-level twin of
+// the perfgate rows (chunkwrs/*, chunkbatches/*) pinned in BENCH_perf.json.
+
+func TestChunkWRsZeroAlloc(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		dt   *datatype.Type
+		wrs  int
+	}{
+		// 16384 4-byte runs at MaxSGE 64 → 256 descriptors.
+		{"vec4Bx16k", datatype.Must(datatype.TypeVector(16384, 1, 4, datatype.Int32)), 256},
+		// 256 256-byte runs → 4 descriptors.
+		{"vec256Bx256", datatype.Must(datatype.TypeVector(256, 64, 128, datatype.Int32)), 4},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			probe := NewPerfProbe(tc.dt, 1)
+			if got := probe.ChunkWRs(); got != tc.wrs {
+				t.Fatalf("chunkWRs built %d descriptors, want %d", got, tc.wrs)
+			}
+			if allocs := testing.AllocsPerRun(50, func() { probe.ChunkWRs() }); allocs != 0 {
+				t.Fatalf("warm chunkWRs allocates %.1f/op, want 0", allocs)
+			}
+		})
+	}
+}
+
+func TestChunkBatchesZeroAlloc(t *testing.T) {
+	probe := NewPerfProbe(datatype.Int32, 1)
+	if got := probe.ChunkBatches(1024, 64); got != 16 {
+		t.Fatalf("chunkBatches split 1024/64 into %d batches, want 16", got)
+	}
+	if allocs := testing.AllocsPerRun(50, func() { probe.ChunkBatches(1024, 64) }); allocs != 0 {
+		t.Fatalf("warm chunkBatches allocates %.1f/op, want 0", allocs)
+	}
+	// Ragged tail and limit larger than the list.
+	if got := probe.ChunkBatches(130, 64); got != 3 {
+		t.Fatalf("chunkBatches split 130/64 into %d batches, want 3", got)
+	}
+	if got := probe.ChunkBatches(5, 64); got != 1 {
+		t.Fatalf("chunkBatches split 5/64 into %d batches, want 1", got)
+	}
+}

@@ -188,7 +188,7 @@ func TestChunkBatches(t *testing.T) {
 		{5, -1, []int{5}},
 		{1, 1, []int{1}},
 	} {
-		got := chunkBatches(mk(tc.n), tc.limit)
+		got := chunkBatches(mk(tc.n), tc.limit, nil)
 		if len(got) != len(tc.want) {
 			t.Fatalf("chunkBatches(%d, %d): %d batches, want %d", tc.n, tc.limit, len(got), len(tc.want))
 		}

@@ -92,7 +92,7 @@ func (ep *Endpoint) laneChunkLimit(lane qos.Lane) int {
 // force-admitted rather than parked forever.
 func (ep *Endpoint) qosPressure(pool *segPool, parkedSelf *bool) func() qos.Pressure {
 	return func() qos.Pressure {
-		active := len(ep.sendOps) + len(ep.recvOps) - ep.gate.Parked()
+		active := ep.activeSends + ep.activeRecvs - ep.gate.Parked()
 		if !*parkedSelf {
 			active--
 		}
@@ -108,20 +108,24 @@ func (ep *Endpoint) qosPressure(pool *segPool, parkedSelf *bool) func() qos.Pres
 // qosAdmit runs the shared admission state machine for one transfer's data
 // phase: run immediately on admit, park with trace instants and a resume
 // span otherwise, fail the op with qos.ErrRejected when the parking lot is
-// full.
+// full. done runs exactly once when the admission decision has fully played
+// out (the parked closure ran or was abandoned, or the transfer was
+// rejected) — admitSend/admitRecv pass the op unpin there, since a parked
+// closure can outlive an abort and must not touch a recycled op.
 func (ep *Endpoint) qosAdmit(lane qos.Lane, opID uint32, bytes int64, pool *segPool,
-	dead func() bool, run func(), fail func(error)) {
+	dead func() bool, run func(), fail func(error), done func()) {
 
 	parked := false
 	t0 := ep.tnow()
 	wrapped := func() {
+		defer done()
 		if dead() {
 			return // aborted while parked; teardown owns the op now
 		}
 		if parked {
 			ep.mark("qos-resume", "qos", opID)
 			ep.span("qos parked", "qos", opID, bytes, t0)
-			ep.cfg.Metrics.Histogram("qos_park_ns").Observe(int64(ep.tnow().Sub(t0)))
+			ep.qosParkHist().Observe(int64(ep.tnow().Sub(t0)))
 		}
 		run()
 	}
@@ -137,6 +141,7 @@ func (ep *Endpoint) qosAdmit(lane qos.Lane, opID uint32, bytes int64, pool *segP
 	case qos.Reject:
 		atomic.AddInt64(&ep.ctr.QoSRejected, 1)
 		ep.mark("qos-reject", "qos", opID)
+		done()
 		fail(qos.ErrRejected)
 	}
 }
@@ -144,26 +149,32 @@ func (ep *Endpoint) qosAdmit(lane qos.Lane, opID uint32, bytes int64, pool *segP
 // admitRecv gates the receiver's scheme setup (segment allocation, user
 // registration, the CTS) behind admission control. Parking here delays only
 // the CTS; the sender's RTS is already matched, so MPI ordering is intact.
+// The op is pinned until the admission decision resolves.
 func (ep *Endpoint) admitRecv(op *recvOp, run func()) {
 	if ep.gate == nil {
 		run()
 		return
 	}
+	ep.pinRecv(op)
 	ep.qosAdmit(ep.laneFor(op.eff), op.key.op, op.eff, ep.unpackPool,
 		func() bool { return op.failed }, run,
-		func(err error) { ep.abortRecv(op, err, true) })
+		func(err error) { ep.abortRecv(op, err, true) },
+		func() { ep.unpinRecv(op) })
 }
 
 // admitSend gates the sender's data movement (pack, registration, descriptor
-// posting) behind admission control once the CTS has arrived.
+// posting) behind admission control once the CTS has arrived. The op is
+// pinned until the admission decision resolves.
 func (ep *Endpoint) admitSend(op *sendOp, run func()) {
 	if ep.gate == nil {
 		run()
 		return
 	}
+	ep.pinSend(op)
 	ep.qosAdmit(ep.laneFor(op.eff), op.id, op.eff, ep.packPool,
 		func() bool { return op.failed }, run,
-		func(err error) { ep.abortSend(op, err) })
+		func(err error) { ep.abortSend(op, err) },
+		func() { ep.unpinSend(op) })
 }
 
 // qosDrain re-evaluates parked transfers. Called wherever admission pressure

@@ -83,7 +83,7 @@ func (ep *Endpoint) Put(dst int, oBuf mem.Addr, oCount int, oType *datatype.Type
 		ep.rmaLocal(a, true, done)
 		return
 	}
-	ep.registerUserMessage(oBuf, oType, oCount, func(regions []*mem.Region, refs []regRef, err error) {
+	ep.registerUserMessage(oBuf, oType, oCount, nil, nil, func(regions []*mem.Region, refs []regRef, err error) {
 		if err != nil {
 			done(err)
 			return
@@ -91,7 +91,7 @@ func (ep *Endpoint) Put(dst int, oBuf mem.Addr, oCount int, oType *datatype.Type
 		oc := ep.walkerFor(oType, oCount)
 		tc := ep.walkerFor(tType, tCount)
 		remaining := oType.Size() * int64(oCount)
-		var wrs []verbs.SendWR
+		var set wrSet // one-shot: RMA ops have no pooled op to own an arena
 		for remaining > 0 {
 			tOff, tLen, ok := tc.Next(remaining)
 			if !ok {
@@ -100,16 +100,15 @@ func (ep *Endpoint) Put(dst int, oBuf mem.Addr, oCount int, oType *datatype.Type
 					ep.rank, remaining))
 				return
 			}
-			chunk, cerr := ep.chunkWRs(verbs.OpRDMAWrite, oc, oBuf, refs, tLen,
-				mem.Addr(int64(tBase)+tOff), tKey)
-			if cerr != nil {
+			if _, cerr := ep.chunkWRs(&set, verbs.OpRDMAWrite, oc, oBuf, refs, tLen,
+				mem.Addr(int64(tBase)+tOff), tKey); cerr != nil {
 				ep.releaseUserRegions(regions)
 				done(cerr)
 				return
 			}
-			wrs = append(wrs, chunk...)
 			remaining -= tLen
 		}
+		wrs := set.wrs
 		ep.chargeTypeProc(len(wrs))
 		ep.postRMAWRs(dst, wrs, regions, done)
 	})
@@ -130,7 +129,7 @@ func (ep *Endpoint) Get(dst int, oBuf mem.Addr, oCount int, oType *datatype.Type
 		ep.rmaLocal(a, false, done)
 		return
 	}
-	ep.registerUserMessage(oBuf, oType, oCount, func(regions []*mem.Region, refs []regRef, err error) {
+	ep.registerUserMessage(oBuf, oType, oCount, nil, nil, func(regions []*mem.Region, refs []regRef, err error) {
 		if err != nil {
 			done(err)
 			return
@@ -138,7 +137,7 @@ func (ep *Endpoint) Get(dst int, oBuf mem.Addr, oCount int, oType *datatype.Type
 		oc := ep.walkerFor(oType, oCount)
 		tc := ep.walkerFor(tType, tCount)
 		remaining := oType.Size() * int64(oCount)
-		var wrs []verbs.SendWR
+		var set wrSet // one-shot: RMA ops have no pooled op to own an arena
 		for remaining > 0 {
 			// Each remote contiguous run becomes one (or more) scatter reads.
 			tOff, tLen, ok := tc.Next(remaining)
@@ -148,16 +147,15 @@ func (ep *Endpoint) Get(dst int, oBuf mem.Addr, oCount int, oType *datatype.Type
 					ep.rank, remaining))
 				return
 			}
-			chunk, cerr := ep.chunkWRs(verbs.OpRDMARead, oc, oBuf, refs, tLen,
-				mem.Addr(int64(tBase)+tOff), tKey)
-			if cerr != nil {
+			if _, cerr := ep.chunkWRs(&set, verbs.OpRDMARead, oc, oBuf, refs, tLen,
+				mem.Addr(int64(tBase)+tOff), tKey); cerr != nil {
 				ep.releaseUserRegions(regions)
 				done(cerr)
 				return
 			}
-			wrs = append(wrs, chunk...)
 			remaining -= tLen
 		}
+		wrs := set.wrs
 		ep.chargeTypeProc(len(wrs))
 		ep.postRMAWRs(dst, wrs, regions, done)
 	})
@@ -192,7 +190,7 @@ func (ep *Endpoint) postRMAWRs(dst int, wrs []verbs.SendWR, regions []*mem.Regio
 			wrs[i].WRID = ep.hca.WRID()
 			ep.onSendCQE[wrs[i].WRID] = func(e verbs.CQE) { resolve(e.Err) }
 		}
-		batches := chunkBatches(wrs, ep.model.MaxPostBatch)
+		batches := chunkBatches(wrs, ep.model.MaxPostBatch, nil)
 		for bi, batch := range batches {
 			if err := ep.qps[dst].PostSendList(batch); err != nil {
 				// This batch — and everything after it — never reached the

@@ -10,6 +10,7 @@ import (
 	"repro/internal/mem"
 	"repro/internal/pack"
 	"repro/internal/simtime"
+	"repro/internal/verbs"
 )
 
 // sendOp is the sender-side state of one rendezvous transfer.
@@ -48,6 +49,23 @@ type sendOp struct {
 	failed     bool
 	failErr    error
 	notifyPeer bool
+
+	// Free-list state (freelist.go): outstanding continuation pins and the
+	// retired flag that arms recycle-on-last-unpin.
+	pins    int
+	retired bool
+
+	// Op-owned arenas and scratch, reused across the op's whole life and
+	// reset only at recycle: the descriptor arena chunkWRs fills, the
+	// descriptor groups sendGatherData accumulates, the per-batch segment
+	// scratch of the batched BC-SPUP pipeline, and the parsed CTS segment /
+	// region refs (op-owned because admission may park the data phase while
+	// another CTS arrives and parses).
+	wrs        wrSet
+	groups     [][]verbs.SendWR
+	segScratch []seg
+	ctsSegs    []segRef
+	ctsRegs    []regRef
 }
 
 // segRes couples a staging segment with the byte count it carries. held
@@ -97,6 +115,15 @@ type recvOp struct {
 	failed     bool
 	failErr    error
 	notifyPeer bool
+
+	// Free-list state (freelist.go), mirroring sendOp.
+	pins    int
+	retired bool
+
+	// Op-owned arenas: the scatter-read descriptor arena (P-RRS) and the
+	// segment refs assembled for the CTS reply.
+	wrs     wrSet
+	ctsRefs []segRef
 }
 
 func (ep *Endpoint) newOpID() uint32 {
@@ -115,7 +142,13 @@ func (ep *Endpoint) chargeTypeProc(runs int) {
 // Transient registration faults are retried with backoff (so done may run
 // after a virtual-time delay); without faults done runs synchronously.
 // On error any partially acquired groups are released first.
+//
+// regions and refs are caller-supplied append buffers (callers pass the
+// owning op's retained slices so a warm registration allocates nothing);
+// because the append happens across retry backoffs, the caller must pin the
+// owning op until done runs.
 func (ep *Endpoint) registerUserMessage(buf mem.Addr, dt *datatype.Type, count int,
+	regions []*mem.Region, refs []regRef,
 	done func([]*mem.Region, []regRef, error)) {
 
 	blocks, sorted := ep.messageBlocks(buf, dt, count)
@@ -128,8 +161,8 @@ func (ep *Endpoint) registerUserMessage(buf mem.Addr, dt *datatype.Type, count i
 	} else {
 		groups = mem.GroupRegions(blocks, cost)
 	}
-	regions := make([]*mem.Region, 0, len(groups))
-	refs := make([]regRef, 0, len(groups))
+	regions = regions[:0]
+	refs = refs[:0]
 	var total mem.RegOps
 	i, attempt := 0, 0
 	var step func()
@@ -219,23 +252,27 @@ func (ep *Endpoint) acquireStaging(n int64, done func(seg, error)) {
 
 // rndvSend starts the rendezvous protocol for a large message.
 func (ep *Endpoint) rndvSend(req *Request, ctx int, buf mem.Addr, count int, dt *datatype.Type, dst, tag int) {
-	op := &sendOp{
-		id: ep.newOpID(), req: req, dst: dst, tag: tag,
-		buf: buf, count: count, dt: dt,
-		size:       dt.Size() * int64(count),
-		sContig:    dt.Contig(),
-		notifyPeer: true,
-	}
+	op := ep.getSendOp()
+	op.id, op.req, op.dst, op.tag = ep.newOpID(), req, dst, tag
+	op.buf, op.count, op.dt = buf, count, dt
+	op.size = dt.Size() * int64(count)
+	op.sContig = dt.Contig()
+	op.notifyPeer = true
 	op.tStart = ep.tnow()
-	ep.sendOps[op.id] = op
+	ep.addSendOp(op)
 	atomic.AddInt64(&ep.ctr.RendezvousSends, 1)
 
 	_, sAvg := ep.layoutSummary(dt, count)
 	slot := ep.reserveAnnounce(dst)
 	sendRTS := func() {
+		// The announce closure can sit queued behind an earlier message's
+		// delayed RTS; pin so an op aborted in that window is not recycled
+		// out from under the closure.
+		ep.pinSend(op)
 		ep.announceReady(dst, slot, func() {
+			defer ep.unpinSend(op)
 			ep.mark("rts", "rts", op.id)
-			var w ctrlWriter
+			w := ep.ctrlW()
 			w.u8(kindRTS)
 			w.u32(op.id)
 			w.u32(uint32(ctx))
@@ -256,25 +293,28 @@ func (ep *Endpoint) rndvSend(req *Request, ctx int, buf mem.Addr, count int, dt 
 	// is the receiver's, so registration waits for the CTS.
 	if ep.cfg.Scheme == SchemeRWGUP || ep.cfg.Scheme == SchemeMultiW ||
 		(ep.cfg.Scheme == SchemePRRS && op.sContig) || op.sContig {
-		ep.registerUserMessage(buf, dt, count, func(regions []*mem.Region, refs []regRef, err error) {
-			if err != nil {
-				// Still announce the op so the receiver has something to
-				// match; the abort's failure notice then unblocks it.
+		ep.pinSend(op)
+		ep.registerUserMessage(buf, dt, count, op.regions[:0], op.refs[:0],
+			func(regions []*mem.Region, refs []regRef, err error) {
+				defer ep.unpinSend(op)
+				if err != nil {
+					// Still announce the op so the receiver has something to
+					// match; the abort's failure notice then unblocks it.
+					sendRTS()
+					ep.abortSend(op, err)
+					return
+				}
+				if op.failed {
+					// The op died before announcing; release the slot with a
+					// no-op so later announces to this peer are not stuck.
+					ep.announceReady(dst, slot, func() {})
+					ep.releaseUserRegions(regions)
+					return
+				}
+				op.regions, op.refs = regions, refs
+				op.registered = true
 				sendRTS()
-				ep.abortSend(op, err)
-				return
-			}
-			if op.failed {
-				// The op died before announcing; release the slot with a
-				// no-op so later announces to this peer are not stuck.
-				ep.announceReady(dst, slot, func() {})
-				ep.releaseUserRegions(regions)
-				return
-			}
-			op.regions, op.refs = regions, refs
-			op.registered = true
-			sendRTS()
-		})
+			})
 		return
 	}
 	sendRTS()
@@ -293,20 +333,19 @@ func (ep *Endpoint) rndvMatched(inb *inbound, req *Request) {
 		eff = capacity
 	}
 	scheme, sel := ep.decideScheme(inb, req, eff)
-	op := &recvOp{
-		key: opKey{src: inb.src, op: inb.opID},
-		req: req, eff: eff,
-		truncated: inb.size > capacity,
-		scheme:    scheme,
-		sel:       sel,
-		direct:    req.dt.Contig(),
-	}
+	op := ep.getRecvOp()
+	op.key = opKey{src: inb.src, op: inb.opID}
+	op.req, op.eff = req, eff
+	op.truncated = inb.size > capacity
+	op.scheme = scheme
+	op.sel = sel
+	op.direct = req.dt.Contig()
 	op.tStart = ep.tnow()
 	req.Source = inb.src
 	req.Tag = inb.tag
 	req.Bytes = eff
-	ep.recvOps[op.key] = op
-	ep.mark("match "+op.scheme.String(), "rts", op.key.op)
+	ep.addRecvOp(op)
+	ep.mark(schemeName(&matchMarkName, op.scheme), "rts", op.key.op)
 
 	// Service mode gates the whole data phase here: parking before the
 	// scheme setup delays only the CTS (the sanctioned Section 4.3.3 stall),
@@ -341,7 +380,7 @@ func (ep *Endpoint) recvStagedSetup(op *recvOp, segSize int64) {
 	op.nSegs = int((op.eff + segSize - 1) / segSize)
 
 	sendCTS := func(refs []segRef) {
-		var w ctrlWriter
+		w := ep.ctrlW()
 		w.u8(kindCTS)
 		w.u32(op.key.op)
 		w.u8(uint8(op.scheme))
@@ -349,13 +388,15 @@ func (ep *Endpoint) recvStagedSetup(op *recvOp, segSize int64) {
 		w.i64(segSize)
 		w.segRefs(refs)
 		ep.sendCtrl(op.key.src, w.buf, nil)
-		ep.span("cts "+op.scheme.String(), "handshake", op.key.op, op.eff, op.tStart)
+		ep.span(schemeName(&ctsSpanName, op.scheme), "handshake", op.key.op, op.eff, op.tStart)
 	}
 
 	if op.direct {
 		// Contiguous receiver: segments map straight onto the user buffer.
-		ep.registerUserMessage(op.req.buf, op.req.dt, op.req.count,
+		ep.pinRecv(op)
+		ep.registerUserMessage(op.req.buf, op.req.dt, op.req.count, op.regions[:0], op.refs[:0],
 			func(regions []*mem.Region, rrefs []regRef, err error) {
+				defer ep.unpinRecv(op)
 				if err != nil {
 					ep.abortRecv(op, err, true)
 					return
@@ -366,10 +407,11 @@ func (ep *Endpoint) recvStagedSetup(op *recvOp, segSize int64) {
 				}
 				op.regions = regions
 				base := mem.Addr(int64(op.req.buf) + op.req.dt.TrueLB())
-				refs := make([]segRef, 0, op.nSegs)
+				refs := op.ctsRefs[:0]
 				for k := 0; k < op.nSegs; k++ {
 					refs = append(refs, segRef{addr: base + mem.Addr(int64(k)*segSize), key: rrefs[0].key})
 				}
+				op.ctsRefs = refs
 				sendCTS(refs)
 			})
 		return
@@ -380,7 +422,9 @@ func (ep *Endpoint) recvStagedSetup(op *recvOp, segSize int64) {
 	if op.scheme == SchemeGeneric {
 		// The basic scheme's dynamically allocated whole-message unpack
 		// buffer (Figure 1).
+		ep.pinRecv(op)
 		ep.acquireStaging(op.eff, func(s seg, err error) {
+			defer ep.unpinRecv(op)
 			if err != nil {
 				ep.abortRecv(op, err, true)
 				return
@@ -389,8 +433,9 @@ func (ep *Endpoint) recvStagedSetup(op *recvOp, segSize int64) {
 				ep.releaseSeg(ep.unpackPool, s)
 				return
 			}
-			op.segs = []segRes{{seg: s, bytes: op.eff, held: true}}
-			sendCTS([]segRef{{addr: s.addr, key: s.key}})
+			op.segs = append(op.segs[:0], segRes{seg: s, bytes: op.eff, held: true})
+			op.ctsRefs = append(op.ctsRefs[:0], segRef{addr: s.addr, key: s.key})
+			sendCTS(op.ctsRefs)
 		})
 		return
 	}
@@ -414,7 +459,9 @@ func (ep *Endpoint) recvStagedSetup(op *recvOp, segSize int64) {
 		} else {
 			atomic.AddInt64(&ep.ctr.PoolOverflow, 1)
 		}
+		ep.pinRecv(op)
 		ep.acquireStaging(op.eff, func(s seg, err error) {
+			defer ep.unpinRecv(op)
 			if err != nil {
 				ep.abortRecv(op, err, true)
 				return
@@ -424,7 +471,7 @@ func (ep *Endpoint) recvStagedSetup(op *recvOp, segSize int64) {
 				return
 			}
 			op.wholeSeg = &s
-			refs := make([]segRef, 0, op.nSegs)
+			refs := op.ctsRefs[:0]
 			for k := 0; k < op.nSegs; k++ {
 				addr := s.addr + mem.Addr(int64(k)*segSize)
 				// Views onto wholeSeg: not individually held, the backing
@@ -435,15 +482,18 @@ func (ep *Endpoint) recvStagedSetup(op *recvOp, segSize int64) {
 				})
 				refs = append(refs, segRef{addr: addr, key: s.key})
 			}
+			op.ctsRefs = refs
 			sendCTS(refs)
 		})
 		return
 	}
+	ep.pinRecv(op)
 	pool.whenAvailable(op.nSegs, segC, func() {
+		defer ep.unpinRecv(op)
 		if op.failed {
 			return // aborted while parked; slots stay with the pool
 		}
-		refs := make([]segRef, 0, op.nSegs)
+		refs := op.ctsRefs[:0]
 		for k := 0; k < op.nSegs; k++ {
 			s, ok := pool.tryAcquire(segC)
 			if !ok {
@@ -452,6 +502,7 @@ func (ep *Endpoint) recvStagedSetup(op *recvOp, segSize int64) {
 			op.segs = append(op.segs, segRes{seg: s, bytes: segBytes(k), held: true})
 			refs = append(refs, segRef{addr: s.addr, key: s.key})
 		}
+		op.ctsRefs = refs
 		sendCTS(refs)
 	})
 }
@@ -459,8 +510,10 @@ func (ep *Endpoint) recvStagedSetup(op *recvOp, segSize int64) {
 // recvMultiWSetup registers the receiver's user blocks and ships its layout
 // (or its cached identity) plus region keys in the CTS.
 func (ep *Endpoint) recvMultiWSetup(op *recvOp) {
-	ep.registerUserMessage(op.req.buf, op.req.dt, op.req.count,
+	ep.pinRecv(op)
+	ep.registerUserMessage(op.req.buf, op.req.dt, op.req.count, op.regions[:0], op.refs[:0],
 		func(regions []*mem.Region, refs []regRef, err error) {
+			defer ep.unpinRecv(op)
 			if err != nil {
 				ep.abortRecv(op, err, true)
 				return
@@ -480,7 +533,7 @@ func (ep *Endpoint) recvMultiWSetup(op *recvOp) {
 				atomic.AddInt64(&ep.ctr.TypeLayoutsSent, 1)
 			}
 
-			var w ctrlWriter
+			w := ep.ctrlW()
 			w.u8(kindCTS)
 			w.u32(op.key.op)
 			w.u8(uint8(SchemeMultiW))
@@ -495,9 +548,7 @@ func (ep *Endpoint) recvMultiWSetup(op *recvOp) {
 			} else {
 				w.u8(0)
 			}
-			rrefs := make([]regRef, len(refs))
-			copy(rrefs, refs)
-			w.regRefs(rrefs)
+			w.regRefs(refs)
 			ep.sendCtrl(op.key.src, w.buf, nil)
 			ep.span("cts Multi-W", "handshake", op.key.op, op.eff, op.tStart)
 		})
@@ -506,8 +557,10 @@ func (ep *Endpoint) recvMultiWSetup(op *recvOp) {
 // recvPRRSSetup registers the receiver's user blocks for scatter reads and
 // tells the sender to start producing segments.
 func (ep *Endpoint) recvPRRSSetup(op *recvOp) {
-	ep.registerUserMessage(op.req.buf, op.req.dt, op.req.count,
+	ep.pinRecv(op)
+	ep.registerUserMessage(op.req.buf, op.req.dt, op.req.count, op.regions[:0], op.refs[:0],
 		func(regions []*mem.Region, refs []regRef, err error) {
+			defer ep.unpinRecv(op)
 			if err != nil {
 				ep.abortRecv(op, err, true)
 				return
@@ -522,7 +575,7 @@ func (ep *Endpoint) recvPRRSSetup(op *recvOp) {
 			op.nSegs = int((op.eff + op.segSize - 1) / op.segSize)
 			op.readCur = ep.walkerFor(op.req.dt, op.req.count)
 
-			var w ctrlWriter
+			w := ep.ctrlW()
 			w.u8(kindCTS)
 			w.u32(op.key.op)
 			w.u8(uint8(SchemePRRS))
@@ -533,13 +586,16 @@ func (ep *Endpoint) recvPRRSSetup(op *recvOp) {
 		})
 }
 
-// finishRecv completes the receive request and releases receiver resources.
+// finishRecv completes the receive request and releases receiver resources;
+// the op retires to the free-list once the last pinned continuation drops.
 func (ep *Endpoint) finishRecv(op *recvOp) {
 	if op.failed {
 		return // abort teardown owns the resources now
 	}
-	delete(ep.recvOps, op.key)
-	ep.span("recv "+op.scheme.String(), "data", op.key.op, op.eff, op.tStart)
+	if !ep.removeRecvOp(op) {
+		return // already finalized
+	}
+	ep.span(schemeName(&recvSpanName, op.scheme), "data", op.key.op, op.eff, op.tStart)
 	ep.observeTransfer(op.scheme, op.eff, op.tStart)
 	if op.sel != nil && ep.cfg.Selector != nil {
 		// Close the adaptive loop: feed the measured receive latency back to
@@ -553,8 +609,9 @@ func (ep *Endpoint) finishRecv(op *recvOp) {
 		ep.releaseSeg(ep.unpackPool, *op.wholeSeg)
 		op.wholeSeg = nil
 	}
-	if op.regions != nil {
+	if len(op.regions) > 0 {
 		ep.releaseUserRegions(op.regions)
+		op.regions = op.regions[:0]
 	}
 	var err error
 	if op.truncated {
@@ -562,6 +619,7 @@ func (ep *Endpoint) finishRecv(op *recvOp) {
 	}
 	op.req.complete(err)
 	ep.qosDrain() // one fewer active op; parked transfers may now be admissible
+	ep.retireRecv(op)
 }
 
 // --- Sender: CTS dispatch ----------------------------------------------------
@@ -570,25 +628,34 @@ func (ep *Endpoint) handleCTS(src int, r *ctrlReader) {
 	id := r.u32()
 	scheme := Scheme(r.u8())
 	eff := r.i64()
-	op, ok := ep.sendOps[id]
-	if !ok && !ep.faultMode() {
+	op := ep.lookupSendOp(src, id)
+	if op == nil && !ep.faultMode() {
 		panic(fmt.Sprintf("core rank %d: CTS for unknown op %d", ep.rank, id))
 	}
 	// A CTS can still arrive for an op this side already aborted (the
 	// receiver replied before our failure notice reached it). The data
 	// movement is skipped, but per-peer cache state carried by the CTS —
 	// the Multi-W layout below — must still be absorbed: the receiver has
-	// marked it delivered and will never ship it again.
-	dead := !ok || op.failed
+	// marked it delivered and will never ship it again. Refs for a dead op
+	// parse into endpoint scratch just to advance the reader; a live op
+	// parses into its own retained buffers, which must be op-owned because
+	// admission may park the data phase while another CTS arrives.
+	dead := op == nil || op.failed
 	if !dead {
 		op.eff = eff
 		op.scheme = scheme
-		ep.span("handshake "+scheme.String(), "handshake", op.id, eff, op.tStart)
+		ep.span(schemeName(&handshakeSpanName, scheme), "handshake", op.id, eff, op.tStart)
 	}
 	switch scheme {
 	case SchemeGeneric, SchemeBCSPUP, SchemeRWGUP:
 		segSize := r.i64()
-		refs := r.segRefs()
+		var refs []segRef
+		if dead {
+			ep.ctsSegScratch = r.segRefsInto(ep.ctsSegScratch[:0])
+		} else {
+			op.ctsSegs = r.segRefsInto(op.ctsSegs[:0])
+			refs = op.ctsSegs
+		}
 		if r.err != nil {
 			panic(r.err)
 		}
@@ -618,7 +685,13 @@ func (ep *Endpoint) handleCTS(src int, r *ctrlReader) {
 			ep.layouts.store(src, idx, version, t)
 			rType = t
 		}
-		rRefs := r.regRefs()
+		var rRefs []regRef
+		if dead {
+			ep.ctsRegScratch = r.regRefsInto(ep.ctsRegScratch[:0])
+		} else {
+			op.ctsRegs = r.regRefsInto(op.ctsRegs[:0])
+			rRefs = op.ctsRegs
+		}
 		if r.err != nil {
 			panic(r.err)
 		}
@@ -649,27 +722,30 @@ func (ep *Endpoint) handleCTS(src int, r *ctrlReader) {
 	}
 }
 
-// finishSend completes the send request and releases sender resources.
+// finishSend completes the send request and releases sender resources; the
+// op retires to the free-list once the last pinned continuation drops.
 func (ep *Endpoint) finishSend(op *sendOp) {
 	if op.failed {
 		return // abort teardown owns the resources now
 	}
-	delete(ep.sendOps, op.id)
-	ep.span("send "+op.scheme.String(), "data", op.id, op.eff, op.tStart)
-	if op.regions != nil {
+	if !ep.removeSendOp(op) {
+		return // already finalized
+	}
+	ep.span(schemeName(&sendSpanName, op.scheme), "data", op.id, op.eff, op.tStart)
+	if len(op.regions) > 0 {
 		ep.releaseUserRegions(op.regions)
-		op.regions = nil
+		op.regions = op.regions[:0]
 	}
 	op.req.complete(nil)
 	ep.qosDrain() // one fewer active op; parked transfers may now be admissible
+	ep.retireSend(op)
 }
 
 // --- Receiver: segment arrival (RDMA write with immediate) -------------------
 
 func (ep *Endpoint) handleImm(src int, imm uint32, bytes int64) {
-	key := opKey{src: src, op: imm}
-	op, ok := ep.recvOps[key]
-	if !ok {
+	op := ep.lookupRecvOp(src, imm)
+	if op == nil {
 		if ep.faultMode() {
 			return // data landed for an op we already aborted
 		}
@@ -733,7 +809,13 @@ func (ep *Endpoint) unpackSegment(op *recvOp, k int) {
 	ep.observeShards(st)
 	cost := ep.cfg.parPackCost(ep.model, st)
 	t0 := ep.tnow()
+	// Pin across the deferred completion: the op can abort (and finalize,
+	// with no descriptors outstanding) while this unpack charge is in
+	// flight, and the closure must still read this op's state, not a
+	// recycled successor's.
+	ep.pinRecv(op)
 	ep.afterNamed(cost, "unpack", func() {
+		defer ep.unpinRecv(op)
 		ep.span("unpack", "segment", op.key.op, n, t0)
 		if op.failed {
 			return // abort teardown released (or will release) the segments

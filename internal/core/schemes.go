@@ -13,24 +13,31 @@ import (
 
 // chunkWRs consumes want bytes from a message cursor and builds RDMA
 // descriptors (writes or reads) against consecutive remote memory starting
-// at rAddr. The local side is the scatter/gather list (keys resolved from
-// localRefs); descriptors split at the adapter's SGE limit. A cursor that
-// runs out before want bytes are consumed is a layout/size mismatch and is
-// reported as an error rather than silently truncating the transfer.
-func (ep *Endpoint) chunkWRs(op verbs.Opcode, cur datatype.RunWalker, base mem.Addr,
+// at rAddr, appending them into the op-owned arena set and returning the
+// window of descriptors this call added. The local side is the
+// scatter/gather list (keys resolved from localRefs); descriptors split at
+// the adapter's SGE limit, each sealed as a three-index sub-slice of the
+// arena's SGE store so later appends can never grow into it. When the arena
+// backing grows, earlier windows keep pointing at the old backing array —
+// those values are never mutated again, so in-flight descriptors stay
+// valid. A cursor that runs out before want bytes are consumed is a
+// layout/size mismatch and is reported as an error rather than silently
+// truncating the transfer.
+func (ep *Endpoint) chunkWRs(set *wrSet, opc verbs.Opcode, cur datatype.RunWalker, base mem.Addr,
 	localRefs []regRef, want int64, rAddr mem.Addr, rKey uint32) ([]verbs.SendWR, error) {
 
 	maxSGE := ep.model.MaxSGE
-	var wrs []verbs.SendWR
-	var sgl []verbs.SGE
+	wrStart := len(set.wrs)
+	sgeStart := len(set.sge)
 	var sglBytes int64
 	flush := func() {
-		if len(sgl) == 0 {
+		if len(set.sge) == sgeStart {
 			return
 		}
-		wrs = append(wrs, verbs.SendWR{Op: op, SGL: sgl, RemoteAddr: rAddr, RKey: rKey})
+		sgl := set.sge[sgeStart:len(set.sge):len(set.sge)]
+		set.wrs = append(set.wrs, verbs.SendWR{Op: opc, SGL: sgl, RemoteAddr: rAddr, RKey: rKey})
 		rAddr += mem.Addr(sglBytes)
-		sgl = nil
+		sgeStart = len(set.sge)
 		sglBytes = 0
 	}
 	for want > 0 {
@@ -44,26 +51,26 @@ func (ep *Endpoint) chunkWRs(op verbs.Opcode, cur datatype.RunWalker, base mem.A
 		if i < 0 {
 			panic(fmt.Sprintf("core rank %d: no region covers [%#x,+%d)", ep.rank, addr, n))
 		}
-		sgl = append(sgl, verbs.SGE{Addr: addr, Len: n, Key: localRefs[i].key})
+		set.sge = append(set.sge, verbs.SGE{Addr: addr, Len: n, Key: localRefs[i].key})
 		sglBytes += n
 		want -= n
-		if len(sgl) == maxSGE {
+		if len(set.sge)-sgeStart == maxSGE {
 			flush()
 		}
 	}
 	flush()
-	return wrs, nil
+	return set.wrs[wrStart:], nil
 }
 
 // chunkBatches splits a descriptor list at the adapter's per-doorbell batch
-// limit. The limit is distinct from MaxSGE — MaxSGE bounds one descriptor's
-// gather list, the batch limit bounds how many descriptors one PostSendList
-// call (one doorbell) may carry. limit <= 0 means unlimited.
-func chunkBatches(wrs []verbs.SendWR, limit int) [][]verbs.SendWR {
+// limit, appending the batch windows to out (reusing its capacity). The
+// limit is distinct from MaxSGE — MaxSGE bounds one descriptor's gather
+// list, the batch limit bounds how many descriptors one PostSendList call
+// (one doorbell) may carry. limit <= 0 means unlimited.
+func chunkBatches(wrs []verbs.SendWR, limit int, out [][]verbs.SendWR) [][]verbs.SendWR {
 	if limit <= 0 || len(wrs) <= limit {
-		return [][]verbs.SendWR{wrs}
+		return append(out, wrs)
 	}
-	out := make([][]verbs.SendWR, 0, (len(wrs)+limit-1)/limit)
 	for len(wrs) > limit {
 		out = append(out, wrs[:limit])
 		wrs = wrs[limit:]
@@ -102,7 +109,13 @@ func (ep *Endpoint) postWRs(op *sendOp, dst int, wrs []verbs.SendWR, list bool, 
 		}
 		// Bulk doorbells split at the lane window, not just the adapter
 		// limit, so each batch is one window-sized unit for the arbiter.
-		batches := chunkBatches(wrs, ep.laneChunkLimit(lane))
+		// The batch scratch is swapped out for the loop: submitLane grants
+		// can run synchronously and an abort inside one can reenter
+		// postWRs (abortSend → qosDrain → a parked transfer), which would
+		// otherwise clobber the shared backing mid-iteration.
+		scratch := ep.batchScratch
+		ep.batchScratch = nil
+		batches := chunkBatches(wrs, ep.laneChunkLimit(lane), scratch[:0])
 		for _, batch := range batches {
 			batch := batch
 			var batchBytes int64
@@ -138,6 +151,10 @@ func (ep *Endpoint) postWRs(op *sendOp, dst int, wrs []verbs.SendWR, list bool, 
 				ep.observeBatch(len(batch))
 			})
 		}
+		for i := range batches {
+			batches[i] = nil
+		}
+		ep.batchScratch = batches[:0]
 		return
 	}
 	cancelled := func() bool { return op.failed }
@@ -228,25 +245,30 @@ func (ep *Endpoint) postGroupFenced(op *sendOp, wrs []verbs.SendWR, then func())
 // withUserRegistration ensures the op's user buffer is registered, then runs
 // fn. Registration failures abort the op; an op failed during registration
 // backoff (a peer abort notice can arrive in the gap) releases the fresh
-// registrations instead of leaking them.
+// registrations instead of leaking them. The op is pinned across the
+// registration callback so an abort in the gap cannot recycle it while the
+// callback still references its buffers.
 func (ep *Endpoint) withUserRegistration(op *sendOp, fn func()) {
 	if op.registered {
 		fn()
 		return
 	}
-	ep.registerUserMessage(op.buf, op.dt, op.count, func(regions []*mem.Region, refs []regRef, err error) {
-		if err != nil {
-			ep.abortSend(op, err)
-			return
-		}
-		if op.failed {
-			ep.releaseUserRegions(regions)
-			return
-		}
-		op.regions, op.refs = regions, refs
-		op.registered = true
-		fn()
-	})
+	ep.pinSend(op)
+	ep.registerUserMessage(op.buf, op.dt, op.count, op.regions[:0], op.refs[:0],
+		func(regions []*mem.Region, refs []regRef, err error) {
+			defer ep.unpinSend(op)
+			if err != nil {
+				ep.abortSend(op, err)
+				return
+			}
+			if op.failed {
+				ep.releaseUserRegions(regions)
+				return
+			}
+			op.regions, op.refs = regions, refs
+			op.registered = true
+			fn()
+		})
 }
 
 // sendStagedData moves the message into the receiver's staged destinations
@@ -282,14 +304,14 @@ func (ep *Endpoint) sendStagedData(op *sendOp, scheme Scheme, segSize int64, ref
 func (ep *Endpoint) sendGatherData(op *sendOp, segSize int64, nSegs int, refs []segRef) {
 	cur := ep.walkerFor(op.dt, op.count)
 	left := op.eff
-	groups := make([][]verbs.SendWR, 0, nSegs)
+	groups := op.groups[:0]
 	for k := 0; k < nSegs; k++ {
 		n := segSize
 		if n > left {
 			n = left
 		}
 		left -= n
-		wrs, err := ep.chunkWRs(verbs.OpRDMAWrite, cur, op.buf, op.refs, n, refs[k].addr, refs[k].key)
+		wrs, err := ep.chunkWRs(&op.wrs, verbs.OpRDMAWrite, cur, op.buf, op.refs, n, refs[k].addr, refs[k].key)
 		if err != nil {
 			ep.abortSend(op, err)
 			return
@@ -299,6 +321,7 @@ func (ep *Endpoint) sendGatherData(op *sendOp, segSize int64, nSegs int, refs []
 		wrs[last].Imm = op.id
 		groups = append(groups, wrs)
 	}
+	op.groups = groups
 	if ep.faultMode() {
 		ep.postGroupsChained(op, groups, func() { ep.finishSend(op) })
 		return
@@ -314,7 +337,9 @@ func (ep *Endpoint) sendGatherData(op *sendOp, segSize int64, nSegs int, refs []
 // pack the whole message, one RDMA write, unpack on the far side — fully
 // serialized.
 func (ep *Endpoint) sendGenericData(op *sendOp, refs []segRef) {
+	ep.pinSend(op)
 	ep.acquireStaging(op.eff, func(s seg, err error) {
+		defer ep.unpinSend(op)
 		if err != nil {
 			ep.abortSend(op, err)
 			return
@@ -332,12 +357,10 @@ func (ep *Endpoint) sendGenericData(op *sendOp, refs []segRef) {
 		}
 		atomic.AddInt64(&ep.ctr.BytesPacked, st.Bytes)
 		ep.chargeParPack(st, "pack")
-		wr := verbs.SendWR{
-			Op:         verbs.OpRDMAWriteImm,
-			SGL:        []verbs.SGE{{Addr: s.addr, Len: op.eff, Key: s.key}},
-			RemoteAddr: refs[0].addr, RKey: refs[0].key, Imm: op.id,
-		}
-		ep.postWRs(op, op.dst, []verbs.SendWR{wr}, false, func() {
+		wrs := op.wrs.one(verbs.OpRDMAWriteImm,
+			verbs.SGE{Addr: s.addr, Len: op.eff, Key: s.key},
+			refs[0].addr, refs[0].key, op.id)
+		ep.postWRs(op, op.dst, wrs, false, func() {
 			ep.releaseSeg(ep.packPool, op.staging.seg)
 			op.staging = segRes{}
 			ep.finishSend(op)
@@ -366,7 +389,9 @@ func (ep *Endpoint) sendBCSPUPData(op *sendOp, segSize int64, nSegs int, refs []
 		// size — the same registration cost Generic pays — carved into
 		// segments so the pipeline still runs.
 		atomic.AddInt64(&ep.ctr.PoolDisabled, 1)
+		ep.pinSend(op)
 		ep.acquireStaging(op.eff, func(s seg, err error) {
+			defer ep.unpinSend(op)
 			if err != nil {
 				ep.abortSend(op, err)
 				return
@@ -376,7 +401,7 @@ func (ep *Endpoint) sendBCSPUPData(op *sendOp, segSize int64, nSegs int, refs []
 				return
 			}
 			op.staging = segRes{seg: s, bytes: op.eff, held: true}
-			buildSeg := func(k int) verbs.SendWR {
+			buildSeg := func(k int) []verbs.SendWR {
 				n := segBytes(k)
 				addr := s.addr + mem.Addr(int64(k)*segSize)
 				st := packer.Pack(ep.memory.Bytes(addr, n))
@@ -386,11 +411,9 @@ func (ep *Endpoint) sendBCSPUPData(op *sendOp, segSize int64, nSegs int, refs []
 				atomic.AddInt64(&ep.ctr.BytesPacked, n)
 				atomic.AddInt64(&ep.ctr.SegmentsPipelined, 1)
 				ep.chargeParPack(st, "pack")
-				return verbs.SendWR{
-					Op:         verbs.OpRDMAWriteImm,
-					SGL:        []verbs.SGE{{Addr: addr, Len: n, Key: s.key}},
-					RemoteAddr: refs[k].addr, RKey: refs[k].key, Imm: op.id,
-				}
+				return op.wrs.one(verbs.OpRDMAWriteImm,
+					verbs.SGE{Addr: addr, Len: n, Key: s.key},
+					refs[k].addr, refs[k].key, op.id)
 			}
 			onAll := func() {
 				ep.releaseSeg(ep.packPool, op.staging.seg)
@@ -408,10 +431,10 @@ func (ep *Endpoint) sendBCSPUPData(op *sendOp, segSize int64, nSegs int, refs []
 						onAll()
 						return
 					}
-					wr := buildSeg(k)
+					w := buildSeg(k)
 					k++
 					op.wrsLeft++
-					ep.postRetry(op.dst, wr, func() bool { return op.failed }, func(err error) {
+					ep.postRetry(op.dst, w[0], func() bool { return op.failed }, func(err error) {
 						ep.sendWRResolved(op, err, next)
 					})
 				}
@@ -419,7 +442,7 @@ func (ep *Endpoint) sendBCSPUPData(op *sendOp, segSize int64, nSegs int, refs []
 				return
 			}
 			for k := 0; k < nSegs; k++ {
-				ep.postWRs(op, op.dst, []verbs.SendWR{buildSeg(k)}, false, onAll)
+				ep.postWRs(op, op.dst, buildSeg(k), false, onAll)
 			}
 			ep.donePosting(op)
 		})
@@ -440,7 +463,9 @@ func (ep *Endpoint) sendBCSPUPData(op *sendOp, segSize int64, nSegs int, refs []
 		idx := k
 		k++
 		n := segBytes(idx)
+		ep.pinSend(op)
 		ep.withSeg(ep.packPool, segSize, func(s seg, err error) {
+			defer ep.unpinSend(op)
 			if err != nil {
 				ep.abortSend(op, err)
 				return
@@ -460,7 +485,7 @@ func (ep *Endpoint) sendBCSPUPData(op *sendOp, segSize int64, nSegs int, refs []
 			lane := ep.laneFor(op.eff)
 			wr := verbs.SendWR{
 				Op:         verbs.OpRDMAWriteImm,
-				SGL:        []verbs.SGE{{Addr: s.addr, Len: n, Key: s.key}},
+				SGL:        op.wrs.sgl1(verbs.SGE{Addr: s.addr, Len: n, Key: s.key}),
 				RemoteAddr: refs[idx].addr, RKey: refs[idx].key, Imm: op.id,
 				Lane: uint8(lane),
 			}
@@ -537,20 +562,25 @@ func (ep *Endpoint) sendBCSPUPBatched(op *sendOp, packer *pack.ParallelPacker, s
 		if rest := nSegs - k; b > rest {
 			b = rest
 		}
+		ep.pinSend(op)
 		ep.packPool.whenAvailable(b, c, func() {
+			defer ep.unpinSend(op)
 			if op.failed {
 				return
 			}
 			start := k
 			k += b
-			wrs := make([]verbs.SendWR, b)
-			segs := make([]seg, b)
+			// Descriptors build into the op arena; the seg scratch is safe to
+			// reuse per batch because each completion closure captures its
+			// slot by value before the next batch is built.
+			wrStart := len(op.wrs.wrs)
+			segs := op.segScratch[:0]
 			for i := 0; i < b; i++ {
 				s, ok := ep.packPool.tryAcquire(c)
 				if !ok {
 					panic("core: pack pool promised slots it does not have")
 				}
-				segs[i] = s
+				segs = append(segs, s)
 				idx := start + i
 				n := segBytes(idx)
 				st := packer.Pack(ep.memory.Bytes(s.addr, n))
@@ -560,13 +590,15 @@ func (ep *Endpoint) sendBCSPUPBatched(op *sendOp, packer *pack.ParallelPacker, s
 				atomic.AddInt64(&ep.ctr.BytesPacked, n)
 				atomic.AddInt64(&ep.ctr.SegmentsPipelined, 1)
 				ep.chargeParPack(st, "pack")
-				wrs[i] = verbs.SendWR{
+				op.wrs.wrs = append(op.wrs.wrs, verbs.SendWR{
 					Op:         verbs.OpRDMAWriteImm,
-					SGL:        []verbs.SGE{{Addr: s.addr, Len: n, Key: s.key}},
+					SGL:        op.wrs.sgl1(verbs.SGE{Addr: s.addr, Len: n, Key: s.key}),
 					RemoteAddr: refs[idx].addr, RKey: refs[idx].key, Imm: op.id,
-				}
+				})
 				ep.mark("seg-post", "segment", op.id)
 			}
+			op.segScratch = segs
+			wrs := op.wrs.wrs[wrStart:]
 			op.wrsLeft += b
 			lane := ep.laneFor(op.eff)
 			var batchBytes int64
@@ -638,7 +670,9 @@ func (ep *Endpoint) sendMultiWData(op *sendOp, rBase mem.Addr, rType *datatype.T
 		sc := ep.walkerFor(op.dt, op.count)
 		rc := ep.walkerFor(rType, rCount)
 		remaining := op.eff
-		var wrs []verbs.SendWR
+		// Successive chunkWRs calls append into the same arena, so the flat
+		// window over everything built here is just the arena tail.
+		wrStart := len(op.wrs.wrs)
 		for remaining > 0 {
 			rOff, rLen, ok := rc.Next(remaining)
 			if !ok {
@@ -651,20 +685,20 @@ func (ep *Endpoint) sendMultiWData(op *sendOp, rBase mem.Addr, rType *datatype.T
 			if i < 0 {
 				panic(fmt.Sprintf("core rank %d: no remote region covers [%#x,+%d)", ep.rank, rAddr, rLen))
 			}
-			chunk, err := ep.chunkWRs(verbs.OpRDMAWrite, sc, op.buf, op.refs, rLen, rAddr, rRefs[i].key)
-			if err != nil {
+			if _, err := ep.chunkWRs(&op.wrs, verbs.OpRDMAWrite, sc, op.buf, op.refs, rLen, rAddr, rRefs[i].key); err != nil {
 				ep.abortSend(op, err)
 				return
 			}
-			wrs = append(wrs, chunk...)
 			remaining -= rLen
 		}
+		wrs := op.wrs.wrs[wrStart:]
 		last := len(wrs) - 1
 		wrs[last].Op = verbs.OpRDMAWriteImm
 		wrs[last].Imm = op.id
 		ep.chargeTypeProc(len(wrs))
 		if ep.faultMode() {
-			ep.postGroupsChained(op, [][]verbs.SendWR{wrs}, func() { ep.finishSend(op) })
+			op.groups = append(op.groups[:0], wrs)
+			ep.postGroupsChained(op, op.groups, func() { ep.finishSend(op) })
 			return
 		}
 		ep.postWRs(op, op.dst, wrs, ep.cfg.ListPost, func() { ep.finishSend(op) })
@@ -683,7 +717,7 @@ func (ep *Endpoint) sendPRRSData(op *sendOp, segSize int64) {
 	nSegs := int((op.eff + segSize - 1) / segSize)
 
 	announce := func(k int, addr mem.Addr, key uint32, n int64) {
-		var w ctrlWriter
+		w := ep.ctrlW()
 		w.u8(kindSegReady)
 		w.u32(op.id)
 		w.u64(uint64(addr))
@@ -735,7 +769,9 @@ func (ep *Endpoint) sendPRRSData(op *sendOp, segSize int64) {
 		} else {
 			atomic.AddInt64(&ep.ctr.PoolOverflow, 1)
 		}
+		ep.pinSend(op)
 		ep.acquireStaging(op.eff, func(s seg, err error) {
+			defer ep.unpinSend(op)
 			if err != nil {
 				ep.abortSend(op, err)
 				return
@@ -754,7 +790,9 @@ func (ep *Endpoint) sendPRRSData(op *sendOp, segSize int64) {
 	// The slots stay held until the receiver's Done, so take the whole
 	// message's worth atomically: partial grants across concurrent ops
 	// would deadlock with every op stuck one slot short.
+	ep.pinSend(op)
 	ep.packPool.whenAvailable(nSegs, segC, func() {
+		defer ep.unpinSend(op)
 		if op.failed {
 			return
 		}
@@ -780,8 +818,8 @@ func (ep *Endpoint) handleSegReady(src int, r *ctrlReader) {
 	if r.err != nil {
 		panic(r.err)
 	}
-	op, ok := ep.recvOps[opKey{src: src, op: id}]
-	if !ok {
+	op := ep.lookupRecvOp(src, id)
+	if op == nil {
 		if ep.faultMode() {
 			return // announcement raced an abort
 		}
@@ -790,7 +828,7 @@ func (ep *Endpoint) handleSegReady(src int, r *ctrlReader) {
 	if op.failed {
 		return
 	}
-	wrs, err := ep.chunkWRs(verbs.OpRDMARead, op.readCur, op.req.buf, op.refs, n, addr, key)
+	wrs, err := ep.chunkWRs(&op.wrs, verbs.OpRDMARead, op.readCur, op.req.buf, op.refs, n, addr, key)
 	if err != nil {
 		ep.abortRecv(op, err, true)
 		return
@@ -814,7 +852,7 @@ func (ep *Endpoint) handleSegReady(src int, r *ctrlReader) {
 				ep.recvWRResolved(op, err, func() {
 					op.bytesRead += bytes
 					if op.bytesRead == op.eff {
-						var w ctrlWriter
+						w := ep.ctrlW()
 						w.u8(kindDone)
 						w.u32(id)
 						ep.sendCtrl(src, w.buf, nil)
@@ -833,8 +871,8 @@ func (ep *Endpoint) handleDone(src int, r *ctrlReader) {
 	if r.err != nil {
 		panic(r.err)
 	}
-	op, ok := ep.sendOps[id]
-	if !ok {
+	op := ep.lookupSendOp(src, id)
+	if op == nil {
 		if ep.faultMode() {
 			return // Done raced an abort
 		}
@@ -849,7 +887,7 @@ func (ep *Endpoint) handleDone(src int, r *ctrlReader) {
 			op.segs[i].held = false
 		}
 	}
-	op.segs = nil
+	op.segs = op.segs[:0]
 	if op.staging.held {
 		ep.releaseSeg(ep.packPool, op.staging.seg)
 		op.staging = segRes{}

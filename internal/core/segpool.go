@@ -36,9 +36,15 @@ type poolShard struct {
 	// waiters are continuations parked until slots of this class free up
 	// (the paper's "stall the communication until buffers are available"
 	// policy, Section 4.3.3). Each waiter names the slot count it needs;
-	// waiters are served FIFO so no transfer starves.
+	// waiters are served FIFO so no transfer starves. The queue is
+	// head-indexed (whead) with lazy compaction so a warm stall/resume
+	// cycle reuses retained capacity instead of reallocating per pop.
 	waiters []poolWaiter
+	whead   int
 }
+
+// pending reports the shard's parked waiter count.
+func (sh *poolShard) pending() int { return len(sh.waiters) - sh.whead }
 
 // segPool is a pre-registered, page-aligned staging pool carved into
 // fixed-size slots, allocated once at endpoint construction (the paper's
@@ -148,9 +154,18 @@ func (p *segPool) release(s seg) {
 	sh := &p.shards[s.shard]
 	sh.free = append(sh.free, s.addr)
 	p.gauge.Add(-1)
-	for len(sh.waiters) > 0 && len(sh.free) >= sh.waiters[0].need {
-		w := sh.waiters[0]
-		sh.waiters = sh.waiters[1:]
+	for sh.pending() > 0 && len(sh.free) >= sh.waiters[sh.whead].need {
+		w := sh.waiters[sh.whead]
+		sh.waiters[sh.whead] = poolWaiter{}
+		sh.whead++
+		if sh.whead == len(sh.waiters) {
+			sh.waiters = sh.waiters[:0]
+			sh.whead = 0
+		} else if sh.whead > 32 && sh.whead*2 >= len(sh.waiters) {
+			n := copy(sh.waiters, sh.waiters[sh.whead:])
+			sh.waiters = sh.waiters[:n]
+			sh.whead = 0
+		}
 		w.fn()
 	}
 }
@@ -160,7 +175,7 @@ func (p *segPool) release(s seg) {
 // via tryAcquire.
 func (p *segPool) whenAvailable(need, c int, fn func()) {
 	sh := &p.shards[c]
-	if len(sh.waiters) == 0 && len(sh.free) >= need {
+	if sh.pending() == 0 && len(sh.free) >= need {
 		fn()
 		return
 	}
@@ -202,7 +217,7 @@ func (p *segPool) slotFor(c int) int64 { return p.shards[c].slot }
 func (p *segPool) pendingWaiters() int {
 	n := 0
 	for i := range p.shards {
-		n += len(p.shards[i].waiters)
+		n += p.shards[i].pending()
 	}
 	return n
 }

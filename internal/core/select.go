@@ -58,18 +58,47 @@ type SchemeSelector interface {
 	Observe(in SelectorInput, chosen Scheme, latencyNs int64) (regretNs int64)
 }
 
+// The eligible-scheme sets are fixed per shape class, so they are built
+// once; callers treat them as read-only.
+var (
+	eligibleContig  = []Scheme{SchemeGeneric}
+	eligibleNoReuse = []Scheme{SchemeGeneric, SchemeBCSPUP}
+	eligibleAll     = []Scheme{SchemeGeneric, SchemeBCSPUP, SchemeRWGUP, SchemePRRS, SchemeMultiW}
+)
+
 // eligibleSchemes lists the schemes a selector may choose for this shape.
 // Both sides contiguous collapses to the single zero-copy write; without the
 // buffer-reuse hint the copy-reduced schemes are excluded because user-buffer
 // registration will not amortize (the MPI_Info rule of Section 6).
 func eligibleSchemes(cfg *Config, sContig, rContig bool) []Scheme {
 	if sContig && rContig {
-		return []Scheme{SchemeGeneric}
+		return eligibleContig
 	}
 	if !cfg.BuffersReused {
-		return []Scheme{SchemeGeneric, SchemeBCSPUP}
+		return eligibleNoReuse
 	}
-	return []Scheme{SchemeGeneric, SchemeBCSPUP, SchemeRWGUP, SchemePRRS, SchemeMultiW}
+	return eligibleAll
+}
+
+// autoScheme is the decision half of AutoChoice: the Section 6 thresholds
+// with no rationale formatting, so the untraced warm path pays no Sprintf.
+func autoScheme(cfg *Config, in SelectorInput) Scheme {
+	if in.SContig && in.RContig {
+		return SchemeGeneric
+	}
+	if !cfg.BuffersReused {
+		return SchemeBCSPUP
+	}
+	switch {
+	case in.SAvg >= cfg.AutoBlockThreshold && in.RAvg >= cfg.AutoBlockThreshold:
+		return SchemeMultiW
+	case in.SContig && in.RAvg >= cfg.AutoGatherThreshold:
+		return SchemePRRS
+	case in.SAvg >= cfg.AutoGatherThreshold:
+		return SchemeRWGUP
+	default:
+		return SchemeBCSPUP
+	}
 }
 
 // AutoChoice is the static Section 6 heuristic as a pure function of the
@@ -77,24 +106,25 @@ func eligibleSchemes(cfg *Config, sContig, rContig bool) []Scheme {
 // records which rule fired. It is the behavior SchemeAuto has always had and
 // the fallback (and regret baseline) when a selector is plugged in.
 func AutoChoice(cfg *Config, in SelectorInput) (Scheme, string) {
+	s := autoScheme(cfg, in)
 	if in.SContig && in.RContig {
-		return SchemeGeneric, "both sides contiguous: one zero-copy write"
+		return s, "both sides contiguous: one zero-copy write"
 	}
 	if !cfg.BuffersReused {
-		return SchemeBCSPUP, "buffers not reused: registration will not amortize"
+		return s, "buffers not reused: registration will not amortize"
 	}
-	switch {
-	case in.SAvg >= cfg.AutoBlockThreshold && in.RAvg >= cfg.AutoBlockThreshold:
-		return SchemeMultiW, fmt.Sprintf("savg %d and ravg %d reach block threshold %d",
+	switch s {
+	case SchemeMultiW:
+		return s, fmt.Sprintf("savg %d and ravg %d reach block threshold %d",
 			in.SAvg, in.RAvg, cfg.AutoBlockThreshold)
-	case in.SContig && in.RAvg >= cfg.AutoGatherThreshold:
-		return SchemePRRS, fmt.Sprintf("contiguous sender, ravg %d reaches gather threshold %d",
+	case SchemePRRS:
+		return s, fmt.Sprintf("contiguous sender, ravg %d reaches gather threshold %d",
 			in.RAvg, cfg.AutoGatherThreshold)
-	case in.SAvg >= cfg.AutoGatherThreshold:
-		return SchemeRWGUP, fmt.Sprintf("savg %d reaches gather threshold %d",
+	case SchemeRWGUP:
+		return s, fmt.Sprintf("savg %d reaches gather threshold %d",
 			in.SAvg, cfg.AutoGatherThreshold)
 	default:
-		return SchemeBCSPUP, fmt.Sprintf("savg %d below gather threshold %d: staged pipeline",
+		return s, fmt.Sprintf("savg %d below gather threshold %d: staged pipeline",
 			in.SAvg, cfg.AutoGatherThreshold)
 	}
 }
@@ -128,14 +158,19 @@ func (ep *Endpoint) selectorInput(inb *inbound, req *Request, eff int64) Selecto
 // feed the measured latency back; otherwise the second result is nil.
 func (ep *Endpoint) decideScheme(inb *inbound, req *Request, eff int64) (Scheme, *SelectorInput) {
 	if ep.cfg.Scheme != SchemeAuto {
-		ep.markDecision(inb.opID, ep.cfg.Scheme, "fixed: configured scheme")
+		ep.markDecision(inb.opID, ep.cfg.Scheme, "fixed: ", "configured scheme")
 		return ep.cfg.Scheme, nil
 	}
 	in := ep.selectorInput(inb, req, eff)
-	static, why := AutoChoice(&ep.cfg, in)
+	static := autoScheme(&ep.cfg, in)
 	in.Static = static
 	if ep.cfg.Selector == nil {
-		ep.markDecision(inb.opID, static, "static: "+why)
+		if ep.cfg.Tracer != nil {
+			// Rationale strings are only formatted when a tracer consumes
+			// them — the untraced warm path decides without allocating.
+			_, why := AutoChoice(&ep.cfg, in)
+			ep.markDecision(inb.opID, static, "static: ", why)
+		}
 		return static, nil
 	}
 	d := ep.cfg.Selector.Choose(in)
@@ -144,25 +179,29 @@ func (ep *Endpoint) decideScheme(inb *inbound, req *Request, eff int64) (Scheme,
 		// A selector must never force an ineligible scheme onto the wire;
 		// fall back to the static rule and say so in the trace.
 		scheme = static
-		d.Rationale = fmt.Sprintf("selector returned ineligible %v, falling back: %s", d.Scheme, why)
 		d.Explored = false
+		if ep.cfg.Tracer != nil {
+			_, why := AutoChoice(&ep.cfg, in)
+			d.Rationale = fmt.Sprintf("selector returned ineligible %v, falling back: %s", d.Scheme, why)
+		}
 	}
 	if d.Explored {
 		atomic.AddInt64(&ep.ctr.TunerExplorations, 1)
 	} else {
 		atomic.AddInt64(&ep.ctr.TunerExploitations, 1)
 	}
-	ep.markDecision(inb.opID, scheme, "tuned: "+d.Rationale)
+	ep.markDecision(inb.opID, scheme, "tuned: ", d.Rationale)
 	return scheme, &in
 }
 
 // markDecision records the scheme-decision instant on the msg lane: which
-// scheme this receiver's CTS will carry, and why.
-func (ep *Endpoint) markDecision(opID uint32, s Scheme, why string) {
+// scheme this receiver's CTS will carry, and why. The prefix/why split keeps
+// the concatenation off the untraced path.
+func (ep *Endpoint) markDecision(opID uint32, s Scheme, prefix, why string) {
 	if ep.cfg.Tracer == nil {
 		return
 	}
-	ep.cfg.Tracer.Mark(ep.node, trace.LaneMsg, "decide "+s.String()+": "+why, "decision", uint64(opID), ep.tnow())
+	ep.cfg.Tracer.Mark(ep.node, trace.LaneMsg, "decide "+s.String()+": "+prefix+why, "decision", uint64(opID), ep.tnow())
 }
 
 func schemeIn(list []Scheme, s Scheme) bool {

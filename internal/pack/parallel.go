@@ -86,7 +86,9 @@ type ShardStat struct {
 // ParStats reports one parallel pack/unpack step: the totals (identical to
 // what the serial engine would report) plus the per-shard split the cost
 // model and the utilization histograms consume. len(Shards) == 1 means the
-// step ran serially.
+// step ran serially. Shards aliases the engine's reusable buffer and is
+// only valid until the engine's next Pack/Unpack call; callers that keep
+// it must copy.
 type ParStats struct {
 	Bytes  int64
 	Runs   int
@@ -143,9 +145,10 @@ func collectRuns(w datatype.RunWalker, base mem.Addr, want int64, refs []runRef)
 
 // shardRuns partitions runs into at most workers contiguous shards of
 // roughly equal byte counts without splitting a run, honoring the minimum
-// shard size. The partition is a pure function of its inputs, so shard
-// statistics — and the virtual cost derived from them — are deterministic.
-func shardRuns(refs []runRef, total int64, workers int, minShard int64) [][]runRef {
+// shard size, appending the shards to out (reusing its capacity). The
+// partition is a pure function of its inputs, so shard statistics — and
+// the virtual cost derived from them — are deterministic.
+func shardRuns(refs []runRef, total int64, workers int, minShard int64, out [][]runRef) [][]runRef {
 	if minShard < 1 {
 		// Defensive: callers normalize via Par.minShard(), but a zero
 		// divisor here must never take the whole engine down.
@@ -162,9 +165,8 @@ func shardRuns(refs []runRef, total int64, workers int, minShard int64) [][]runR
 		n = len(refs)
 	}
 	if n <= 1 {
-		return [][]runRef{refs}
+		return append(out, refs)
 	}
-	out := make([][]runRef, 0, n)
 	target := (total + int64(n) - 1) / int64(n)
 	start, bytes := 0, int64(0)
 	for i, r := range refs {
@@ -185,8 +187,30 @@ func shardRuns(refs []runRef, total int64, workers int, minShard int64) [][]runR
 // it behaves exactly like the serial Packer.
 type ParallelPacker struct {
 	*Packer
-	opt  Par
-	refs []runRef // reusable run-collection buffer (no per-step allocation once warm)
+	opt Par
+
+	// Reusable per-step state: once warm, a Pack step allocates nothing.
+	// The pre-built task closures read shards/dst through the receiver, so
+	// they are created once per shard index and reused across steps.
+	refs   []runRef
+	shards [][]runRef
+	stats  []ShardStat
+	tasks  []func()
+	dst    []byte
+}
+
+// task returns the reusable copy closure for shard index i, creating the
+// missing closures on first use of that fan-out width.
+func (p *ParallelPacker) task(i int) func() {
+	for len(p.tasks) <= i {
+		j := len(p.tasks)
+		p.tasks = append(p.tasks, func() {
+			for _, r := range p.shards[j] {
+				copy(p.dst[r.off:r.off+r.n], p.mem.Bytes(r.addr, r.n))
+			}
+		})
+	}
+	return p.tasks[i]
 }
 
 // NewParallelPacker creates a parallel packer over the message
@@ -207,28 +231,25 @@ func NewParallelProgramPacker(m *mem.Memory, base mem.Addr, prog *datatype.Progr
 func (p *ParallelPacker) Pack(dst []byte) ParStats {
 	if !p.opt.parallel() || int64(len(dst)) < 2*p.opt.minShard() {
 		n, runs := p.PackTo(dst)
-		return ParStats{Bytes: n, Runs: runs, Shards: []ShardStat{{Bytes: n, Runs: runs}}}
+		p.stats = append(p.stats[:0], ShardStat{Bytes: n, Runs: runs})
+		return ParStats{Bytes: n, Runs: runs, Shards: p.stats}
 	}
 	refs, n := collectRuns(p.walker(), p.base, int64(len(dst)), p.refs[:0])
 	p.refs = refs
-	shards := shardRuns(refs, n, p.opt.Workers, p.opt.minShard())
-	st := ParStats{Bytes: n, Runs: len(refs), Shards: make([]ShardStat, len(shards))}
-	tasks := make([]func(), len(shards))
-	for i, sh := range shards {
-		i, sh := i, sh
+	p.shards = shardRuns(refs, n, p.opt.Workers, p.opt.minShard(), p.shards[:0])
+	p.stats = p.stats[:0]
+	p.dst = dst
+	for i, sh := range p.shards {
 		var b int64
 		for _, r := range sh {
 			b += r.n
 		}
-		st.Shards[i] = ShardStat{Bytes: b, Runs: len(sh)}
-		tasks[i] = func() {
-			for _, r := range sh {
-				copy(dst[r.off:r.off+r.n], p.mem.Bytes(r.addr, r.n))
-			}
-		}
+		p.stats = append(p.stats, ShardStat{Bytes: b, Runs: len(sh)})
+		p.task(i)
 	}
-	p.opt.Exec.Run(tasks)
-	return st
+	p.opt.Exec.Run(p.tasks[:len(p.shards)])
+	p.dst = nil
+	return ParStats{Bytes: n, Runs: len(refs), Shards: p.stats}
 }
 
 // ParallelUnpacker is an Unpacker whose per-step copies fan out across
@@ -236,8 +257,28 @@ func (p *ParallelPacker) Pack(dst []byte) ParStats {
 // the serial Unpacker.
 type ParallelUnpacker struct {
 	*Unpacker
-	opt  Par
-	refs []runRef // reusable run-collection buffer (no per-step allocation once warm)
+	opt Par
+
+	// Reusable per-step state, mirroring ParallelPacker.
+	refs   []runRef
+	shards [][]runRef
+	stats  []ShardStat
+	tasks  []func()
+	src    []byte
+}
+
+// task returns the reusable copy closure for shard index i, creating the
+// missing closures on first use of that fan-out width.
+func (u *ParallelUnpacker) task(i int) func() {
+	for len(u.tasks) <= i {
+		j := len(u.tasks)
+		u.tasks = append(u.tasks, func() {
+			for _, r := range u.shards[j] {
+				copy(u.mem.Bytes(r.addr, r.n), u.src[r.off:r.off+r.n])
+			}
+		})
+	}
+	return u.tasks[i]
 }
 
 // NewParallelUnpacker creates a parallel unpacker over the message
@@ -258,26 +299,23 @@ func NewParallelProgramUnpacker(m *mem.Memory, base mem.Addr, prog *datatype.Pro
 func (u *ParallelUnpacker) Unpack(src []byte) ParStats {
 	if !u.opt.parallel() || int64(len(src)) < 2*u.opt.minShard() {
 		n, runs := u.UnpackFrom(src)
-		return ParStats{Bytes: n, Runs: runs, Shards: []ShardStat{{Bytes: n, Runs: runs}}}
+		u.stats = append(u.stats[:0], ShardStat{Bytes: n, Runs: runs})
+		return ParStats{Bytes: n, Runs: runs, Shards: u.stats}
 	}
 	refs, n := collectRuns(u.walker(), u.base, int64(len(src)), u.refs[:0])
 	u.refs = refs
-	shards := shardRuns(refs, n, u.opt.Workers, u.opt.minShard())
-	st := ParStats{Bytes: n, Runs: len(refs), Shards: make([]ShardStat, len(shards))}
-	tasks := make([]func(), len(shards))
-	for i, sh := range shards {
-		i, sh := i, sh
+	u.shards = shardRuns(refs, n, u.opt.Workers, u.opt.minShard(), u.shards[:0])
+	u.stats = u.stats[:0]
+	u.src = src
+	for i, sh := range u.shards {
 		var b int64
 		for _, r := range sh {
 			b += r.n
 		}
-		st.Shards[i] = ShardStat{Bytes: b, Runs: len(sh)}
-		tasks[i] = func() {
-			for _, r := range sh {
-				copy(u.mem.Bytes(r.addr, r.n), src[r.off:r.off+r.n])
-			}
-		}
+		u.stats = append(u.stats, ShardStat{Bytes: b, Runs: len(sh)})
+		u.task(i)
 	}
-	u.opt.Exec.Run(tasks)
-	return st
+	u.opt.Exec.Run(u.tasks[:len(u.shards)])
+	u.src = nil
+	return ParStats{Bytes: n, Runs: len(refs), Shards: u.stats}
 }

@@ -165,7 +165,7 @@ func TestShardRunsProperties(t *testing.T) {
 
 	check := func(name string, refs []runRef, total int64, workers int, minShard int64, wantMax int) {
 		t.Helper()
-		shards := shardRuns(refs, total, workers, minShard)
+		shards := shardRuns(refs, total, workers, minShard, nil)
 		if len(shards) > wantMax {
 			t.Fatalf("%s: %d shards, want <= %d", name, len(shards), wantMax)
 		}
@@ -184,7 +184,7 @@ func TestShardRunsProperties(t *testing.T) {
 				t.Fatalf("%s: run %d reordered or split", name, i)
 			}
 		}
-		again := shardRuns(refs, total, workers, minShard)
+		again := shardRuns(refs, total, workers, minShard, nil)
 		if len(again) != len(shards) {
 			t.Fatalf("%s: nondeterministic shard count", name)
 		}

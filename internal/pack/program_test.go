@@ -236,7 +236,7 @@ func TestShardRunsBoundary(t *testing.T) {
 		{addr: 0x2000, off: 100, n: 10000}, // straddles any boundary
 		{addr: 0x3000, off: 10100, n: 100},
 	}
-	shards := shardRuns(refs, 10200, 4, 64)
+	shards := shardRuns(refs, 10200, 4, 64, nil)
 	var flat []runRef
 	for _, sh := range shards {
 		flat = append(flat, sh...)
@@ -252,7 +252,7 @@ func TestShardRunsBoundary(t *testing.T) {
 
 	// minShard 0 (and negative) must clamp, not panic or loop.
 	for _, ms := range []int64{0, -5} {
-		sh := shardRuns(refs, 10200, 4, ms)
+		sh := shardRuns(refs, 10200, 4, ms, nil)
 		if len(sh) == 0 || len(sh) > 4 {
 			t.Fatalf("minShard=%d: %d shards", ms, len(sh))
 		}
@@ -272,7 +272,7 @@ func TestShardRunsBoundary(t *testing.T) {
 		}
 		workers := 1 + rng.Intn(12)
 		minShard := int64(rng.Intn(1 << 15)) // includes 0
-		shards := shardRuns(refs, total, workers, minShard)
+		shards := shardRuns(refs, total, workers, minShard, nil)
 		if len(shards) > workers {
 			t.Fatalf("trial %d: %d shards for %d workers", trial, len(shards), workers)
 		}

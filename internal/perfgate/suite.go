@@ -1,0 +1,260 @@
+package perfgate
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/datatype"
+	"repro/internal/mem"
+	"repro/internal/mpi"
+	"repro/internal/pack"
+	"repro/internal/tuner"
+)
+
+// The micro-suite has two halves, mirroring how the paper measures (Figures
+// 7–9): wall-clock rows exercise the software path below the fabric —
+// pack/unpack replay of compiled layouts, descriptor building, doorbell
+// batching, scheme decisions — where the zero-allocation invariant is pinned;
+// virtual-time rows run whole two-rank worlds per scheme on the deterministic
+// backends, where end-to-end latency regressions are enforced.
+
+// Wall-row iteration counts: enough to average out timer granularity while
+// keeping the whole suite under a couple of seconds.
+const (
+	wallRuns  = 200
+	rndvWarm  = 2
+	rndvIters = 8
+)
+
+// mallocCount reads the process-global cumulative allocation counter.
+func mallocCount() uint64 {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.Mallocs
+}
+
+// wallRow measures f on the wall clock: one warmup call, then runs timed
+// iterations with GOMAXPROCS pinned to 1 so background goroutines do not
+// pollute the allocation counter. zero declares the row's pinned intent; the
+// measured allocs/op is recorded either way so a violation is visible in the
+// artifact itself, not just in the gate.
+func wallRow(name string, zero bool, f func()) Row {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(1))
+	f() // warm: first call may grow arenas and lazily bind state
+	m0 := mallocCount()
+	start := time.Now()
+	for i := 0; i < wallRuns; i++ {
+		f()
+	}
+	elapsed := time.Since(start).Nanoseconds()
+	allocs := float64(mallocCount()-m0) / wallRuns
+	return Row{
+		Name:        name,
+		Kind:        KindWall,
+		NsPerOp:     float64(elapsed) / wallRuns,
+		AllocsPerOp: allocs,
+		ZeroAlloc:   zero,
+	}
+}
+
+// shape is one pinned datatype layout for the pack/descriptor rows. All
+// three compile to canonical programs, so cursor Reset is allocation-free.
+type shape struct {
+	name  string
+	dt    *datatype.Type
+	count int
+}
+
+// suiteShapes returns the pinned layouts: fine-grained 4 B runs (the paper's
+// worst case for per-run overhead), medium 256 B runs, and a contiguous
+// control. Each carries 64 KiB of payload.
+func suiteShapes() []shape {
+	return []shape{
+		{"vec4Bx16k", datatype.Must(datatype.TypeVector(16384, 1, 4, datatype.Int32)), 1},
+		{"vec256Bx256", datatype.Must(datatype.TypeVector(256, 64, 128, datatype.Int32)), 1},
+		{"contig64k", datatype.Must(datatype.TypeContiguous(16384, datatype.Int32)), 1},
+	}
+}
+
+// packRows measures one warm pack and one warm unpack of each shape through
+// the compiled-program replay path, the same code a BC-SPUP or P-RRS
+// transfer runs per segment.
+func packRows() []Row {
+	var rows []Row
+	for _, sh := range suiteShapes() {
+		prog := datatype.Compile(sh.dt, sh.count)
+		total := sh.dt.Size() * int64(sh.count)
+		extent := sh.dt.Extent()*int64(sh.count) + 64
+		m := mem.NewMemory("perfgate", extent+total+(4<<10))
+		base := m.MustAlloc(extent)
+		stage := make([]byte, total)
+
+		p := pack.NewProgramPacker(m, base, prog)
+		name := sh.name
+		rows = append(rows, wallRow("pack/"+name, true, func() {
+			p.Reset()
+			if n, _ := p.PackTo(stage); n != total {
+				panic(fmt.Sprintf("pack/%s: packed %d of %d bytes", name, n, total))
+			}
+		}))
+
+		u := pack.NewProgramUnpacker(m, base, prog)
+		rows = append(rows, wallRow("unpack/"+name, true, func() {
+			u.Reset()
+			if n, _ := u.UnpackFrom(stage); n != total {
+				panic(fmt.Sprintf("unpack/%s: unpacked %d of %d bytes", name, n, total))
+			}
+		}))
+	}
+	return rows
+}
+
+// descriptorRows measures the warm descriptor-builder path: chunkWRs over
+// the noncontiguous shapes and chunkBatches at the doorbell limit.
+func descriptorRows() []Row {
+	var rows []Row
+	for _, sh := range suiteShapes() {
+		if sh.name == "contig64k" {
+			continue // one-WR degenerate case; the vector rows carry signal
+		}
+		probe := core.NewPerfProbe(sh.dt, sh.count)
+		rows = append(rows, wallRow("chunkwrs/"+sh.name, true, func() {
+			if probe.ChunkWRs() == 0 {
+				panic("chunkwrs produced no descriptors")
+			}
+		}))
+	}
+	probe := core.NewPerfProbe(datatype.Int32, 1)
+	rows = append(rows, wallRow("chunkbatches/1024x64", true, func() {
+		if probe.ChunkBatches(1024, 64) != 16 {
+			panic("chunkbatches split drifted")
+		}
+	}))
+	return rows
+}
+
+// tunerRow measures one warm exploitation decision of the adaptive selector
+// (Quiet, no exploration: the deterministic production configuration).
+func tunerRow() Row {
+	cfg := tuner.DefaultConfig()
+	cfg.Quiet = true
+	cfg.Explore = false
+	t := tuner.New(cfg)
+	in := core.SelectorInput{
+		Peer:     1,
+		Bytes:    256 << 10,
+		SAvg:     256,
+		RAvg:     256,
+		RRuns:    1024,
+		Eligible: []core.Scheme{core.SchemeBCSPUP, core.SchemeRWGUP, core.SchemePRRS, core.SchemeMultiW},
+		Static:   core.SchemeBCSPUP,
+	}
+	return wallRow("tuner/decide", true, func() {
+		t.Choose(in)
+	})
+}
+
+// worldRow runs a pinned two-rank workload on a virtual-time backend and
+// measures per-message virtual latency and whole-process allocations between
+// barriers. The allocation column on these rows is whole-world (both ranks,
+// fabric, matching), so it is tolerance-compared, not pinned to zero.
+func worldRow(name, backend string, scheme core.Scheme, dt *datatype.Type, count int) (Row, error) {
+	cfg := mpi.DefaultConfig()
+	cfg.Ranks = 2
+	cfg.MemBytes = 64 << 20
+	cfg.Backend = backend
+	cfg.Core.Scheme = scheme
+	w, err := mpi.NewWorld(cfg)
+	if err != nil {
+		return Row{}, fmt.Errorf("%s: %w", name, err)
+	}
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(1))
+	var nsOp, allocsOp float64
+	err = w.Run(func(p *mpi.Proc) error {
+		buf := p.Mem().MustAlloc(dt.Extent()*int64(count) + 64)
+		xfer := func() error {
+			if p.Rank() == 0 {
+				return p.Send(buf, count, dt, 1, 0)
+			}
+			_, err := p.Recv(buf, count, dt, 0, 0)
+			return err
+		}
+		for i := 0; i < rndvWarm; i++ {
+			if err := xfer(); err != nil {
+				return err
+			}
+		}
+		if err := p.Barrier(); err != nil {
+			return err
+		}
+		t0, m0 := w.ClockNs(), mallocCount()
+		for i := 0; i < rndvIters; i++ {
+			if err := xfer(); err != nil {
+				return err
+			}
+		}
+		if err := p.Barrier(); err != nil {
+			return err
+		}
+		if p.Rank() == 0 {
+			nsOp = float64(w.ClockNs()-t0) / rndvIters
+			allocsOp = float64(mallocCount()-m0) / rndvIters
+		}
+		return nil
+	})
+	if err != nil {
+		return Row{}, fmt.Errorf("%s: %w", name, err)
+	}
+	return Row{
+		Name:        name,
+		Kind:        KindVirtual,
+		Backend:     backend,
+		NsPerOp:     nsOp,
+		AllocsPerOp: allocsOp,
+	}, nil
+}
+
+// Suite runs the full pinned micro-suite and returns the report.
+func Suite() (Report, error) {
+	var r Report
+	r.Rows = append(r.Rows, packRows()...)
+	r.Rows = append(r.Rows, descriptorRows()...)
+	r.Rows = append(r.Rows, tunerRow())
+
+	// A 256 KiB sparse vector (512 runs of 512 B) is the pinned rendezvous
+	// payload: large enough that every scheme takes its real data path,
+	// sparse enough that pack/descriptor costs dominate.
+	rndvVec := datatype.Must(datatype.TypeVector(512, 128, 256, datatype.Int32))
+	schemes := []core.Scheme{
+		core.SchemeGeneric, core.SchemeBCSPUP, core.SchemeRWGUP,
+		core.SchemePRRS, core.SchemeMultiW,
+	}
+	for _, s := range schemes {
+		row, err := worldRow("rndv/sim/"+s.String(), mpi.BackendSim, s, rndvVec, 1)
+		if err != nil {
+			return r, err
+		}
+		r.Rows = append(r.Rows, row)
+	}
+	// The intra-node fabric prices the same protocol differently; a subset
+	// of schemes pins its cost model too.
+	for _, s := range []core.Scheme{core.SchemeGeneric, core.SchemeBCSPUP, core.SchemeMultiW} {
+		row, err := worldRow("rndv/shm/"+s.String(), mpi.BackendSHM, s, rndvVec, 1)
+		if err != nil {
+			return r, err
+		}
+		r.Rows = append(r.Rows, row)
+	}
+	// Small-message control: the eager path end to end.
+	eager := datatype.Must(datatype.TypeContiguous(256, datatype.Int32))
+	row, err := worldRow("eager/sim/1k", mpi.BackendSim, core.SchemeAuto, eager, 1)
+	if err != nil {
+		return r, err
+	}
+	r.Rows = append(r.Rows, row)
+
+	r.sortRows()
+	return r, nil
+}

@@ -33,6 +33,7 @@ const (
 	Reject
 )
 
+// String names the decision for traces and errors.
 func (d Decision) String() string {
 	switch d {
 	case Park:
@@ -52,10 +53,13 @@ type parked struct {
 
 // Gate is the admission controller: transfers whose class is bulk park
 // (FIFO) while resource budgets are tight and resume as pressure releases.
-// Single-threaded, like Arbiter.
+// Single-threaded, like Arbiter. The parking lot is a head-indexed FIFO
+// with lazy compaction (like Arbiter's unitQueue), so a warm park/drain
+// cycle reuses retained capacity instead of allocating per transfer.
 type Gate struct {
 	pol      Policy
 	q        []parked
+	head     int
 	draining bool
 }
 
@@ -88,11 +92,11 @@ func (g *Gate) Admit(lane Lane, pr func() Pressure, run func()) Decision {
 		return Admit
 	}
 	p := pr()
-	if len(g.q) == 0 && (!g.pressured(p) || p.ActiveOps <= 0) {
+	if g.Parked() == 0 && (!g.pressured(p) || p.ActiveOps <= 0) {
 		run()
 		return Admit
 	}
-	if g.pol.MaxParked > 0 && len(g.q) >= g.pol.MaxParked {
+	if g.pol.MaxParked > 0 && g.Parked() >= g.pol.MaxParked {
 		return Reject
 	}
 	g.q = append(g.q, parked{pr: pr, run: run})
@@ -109,17 +113,25 @@ func (g *Gate) Drain() {
 	}
 	g.draining = true
 	defer func() { g.draining = false }()
-	for len(g.q) > 0 {
-		p := g.q[0].pr()
+	for g.Parked() > 0 {
+		p := g.q[g.head].pr()
 		if g.pressured(p) && p.ActiveOps > 0 {
 			return
 		}
-		e := g.q[0]
-		g.q[0] = parked{}
-		g.q = g.q[1:]
+		e := g.q[g.head]
+		g.q[g.head] = parked{}
+		g.head++
+		if g.head == len(g.q) {
+			g.q = g.q[:0]
+			g.head = 0
+		} else if g.head > 32 && g.head*2 >= len(g.q) {
+			n := copy(g.q, g.q[g.head:])
+			g.q = g.q[:n]
+			g.head = 0
+		}
 		e.run()
 	}
 }
 
 // Parked reports the number of transfers currently waiting for admission.
-func (g *Gate) Parked() int { return len(g.q) }
+func (g *Gate) Parked() int { return len(g.q) - g.head }

@@ -50,6 +50,7 @@ const (
 	LaneBulk
 )
 
+// String names the lane for traces and metrics keys.
 func (l Lane) String() string {
 	if l == LaneBulk {
 		return "bulk"
@@ -123,11 +124,41 @@ type unit struct {
 	grant func()
 }
 
+// unitQueue is a FIFO of queued bulk units with an amortized-O(1) pop:
+// the head index advances on pop and the backing array compacts lazily, so
+// a warm queue cycles through retained capacity without allocating (the
+// `w.q = w.q[1:]` idiom it replaces leaked capacity on every pop).
+type unitQueue struct {
+	s    []unit
+	head int
+}
+
+func (q *unitQueue) len() int { return len(q.s) - q.head }
+
+func (q *unitQueue) push(u unit) { q.s = append(q.s, u) }
+
+func (q *unitQueue) peek() *unit { return &q.s[q.head] }
+
+func (q *unitQueue) pop() unit {
+	u := q.s[q.head]
+	q.s[q.head] = unit{}
+	q.head++
+	if q.head == len(q.s) {
+		q.s = q.s[:0]
+		q.head = 0
+	} else if q.head > 32 && q.head*2 >= len(q.s) {
+		n := copy(q.s, q.s[q.head:])
+		q.s = q.s[:n]
+		q.head = 0
+	}
+	return u
+}
+
 // peerWindow tracks one peer's in-flight charge and its FIFO bulk queue.
 type peerWindow struct {
 	descs int   // charged in-flight descriptors
 	bytes int64 // charged in-flight payload bytes
-	q     []unit
+	q     unitQueue
 }
 
 // Arbiter schedules data-descriptor posting across the two lanes with
@@ -137,16 +168,19 @@ type peerWindow struct {
 // simulation context.
 type Arbiter struct {
 	pol      Policy
-	peers    map[int]*peerWindow
+	peers    []*peerWindow // indexed by peer rank, grown on demand
 	draining bool
 }
 
 // NewArbiter returns an arbiter enforcing p's windows.
 func NewArbiter(p Policy) *Arbiter {
-	return &Arbiter{pol: p, peers: make(map[int]*peerWindow)}
+	return &Arbiter{pol: p}
 }
 
 func (a *Arbiter) peer(id int) *peerWindow {
+	for id >= len(a.peers) {
+		a.peers = append(a.peers, nil)
+	}
 	w := a.peers[id]
 	if w == nil {
 		w = &peerWindow{}
@@ -178,13 +212,13 @@ func (a *Arbiter) fits(w *peerWindow, descs int, bytes int64) bool {
 // charge with Release as its descriptors resolve.
 func (a *Arbiter) Submit(peer int, lane Lane, descs int, bytes int64, grant func()) bool {
 	w := a.peer(peer)
-	if lane == LaneLatency || (len(w.q) == 0 && a.fits(w, descs, bytes)) {
+	if lane == LaneLatency || (w.q.len() == 0 && a.fits(w, descs, bytes)) {
 		w.descs += descs
 		w.bytes += bytes
 		grant()
 		return false
 	}
-	w.q = append(w.q, unit{descs: descs, bytes: bytes, grant: grant})
+	w.q.push(unit{descs: descs, bytes: bytes, grant: grant})
 	return true
 }
 
@@ -210,10 +244,8 @@ func (a *Arbiter) drain(w *peerWindow) {
 	}
 	a.draining = true
 	defer func() { a.draining = false }()
-	for len(w.q) > 0 && a.fits(w, w.q[0].descs, w.q[0].bytes) {
-		u := w.q[0]
-		w.q[0] = unit{}
-		w.q = w.q[1:]
+	for w.q.len() > 0 && a.fits(w, w.q.peek().descs, w.q.peek().bytes) {
+		u := w.q.pop()
 		w.descs += u.descs
 		w.bytes += u.bytes
 		u.grant()
@@ -222,27 +254,28 @@ func (a *Arbiter) drain(w *peerWindow) {
 
 // Outstanding reports the peer's charged in-flight descriptors and bytes.
 func (a *Arbiter) Outstanding(peer int) (descs int, bytes int64) {
-	w := a.peers[peer]
-	if w == nil {
+	if peer < 0 || peer >= len(a.peers) || a.peers[peer] == nil {
 		return 0, 0
 	}
+	w := a.peers[peer]
 	return w.descs, w.bytes
 }
 
 // Queued reports the peer's deferred bulk units.
 func (a *Arbiter) Queued(peer int) int {
-	w := a.peers[peer]
-	if w == nil {
+	if peer < 0 || peer >= len(a.peers) || a.peers[peer] == nil {
 		return 0
 	}
-	return len(w.q)
+	return a.peers[peer].q.len()
 }
 
 // QueuedTotal reports deferred bulk units across all peers.
 func (a *Arbiter) QueuedTotal() int {
 	n := 0
 	for _, w := range a.peers {
-		n += len(w.q)
+		if w != nil {
+			n += w.q.len()
+		}
 	}
 	return n
 }

@@ -347,23 +347,92 @@ func (r *Registry) String() string {
 	return b.String()
 }
 
-// SizeClass buckets a byte count into a power-of-two label ("<=32KiB"),
-// the message-size dimension of the scheme histograms.
-func SizeClass(n int64) string {
+// ObserveBatch records every value in vs under one lock acquisition — the
+// bulk form of Observe for callers that buffer samples (see GetSampleBuf).
+func (h *Histogram) ObserveBatch(vs []int64) {
+	if h == nil || len(vs) == 0 {
+		return
+	}
+	h.mu.Lock()
+	for _, v := range vs {
+		if v < 0 {
+			v = 0
+		}
+		h.counts[bits.Len64(uint64(v))]++
+		if h.n == 0 || v < h.min {
+			h.min = v
+		}
+		if v > h.max {
+			h.max = v
+		}
+		h.n++
+		h.sum += v
+	}
+	h.mu.Unlock()
+}
+
+// samplePool recycles the sample buffers handed out by GetSampleBuf so hot
+// paths can batch observations without allocating a slice per flush.
+var samplePool = sync.Pool{
+	New: func() any { s := make([]int64, 0, 256); return &s },
+}
+
+// GetSampleBuf returns an empty pooled sample buffer (capacity >= 256).
+// Return it with PutSampleBuf once flushed into a histogram.
+func GetSampleBuf() *[]int64 {
+	return samplePool.Get().(*[]int64)
+}
+
+// PutSampleBuf recycles a buffer obtained from GetSampleBuf.
+func PutSampleBuf(s *[]int64) {
+	*s = (*s)[:0]
+	samplePool.Put(s)
+}
+
+// NumSizeClasses is the number of distinct SizeClassIndex values: index 0
+// for non-positive counts plus one per power-of-two bucket of an int64.
+const NumSizeClasses = 65
+
+// sizeClassLabels interns every size-class label once so SizeClass is a
+// table lookup (no formatting, no allocation) on the hot observation path.
+var sizeClassLabels = func() [NumSizeClasses]string {
+	var t [NumSizeClasses]string
+	t[0] = "<=0B"
+	for p := 0; p < NumSizeClasses-1; p++ {
+		v := int64(1) << p
+		switch {
+		case v >= 1<<30:
+			t[p+1] = fmt.Sprintf("<=%dGiB", v>>30)
+		case v >= 1<<20:
+			t[p+1] = fmt.Sprintf("<=%dMiB", v>>20)
+		case v >= 1<<10:
+			t[p+1] = fmt.Sprintf("<=%dKiB", v>>10)
+		default:
+			t[p+1] = fmt.Sprintf("<=%dB", v)
+		}
+	}
+	return t
+}()
+
+// SizeClassIndex buckets a byte count into a dense small-integer class:
+// 0 for n <= 0, else 1 + ceil(log2(n)). Hot paths key per-class caches by
+// this index and only materialize the string label (SizeClassLabel) when
+// naming an instrument.
+func SizeClassIndex(n int64) int {
 	if n <= 0 {
-		return "<=0B"
+		return 0
 	}
-	// Round up to the next power of two.
-	p := uint(bits.Len64(uint64(n - 1)))
-	v := int64(1) << p
-	switch {
-	case v >= 1<<30:
-		return fmt.Sprintf("<=%dGiB", v>>30)
-	case v >= 1<<20:
-		return fmt.Sprintf("<=%dMiB", v>>20)
-	case v >= 1<<10:
-		return fmt.Sprintf("<=%dKiB", v>>10)
-	default:
-		return fmt.Sprintf("<=%dB", v)
-	}
+	return int(bits.Len64(uint64(n-1))) + 1
+}
+
+// SizeClassLabel returns the interned label for a SizeClassIndex value.
+func SizeClassLabel(i int) string {
+	return sizeClassLabels[i]
+}
+
+// SizeClass buckets a byte count into a power-of-two label ("<=32KiB"),
+// the message-size dimension of the scheme histograms. The label is
+// interned: repeated calls return the same string without allocating.
+func SizeClass(n int64) string {
+	return sizeClassLabels[SizeClassIndex(n)]
 }

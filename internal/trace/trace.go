@@ -53,13 +53,39 @@ type Event struct {
 	Bytes int64  // payload bytes the span covers
 }
 
-// Recorder accumulates events. A nil *Recorder is a valid no-op sink, so
-// instrumented code needs no conditionals. All methods are safe for
-// concurrent use.
+// blockCap is the event capacity of one storage block. Blocks are the unit
+// the recorder recycles through a sync.Pool: a warm recorder that is Reset
+// between runs appends events into recycled blocks without allocating, and
+// the hot Add path is a bounds check plus an index store.
+const blockCap = 256
+
+// block is one fixed-capacity chunk of the recorder's event log.
+type block struct {
+	ev []Event
+}
+
+var blockPool = sync.Pool{
+	New: func() any { return &block{ev: make([]Event, 0, blockCap)} },
+}
+
+// recycle zeroes the block (dropping string references) and returns it to
+// the pool.
+func (b *block) recycle() {
+	for i := range b.ev {
+		b.ev[i] = Event{}
+	}
+	b.ev = b.ev[:0]
+	blockPool.Put(b)
+}
+
+// Recorder accumulates events in insertion order across pooled fixed-size
+// blocks. A nil *Recorder is a valid no-op sink, so instrumented code needs
+// no conditionals. All methods are safe for concurrent use.
 type Recorder struct {
 	mu     sync.Mutex
 	prefix string
-	events []Event
+	blocks []*block
+	n      int
 }
 
 // New returns an empty recorder.
@@ -105,19 +131,48 @@ func (r *Recorder) Mark(node string, lane Lane, name, cat string, op uint64, at 
 
 func (r *Recorder) append(e Event) {
 	r.mu.Lock()
-	e.Node = r.prefix + e.Node
-	r.events = append(r.events, e)
+	if r.prefix != "" {
+		e.Node = r.prefix + e.Node
+	}
+	var b *block
+	if k := len(r.blocks); k > 0 && len(r.blocks[k-1].ev) < blockCap {
+		b = r.blocks[k-1]
+	} else {
+		b = blockPool.Get().(*block)
+		r.blocks = append(r.blocks, b)
+	}
+	b.ev = append(b.ev, e)
+	r.n++
 	r.mu.Unlock()
 }
 
-// snapshot copies the events under the lock.
+// Reset discards every recorded event and recycles the storage blocks, so
+// a long-lived recorder can absorb run after run without growing.
+func (r *Recorder) Reset() {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	for _, b := range r.blocks {
+		b.recycle()
+	}
+	r.blocks = r.blocks[:0]
+	r.n = 0
+	r.mu.Unlock()
+}
+
+// snapshot copies the events under the lock, in insertion order.
 func (r *Recorder) snapshot() []Event {
 	if r == nil {
 		return nil
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return append([]Event(nil), r.events...)
+	out := make([]Event, 0, r.n)
+	for _, b := range r.blocks {
+		out = append(out, b.ev...)
+	}
+	return out
 }
 
 // Events returns the recorded intervals, ordered by start time.
@@ -134,7 +189,7 @@ func (r *Recorder) Len() int {
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return len(r.events)
+	return r.n
 }
 
 // Span returns the recorded time range.

@@ -141,6 +141,12 @@ type Config struct {
 	// Model prices the per-scheme priors; nil uses verbs.DefaultModel.
 	Model *verbs.Model
 
+	// Quiet suppresses the human-readable Rationale strings on decisions.
+	// Decision logic (including the exploration RNG stream) is unchanged;
+	// quiet mode only skips the formatting, making a warm Choose
+	// allocation-free — the mode the perfgate micro-suite pins.
+	Quiet bool
+
 	// Backend names the verbs backend the table's measurements come from
 	// ("sim", "rt", "shm"). Exported tables carry it, and import refuses a
 	// table tagged with a different backend: scheme crossover points are
@@ -349,20 +355,21 @@ func (t *Tuner) Choose(in core.SelectorInput) core.SchemeDecision {
 				}
 			}
 			if pick != nil {
-				return core.SchemeDecision{
-					Scheme:   pick.scheme,
-					Explored: true,
-					Rationale: fmt.Sprintf("explore %s (eps=%.3f, n=%d); %s",
-						pick.scheme, eps, n, e.describe(t.cfg.PriorWeight)),
+				d := core.SchemeDecision{Scheme: pick.scheme, Explored: true}
+				if !t.cfg.Quiet {
+					d.Rationale = fmt.Sprintf("explore %s (eps=%.3f, n=%d); %s",
+						pick.scheme, eps, n, e.describe(t.cfg.PriorWeight))
 				}
+				return d
 			}
 		}
 	}
-	return core.SchemeDecision{
-		Scheme: best.scheme,
-		Rationale: fmt.Sprintf("exploit %s mean %.1fus; %s",
-			best.scheme, best.mean(t.cfg.PriorWeight)/1e3, e.describe(t.cfg.PriorWeight)),
+	d := core.SchemeDecision{Scheme: best.scheme}
+	if !t.cfg.Quiet {
+		d.Rationale = fmt.Sprintf("exploit %s mean %.1fus; %s",
+			best.scheme, best.mean(t.cfg.PriorWeight)/1e3, e.describe(t.cfg.PriorWeight))
 	}
+	return d
 }
 
 // describe renders the current arm estimates ("Generic=210.4us/3 ...", with
